@@ -1,0 +1,45 @@
+//! Composition-time benchmarks: the Figure 9 algorithm itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xvc_bench::synthetic::{chain_catalog, chain_stylesheet, chain_view};
+use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, FIGURE15_XSLT, FIGURE17_XSLT};
+use xvc_core::{compose, compose_recursive};
+use xvc_xslt::parse::FIGURE4_XSLT;
+use xvc_xslt::parse_stylesheet;
+
+fn bench_paper_fixtures(c: &mut Criterion) {
+    let v = figure1_view();
+    let catalog = figure2_catalog();
+    let mut group = c.benchmark_group("compose/paper");
+    for (name, xslt) in [
+        ("figure4", FIGURE4_XSLT),
+        ("figure15_forced_unbinding", FIGURE15_XSLT),
+        ("figure17_predicates", FIGURE17_XSLT),
+    ] {
+        let x = parse_stylesheet(xslt).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| compose(&v, &x, &catalog).unwrap());
+        });
+    }
+    let x25 = parse_stylesheet(xvc_core::paper_fixtures::FIGURE25_XSLT).unwrap();
+    group.bench_function("figure25_recursive_pushdown", |b| {
+        b.iter(|| compose_recursive(&v, &x25, &catalog).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose/chain_depth");
+    for depth in [4usize, 8, 16, 32] {
+        let v = chain_view(depth);
+        let x = chain_stylesheet(depth);
+        let catalog = chain_catalog(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| compose(&v, &x, &catalog).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_fixtures, bench_chain_depth);
+criterion_main!(benches);

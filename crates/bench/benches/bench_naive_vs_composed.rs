@@ -1,0 +1,42 @@
+//! The deferred evaluation (E1) as a Criterion benchmark: full-view
+//! publish + XSLT engine vs composed-view publish.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xvc_bench::workload::{generate, WorkloadConfig};
+use xvc_core::compose;
+use xvc_core::paper_fixtures::figure1_view;
+use xvc_view::publish;
+use xvc_xslt::parse::FIGURE4_XSLT;
+use xvc_xslt::{parse_stylesheet, process};
+
+fn bench_naive_vs_composed(c: &mut Criterion) {
+    let view = figure1_view();
+    let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+    for scale in [1usize, 2, 4] {
+        let db = generate(&WorkloadConfig::scale(scale));
+        let composed = compose(&view, &x, &db.catalog()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("naive_publish_then_xslt", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    let (full, _) = publish(&view, &db).unwrap();
+                    process(&x, &full).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("composed_view", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| publish(&composed, &db).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_naive_vs_composed);
+criterion_main!(benches);

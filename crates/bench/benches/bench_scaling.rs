@@ -1,0 +1,30 @@
+//! C1/C2 scaling studies as Criterion benchmarks (the §4.5 bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xvc_bench::synthetic::{chain_catalog, chain_view, fan_stylesheet};
+use xvc_core::{compose_with_options, ComposeOptions};
+
+fn bench_fan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/fan_depth6");
+    group.sample_size(10);
+    for fan in [1usize, 2, 3] {
+        let v = chain_view(6);
+        let x = fan_stylesheet(6, fan);
+        let catalog = chain_catalog(6);
+        group.bench_with_input(BenchmarkId::from_parameter(fan), &fan, |b, _| {
+            b.iter(|| {
+                compose_with_options(
+                    &v,
+                    &x,
+                    &catalog,
+                    ComposeOptions { tvq_limit: 1_000_000, ..ComposeOptions::default() },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fan);
+criterion_main!(benches);

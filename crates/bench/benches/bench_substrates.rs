@@ -1,0 +1,86 @@
+//! E4: microbenchmarks of the substrate layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xvc_bench::workload::{generate, WorkloadConfig};
+use xvc_core::paper_fixtures::figure1_view;
+use xvc_rel::{eval_query, parse_query, ParamEnv};
+use xvc_view::publish;
+use xvc_xpath::{eval_path, parse_path, VarBindings};
+
+fn bench_xml(c: &mut Criterion) {
+    let db = generate(&WorkloadConfig::scale(2));
+    let (doc, _) = publish(&figure1_view(), &db).unwrap();
+    let xml = doc.to_xml();
+    let mut group = c.benchmark_group("substrate/xml");
+    group.bench_function("parse", |b| b.iter(|| xvc_xml::parse(&xml).unwrap()));
+    group.bench_function("serialize", |b| b.iter(|| doc.to_xml()));
+    group.bench_function("canonicalize", |b| {
+        b.iter(|| xvc_xml::canonical_string(&doc, doc.root()))
+    });
+    group.finish();
+}
+
+fn bench_xpath(c: &mut Criterion) {
+    let db = generate(&WorkloadConfig::scale(2));
+    let (doc, _) = publish(&figure1_view(), &db).unwrap();
+    let paths = [
+        "metro/hotel/confstat",
+        "metro/hotel/confroom[@capacity>250]",
+    ];
+    let mut group = c.benchmark_group("substrate/xpath");
+    for p in paths {
+        let parsed = parse_path(p).unwrap();
+        group.bench_function(p, |b| {
+            b.iter(|| eval_path(&doc, doc.root(), &parsed, &VarBindings::new()).unwrap())
+        });
+    }
+    group.bench_function("parse_figure17_select", |b| {
+        b.iter(|| {
+            parse_path(
+                ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let db = generate(&WorkloadConfig::scale(2));
+    let queries = [
+        ("scan_filter", "SELECT * FROM hotel WHERE starrating > 4"),
+        (
+            "hash_join_3way",
+            "SELECT metroname, hotelname, capacity FROM metroarea, hotel, confroom \
+             WHERE metro_id = metroid AND chotel_id = hotelid",
+        ),
+        (
+            "group_aggregate",
+            "SELECT chotel_id, SUM(capacity) FROM confroom GROUP BY chotel_id",
+        ),
+        (
+            "correlated_exists",
+            "SELECT hotelname FROM hotel WHERE EXISTS \
+             (SELECT * FROM confroom WHERE chotel_id = hotelid AND capacity > 400)",
+        ),
+    ];
+    let mut group = c.benchmark_group("substrate/sql");
+    for (name, sql) in queries {
+        let q = parse_query(sql).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| eval_query(&db, &q, &ParamEnv::new()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let db = generate(&WorkloadConfig::scale(2));
+    let v = figure1_view();
+    c.bench_function("substrate/publish_figure1", |b| {
+        b.iter(|| publish(&v, &db).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_xml, bench_xpath, bench_sql, bench_publish);
+criterion_main!(benches);

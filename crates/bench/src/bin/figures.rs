@@ -1,0 +1,54 @@
+//! Regenerates every paper figure and the deferred-evaluation tables.
+//!
+//! ```text
+//! cargo run -p xvc-bench --bin figures --release            # everything
+//! cargo run -p xvc-bench --bin figures --release -- figures # figures only
+//! cargo run -p xvc-bench --bin figures --release -- tables  # tables only
+//! ```
+
+use xvc_bench::experiments::{
+    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep,
+    render_comparison_table, render_cost_table,
+};
+use xvc_bench::figures::all_figures;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let figures = arg.is_empty() || arg == "figures";
+    let tables = arg.is_empty() || arg == "tables";
+
+    if figures {
+        for (title, body) in all_figures() {
+            println!("==== {title} ====");
+            println!("{body}");
+        }
+    }
+
+    if tables {
+        println!("==== E1/E2: naive x(v(I)) vs composed v'(I), scale sweep ====\n");
+        let rows = e1_scale_sweep(&[1, 2, 4, 8, 16], 3);
+        println!(
+            "{}",
+            render_comparison_table(
+                "E1/E2 — Figure 1 view x Figure 4 stylesheet",
+                "scale",
+                &rows
+            )
+        );
+
+        println!("==== E3: hotel-level selectivity sweep (scale 4) ====\n");
+        let rows = e3_selectivity_sweep(&[10, 25, 50, 75, 100], 3);
+        println!(
+            "{}",
+            render_comparison_table("E3 — luxury fraction (%)", "percent", &rows)
+        );
+
+        println!("==== C1: composition cost, chain depth (polynomial regime) ====\n");
+        let rows = c1_chain_sweep(&[2, 4, 8, 16, 32, 64], 3);
+        println!("{}", render_cost_table("C1 — chain views", "depth", &rows));
+
+        println!("==== C2: TVQ duplication, fan-out (exponential regime, depth 6) ====\n");
+        let rows = c2_fan_sweep(6, &[1, 2, 3], 3);
+        println!("{}", render_cost_table("C2 — fan stylesheets", "fan", &rows));
+    }
+}

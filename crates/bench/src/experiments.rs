@@ -1,0 +1,299 @@
+//! The evaluation the paper deferred ("We defer experimental evaluation
+//! ... to future research", §1), realized as experiments E1–E3 and the
+//! §4.5 complexity studies C1–C2 (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Every run first *verifies* `v'(I) = x(v(I))` and only then measures —
+//! a benchmark row for unequal results would be meaningless.
+
+use std::time::Instant;
+
+use xvc_core::paper_fixtures::figure1_view;
+use xvc_core::{compose, compose_with_options, ComposeOptions};
+use xvc_rel::Database;
+use xvc_view::{publish, SchemaTree};
+use xvc_xml::documents_equal_unordered;
+use xvc_xslt::{process, Stylesheet};
+
+use crate::synthetic::{chain_catalog, chain_stylesheet, chain_view, fan_stylesheet};
+use crate::workload::{generate, WorkloadConfig};
+
+/// One measured comparison of the two evaluation strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonRow {
+    /// Scale factor (or sweep parameter) of the instance.
+    pub param: usize,
+    /// Total database rows.
+    pub db_rows: usize,
+    /// Wall time for `x(v(I))`: publish the full view, run the engine.
+    pub naive_ms: f64,
+    /// Wall time for `v'(I)`: evaluate the composed view.
+    pub composed_ms: f64,
+    /// Elements materialized by the naive strategy (the full `v(I)`).
+    pub naive_elements: usize,
+    /// Elements materialized by the composed strategy (the result only).
+    pub composed_elements: usize,
+    /// Tag queries run by the naive strategy.
+    pub naive_queries: usize,
+    /// Tag queries run by the composed strategy.
+    pub composed_queries: usize,
+}
+
+impl ComparisonRow {
+    /// naive / composed wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.composed_ms
+    }
+}
+
+/// Runs both strategies on one (view, stylesheet, instance) triple,
+/// verifying equality. Each strategy runs `reps` times; the best time is
+/// reported (standard practice to suppress allocator noise).
+pub fn compare(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    db: &Database,
+    param: usize,
+    reps: usize,
+) -> ComparisonRow {
+    let composed =
+        compose(view, stylesheet, &db.catalog()).expect("stylesheet must compose");
+
+    // Verify once.
+    let (full, naive_stats) = publish(view, db).expect("publish v");
+    let expected = process(stylesheet, &full).expect("run x");
+    let (actual, composed_stats) = publish(&composed, db).expect("publish v'");
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "v'(I) != x(v(I)) — benchmark would be meaningless"
+    );
+
+    let naive_ms = best_ms(reps, || {
+        let (full, _) = publish(view, db).expect("publish v");
+        let out = process(stylesheet, &full).expect("run x");
+        std::hint::black_box(out);
+    });
+    let composed_ms = best_ms(reps, || {
+        let (out, _) = publish(&composed, db).expect("publish v'");
+        std::hint::black_box(out);
+    });
+
+    ComparisonRow {
+        param,
+        db_rows: db.total_rows(),
+        naive_ms,
+        composed_ms,
+        naive_elements: naive_stats.elements,
+        composed_elements: composed_stats.elements,
+        naive_queries: naive_stats.queries_run,
+        composed_queries: composed_stats.queries_run,
+    }
+}
+
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// E1/E2: naive vs composed across database scale, on the paper's running
+/// example (Figure 1 view × Figure 4 stylesheet).
+pub fn e1_scale_sweep(scales: &[usize], reps: usize) -> Vec<ComparisonRow> {
+    let view = figure1_view();
+    let stylesheet =
+        xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
+    scales
+        .iter()
+        .map(|&s| {
+            let db = generate(&WorkloadConfig::scale(s));
+            compare(&view, &stylesheet, &db, s, reps)
+        })
+        .collect()
+}
+
+/// E3: stylesheet-selectivity sweep — the luxury fraction controls how
+/// much of the document the stylesheet's path (through `hotel`) touches.
+/// The naive strategy pays for the whole view regardless; the composed
+/// strategy only pays for what the stylesheet selects.
+pub fn e3_selectivity_sweep(fractions_percent: &[usize], reps: usize) -> Vec<ComparisonRow> {
+    let view = figure1_view();
+    let stylesheet =
+        xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
+    fractions_percent
+        .iter()
+        .map(|&pct| {
+            let db = generate(
+                &WorkloadConfig::scale(4).with_luxury_fraction(pct as f64 / 100.0),
+            );
+            compare(&view, &stylesheet, &db, pct, reps)
+        })
+        .collect()
+}
+
+/// One data point of the composition-cost studies.
+#[derive(Debug, Clone, Copy)]
+pub struct ComposeCostRow {
+    /// Sweep parameter (chain depth).
+    pub param: usize,
+    /// |v| — schema-tree nodes.
+    pub view_nodes: usize,
+    /// |x| — template rules.
+    pub rules: usize,
+    /// TVQ nodes produced.
+    pub tvq_nodes: usize,
+    /// Composition wall time.
+    pub compose_ms: f64,
+}
+
+/// C1: composition cost over chain depth (the polynomial regime of §4.5).
+pub fn c1_chain_sweep(depths: &[usize], reps: usize) -> Vec<ComposeCostRow> {
+    depths
+        .iter()
+        .map(|&d| {
+            let v = chain_view(d);
+            let x = chain_stylesheet(d);
+            let catalog = chain_catalog(d);
+            let ctg = xvc_core::build_ctg(&v, &x).expect("ctg");
+            let tvq = xvc_core::build_tvq(&v, &x, &ctg, &catalog, 1_000_000).expect("tvq");
+            let ms = best_ms(reps, || {
+                let out = compose(&v, &x, &catalog).expect("compose");
+                std::hint::black_box(out);
+            });
+            ComposeCostRow {
+                param: d,
+                view_nodes: v.len(),
+                rules: x.len(),
+                tvq_nodes: tvq.nodes.len(),
+                compose_ms: ms,
+            }
+        })
+        .collect()
+}
+
+/// C2: TVQ duplication over fan-out (the exponential regime of §4.5).
+/// Depth is fixed; the fan parameter sweeps; TVQ size is `Σ fan^k`.
+pub fn c2_fan_sweep(depth: usize, fans: &[usize], reps: usize) -> Vec<ComposeCostRow> {
+    fans.iter()
+        .map(|&f| {
+            let v = chain_view(depth);
+            let x = fan_stylesheet(depth, f);
+            let catalog = chain_catalog(depth);
+            let ctg = xvc_core::build_ctg(&v, &x).expect("ctg");
+            let tvq = xvc_core::build_tvq(&v, &x, &ctg, &catalog, 1_000_000).expect("tvq");
+            let ms = best_ms(reps, || {
+                let out = compose_with_options(
+                    &v,
+                    &x,
+                    &catalog,
+                    ComposeOptions { tvq_limit: 1_000_000, ..ComposeOptions::default() },
+                )
+                .expect("compose");
+                std::hint::black_box(out);
+            });
+            ComposeCostRow {
+                param: f,
+                view_nodes: v.len(),
+                rules: x.len(),
+                tvq_nodes: tvq.nodes.len(),
+                compose_ms: ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders comparison rows as an aligned text table.
+pub fn render_comparison_table(title: &str, param_name: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = format!("## {title}\n\n");
+    out.push_str(&format!(
+        "{param_name:>10} | {:>8} | {:>11} | {:>11} | {:>8} | {:>10} | {:>10} | {:>8} | {:>8}\n",
+        "db rows", "naive ms", "composed ms", "speedup", "naive el", "comp el", "naive q", "comp q"
+    ));
+    out.push_str(&"-".repeat(104));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} | {:>8} | {:>11.3} | {:>11.3} | {:>7.2}x | {:>10} | {:>10} | {:>8} | {:>8}\n",
+            r.param,
+            r.db_rows,
+            r.naive_ms,
+            r.composed_ms,
+            r.speedup(),
+            r.naive_elements,
+            r.composed_elements,
+            r.naive_queries,
+            r.composed_queries,
+        ));
+    }
+    out
+}
+
+/// Renders composition-cost rows as an aligned text table.
+pub fn render_cost_table(title: &str, param_name: &str, rows: &[ComposeCostRow]) -> String {
+    let mut out = format!("## {title}\n\n");
+    out.push_str(&format!(
+        "{param_name:>10} | {:>6} | {:>6} | {:>9} | {:>10}\n",
+        "|v|", "|x|", "tvq nodes", "compose ms"
+    ));
+    out.push_str(&"-".repeat(52));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} | {:>6} | {:>6} | {:>9} | {:>10.3}\n",
+            r.param, r.view_nodes, r.rules, r.tvq_nodes, r.compose_ms,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_small_scales_favor_composition() {
+        let rows = e1_scale_sweep(&[1, 2], 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // The composed view materializes strictly fewer elements (the
+            // paper's core claim: no unnecessary nodes).
+            assert!(
+                r.composed_elements < r.naive_elements,
+                "composed {} !< naive {}",
+                r.composed_elements,
+                r.naive_elements
+            );
+            assert!(r.db_rows > 0);
+        }
+        // Bigger instance ⇒ more naive elements.
+        assert!(rows[1].naive_elements > rows[0].naive_elements);
+    }
+
+    #[test]
+    fn c1_chain_costs_grow_polynomially() {
+        let rows = c1_chain_sweep(&[2, 4, 8], 1);
+        assert_eq!(rows[0].tvq_nodes, 1 + 2);
+        assert_eq!(rows[2].tvq_nodes, 1 + 8);
+    }
+
+    #[test]
+    fn c2_fan_grows_exponentially() {
+        let rows = c2_fan_sweep(4, &[1, 2, 3], 1);
+        // Σ fan^k for k in 0..4 (+1 for the entry node).
+        assert_eq!(rows[0].tvq_nodes, 1 + 4);
+        assert_eq!(rows[1].tvq_nodes, 1 + 15);
+        assert_eq!(rows[2].tvq_nodes, 1 + 40);
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = e1_scale_sweep(&[1], 1);
+        let t = render_comparison_table("E1", "scale", &rows);
+        assert!(t.contains("speedup"));
+        let rows = c1_chain_sweep(&[2], 1);
+        let t = render_cost_table("C1", "depth", &rows);
+        assert!(t.contains("tvq nodes"));
+    }
+}

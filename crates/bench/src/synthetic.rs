@@ -1,0 +1,229 @@
+//! Synthetic views and stylesheets for the §4.5 complexity experiments.
+//!
+//! * **Chains** ([`chain_view`] / [`chain_stylesheet`] / [`chain_database`])
+//!   — a view of depth `n` (one table per level, linked by foreign keys)
+//!   with a stylesheet of `n` rules, each selecting the next level. CTG and
+//!   TVQ stay linear in `n`; composition time should track the paper's
+//!   polynomial bound `O(|v|³ · max_a · max_b)` far below its worst case.
+//! * **Fans** ([`fan_stylesheet`]) — every rule fires `k` apply-templates
+//!   at the *same* child, so each CTG node has `k` incoming edges and the
+//!   TVQ duplicates `k^depth` nodes: the §4.5 exponential case that the
+//!   composition budget guards against.
+
+use xvc_rel::{parse_query, ColumnDef, ColumnType, Database, TableSchema, Value};
+use xvc_view::{SchemaTree, ViewNode};
+use xvc_xpath::{parse_path, parse_pattern};
+use xvc_xslt::{ApplyTemplates, OutputNode, Stylesheet, TemplateRule, DEFAULT_MODE};
+
+/// Table name for chain level `k` (0-based).
+fn level_table(k: usize) -> String {
+    format!("t{k}")
+}
+
+/// Element tag for chain level `k`.
+fn level_tag(k: usize) -> String {
+    format!("level{k}")
+}
+
+/// A chain view of `depth` levels: `level0` rows at the top, each deeper
+/// level keyed to its parent.
+pub fn chain_view(depth: usize) -> SchemaTree {
+    assert!(depth >= 1);
+    let mut v = SchemaTree::new();
+    let mut parent = v
+        .add_root_node(ViewNode::new(
+            1,
+            level_tag(0),
+            "b0",
+            parse_query(&format!("SELECT id, val FROM {}", level_table(0))).unwrap(),
+        ))
+        .unwrap();
+    for k in 1..depth {
+        parent = v
+            .add_child(
+                parent,
+                ViewNode::new(
+                    (k + 1) as u32,
+                    level_tag(k),
+                    format!("b{k}"),
+                    parse_query(&format!(
+                        "SELECT id, val FROM {} WHERE parent_id = $b{}.id",
+                        level_table(k),
+                        k - 1
+                    ))
+                    .unwrap(),
+                ),
+            )
+            .unwrap();
+    }
+    v
+}
+
+/// A stylesheet walking the chain: one rule per level, each wrapping its
+/// result and applying templates to the next level.
+pub fn chain_stylesheet(depth: usize) -> Stylesheet {
+    fan_stylesheet(depth, 1)
+}
+
+/// Like [`chain_stylesheet`], but each rule fires `fan` identical
+/// apply-templates nodes — `fan ≥ 2` triggers TVQ duplication (`fan^depth`
+/// nodes).
+pub fn fan_stylesheet(depth: usize, fan: usize) -> Stylesheet {
+    let mut rules = vec![TemplateRule::new(
+        parse_pattern("/").unwrap(),
+        vec![OutputNode::Element {
+            name: "root_out".into(),
+            attrs: vec![],
+            children: vec![OutputNode::ApplyTemplates(ApplyTemplates::new(
+                parse_path(&level_tag(0)).unwrap(),
+            ))],
+        }],
+    )];
+    for k in 0..depth {
+        let mut children: Vec<OutputNode> = Vec::new();
+        if k + 1 < depth {
+            for _ in 0..fan {
+                children.push(OutputNode::ApplyTemplates(ApplyTemplates::new(
+                    parse_path(&level_tag(k + 1)).unwrap(),
+                )));
+            }
+        } else {
+            children.push(OutputNode::ValueOf {
+                select: xvc_xpath::parse_expr(".").unwrap(),
+            });
+        }
+        let mut rule = TemplateRule::new(
+            parse_pattern(&level_tag(k)).unwrap(),
+            vec![OutputNode::Element {
+                name: format!("out{k}"),
+                attrs: vec![],
+                children,
+            }],
+        );
+        rule.mode = DEFAULT_MODE.to_owned();
+        rules.push(rule);
+    }
+    Stylesheet { rules }
+}
+
+/// A database instance for a chain of `depth` levels with `fanout` child
+/// rows per parent row (level 0 has `fanout` rows).
+pub fn chain_database(depth: usize, fanout: usize) -> Database {
+    let mut db = Database::new();
+    for k in 0..depth {
+        db.create_table(
+            TableSchema::new(
+                level_table(k),
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("parent_id", ColumnType::Int),
+                    ColumnDef::new("val", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let mut next_id = 1i64;
+    let mut parents: Vec<i64> = vec![0];
+    for k in 0..depth {
+        let mut level_ids = Vec::new();
+        for &p in &parents {
+            for j in 0..fanout {
+                let id = next_id;
+                next_id += 1;
+                db.insert(
+                    &level_table(k),
+                    vec![
+                        Value::Int(id),
+                        Value::Int(p),
+                        Value::Int((id * 7 + j as i64) % 100),
+                    ],
+                )
+                .unwrap();
+                level_ids.push(id);
+            }
+        }
+        parents = level_ids;
+    }
+    db
+}
+
+/// The catalog for [`chain_view`] of the given depth.
+pub fn chain_catalog(depth: usize) -> xvc_rel::Catalog {
+    chain_database(depth, 0).catalog()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_core::{compose, compose_with_options, ComposeOptions, Error};
+    use xvc_view::publish;
+    use xvc_xml::documents_equal_unordered;
+    use xvc_xslt::process;
+
+    #[test]
+    fn chain_composes_and_is_equivalent() {
+        for depth in [1, 3, 6] {
+            let v = chain_view(depth);
+            let x = chain_stylesheet(depth);
+            let db = chain_database(depth, 2);
+            let composed = compose(&v, &x, &db.catalog())
+                .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+            let (full, _) = publish(&v, &db).unwrap();
+            let expected = process(&x, &full).unwrap();
+            let (actual, _) = publish(&composed, &db).unwrap();
+            assert!(
+                documents_equal_unordered(&expected, &actual),
+                "depth {depth}:\n{}\nvs\n{}",
+                expected.to_xml(),
+                actual.to_xml()
+            );
+        }
+    }
+
+    #[test]
+    fn fan_duplicates_tvq_exponentially() {
+        // fan 2, depth 3 → 2^0 + 2^1 + 2^2 = 7 level nodes (+1 root entry).
+        let v = chain_view(3);
+        let x = fan_stylesheet(3, 2);
+        let ctg = xvc_core::build_ctg(&v, &x).unwrap();
+        let tvq =
+            xvc_core::build_tvq(&v, &x, &ctg, &chain_catalog(3), 10_000).unwrap();
+        assert_eq!(tvq.nodes.len(), 1 + 7);
+        // CTG itself stays linear.
+        assert_eq!(ctg.nodes.len(), 1 + 3);
+    }
+
+    #[test]
+    fn fan_equivalence_holds_despite_duplication() {
+        let v = chain_view(3);
+        let x = fan_stylesheet(3, 2);
+        let db = chain_database(3, 2);
+        let composed = compose(&v, &x, &db.catalog()).unwrap();
+        let (full, _) = publish(&v, &db).unwrap();
+        let expected = process(&x, &full).unwrap();
+        let (actual, _) = publish(&composed, &db).unwrap();
+        assert!(documents_equal_unordered(&expected, &actual));
+    }
+
+    #[test]
+    fn budget_stops_fan_blowup() {
+        let v = chain_view(12);
+        let x = fan_stylesheet(12, 2);
+        let result = compose_with_options(
+            &v,
+            &x,
+            &chain_catalog(12),
+            ComposeOptions { tvq_limit: 500, ..ComposeOptions::default() },
+        );
+        assert!(matches!(result, Err(Error::TvqTooLarge { limit: 500 })));
+    }
+
+    #[test]
+    fn chain_database_sizes() {
+        let db = chain_database(3, 2);
+        assert_eq!(db.table("t0").unwrap().len(), 2);
+        assert_eq!(db.table("t1").unwrap().len(), 4);
+        assert_eq!(db.table("t2").unwrap().len(), 8);
+    }
+}

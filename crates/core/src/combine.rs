@@ -1,0 +1,166 @@
+//! `COMBINE(t, p)` — unification of select and match tree patterns (§3.5,
+//! Figure 8; predicate conjunction per §5.1).
+//!
+//! The new query context node of the select pattern `t` and the (single)
+//! context node of the match pattern `p` refer to the same schema-tree
+//! node; they are unified, then parents are unified upward as long as both
+//! exist. Where the match chain extends above the select pattern's top,
+//! the select pattern is extended. Predicates of unified nodes are
+//! conjoined.
+
+use xvc_view::SchemaTree;
+
+use crate::error::{Error, Result};
+use crate::tree_pattern::TreePattern;
+
+/// Combines a select pattern `t` (from [`crate::selectq()`]) with a match
+/// pattern `p` (from [`crate::matchq()`]) into the select-match subtree for
+/// a CTG edge.
+pub fn combine(view: &SchemaTree, t: &TreePattern, p: &TreePattern) -> Result<TreePattern> {
+    let mut out = t.clone();
+    let mut u_t = out.new_context;
+    let mut u_p = p.context;
+    loop {
+        if out.view(u_t) != p.view(u_p) {
+            // The paper: "as COMBINE is used in this paper, they are
+            // guaranteed to be the same schema-tree node" — reaching this
+            // branch means the caller paired incompatible patterns.
+            return Err(Error::NotComposable {
+                reason: format!(
+                    "COMBINE unification failed: select pattern node {:?} vs \
+                     match pattern node {:?}",
+                    view.tag(out.view(u_t)),
+                    view.tag(p.view(u_p)),
+                ),
+            });
+        }
+        for pred in p.predicates(u_p) {
+            out.add_predicate(u_t, pred.clone());
+        }
+        match (out.parent(u_t), p.parent(u_p)) {
+            (_, None) => break,
+            (Some(a), Some(b)) => {
+                u_t = a;
+                u_p = b;
+            }
+            (None, Some(b)) => {
+                // Extend the select pattern upward with the match chain.
+                let a = out.add_parent_above(u_t, p.view(b));
+                u_t = a;
+                u_p = b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchq::matchq;
+    use crate::paper_fixtures::figure1_view;
+    use crate::selectq::selectq;
+    use xvc_view::ViewNodeId;
+    use xvc_xpath::{parse_path, parse_pattern};
+
+    fn by_id(view: &SchemaTree, id: u32) -> ViewNodeId {
+        view.find_by_paper_id(id).unwrap()
+    }
+
+    #[test]
+    fn figure8_combine() {
+        let v = figure1_view();
+        // t: select(a in R3) from (4, confstat) to (5, confroom).
+        let t = selectq(
+            &v,
+            by_id(&v, 4),
+            &parse_path("../hotel_available/../confroom").unwrap(),
+            by_id(&v, 5),
+        )
+        .unwrap()
+        .remove(0);
+        // p: match(R4) at (5, confroom).
+        let p = matchq(&v, by_id(&v, 5), &parse_pattern("metro/hotel/confroom").unwrap())
+            .unwrap()
+            .unwrap();
+        let smt = combine(&v, &t, &p).unwrap();
+        // Figure 8 bottom: metro on top, hotel below, then the three
+        // siblings — 5 nodes in total.
+        assert_eq!(smt.len(), 5, "{}", smt.render(&v));
+        assert_eq!(smt.view(smt.root()), by_id(&v, 1));
+        assert_eq!(smt.view(smt.context), by_id(&v, 4));
+        assert_eq!(smt.view(smt.new_context), by_id(&v, 5));
+        let rendered = smt.render(&v);
+        assert!(rendered.contains("metro"));
+        assert!(rendered.contains("hotel_available"));
+    }
+
+    #[test]
+    fn combine_merges_predicates() {
+        let v = figure1_view();
+        let t = selectq(
+            &v,
+            by_id(&v, 4),
+            &parse_path("../hotel_available/../confroom[@capacity>250]").unwrap(),
+            by_id(&v, 5),
+        )
+        .unwrap()
+        .remove(0);
+        let p = matchq(
+            &v,
+            by_id(&v, 5),
+            &parse_pattern("metro[@metroname=\"chicago\"]/hotel/confroom").unwrap(),
+        )
+        .unwrap()
+        .unwrap();
+        let smt = combine(&v, &t, &p).unwrap();
+        // The new-context confroom keeps its select predicate; the metro
+        // node (added by extension) gains the match predicate.
+        assert_eq!(smt.predicates(smt.new_context).len(), 1);
+        let root = smt.root();
+        assert_eq!(smt.view(root), by_id(&v, 1));
+        assert_eq!(smt.predicates(root).len(), 1);
+        assert_eq!(
+            smt.predicates(root)[0].to_string(),
+            "@metroname = 'chicago'"
+        );
+    }
+
+    #[test]
+    fn combine_simple_single_node_match() {
+        let v = figure1_view();
+        // Edge e2: select "hotel/confstat" from metro, match "confstat".
+        let t = selectq(
+            &v,
+            by_id(&v, 1),
+            &parse_path("hotel/confstat").unwrap(),
+            by_id(&v, 4),
+        )
+        .unwrap()
+        .remove(0);
+        let p = matchq(&v, by_id(&v, 4), &parse_pattern("confstat").unwrap())
+            .unwrap()
+            .unwrap();
+        let smt = combine(&v, &t, &p).unwrap();
+        // metro → hotel → confstat chain; context metro, new ctx confstat.
+        assert_eq!(smt.len(), 3);
+        assert_eq!(smt.view(smt.context), by_id(&v, 1));
+        assert_eq!(smt.view(smt.new_context), by_id(&v, 4));
+    }
+
+    #[test]
+    fn root_edge_combine() {
+        let v = figure1_view();
+        // Edge e1: select "metro" from the root, match "metro".
+        let t = selectq(&v, v.root(), &parse_path("metro").unwrap(), by_id(&v, 1))
+            .unwrap()
+            .remove(0);
+        let p = matchq(&v, by_id(&v, 1), &parse_pattern("metro").unwrap())
+            .unwrap()
+            .unwrap();
+        let smt = combine(&v, &t, &p).unwrap();
+        assert_eq!(smt.len(), 2); // root + metro
+        assert!(v.is_root(smt.view(smt.context)));
+        assert_eq!(smt.view(smt.new_context), by_id(&v, 1));
+    }
+}

@@ -1,0 +1,308 @@
+//! The top-level composition entry points (Figure 9's `Compose(v, x)`).
+
+use xvc_rel::Catalog;
+use xvc_view::SchemaTree;
+use xvc_xslt::{rewrite, Stylesheet};
+
+use crate::ctg::build_ctg;
+use crate::error::Result;
+use crate::stylesheet_view::build_stylesheet_view;
+use crate::tvq::{build_tvq, DEFAULT_TVQ_LIMIT};
+
+/// Tuning knobs for composition.
+#[derive(Debug, Clone, Copy)]
+pub struct ComposeOptions {
+    /// Budget for TVQ duplication (§4.5's exponential case). Exceeding it
+    /// yields [`crate::Error::TvqTooLarge`] instead of unbounded blowup.
+    pub tvq_limit: usize,
+    /// Run the Kim-style simplification pass (`xvc_rel::optimize`) over
+    /// every generated tag query: trivial derived tables unnest, duplicate
+    /// conjuncts collapse. Off by default so the artifacts match the
+    /// paper's figures verbatim.
+    pub optimize: bool,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions {
+            tvq_limit: DEFAULT_TVQ_LIMIT,
+            optimize: false,
+        }
+    }
+}
+
+/// Composes an `XSLT_basic` (+ predicates, §5.1) stylesheet with a
+/// schema-tree view query, producing the stylesheet view `v'` with
+/// `v'(I) = x(v(I))` for every instance `I` (document order excluded).
+///
+/// Stylesheets using flow control, general `value-of` or conflicting rules
+/// should go through [`compose_with_rewrites`]; recursive stylesheets
+/// through [`crate::compose_recursive`].
+pub fn compose(view: &SchemaTree, stylesheet: &Stylesheet, catalog: &Catalog) -> Result<SchemaTree> {
+    compose_with_options(view, stylesheet, catalog, ComposeOptions::default())
+}
+
+/// [`compose`] with explicit options.
+pub fn compose_with_options(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+    options: ComposeOptions,
+) -> Result<SchemaTree> {
+    view.validate()?;
+    let ctg = build_ctg(view, stylesheet)?;
+    let tvq = build_tvq(view, stylesheet, &ctg, catalog, options.tvq_limit)?;
+    let mut composed = build_stylesheet_view(view, stylesheet, &tvq, catalog)?;
+    if options.optimize {
+        for vid in composed.node_ids() {
+            if let Some(node) = composed.node_mut(vid) {
+                if let Some(q) = &mut node.query {
+                    xvc_rel::optimize(q, catalog)?;
+                }
+            }
+        }
+    }
+    Ok(composed)
+}
+
+/// Lowers the stylesheet through the §5.2 `XSLT_transformable` rewrites
+/// (flow control, general `value-of`, conflict resolution) and then
+/// composes. Returns the stylesheet view together with the lowered
+/// stylesheet actually composed (useful for inspection).
+pub fn compose_with_rewrites(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+) -> Result<(SchemaTree, Stylesheet)> {
+    let lowered = rewrite::lower_to_basic(stylesheet)?;
+    let v = compose_with_options(view, &lowered, catalog, ComposeOptions::default())?;
+    Ok((v, lowered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixtures::{
+        figure1_view, figure2_catalog, sample_database, FIGURE15_XSLT, FIGURE17_XSLT,
+    };
+    use xvc_view::publish;
+    use xvc_xml::documents_equal_unordered;
+    use xvc_xslt::parse::FIGURE4_XSLT;
+    use xvc_xslt::{parse_stylesheet, process};
+
+    /// The headline theorem: `v'(I) = x(v(I))`, checked without document
+    /// order.
+    fn assert_equivalent(xslt: &str) {
+        let v = figure1_view();
+        let x = parse_stylesheet(xslt).unwrap();
+        let db = sample_database();
+        let composed = compose(&v, &x, &figure2_catalog())
+            .unwrap_or_else(|e| panic!("compose failed: {e}"));
+        let (view_doc, _) = publish(&v, &db).unwrap();
+        let expected = process(&x, &view_doc).unwrap();
+        let (actual, _) = publish(&composed, &db).unwrap();
+        assert!(
+            documents_equal_unordered(&expected, &actual),
+            "expected (x(v(I))):\n{}\nactual (v'(I)):\n{}\nstylesheet view:\n{}",
+            expected.to_pretty_xml(),
+            actual.to_pretty_xml(),
+            composed.render(),
+        );
+    }
+
+    /// Same theorem, for stylesheets that first need the §5.2 rewrites.
+    fn assert_equivalent_with_rewrites(xslt: &str) {
+        let v = figure1_view();
+        let x = parse_stylesheet(xslt).unwrap();
+        let db = sample_database();
+        let (composed, lowered) = compose_with_rewrites(&v, &x, &figure2_catalog())
+            .unwrap_or_else(|e| panic!("compose_with_rewrites failed: {e}"));
+        let (view_doc, _) = publish(&v, &db).unwrap();
+        let expected = process(&x, &view_doc).unwrap();
+        let (actual, _) = publish(&composed, &db).unwrap();
+        assert!(
+            documents_equal_unordered(&expected, &actual),
+            "expected (x(v(I))):\n{}\nactual (v'(I)):\n{}\nlowered rules: {}\nstylesheet view:\n{}",
+            expected.to_pretty_xml(),
+            actual.to_pretty_xml(),
+            lowered.len(),
+            composed.render(),
+        );
+    }
+
+    #[test]
+    fn figure4_composes_and_matches_engine() {
+        assert_equivalent(FIGURE4_XSLT);
+    }
+
+    #[test]
+    fn figure15_forced_unbinding_matches_engine() {
+        assert_equivalent(FIGURE15_XSLT);
+    }
+
+    #[test]
+    fn figure7c_structure() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let composed = compose(&v, &x, &figure2_catalog()).unwrap();
+        let r = composed.render();
+        // The HTML skeleton survives as literals.
+        assert!(r.contains("<HTML>  [literal]"), "{r}");
+        assert!(r.contains("<BODY>  [literal]"), "{r}");
+        // result_metro carries Qm_new; result_confstat carries Qs_new;
+        // confroom carries Qc_new.
+        assert!(r.contains("<result_metro>"), "{r}");
+        assert!(r.contains("SELECT metroid, metroname"), "{r}");
+        assert!(r.contains("<result_confstat>"), "{r}");
+        assert!(r.contains("SELECT SUM(capacity), TEMP.*"), "{r}");
+        assert!(r.contains("<confroom>"), "{r}");
+        assert!(r.contains("EXISTS ("), "{r}");
+    }
+
+    #[test]
+    fn figure17_predicates_match_engine() {
+        assert_equivalent(FIGURE17_XSLT);
+    }
+
+    #[test]
+    fn figure17_composed_sql_has_predicates() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE17_XSLT).unwrap();
+        let composed = compose(&v, &x, &figure2_catalog()).unwrap();
+        let r = composed.render();
+        // Figure 20's conditions, modulo our column naming (see DESIGN.md):
+        assert!(r.contains("capacity > 250"), "{r}");
+        assert!(r.contains("$s_new.sum < 200"), "{r}");
+        assert!(r.contains("$m_new.metroname = 'chicago'"), "{r}");
+        assert!(r.contains("HAVING SUM(capacity) > 100"), "{r}");
+    }
+
+    #[test]
+    fn flow_control_if_composes_via_rewrites() {
+        assert_equivalent_with_rewrites(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>
+                 <xsl:template match="metro">
+                   <m>
+                     <xsl:apply-templates select="hotel"/>
+                   </m>
+                 </xsl:template>
+                 <xsl:template match="hotel">
+                   <h>
+                     <xsl:if test="@pool='yes'"><has_pool/></xsl:if>
+                   </h>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn flow_control_choose_composes_via_rewrites() {
+        assert_equivalent_with_rewrites(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>
+                 <xsl:template match="hotel">
+                   <h>
+                     <xsl:choose>
+                       <xsl:when test="@pool='yes'"><pool/></xsl:when>
+                       <xsl:when test="@gym='yes'"><gym_only/></xsl:when>
+                       <xsl:otherwise><plain/></xsl:otherwise>
+                     </xsl:choose>
+                   </h>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn value_of_attribute_composes() {
+        assert_equivalent(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>
+                 <xsl:template match="metro">
+                   <m><xsl:value-of select="@metroname"/></m>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn nested_value_of_context_composes() {
+        // value-of "." nested under a literal element: a context-copy node.
+        assert_equivalent(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>
+                 <xsl:template match="hotel">
+                   <wrapper><inner><xsl:value-of select="."/></inner></wrapper>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn copy_of_grafts_original_subtree() {
+        assert_equivalent(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>
+                 <xsl:template match="hotel">
+                   <xsl:copy-of select="."/>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn general_value_of_composes_via_rewrites() {
+        assert_equivalent_with_rewrites(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>
+                 <xsl:template match="metro">
+                   <m><xsl:value-of select="hotel/confroom"/></m>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn multiple_applies_compose() {
+        // Two apply-templates reaching different nodes.
+        assert_equivalent(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>
+                 <xsl:template match="metro">
+                   <m>
+                     <xsl:apply-templates select="confstat" mode="summary"/>
+                     <xsl:apply-templates select="hotel"/>
+                   </m>
+                 </xsl:template>
+                 <xsl:template match="confstat" mode="summary"><sum_node/></xsl:template>
+                 <xsl:template match="hotel"><h><xsl:value-of select="@hotelname"/></h></xsl:template>
+               </xsl:stylesheet>"#,
+        );
+    }
+
+    #[test]
+    fn text_output_is_rejected_with_guidance() {
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet><xsl:template match="/"><a>text!</a></xsl:template></xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let err = compose(&v, &x, &figure2_catalog()).unwrap_err();
+        assert!(matches!(err, crate::Error::NotComposable { .. }));
+        assert!(err.to_string().contains("attribute-only"));
+    }
+
+    #[test]
+    fn figure16_structure() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE15_XSLT).unwrap();
+        let composed = compose(&v, &x, &figure2_catalog()).unwrap();
+        let r = composed.render();
+        // R2 had no output: result_confstat's query swallowed Qm (forced
+        // unbinding) — a nested derived table over metroarea appears.
+        assert!(r.contains("<result_confstat>"), "{r}");
+        assert!(r.contains("FROM metroarea"), "{r}");
+        assert!(!r.contains("result_metro"), "{r}");
+    }
+}

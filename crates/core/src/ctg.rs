@@ -1,0 +1,406 @@
+//! The Context Transition Graph (§3.1, §4.1; Figure 6).
+//!
+//! `CTG(v, x)` is a multigraph whose nodes pair schema-tree nodes with
+//! template rules that may match their instances, and whose edges record
+//! possible context transitions: an edge `((n1,r1), (n2,r2), a)` exists
+//! when rule `r1`, fired on an instance of `n1`, can — through the
+//! apply-templates node `a` — lead rule `r2` to fire on an instance of
+//! `n2` (mode(a) = mode(r2)). Each edge carries the select-match subtree
+//! produced by `COMBINE(SELECTQ(n1, a, n2), MATCHQ(n2, r2))`.
+
+use xvc_view::{SchemaTree, ViewNodeId};
+use xvc_xslt::{Stylesheet, DEFAULT_MODE};
+
+use crate::combine::combine;
+use crate::error::{Error, Result};
+use crate::matchq::matchq;
+use crate::selectq::selectq_all;
+use crate::tree_pattern::TreePattern;
+
+/// A CTG node `(n, r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtgNode {
+    /// The schema-tree node (possibly the implied root).
+    pub view: ViewNodeId,
+    /// Index of the template rule in the stylesheet.
+    pub rule: usize,
+}
+
+/// A CTG edge with its select-match subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtgEdge {
+    /// Index of the source node in [`Ctg::nodes`].
+    pub from: usize,
+    /// Index of the target node in [`Ctg::nodes`].
+    pub to: usize,
+    /// Index of the apply-templates node within the source rule
+    /// (document order, per [`xvc_xslt::TemplateRule::apply_templates`]).
+    pub apply_idx: usize,
+    /// The select-match subtree `smt(e)`.
+    pub smt: TreePattern,
+}
+
+/// The context transition graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctg {
+    /// Nodes, in (view pre-order, rule index) order before pruning.
+    pub nodes: Vec<CtgNode>,
+    /// Edges, grouped by source in construction order.
+    pub edges: Vec<CtgEdge>,
+}
+
+impl Ctg {
+    /// Entry nodes: `(root, r)` pairs in the default mode — where XSLT
+    /// processing starts (`PROCESS(x, root, #default)`).
+    pub fn entry_nodes(&self, view: &SchemaTree, stylesheet: &Stylesheet) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                view.is_root(n.view) && stylesheet.rules[n.rule].mode == DEFAULT_MODE
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Outgoing edge indices of a node, in construction order.
+    pub fn outgoing(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True if the edge relation contains a cycle (recursion, §5.3).
+    pub fn has_cycle(&self) -> Option<usize> {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.nodes.len()];
+        for start in 0..self.nodes.len() {
+            if color[start] != Color::White {
+                continue;
+            }
+            // stack of (node, next-edge-cursor)
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+                let succs: Vec<usize> = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == node)
+                    .map(|e| e.to)
+                    .collect();
+                if *cursor < succs.len() {
+                    let next = succs[*cursor];
+                    *cursor += 1;
+                    match color[next] {
+                        Color::Gray => return Some(next),
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            stack.push((next, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders the CTG as Graphviz DOT (for visual inspection of larger
+    /// compositions; the Figure 6 artwork is a drawing of this graph).
+    pub fn to_dot(&self, view: &SchemaTree, stylesheet: &Stylesheet) -> String {
+        let mut out = String::from("digraph ctg {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let view_label = if view.is_root(n.view) {
+                "(0, root)".to_owned()
+            } else {
+                let vn = view.node(n.view).expect("non-root");
+                format!("({}, {})", vn.id, vn.tag)
+            };
+            out.push_str(&format!(
+                "  n{i} [label=\"({view_label}, R{})\"];\n",
+                n.rule + 1
+            ));
+        }
+        for e in &self.edges {
+            let select = stylesheet.rules[self.nodes[e.from].rule]
+                .apply_templates()
+                .get(e.apply_idx)
+                .map(|a| a.select.to_string())
+                .unwrap_or_default()
+                .replace('\"', "\\\"");
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{select}\"];\n",
+                e.from, e.to
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the CTG in the Figure 6 style: one line per node, edges
+    /// with their select-match subtrees beneath.
+    pub fn render(&self, view: &SchemaTree, stylesheet: &Stylesheet) -> String {
+        let mut out = String::new();
+        let label = |i: usize| {
+            let n = &self.nodes[i];
+            let view_label = if view.is_root(n.view) {
+                "(0, root)".to_owned()
+            } else {
+                let vn = view.node(n.view).expect("non-root");
+                format!("({}, {})", vn.id, vn.tag)
+            };
+            format!("({view_label}, R{})", n.rule + 1)
+        };
+        out.push_str("nodes:\n");
+        for i in 0..self.nodes.len() {
+            out.push_str(&format!("  {}\n", label(i)));
+        }
+        out.push_str("edges:\n");
+        for (k, e) in self.edges.iter().enumerate() {
+            let select = stylesheet.rules[self.nodes[e.from].rule]
+                .apply_templates()
+                .get(e.apply_idx)
+                .map(|a| a.select.to_string())
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  e{}: {} -> {}  [select {}]\n",
+                k + 1,
+                label(e.from),
+                label(e.to),
+                select,
+            ));
+            for line in e.smt.render(view).lines() {
+                out.push_str("      ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Builds `CTG(v, x)` (Figure 9 lines 1–15), including the dead-node
+/// pruning of line 15.
+pub fn build_ctg(view: &SchemaTree, stylesheet: &Stylesheet) -> Result<Ctg> {
+    // Lines 4–7: nodes (n, r) with MATCHQ(n, r) ≠ NULL.
+    let mut nodes = Vec::new();
+    for vid in view.ids() {
+        for (ri, rule) in stylesheet.rules.iter().enumerate() {
+            if matchq(view, vid, &rule.match_pattern)?.is_some() {
+                nodes.push(CtgNode { view: vid, rule: ri });
+            }
+        }
+    }
+
+    // Lines 8–14: edges.
+    let mut edges = Vec::new();
+    for (i, n1) in nodes.iter().enumerate() {
+        let r1 = &stylesheet.rules[n1.rule];
+        for (apply_idx, a) in r1.apply_templates().iter().enumerate() {
+            for (j, n2) in nodes.iter().enumerate() {
+                let r2 = &stylesheet.rules[n2.rule];
+                if a.mode != r2.mode {
+                    continue;
+                }
+                let Some(p) = matchq(view, n2.view, &r2.match_pattern)? else {
+                    continue;
+                };
+                for t in selectq_all(view, n1.view, &a.select)? {
+                    if t.view(t.new_context) != n2.view {
+                        continue;
+                    }
+                    let smt = combine(view, &t, &p)?;
+                    edges.push(CtgEdge {
+                        from: i,
+                        to: j,
+                        apply_idx,
+                        smt,
+                    });
+                }
+            }
+        }
+    }
+
+    // Line 15: repeatedly delete nodes without incoming edges, except the
+    // (root, r) entry nodes.
+    let mut ctg = Ctg { nodes, edges };
+    loop {
+        let keep: Vec<bool> = ctg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let is_entry = view.is_root(n.view)
+                    && stylesheet.rules[n.rule].mode == DEFAULT_MODE;
+                is_entry || ctg.edges.iter().any(|e| e.to == i)
+            })
+            .collect();
+        if keep.iter().all(|&k| k) {
+            break;
+        }
+        let mut remap = vec![usize::MAX; ctg.nodes.len()];
+        let mut new_nodes = Vec::new();
+        for (i, n) in ctg.nodes.iter().enumerate() {
+            if keep[i] {
+                remap[i] = new_nodes.len();
+                new_nodes.push(n.clone());
+            }
+        }
+        let new_edges = ctg
+            .edges
+            .iter()
+            .filter(|e| keep[e.from] && keep[e.to])
+            .map(|e| CtgEdge {
+                from: remap[e.from],
+                to: remap[e.to],
+                apply_idx: e.apply_idx,
+                smt: e.smt.clone(),
+            })
+            .collect();
+        ctg = Ctg {
+            nodes: new_nodes,
+            edges: new_edges,
+        };
+    }
+    if ctg.entry_nodes(view, stylesheet).is_empty() {
+        return Err(Error::NotComposable {
+            reason: "no template rule matches the document root in the default mode".into(),
+        });
+    }
+    Ok(ctg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixtures::figure1_view;
+    use xvc_xslt::parse::FIGURE4_XSLT;
+    use xvc_xslt::parse_stylesheet;
+
+    fn node_label(ctg: &Ctg, view: &SchemaTree, i: usize) -> (u32, usize) {
+        let n = &ctg.nodes[i];
+        let paper_id = if view.is_root(n.view) {
+            0
+        } else {
+            view.node(n.view).unwrap().id
+        };
+        (paper_id, n.rule)
+    }
+
+    #[test]
+    fn figure6_ctg() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        // Figure 6: four nodes — ((0,root),R1), ((1,metro),R2),
+        // ((4,confstat),R3), ((5,confroom),R4).
+        let mut labels: Vec<(u32, usize)> = (0..ctg.nodes.len())
+            .map(|i| node_label(&ctg, &v, i))
+            .collect();
+        labels.sort();
+        assert_eq!(labels, vec![(0, 0), (1, 1), (4, 2), (5, 3)]);
+        // Three edges e1, e2, e3 along the chain.
+        assert_eq!(ctg.edges.len(), 3);
+        assert!(ctg.has_cycle().is_none());
+        assert_eq!(ctg.entry_nodes(&v, &x).len(), 1);
+    }
+
+    #[test]
+    fn pruning_removes_unreachable_matches() {
+        // R3 (confstat) also matches the metro-level confstat (id 2), but
+        // nothing selects it — so ((2, confstat), R3) must be pruned.
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let metro_confstat = v.find_by_paper_id(2).unwrap();
+        assert!(ctg.nodes.iter().all(|n| n.view != metro_confstat));
+    }
+
+    #[test]
+    fn render_lists_nodes_and_edges() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let r = ctg.render(&v, &x);
+        assert!(r.contains("((0, root), R1)"));
+        assert!(r.contains("((4, confstat), R3)"));
+        assert!(r.contains("[select hotel/confstat]"));
+        assert!(r.contains("query context node"));
+    }
+
+    #[test]
+    fn dot_rendering_is_wellformed() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let dot = ctg.to_dot(&v, &x);
+        assert!(dot.starts_with("digraph ctg {"), "{dot}");
+        assert_eq!(dot.matches(" -> ").count(), 3, "{dot}");
+        assert!(dot.contains("(1, metro), R2"), "{dot}");
+        assert!(dot.contains("label=\"hotel/confstat\""), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
+    }
+
+    #[test]
+    fn detects_recursive_stylesheets() {
+        // A stylesheet that cycles between hotel and confstat via the
+        // parent axis.
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel">
+                   <h><xsl:apply-templates select="confstat"/></h>
+                 </xsl:template>
+                 <xsl:template match="confstat">
+                   <c><xsl:apply-templates select=".."/></c>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        assert!(ctg.has_cycle().is_some());
+    }
+
+    #[test]
+    fn no_root_rule_is_an_error() {
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"metro\"><m/></xsl:template></xsl:stylesheet>",
+        )
+        .unwrap();
+        assert!(matches!(
+            build_ctg(&v, &x),
+            Err(Error::NotComposable { .. })
+        ));
+    }
+
+    #[test]
+    fn modes_gate_edges() {
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro" mode="a"/></xsl:template>
+                 <xsl:template match="metro" mode="b"><m/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        // Mode mismatch: the metro rule is unreachable and gets pruned,
+        // leaving just the entry node with no edges.
+        let ctg = build_ctg(&v, &x).unwrap();
+        assert_eq!(ctg.edges.len(), 0);
+        assert_eq!(ctg.nodes.len(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the composition algorithm.
+
+use std::fmt;
+
+/// Result alias used throughout `xvc-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the composition algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The stylesheet is outside the composable fragment.
+    NotComposable {
+        /// Which construct is unsupported and why.
+        reason: String,
+    },
+    /// The CTG contains a cycle: the stylesheet is recursive over this
+    /// view. Use [`crate::compose_recursive`] (§5.3) instead.
+    RecursiveStylesheet {
+        /// A node on the cycle, rendered as `(view-id, rule-index)`.
+        witness: String,
+    },
+    /// A match pattern or select predicate resolves ambiguously over the
+    /// schema tree (e.g. a `//` step with several embeddings).
+    Ambiguous {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// TVQ duplication exceeded the configured node budget (the §4.5
+    /// exponential case).
+    TvqTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Error from the relational layer (e.g. while computing output
+    /// columns for GROUP BY preservation).
+    Rel(
+        /// The underlying error.
+        xvc_rel::Error,
+    ),
+    /// Error from the view layer (e.g. validation of the produced
+    /// stylesheet view).
+    View(
+        /// The underlying error.
+        xvc_view::Error,
+    ),
+    /// Error from the XSLT layer (e.g. a §5.2 rewrite failing).
+    Xslt(
+        /// The underlying error.
+        xvc_xslt::Error,
+    ),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotComposable { reason } => write!(f, "not composable: {reason}"),
+            Error::RecursiveStylesheet { witness } => write!(
+                f,
+                "stylesheet is recursive over this view (cycle through {witness}); \
+                 use compose_recursive (§5.3)"
+            ),
+            Error::Ambiguous { reason } => write!(f, "ambiguous: {reason}"),
+            Error::TvqTooLarge { limit } => write!(
+                f,
+                "traverse view query exceeds the {limit}-node budget \
+                 (§4.5 exponential duplication)"
+            ),
+            Error::Rel(e) => write!(f, "relational error: {e}"),
+            Error::View(e) => write!(f, "view error: {e}"),
+            Error::Xslt(e) => write!(f, "XSLT error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rel(e) => Some(e),
+            Error::View(e) => Some(e),
+            Error::Xslt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xvc_rel::Error> for Error {
+    fn from(e: xvc_rel::Error) -> Self {
+        Error::Rel(e)
+    }
+}
+
+impl From<xvc_view::Error> for Error {
+    fn from(e: xvc_view::Error) -> Self {
+        Error::View(e)
+    }
+}
+
+impl From<xvc_xslt::Error> for Error {
+    fn from(e: xvc_xslt::Error) -> Self {
+        Error::Xslt(e)
+    }
+}

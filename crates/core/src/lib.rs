@@ -1,0 +1,60 @@
+//! # `xvc-core` — the SIGMOD'03 view-composition algorithm
+//!
+//! Given a schema-tree view query `v` ([`xvc_view::SchemaTree`]) and an
+//! XSLT stylesheet `x` ([`xvc_xslt::Stylesheet`]), [`compose`] produces the
+//! **stylesheet view** `v'`: a new schema-tree query such that for every
+//! relational database instance `I`
+//!
+//! ```text
+//! v'(I) = x(v(I))        (document order excluded, §2.2.2)
+//! ```
+//!
+//! The implementation follows the paper's four steps (Figure 9):
+//!
+//! 1. **CTG** ([`ctg`]) — the context transition graph: nodes `(n, r)`
+//!    pair schema-tree nodes with template rules that can match their
+//!    instances ([`matchq()`]); edges carry *select-match subtrees*
+//!    ([`tree_pattern::TreePattern`]) built by [`selectq()`] + [`combine()`].
+//! 2. **TVQ** ([`tvq`]) — the traverse view query: the CTG unrolled into a
+//!    tree (duplicating shared nodes — the §4.5 exponential case, guarded
+//!    by a size limit), with each select-match subtree translated into a
+//!    parameterized SQL tag query by [`unbind`] (Figures 10–13: derived
+//!    tables up to the LCA, `GROUP BY` preservation for aggregates, and
+//!    `EXISTS` existence/sibling conditions via `NEST`).
+//! 3. **OTT** — output tag trees for each rule's output fragment.
+//! 4. **Stylesheet view** ([`stylesheet_view`]) — OTT and TVQ merged,
+//!    pseudo-roots removed, queries pushed down (with *forced unbinding*
+//!    for rules whose fragment starts with apply-templates, Figures 15/16).
+//!
+//! §5 extensions: predicates ride along in the tree patterns and are pushed
+//! into `WHERE`/`HAVING` clauses ([`predicate`]); flow control and conflict
+//! resolution are lowered first via `xvc_xslt::rewrite`
+//! ([`compose_with_rewrites`]); recursive stylesheets are partially pushed
+//! down per §5.3 ([`recursion`]).
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod ctg;
+pub mod error;
+pub mod matchq;
+pub mod paper_fixtures;
+pub mod predicate;
+pub mod recursion;
+pub mod selectq;
+pub mod stylesheet_view;
+pub mod tree_pattern;
+pub mod tvq;
+pub mod unbind;
+
+mod compose;
+
+pub use compose::{compose, compose_with_options, compose_with_rewrites, ComposeOptions};
+pub use combine::combine;
+pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
+pub use error::{Error, Result};
+pub use matchq::matchq;
+pub use recursion::{compose_recursive, RecursiveComposition};
+pub use selectq::{selectq, selectq_all};
+pub use tree_pattern::{TpId, TreePattern};
+pub use tvq::{build_tvq, Tvq, TvqNode};

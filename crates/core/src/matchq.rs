@@ -1,0 +1,243 @@
+//! `MATCHQ(n, r)` — abstract pattern matching over the schema tree (§3.5).
+//!
+//! Checks whether the template path `match(r)` matches some suffix of the
+//! path from the (implied) document root to schema-tree node `n`. Because
+//! `XSLT_basic` has no descendant axis, a match corresponds to a unique
+//! simple path, returned as a chain-shaped [`TreePattern`] whose context
+//! node is `n` (Figure 8, right). With the `//` extension, all embeddings
+//! are enumerated and ambiguity is reported as an error.
+
+use xvc_view::{SchemaTree, ViewNodeId};
+use xvc_xpath::{Axis, NodeTest, PathExpr};
+
+use crate::error::{Error, Result};
+use crate::selectq::attach_predicates;
+use crate::tree_pattern::TreePattern;
+
+/// Abstractly matches `pattern` against view node `n`, returning the
+/// tree-pattern chain if it matches, `None` otherwise.
+pub fn matchq(
+    view: &SchemaTree,
+    n: ViewNodeId,
+    pattern: &PathExpr,
+) -> Result<Option<TreePattern>> {
+    // Pattern "/" matches exactly the implied document root.
+    if pattern.steps.is_empty() {
+        if pattern.absolute && view.is_root(n) {
+            return Ok(Some(TreePattern::single(n)));
+        }
+        return Ok(None);
+    }
+    if view.is_root(n) {
+        return Ok(None); // element patterns never match the root
+    }
+
+    // Enumerate embeddings: chains of view nodes ending at n, aligned with
+    // the pattern steps.
+    let mut embeddings: Vec<Vec<ViewNodeId>> = Vec::new();
+    embed(view, n, pattern, pattern.steps.len() - 1, &mut vec![n], &mut embeddings)?;
+    match embeddings.len() {
+        0 => Ok(None),
+        1 => {
+            // `chain` is bottom-up: chain[0] = n, then its matched
+            // ancestors. Anchor the pattern at n and grow upward.
+            let chain = &embeddings[0];
+            let mut tp = TreePattern::single(chain[0]);
+            let mut top = tp.context;
+            for vid in chain.iter().skip(1) {
+                top = tp.add_parent_above(top, *vid);
+            }
+            // Attach step predicates bottom-up (last step ↦ n), expanding
+            // path predicates into existence branches just as SELECTQ does.
+            let mut cur = tp.context;
+            for step in pattern.steps.iter().rev() {
+                attach_predicates(view, &mut tp, cur, &step.predicates)?;
+                match tp.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            // Absolute pattern whose first step is on the child axis:
+            // anchor the chain at the implied root.
+            if pattern.absolute && pattern.steps[0].axis == Axis::Child {
+                let top = tp.root();
+                let top_view = tp.view(top);
+                if let Some(parent) = view.parent(top_view) {
+                    debug_assert!(view.is_root(parent));
+                    tp.add_parent_above(top, parent);
+                }
+            }
+            Ok(Some(tp))
+        }
+        _ => Err(Error::Ambiguous {
+            reason: format!(
+                "pattern `{pattern}` has {} embeddings ending at view node {}",
+                embeddings.len(),
+                view.node(n).map(|x| x.id).unwrap_or(0)
+            ),
+        }),
+    }
+}
+
+/// Recursively extends a partial embedding upward. `chain` holds the view
+/// nodes matched so far, bottom (n) first.
+fn embed(
+    view: &SchemaTree,
+    cur: ViewNodeId,
+    pattern: &PathExpr,
+    step_idx: usize,
+    chain: &mut Vec<ViewNodeId>,
+    out: &mut Vec<Vec<ViewNodeId>>,
+) -> Result<()> {
+    let step = &pattern.steps[step_idx];
+    if !test_accepts(view, cur, &step.test) {
+        return Ok(());
+    }
+    if step_idx == 0 {
+        // First step: check the anchoring constraint.
+        let anchored = match (pattern.absolute, step.axis) {
+            (true, Axis::Child) => view
+                .parent(cur)
+                .map(|p| view.is_root(p))
+                .unwrap_or(false),
+            // `//name`: anywhere below the root.
+            (true, _) => true,
+            (false, _) => true,
+        };
+        if anchored {
+            out.push(chain.clone());
+        }
+        return Ok(());
+    }
+    // Where must the previous step match?
+    match step.axis {
+        Axis::Child => {
+            if let Some(p) = view.parent(cur) {
+                if !view.is_root(p) {
+                    chain.push(p);
+                    embed(view, p, pattern, step_idx - 1, chain, out)?;
+                    chain.pop();
+                }
+            }
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            let start = if step.axis == Axis::DescendantOrSelf {
+                Some(cur)
+            } else {
+                view.parent(cur)
+            };
+            let mut anc = start;
+            while let Some(a) = anc {
+                if !view.is_root(a) {
+                    chain.push(a);
+                    embed(view, a, pattern, step_idx - 1, chain, out)?;
+                    chain.pop();
+                }
+                anc = view.parent(a);
+            }
+        }
+        axis => {
+            return Err(Error::NotComposable {
+                reason: format!("axis {} in a match pattern", axis.name()),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn test_accepts(view: &SchemaTree, n: ViewNodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Wildcard => !view.is_root(n),
+        NodeTest::Name(name) => view.tag(n) == Some(name.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixtures::figure1_view;
+    use xvc_xpath::parse_pattern;
+
+    fn by_id(view: &SchemaTree, id: u32) -> ViewNodeId {
+        view.find_by_paper_id(id).unwrap()
+    }
+
+    #[test]
+    fn root_pattern_matches_root_only() {
+        let v = figure1_view();
+        let p = parse_pattern("/").unwrap();
+        assert!(matchq(&v, v.root(), &p).unwrap().is_some());
+        assert!(matchq(&v, by_id(&v, 1), &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn figure4_rule_matches() {
+        let v = figure1_view();
+        // match(R2) = "metro" matches node (1, metro).
+        let p = parse_pattern("metro").unwrap();
+        let tp = matchq(&v, by_id(&v, 1), &p).unwrap().unwrap();
+        assert_eq!(tp.len(), 1);
+        assert_eq!(tp.view(tp.context), by_id(&v, 1));
+        // match(R3) = "confstat" matches BOTH confstat nodes (ids 2 and 4).
+        let p = parse_pattern("confstat").unwrap();
+        assert!(matchq(&v, by_id(&v, 2), &p).unwrap().is_some());
+        assert!(matchq(&v, by_id(&v, 4), &p).unwrap().is_some());
+        // match(R4) = "metro/hotel/confroom" matches (5, confroom) with a
+        // three-node chain (Figure 8).
+        let p = parse_pattern("metro/hotel/confroom").unwrap();
+        let tp = matchq(&v, by_id(&v, 5), &p).unwrap().unwrap();
+        assert_eq!(tp.len(), 3);
+        assert_eq!(tp.view(tp.context), by_id(&v, 5));
+        assert_eq!(tp.view(tp.root()), by_id(&v, 1));
+        // ... but not the metro-level confstat (id 2).
+        assert!(matchq(&v, by_id(&v, 2), &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn wrong_names_do_not_match() {
+        let v = figure1_view();
+        let p = parse_pattern("hotel/confstat").unwrap();
+        assert!(matchq(&v, by_id(&v, 2), &p).unwrap().is_none()); // metro-level confstat
+        assert!(matchq(&v, by_id(&v, 4), &p).unwrap().is_some()); // hotel-level confstat
+    }
+
+    #[test]
+    fn absolute_patterns_anchor() {
+        let v = figure1_view();
+        let p = parse_pattern("/metro").unwrap();
+        let tp = matchq(&v, by_id(&v, 1), &p).unwrap().unwrap();
+        // Chain includes the implied root for the anchoring.
+        assert_eq!(tp.len(), 2);
+        assert!(v.is_root(tp.view(tp.root())));
+        let p = parse_pattern("/hotel").unwrap();
+        assert!(matchq(&v, by_id(&v, 3), &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn descendant_patterns_resolve() {
+        let v = figure1_view();
+        let p = parse_pattern("metro//confroom").unwrap();
+        let tp = matchq(&v, by_id(&v, 5), &p).unwrap().unwrap();
+        assert_eq!(tp.len(), 2); // metro and confroom; hotel is skipped
+        let p = parse_pattern("//confstat").unwrap();
+        assert!(matchq(&v, by_id(&v, 4), &p).unwrap().is_some());
+    }
+
+    #[test]
+    fn predicates_ride_on_chain_nodes() {
+        let v = figure1_view();
+        let p = parse_pattern("metro[@metroname=\"chicago\"]/hotel/confroom").unwrap();
+        let tp = matchq(&v, by_id(&v, 5), &p).unwrap().unwrap();
+        let root = tp.root();
+        assert_eq!(tp.predicates(root).len(), 1);
+        assert_eq!(tp.predicates(tp.context).len(), 0);
+    }
+
+    #[test]
+    fn wildcard_pattern_matches_any_element() {
+        let v = figure1_view();
+        let p = parse_pattern("*").unwrap();
+        assert!(matchq(&v, by_id(&v, 3), &p).unwrap().is_some());
+        assert!(matchq(&v, v.root(), &p).unwrap().is_none());
+    }
+}

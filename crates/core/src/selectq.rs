@@ -1,0 +1,654 @@
+//! `SELECTQ(n1, a, n2)` — abstract select-expression evaluation over the
+//! schema tree (§3.5).
+//!
+//! A select expression is walked over schema-tree nodes instead of
+//! document nodes: child steps descend (branching over children whose tag
+//! matches), parent steps ascend, self steps stay. The walk records a
+//! [`TreePattern`]: child steps always create *fresh* pattern nodes
+//! (revisiting a tag creates a new required instance — Figure 18 has two
+//! `confstat` pattern nodes), parent steps reuse the existing pattern
+//! parent (which is what folds `../hotel_available/../confroom` into the
+//! Figure 8 tree shape).
+//!
+//! Predicates (§5.1) are split per step: attribute-level conditions attach
+//! to the pattern node; relative-path existence conditions are walked into
+//! extra pattern branches.
+
+use xvc_view::{SchemaTree, ViewNodeId};
+use xvc_xpath::{Axis, Expr, NodeTest, PathExpr, Step};
+
+use crate::error::{Error, Result};
+use crate::tree_pattern::{TpId, TreePattern};
+
+/// Abstractly evaluates `select` from query context node `n1`; returns all
+/// tree patterns whose new query context node is `n2`.
+///
+/// The paper's `SELECTQ(n1, a, n2)` returns a single pattern or NULL; with
+/// wildcard steps several distinct walks can end at `n2`, so this returns
+/// them all (the CTG adds one edge per pattern).
+pub fn selectq(
+    view: &SchemaTree,
+    n1: ViewNodeId,
+    select: &PathExpr,
+    n2: ViewNodeId,
+) -> Result<Vec<TreePattern>> {
+    Ok(selectq_all(view, n1, select)?
+        .into_iter()
+        .filter(|tp| tp.view(tp.new_context) == n2)
+        .collect())
+}
+
+/// Abstractly evaluates `select` from `n1`, returning one completed
+/// [`TreePattern`] per possible walk (each with `new_context` set to its
+/// endpoint).
+pub fn selectq_all(
+    view: &SchemaTree,
+    n1: ViewNodeId,
+    select: &PathExpr,
+) -> Result<Vec<TreePattern>> {
+    let start = if select.absolute { view.root() } else { n1 };
+    let mut tp = TreePattern::single(start);
+    // The *context* marker must refer to n1 even for absolute selects; for
+    // absolute paths the walk context is the root, which only coincides
+    // with n1 when n1 is the root. The paper's select expressions are
+    // relative; absolute selects are anchored at the root pattern node.
+    tp.context = TpId(0);
+    let mut states = vec![(tp, TpId(0))];
+    for step in &select.steps {
+        let mut next = Vec::new();
+        for (tp, cur) in states {
+            walk_step(view, &tp, cur, step, &mut next)?;
+        }
+        states = next;
+        if states.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    Ok(states
+        .into_iter()
+        .filter(|(tp, end)| !view.is_root(tp.view(*end)))
+        .map(|(mut tp, end)| {
+            tp.new_context = end;
+            tp
+        })
+        .collect())
+}
+
+fn walk_step(
+    view: &SchemaTree,
+    tp: &TreePattern,
+    cur: TpId,
+    step: &Step,
+    out: &mut Vec<(TreePattern, TpId)>,
+) -> Result<()> {
+    match step.axis {
+        Axis::SelfAxis => {
+            let vid = tp.view(cur);
+            if accepts(view, vid, &step.test) || matches!(step.test, NodeTest::Wildcard) {
+                let mut tp = tp.clone();
+                attach_predicates(view, &mut tp, cur, &step.predicates)?;
+                out.push((tp, cur));
+            }
+        }
+        Axis::Parent => {
+            // Reuse the pattern parent if present; otherwise extend upward
+            // along the schema tree.
+            let (mut tp, parent) = match tp.parent(cur) {
+                Some(p) => (tp.clone(), p),
+                None => {
+                    let vid = tp.view(cur);
+                    match view.parent(vid) {
+                        Some(vp) => {
+                            let mut tp = tp.clone();
+                            let p = tp.add_parent_above(cur, vp);
+                            (tp, p)
+                        }
+                        None => return Ok(()), // above the root: dead walk
+                    }
+                }
+            };
+            let pvid = tp.view(parent);
+            let name_ok = match &step.test {
+                NodeTest::Wildcard => true,
+                NodeTest::Name(n) => view.tag(pvid) == Some(n.as_str()),
+            };
+            if name_ok {
+                attach_predicates(view, &mut tp, parent, &step.predicates)?;
+                out.push((tp, parent));
+            }
+        }
+        Axis::Child => {
+            let vid = tp.view(cur);
+            for &child in view.children(vid) {
+                if accepts(view, child, &step.test) {
+                    let mut tp = tp.clone();
+                    let c = tp.add_child(cur, child);
+                    attach_predicates(view, &mut tp, c, &step.predicates)?;
+                    out.push((tp, c));
+                }
+            }
+        }
+        // The descendant axis is excluded from XSLT_basic (restriction
+        // (9)), but the abstract walk extends to it naturally: each
+        // schema-reachable descendant has a unique child path from the
+        // context, which becomes an explicit chain in the pattern — one
+        // walk (and later one CTG edge) per endpoint.
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            if step.axis == Axis::DescendantOrSelf {
+                let vid = tp.view(cur);
+                if accepts(view, vid, &step.test)
+                    || matches!(step.test, NodeTest::Wildcard)
+                {
+                    let mut tp = tp.clone();
+                    attach_predicates(view, &mut tp, cur, &step.predicates)?;
+                    out.push((tp, cur));
+                }
+            }
+            let start = tp.view(cur);
+            let mut stack: Vec<(ViewNodeId, Vec<ViewNodeId>)> = view
+                .children(start)
+                .iter()
+                .map(|&c| (c, vec![c]))
+                .collect();
+            while let Some((vid, path)) = stack.pop() {
+                if accepts(view, vid, &step.test) {
+                    let mut tp = tp.clone();
+                    let mut cur2 = cur;
+                    for &p in &path {
+                        cur2 = tp.add_child(cur2, p);
+                    }
+                    attach_predicates(view, &mut tp, cur2, &step.predicates)?;
+                    out.push((tp, cur2));
+                }
+                for &c in view.children(vid) {
+                    let mut p2 = path.clone();
+                    p2.push(c);
+                    stack.push((c, p2));
+                }
+            }
+        }
+        Axis::Attribute => {
+            return Err(Error::NotComposable {
+                reason: "attribute axis in an apply-templates select \
+                         (selects must yield nodes, Definition 3)"
+                    .into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn accepts(view: &SchemaTree, vid: ViewNodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Wildcard => !view.is_root(vid),
+        NodeTest::Name(n) => view.tag(vid) == Some(n.as_str()),
+    }
+}
+
+/// Splits a step's predicates per §5.1: attribute-level conditions attach
+/// to the node, relative-path existence conditions become pattern
+/// branches.
+pub fn attach_predicates(
+    view: &SchemaTree,
+    tp: &mut TreePattern,
+    node: TpId,
+    predicates: &[Expr],
+) -> Result<()> {
+    for pred in predicates {
+        attach_predicate(view, tp, node, pred)?;
+    }
+    Ok(())
+}
+
+fn attach_predicate(view: &SchemaTree, tp: &mut TreePattern, node: TpId, pred: &Expr) -> Result<()> {
+    let pred = simplify_self_paths(pred);
+    match &pred {
+        Expr::And(a, b) => {
+            attach_predicate(view, tp, node, a)?;
+            attach_predicate(view, tp, node, b)?;
+        }
+        // A bare relative path: existence branch.
+        Expr::Path(p) if !is_attr_only_path(p) => {
+            walk_branch(view, tp, node, p, false)?;
+        }
+        // A negated path: negated existence branch (NOT EXISTS in SQL).
+        Expr::Not(inner) => match inner.as_ref() {
+            Expr::Path(p) if !is_attr_only_path(p) => {
+                walk_branch(view, tp, node, p, true)?;
+            }
+            other if is_attribute_level(other) => {
+                tp.add_predicate(node, pred.clone());
+            }
+            other => {
+                return Err(Error::NotComposable {
+                    reason: format!(
+                        "negated predicate `not({other})` is outside the \
+                         composable fragment"
+                    ),
+                })
+            }
+        },
+        other if is_attribute_level(other) => {
+            tp.add_predicate(node, other.clone());
+        }
+        other => {
+            return Err(Error::NotComposable {
+                reason: format!(
+                    "predicate `{other}` mixes paths and comparisons in a way \
+                     the composition does not support"
+                ),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Normalizes self-only predicate paths: `.[p1][p2]` as a boolean is
+/// equivalent to `p1 and p2` (the self step always selects the context
+/// node), and a bare `.` is true. The §5.2 rewrites generate such shapes
+/// (`not(.[@eid > 11])` from conflict resolution, `.[e]` guards).
+pub fn simplify_self_paths(e: &Expr) -> Expr {
+    match e {
+        Expr::Path(p)
+            if !p.absolute
+                && !p.steps.is_empty()
+                && p.steps.iter().all(|s| {
+                    s.axis == Axis::SelfAxis && matches!(s.test, NodeTest::Wildcard)
+                }) =>
+        {
+            let mut preds: Vec<Expr> = p
+                .steps
+                .iter()
+                .flat_map(|s| s.predicates.iter())
+                .map(simplify_self_paths)
+                .collect();
+            match preds.len() {
+                0 => Expr::Number(1.0), // `.` exists: true
+                1 => preds.pop().expect("len checked"),
+                _ => {
+                    let mut it = preds.into_iter();
+                    let first = it.next().expect("len checked");
+                    it.fold(first, |acc, x| Expr::And(Box::new(acc), Box::new(x)))
+                }
+            }
+        }
+        Expr::And(a, b) => Expr::And(
+            Box::new(simplify_self_paths(a)),
+            Box::new(simplify_self_paths(b)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(simplify_self_paths(a)),
+            Box::new(simplify_self_paths(b)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(simplify_self_paths(a))),
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(simplify_self_paths(lhs)),
+            rhs: Box::new(simplify_self_paths(rhs)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Walks a predicate path deterministically from `node`, creating
+/// existence branches; ambiguity (several children with the matching tag)
+/// is an error.
+fn walk_branch(
+    view: &SchemaTree,
+    tp: &mut TreePattern,
+    node: TpId,
+    path: &PathExpr,
+    negate: bool,
+) -> Result<()> {
+    if path.absolute {
+        return Err(Error::NotComposable {
+            reason: format!("absolute path `{path}` inside a predicate"),
+        });
+    }
+    let mut cur = node;
+    let mut first_created: Option<TpId> = None;
+    for step in &path.steps {
+        match step.axis {
+            Axis::SelfAxis => {}
+            Axis::Parent => {
+                cur = match tp.parent(cur) {
+                    Some(p) => p,
+                    None => {
+                        let vid = tp.view(cur);
+                        match view.parent(vid) {
+                            Some(vp) => tp.add_parent_above(cur, vp),
+                            None => {
+                                return Err(Error::NotComposable {
+                                    reason: format!(
+                                        "predicate path `{path}` climbs above the root"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                };
+            }
+            Axis::Child => {
+                let vid = tp.view(cur);
+                let mut candidates = view
+                    .children(vid)
+                    .iter()
+                    .copied()
+                    .filter(|&c| accepts(view, c, &step.test));
+                let Some(child) = candidates.next() else {
+                    return Err(Error::NotComposable {
+                        reason: format!(
+                            "predicate path `{path}` selects nothing in the schema tree"
+                        ),
+                    });
+                };
+                if candidates.next().is_some() {
+                    return Err(Error::Ambiguous {
+                        reason: format!(
+                            "predicate path `{path}` is ambiguous over the schema tree"
+                        ),
+                    });
+                }
+                cur = tp.add_child(cur, child);
+                if first_created.is_none() {
+                    first_created = Some(cur);
+                }
+            }
+            Axis::Attribute => {
+                // Trailing @attr: existence of the attribute on `cur`.
+                if let NodeTest::Name(a) = &step.test {
+                    tp.add_predicate(
+                        node_attr_existence_target(tp, cur),
+                        Expr::Path(PathExpr {
+                            absolute: false,
+                            steps: vec![Step {
+                                axis: Axis::Attribute,
+                                test: NodeTest::Name(a.clone()),
+                                predicates: Vec::new(),
+                            }],
+                        }),
+                    );
+                }
+                return Ok(());
+            }
+            axis => {
+                return Err(Error::NotComposable {
+                    reason: format!("axis {} inside a predicate path", axis.name()),
+                })
+            }
+        }
+        attach_predicates(view, tp, cur, &step.predicates)?;
+    }
+    if negate {
+        match first_created {
+            Some(id) => tp.set_negated(id),
+            None => {
+                return Err(Error::NotComposable {
+                    reason: format!(
+                        "`not({path})` negates only already-required nodes \
+                         (the path descends nowhere)"
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn node_attr_existence_target(_tp: &TreePattern, cur: TpId) -> TpId {
+    cur
+}
+
+/// A path consisting solely of one attribute step (`@attr`).
+fn is_attr_only_path(p: &PathExpr) -> bool {
+    !p.absolute && p.steps.len() == 1 && p.steps[0].axis == Axis::Attribute
+}
+
+/// True for expressions whose every path operand is a self-level attribute
+/// reference (`@attr`) — these translate directly into SQL conditions on
+/// the node's tag-query columns.
+pub fn is_attribute_level(e: &Expr) -> bool {
+    match e {
+        Expr::Path(p) => is_attr_only_path(p),
+        Expr::Literal(_) | Expr::Number(_) => true,
+        // Variables are flagged later (composition cannot bind them; the
+        // §5.3 pipeline keeps them in the residual stylesheet).
+        Expr::Var(_) => true,
+        Expr::Binary { lhs, rhs, .. } => is_attribute_level(lhs) && is_attribute_level(rhs),
+        Expr::And(a, b) | Expr::Or(a, b) => is_attribute_level(a) && is_attribute_level(b),
+        Expr::Not(a) => is_attribute_level(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixtures::figure1_view;
+    use xvc_xpath::parse_path;
+
+    fn by_id(view: &SchemaTree, id: u32) -> ViewNodeId {
+        view.find_by_paper_id(id).unwrap()
+    }
+
+    #[test]
+    fn child_walk_reaches_targets() {
+        let v = figure1_view();
+        // R2's select "hotel/confstat" from metro reaches the hotel-level
+        // confstat (id 4) only.
+        let results = selectq_all(&v, by_id(&v, 1), &parse_path("hotel/confstat").unwrap())
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].view(results[0].new_context), by_id(&v, 4));
+        // Directed form.
+        let hits = selectq(
+            &v,
+            by_id(&v, 1),
+            &parse_path("hotel/confstat").unwrap(),
+            by_id(&v, 4),
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(selectq(
+            &v,
+            by_id(&v, 1),
+            &parse_path("hotel/confstat").unwrap(),
+            by_id(&v, 2),
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn figure8_parent_axis_walk() {
+        let v = figure1_view();
+        // R3's select from (4, confstat).
+        let results = selectq_all(
+            &v,
+            by_id(&v, 4),
+            &parse_path("../hotel_available/../confroom").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        let tp = &results[0];
+        assert_eq!(tp.view(tp.new_context), by_id(&v, 5));
+        // The Figure 8 shape: hotel on top (no metro — the select never
+        // climbs that high), three children: confstat (context),
+        // hotel_available, confroom (new context).
+        let root = tp.root();
+        assert_eq!(tp.view(root), by_id(&v, 3));
+        assert_eq!(tp.children(root).len(), 3);
+        assert_eq!(tp.len(), 4);
+        assert_eq!(tp.view(tp.context), by_id(&v, 4));
+    }
+
+    #[test]
+    fn wildcard_steps_branch() {
+        let v = figure1_view();
+        // "*" from metro reaches both confstat (2) and hotel (3).
+        let results = selectq_all(&v, by_id(&v, 1), &parse_path("*").unwrap()).unwrap();
+        let mut tags: Vec<_> = results
+            .iter()
+            .map(|tp| v.tag(tp.view(tp.new_context)).unwrap().to_owned())
+            .collect();
+        tags.sort();
+        assert_eq!(tags, vec!["confstat", "hotel"]);
+    }
+
+    #[test]
+    fn dead_walks_return_empty() {
+        let v = figure1_view();
+        assert!(selectq_all(&v, by_id(&v, 1), &parse_path("nonexistent").unwrap())
+            .unwrap()
+            .is_empty());
+        // Climbing above the root dies.
+        assert!(selectq_all(&v, by_id(&v, 1), &parse_path("../../..").unwrap())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn absolute_select_anchors_at_root() {
+        let v = figure1_view();
+        let results = selectq_all(&v, by_id(&v, 4), &parse_path("/metro").unwrap()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].view(results[0].new_context), by_id(&v, 1));
+    }
+
+    #[test]
+    fn figure18_predicates_build_two_confstat_nodes() {
+        let v = figure1_view();
+        let path = ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
+        let results = selectq_all(&v, by_id(&v, 4), &parse_path(path).unwrap()).unwrap();
+        assert_eq!(results.len(), 1);
+        let tp = &results[0];
+        // Figure 18: hotel on top (under metro per match side; select side
+        // stops at hotel), with confstat (context, pred @sum<200),
+        // hotel_available, confroom (new context, pred @capacity>250) and a
+        // second confstat branch carrying @sum>100.
+        let confstat_nodes: Vec<TpId> = (0..tp.len())
+            .map(TpId)
+            .filter(|&id| tp.view(id) == by_id(&v, 4))
+            .collect();
+        assert_eq!(confstat_nodes.len(), 2, "{}", tp.render(&v));
+        assert_eq!(tp.predicates(tp.context).len(), 1);
+        assert_eq!(tp.predicates(tp.new_context).len(), 1);
+        let branch = confstat_nodes
+            .into_iter()
+            .find(|&id| id != tp.context)
+            .unwrap();
+        assert_eq!(tp.predicates(branch).len(), 1);
+        assert_eq!(tp.predicates(branch)[0].to_string(), "@sum > 100");
+    }
+
+    #[test]
+    fn descendant_axis_expands_to_explicit_chains() {
+        let v = figure1_view();
+        // metro//confstat reaches BOTH confstat nodes (ids 2 and 4), each
+        // via its own explicit chain.
+        let results =
+            selectq_all(&v, by_id(&v, 1), &parse_path(".//confstat").unwrap()).unwrap();
+        let mut ids: Vec<u32> = results
+            .iter()
+            .map(|tp| v.node(tp.view(tp.new_context)).unwrap().id)
+            .collect();
+        ids.sort();
+        assert_eq!(ids, vec![2, 4]);
+        // The deep one's pattern contains the intermediate hotel node.
+        let deep = results
+            .iter()
+            .find(|tp| v.node(tp.view(tp.new_context)).unwrap().id == 4)
+            .unwrap();
+        assert_eq!(deep.len(), 3); // metro, hotel, confstat
+        // //metro_available from the root finds the grandchild.
+        let results =
+            selectq_all(&v, v.root(), &parse_path("//metro_available").unwrap()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].len(), 5); // root..metro_available chain
+    }
+
+    #[test]
+    fn attribute_axis_rejected() {
+        let v = figure1_view();
+        assert!(matches!(
+            selectq_all(&v, by_id(&v, 1), &parse_path("hotel/@hotelid").unwrap()),
+            Err(Error::NotComposable { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_level_classification() {
+        for (src, expected) in [
+            ("@sum < 200", true),
+            ("@a = 1 and @b = 2", true),
+            ("not(@a)", true),
+            ("$idx <= 1", true),
+            ("../confstat[@sum>100]", false),
+            ("@a = b/c", false),
+        ] {
+            assert_eq!(
+                is_attribute_level(&xvc_xpath::parse_expr(src).unwrap()),
+                expected,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_path_simplification() {
+        use xvc_xpath::parse_expr;
+        for (src, expected) in [
+            (".[@a > 1]", "@a > 1"),
+            ("not(.[@a > 1])", "not(@a > 1)"),
+            (".[@a > 1][@b = 2]", "@a > 1 and @b = 2"),
+            (".", "1"),
+            ("@a > 1", "@a > 1"),
+        ] {
+            let simplified = simplify_self_paths(&parse_expr(src).unwrap());
+            assert_eq!(simplified.to_string(), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn negated_branch_is_marked() {
+        let v = figure1_view();
+        // hotel[not(confroom)] from metro.
+        let results = selectq_all(
+            &v,
+            by_id(&v, 1),
+            &parse_path("hotel[not(confroom)]").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        let tp = &results[0];
+        let confroom = (0..tp.len())
+            .map(TpId)
+            .find(|&id| tp.view(id) == by_id(&v, 5))
+            .expect("branch node");
+        assert!(tp.is_negated(confroom));
+        assert!(!tp.is_negated(tp.new_context));
+        assert!(tp.render(&v).contains("NOT confroom"));
+    }
+
+    #[test]
+    fn negating_nothing_is_rejected() {
+        let v = figure1_view();
+        // `not(..)` creates no branch node to negate.
+        assert!(matches!(
+            selectq_all(&v, by_id(&v, 4), &parse_path(".[not(..)]").unwrap()),
+            Err(Error::NotComposable { .. })
+        ));
+    }
+
+    #[test]
+    fn ambiguous_predicate_path_rejected() {
+        let v = figure1_view();
+        // "confstat" from metro is unique (id 2); from hotel also unique
+        // (id 4). Build ambiguity via a wildcard child: metro has two
+        // children, so a `*` existence predicate is ambiguous.
+        let path = ".[*]";
+        assert!(matches!(
+            selectq_all(&v, by_id(&v, 1), &parse_path(path).unwrap()),
+            Err(Error::Ambiguous { .. })
+        ));
+    }
+}

@@ -1,0 +1,316 @@
+//! Tree-pattern queries over schema-tree nodes (§3.5, Figure 8).
+//!
+//! A tree pattern is a small tree whose nodes *refer to* schema-tree view
+//! nodes. Distinct pattern nodes may reference the same view node — the
+//! predicate example of Figure 18 has two `confstat` pattern nodes, one on
+//! the main path and one required-to-exist sibling. Two pattern nodes are
+//! distinguished: the **query context node** (the paper's `m`, where
+//! evaluation starts) and the **new query context node** (`n`, where it
+//! ends). Each pattern node carries attribute-level predicates (§5.1).
+
+use xvc_view::{SchemaTree, ViewNodeId};
+use xvc_xpath::Expr;
+
+/// Identifier of a node inside a [`TreePattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TpId(pub(crate) usize);
+
+#[derive(Debug, Clone, PartialEq)]
+struct TpNodeData {
+    view: ViewNodeId,
+    parent: Option<TpId>,
+    children: Vec<TpId>,
+    predicates: Vec<Expr>,
+    /// Negated existence branch: the instance must NOT exist
+    /// (`not(path)` predicates become `NOT EXISTS` in SQL).
+    negated: bool,
+}
+
+/// A tree-pattern query (select-match subtree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreePattern {
+    nodes: Vec<TpNodeData>,
+    /// The query context node (`m`).
+    pub context: TpId,
+    /// The new query context node (`n`); for a `MATCHQ` pattern this
+    /// equals [`TreePattern::context`].
+    pub new_context: TpId,
+}
+
+impl TreePattern {
+    /// A single-node pattern anchored at `view`; both context markers
+    /// point at it.
+    pub fn single(view: ViewNodeId) -> Self {
+        TreePattern {
+            nodes: vec![TpNodeData {
+                view,
+                parent: None,
+                children: Vec::new(),
+                predicates: Vec::new(),
+                negated: false,
+            }],
+            context: TpId(0),
+            new_context: TpId(0),
+        }
+    }
+
+    /// The view node a pattern node refers to.
+    pub fn view(&self, id: TpId) -> ViewNodeId {
+        self.nodes[id.0].view
+    }
+
+    /// Parent pattern node.
+    pub fn parent(&self, id: TpId) -> Option<TpId> {
+        self.nodes[id.0].parent
+    }
+
+    /// Children of a pattern node.
+    pub fn children(&self, id: TpId) -> &[TpId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Predicates attached to a pattern node.
+    pub fn predicates(&self, id: TpId) -> &[Expr] {
+        &self.nodes[id.0].predicates
+    }
+
+    /// Attaches another predicate to a node.
+    pub fn add_predicate(&mut self, id: TpId, pred: Expr) {
+        if !self.nodes[id.0].predicates.contains(&pred) {
+            self.nodes[id.0].predicates.push(pred);
+        }
+    }
+
+    /// Adds a fresh child node under `parent`.
+    pub fn add_child(&mut self, parent: TpId, view: ViewNodeId) -> TpId {
+        let id = TpId(self.nodes.len());
+        self.nodes.push(TpNodeData {
+            view,
+            parent: Some(parent),
+            children: Vec::new(),
+            predicates: Vec::new(),
+            negated: false,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Marks a node as a negated existence branch.
+    pub fn set_negated(&mut self, id: TpId) {
+        self.nodes[id.0].negated = true;
+    }
+
+    /// True if the node is a negated existence branch (see
+    /// [`TreePattern::set_negated`]).
+    pub fn is_negated(&self, id: TpId) -> bool {
+        self.nodes[id.0].negated
+    }
+
+    /// Adds a fresh parent *above* `child` (which must currently be a
+    /// pattern root). Used when a parent-axis step or pattern unification
+    /// walks above the current top.
+    pub fn add_parent_above(&mut self, child: TpId, view: ViewNodeId) -> TpId {
+        assert!(
+            self.nodes[child.0].parent.is_none(),
+            "add_parent_above requires a pattern root"
+        );
+        let id = TpId(self.nodes.len());
+        self.nodes.push(TpNodeData {
+            view,
+            parent: None,
+            children: vec![child],
+            predicates: Vec::new(),
+            negated: false,
+        });
+        self.nodes[child.0].parent = Some(id);
+        id
+    }
+
+    /// The pattern's root (the topmost node above the context).
+    pub fn root(&self) -> TpId {
+        let mut cur = self.context;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Number of pattern nodes (the paper's `max_b` contributor).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the pattern has exactly one node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Path of pattern nodes from `a` (exclusive) down to `b` (inclusive),
+    /// assuming `b` is a descendant of `a`. Returns `None` otherwise.
+    pub fn path_below(&self, a: TpId, b: TpId) -> Option<Vec<TpId>> {
+        let mut path = vec![b];
+        let mut cur = b;
+        while let Some(p) = self.parent(cur) {
+            if p == a {
+                path.reverse();
+                return Some(path);
+            }
+            path.push(p);
+            cur = p;
+        }
+        None
+    }
+
+    /// Path from the pattern root (inclusive) down to `id` (inclusive).
+    pub fn path_from_root(&self, id: TpId) -> Vec<TpId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Lowest common ancestor of two pattern nodes.
+    pub fn lca(&self, a: TpId, b: TpId) -> TpId {
+        let pa = self.path_from_root(a);
+        let pb = self.path_from_root(b);
+        let mut lca = pa[0];
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            if x == y {
+                lca = *x;
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+
+    /// Renders the pattern as an indented tree, labelling the context and
+    /// new-context nodes (the Figure 8 artifact format).
+    pub fn render(&self, view: &SchemaTree) -> String {
+        let mut out = String::new();
+        self.render_node(view, self.root(), 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, view: &SchemaTree, id: TpId, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let vid = self.view(id);
+        let tag = if view.is_root(vid) {
+            "(root)".to_owned()
+        } else {
+            view.tag(vid).unwrap_or("?").to_owned()
+        };
+        out.push_str(&indent);
+        if self.is_negated(id) {
+            out.push_str("NOT ");
+        }
+        out.push_str(&tag);
+        for p in self.predicates(id) {
+            out.push_str(&format!("[{p}]"));
+        }
+        if id == self.context {
+            out.push_str("  <-- query context node");
+        }
+        if id == self.new_context && id != self.context {
+            out.push_str("  <-- new query context node");
+        }
+        out.push('\n');
+        for &c in self.children(id) {
+            self.render_node(view, c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_rel::parse_query;
+    use xvc_view::ViewNode;
+
+    fn tiny_view() -> (SchemaTree, ViewNodeId, ViewNodeId, ViewNodeId) {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let hotel = t
+            .add_child(
+                metro,
+                ViewNode::new(3, "hotel", "h", parse_query("SELECT hotelid FROM hotel").unwrap()),
+            )
+            .unwrap();
+        let stat = t
+            .add_child(
+                hotel,
+                ViewNode::new(
+                    4,
+                    "confstat",
+                    "s",
+                    parse_query("SELECT SUM(capacity) FROM confroom").unwrap(),
+                ),
+            )
+            .unwrap();
+        (t, metro, hotel, stat)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (_, metro, hotel, stat) = tiny_view();
+        let mut tp = TreePattern::single(stat);
+        let h = tp.add_parent_above(tp.context, hotel);
+        let m = tp.add_parent_above(h, metro);
+        let sibling = tp.add_child(h, stat);
+        assert_eq!(tp.root(), m);
+        assert_eq!(tp.parent(tp.context), Some(h));
+        assert_eq!(tp.children(h), &[tp.context, sibling]);
+        assert_eq!(tp.len(), 4);
+        assert_eq!(tp.path_from_root(sibling), vec![m, h, sibling]);
+        assert_eq!(tp.path_below(m, tp.context), Some(vec![h, tp.context]));
+        assert_eq!(tp.path_below(sibling, m), None);
+        assert_eq!(tp.lca(tp.context, sibling), h);
+    }
+
+    #[test]
+    fn duplicate_view_nodes_allowed() {
+        // Figure 18: the same schema-tree node may appear twice.
+        let (_, _, hotel, stat) = tiny_view();
+        let mut tp = TreePattern::single(hotel);
+        let a = tp.add_child(tp.context, stat);
+        let b = tp.add_child(tp.context, stat);
+        assert_ne!(a, b);
+        assert_eq!(tp.view(a), tp.view(b));
+    }
+
+    #[test]
+    fn predicates_dedup() {
+        let (_, metro, ..) = tiny_view();
+        let mut tp = TreePattern::single(metro);
+        let pred = xvc_xpath::parse_expr("@sum<200").unwrap();
+        tp.add_predicate(tp.context, pred.clone());
+        tp.add_predicate(tp.context, pred);
+        assert_eq!(tp.predicates(tp.context).len(), 1);
+    }
+
+    #[test]
+    fn renders_with_markers() {
+        let (view, metro, hotel, stat) = tiny_view();
+        let mut tp = TreePattern::single(stat);
+        let h = tp.add_parent_above(tp.context, hotel);
+        tp.add_parent_above(h, metro);
+        let n = tp.add_child(h, stat);
+        tp.new_context = n;
+        tp.add_predicate(n, xvc_xpath::parse_expr("@sum>100").unwrap());
+        let r = tp.render(&view);
+        assert!(r.contains("metro\n"));
+        assert!(r.contains("confstat  <-- query context node"));
+        assert!(r.contains("confstat[@sum > 100]  <-- new query context node"));
+    }
+}

@@ -1,0 +1,475 @@
+//! SQL abstract syntax for the fragment emitted by view composition.
+//!
+//! This covers every query appearing in the paper's figures: select lists
+//! with aggregates and qualified stars (`TEMP.*`), derived tables
+//! (`(SELECT ...) AS TEMP`), parameters on binding variables
+//! (`$m.metroid`), `GROUP BY` / `HAVING`, and `EXISTS` subqueries.
+
+use crate::value::Value;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(expr)` / `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL keyword for this function.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Default output-column name when the aggregate has no alias. The
+    /// publisher turns result columns into XML attributes, and the paper's
+    /// stylesheets reference them as `@sum` / `@count` (Figures 17, 25).
+    pub fn default_column_name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// Binary operators in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` (also parsed from `!=`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// The operator in SQL source syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference, optionally qualified: `hotelid` / `TEMP.hotelid`.
+    Column {
+        /// FROM-item alias qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Parameter on a binding variable: `$m.metroid` (§2.1: tag queries are
+    /// parameterized by the binding variables of ancestor view nodes).
+    Param {
+        /// Binding-variable name (without `$`).
+        var: String,
+        /// Column of the bound tuple.
+        column: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<ScalarExpr>),
+    /// `expr IS NULL`.
+    IsNull(Box<ScalarExpr>),
+    /// `EXISTS (subquery)`.
+    Exists(Box<SelectQuery>),
+    /// Aggregate call: `SUM(capacity)`, `COUNT(*)` (arg `None`).
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument; `None` means `*` (only valid for COUNT).
+        arg: Option<Box<ScalarExpr>>,
+    },
+}
+
+impl ScalarExpr {
+    /// Unqualified column reference.
+    pub fn col(name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified column reference.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Parameter reference `$var.column`.
+    pub fn param(var: impl Into<String>, column: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Param {
+            var: var.into(),
+            column: column.into(),
+        }
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> ScalarExpr {
+        ScalarExpr::Literal(Value::Int(v))
+    }
+
+    /// String literal.
+    pub fn str(v: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Literal(Value::Str(v.into()))
+    }
+
+    /// Binary operation helper.
+    pub fn binary(op: BinOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinOp::Eq, lhs, rhs)
+    }
+
+    /// True if this expression (not descending into subqueries) contains an
+    /// aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            ScalarExpr::Aggregate { .. } => true,
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Collects the binding variables referenced by `$var.column` params,
+    /// descending into subqueries.
+    pub fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            ScalarExpr::Param { var, .. } => {
+                if !out.contains(var) {
+                    out.push(var.clone());
+                }
+            }
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_params(out);
+                rhs.collect_params(out);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull(e) => e.collect_params(out),
+            ScalarExpr::Exists(q) => q.collect_params_into(out),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => a.collect_params(out),
+            _ => {}
+        }
+    }
+}
+
+/// One item of a select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `expr [AS alias]`.
+    Expr {
+        /// The expression.
+        expr: ScalarExpr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+    /// `*` — all columns of all FROM items.
+    Star,
+    /// `alias.*` — all columns of one FROM item (the paper's `TEMP.*`).
+    QualifiedStar(
+        /// The FROM-item alias.
+        String,
+    ),
+}
+
+impl SelectItem {
+    /// Unaliased expression item.
+    pub fn expr(e: ScalarExpr) -> SelectItem {
+        SelectItem::Expr {
+            expr: e,
+            alias: None,
+        }
+    }
+
+    /// Aliased expression item.
+    pub fn aliased(e: ScalarExpr, alias: impl Into<String>) -> SelectItem {
+        SelectItem::Expr {
+            expr: e,
+            alias: Some(alias.into()),
+        }
+    }
+}
+
+/// One FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table, optionally aliased.
+    Named {
+        /// Table name in the catalog.
+        name: String,
+        /// Optional alias; the table is referenced by `alias` if present,
+        /// by `name` otherwise.
+        alias: Option<String>,
+    },
+    /// Derived table `(SELECT ...) AS alias`.
+    Derived {
+        /// The subquery.
+        query: Box<SelectQuery>,
+        /// Mandatory alias.
+        alias: String,
+        /// Preserved-side (left-outer) semantics: every row of this derived
+        /// table appears in the result at least once; when no combination
+        /// of the remaining FROM items joins with it, their columns are
+        /// NULL. Needed when unbinding implicitly aggregating tag queries
+        /// (`SELECT SUM(...)` with no GROUP BY returns a row even over an
+        /// empty input, so the composed per-group query must not lose the
+        /// group). Rendered as `OUTER (…) AS alias`; in a production SQL
+        /// dialect this is `alias LEFT JOIN (rest of FROM)`.
+        preserved: bool,
+    },
+}
+
+impl TableRef {
+    /// Base-table reference without alias.
+    pub fn table(name: impl Into<String>) -> TableRef {
+        TableRef::Named {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// Derived-table reference (inner-join semantics).
+    pub fn derived(query: SelectQuery, alias: impl Into<String>) -> TableRef {
+        TableRef::Derived {
+            query: Box::new(query),
+            alias: alias.into(),
+            preserved: false,
+        }
+    }
+
+    /// The name this FROM item is referenced by.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Select list (non-empty).
+    pub select: Vec<SelectItem>,
+    /// FROM items (comma join).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<ScalarExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<ScalarExpr>,
+    /// HAVING predicate.
+    pub having: Option<ScalarExpr>,
+}
+
+impl SelectQuery {
+    /// A `SELECT <items> FROM <table>` skeleton.
+    pub fn new(select: Vec<SelectItem>, from: Vec<TableRef>) -> Self {
+        SelectQuery {
+            distinct: false,
+            select,
+            from,
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+
+    /// Adds a conjunct to the WHERE clause.
+    pub fn and_where(&mut self, pred: ScalarExpr) {
+        self.where_clause = Some(match self.where_clause.take() {
+            None => pred,
+            Some(w) => ScalarExpr::binary(BinOp::And, w, pred),
+        });
+    }
+
+    /// Adds a conjunct to the HAVING clause.
+    pub fn and_having(&mut self, pred: ScalarExpr) {
+        self.having = Some(match self.having.take() {
+            None => pred,
+            Some(h) => ScalarExpr::binary(BinOp::And, h, pred),
+        });
+    }
+
+    /// True if the query computes aggregates (grouped or implicit group).
+    pub fn is_aggregating(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.having.is_some()
+            || self.select.iter().any(|item| {
+                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
+            })
+    }
+
+    /// The binding variables referenced by this query (its *parameters* in
+    /// the sense of Definition 1), in first-occurrence order.
+    pub fn parameters(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params_into(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_params_into(&self, out: &mut Vec<String>) {
+        for item in &self.select {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.collect_params(out);
+            }
+        }
+        for t in &self.from {
+            if let TableRef::Derived { query, .. } = t {
+                query.collect_params_into(out);
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            w.collect_params(out);
+        }
+        for g in &self.group_by {
+            g.collect_params(out);
+        }
+        if let Some(h) = &self.having {
+            h.collect_params(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_where_builds_conjunctions() {
+        let mut q = SelectQuery::new(vec![SelectItem::Star], vec![TableRef::table("hotel")]);
+        assert!(q.where_clause.is_none());
+        q.and_where(ScalarExpr::eq(ScalarExpr::col("a"), ScalarExpr::int(1)));
+        q.and_where(ScalarExpr::eq(ScalarExpr::col("b"), ScalarExpr::int(2)));
+        let Some(ScalarExpr::Binary { op: BinOp::And, .. }) = q.where_clause else {
+            panic!("expected AND");
+        };
+    }
+
+    #[test]
+    fn aggregation_detection() {
+        let mut q = SelectQuery::new(
+            vec![SelectItem::expr(ScalarExpr::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(ScalarExpr::col("capacity"))),
+            })],
+            vec![TableRef::table("confroom")],
+        );
+        assert!(q.is_aggregating());
+        q.select = vec![SelectItem::Star];
+        assert!(!q.is_aggregating());
+        q.group_by = vec![ScalarExpr::col("x")];
+        assert!(q.is_aggregating());
+    }
+
+    #[test]
+    fn parameters_collected_recursively() {
+        let inner = {
+            let mut q = SelectQuery::new(vec![SelectItem::Star], vec![TableRef::table("hotel")]);
+            q.and_where(ScalarExpr::eq(
+                ScalarExpr::col("metro_id"),
+                ScalarExpr::param("m", "metroid"),
+            ));
+            q
+        };
+        let mut q = SelectQuery::new(
+            vec![SelectItem::Star],
+            vec![TableRef::derived(inner, "TEMP")],
+        );
+        q.and_where(ScalarExpr::eq(
+            ScalarExpr::col("x"),
+            ScalarExpr::param("h", "hotelid"),
+        ));
+        assert_eq!(q.parameters(), vec!["m".to_owned(), "h".to_owned()]);
+    }
+
+    #[test]
+    fn binding_names() {
+        assert_eq!(TableRef::table("hotel").binding_name(), "hotel");
+        let aliased = TableRef::Named {
+            name: "hotel".into(),
+            alias: Some("h".into()),
+        };
+        assert_eq!(aliased.binding_name(), "h");
+    }
+}

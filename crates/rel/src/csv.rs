@@ -1,0 +1,166 @@
+//! A small CSV loader for populating tables from files (used by the `xvc`
+//! CLI). Supports double-quoted fields with `""` escapes; the header row
+//! must name a subset-ordering of the table's columns; values are coerced
+//! to the column types, with empty fields becoming NULL.
+
+use crate::error::{Error, Result};
+use crate::schema::ColumnType;
+use crate::table::Database;
+use crate::value::Value;
+
+/// Loads CSV text into the named table of `db`.
+///
+/// The first line is a header of column names; each subsequent line is a
+/// row. Columns missing from the header are filled with NULL.
+pub fn load_csv(db: &mut Database, table: &str, csv: &str) -> Result<usize> {
+    let schema = db.table(table)?.schema.clone();
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(Error::UnexpectedEnd {
+        expected: "a CSV header row",
+    })?;
+    let header_fields = split_csv_line(header)?;
+    let mut indices = Vec::with_capacity(header_fields.len());
+    for h in &header_fields {
+        let idx = schema
+            .column_index(h.trim())
+            .ok_or_else(|| Error::UnknownColumn {
+                reference: format!("{table}.{h}"),
+            })?;
+        indices.push(idx);
+    }
+    let mut count = 0;
+    for line in lines {
+        let fields = split_csv_line(line)?;
+        if fields.len() != indices.len() {
+            return Err(Error::SchemaMismatch {
+                reason: format!(
+                    "CSV row has {} fields, header has {} ({line:?})",
+                    fields.len(),
+                    indices.len()
+                ),
+            });
+        }
+        let mut row = vec![Value::Null; schema.columns.len()];
+        for (field, &idx) in fields.iter().zip(&indices) {
+            row[idx] = coerce(field, schema.columns[idx].ty, table, &schema.columns[idx].name)?;
+        }
+        db.insert(table, row)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn coerce(field: &str, ty: ColumnType, table: &str, column: &str) -> Result<Value> {
+    let trimmed = field.trim();
+    if trimmed.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        ColumnType::Int => Value::Int(trimmed.parse::<i64>().map_err(|_| {
+            Error::SchemaMismatch {
+                reason: format!("{table}.{column}: {trimmed:?} is not an integer"),
+            }
+        })?),
+        ColumnType::Float => Value::Float(trimmed.parse::<f64>().map_err(|_| {
+            Error::SchemaMismatch {
+                reason: format!("{table}.{column}: {trimmed:?} is not a number"),
+            }
+        })?),
+        ColumnType::Str => Value::Str(field.to_owned()),
+    })
+}
+
+/// Splits one CSV line, honouring double quotes with `""` escapes.
+fn split_csv_line(line: &str) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() && !in_quotes => in_quotes = true,
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::UnexpectedEnd {
+            expected: "a closing quote in the CSV row",
+        });
+    }
+    out.push(field);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::database_from_ddl;
+
+    fn db() -> Database {
+        database_from_ddl("CREATE TABLE city (id INT, name TEXT, area FLOAT)").unwrap()
+    }
+
+    #[test]
+    fn loads_basic_rows() {
+        let mut db = db();
+        let n = load_csv(
+            &mut db,
+            "city",
+            "id,name,area\n1,chicago,234.0\n2,nyc,302.6\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        let t = db.table("city").unwrap();
+        assert_eq!(t.rows()[0][1], Value::Str("chicago".into()));
+        assert_eq!(t.rows()[1][2], Value::Float(302.6));
+    }
+
+    #[test]
+    fn header_subset_and_reordering() {
+        let mut db = db();
+        load_csv(&mut db, "city", "name,id\nchicago,1\n").unwrap();
+        let t = db.table("city").unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(1));
+        assert_eq!(t.rows()[0][2], Value::Null); // area missing → NULL
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let mut db = db();
+        load_csv(&mut db, "city", "id,name\n1,\"St. Louis, MO\"\n2,\"the \"\"Loop\"\"\"\n")
+            .unwrap();
+        let t = db.table("city").unwrap();
+        assert_eq!(t.rows()[0][1], Value::Str("St. Louis, MO".into()));
+        assert_eq!(t.rows()[1][1], Value::Str("the \"Loop\"".into()));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let mut db = db();
+        load_csv(&mut db, "city", "id,name,area\n1,,\n").unwrap();
+        let t = db.table("city").unwrap();
+        assert_eq!(t.rows()[0][1], Value::Null);
+        assert_eq!(t.rows()[0][2], Value::Null);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let mut db = db();
+        let err = load_csv(&mut db, "city", "id\nnot_a_number\n").unwrap_err();
+        assert!(err.to_string().contains("not an integer"), "{err}");
+        assert!(load_csv(&mut db, "city", "nope\n1\n").is_err());
+        assert!(load_csv(&mut db, "city", "id,name\n1\n").is_err());
+        assert!(load_csv(&mut db, "city", "id,name\n1,\"unterminated\n").is_err());
+    }
+}

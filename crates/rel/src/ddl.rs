@@ -1,0 +1,191 @@
+//! A minimal DDL dialect: `CREATE TABLE` statements for catalog/database
+//! bootstrap (used by the `xvc` CLI and file-based workflows).
+//!
+//! ```text
+//! CREATE TABLE hotel (
+//!     hotelid   INT,
+//!     hotelname TEXT,
+//!     starrating INT
+//! );
+//! ```
+//!
+//! Accepted type names: `INT`/`INTEGER`/`BIGINT` → [`ColumnType::Int`],
+//! `FLOAT`/`REAL`/`DOUBLE` → [`ColumnType::Float`], `TEXT`/`STRING`/
+//! `VARCHAR`/`CHAR`/`DATE` → [`ColumnType::Str`] (dates are ISO strings in
+//! this engine). Anything after the type up to `,`/`)` is ignored, so
+//! common annotations like `PRIMARY KEY` or `NOT NULL` parse through.
+
+use crate::error::{Error, Result};
+use crate::schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+use crate::table::Database;
+
+/// Parses a script of `CREATE TABLE` statements into a [`Catalog`].
+pub fn parse_ddl(input: &str) -> Result<Catalog> {
+    let mut catalog = Catalog::new();
+    for schema in parse_statements(input)? {
+        catalog.add(schema);
+    }
+    Ok(catalog)
+}
+
+/// Parses a DDL script into an empty [`Database`] (tables created, no rows).
+pub fn database_from_ddl(input: &str) -> Result<Database> {
+    let mut db = Database::new();
+    for schema in parse_statements(input)? {
+        db.create_table(schema);
+    }
+    Ok(db)
+}
+
+fn parse_statements(input: &str) -> Result<Vec<TableSchema>> {
+    let mut out = Vec::new();
+    // Strip `--` line comments.
+    let cleaned: String = input
+        .lines()
+        .map(|l| l.split("--").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for stmt in cleaned.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        out.push(parse_create_table(stmt)?);
+    }
+    Ok(out)
+}
+
+/// Parses one `CREATE TABLE name (col type, ...)` statement.
+pub fn parse_create_table(stmt: &str) -> Result<TableSchema> {
+    let rest = strip_keywords(stmt.trim(), &["CREATE", "TABLE"]).ok_or_else(|| {
+        Error::UnexpectedToken {
+            found: format!("'{}'", head(stmt)),
+            expected: "CREATE TABLE",
+        }
+    })?;
+    let open = rest.find('(').ok_or(Error::UnexpectedEnd {
+        expected: "'(' after table name",
+    })?;
+    let name = rest[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(Error::UnexpectedToken {
+            found: format!("'{name}'"),
+            expected: "a table name",
+        });
+    }
+    let close = rest.rfind(')').ok_or(Error::UnexpectedEnd {
+        expected: "')' closing the column list",
+    })?;
+    let body = &rest[open + 1..close];
+    let mut columns = Vec::new();
+    for col in split_top_level_commas(body) {
+        let col = col.trim();
+        if col.is_empty() {
+            continue;
+        }
+        let mut parts = col.split_whitespace();
+        let col_name = parts.next().ok_or(Error::UnexpectedEnd {
+            expected: "a column name",
+        })?;
+        let ty_name = parts.next().ok_or(Error::UnexpectedEnd {
+            expected: "a column type",
+        })?;
+        let ty = column_type(ty_name).ok_or_else(|| Error::UnexpectedToken {
+            found: format!("'{ty_name}'"),
+            expected: "INT/FLOAT/TEXT-family type",
+        })?;
+        columns.push(ColumnDef::new(col_name, ty));
+    }
+    TableSchema::new(name, columns)
+}
+
+fn head(s: &str) -> &str {
+    s.split_whitespace().next().unwrap_or("")
+}
+
+fn strip_keywords<'a>(s: &'a str, kws: &[&str]) -> Option<&'a str> {
+    let mut rest = s;
+    for kw in kws {
+        rest = rest.trim_start();
+        if rest.len() < kw.len() || !rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            return None;
+        }
+        rest = &rest[kw.len()..];
+    }
+    Some(rest.trim_start())
+}
+
+/// Splits on commas outside parentheses (types like `DECIMAL(10,2)` parse
+/// through — the precision is ignored).
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn column_type(name: &str) -> Option<ColumnType> {
+    let base = name.split('(').next().unwrap_or(name);
+    match base.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Some(ColumnType::Int),
+        "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" => Some(ColumnType::Float),
+        "TEXT" | "STRING" | "VARCHAR" | "CHAR" | "DATE" | "TIMESTAMP" => Some(ColumnType::Str),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_table() {
+        let s = parse_create_table(
+            "CREATE TABLE hotel (hotelid INT, hotelname TEXT, starrating INT)",
+        )
+        .unwrap();
+        assert_eq!(s.name, "hotel");
+        assert_eq!(s.columns.len(), 3);
+        assert_eq!(s.columns[1].ty, ColumnType::Str);
+    }
+
+    #[test]
+    fn parses_script_with_comments_and_annotations() {
+        let catalog = parse_ddl(
+            "-- the hotel schema\n\
+             CREATE TABLE metroarea (metroid INT PRIMARY KEY, metroname VARCHAR(64));\n\
+             create table availability (a_id int, price DECIMAL(10,2), startdate DATE);\n",
+        )
+        .unwrap();
+        assert_eq!(catalog.len(), 2);
+        let avail = catalog.get("availability").unwrap();
+        assert_eq!(avail.columns[1].ty, ColumnType::Float);
+        assert_eq!(avail.columns[2].ty, ColumnType::Str);
+    }
+
+    #[test]
+    fn database_from_ddl_creates_empty_tables() {
+        let db = database_from_ddl("CREATE TABLE t (a INT)").unwrap();
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_create_table("DROP TABLE x").is_err());
+        assert!(parse_create_table("CREATE TABLE (a INT)").is_err());
+        assert!(parse_create_table("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_create_table("CREATE TABLE t a INT").is_err());
+    }
+}

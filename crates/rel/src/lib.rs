@@ -1,0 +1,52 @@
+//! # `xvc-rel` — in-memory relational engine
+//!
+//! The SIGMOD'03 composition paper assumes a relational engine behind the
+//! XML-publishing middleware: schema-tree *tag queries* are parameterized
+//! SQL, and the composition algorithm itself **rewrites SQL** (the
+//! `UNBIND`/`NEST` functions of Figures 10–13 substitute binding variables
+//! with derived-table subqueries, add `GROUP BY` clauses to preserve
+//! aggregation semantics, and wrap sibling subtrees in `EXISTS` checks).
+//! No SQL crate is available offline, so this crate provides everything
+//! first-party:
+//!
+//! * [`value`] — dynamically typed SQL values with NULL semantics;
+//! * [`schema`] / [`table`] — catalogs, table schemas and row storage
+//!   ([`Database`]);
+//! * [`ast`] — the SQL fragment the algorithm emits: select lists with
+//!   aggregates and qualified stars, derived tables, parameters
+//!   (`$bv.column`), `GROUP BY`/`HAVING`, `EXISTS` subqueries;
+//! * [`parse`] — an SQL parser for that fragment, so the paper's queries can
+//!   be written as text in tests and round-tripped;
+//! * [`mod@print`] — a deterministic pretty-printer (golden tests compare SQL);
+//! * [`eval`] — the interpreter: eager single-table filters, hash
+//!   equi-joins, grouping, aggregate & `HAVING` evaluation, correlated
+//!   `EXISTS` with constant-per-parameterization caching;
+//! * [`rewrite`] — the query-surgery helpers `UNBIND`/`NEST` rely on;
+//! * [`optimize`] — the Kim-style unnesting pass the paper points at
+//!   (§4.2.1), applied opt-in after composition.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod csv;
+pub mod ddl;
+pub mod error;
+pub mod eval;
+pub mod optimize;
+pub mod parse;
+pub mod print;
+pub mod rewrite;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+pub use error::{Error, Result};
+pub use eval::{eval_query, eval_query_with, output_columns, EvalOptions, NamedTuple, ParamEnv, Relation};
+pub use csv::load_csv;
+pub use ddl::{database_from_ddl, parse_create_table, parse_ddl};
+pub use optimize::optimize;
+pub use parse::parse_query;
+pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+pub use table::{Database, Table};
+pub use value::Value;

@@ -1,0 +1,349 @@
+//! Post-composition query simplification.
+//!
+//! The paper remarks that "further query transformations like those
+//! described in [Kim 82] can be applied" to the unbound queries (§4.2.1).
+//! This module implements a conservative slice of that program:
+//!
+//! * [`merge_trivial_derived`] — Kim-style unnesting: a derived table
+//!   `(SELECT * FROM t WHERE w) AS A` with no grouping/aggregation/
+//!   DISTINCT and no preserved-side semantics is folded into the enclosing
+//!   FROM as `t AS A`, its filter conjoined into the outer WHERE (with the
+//!   filter's own columns qualified by `A` first so nothing changes
+//!   meaning);
+//! * [`dedupe_conjuncts`] — syntactically identical WHERE/HAVING conjuncts
+//!   collapse to one (repeated EXISTS conditions arise naturally from
+//!   overlapping select-match subtrees);
+//! * [`optimize`] — both, applied bottom-up to a fixpoint.
+//!
+//! Every rewrite is semantics-preserving; `tests/prop_optimize.rs` checks
+//! equivalence on randomized queries and the composition pipeline has an
+//! opt-in flag (`ComposeOptions::optimize`) covered by the equivalence
+//! suite.
+
+use crate::ast::{BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::error::Result;
+use crate::rewrite::qualify_level_columns;
+use crate::schema::Catalog;
+
+/// Applies all simplifications bottom-up until nothing changes.
+pub fn optimize(q: &mut SelectQuery, catalog: &Catalog) -> Result<()> {
+    loop {
+        let mut changed = false;
+        optimize_once(q, catalog, &mut changed)?;
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+fn optimize_once(q: &mut SelectQuery, catalog: &Catalog, changed: &mut bool) -> Result<()> {
+    // Bottom-up: subqueries first.
+    for t in &mut q.from {
+        if let TableRef::Derived { query, .. } = t {
+            optimize_once(query, catalog, changed)?;
+        }
+    }
+    visit_exists_mut(q, &mut |sub| optimize_once(sub, catalog, changed))?;
+
+    if merge_trivial_derived(q, catalog)? {
+        *changed = true;
+    }
+    if dedupe_conjuncts(q) {
+        *changed = true;
+    }
+    Ok(())
+}
+
+/// Folds trivial derived tables into the enclosing FROM (see module docs).
+/// Returns true if anything merged.
+pub fn merge_trivial_derived(q: &mut SelectQuery, catalog: &Catalog) -> Result<bool> {
+    let mut merged = false;
+    let mut i = 0;
+    while i < q.from.len() {
+        let TableRef::Derived {
+            query: inner,
+            alias,
+            preserved,
+        } = &q.from[i]
+        else {
+            i += 1;
+            continue;
+        };
+        let mergeable = !*preserved
+            && !inner.distinct
+            && inner.group_by.is_empty()
+            && inner.having.is_none()
+            && inner.select == vec![SelectItem::Star]
+            && inner.from.len() == 1
+            && matches!(inner.from[0], TableRef::Named { .. })
+            // The filter must not smuggle an EXISTS whose correlation
+            // semantics could change with the scope.
+            && inner
+                .where_clause
+                .as_ref()
+                .map(|w| !contains_exists(w))
+                .unwrap_or(true);
+        if !mergeable {
+            i += 1;
+            continue;
+        }
+        let alias = alias.clone();
+        let TableRef::Derived { query: inner, .. } = q.from.remove(i) else {
+            unreachable!("matched above");
+        };
+        let mut inner = *inner;
+        let TableRef::Named { name, .. } = inner.from.remove(0) else {
+            unreachable!("matched above");
+        };
+        // Qualify the filter's own columns with the alias so they keep
+        // resolving to this table after the merge.
+        if inner.where_clause.is_some() {
+            let cols = catalog.get(&name)?.column_names();
+            // Reuse the level qualifier: build a throwaway query holding
+            // just the filter over the aliased table.
+            let mut probe = SelectQuery::new(
+                vec![SelectItem::Star],
+                vec![TableRef::Named {
+                    name: name.clone(),
+                    alias: Some(alias.clone()),
+                }],
+            );
+            probe.where_clause = inner.where_clause.take();
+            qualify_level_columns(&mut probe, catalog, &cols)?;
+            if let Some(w) = probe.where_clause.take() {
+                q.and_where(w);
+            }
+        }
+        q.from.insert(
+            i,
+            TableRef::Named {
+                name,
+                alias: Some(alias),
+            },
+        );
+        merged = true;
+        i += 1;
+    }
+    Ok(merged)
+}
+
+/// Removes syntactically duplicate top-level conjuncts from WHERE and
+/// HAVING. Returns true if anything was removed.
+pub fn dedupe_conjuncts(q: &mut SelectQuery) -> bool {
+    let mut changed = false;
+    for clause in [&mut q.where_clause, &mut q.having] {
+        let Some(pred) = clause.take() else { continue };
+        let mut parts: Vec<ScalarExpr> = Vec::new();
+        flatten(pred, &mut parts);
+        let before = parts.len();
+        let mut seen: Vec<ScalarExpr> = Vec::new();
+        for p in parts {
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        if seen.len() != before {
+            changed = true;
+        }
+        let mut it = seen.into_iter();
+        let first = it.next();
+        *clause = first.map(|f| it.fold(f, |acc, c| ScalarExpr::binary(BinOp::And, acc, c)));
+    }
+    changed
+}
+
+fn flatten(e: ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    match e {
+        ScalarExpr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            flatten(*lhs, out);
+            flatten(*rhs, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn contains_exists(e: &ScalarExpr) -> bool {
+    match e {
+        ScalarExpr::Exists(_) => true,
+        ScalarExpr::Binary { lhs, rhs, .. } => contains_exists(lhs) || contains_exists(rhs),
+        ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => contains_exists(i),
+        _ => false,
+    }
+}
+
+/// Applies `f` to every EXISTS subquery at this level (WHERE/HAVING/select
+/// items), without descending into FROM derived tables (the caller handles
+/// those).
+fn visit_exists_mut(
+    q: &mut SelectQuery,
+    f: &mut impl FnMut(&mut SelectQuery) -> Result<()>,
+) -> Result<()> {
+    fn walk(e: &mut ScalarExpr, f: &mut impl FnMut(&mut SelectQuery) -> Result<()>) -> Result<()> {
+        match e {
+            ScalarExpr::Exists(sub) => f(sub),
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, f)?;
+                walk(rhs, f)
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
+            _ => Ok(()),
+        }
+    }
+    for item in &mut q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, f)?;
+        }
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk(w, f)?;
+    }
+    if let Some(h) = &mut q.having {
+        walk(h, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c.add(
+            TableSchema::new(
+                "confroom",
+                vec![
+                    ColumnDef::new("chotel_id", ColumnType::Int),
+                    ColumnDef::new("capacity", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn merges_select_star_derived_tables() {
+        let mut q = parse_query(
+            "SELECT SUM(capacity), TEMP.* \
+             FROM confroom, (SELECT * FROM hotel \
+                             WHERE metro_id = $m.metroid AND starrating > 4) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid \
+             GROUP BY TEMP.hotelid, TEMP.metro_id, TEMP.starrating",
+        )
+        .unwrap();
+        optimize(&mut q, &catalog()).unwrap();
+        let sql = q.to_sql();
+        assert!(sql.contains("FROM confroom, hotel AS TEMP"), "{sql}");
+        assert!(sql.contains("TEMP.metro_id = $m.metroid"), "{sql}");
+        assert!(sql.contains("TEMP.starrating > 4"), "{sql}");
+        assert!(!sql.contains("(\n"), "no derived tables left:\n{sql}");
+    }
+
+    #[test]
+    fn preserved_and_aggregating_derived_tables_stay() {
+        let mut q = parse_query(
+            "SELECT * FROM confroom, OUTER (SELECT * FROM hotel) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid",
+        )
+        .unwrap();
+        let before = q.clone();
+        optimize(&mut q, &catalog()).unwrap();
+        assert_eq!(q, before, "preserved tables must not merge");
+
+        let mut q = parse_query(
+            "SELECT * FROM (SELECT chotel_id, SUM(capacity) FROM confroom \
+                            GROUP BY chotel_id) AS T",
+        )
+        .unwrap();
+        let before = q.clone();
+        optimize(&mut q, &catalog()).unwrap();
+        assert_eq!(q, before, "aggregating tables must not merge");
+    }
+
+    #[test]
+    fn projecting_derived_tables_stay() {
+        // SELECT a subset of columns changes the output schema: not
+        // mergeable under the conservative rule.
+        let mut q = parse_query(
+            "SELECT T.capacity FROM (SELECT capacity FROM confroom) AS T",
+        )
+        .unwrap();
+        let before = q.clone();
+        optimize(&mut q, &catalog()).unwrap();
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn merges_recursively() {
+        let mut q = parse_query(
+            "SELECT * FROM (SELECT * FROM (SELECT * FROM hotel WHERE starrating > 4) AS A) AS B",
+        )
+        .unwrap();
+        optimize(&mut q, &catalog()).unwrap();
+        let sql = q.to_sql();
+        // Innermost merges into the middle, which becomes trivial and
+        // merges into the top.
+        assert!(sql.contains("FROM hotel AS"), "{sql}");
+        assert!(!sql.contains("(\n"), "{sql}");
+    }
+
+    #[test]
+    fn dedupes_identical_conjuncts() {
+        let mut q = parse_query(
+            "SELECT * FROM hotel WHERE starrating > 4 AND starrating > 4 AND hotelid = 1",
+        )
+        .unwrap();
+        assert!(dedupe_conjuncts(&mut q));
+        assert_eq!(
+            q.to_sql(),
+            "SELECT *\nFROM hotel\nWHERE starrating > 4\n  AND hotelid = 1"
+        );
+        assert!(!dedupe_conjuncts(&mut q), "idempotent");
+    }
+
+    #[test]
+    fn optimizes_inside_exists() {
+        let mut q = parse_query(
+            "SELECT * FROM hotel WHERE EXISTS \
+             (SELECT * FROM (SELECT * FROM confroom WHERE capacity > 10) AS T \
+              WHERE T.chotel_id = hotelid)",
+        )
+        .unwrap();
+        optimize(&mut q, &catalog()).unwrap();
+        let sql = q.to_sql();
+        assert!(sql.contains("FROM confroom AS T"), "{sql}");
+    }
+
+    #[test]
+    fn merged_filters_do_not_capture_outer_names() {
+        // The inner filter references `capacity`; after merging next to
+        // another table it must stay qualified to the merged alias.
+        let mut q = parse_query(
+            "SELECT * FROM (SELECT * FROM confroom WHERE capacity > 10) AS T, hotel \
+             WHERE T.chotel_id = hotelid",
+        )
+        .unwrap();
+        optimize(&mut q, &catalog()).unwrap();
+        let sql = q.to_sql();
+        assert!(sql.contains("T.capacity > 10"), "{sql}");
+    }
+}

@@ -1,0 +1,731 @@
+//! SQL parser for the fragment used by tag queries and the composition
+//! algorithm. Keywords are case-insensitive; identifiers are kept verbatim.
+//!
+//! Supported grammar (informally):
+//!
+//! ```text
+//! query    := SELECT [DISTINCT] item (',' item)*
+//!             FROM fromitem (',' fromitem)*
+//!             [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+//! item     := '*' | ident '.' '*' | expr [AS ident]
+//! fromitem := ident [AS ident] | '(' query ')' AS ident
+//! expr     := or-expr with AND/OR/NOT, comparisons (= <> != < <= > >=),
+//!             + - * /, EXISTS '(' query ')', expr IS [NOT] NULL,
+//!             aggregates SUM/COUNT/AVG/MIN/MAX, params $var.column,
+//!             numbers, 'strings', NULL, parenthesized expressions
+//! ```
+
+use crate::ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Parses a single SELECT query from SQL text.
+///
+/// ```
+/// let q = xvc_rel::parse_query(
+///     "SELECT metroid, metroname FROM metroarea WHERE metroid > 3",
+/// ).unwrap();
+/// assert_eq!(q.select.len(), 2);
+/// ```
+pub fn parse_query(input: &str) -> Result<SelectQuery> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    match p.peek() {
+        None => Ok(q),
+        Some(t) => Err(Error::TrailingTokens {
+            found: t.to_string(),
+        }),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    /// Keyword or identifier (original case preserved in `String`, keyword
+    /// matching is case-insensitive).
+    Word(String),
+    /// A numeric literal; the flag records whether the source had a
+    /// decimal point (so `3.0` stays a float and `3` an integer).
+    Number(f64, bool),
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Dollar,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "'{w}'"),
+            Token::Number(n, _) => write!(f, "number {n}"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            Token::Comma => write!(f, "','"),
+            Token::Dot => write!(f, "'.'"),
+            Token::Star => write!(f, "'*'"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Dollar => write!(f, "'$'"),
+            Token::Eq => write!(f, "'='"),
+            Token::Ne => write!(f, "'<>'"),
+            Token::Lt => write!(f, "'<'"),
+            Token::Le => write!(f, "'<='"),
+            Token::Gt => write!(f, "'>'"),
+            Token::Ge => write!(f, "'>='"),
+            Token::Plus => write!(f, "'+'"),
+            Token::Minus => write!(f, "'-'"),
+            Token::Slash => write!(f, "'/'"),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(offset, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '$' => {
+                chars.next();
+                out.push(Token::Dollar);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                out.push(Token::Minus);
+            }
+            '/' => {
+                chars.next();
+                out.push(Token::Slash);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(Error::Lex { found: '!', offset });
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek().map(|&(_, c)| c) {
+                    Some('=') => {
+                        chars.next();
+                        out.push(Token::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        out.push(Token::Ne);
+                    }
+                    _ => out.push(Token::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '\'')) => {
+                            // '' is an escaped quote.
+                            if chars.peek().map(|&(_, c)| c) == Some('\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some((_, c)) => s.push(c),
+                        None => {
+                            return Err(Error::UnexpectedEnd {
+                                expected: "closing quote",
+                            })
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while matches!(chars.peek(), Some(&(_, d)) if d.is_ascii_digit() || d == '.') {
+                    text.push(chars.next().unwrap().1);
+                }
+                let n = text.parse::<f64>().map_err(|_| Error::Lex {
+                    found: c,
+                    offset,
+                })?;
+                out.push(Token::Number(n, text.contains('.')));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while matches!(chars.peek(), Some(&(_, d)) if d.is_alphanumeric() || d == '_') {
+                    w.push(chars.next().unwrap().1);
+                }
+                out.push(Token::Word(w));
+            }
+            _ => return Err(Error::Lex { found: c, offset }),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(t) => Err(Error::UnexpectedToken {
+                    found: t.to_string(),
+                    expected: kw,
+                }),
+                None => Err(Error::UnexpectedEnd { expected: kw }),
+            }
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String> {
+        match self.bump() {
+            Some(Token::Word(w)) => Ok(w),
+            Some(t) => Err(Error::UnexpectedToken {
+                found: t.to_string(),
+                expected,
+            }),
+            None => Err(Error::UnexpectedEnd { expected }),
+        }
+    }
+
+    fn expect(&mut self, t: Token, expected: &'static str) -> Result<()> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(found) => Err(Error::UnexpectedToken {
+                    found: found.to_string(),
+                    expected,
+                }),
+                None => Err(Error::UnexpectedEnd { expected }),
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<SelectQuery> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut select = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.from_item()?);
+        }
+        let mut q = SelectQuery {
+            distinct,
+            select,
+            from,
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+        };
+        if self.eat_keyword("WHERE") {
+            q.where_clause = Some(self.expr()?);
+        }
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            q.group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                q.group_by.push(self.expr()?);
+            }
+        }
+        if self.eat_keyword("HAVING") {
+            q.having = Some(self.expr()?);
+        }
+        Ok(q)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // `ident.*` → qualified star.
+        if let (Some(Token::Word(w)), Some(Token::Dot), Some(Token::Star)) = (
+            self.tokens.get(self.pos),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            let alias = w.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedStar(alias));
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident("alias after AS")?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<TableRef> {
+        // `OUTER (…) AS alias`: preserved-side derived table (see
+        // `TableRef::Derived::preserved`).
+        let preserved = self.eat_keyword("OUTER");
+        if self.eat(&Token::LParen) {
+            let q = self.query()?;
+            self.expect(Token::RParen, "')'")?;
+            self.expect_keyword("AS")?;
+            let alias = self.ident("derived-table alias")?;
+            return Ok(TableRef::Derived {
+                query: Box::new(q),
+                alias,
+                preserved,
+            });
+        }
+        if preserved {
+            return Err(Error::UnexpectedToken {
+                found: "OUTER".into(),
+                expected: "'(' after OUTER",
+            });
+        }
+        let name = self.ident("table name")?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident("alias after AS")?)
+        } else if matches!(self.peek(), Some(Token::Word(w))
+            if !is_clause_keyword(w))
+        {
+            // `FROM hotel h` implicit alias.
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // Expressions, precedence climbing: OR < AND < NOT < cmp < add < mul.
+
+    fn expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = ScalarExpr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = ScalarExpr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<ScalarExpr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(ScalarExpr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<ScalarExpr> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL postfix.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let e = ScalarExpr::IsNull(Box::new(lhs));
+            return Ok(if negated {
+                ScalarExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(ScalarExpr::binary(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = ScalarExpr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = ScalarExpr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn primary(&mut self) -> Result<ScalarExpr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n, is_float)) => {
+                self.bump();
+                if !is_float && n.fract() == 0.0 && n.abs() < 1e15 {
+                    Ok(ScalarExpr::Literal(Value::Int(n as i64)))
+                } else {
+                    Ok(ScalarExpr::Literal(Value::Float(n)))
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.bump();
+                Ok(ScalarExpr::Literal(Value::Str(s)))
+            }
+            Some(Token::Minus) => {
+                self.bump();
+                let inner = self.primary()?;
+                Ok(ScalarExpr::binary(BinOp::Sub, ScalarExpr::int(0), inner))
+            }
+            Some(Token::Dollar) => {
+                self.bump();
+                let var = self.ident("binding-variable name after '$'")?;
+                self.expect(Token::Dot, "'.' after binding variable")?;
+                let column = self.ident("column after '$var.'")?;
+                Ok(ScalarExpr::Param { var, column })
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => {
+                if w.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(ScalarExpr::Literal(Value::Null));
+                }
+                if w.eq_ignore_ascii_case("EXISTS") {
+                    self.bump();
+                    self.expect(Token::LParen, "'(' after EXISTS")?;
+                    let q = self.query()?;
+                    self.expect(Token::RParen, "')'")?;
+                    return Ok(ScalarExpr::Exists(Box::new(q)));
+                }
+                if let Some(func) = agg_func(&w) {
+                    if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                        self.bump();
+                        self.bump();
+                        let arg = if self.eat(&Token::Star) {
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect(Token::RParen, "')'")?;
+                        return Ok(ScalarExpr::Aggregate { func, arg });
+                    }
+                }
+                // Plain or qualified column.
+                self.bump();
+                if self.eat(&Token::Dot) {
+                    let name = self.ident("column after '.'")?;
+                    Ok(ScalarExpr::Column {
+                        qualifier: Some(w),
+                        name,
+                    })
+                } else {
+                    Ok(ScalarExpr::Column {
+                        qualifier: None,
+                        name: w,
+                    })
+                }
+            }
+            Some(t) => Err(Error::UnexpectedToken {
+                found: t.to_string(),
+                expected: "an expression",
+            }),
+            None => Err(Error::UnexpectedEnd {
+                expected: "an expression",
+            }),
+        }
+    }
+}
+
+fn agg_func(w: &str) -> Option<AggFunc> {
+    match w.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+fn is_clause_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "WHERE" | "GROUP" | "HAVING" | "ORDER" | "AS" | "ON" | "FROM" | "SELECT" | "OUTER"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_tag_queries() {
+        // Every tag query from Figure 1 (and the composed queries' shapes).
+        for src in [
+            "SELECT metroid, metroname FROM metroarea",
+            "SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4",
+            "SELECT SUM(capacity) FROM confroom WHERE chotel_id=$h.hotelid",
+            "SELECT SUM(capacity) FROM confroom, hotel \
+             WHERE chotel_id=hotelid AND metro_id=$m.metroid",
+            "SELECT * FROM confroom WHERE chotel_id=$h.hotelid",
+            "SELECT COUNT(a_id), startdate FROM availability, guestroom \
+             WHERE rhotel_id=$h.hotelid AND a_r_id=r_id GROUP BY startdate",
+            "SELECT COUNT(a_id) FROM availability, guestroom, hotel \
+             WHERE rhotel_id=hotelid AND a_r_id=r_id AND metro_id=$m.metroid \
+             AND startdate=$a.startdate",
+        ] {
+            parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parses_derived_table_with_group_by_all() {
+        let q = parse_query(
+            "SELECT SUM(capacity), TEMP.* \
+             FROM confroom, (SELECT * FROM hotel \
+                             WHERE metro_id=$m.metroid AND starrating > 4) AS TEMP \
+             WHERE chotel_id=TEMP.hotelid \
+             GROUP BY TEMP.hotelid, TEMP.gym",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(q.select[1], SelectItem::QualifiedStar(ref a) if a == "TEMP"));
+        assert!(matches!(q.from[1], TableRef::Derived { .. }));
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.parameters(), vec!["m".to_owned()]);
+    }
+
+    #[test]
+    fn parses_exists_with_having() {
+        let q = parse_query(
+            "SELECT * FROM confroom \
+             WHERE chotel_id=$s_new.hotelid \
+             AND EXISTS (SELECT COUNT(a_id), startdate \
+                         FROM availability, guestroom \
+                         WHERE rhotel_id=$s_new.hotelid AND a_r_id=r_id \
+                         GROUP BY startdate) \
+             AND EXISTS (SELECT SUM(capacity) FROM confroom \
+                         WHERE chotel_id=$s_new.hotelid \
+                         HAVING SUM(capacity)>100)",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let mut count = 0;
+        fn count_exists(e: &ScalarExpr, n: &mut usize) {
+            match e {
+                ScalarExpr::Exists(_) => *n += 1,
+                ScalarExpr::Binary { lhs, rhs, .. } => {
+                    count_exists(lhs, n);
+                    count_exists(rhs, n);
+                }
+                ScalarExpr::Not(e) => count_exists(e, n),
+                _ => {}
+            }
+        }
+        count_exists(&w, &mut count);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let srcs = [
+            "SELECT metroid, metroname FROM metroarea",
+            "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4",
+            "SELECT COUNT(*) AS n, startdate FROM availability GROUP BY startdate",
+            "SELECT SUM(capacity), TEMP.* FROM confroom, \
+             (SELECT * FROM hotel WHERE starrating > 4) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid GROUP BY TEMP.hotelid",
+            "SELECT * FROM t WHERE NOT (x IS NULL) OR y = 'a''b'",
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u_id = t_id)",
+        ];
+        for src in srcs {
+            let q1 = parse_query(src).unwrap();
+            let q2 = parse_query(&q1.to_sql()).unwrap();
+            assert_eq!(q1, q2, "{src}");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_query("select a from t where a > 1 group by a having count(*) > 2")
+            .unwrap();
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn implicit_and_explicit_aliases() {
+        let q = parse_query("SELECT h.hotelid FROM hotel h, metroarea AS m").unwrap();
+        assert_eq!(q.from[0].binding_name(), "h");
+        assert_eq!(q.from[1].binding_name(), "m");
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(parse_query("SELECT DISTINCT a FROM t").unwrap().distinct);
+        assert!(!parse_query("SELECT a FROM t").unwrap().distinct);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_query("SELECT FROM t"),
+            Err(Error::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            parse_query("SELECT a"),
+            Err(Error::UnexpectedEnd { .. }) | Err(Error::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            parse_query("SELECT a FROM t extra junk ="),
+            Err(Error::TrailingTokens { .. }) | Err(Error::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            parse_query("SELECT a FROM (SELECT b FROM u)"),
+            Err(Error::UnexpectedEnd { .. }) | Err(Error::UnexpectedToken { .. })
+        ));
+        assert!(matches!(parse_query(""), Err(Error::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn string_escape() {
+        let q = parse_query("SELECT * FROM t WHERE a = 'o''hare'").unwrap();
+        let Some(ScalarExpr::Binary { rhs, .. }) = q.where_clause else {
+            panic!()
+        };
+        assert_eq!(*rhs, ScalarExpr::Literal(Value::Str("o'hare".into())));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("SELECT a + b * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.select[0] else {
+            panic!()
+        };
+        let ScalarExpr::Binary { op, rhs, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**rhs, ScalarExpr::Binary { op: BinOp::Mul, .. }));
+    }
+}

@@ -1,0 +1,594 @@
+//! Query-surgery helpers used by the composition algorithm's `UNBIND` and
+//! `NEST` functions (Figures 10–13 of the paper).
+//!
+//! * [`unbind_param`] — replace references to a binding variable
+//!   (`$h.col`) with column references into a derived table that computes
+//!   the binding query (the core of `UNBIND`);
+//! * [`preserve_aggregation`] — when unbinding introduces a derived table
+//!   under an aggregating query, add `GROUP BY` over all of the derived
+//!   table's columns so the per-tuple aggregate semantics are preserved
+//!   (the paper's `GROUP BY TEMP.hotelid, ..., TEMP.gym`);
+//! * [`rename_params`] — rename binding variables according to a
+//!   `bvmap` (Figure 9 lines 21–22);
+//! * [`fresh_alias`] — allocate `TEMP`, `TEMP1`, `TEMP2`, … aliases that do
+//!   not collide with any alias already in the query (the renaming `NEST`
+//!   "must take care of", §4.2.1).
+
+use std::collections::HashMap;
+
+use crate::ast::{ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::error::Result;
+use crate::eval::output_columns;
+use crate::schema::Catalog;
+
+/// Replaces every `$var.col` reference in `q` (including inside derived
+/// tables and EXISTS subqueries) with `alias.col`, and appends
+/// `(binding_query) AS alias` to the FROM clause. Returns `true` if any
+/// reference was replaced (if not, the FROM clause is left untouched).
+pub fn unbind_param(
+    q: &mut SelectQuery,
+    var: &str,
+    alias: &str,
+    binding_query: SelectQuery,
+) -> bool {
+    let mut replaced = false;
+    visit_exprs(q, &mut |e| {
+        if let ScalarExpr::Param { var: v, column } = e {
+            if v == var {
+                *e = ScalarExpr::Column {
+                    qualifier: Some(alias.to_owned()),
+                    name: column.clone(),
+                };
+                replaced = true;
+            }
+        }
+    });
+    if replaced {
+        q.from.push(TableRef::Derived {
+            query: Box::new(binding_query),
+            alias: alias.to_owned(),
+            preserved: false,
+        });
+    }
+    replaced
+}
+
+/// If `q` aggregates, appends `GROUP BY alias.c` for every output column `c`
+/// of the derived table `alias`, and adds `alias.*` to the select list so
+/// the unbound tuple's attributes survive (the paper's
+/// `SELECT SUM(capacity), TEMP.* ... GROUP BY TEMP.hotelid, ..., TEMP.gym`).
+/// No-op for non-aggregating queries.
+pub fn preserve_aggregation(q: &mut SelectQuery, alias: &str, catalog: &Catalog) -> Result<()> {
+    if !q.is_aggregating() {
+        // Non-aggregating: project the derived columns through — unless a
+        // bare `*` already covers every FROM item including the new one.
+        if !q.select.contains(&SelectItem::Star) {
+            q.select.push(SelectItem::QualifiedStar(alias.to_owned()));
+        }
+        return Ok(());
+    }
+    let derived = q
+        .from
+        .iter()
+        .find(|t| t.binding_name() == alias)
+        .expect("alias was just added by unbind_param");
+    let cols = match derived {
+        TableRef::Derived { query, .. } => output_columns(query, catalog)?,
+        TableRef::Named { name, .. } => catalog.get(name)?.column_names(),
+    };
+    q.select.push(SelectItem::QualifiedStar(alias.to_owned()));
+    for c in cols {
+        q.group_by.push(ScalarExpr::qcol(alias, c));
+    }
+    Ok(())
+}
+
+/// Qualifies every unqualified column reference at this query level with
+/// the FROM item that provides it. Called before a new derived table joins
+/// the FROM clause: previously unambiguous names (e.g. `startdate` from
+/// `availability`) may collide with the derived table's output columns
+/// (the paper's Figure 26 contains exactly this ambiguity). References
+/// that no current FROM item provides are left alone (they may resolve in
+/// an enclosing scope); names provided by several FROM items error.
+pub fn qualify_level_columns(
+    q: &mut SelectQuery,
+    catalog: &Catalog,
+    colliding: &[String],
+) -> Result<()> {
+    use crate::error::Error;
+    // Column sets per FROM item.
+    let mut sets: Vec<(String, Vec<String>)> = Vec::new();
+    for t in &q.from {
+        let cols = match t {
+            TableRef::Named { name, .. } => catalog.get(name)?.column_names(),
+            TableRef::Derived { query, .. } => output_columns(query, catalog)?,
+        };
+        sets.push((t.binding_name().to_owned(), cols));
+    }
+    let mut result: Result<()> = Ok(());
+    visit_level_columns(q, &mut |qualifier, name| {
+        if qualifier.is_some() || !colliding.iter().any(|c| c == name) {
+            return;
+        }
+        let providers: Vec<&String> = sets
+            .iter()
+            .filter(|(_, cols)| cols.iter().any(|c| c == name))
+            .map(|(a, _)| a)
+            .collect();
+        match providers.as_slice() {
+            [] => {}
+            [one] => *qualifier = Some((*one).clone()),
+            _ => {
+                if result.is_ok() {
+                    result = Err(Error::AmbiguousColumn {
+                        name: name.to_owned(),
+                    });
+                }
+            }
+        }
+    });
+    result
+}
+
+/// Visits `(qualifier, name)` of every column reference at this query level
+/// (not descending into derived tables or EXISTS subqueries).
+fn visit_level_columns(
+    q: &mut SelectQuery,
+    f: &mut impl FnMut(&mut Option<String>, &str),
+) {
+    fn walk(e: &mut ScalarExpr, f: &mut impl FnMut(&mut Option<String>, &str)) {
+        match e {
+            ScalarExpr::Column { qualifier, name } => f(qualifier, name),
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, f);
+                walk(rhs, f);
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
+            ScalarExpr::Exists(_) => {}
+            _ => {}
+        }
+    }
+    for item in &mut q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, f);
+        }
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk(w, f);
+    }
+    for g in &mut q.group_by {
+        walk(g, f);
+    }
+    if let Some(h) = &mut q.having {
+        walk(h, f);
+    }
+}
+
+/// Nested-aware unbinding: replaces `$var.col` references with columns of
+/// a derived table computing `binding_query`, placing the derived table at
+/// the *innermost* query level that references the variable (a derived
+/// table cannot reference a sibling FROM item, so Figure 16's composed
+/// query nests the metroarea subquery inside the hotel subquery).
+///
+/// Each referencing scope gets its own copy of the binding query under a
+/// fresh alias. Aggregating scopes get `alias.*` projection and `GROUP BY`
+/// extension; when an inner derived table's output widens, enclosing
+/// group-by-all-columns lists over its alias are refreshed.
+pub fn unbind_param_nested(
+    q: &mut SelectQuery,
+    var: &str,
+    binding_query: &SelectQuery,
+    catalog: &Catalog,
+) -> Result<bool> {
+    let mut any = false;
+    let mut widened_aliases: Vec<String> = Vec::new();
+
+    // 1. Recurse into derived tables.
+    for t in &mut q.from {
+        if let TableRef::Derived { query, alias, .. } = t {
+            if unbind_param_nested(query, var, binding_query, catalog)? {
+                any = true;
+                widened_aliases.push(alias.clone());
+            }
+        }
+    }
+    // 2. Recurse into EXISTS subqueries (WHERE and HAVING).
+    fn walk_exists(
+        e: &mut ScalarExpr,
+        var: &str,
+        binding_query: &SelectQuery,
+        catalog: &Catalog,
+        any: &mut bool,
+    ) -> Result<()> {
+        match e {
+            ScalarExpr::Exists(sub) => {
+                if unbind_param_nested(sub, var, binding_query, catalog)? {
+                    *any = true;
+                }
+            }
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk_exists(lhs, var, binding_query, catalog, any)?;
+                walk_exists(rhs, var, binding_query, catalog, any)?;
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => {
+                walk_exists(i, var, binding_query, catalog, any)?
+            }
+            ScalarExpr::Aggregate { arg: Some(a), .. } => {
+                walk_exists(a, var, binding_query, catalog, any)?
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk_exists(w, var, binding_query, catalog, &mut any)?;
+    }
+    if let Some(h) = &mut q.having {
+        walk_exists(h, var, binding_query, catalog, &mut any)?;
+    }
+
+    // 3. Direct references at this level (not inside subqueries).
+    let mut direct = false;
+    visit_level_params(q, &mut |v, _| {
+        if v == var {
+            direct = true;
+        }
+    });
+    if direct {
+        // Qualify existing references that the new FROM item would shadow.
+        let new_cols = output_columns(binding_query, catalog)?;
+        qualify_level_columns(q, catalog, &new_cols)?;
+        let alias = fresh_alias(q);
+        replace_level_params(q, var, &alias);
+        q.from.push(TableRef::Derived {
+            query: Box::new(binding_query.clone()),
+            alias: alias.clone(),
+            preserved: false,
+        });
+        preserve_aggregation(q, &alias, catalog)?;
+        any = true;
+    }
+
+    // 4. Refresh stale group-by-all lists over widened inner aliases.
+    if q.is_aggregating() {
+        for alias in widened_aliases {
+            refresh_group_by_all(q, &alias, catalog)?;
+        }
+    }
+    Ok(any)
+}
+
+/// When a FROM item's output columns change, any `GROUP BY
+/// alias.c1, alias.c2, …` list over it goes stale; this rebuilds it as
+/// "group by every current output column of `alias`" (the only grouping
+/// shape the composition generates). No-op when the query does not group
+/// by that alias.
+pub fn refresh_group_by_all(q: &mut SelectQuery, alias: &str, catalog: &Catalog) -> Result<()> {
+    let grouped: bool = q.group_by.iter().any(
+        |g| matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias),
+    );
+    if !grouped {
+        return Ok(());
+    }
+    let cols = match q.from.iter().find(|t| t.binding_name() == alias) {
+        Some(TableRef::Derived { query, .. }) => output_columns(query, catalog)?,
+        Some(TableRef::Named { name, .. }) => catalog.get(name)?.column_names(),
+        None => return Ok(()),
+    };
+    q.group_by.retain(|g| {
+        !matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias)
+    });
+    for c in cols {
+        q.group_by.push(ScalarExpr::qcol(alias, c));
+    }
+    Ok(())
+}
+
+/// Visits `$var.col` params at this query level only (no subqueries).
+fn visit_level_params(q: &mut SelectQuery, f: &mut impl FnMut(&str, &str)) {
+    fn walk(e: &mut ScalarExpr, f: &mut impl FnMut(&str, &str)) {
+        match e {
+            ScalarExpr::Param { var, column } => f(var, column),
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, f);
+                walk(rhs, f);
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
+            ScalarExpr::Exists(_) => {}
+            _ => {}
+        }
+    }
+    for item in &mut q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, f);
+        }
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk(w, f);
+    }
+    for g in &mut q.group_by {
+        walk(g, f);
+    }
+    if let Some(h) = &mut q.having {
+        walk(h, f);
+    }
+}
+
+fn replace_level_params(q: &mut SelectQuery, var: &str, alias: &str) {
+    fn walk(e: &mut ScalarExpr, var: &str, alias: &str) {
+        match e {
+            ScalarExpr::Param { var: v, column } if v == var => {
+                *e = ScalarExpr::Column {
+                    qualifier: Some(alias.to_owned()),
+                    name: column.clone(),
+                };
+            }
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, var, alias);
+                walk(rhs, var, alias);
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, var, alias),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, var, alias),
+            _ => {}
+        }
+    }
+    for item in &mut q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, var, alias);
+        }
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk(w, var, alias);
+    }
+    for g in &mut q.group_by {
+        walk(g, var, alias);
+    }
+    if let Some(h) = &mut q.having {
+        walk(h, var, alias);
+    }
+}
+
+/// Renames binding-variable references throughout the query:
+/// `$old.col` → `$new.col` for every `(old, new)` entry of `map`.
+pub fn rename_params(q: &mut SelectQuery, map: &HashMap<String, String>) {
+    visit_exprs(q, &mut |e| {
+        if let ScalarExpr::Param { var, .. } = e {
+            if let Some(new) = map.get(var) {
+                *var = new.clone();
+            }
+        }
+    });
+}
+
+/// Returns a derived-table alias (`TEMP`, `TEMP1`, `TEMP2`, …) unused by any
+/// FROM item anywhere inside `q`.
+pub fn fresh_alias(q: &SelectQuery) -> String {
+    fresh_alias_among(&[q], "TEMP")
+}
+
+/// Like [`fresh_alias`], but with a custom prefix and avoiding collisions
+/// across several queries at once (used when correlating EXISTS
+/// subqueries, where the alias must be unique in both scopes).
+pub fn fresh_alias_among(queries: &[&SelectQuery], prefix: &str) -> String {
+    let mut used = std::collections::HashSet::new();
+    for q in queries {
+        collect_aliases(q, &mut used);
+    }
+    if !used.contains(prefix) {
+        return prefix.to_owned();
+    }
+    let mut i = 1;
+    loop {
+        let cand = format!("{prefix}{i}");
+        if !used.contains(cand.as_str()) {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// True if `name` is bound as a FROM alias anywhere inside `q`.
+pub fn binds_alias(q: &SelectQuery, name: &str) -> bool {
+    let mut used = std::collections::HashSet::new();
+    collect_aliases(q, &mut used);
+    used.contains(name)
+}
+
+fn collect_aliases(q: &SelectQuery, out: &mut std::collections::HashSet<String>) {
+    for t in &q.from {
+        out.insert(t.binding_name().to_owned());
+        if let TableRef::Derived { query, .. } = t {
+            collect_aliases(query, out);
+        }
+    }
+    let mut visit = |e: &ScalarExpr| {
+        if let ScalarExpr::Exists(sub) = e {
+            collect_aliases(sub, out);
+        }
+    };
+    for item in &q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, &mut visit);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        walk(w, &mut visit);
+    }
+    if let Some(h) = &q.having {
+        walk(h, &mut visit);
+    }
+}
+
+fn walk(e: &ScalarExpr, f: &mut impl FnMut(&ScalarExpr)) {
+    f(e);
+    match e {
+        ScalarExpr::Binary { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
+        ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
+        ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
+        _ => {}
+    }
+}
+
+/// Applies `f` to every scalar expression in the query, recursing into
+/// derived tables and EXISTS subqueries.
+pub fn visit_exprs(q: &mut SelectQuery, f: &mut impl FnMut(&mut ScalarExpr)) {
+    fn walk_mut(e: &mut ScalarExpr, f: &mut impl FnMut(&mut ScalarExpr)) {
+        f(e);
+        match e {
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                walk_mut(lhs, f);
+                walk_mut(rhs, f);
+            }
+            ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk_mut(i, f),
+            ScalarExpr::Aggregate { arg: Some(a), .. } => walk_mut(a, f),
+            ScalarExpr::Exists(sub) => visit_exprs(sub, f),
+            _ => {}
+        }
+    }
+    for item in &mut q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_mut(expr, f);
+        }
+    }
+    for t in &mut q.from {
+        if let TableRef::Derived { query, .. } = t {
+            visit_exprs(query, f);
+        }
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk_mut(w, f);
+    }
+    for g in &mut q.group_by {
+        walk_mut(g, f);
+    }
+    if let Some(h) = &mut q.having {
+        walk_mut(h, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use crate::schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c.add(
+            TableSchema::new(
+                "confroom",
+                vec![
+                    ColumnDef::new("chotel_id", ColumnType::Int),
+                    ColumnDef::new("capacity", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn unbind_replaces_params_and_adds_derived_table() {
+        // The paper's running example: unbinding Qs(h) with Qh(m).
+        let mut qs =
+            parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id=$h.hotelid").unwrap();
+        let qh =
+            parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4")
+                .unwrap();
+        assert!(unbind_param(&mut qs, "h", "TEMP", qh));
+        let sql = qs.to_sql_inline();
+        assert!(sql.contains("chotel_id = TEMP.hotelid"), "{sql}");
+        assert!(sql.contains(") AS TEMP"), "{sql}");
+        // $m is still a parameter (unbinding stops at the LCA).
+        assert_eq!(qs.parameters(), vec!["m".to_owned()]);
+    }
+
+    #[test]
+    fn unbind_noop_when_var_absent() {
+        let mut q = parse_query("SELECT * FROM hotel").unwrap();
+        let sub = parse_query("SELECT * FROM confroom").unwrap();
+        assert!(!unbind_param(&mut q, "h", "TEMP", sub));
+        assert_eq!(q.from.len(), 1);
+    }
+
+    #[test]
+    fn preserve_aggregation_groups_by_all_derived_columns() {
+        let mut qs =
+            parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id=$h.hotelid").unwrap();
+        let qh = parse_query("SELECT * FROM hotel WHERE starrating > 4").unwrap();
+        unbind_param(&mut qs, "h", "TEMP", qh);
+        preserve_aggregation(&mut qs, "TEMP", &catalog()).unwrap();
+        let sql = qs.to_sql();
+        assert!(sql.contains("SELECT SUM(capacity), TEMP.*"), "{sql}");
+        assert!(
+            sql.contains("GROUP BY TEMP.hotelid, TEMP.starrating, TEMP.metro_id"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn preserve_aggregation_noop_for_plain_queries() {
+        let mut q = parse_query("SELECT * FROM confroom WHERE chotel_id=$h.hotelid").unwrap();
+        let qh = parse_query("SELECT * FROM hotel").unwrap();
+        unbind_param(&mut q, "h", "TEMP", qh);
+        preserve_aggregation(&mut q, "TEMP", &catalog()).unwrap();
+        assert!(q.group_by.is_empty());
+        // `SELECT *` already spans the derived table; no TEMP.* is added.
+        assert!(q.to_sql_inline().starts_with("SELECT * FROM confroom"));
+    }
+
+    #[test]
+    fn rename_params_applies_map_recursively() {
+        let mut q = parse_query(
+            "SELECT * FROM confroom WHERE chotel_id=$h.hotelid \
+             AND EXISTS (SELECT * FROM hotel WHERE metro_id=$m.metroid)",
+        )
+        .unwrap();
+        let mut map = HashMap::new();
+        map.insert("h".to_owned(), "s_new".to_owned());
+        map.insert("m".to_owned(), "m_new".to_owned());
+        rename_params(&mut q, &map);
+        let sql = q.to_sql_inline();
+        assert!(sql.contains("$s_new.hotelid"), "{sql}");
+        assert!(sql.contains("$m_new.metroid"), "{sql}");
+        assert_eq!(q.parameters(), vec!["s_new".to_owned(), "m_new".to_owned()]);
+    }
+
+    #[test]
+    fn fresh_alias_avoids_collisions() {
+        let q = parse_query("SELECT * FROM hotel").unwrap();
+        assert_eq!(fresh_alias(&q), "TEMP");
+        let q = parse_query(
+            "SELECT * FROM (SELECT * FROM hotel) AS TEMP, \
+             (SELECT * FROM confroom) AS TEMP1",
+        )
+        .unwrap();
+        assert_eq!(fresh_alias(&q), "TEMP2");
+    }
+
+    #[test]
+    fn fresh_alias_sees_exists_subqueries() {
+        let q = parse_query(
+            "SELECT * FROM hotel WHERE EXISTS \
+             (SELECT * FROM (SELECT * FROM confroom) AS TEMP)",
+        )
+        .unwrap();
+        assert_eq!(fresh_alias(&q), "TEMP1");
+    }
+}

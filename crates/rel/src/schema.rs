@@ -1,0 +1,219 @@
+//! Table schemas and the catalog.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Column type, used for validation and workload generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String (also dates, as ISO-8601 strings).
+    Str,
+}
+
+impl ColumnType {
+    /// True if `v` is storable in a column of this type (NULL always is).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema; column names must be unique.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(Error::SchemaMismatch {
+                    reason: format!("duplicate column {:?} in table {:?}", c.name, name),
+                });
+            }
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates one row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::SchemaMismatch {
+                reason: format!(
+                    "table {:?} expects {} columns, row has {}",
+                    self.name,
+                    self.columns.len(),
+                    row.len()
+                ),
+            });
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if !col.ty.admits(v) {
+                return Err(Error::SchemaMismatch {
+                    reason: format!(
+                        "value {v} does not fit column {}.{} of type {:?}",
+                        self.name, col.name, col.ty
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A catalog: the set of table schemas, keyed by name.
+///
+/// Uses a `BTreeMap` so iteration (and thus rendered artifacts) is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a table schema.
+    pub fn add(&mut self, schema: TableSchema) {
+        self.tables.insert(schema.name.clone(), schema);
+    }
+
+    /// Looks up a table schema.
+    pub fn get(&self, name: &str) -> Result<&TableSchema> {
+        self.tables.get(name).ok_or_else(|| Error::UnknownTable {
+            name: name.to_owned(),
+        })
+    }
+
+    /// True if the catalog has a table of this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterates schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are defined.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metro_schema() -> TableSchema {
+        TableSchema::new(
+            "metroarea",
+            vec![
+                ColumnDef::new("metroid", ColumnType::Int),
+                ColumnDef::new("metroname", ColumnType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        assert!(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Str),
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = metro_schema();
+        assert!(s.check_row(&[Value::Int(1), Value::Str("chi".into())]).is_ok());
+        assert!(s.check_row(&[Value::Null, Value::Null]).is_ok());
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        assert!(s
+            .check_row(&[Value::Str("x".into()), Value::Str("chi".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn float_columns_admit_ints() {
+        let s = TableSchema::new("t", vec![ColumnDef::new("x", ColumnType::Float)]).unwrap();
+        assert!(s.check_row(&[Value::Int(3)]).is_ok());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        c.add(metro_schema());
+        assert!(c.get("metroarea").is_ok());
+        assert!(matches!(c.get("nope"), Err(Error::UnknownTable { .. })));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = metro_schema();
+        assert_eq!(s.column_index("metroname"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Row storage: tables and the database (catalog + data).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::schema::{Catalog, TableSchema};
+use crate::value::Value;
+
+/// A table: schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row after validating it against the schema.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A database instance `I`: a catalog and the table contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table from a schema (empty).
+    pub fn create_table(&mut self, schema: TableSchema) {
+        self.tables
+            .insert(schema.name.clone(), Table::new(schema));
+    }
+
+    /// Inserts a row into the named table.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        match self.tables.get_mut(table) {
+            Some(t) => t.insert(row),
+            None => Err(Error::UnknownTable {
+                name: table.to_owned(),
+            }),
+        }
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| Error::UnknownTable {
+            name: name.to_owned(),
+        })
+    }
+
+    /// The catalog view of this database (schemas only).
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for t in self.tables.values() {
+            c.add(t.schema.clone());
+        }
+        c
+    }
+
+    /// Iterates tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "metroarea",
+                vec![
+                    ColumnDef::new("metroid", ColumnType::Int),
+                    ColumnDef::new("metroname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut db = db();
+        db.insert("metroarea", vec![Value::Int(1), Value::Str("chicago".into())])
+            .unwrap();
+        let t = db.table("metroarea").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][1], Value::Str("chicago".into()));
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut db = db();
+        assert!(db
+            .insert("metroarea", vec![Value::Str("x".into()), Value::Int(1)])
+            .is_err());
+        assert!(matches!(
+            db.insert("nope", vec![]),
+            Err(Error::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_reflects_tables() {
+        let db = db();
+        let c = db.catalog();
+        assert!(c.contains("metroarea"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let mut db = db();
+        db.insert("metroarea", vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        db.insert("metroarea", vec![Value::Int(2), Value::Str("b".into())])
+            .unwrap();
+        assert_eq!(db.total_rows(), 2);
+    }
+}

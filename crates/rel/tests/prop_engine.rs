@@ -1,0 +1,253 @@
+//! Property tests for the relational engine:
+//!
+//! * the SQL printer and parser are mutually inverse on generated ASTs;
+//! * hash-join and nested-loop execution agree on every generated query;
+//! * EXISTS caching never changes results;
+//! * WHERE-conjunct order never changes results.
+
+use proptest::prelude::*;
+use xvc_rel::{
+    eval_query_with, parse_query, AggFunc, BinOp, ColumnDef, ColumnType, Database, EvalOptions,
+    ParamEnv, ScalarExpr, SelectItem, SelectQuery, TableRef, TableSchema, Value,
+};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Two small tables `r(a, b, k)` and `s(c, k)` with random integer rows.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let row_r = (0i64..5, 0i64..5, 0i64..4);
+    let row_s = (0i64..5, 0i64..4);
+    (
+        prop::collection::vec(row_r, 0..8),
+        prop::collection::vec(row_s, 0..8),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut db = Database::new();
+            db.create_table(
+                TableSchema::new(
+                    "r",
+                    vec![
+                        ColumnDef::new("a", ColumnType::Int),
+                        ColumnDef::new("b", ColumnType::Int),
+                        ColumnDef::new("k", ColumnType::Int),
+                    ],
+                )
+                .unwrap(),
+            );
+            db.create_table(
+                TableSchema::new(
+                    "s",
+                    vec![
+                        ColumnDef::new("c", ColumnType::Int),
+                        ColumnDef::new("k2", ColumnType::Int),
+                    ],
+                )
+                .unwrap(),
+            );
+            for (a, b, k) in rs {
+                db.insert("r", vec![Value::Int(a), Value::Int(b), Value::Int(k)])
+                    .unwrap();
+            }
+            for (c, k) in ss {
+                db.insert("s", vec![Value::Int(c), Value::Int(k)]).unwrap();
+            }
+            db
+        })
+}
+
+fn cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// A conjunctive filter over `r` and `s` columns, always including the
+/// equi-join key so hash joins have something to chew on. Bounds mix
+/// integer and float literals (floats exercise the printer's `3.0`
+/// round-trip and the evaluator's mixed-type comparisons).
+fn where_strategy() -> impl Strategy<Value = ScalarExpr> {
+    let atom = (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        cmp_op(),
+        0i64..5,
+        any::<bool>(),
+    )
+        .prop_map(|(col, op, v, as_float)| {
+            let bound = if as_float {
+                ScalarExpr::Literal(Value::Float(v as f64))
+            } else {
+                ScalarExpr::int(v)
+            };
+            ScalarExpr::binary(op, ScalarExpr::col(col), bound)
+        });
+    prop::collection::vec(atom, 0..3).prop_map(|extra| {
+        let mut pred = ScalarExpr::eq(ScalarExpr::col("k"), ScalarExpr::col("k2"));
+        for e in extra {
+            pred = ScalarExpr::binary(BinOp::And, pred, e);
+        }
+        pred
+    })
+}
+
+fn join_query_strategy() -> impl Strategy<Value = SelectQuery> {
+    (where_strategy(), any::<bool>(), any::<bool>()).prop_map(|(w, agg, distinct)| {
+        let select = if agg {
+            vec![
+                SelectItem::expr(ScalarExpr::col("k")),
+                SelectItem::expr(ScalarExpr::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                }),
+                SelectItem::aliased(
+                    ScalarExpr::Aggregate {
+                        func: AggFunc::Sum,
+                        arg: Some(Box::new(ScalarExpr::col("a"))),
+                    },
+                    "total",
+                ),
+            ]
+        } else {
+            vec![SelectItem::Star]
+        };
+        let mut q = SelectQuery::new(
+            select,
+            vec![TableRef::table("r"), TableRef::table("s")],
+        );
+        q.distinct = distinct && !agg;
+        q.where_clause = Some(w);
+        if agg {
+            q.group_by = vec![ScalarExpr::col("k")];
+        }
+        q
+    })
+}
+
+/// Sorts rows for order-insensitive comparison.
+fn canonical(rel: &xvc_rel::Relation) -> Vec<String> {
+    let mut rows: Vec<String> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(cases(128))]
+
+    /// print → parse is the identity on generated join queries.
+    #[test]
+    fn sql_printer_parser_roundtrip(q in join_query_strategy()) {
+        let sql = q.to_sql();
+        let reparsed = parse_query(&sql).unwrap();
+        prop_assert_eq!(&q, &reparsed, "{}", sql);
+        // And the printer is a fixed point.
+        prop_assert_eq!(sql.clone(), reparsed.to_sql());
+    }
+
+    /// Hash joins and nested loops agree (same multiset of rows).
+    #[test]
+    fn hash_join_equals_nested_loop(db in db_strategy(), q in join_query_strategy()) {
+        let hash = eval_query_with(&db, &q, &ParamEnv::new(), EvalOptions::default()).unwrap();
+        let nested = eval_query_with(
+            &db,
+            &q,
+            &ParamEnv::new(),
+            EvalOptions { hash_joins: false, ..EvalOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(hash.columns.clone(), nested.columns.clone());
+        prop_assert_eq!(canonical(&hash), canonical(&nested), "{}", q.to_sql());
+    }
+
+    /// EXISTS caching never changes results.
+    #[test]
+    fn exists_cache_is_transparent(db in db_strategy(), threshold in 0i64..5) {
+        let q = parse_query(&format!(
+            "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE c > {threshold})"
+        ))
+        .unwrap();
+        let qc = parse_query(&format!(
+            "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE k2 = k AND c > {threshold})"
+        ))
+        .unwrap();
+        for query in [&q, &qc] {
+            let cached =
+                eval_query_with(&db, query, &ParamEnv::new(), EvalOptions::default()).unwrap();
+            let uncached = eval_query_with(
+                &db,
+                query,
+                &ParamEnv::new(),
+                EvalOptions { cache_uncorrelated_exists: false, ..EvalOptions::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(canonical(&cached), canonical(&uncached));
+        }
+    }
+
+    /// Reordering WHERE conjuncts never changes results (the pushdown and
+    /// join-key extraction must be order-insensitive in effect).
+    #[test]
+    fn conjunct_order_is_irrelevant(db in db_strategy(), q in join_query_strategy()) {
+        fn flatten(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+            match e {
+                ScalarExpr::Binary { op: BinOp::And, lhs, rhs } => {
+                    flatten(lhs, out);
+                    flatten(rhs, out);
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        let mut conjuncts = Vec::new();
+        flatten(q.where_clause.as_ref().unwrap(), &mut conjuncts);
+        let mut reversed = conjuncts.clone();
+        reversed.reverse();
+        let rebuild = |cs: &[ScalarExpr]| {
+            let mut it = cs.iter().cloned();
+            let first = it.next().unwrap();
+            it.fold(first, |acc, c| ScalarExpr::binary(BinOp::And, acc, c))
+        };
+        let mut q2 = q.clone();
+        q2.where_clause = Some(rebuild(&reversed));
+        let a = eval_query_with(&db, &q, &ParamEnv::new(), EvalOptions::default()).unwrap();
+        let b = eval_query_with(&db, &q2, &ParamEnv::new(), EvalOptions::default()).unwrap();
+        prop_assert_eq!(canonical(&a), canonical(&b), "{}", q.to_sql());
+    }
+
+    /// DISTINCT is idempotent and never increases cardinality.
+    #[test]
+    fn distinct_laws(db in db_strategy(), q in join_query_strategy()) {
+        let mut qd = q.clone();
+        qd.distinct = true;
+        let plain = eval_query_with(&db, &q, &ParamEnv::new(), EvalOptions::default()).unwrap();
+        let distinct = eval_query_with(&db, &qd, &ParamEnv::new(), EvalOptions::default()).unwrap();
+        prop_assert!(distinct.len() <= plain.len());
+        let mut unique = canonical(&distinct);
+        unique.dedup();
+        prop_assert_eq!(unique.len(), distinct.len());
+    }
+}

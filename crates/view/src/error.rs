@@ -1,0 +1,78 @@
+//! Error type for schema-tree construction, validation and publishing.
+
+use std::fmt;
+
+/// Result alias used throughout `xvc-view`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by schema-tree validation and publishing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two view nodes share the same paper-level id.
+    DuplicateId {
+        /// The repeated id.
+        id: u32,
+    },
+    /// Two view nodes share the same binding variable.
+    DuplicateBindingVariable {
+        /// The repeated binding-variable name.
+        bv: String,
+    },
+    /// A tag query references a binding variable that no strict ancestor
+    /// defines (Definition 1: parameters must be binding variables of
+    /// ancestor nodes).
+    UnboundViewParameter {
+        /// Id of the offending node.
+        node_id: u32,
+        /// The unbound binding-variable name.
+        var: String,
+    },
+    /// A node tag is not a valid XML name.
+    InvalidTag {
+        /// The offending tag.
+        tag: String,
+    },
+    /// Syntax error in a textual view definition.
+    ViewSyntax {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Error from the relational engine while running a tag query.
+    Rel(
+        /// The underlying error.
+        xvc_rel::Error,
+    ),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateId { id } => write!(f, "duplicate view-node id {id}"),
+            Error::DuplicateBindingVariable { bv } => {
+                write!(f, "duplicate binding variable ${bv}")
+            }
+            Error::UnboundViewParameter { node_id, var } => write!(
+                f,
+                "tag query of node {node_id} references ${var}, which no ancestor binds"
+            ),
+            Error::InvalidTag { tag } => write!(f, "invalid XML tag {tag:?}"),
+            Error::ViewSyntax { reason } => write!(f, "view definition: {reason}"),
+            Error::Rel(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xvc_rel::Error> for Error {
+    fn from(e: xvc_rel::Error) -> Self {
+        Error::Rel(e)
+    }
+}

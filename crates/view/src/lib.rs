@@ -1,0 +1,32 @@
+//! # `xvc-view` — XML-publishing middleware (schema-tree view queries)
+//!
+//! Implements Definition 1 of the paper: a *schema-tree query* `v` is a tree
+//! of nodes, each carrying a unique id, an XML tag, a binding variable, and
+//! a parameterized SQL *tag query*. Evaluating `v` against a relational
+//! database instance `I` produces an XML document `v(I)`: each tuple
+//! returned by a node's tag query becomes an element bearing the node's
+//! tag, with the tuple's columns as XML attributes; the node's binding
+//! variable ranges over those tuples and parameterizes the tag queries of
+//! descendant nodes. A unique document root is implied (§2.1).
+//!
+//! The format is adapted from ROLEX \[2, 3\], itself adapted from the
+//! intermediate query representation of SilkRoute — the paper's composition
+//! algorithm "does not rely on any particular features of ROLEX".
+//!
+//! Publishing tracks [`PublishStats`] (elements materialized, tuples
+//! fetched, queries executed) — the currency of the paper's efficiency
+//! argument: the composed stylesheet view "does not generate the
+//! unnecessary nodes".
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod error;
+pub mod parse;
+pub mod publish;
+pub mod schema_tree;
+
+pub use error::{Error, Result};
+pub use parse::parse_view;
+pub use publish::{publish, publish_node_count, PublishStats};
+pub use schema_tree::{AttrProjection, SchemaTree, ViewNode, ViewNodeId};

@@ -1,0 +1,256 @@
+//! A textual format for schema-tree view definitions, so views can live in
+//! files next to stylesheets (used by the `xvc` CLI).
+//!
+//! ```text
+//! # conference planning view (Figure 1)
+//! node metro $m {
+//!     query: SELECT metroid, metroname FROM metroarea;
+//!     node confstat $cs {
+//!         query: SELECT SUM(capacity) FROM confroom, hotel
+//!                WHERE chotel_id = hotelid AND metro_id = $m.metroid;
+//!     }
+//!     node hotel $h {
+//!         query: SELECT * FROM hotel WHERE metro_id = $m.metroid;
+//!     }
+//! }
+//! ```
+//!
+//! Grammar: `node TAG $BV { query: SQL ; child-nodes... }`, `#` line
+//! comments. Paper-level ids are assigned in definition order (1-based).
+
+use xvc_rel::parse_query;
+
+use crate::error::{Error, Result};
+use crate::schema_tree::{SchemaTree, ViewNode, ViewNodeId};
+
+/// Parses a view definition (see module docs).
+pub fn parse_view(input: &str) -> Result<SchemaTree> {
+    // Strip # comments.
+    let cleaned: String = input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut p = Parser {
+        src: &cleaned,
+        pos: 0,
+        tree: SchemaTree::new(),
+        next_id: 1,
+    };
+    p.skip_ws();
+    while !p.at_end() {
+        let root = p.tree.root();
+        p.node(root)?;
+        p.skip_ws();
+    }
+    if p.tree.is_empty() {
+        return Err(Error::ViewSyntax {
+            reason: "the view definition declares no nodes".into(),
+        });
+    }
+    p.tree.validate()?;
+    Ok(p.tree)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+    tree: SchemaTree,
+    next_id: u32,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        self.skip_ws();
+        if self.rest().starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::ViewSyntax {
+                reason: format!(
+                    "expected `{word}` near `{}`",
+                    self.rest().chars().take(30).collect::<String>()
+                ),
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        self.skip_ws();
+        let ident: String = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() {
+            return Err(Error::ViewSyntax {
+                reason: format!(
+                    "expected {what} near `{}`",
+                    self.rest().chars().take(30).collect::<String>()
+                ),
+            });
+        }
+        self.pos += ident.len();
+        Ok(ident)
+    }
+
+    fn node(&mut self, parent: ViewNodeId) -> Result<()> {
+        self.expect_word("node")?;
+        let tag = self.ident("a tag name")?;
+        self.expect_word("$")?;
+        let bv = self.ident("a binding variable")?;
+        self.expect_word("{")?;
+        self.expect_word("query")?;
+        self.expect_word(":")?;
+        // SQL runs until the terminating `;`.
+        let sql_end = self.rest().find(';').ok_or_else(|| Error::ViewSyntax {
+            reason: format!("missing `;` after the query of <{tag}>"),
+        })?;
+        let sql = self.rest()[..sql_end].trim().to_owned();
+        self.pos += sql_end + 1;
+        let query = parse_query(&sql).map_err(|e| Error::ViewSyntax {
+            reason: format!("tag query of <{tag}>: {e}"),
+        })?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let vid = self.tree.add_child(parent, ViewNode::new(id, tag, bv, query))?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('}') {
+                self.pos += 1;
+                return Ok(());
+            }
+            if self.rest().starts_with("node") {
+                self.node(vid)?;
+            } else {
+                return Err(Error::ViewSyntax {
+                    reason: format!(
+                        "expected `node` or `}}` near `{}`",
+                        self.rest().chars().take(30).collect::<String>()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1_SUBSET: &str = r#"
+        # two levels of the Figure 1 view
+        node metro $m {
+            query: SELECT metroid, metroname FROM metroarea;
+            node hotel $h {
+                query: SELECT * FROM hotel
+                       WHERE metro_id = $m.metroid AND starrating > 4;
+                node confstat $s {
+                    query: SELECT SUM(capacity) FROM confroom
+                           WHERE chotel_id = $h.hotelid;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_nested_view() {
+        let v = parse_view(FIG1_SUBSET).unwrap();
+        assert_eq!(v.len(), 3);
+        let metro = v.find_by_paper_id(1).unwrap();
+        assert_eq!(v.tag(metro), Some("metro"));
+        let hotel = v.find_by_paper_id(2).unwrap();
+        assert_eq!(v.parent(hotel), Some(metro));
+        assert_eq!(v.bv(hotel), Some("h"));
+        let stat = v.find_by_paper_id(3).unwrap();
+        assert_eq!(v.parent(stat), Some(hotel));
+    }
+
+    #[test]
+    fn roundtrips_through_render_semantics() {
+        // Not a textual round-trip (render is a display format), but the
+        // parsed tree publishes exactly like a hand-built one.
+        let parsed = parse_view(FIG1_SUBSET).unwrap();
+        let mut built = SchemaTree::new();
+        let m = built
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let h = built
+            .add_child(
+                m,
+                ViewNode::new(
+                    2,
+                    "hotel",
+                    "h",
+                    parse_query(
+                        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4",
+                    )
+                    .unwrap(),
+                ),
+            )
+            .unwrap();
+        built
+            .add_child(
+                h,
+                ViewNode::new(
+                    3,
+                    "confstat",
+                    "s",
+                    parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id = $h.hotelid")
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn multiple_roots() {
+        let v = parse_view(
+            "node a $x { query: SELECT metroid FROM metroarea; }\n\
+             node b $y { query: SELECT metroid FROM metroarea; }",
+        )
+        .unwrap();
+        assert_eq!(v.children(v.root()).len(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_are_descriptive() {
+        let e = parse_view("node metro { query: SELECT 1 FROM t; }").unwrap_err();
+        assert!(e.to_string().contains("expected `$`"), "{e}");
+        let e = parse_view("node metro $m { query: SELECT metroid FROM metroarea }").unwrap_err();
+        assert!(e.to_string().contains("missing `;`"), "{e}");
+        let e = parse_view("").unwrap_err();
+        assert!(e.to_string().contains("no nodes"), "{e}");
+        let e = parse_view("node m $m { query: NOT SQL; }").unwrap_err();
+        assert!(e.to_string().contains("tag query"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // $ghost is bound by no ancestor.
+        let e = parse_view(
+            "node a $x { query: SELECT * FROM t WHERE c = $ghost.id; }",
+        )
+        .unwrap_err();
+        assert!(matches!(e, Error::UnboundViewParameter { .. }));
+    }
+}

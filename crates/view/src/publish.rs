@@ -1,0 +1,412 @@
+//! Publishing: evaluating a schema-tree query to an XML document, `v(I)`.
+
+use xvc_rel::{eval_query, Database, ParamEnv, Relation};
+use xvc_xml::{Document, TreeBuilder};
+
+use crate::error::Result;
+use crate::schema_tree::{AttrProjection, SchemaTree, ViewNodeId};
+
+/// Materialization statistics for one publish run.
+///
+/// These are the paper's efficiency currency: the composed stylesheet view
+/// wins precisely because it materializes fewer elements and runs fewer
+/// tag queries than publishing the full view and transforming it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// XML elements created.
+    pub elements: usize,
+    /// Attributes attached.
+    pub attributes: usize,
+    /// Tag-query executions (one per parent tuple per child node).
+    pub queries_run: usize,
+    /// Tuples fetched across all tag-query executions.
+    pub tuples_fetched: usize,
+}
+
+/// Evaluates the schema-tree query against a database instance, producing
+/// the XML document `v(I)` plus materialization statistics.
+pub fn publish(tree: &SchemaTree, db: &Database) -> Result<(Document, PublishStats)> {
+    tree.validate()?;
+    let mut builder = TreeBuilder::new();
+    let mut stats = PublishStats::default();
+    let env = ParamEnv::new();
+    for &child in tree.children(tree.root()) {
+        publish_node(tree, db, child, &env, &mut builder, &mut stats)?;
+    }
+    Ok((builder.finish(), stats))
+}
+
+/// Convenience: number of elements `v(I)` would materialize.
+pub fn publish_node_count(tree: &SchemaTree, db: &Database) -> Result<usize> {
+    publish(tree, db).map(|(_, s)| s.elements)
+}
+
+fn publish_node(
+    tree: &SchemaTree,
+    db: &Database,
+    vid: ViewNodeId,
+    env: &ParamEnv,
+    builder: &mut TreeBuilder,
+    stats: &mut PublishStats,
+) -> Result<()> {
+    let node = tree.node(vid).expect("publish_node is never called on root");
+
+    // Emission guard: `SELECT 1 WHERE guard` over the current bindings.
+    if let Some(guard) = &node.guard {
+        let mut probe = xvc_rel::SelectQuery::new(
+            vec![xvc_rel::SelectItem::expr(xvc_rel::ScalarExpr::int(1))],
+            vec![],
+        );
+        probe.where_clause = Some(guard.clone());
+        stats.queries_run += 1;
+        if eval_query(db, &probe, env)?.is_empty() {
+            return Ok(());
+        }
+    }
+
+    // Context-copy element: one instance per parent, attributes from the
+    // tuple already bound to `$var` in the environment.
+    if let Some(var) = &node.context_tuple_of {
+        builder.open(&node.tag);
+        stats.elements += 1;
+        for (k, v) in &node.static_attrs {
+            builder.attr(k.clone(), v.clone());
+            stats.attributes += 1;
+        }
+        let mut child_env = env.clone();
+        if let Some(tuple) = env.get(var) {
+            let mut seen = std::collections::HashSet::new();
+            for (c, val) in tuple.columns.iter().zip(&tuple.values) {
+                let wanted = match &node.attrs {
+                    AttrProjection::All => true,
+                    AttrProjection::None => false,
+                    AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
+                };
+                if !wanted || val.is_null() || !seen.insert(c.as_str()) {
+                    continue;
+                }
+                builder.attr(c, val.render());
+                stats.attributes += 1;
+            }
+            if !node.bv.is_empty() {
+                child_env.insert(node.bv.clone(), tuple.clone());
+            }
+        }
+        for &child in tree.children(vid) {
+            publish_node(tree, db, child, &child_env, builder, stats)?;
+        }
+        builder.close();
+        return Ok(());
+    }
+
+    // Literal element: exactly one instance per parent, no tuple data.
+    let Some(query) = &node.query else {
+        builder.open(&node.tag);
+        stats.elements += 1;
+        for (k, v) in &node.static_attrs {
+            builder.attr(k.clone(), v.clone());
+            stats.attributes += 1;
+        }
+        for &child in tree.children(vid) {
+            publish_node(tree, db, child, env, builder, stats)?;
+        }
+        builder.close();
+        return Ok(());
+    };
+
+    let rel: Relation = eval_query(db, query, env)?;
+    stats.queries_run += 1;
+    stats.tuples_fetched += rel.len();
+    for i in 0..rel.len() {
+        builder.open(&node.tag);
+        stats.elements += 1;
+        for (k, v) in &node.static_attrs {
+            builder.attr(k.clone(), v.clone());
+            stats.attributes += 1;
+        }
+        // Projected columns become attributes; NULLs are omitted; on
+        // duplicate column names the first occurrence wins.
+        let mut seen = std::collections::HashSet::new();
+        for (c, val) in rel.columns.iter().zip(&rel.rows[i]) {
+            let wanted = match &node.attrs {
+                AttrProjection::All => true,
+                AttrProjection::None => false,
+                AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
+            };
+            if !wanted || val.is_null() || !seen.insert(c.as_str()) {
+                continue;
+            }
+            builder.attr(c, val.render());
+            stats.attributes += 1;
+        }
+        if !tree.children(vid).is_empty() {
+            let mut child_env = env.clone();
+            child_env.insert(node.bv.clone(), rel.tuple(i));
+            for &child in tree.children(vid) {
+                publish_node(tree, db, child, &child_env, builder, stats)?;
+            }
+        }
+        builder.close();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_tree::ViewNode;
+    use xvc_rel::{parse_query, ColumnDef, ColumnType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "metroarea",
+                vec![
+                    ColumnDef::new("metroid", ColumnType::Int),
+                    ColumnDef::new("metroname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        db.create_table(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int),
+                    ColumnDef::new("hotelname", ColumnType::Str),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        for (id, name) in [(1, "chicago"), (2, "nyc")] {
+            db.insert("metroarea", vec![Value::Int(id), Value::Str(name.into())])
+                .unwrap();
+        }
+        for (id, name, stars, metro) in
+            [(10, "palmer", 5, 1), (11, "drake", 4, 1), (12, "plaza", 5, 2)]
+        {
+            db.insert(
+                "hotel",
+                vec![
+                    Value::Int(id),
+                    Value::Str(name.into()),
+                    Value::Int(stars),
+                    Value::Int(metro),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn view() -> SchemaTree {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        t.add_child(
+            metro,
+            ViewNode::new(
+                3,
+                "hotel",
+                "h",
+                parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4")
+                    .unwrap(),
+            ),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn publishes_nested_elements() {
+        let (doc, stats) = publish(&view(), &db()).unwrap();
+        let xml = doc.to_xml();
+        assert_eq!(
+            xml,
+            "<metro metroid=\"1\" metroname=\"chicago\">\
+             <hotel hotelid=\"10\" hotelname=\"palmer\" starrating=\"5\" metro_id=\"1\"/>\
+             </metro>\
+             <metro metroid=\"2\" metroname=\"nyc\">\
+             <hotel hotelid=\"12\" hotelname=\"plaza\" starrating=\"5\" metro_id=\"2\"/>\
+             </metro>"
+        );
+        assert_eq!(stats.elements, 4);
+        // One metroarea query + one hotel query per metro tuple.
+        assert_eq!(stats.queries_run, 3);
+        assert_eq!(stats.tuples_fetched, 4);
+    }
+
+    #[test]
+    fn null_attributes_omitted() {
+        let mut database = db();
+        database
+            .insert(
+                "metroarea",
+                vec![Value::Int(3), Value::Null],
+            )
+            .unwrap();
+        let (doc, _) = publish(&view(), &database).unwrap();
+        assert!(doc.to_xml().contains("<metro metroid=\"3\"/>"));
+    }
+
+    #[test]
+    fn empty_result_publishes_nothing() {
+        let mut t = SchemaTree::new();
+        t.add_root_node(ViewNode::new(
+            1,
+            "metro",
+            "m",
+            parse_query("SELECT metroid FROM metroarea WHERE metroid > 99").unwrap(),
+        ))
+        .unwrap();
+        let (doc, stats) = publish(&t, &db()).unwrap();
+        assert!(doc.is_empty());
+        assert_eq!(stats.elements, 0);
+        assert_eq!(stats.queries_run, 1);
+    }
+
+    #[test]
+    fn publish_validates_first() {
+        let mut t = SchemaTree::new();
+        t.add_root_node(ViewNode::new(
+            1,
+            "x",
+            "a",
+            parse_query("SELECT * FROM hotel WHERE metro_id=$nope.metroid").unwrap(),
+        ))
+        .unwrap();
+        assert!(matches!(
+            publish(&t, &db()),
+            Err(crate::Error::UnboundViewParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn attr_projection_columns_filters_attributes() {
+        let mut t = SchemaTree::new();
+        let mut n = ViewNode::new(
+            1,
+            "metro",
+            "m",
+            parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+        );
+        n.attrs = crate::AttrProjection::Columns(vec!["metroname".into()]);
+        t.add_root_node(n).unwrap();
+        let (doc, _) = publish(&t, &db()).unwrap();
+        let xml = doc.to_xml();
+        assert!(xml.contains("<metro metroname=\"chicago\"/>"), "{xml}");
+        assert!(!xml.contains("metroid"), "{xml}");
+    }
+
+    #[test]
+    fn attr_projection_none_publishes_bare_elements() {
+        let mut t = SchemaTree::new();
+        let mut n = ViewNode::new(
+            1,
+            "metro",
+            "m",
+            parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+        );
+        n.attrs = crate::AttrProjection::None;
+        t.add_root_node(n).unwrap();
+        let (doc, _) = publish(&t, &db()).unwrap();
+        assert_eq!(doc.to_xml(), "<metro/><metro/>");
+    }
+
+    #[test]
+    fn literal_nodes_emit_once_with_static_attrs() {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let mut lit = ViewNode::literal(2, "badge");
+        lit.static_attrs = vec![("kind".into(), "gold".into())];
+        t.add_child(metro, lit).unwrap();
+        let (doc, _) = publish(&t, &db()).unwrap();
+        assert_eq!(
+            doc.to_xml(),
+            "<metro metroid=\"1\"><badge kind=\"gold\"/></metro>\
+             <metro metroid=\"2\"><badge kind=\"gold\"/></metro>"
+        );
+    }
+
+    #[test]
+    fn context_copy_reuses_bound_tuple() {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let wrapper = t.add_child(metro, ViewNode::literal(2, "wrap")).unwrap();
+        let mut copy = ViewNode::literal(3, "metro_copy");
+        copy.context_tuple_of = Some("m".into());
+        copy.attrs = crate::AttrProjection::All;
+        t.add_child(wrapper, copy).unwrap();
+        let (doc, stats) = publish(&t, &db()).unwrap();
+        let xml = doc.to_xml();
+        assert!(
+            xml.contains("<wrap><metro_copy metroid=\"1\" metroname=\"chicago\"/></wrap>"),
+            "{xml}"
+        );
+        // One query (metroarea) — the copies run none.
+        assert_eq!(stats.queries_run, 1);
+    }
+
+    #[test]
+    fn guards_gate_subtrees() {
+        use xvc_rel::{BinOp, ScalarExpr};
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let mut guarded = ViewNode::literal(2, "only_chicago");
+        guarded.guard = Some(ScalarExpr::binary(
+            BinOp::Eq,
+            ScalarExpr::param("m", "metroname"),
+            ScalarExpr::str("chicago"),
+        ));
+        t.add_child(metro, guarded).unwrap();
+        let (doc, _) = publish(&t, &db()).unwrap();
+        assert_eq!(
+            doc.to_xml(),
+            "<metro metroid=\"1\" metroname=\"chicago\"><only_chicago/></metro>\
+             <metro metroid=\"2\" metroname=\"nyc\"/>"
+        );
+    }
+
+    #[test]
+    fn leaf_queries_not_run_for_absent_parents() {
+        // Child tag queries run once per parent tuple — zero parent tuples
+        // means the child query never runs.
+        let mut t = view();
+        let metro = t.find_by_paper_id(1).unwrap();
+        t.node_mut(metro).unwrap().query = Some(
+            parse_query("SELECT metroid, metroname FROM metroarea WHERE metroid > 99").unwrap(),
+        );
+        let (_, stats) = publish(&t, &db()).unwrap();
+        assert_eq!(stats.queries_run, 1);
+    }
+}

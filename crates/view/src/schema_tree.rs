@@ -1,0 +1,443 @@
+//! Schema-tree queries (Definition 1).
+
+use xvc_rel::SelectQuery;
+
+use crate::error::{Error, Result};
+
+/// Which result columns of a tag query surface as XML attributes.
+///
+/// Plain publishing views (Definition 1) expose every column
+/// ([`AttrProjection::All`]). Composed stylesheet views need finer control:
+/// a literal result element like `<result_confstat>` is generated once per
+/// tuple but carries no data ([`AttrProjection::None`]), and an
+/// `<xsl:value-of select="@a"/>` projects a single column
+/// ([`AttrProjection::Columns`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum AttrProjection {
+    /// Every non-NULL column becomes an attribute (Definition 1 default).
+    #[default]
+    All,
+    /// No tuple data on this element.
+    None,
+    /// Only the named columns become attributes.
+    Columns(
+        /// Column names to project.
+        Vec<String>,
+    ),
+}
+
+/// Identifier of a node inside a [`SchemaTree`] arena (not the paper-level
+/// `id(ni)`, which is [`ViewNode::id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewNodeId(pub(crate) u32);
+
+impl ViewNodeId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of a non-root schema-tree node: the 6-tuple of Definition 1
+/// (`children` live in the arena; `parameters(ni)` is derived from the tag
+/// query via [`SelectQuery::parameters`]), generalized for stylesheet
+/// views with literal elements and attribute projections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewNode {
+    /// Unique paper-level id, `id(ni)`.
+    pub id: u32,
+    /// XML tag, `tag(ni)`.
+    pub tag: String,
+    /// Binding variable, `bv(ni)` (without the `$`). Meaningful only when
+    /// `query` is present.
+    pub bv: String,
+    /// The tag query, `Q_{bv(ni)}`. `None` for literal elements of a
+    /// stylesheet view (emitted exactly once per parent instance, binding
+    /// nothing).
+    pub query: Option<SelectQuery>,
+    /// Which tuple columns surface as attributes.
+    pub attrs: AttrProjection,
+    /// Static attributes written verbatim (from literal result elements of
+    /// the stylesheet, e.g. `<A href="x">`).
+    pub static_attrs: Vec<(String, String)>,
+    /// Context-copy marker: when `Some(var)`, this element is emitted once
+    /// per parent instance with its attributes taken from the tuple bound
+    /// to `$var` in the publishing environment (no query execution). Used
+    /// by composed `<xsl:value-of select="."/>` nodes nested inside literal
+    /// output. The node's own `bv` is re-bound to the same tuple so
+    /// grafted child queries can still reference it.
+    pub context_tuple_of: Option<String>,
+    /// Emission guard: when present, the element (and its subtree) is
+    /// produced only if this condition holds. Parameters reference binding
+    /// variables in scope; the publisher evaluates it as
+    /// `SELECT 1 WHERE guard`. Produced by composed `.[predicate]`
+    /// transitions (the §5.2 flow-control rewrites).
+    pub guard: Option<xvc_rel::ScalarExpr>,
+}
+
+impl ViewNode {
+    /// A Definition-1 node: tag query present, all columns published.
+    pub fn new(id: u32, tag: impl Into<String>, bv: impl Into<String>, query: SelectQuery) -> Self {
+        ViewNode {
+            id,
+            tag: tag.into(),
+            bv: bv.into(),
+            query: Some(query),
+            attrs: AttrProjection::All,
+            static_attrs: Vec::new(),
+            context_tuple_of: None,
+            guard: None,
+        }
+    }
+
+    /// A literal element of a stylesheet view: no query, no tuple data.
+    pub fn literal(id: u32, tag: impl Into<String>) -> Self {
+        ViewNode {
+            id,
+            tag: tag.into(),
+            bv: String::new(),
+            query: None,
+            attrs: AttrProjection::None,
+            static_attrs: Vec::new(),
+            context_tuple_of: None,
+            guard: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct NodeData {
+    parent: Option<ViewNodeId>,
+    children: Vec<ViewNodeId>,
+    /// `None` only for the synthetic root.
+    node: Option<ViewNode>,
+}
+
+/// A schema-tree query: view nodes under an implied document root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaTree {
+    nodes: Vec<NodeData>,
+}
+
+impl Default for SchemaTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchemaTree {
+    /// Creates an empty schema tree (just the implied document root).
+    pub fn new() -> Self {
+        SchemaTree {
+            nodes: vec![NodeData {
+                parent: None,
+                children: Vec::new(),
+                node: None,
+            }],
+        }
+    }
+
+    /// The implied document root.
+    pub fn root(&self) -> ViewNodeId {
+        ViewNodeId(0)
+    }
+
+    /// Adds a top-level view node (child of the implied root).
+    pub fn add_root_node(&mut self, node: ViewNode) -> Result<ViewNodeId> {
+        self.add_child(self.root(), node)
+    }
+
+    /// Adds a view node as a child of `parent`.
+    pub fn add_child(&mut self, parent: ViewNodeId, node: ViewNode) -> Result<ViewNodeId> {
+        if !xvc_xml::escape::is_valid_name(&node.tag) {
+            return Err(Error::InvalidTag {
+                tag: node.tag.clone(),
+            });
+        }
+        let id = ViewNodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            children: Vec::new(),
+            node: Some(node),
+        });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// The payload of a node; `None` for the root.
+    pub fn node(&self, id: ViewNodeId) -> Option<&ViewNode> {
+        self.nodes[id.index()].node.as_ref()
+    }
+
+    /// Mutable payload of a node; `None` for the root.
+    pub fn node_mut(&mut self, id: ViewNodeId) -> Option<&mut ViewNode> {
+        self.nodes[id.index()].node.as_mut()
+    }
+
+    /// Parent arena id (`None` for the root).
+    pub fn parent(&self, id: ViewNodeId) -> Option<ViewNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children in insertion order.
+    pub fn children(&self, id: ViewNodeId) -> &[ViewNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// True if this is the implied root.
+    pub fn is_root(&self, id: ViewNodeId) -> bool {
+        id.index() == 0
+    }
+
+    /// Tag of a node (`None` for the root).
+    pub fn tag(&self, id: ViewNodeId) -> Option<&str> {
+        self.node(id).map(|n| n.tag.as_str())
+    }
+
+    /// All arena ids in pre-order, root first.
+    pub fn ids(&self) -> Vec<ViewNodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in self.children(id).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All non-root arena ids in pre-order.
+    pub fn node_ids(&self) -> Vec<ViewNodeId> {
+        self.ids().into_iter().filter(|&i| !self.is_root(i)).collect()
+    }
+
+    /// Number of view nodes, excluding the implied root (the paper's |v|).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True if the tree has no view nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds a node by paper-level id.
+    pub fn find_by_paper_id(&self, paper_id: u32) -> Option<ViewNodeId> {
+        self.node_ids()
+            .into_iter()
+            .find(|&i| self.node(i).map(|n| n.id) == Some(paper_id))
+    }
+
+    /// Path of arena ids from the root (inclusive) down to `id` (inclusive).
+    pub fn path_from_root(&self, id: ViewNodeId) -> Vec<ViewNodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Depth of a node (root is 0).
+    pub fn depth(&self, id: ViewNodeId) -> usize {
+        self.path_from_root(id).len() - 1
+    }
+
+    /// Lowest common ancestor of two nodes (possibly the root or one of the
+    /// nodes themselves).
+    pub fn lowest_common_ancestor(&self, a: ViewNodeId, b: ViewNodeId) -> ViewNodeId {
+        let pa = self.path_from_root(a);
+        let pb = self.path_from_root(b);
+        let mut lca = self.root();
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            if x == y {
+                lca = *x;
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+
+    /// The binding variable of a node, or `None` for the root and for
+    /// literal (query-less) nodes.
+    pub fn bv(&self, id: ViewNodeId) -> Option<&str> {
+        self.node(id)
+            .filter(|n| n.query.is_some())
+            .map(|n| n.bv.as_str())
+    }
+
+    /// Finds the node whose binding variable is `bv`.
+    pub fn find_by_bv(&self, bv: &str) -> Option<ViewNodeId> {
+        self.node_ids()
+            .into_iter()
+            .find(|&i| self.bv(i) == Some(bv))
+    }
+
+    /// Validates Definition 1's well-formedness conditions:
+    /// unique paper ids, unique binding variables, and every tag-query
+    /// parameter bound by a strict ancestor's binding variable.
+    pub fn validate(&self) -> Result<()> {
+        let mut ids = std::collections::HashSet::new();
+        let mut bvs = std::collections::HashSet::new();
+        for vid in self.node_ids() {
+            let n = self.node(vid).expect("non-root");
+            if !ids.insert(n.id) {
+                return Err(Error::DuplicateId { id: n.id });
+            }
+            if n.query.is_some() && !bvs.insert(n.bv.clone()) {
+                return Err(Error::DuplicateBindingVariable { bv: n.bv.clone() });
+            }
+        }
+        for vid in self.node_ids() {
+            let n = self.node(vid).expect("non-root");
+            let Some(query) = &n.query else { continue };
+            let ancestors: std::collections::HashSet<&str> = self
+                .path_from_root(vid)
+                .iter()
+                .filter(|&&a| a != vid)
+                .filter_map(|&a| self.bv(a))
+                .collect();
+            for var in query.parameters() {
+                if !ancestors.contains(var.as_str()) {
+                    return Err(Error::UnboundViewParameter {
+                        node_id: n.id,
+                        var,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_rel::parse_query;
+
+    fn node(id: u32, tag: &str, bv: &str, sql: &str) -> ViewNode {
+        ViewNode::new(id, tag, bv, parse_query(sql).unwrap())
+    }
+
+    fn small_tree() -> (SchemaTree, ViewNodeId, ViewNodeId, ViewNodeId) {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(node(1, "metro", "m", "SELECT metroid FROM metroarea"))
+            .unwrap();
+        let hotel = t
+            .add_child(
+                metro,
+                node(3, "hotel", "h", "SELECT * FROM hotel WHERE metro_id=$m.metroid"),
+            )
+            .unwrap();
+        let stat = t
+            .add_child(
+                hotel,
+                node(
+                    4,
+                    "confstat",
+                    "s",
+                    "SELECT SUM(capacity) FROM confroom WHERE chotel_id=$h.hotelid",
+                ),
+            )
+            .unwrap();
+        (t, metro, hotel, stat)
+    }
+
+    #[test]
+    fn structure_navigation() {
+        let (t, metro, hotel, stat) = small_tree();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.parent(hotel), Some(metro));
+        assert_eq!(t.parent(metro), Some(t.root()));
+        assert_eq!(t.children(metro), &[hotel]);
+        assert_eq!(t.path_from_root(stat), vec![t.root(), metro, hotel, stat]);
+        assert_eq!(t.depth(stat), 3);
+        assert_eq!(t.tag(stat), Some("confstat"));
+        assert_eq!(t.bv(hotel), Some("h"));
+    }
+
+    #[test]
+    fn lca_computation() {
+        let (mut t, metro, hotel, stat) = small_tree();
+        let sibling = t
+            .add_child(hotel, node(5, "confroom", "c", "SELECT * FROM confroom"))
+            .unwrap();
+        assert_eq!(t.lowest_common_ancestor(stat, sibling), hotel);
+        assert_eq!(t.lowest_common_ancestor(stat, metro), metro);
+        assert_eq!(t.lowest_common_ancestor(stat, stat), stat);
+        assert_eq!(t.lowest_common_ancestor(t.root(), stat), t.root());
+    }
+
+    #[test]
+    fn find_by_paper_id_and_bv() {
+        let (t, _, hotel, _) = small_tree();
+        assert_eq!(t.find_by_paper_id(3), Some(hotel));
+        assert_eq!(t.find_by_paper_id(99), None);
+        assert_eq!(t.find_by_bv("h"), Some(hotel));
+        assert_eq!(t.find_by_bv("zzz"), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let (t, ..) = small_tree();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_ids() {
+        let (mut t, metro, ..) = small_tree();
+        t.add_child(metro, node(1, "dup", "d", "SELECT metroid FROM metroarea"))
+            .unwrap();
+        assert!(matches!(t.validate(), Err(Error::DuplicateId { id: 1 })));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_bvs() {
+        let (mut t, metro, ..) = small_tree();
+        t.add_child(metro, node(9, "dup", "m", "SELECT metroid FROM metroarea"))
+            .unwrap();
+        assert!(matches!(
+            t.validate(),
+            Err(Error::DuplicateBindingVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unbound_parameter() {
+        let (mut t, metro, ..) = small_tree();
+        // References $h, but $h is bound by a sibling subtree, not an
+        // ancestor.
+        t.add_child(
+            metro,
+            node(9, "bad", "b", "SELECT * FROM confroom WHERE chotel_id=$h.hotelid"),
+        )
+        .unwrap();
+        assert!(matches!(
+            t.validate(),
+            Err(Error::UnboundViewParameter { node_id: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_tag() {
+        let mut t = SchemaTree::new();
+        assert!(matches!(
+            t.add_root_node(node(1, "not a tag", "x", "SELECT metroid FROM metroarea")),
+            Err(Error::InvalidTag { .. })
+        ));
+    }
+
+    #[test]
+    fn preorder_ids() {
+        let (mut t, metro, hotel, stat) = small_tree();
+        let room = t
+            .add_child(hotel, node(5, "confroom", "c", "SELECT * FROM confroom"))
+            .unwrap();
+        assert_eq!(t.node_ids(), vec![metro, hotel, stat, room]);
+    }
+}

@@ -1,0 +1,448 @@
+//! Arena-based XML document model.
+//!
+//! Nodes live in a flat `Vec` owned by the [`Document`] and are addressed by
+//! the copyable [`NodeId`] newtype. This gives cheap parent/child navigation
+//! (needed constantly by XPath's `parent` axis) without interior mutability
+//! or reference counting.
+
+use crate::error::{Error, Result};
+
+/// Identifier of a node inside a [`Document`] arena.
+///
+/// Ids are only meaningful for the document that created them; using an id
+/// from one document with another is a logic error (it will address an
+/// unrelated node or panic on out-of-bounds access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of this node inside the arena (useful for debug output).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document root. Every document has exactly one, and it
+    /// is always [`Document::root`]. It has no name and no attributes.
+    Root,
+    /// An element node with a tag name and ordered attributes.
+    Element {
+        /// Tag name, e.g. `metro`.
+        name: String,
+        /// Attributes in document order. Names are unique within a node.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(
+        /// The (unescaped) character data.
+        String,
+    ),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeData {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    kind: NodeKind,
+}
+
+/// An XML document: a tree of elements and text under a synthetic root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document containing only the synthetic root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![NodeData {
+                parent: None,
+                children: Vec::new(),
+                kind: NodeKind::Root,
+            }],
+        }
+    }
+
+    /// The synthetic document root. Its children are the top-level nodes.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes in the arena, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document contains only the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].children.is_empty()
+    }
+
+    fn push(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            parent: None,
+            children: Vec::new(),
+            kind,
+        });
+        id
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(NodeKind::Element {
+            name: name.into(),
+            attrs: Vec::new(),
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push(NodeKind::Text(text.into()))
+    }
+
+    /// Appends `child` as the last child of `parent`.
+    ///
+    /// `child` must be detached (freshly created or previously detached);
+    /// this is not checked and violating it corrupts sibling lists.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.nodes[child.index()].parent.is_none());
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Sets (or replaces) an attribute on an element node.
+    pub fn set_attr(
+        &mut self,
+        element: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<()> {
+        let name = name.into();
+        match &mut self.nodes[element.index()].kind {
+            NodeKind::Element { attrs, .. } => {
+                let value = value.into();
+                if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value;
+                } else {
+                    attrs.push((name, value));
+                }
+                Ok(())
+            }
+            _ => Err(Error::NotAnElement),
+        }
+    }
+
+    /// Node kind accessor.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Element tag name, or `None` for root/text nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True if the node is an element with the given tag name.
+    pub fn is_element_named(&self, id: NodeId, tag: &str) -> bool {
+        self.name(id) == Some(tag)
+    }
+
+    /// True if the node is an element (of any name).
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Element { .. })
+    }
+
+    /// True if the node is the synthetic document root.
+    pub fn is_root(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Root)
+    }
+
+    /// Attributes of an element in document order; empty for other kinds.
+    pub fn attrs(&self, id: NodeId) -> &[(String, String)] {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parent node, or `None` for the root and detached nodes.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of a node in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Child *elements* of a node in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// The single document element, if the document has exactly one
+    /// top-level element (the common well-formed case).
+    pub fn document_element(&self) -> Option<NodeId> {
+        let mut elems = self.child_elements(self.root());
+        let first = elems.next()?;
+        if elems.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Concatenated text content of a node's descendants (XPath
+    /// `string()`-style for element nodes; the text itself for text nodes).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Text(t) => out.push_str(t),
+            _ => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pre-order iterator over `id` and all its descendants.
+    pub fn descendants_or_self(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Pre-order iterator over strict descendants of `id`.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: self.children(id).iter().rev().copied().collect(),
+        }
+    }
+
+    /// Ancestors of `id`, nearest first, ending at the document root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            cur: self.parent(id),
+        }
+    }
+
+    /// Path of element names from the document root down to `id`
+    /// (exclusive of the synthetic root). Useful in diagnostics.
+    pub fn path_names(&self, id: NodeId) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .ancestors(id)
+            .filter_map(|a| self.name(a).map(str::to_owned))
+            .collect();
+        names.reverse();
+        if let Some(n) = self.name(id) {
+            names.push(n.to_owned());
+        }
+        names
+    }
+
+    /// Number of element nodes in the document (excludes root and text).
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    /// Deep-copies the subtree rooted at `src` in `src_doc` into `self`,
+    /// returning the id of the copy (detached; append it where needed).
+    pub fn import_subtree(&mut self, src_doc: &Document, src: NodeId) -> NodeId {
+        let copy = match src_doc.kind(src) {
+            NodeKind::Root => {
+                // Importing a root imports a nameless wrapper; callers
+                // normally import the document element instead. Represent it
+                // as the children grafted under a fresh element is wrong, so
+                // copy children under our own root is the caller's job; here
+                // we just copy each child under a synthetic element named "".
+                unreachable!("import_subtree must not be called on a Root node")
+            }
+            NodeKind::Element { name, attrs } => {
+                let e = self.create_element(name.clone());
+                for (k, v) in attrs {
+                    self.set_attr(e, k.clone(), v.clone())
+                        .expect("freshly created element");
+                }
+                e
+            }
+            NodeKind::Text(t) => self.create_text(t.clone()),
+        };
+        for &c in src_doc.children(src) {
+            let cc = self.import_subtree(src_doc, c);
+            self.append_child(copy, cc);
+        }
+        copy
+    }
+}
+
+/// Pre-order traversal iterator. See [`Document::descendants_or_self`].
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so they pop in document order.
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+/// Ancestor iterator. See [`Document::ancestors`].
+pub struct Ancestors<'d> {
+    doc: &'d Document,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = self.doc.parent(id);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let metro = d.create_element("metro");
+        d.set_attr(metro, "metroname", "chicago").unwrap();
+        let hotel = d.create_element("hotel");
+        let txt = d.create_text("Palmer House");
+        d.append_child(hotel, txt);
+        d.append_child(metro, hotel);
+        let root = d.root();
+        d.append_child(root, metro);
+        (d, metro, hotel, txt)
+    }
+
+    #[test]
+    fn root_is_first_node() {
+        let d = Document::new();
+        assert!(d.is_root(d.root()));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn navigation_parent_child() {
+        let (d, metro, hotel, txt) = sample();
+        assert_eq!(d.parent(hotel), Some(metro));
+        assert_eq!(d.parent(metro), Some(d.root()));
+        assert_eq!(d.children(metro), &[hotel]);
+        assert_eq!(d.children(hotel), &[txt]);
+    }
+
+    #[test]
+    fn attrs_lookup_and_replace() {
+        let (mut d, metro, ..) = sample();
+        assert_eq!(d.attr(metro, "metroname"), Some("chicago"));
+        assert_eq!(d.attr(metro, "missing"), None);
+        d.set_attr(metro, "metroname", "nyc").unwrap();
+        assert_eq!(d.attr(metro, "metroname"), Some("nyc"));
+        assert_eq!(d.attrs(metro).len(), 1);
+    }
+
+    #[test]
+    fn set_attr_on_text_fails() {
+        let (mut d, .., txt) = sample();
+        assert_eq!(d.set_attr(txt, "a", "b"), Err(Error::NotAnElement));
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let (d, metro, ..) = sample();
+        assert_eq!(d.text_content(metro), "Palmer House");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, metro, hotel, txt) = sample();
+        let order: Vec<NodeId> = d.descendants_or_self(metro).collect();
+        assert_eq!(order, vec![metro, hotel, txt]);
+        let strict: Vec<NodeId> = d.descendants(metro).collect();
+        assert_eq!(strict, vec![hotel, txt]);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let (d, metro, hotel, ..) = sample();
+        let anc: Vec<NodeId> = d.ancestors(hotel).collect();
+        assert_eq!(anc, vec![metro, d.root()]);
+    }
+
+    #[test]
+    fn path_names_excludes_root() {
+        let (d, _, hotel, ..) = sample();
+        assert_eq!(d.path_names(hotel), vec!["metro", "hotel"]);
+    }
+
+    #[test]
+    fn document_element_unique() {
+        let (mut d, ..) = sample();
+        assert!(d.document_element().is_some());
+        let extra = d.create_element("extra");
+        let root = d.root();
+        d.append_child(root, extra);
+        assert!(d.document_element().is_none());
+    }
+
+    #[test]
+    fn import_subtree_deep_copies() {
+        let (src, metro, ..) = sample();
+        let mut dst = Document::new();
+        let copy = dst.import_subtree(&src, metro);
+        let root = dst.root();
+        dst.append_child(root, copy);
+        assert_eq!(dst.attr(copy, "metroname"), Some("chicago"));
+        assert_eq!(dst.text_content(copy), "Palmer House");
+        assert_eq!(dst.element_count(), 2);
+    }
+}

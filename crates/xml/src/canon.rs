@@ -1,0 +1,157 @@
+//! Canonical, order-insensitive comparison of XML trees.
+//!
+//! The paper's composition explicitly does not preserve document order
+//! (§2.2.2 restriction (2); §4.4 note (2) observes that pushed-down queries
+//! group rather than interleave results). The correctness statement
+//! `v'(I) = x(v(I))` is therefore checked with *sibling order ignored*:
+//! two trees are equal iff their roots agree and their child sequences are
+//! equal **as multisets** under the same relation. Attribute order is also
+//! ignored, and whitespace-only text nodes are dropped.
+
+use crate::arena::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Computes a canonical string for the subtree rooted at `id`.
+///
+/// Two subtrees are unordered-equal iff their canonical strings are equal:
+/// attributes are sorted by name, children are canonicalized recursively and
+/// then sorted lexicographically, and whitespace-only text is dropped.
+pub fn canonical_string(doc: &Document, id: NodeId) -> String {
+    match doc.kind(id) {
+        NodeKind::Root => {
+            let mut kids = canonical_children(doc, id);
+            kids.sort();
+            kids.concat()
+        }
+        NodeKind::Text(t) => format!("#text({})", escape_text(t)),
+        NodeKind::Element { name, attrs } => {
+            let mut sorted_attrs: Vec<(&str, &str)> = attrs
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            sorted_attrs.sort();
+            let mut out = String::new();
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in sorted_attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            out.push('>');
+            let mut kids = canonical_children(doc, id);
+            kids.sort();
+            for k in kids {
+                out.push_str(&k);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+            out
+        }
+    }
+}
+
+fn canonical_children(doc: &Document, id: NodeId) -> Vec<String> {
+    doc.children(id)
+        .iter()
+        .filter(|&&c| match doc.kind(c) {
+            NodeKind::Text(t) => !t.trim().is_empty(),
+            _ => true,
+        })
+        .map(|&c| canonical_string(doc, c))
+        .collect()
+}
+
+/// Unordered equality of two whole documents (see module docs).
+pub fn documents_equal_unordered(a: &Document, b: &Document) -> bool {
+    canonical_string(a, a.root()) == canonical_string(b, b.root())
+}
+
+/// Unordered equality of two subtrees, possibly from different documents.
+pub fn nodes_equal_unordered(a_doc: &Document, a: NodeId, b_doc: &Document, b: NodeId) -> bool {
+    canonical_string(a_doc, a) == canonical_string(b_doc, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn eq(a: &str, b: &str) -> bool {
+        documents_equal_unordered(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn identical_documents_equal() {
+        assert!(eq("<a><b/><c/></a>", "<a><b/><c/></a>"));
+    }
+
+    #[test]
+    fn sibling_order_ignored() {
+        assert!(eq("<a><b/><c/></a>", "<a><c/><b/></a>"));
+        assert!(eq(
+            "<a><b x=\"1\"/><b x=\"2\"/></a>",
+            "<a><b x=\"2\"/><b x=\"1\"/></a>"
+        ));
+    }
+
+    #[test]
+    fn multiset_not_set_semantics() {
+        // Two copies of <b/> on one side, one on the other: NOT equal.
+        assert!(!eq("<a><b/><b/></a>", "<a><b/></a>"));
+    }
+
+    #[test]
+    fn attribute_order_ignored() {
+        assert!(eq("<a x=\"1\" y=\"2\"/>", "<a y=\"2\" x=\"1\"/>"));
+    }
+
+    #[test]
+    fn attribute_values_matter() {
+        assert!(!eq("<a x=\"1\"/>", "<a x=\"2\"/>"));
+        assert!(!eq("<a x=\"1\"/>", "<a/>"));
+    }
+
+    #[test]
+    fn nesting_matters() {
+        assert!(!eq("<a><b><c/></b></a>", "<a><b/><c/></a>"));
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored() {
+        assert!(eq("<a>\n  <b/>\n</a>", "<a><b/></a>"));
+        assert!(!eq("<a>x</a>", "<a/>"));
+    }
+
+    #[test]
+    fn text_content_compared() {
+        assert!(eq("<a>x</a>", "<a>x</a>"));
+        assert!(!eq("<a>x</a>", "<a>y</a>"));
+    }
+
+    #[test]
+    fn deep_permutation() {
+        assert!(eq(
+            "<r><m n=\"1\"><h s=\"5\"/><h s=\"3\"/></m><m n=\"2\"/></r>",
+            "<r><m n=\"2\"/><m n=\"1\"><h s=\"3\"/><h s=\"5\"/></m></r>"
+        ));
+    }
+
+    #[test]
+    fn subtree_equality_across_documents() {
+        let a = parse("<r><x><b/><c/></x></r>").unwrap();
+        let b = parse("<q><x><c/><b/></x></q>").unwrap();
+        let ax = a
+            .child_elements(a.document_element().unwrap())
+            .next()
+            .unwrap();
+        let bx = b
+            .child_elements(b.document_element().unwrap())
+            .next()
+            .unwrap();
+        assert!(nodes_equal_unordered(&a, ax, &b, bx));
+    }
+}

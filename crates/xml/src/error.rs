@@ -1,0 +1,90 @@
+//! Error type for XML parsing and document manipulation.
+
+use std::fmt;
+
+/// Result alias used throughout `xvc-xml`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or manipulating XML documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before the document was complete.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A character that is not legal at this position was encountered.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// Byte offset into the input.
+        offset: usize,
+        /// What the parser expected instead.
+        expected: &'static str,
+    },
+    /// A closing tag did not match the innermost open element.
+    MismatchedTag {
+        /// Name of the element that is open.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+    },
+    /// An XML name (element or attribute) is syntactically invalid.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// An entity reference could not be resolved.
+    UnknownEntity {
+        /// The entity text between `&` and `;`.
+        entity: String,
+    },
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// Text or markup found after the document element closed.
+    TrailingContent {
+        /// Byte offset of the trailing content.
+        offset: usize,
+    },
+    /// The document contains no element at all.
+    NoRootElement,
+    /// A [`super::NodeId`] was used with an operation its node kind does not
+    /// support (e.g. asking for the attributes of a text node).
+    NotAnElement,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            Error::UnexpectedChar {
+                found,
+                offset,
+                expected,
+            } => write!(
+                f,
+                "unexpected character {found:?} at byte {offset}; expected {expected}"
+            ),
+            Error::MismatchedTag { open, close } => {
+                write!(f, "closing tag </{close}> does not match open <{open}>")
+            }
+            Error::InvalidName { name } => write!(f, "invalid XML name {name:?}"),
+            Error::UnknownEntity { entity } => write!(f, "unknown entity &{entity};"),
+            Error::DuplicateAttribute { name } => {
+                write!(f, "attribute {name:?} appears more than once")
+            }
+            Error::TrailingContent { offset } => {
+                write!(f, "content after document element at byte {offset}")
+            }
+            Error::NoRootElement => write!(f, "document has no root element"),
+            Error::NotAnElement => write!(f, "node is not an element"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,81 @@
+//! Escaping and name-validity helpers shared by the parser and serializers.
+
+/// Escapes character data for use as element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes character data for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// True for characters that may start an XML name.
+///
+/// This accepts the pragmatic subset used by the paper's examples
+/// (letters, underscore, and `:` for prefixed names like `xsl:template`).
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// True for characters that may continue an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// Validates an XML name (element or attribute).
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_text_minimally() {
+        assert_eq!(escape_text("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+        assert_eq!(escape_text("\"quotes'fine\""), "\"quotes'fine\"");
+    }
+
+    #[test]
+    fn escapes_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b"), "a&quot;b");
+        assert_eq!(escape_attr("a\nb\tc"), "a&#10;b&#9;c");
+    }
+
+    #[test]
+    fn name_validity() {
+        assert!(is_valid_name("metro"));
+        assert!(is_valid_name("xsl:template"));
+        assert!(is_valid_name("_a-b.c2"));
+        assert!(!is_valid_name("2abc"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("a b"));
+    }
+}

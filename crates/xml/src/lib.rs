@@ -1,0 +1,38 @@
+//! # `xvc-xml` — XML infrastructure for the `xvc` workspace
+//!
+//! This crate provides the XML substrate used throughout the reproduction of
+//! *"Composing XSL Transformations with XML Publishing Views"* (SIGMOD 2003):
+//!
+//! * an **arena-based document model** ([`Document`], [`NodeId`]) — trees are
+//!   stored in a flat vector and addressed by copyable ids, avoiding
+//!   reference-counted graphs entirely;
+//! * a **parser** ([`parse()`]) for the XML fragment needed by the paper
+//!   (elements, attributes, text, comments, processing instructions, the five
+//!   predefined entities and numeric character references);
+//! * **serializers** ([`Document::to_xml`], [`Document::to_pretty_xml`]);
+//! * a **canonical form** ([`canon`]) with *unordered* sibling comparison —
+//!   the paper explicitly excludes document order (§2.2.2 restriction (2)),
+//!   so the headline equality `v'(I) = x(v(I))` is checked modulo sibling
+//!   permutation and attribute order;
+//! * a streaming [`builder::TreeBuilder`] used by the XML publisher and the
+//!   XSLT engine to assemble result documents.
+//!
+//! The document always has a synthetic *document root* node (kind
+//! [`NodeKind::Root`]); the paper's schema-tree queries likewise assume "a
+//! unique document root is implied" (§2.1).
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod builder;
+pub mod canon;
+pub mod error;
+pub mod escape;
+pub mod parse;
+pub mod serialize;
+
+pub use arena::{Document, NodeId, NodeKind};
+pub use builder::TreeBuilder;
+pub use canon::{canonical_string, documents_equal_unordered, nodes_equal_unordered};
+pub use error::{Error, Result};
+pub use parse::parse;

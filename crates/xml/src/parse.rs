@@ -1,0 +1,434 @@
+//! Recursive-descent XML parser.
+//!
+//! Accepts the fragment of XML needed for this workspace: elements,
+//! attributes (single- or double-quoted), text, comments, processing
+//! instructions, an optional XML declaration, the five predefined entities
+//! and decimal/hex character references. Doctypes, CDATA sections and
+//! namespaces-as-scoping are out of scope (prefixed names like
+//! `xsl:template` are kept verbatim as names, which is exactly what the
+//! stylesheet parser in `xvc-xslt` wants).
+//!
+//! Whitespace-only text between elements is dropped (the paper's data model
+//! has no mixed content; database values surface as attributes, §2.2.2).
+
+use crate::arena::{Document, NodeId};
+use crate::error::{Error, Result};
+use crate::escape::{is_name_char, is_name_start};
+
+/// Parses an XML document from text.
+///
+/// ```
+/// let doc = xvc_xml::parse("<metro metroname=\"chicago\"><hotel/></metro>").unwrap();
+/// let metro = doc.document_element().unwrap();
+/// assert_eq!(doc.name(metro), Some("metro"));
+/// assert_eq!(doc.attr(metro, "metroname"), Some("chicago"));
+/// ```
+pub fn parse(input: &str) -> Result<Document> {
+    let mut p = Parser {
+        input,
+        chars: input.char_indices().peekable(),
+        doc: Document::new(),
+    };
+    p.parse_document()?;
+    Ok(p.doc)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    doc: Document,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn offset(&mut self) -> usize {
+        self.chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.input.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn expect(&mut self, c: char, expected: &'static str) -> Result<()> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(found) if found == c => Ok(()),
+            Some(found) => Err(Error::UnexpectedChar {
+                found,
+                offset,
+                expected,
+            }),
+            None => Err(Error::UnexpectedEof { context: expected }),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&mut self, s: &str) -> bool {
+        self.input[self.offset()..].starts_with(s)
+    }
+
+    fn skip_str(&mut self, s: &str) {
+        for _ in s.chars() {
+            self.bump();
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_pi()?;
+        }
+        let root = self.doc.root();
+        let mut saw_element = false;
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.peek() == Some('<') {
+                if saw_element {
+                    return Err(Error::TrailingContent {
+                        offset: self.offset(),
+                    });
+                }
+                let elem = self.parse_element()?;
+                self.doc.append_child(root, elem);
+                saw_element = true;
+            } else {
+                return Err(Error::TrailingContent {
+                    offset: self.offset(),
+                });
+            }
+        }
+        if !saw_element {
+            return Err(Error::NoRootElement);
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let offset = self.offset();
+        match self.peek() {
+            Some(c) if is_name_start(c) => {}
+            Some(found) => {
+                return Err(Error::UnexpectedChar {
+                    found,
+                    offset,
+                    expected: "an XML name",
+                })
+            }
+            None => return Err(Error::UnexpectedEof { context: "a name" }),
+        }
+        let mut name = String::new();
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            name.push(self.bump().unwrap());
+        }
+        Ok(name)
+    }
+
+    fn parse_element(&mut self) -> Result<NodeId> {
+        self.expect('<', "'<'")?;
+        let name = self.parse_name()?;
+        let elem = self.doc.create_element(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect('>', "'>' after '/'")?;
+                    return Ok(elem);
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect('=', "'=' after attribute name")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if self.doc.attr(elem, &attr_name).is_some() {
+                        return Err(Error::DuplicateAttribute { name: attr_name });
+                    }
+                    self.doc
+                        .set_attr(elem, attr_name, value)
+                        .expect("elem is an element");
+                }
+                Some(found) => {
+                    let offset = self.offset();
+                    return Err(Error::UnexpectedChar {
+                        found,
+                        offset,
+                        expected: "attribute, '>' or '/>'",
+                    });
+                }
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        context: "element start tag",
+                    })
+                }
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("</") {
+                self.skip_str("</");
+                let close = self.parse_name()?;
+                self.skip_ws();
+                self.expect('>', "'>' closing tag")?;
+                if close != name {
+                    return Err(Error::MismatchedTag { open: name, close });
+                }
+                return Ok(elem);
+            } else if self.peek() == Some('<') {
+                let child = self.parse_element()?;
+                self.doc.append_child(elem, child);
+            } else if self.peek().is_none() {
+                return Err(Error::UnexpectedEof {
+                    context: "element content",
+                });
+            } else {
+                let text = self.parse_text()?;
+                if !text.trim().is_empty() {
+                    let t = self.doc.create_text(text);
+                    self.doc.append_child(elem, t);
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let offset = self.offset();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(found) => {
+                return Err(Error::UnexpectedChar {
+                    found,
+                    offset,
+                    expected: "quoted attribute value",
+                })
+            }
+            None => {
+                return Err(Error::UnexpectedEof {
+                    context: "attribute value",
+                })
+            }
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => value.push(self.parse_entity()?),
+                Some(_) => value.push(self.bump().unwrap()),
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        context: "attribute value",
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some('<') | None => return Ok(text),
+                Some('&') => text.push(self.parse_entity()?),
+                Some(_) => text.push(self.bump().unwrap()),
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char> {
+        self.expect('&', "'&'")?;
+        let mut entity = String::new();
+        loop {
+            match self.bump() {
+                Some(';') => break,
+                Some(c) if entity.len() < 12 => entity.push(c),
+                Some(_) | None => return Err(Error::UnknownEntity { entity }),
+            }
+        }
+        match entity.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ => {
+                if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X"))
+                {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(Error::UnknownEntity { entity })
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or(Error::UnknownEntity { entity })
+                } else {
+                    Err(Error::UnknownEntity { entity })
+                }
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        self.skip_str("<!--");
+        loop {
+            if self.starts_with("-->") {
+                self.skip_str("-->");
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(Error::UnexpectedEof { context: "comment" });
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<()> {
+        self.skip_str("<?");
+        loop {
+            if self.starts_with("?>") {
+                self.skip_str("?>");
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(Error::UnexpectedEof {
+                    context: "processing instruction",
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal() {
+        let d = parse("<a/>").unwrap();
+        assert_eq!(d.name(d.document_element().unwrap()), Some("a"));
+    }
+
+    #[test]
+    fn parses_nested_with_text() {
+        let d = parse("<a><b>hi</b><c x='1'>there</c></a>").unwrap();
+        let a = d.document_element().unwrap();
+        let kids: Vec<_> = d.child_elements(a).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.text_content(kids[0]), "hi");
+        assert_eq!(d.attr(kids[1], "x"), Some("1"));
+    }
+
+    #[test]
+    fn drops_whitespace_only_text() {
+        let d = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.children(a).len(), 2);
+    }
+
+    #[test]
+    fn keeps_meaningful_text() {
+        let d = parse("<a>  x  </a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.text_content(a), "  x  ");
+    }
+
+    #[test]
+    fn resolves_entities() {
+        let d = parse("<a v=\"&lt;&amp;&quot;&#65;&#x42;\">&gt;&apos;</a>").unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.attr(a, "v"), Some("<&\"AB"));
+        assert_eq!(d.text_content(a), ">'");
+    }
+
+    #[test]
+    fn skips_declaration_comments_and_pis() {
+        let d = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><?pi data?><b/></a>")
+            .unwrap();
+        let a = d.document_element().unwrap();
+        assert_eq!(d.children(a).len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert_eq!(
+            parse("<a></b>"),
+            Err(Error::MismatchedTag {
+                open: "a".into(),
+                close: "b".into()
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert_eq!(
+            parse("<a x='1' x='2'/>"),
+            Err(Error::DuplicateAttribute { name: "x".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(matches!(
+            parse("<a/><b/>"),
+            Err(Error::TrailingContent { .. })
+        ));
+        assert!(matches!(
+            parse("<a/>junk"),
+            Err(Error::TrailingContent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_eof() {
+        assert_eq!(parse(""), Err(Error::NoRootElement));
+        assert!(matches!(parse("<a>"), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(parse("<a b="), Err(Error::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(matches!(
+            parse("<a>&nope;</a>"),
+            Err(Error::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_prefixed_names() {
+        let d = parse("<xsl:template match=\"metro\"/>").unwrap();
+        let e = d.document_element().unwrap();
+        assert_eq!(d.name(e), Some("xsl:template"));
+        assert_eq!(d.attr(e, "match"), Some("metro"));
+    }
+}

@@ -1,0 +1,174 @@
+//! XML serializers: compact (single line) and pretty (indented).
+
+use crate::arena::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+impl Document {
+    /// Serializes the whole document compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        for &c in self.children(self.root()) {
+            write_compact(self, c, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the subtree rooted at `id` compactly.
+    pub fn node_to_xml(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        if self.is_root(id) {
+            for &c in self.children(id) {
+                write_compact(self, c, &mut out);
+            }
+        } else {
+            write_compact(self, id, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the whole document with two-space indentation.
+    ///
+    /// Elements with a single text child are kept on one line; mixed content
+    /// is serialized compactly to avoid introducing significant whitespace.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::new();
+        for &c in self.children(self.root()) {
+            write_pretty(self, c, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn write_open_tag(doc: &Document, id: NodeId, out: &mut String) {
+    let name = doc.name(id).expect("element");
+    out.push('<');
+    out.push_str(name);
+    for (k, v) in doc.attrs(id) {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+}
+
+fn write_compact(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Root => {
+            for &c in doc.children(id) {
+                write_compact(doc, c, out);
+            }
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Element { name, .. } => {
+            write_open_tag(doc, id, out);
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in children {
+                    write_compact(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn write_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match doc.kind(id) {
+        NodeKind::Root => {
+            for &c in doc.children(id) {
+                write_pretty(doc, c, depth, out);
+            }
+        }
+        NodeKind::Text(t) => {
+            out.push_str(&indent);
+            out.push_str(&escape_text(t));
+            out.push('\n');
+        }
+        NodeKind::Element { name, .. } => {
+            out.push_str(&indent);
+            write_open_tag(doc, id, out);
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>\n");
+            } else if children.len() == 1 && matches!(doc.kind(children[0]), NodeKind::Text(_)) {
+                out.push('>');
+                write_compact(doc, children[0], out);
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            } else if children.iter().any(|&c| matches!(doc.kind(c), NodeKind::Text(_))) {
+                // Mixed content: compact to preserve whitespace semantics.
+                out.push('>');
+                for &c in children {
+                    write_compact(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            } else {
+                out.push_str(">\n");
+                for &c in children {
+                    write_pretty(doc, c, depth + 1, out);
+                }
+                out.push_str(&indent);
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let d = parse(src).unwrap();
+        assert_eq!(d.to_xml(), src);
+    }
+
+    #[test]
+    fn escapes_on_output() {
+        let mut d = crate::Document::new();
+        let e = d.create_element("a");
+        d.set_attr(e, "v", "x\"<y").unwrap();
+        let t = d.create_text("a<&b");
+        d.append_child(e, t);
+        let root = d.root();
+        d.append_child(root, e);
+        assert_eq!(d.to_xml(), "<a v=\"x&quot;&lt;y\">a&lt;&amp;b</a>");
+    }
+
+    #[test]
+    fn pretty_indents_elements() {
+        let d = parse("<a><b>hi</b><c><d/></c></a>").unwrap();
+        let pretty = d.to_pretty_xml();
+        assert_eq!(pretty, "<a>\n  <b>hi</b>\n  <c>\n    <d/>\n  </c>\n</a>\n");
+    }
+
+    #[test]
+    fn pretty_output_reparses_equal() {
+        let src = "<a x=\"1\"><b>hi</b><c><d y=\"2\"/></c></a>";
+        let d = parse(src).unwrap();
+        let d2 = parse(&d.to_pretty_xml()).unwrap();
+        assert!(crate::documents_equal_unordered(&d, &d2));
+    }
+
+    #[test]
+    fn node_to_xml_serializes_subtree() {
+        let d = parse("<a><b>hi</b></a>").unwrap();
+        let a = d.document_element().unwrap();
+        let b = d.child_elements(a).next().unwrap();
+        assert_eq!(d.node_to_xml(b), "<b>hi</b>");
+    }
+}

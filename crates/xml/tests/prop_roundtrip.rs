@@ -1,0 +1,180 @@
+//! Property tests: serialize→parse round-trips and canonical-form laws.
+
+use proptest::prelude::*;
+use xvc_xml::{canonical_string, documents_equal_unordered, parse, Document, NodeId};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+/// A recursive value-level XML tree we can generate with proptest and then
+/// lower into a `Document`.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+/// Attribute/text values: printable including the characters that require
+/// escaping, but no raw control characters.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,12}").unwrap()
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        // Text must not be whitespace-only (the parser drops those).
+        value_strategy()
+            .prop_filter("non-ws text", |s| !s.trim().is_empty())
+            .prop_map(Tree::Text),
+        (name_strategy(), attrs_strategy()).prop_map(|(name, attrs)| Tree::Element {
+            name,
+            attrs,
+            children: vec![],
+        }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            attrs_strategy(),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((name_strategy(), value_strategy()), 0..3).prop_map(|attrs| {
+        // Deduplicate attribute names; the model requires uniqueness.
+        let mut seen = std::collections::HashSet::new();
+        attrs
+            .into_iter()
+            .filter(|(k, _)| seen.insert(k.clone()))
+            .collect()
+    })
+}
+
+fn lower(tree: &Tree, doc: &mut Document, parent: NodeId) {
+    match tree {
+        Tree::Text(t) => {
+            let n = doc.create_text(t.clone());
+            doc.append_child(parent, n);
+        }
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            let e = doc.create_element(name.clone());
+            for (k, v) in attrs {
+                doc.set_attr(e, k.clone(), v.clone()).unwrap();
+            }
+            doc.append_child(parent, e);
+            // Merge adjacent text children would complicate equality; skip
+            // consecutive text nodes by interspersing only via generation —
+            // instead we simply allow them; round-trip still holds because
+            // serialization concatenates and the canonical comparison is on
+            // the reparsed form on both sides.
+            for c in children {
+                lower(c, doc, e);
+            }
+        }
+    }
+}
+
+/// Wrap the generated tree in a fixed single root element so the result is a
+/// well-formed document.
+fn to_document(tree: &Tree) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    let wrapper = doc.create_element("root");
+    doc.append_child(root, wrapper);
+    lower(tree, &mut doc, wrapper);
+    doc
+}
+
+proptest! {
+    #![proptest_config(cases(256))]
+
+    /// serialize → parse → serialize is a fixed point.
+    #[test]
+    fn compact_serialization_roundtrips(t in tree_strategy()) {
+        let doc = to_document(&t);
+        let xml1 = doc.to_xml();
+        let reparsed = parse(&xml1).unwrap();
+        let xml2 = reparsed.to_xml();
+        prop_assert_eq!(xml1, xml2);
+    }
+
+    /// parse(serialize(d)) is canonically equal to parse(serialize(parse(serialize(d)))).
+    #[test]
+    fn canonical_equality_reflexive_under_reparse(t in tree_strategy()) {
+        let doc = to_document(&t);
+        let reparsed = parse(&doc.to_xml()).unwrap();
+        let again = parse(&reparsed.to_xml()).unwrap();
+        prop_assert!(documents_equal_unordered(&reparsed, &again));
+    }
+
+    /// Pretty output reparses to the same canonical form as compact output.
+    #[test]
+    fn pretty_and_compact_agree(t in tree_strategy()) {
+        let doc = to_document(&t);
+        let a = parse(&doc.to_xml()).unwrap();
+        let b = parse(&doc.to_pretty_xml()).unwrap();
+        prop_assert!(documents_equal_unordered(&a, &b));
+    }
+
+    /// Canonical strings are invariant under reversing children order.
+    #[test]
+    fn canonical_ignores_sibling_order(t in tree_strategy()) {
+        let doc = to_document(&t);
+        let reversed = {
+            let mut d = Document::new();
+            let root = d.root();
+            let wrapper = d.create_element("root");
+            d.append_child(root, wrapper);
+            fn lower_rev(tree: &Tree, doc: &mut Document, parent: NodeId) {
+                match tree {
+                    Tree::Text(t) => {
+                        let n = doc.create_text(t.clone());
+                        doc.append_child(parent, n);
+                    }
+                    Tree::Element { name, attrs, children } => {
+                        let e = doc.create_element(name.clone());
+                        for (k, v) in attrs.iter().rev() {
+                            doc.set_attr(e, k.clone(), v.clone()).unwrap();
+                        }
+                        doc.append_child(parent, e);
+                        for c in children.iter().rev() {
+                            lower_rev(c, doc, e);
+                        }
+                    }
+                }
+            }
+            lower_rev(&t, &mut d, wrapper);
+            d
+        };
+        prop_assert_eq!(
+            canonical_string(&doc, doc.root()),
+            canonical_string(&reversed, reversed.root())
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Abstract syntax for the XPath dialect.
+//!
+//! The same [`PathExpr`] type serves select expressions and match patterns;
+//! patterns are additionally validated by [`crate::parser::parse_pattern`]
+//! to contain only forward axes (child / descendant / attribute), as the
+//! paper requires (§2.2).
+
+use std::fmt;
+
+/// Navigation axis of a location step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::` (the default axis).
+    Child,
+    /// `parent::` — written `..` in abbreviated form.
+    Parent,
+    /// `self::` — written `.` in abbreviated form.
+    SelfAxis,
+    /// `descendant::`.
+    Descendant,
+    /// `descendant-or-self::node()` — what `//` abbreviates.
+    DescendantOrSelf,
+    /// `attribute::` — written `@name`.
+    Attribute,
+}
+
+impl Axis {
+    /// The axis name in unabbreviated XPath syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Parent => "parent",
+            Axis::SelfAxis => "self",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Attribute => "attribute",
+        }
+    }
+}
+
+/// Node test of a location step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// A name test, e.g. `hotel`.
+    Name(String),
+    /// The wildcard test `*` (any element; any attribute on the
+    /// attribute axis).
+    Wildcard,
+}
+
+impl NodeTest {
+    /// True if this test accepts the given element/attribute name.
+    pub fn accepts(&self, name: &str) -> bool {
+        match self {
+            NodeTest::Name(n) => n == name,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+/// One location step: `axis::test[pred1][pred2]...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Navigation axis.
+    pub axis: Axis,
+    /// Node test applied to candidates on the axis.
+    pub test: NodeTest,
+    /// Zero or more predicates, applied conjunctively.
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    /// A child step with a name test and no predicates.
+    pub fn child(name: impl Into<String>) -> Step {
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// A parent step (`..`).
+    pub fn parent() -> Step {
+        Step {
+            axis: Axis::Parent,
+            test: NodeTest::Wildcard,
+            predicates: Vec::new(),
+        }
+    }
+
+    /// A self step (`.`).
+    pub fn self_step() -> Step {
+        Step {
+            axis: Axis::SelfAxis,
+            test: NodeTest::Wildcard,
+            predicates: Vec::new(),
+        }
+    }
+}
+
+/// A location path: optional leading `/` plus a sequence of steps.
+///
+/// The empty relative path (no steps) denotes the context node itself; the
+/// empty absolute path denotes the document root (pattern `/`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// True if the path starts at the document root (`/...`).
+    pub absolute: bool,
+    /// The location steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// The root pattern `/`.
+    pub fn root() -> PathExpr {
+        PathExpr {
+            absolute: true,
+            steps: Vec::new(),
+        }
+    }
+
+    /// A relative path of child steps with the given names.
+    pub fn children(names: &[&str]) -> PathExpr {
+        PathExpr {
+            absolute: false,
+            steps: names.iter().map(|n| Step::child(*n)).collect(),
+        }
+    }
+
+    /// True if any step (or nested predicate path) uses the given axis.
+    pub fn uses_axis(&self, axis: Axis) -> bool {
+        self.steps.iter().any(|s| {
+            s.axis == axis
+                || s.predicates.iter().any(|p| p.uses_axis(axis))
+        })
+    }
+
+    /// True if any step carries a predicate (incl. nested paths).
+    pub fn has_predicates(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| !s.predicates.is_empty() || s.predicates.iter().any(Expr::has_path_predicates))
+    }
+}
+
+/// Comparison and arithmetic operators usable in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+impl BinOp {
+    /// The operator in XPath source syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+        }
+    }
+
+    /// True for `= != < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A predicate (or general) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A path used as a value or existence test, e.g. `../confstat` or `@sum`.
+    Path(PathExpr),
+    /// A string literal.
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A variable reference `$name`.
+    Var(String),
+    /// Binary operation (comparison or arithmetic).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction `a and b`.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction `a or b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation `not(a)`.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// True if this expression contains a nested path with its own
+    /// predicates (used to detect constructs outside `XSLT_basic`).
+    pub fn has_path_predicates(&self) -> bool {
+        match self {
+            Expr::Path(p) => p.has_predicates(),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.has_path_predicates() || rhs.has_path_predicates()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.has_path_predicates() || b.has_path_predicates()
+            }
+            Expr::Not(a) => a.has_path_predicates(),
+            _ => false,
+        }
+    }
+
+    /// True if this expression references the given axis anywhere.
+    pub fn uses_axis(&self, axis: Axis) -> bool {
+        match self {
+            Expr::Path(p) => p.uses_axis(axis),
+            Expr::Binary { lhs, rhs, .. } => lhs.uses_axis(axis) || rhs.uses_axis(axis),
+            Expr::And(a, b) | Expr::Or(a, b) => a.uses_axis(axis) || b.uses_axis(axis),
+            Expr::Not(a) => a.uses_axis(axis),
+            _ => false,
+        }
+    }
+
+    /// True if this expression references any `$variable`.
+    pub fn uses_variables(&self) -> bool {
+        match self {
+            Expr::Var(_) => true,
+            Expr::Path(p) => p
+                .steps
+                .iter()
+                .any(|s| s.predicates.iter().any(Expr::uses_variables)),
+            Expr::Binary { lhs, rhs, .. } => lhs.uses_variables() || rhs.uses_variables(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.uses_variables() || b.uses_variables(),
+            Expr::Not(a) => a.uses_variables(),
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: round-trippable source rendering.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        let mut first = true;
+        for step in &self.steps {
+            if !first {
+                write!(f, "/")?;
+            }
+            first = false;
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.axis, &self.test) {
+            (Axis::Child, NodeTest::Name(n)) => write!(f, "{n}")?,
+            (Axis::Child, NodeTest::Wildcard) => write!(f, "*")?,
+            (Axis::Parent, NodeTest::Wildcard) if self.predicates.is_empty() => {
+                write!(f, "..")?
+            }
+            (Axis::SelfAxis, NodeTest::Wildcard) => write!(f, ".")?,
+            (Axis::Attribute, NodeTest::Name(n)) => write!(f, "@{n}")?,
+            (Axis::Attribute, NodeTest::Wildcard) => write!(f, "@*")?,
+            (axis, NodeTest::Name(n)) => write!(f, "{}::{n}", axis.name())?,
+            (axis, NodeTest::Wildcard) => write!(f, "{}::*", axis.name())?,
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, 0, f)
+    }
+}
+
+/// Precedence levels for parenthesization: or < and < comparison <
+/// additive < multiplicative.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Or(..) => 1,
+        Expr::And(..) => 2,
+        Expr::Binary { op, .. } if op.is_comparison() => 3,
+        Expr::Binary {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        } => 4,
+        Expr::Binary { .. } => 5,
+        _ => 6,
+    }
+}
+
+fn write_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let my = expr_prec(e);
+    let parens = my < parent_prec;
+    if parens {
+        write!(f, "(")?;
+    }
+    match e {
+        Expr::Path(p) => write!(f, "{p}")?,
+        Expr::Literal(s) => {
+            // XPath convention: prefer single quotes (friendlier inside
+            // XML attribute values), fall back to double quotes.
+            if s.contains('\'') {
+                write!(f, "\"{s}\"")?
+            } else {
+                write!(f, "'{s}'")?
+            }
+        }
+        Expr::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                write!(f, "{}", *n as i64)?
+            } else {
+                write!(f, "{n}")?
+            }
+        }
+        Expr::Var(v) => write!(f, "${v}")?,
+        Expr::Binary { op, lhs, rhs } => {
+            write_expr(lhs, my, f)?;
+            write!(f, " {} ", op.symbol())?;
+            write_expr(rhs, my + 1, f)?;
+        }
+        Expr::And(a, b) => {
+            write_expr(a, my, f)?;
+            write!(f, " and ")?;
+            write_expr(b, my + 1, f)?;
+        }
+        Expr::Or(a, b) => {
+            write_expr(a, my, f)?;
+            write!(f, " or ")?;
+            write_expr(b, my + 1, f)?;
+        }
+        Expr::Not(a) => {
+            write!(f, "not(")?;
+            write_expr(a, 0, f)?;
+            write!(f, ")")?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple_paths() {
+        assert_eq!(PathExpr::children(&["hotel", "confstat"]).to_string(), "hotel/confstat");
+        assert_eq!(PathExpr::root().to_string(), "/");
+    }
+
+    #[test]
+    fn display_abbreviated_steps() {
+        let p = PathExpr {
+            absolute: false,
+            steps: vec![
+                Step::parent(),
+                Step::child("hotel_available"),
+                Step::parent(),
+                Step::child("confroom"),
+            ],
+        };
+        assert_eq!(p.to_string(), "../hotel_available/../confroom");
+    }
+
+    #[test]
+    fn display_predicates() {
+        let p = PathExpr {
+            absolute: false,
+            steps: vec![Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Wildcard,
+                predicates: vec![Expr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(Expr::Path(PathExpr {
+                        absolute: false,
+                        steps: vec![Step {
+                            axis: Axis::Attribute,
+                            test: NodeTest::Name("sum".into()),
+                            predicates: vec![],
+                        }],
+                    })),
+                    rhs: Box::new(Expr::Number(200.0)),
+                }],
+            }],
+        };
+        assert_eq!(p.to_string(), ".[@sum < 200]");
+    }
+
+    #[test]
+    fn uses_axis_detects_nested() {
+        let p = PathExpr {
+            absolute: false,
+            steps: vec![Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("a".into()),
+                predicates: vec![Expr::Path(PathExpr {
+                    absolute: false,
+                    steps: vec![Step::parent()],
+                })],
+            }],
+        };
+        assert!(p.uses_axis(Axis::Parent));
+        assert!(!p.uses_axis(Axis::Descendant));
+    }
+
+    #[test]
+    fn node_test_accepts() {
+        assert!(NodeTest::Name("hotel".into()).accepts("hotel"));
+        assert!(!NodeTest::Name("hotel".into()).accepts("metro"));
+        assert!(NodeTest::Wildcard.accepts("anything"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for XPath lexing, parsing and evaluation.
+
+use std::fmt;
+
+/// Result alias used throughout `xvc-xpath`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while lexing, parsing or evaluating XPath expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A character the lexer does not recognize.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// Byte offset in the expression source.
+        offset: usize,
+    },
+    /// The expression ended prematurely.
+    UnexpectedEnd {
+        /// What the parser expected next.
+        expected: &'static str,
+    },
+    /// A token that is not legal at this position.
+    UnexpectedToken {
+        /// Rendering of the offending token.
+        found: String,
+        /// What the parser expected instead.
+        expected: &'static str,
+    },
+    /// Unterminated string literal.
+    UnterminatedLiteral,
+    /// A malformed number literal.
+    BadNumber {
+        /// The text that failed to parse.
+        text: String,
+    },
+    /// The expression parsed but extra tokens followed.
+    TrailingTokens {
+        /// Rendering of the first extra token.
+        found: String,
+    },
+    /// An axis name that this dialect does not support.
+    UnsupportedAxis {
+        /// The axis as written.
+        axis: String,
+    },
+    /// A function call that this dialect does not support.
+    UnsupportedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// A variable reference `$name` was not bound at evaluation time.
+    UnboundVariable {
+        /// The variable name (without `$`).
+        name: String,
+    },
+    /// A pattern used a construct patterns do not allow (e.g. parent axis).
+    InvalidPattern {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Evaluation needed a node set but got a scalar (or vice versa).
+    TypeMismatch {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedChar { found, offset } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            Error::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of expression; expected {expected}")
+            }
+            Error::UnexpectedToken { found, expected } => {
+                write!(f, "unexpected token {found}; expected {expected}")
+            }
+            Error::UnterminatedLiteral => write!(f, "unterminated string literal"),
+            Error::BadNumber { text } => write!(f, "malformed number {text:?}"),
+            Error::TrailingTokens { found } => {
+                write!(f, "trailing tokens after expression, starting at {found}")
+            }
+            Error::UnsupportedAxis { axis } => write!(f, "unsupported axis {axis:?}"),
+            Error::UnsupportedFunction { name } => {
+                write!(f, "unsupported function {name}()")
+            }
+            Error::UnboundVariable { name } => write!(f, "unbound variable ${name}"),
+            Error::InvalidPattern { reason } => write!(f, "invalid pattern: {reason}"),
+            Error::TypeMismatch { reason } => write!(f, "type mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

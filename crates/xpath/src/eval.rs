@@ -1,0 +1,532 @@
+//! Evaluation of the XPath dialect over `xvc-xml` documents.
+//!
+//! This implements the `SELECT` function of the paper's processing model
+//! (§2.2.1): given a document context node and a select expression, produce
+//! the set of selected nodes. General expressions (predicates, `xsl:if`
+//! tests) evaluate to [`Value`]s with XPath-1.0-style coercions.
+
+use std::collections::HashMap;
+
+use xvc_xml::{Document, NodeId};
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
+use crate::error::{Error, Result};
+
+/// Variable bindings in scope during evaluation (`xsl:param`s, §5.3).
+pub type VarBindings = HashMap<String, Value>;
+
+/// An XPath value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A set of element (or root) nodes, in document order, deduplicated.
+    Nodes(Vec<NodeId>),
+    /// A set of attribute string values (result of an attribute step).
+    Strs(Vec<String>),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// XPath boolean coercion: non-empty node/string sets, non-zero
+    /// non-NaN numbers and non-empty strings are true.
+    pub fn to_bool(&self) -> bool {
+        match self {
+            Value::Nodes(ns) => !ns.is_empty(),
+            Value::Strs(ss) => !ss.is_empty(),
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Bool(b) => *b,
+        }
+    }
+
+    /// XPath string coercion: first node's string-value / first string /
+    /// formatted number.
+    pub fn to_str(&self, doc: &Document) -> String {
+        match self {
+            Value::Nodes(ns) => ns
+                .first()
+                .map(|&n| doc.text_content(n))
+                .unwrap_or_default(),
+            Value::Strs(ss) => ss.first().cloned().unwrap_or_default(),
+            Value::Num(n) => format_number(*n),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// XPath number coercion (NaN when not numeric).
+    pub fn to_num(&self, doc: &Document) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            other => other
+                .to_str(doc)
+                .trim()
+                .parse::<f64>()
+                .unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Formats a number the XPath way: integers without a decimal point.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Evaluates a location path from `ctx`, returning the selected node set.
+///
+/// Errors with [`Error::TypeMismatch`] if the path ends on the attribute
+/// axis — apply-templates selects must yield nodes, not atomic values
+/// (Definition 3).
+pub fn eval_path(
+    doc: &Document,
+    ctx: NodeId,
+    path: &PathExpr,
+    vars: &VarBindings,
+) -> Result<Vec<NodeId>> {
+    match eval_path_value(doc, ctx, path, vars)? {
+        Value::Nodes(ns) => Ok(ns),
+        _ => Err(Error::TypeMismatch {
+            reason: format!("path {path} selects attribute values, not nodes"),
+        }),
+    }
+}
+
+/// Evaluates a location path to a [`Value`] (nodes, or attribute strings if
+/// the final step is on the attribute axis).
+pub fn eval_path_value(
+    doc: &Document,
+    ctx: NodeId,
+    path: &PathExpr,
+    vars: &VarBindings,
+) -> Result<Value> {
+    let mut current: Vec<NodeId> = if path.absolute {
+        vec![doc.root()]
+    } else {
+        vec![ctx]
+    };
+    for (i, step) in path.steps.iter().enumerate() {
+        let last = i + 1 == path.steps.len();
+        if step.axis == Axis::Attribute {
+            if !last {
+                return Err(Error::TypeMismatch {
+                    reason: "attribute step must be the final step".into(),
+                });
+            }
+            let mut out = Vec::new();
+            for &n in &current {
+                match &step.test {
+                    NodeTest::Name(name) => {
+                        if let Some(v) = doc.attr(n, name) {
+                            out.push(v.to_owned());
+                        }
+                    }
+                    NodeTest::Wildcard => {
+                        out.extend(doc.attrs(n).iter().map(|(_, v)| v.clone()));
+                    }
+                }
+            }
+            return Ok(Value::Strs(out));
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        for &n in &current {
+            collect_axis(doc, n, step, &mut next);
+        }
+        dedup_preserving_order(&mut next);
+        // Apply predicates with each candidate as the context node.
+        let mut filtered = Vec::with_capacity(next.len());
+        for cand in next {
+            let mut keep = true;
+            for pred in &step.predicates {
+                if !eval_expr(doc, cand, pred, vars)?.to_bool() {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                filtered.push(cand);
+            }
+        }
+        current = filtered;
+    }
+    Ok(Value::Nodes(current))
+}
+
+fn collect_axis(doc: &Document, n: NodeId, step: &Step, out: &mut Vec<NodeId>) {
+    match step.axis {
+        Axis::Child => {
+            for c in doc.child_elements(n) {
+                if test_accepts(doc, c, &step.test) {
+                    out.push(c);
+                }
+            }
+        }
+        Axis::Parent => {
+            if let Some(p) = doc.parent(n) {
+                if matches!(step.test, NodeTest::Wildcard) || test_accepts(doc, p, &step.test) {
+                    out.push(p);
+                }
+            }
+        }
+        Axis::SelfAxis => {
+            if matches!(step.test, NodeTest::Wildcard) || test_accepts(doc, n, &step.test) {
+                out.push(n);
+            }
+        }
+        Axis::Descendant => {
+            for d in doc.descendants(n) {
+                if doc.is_element(d) && test_accepts(doc, d, &step.test) {
+                    out.push(d);
+                }
+            }
+        }
+        Axis::DescendantOrSelf => {
+            for d in doc.descendants_or_self(n) {
+                if doc.is_element(d) && test_accepts(doc, d, &step.test) {
+                    out.push(d);
+                }
+            }
+        }
+        Axis::Attribute => unreachable!("handled by caller"),
+    }
+}
+
+fn test_accepts(doc: &Document, n: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Wildcard => doc.is_element(n),
+        NodeTest::Name(name) => doc.is_element_named(n, name),
+    }
+}
+
+fn dedup_preserving_order(v: &mut Vec<NodeId>) {
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|id| seen.insert(*id));
+}
+
+/// Evaluates a general expression with `ctx` as the context node.
+pub fn eval_expr(doc: &Document, ctx: NodeId, expr: &Expr, vars: &VarBindings) -> Result<Value> {
+    match expr {
+        Expr::Path(p) => eval_path_value(doc, ctx, p, vars),
+        Expr::Literal(s) => Ok(Value::Str(s.clone())),
+        Expr::Number(n) => Ok(Value::Num(*n)),
+        Expr::Var(name) => vars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnboundVariable { name: name.clone() }),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(doc, ctx, lhs, vars)?;
+            let r = eval_expr(doc, ctx, rhs, vars)?;
+            if op.is_comparison() {
+                Ok(Value::Bool(compare(doc, *op, &l, &r)))
+            } else {
+                let ln = l.to_num(doc);
+                let rn = r.to_num(doc);
+                let v = match op {
+                    BinOp::Add => ln + rn,
+                    BinOp::Sub => ln - rn,
+                    BinOp::Mul => ln * rn,
+                    BinOp::Div => ln / rn,
+                    BinOp::Mod => ln % rn,
+                    _ => unreachable!("comparisons handled above"),
+                };
+                Ok(Value::Num(v))
+            }
+        }
+        Expr::And(a, b) => {
+            let av = eval_expr(doc, ctx, a, vars)?.to_bool();
+            // Short-circuit.
+            if !av {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(eval_expr(doc, ctx, b, vars)?.to_bool()))
+        }
+        Expr::Or(a, b) => {
+            let av = eval_expr(doc, ctx, a, vars)?.to_bool();
+            if av {
+                return Ok(Value::Bool(true));
+            }
+            Ok(Value::Bool(eval_expr(doc, ctx, b, vars)?.to_bool()))
+        }
+        Expr::Not(a) => Ok(Value::Bool(!eval_expr(doc, ctx, a, vars)?.to_bool())),
+    }
+}
+
+/// Convenience: evaluate an expression as a boolean (`xsl:if` test).
+pub fn eval_expr_bool(
+    doc: &Document,
+    ctx: NodeId,
+    expr: &Expr,
+    vars: &VarBindings,
+) -> Result<bool> {
+    Ok(eval_expr(doc, ctx, expr, vars)?.to_bool())
+}
+
+/// Convenience: evaluate an expression as a string (`xsl:value-of`).
+pub fn eval_string(doc: &Document, ctx: NodeId, expr: &Expr, vars: &VarBindings) -> Result<String> {
+    Ok(eval_expr(doc, ctx, expr, vars)?.to_str(doc))
+}
+
+/// XPath 1.0 comparison: if either side is a set, the comparison is
+/// existential over its members; numeric comparison is used when both sides
+/// coerce to numbers, string comparison otherwise.
+fn compare(doc: &Document, op: BinOp, l: &Value, r: &Value) -> bool {
+    let ls = scalars(doc, l);
+    let rs = scalars(doc, r);
+    ls.iter().any(|a| rs.iter().any(|b| compare_scalar(op, a, b)))
+}
+
+fn scalars(doc: &Document, v: &Value) -> Vec<String> {
+    match v {
+        Value::Nodes(ns) => ns.iter().map(|&n| doc.text_content(n)).collect(),
+        Value::Strs(ss) => ss.clone(),
+        Value::Num(n) => vec![format_number(*n)],
+        Value::Str(s) => vec![s.clone()],
+        Value::Bool(b) => vec![b.to_string()],
+    }
+}
+
+fn compare_scalar(op: BinOp, a: &str, b: &str) -> bool {
+    let an = a.trim().parse::<f64>();
+    let bn = b.trim().parse::<f64>();
+    match (an, bn) {
+        (Ok(x), Ok(y)) => match op {
+            BinOp::Eq => x == y,
+            BinOp::Ne => x != y,
+            BinOp::Lt => x < y,
+            BinOp::Le => x <= y,
+            BinOp::Gt => x > y,
+            BinOp::Ge => x >= y,
+            _ => unreachable!(),
+        },
+        _ => match op {
+            BinOp::Eq => a == b,
+            BinOp::Ne => a != b,
+            // Relational operators on non-numbers are false in XPath 1.0
+            // (both sides are converted to numbers, yielding NaN).
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_path};
+    use xvc_xml::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<metro metroname="chicago">
+                 <hotel hotelname="palmer" starrating="5">
+                   <confstat sum="150"/>
+                   <hotel_available count="12"/>
+                   <confroom capacity="300"/>
+                   <confroom capacity="100"/>
+                 </hotel>
+                 <hotel hotelname="drake" starrating="4">
+                   <confstat sum="250"/>
+                 </hotel>
+               </metro>"#,
+        )
+        .unwrap()
+    }
+
+    fn sel(d: &Document, ctx: NodeId, path: &str) -> Vec<NodeId> {
+        eval_path(d, ctx, &parse_path(path).unwrap(), &VarBindings::new()).unwrap()
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = doc();
+        let hotels = sel(&d, d.root(), "metro/hotel");
+        assert_eq!(hotels.len(), 2);
+        let stats = sel(&d, d.root(), "metro/hotel/confstat");
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn parent_steps() {
+        let d = doc();
+        let stat = sel(&d, d.root(), "metro/hotel/confstat")[0];
+        let rooms = sel(&d, stat, "../hotel_available/../confroom");
+        assert_eq!(rooms.len(), 2);
+        // The second hotel has no hotel_available, so from its confstat the
+        // same path yields nothing.
+        let stat2 = sel(&d, d.root(), "metro/hotel/confstat")[1];
+        assert!(sel(&d, stat2, "../hotel_available/../confroom").is_empty());
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        assert_eq!(sel(&d, d.root(), "//confroom").len(), 2);
+        assert_eq!(sel(&d, d.root(), "metro//confstat").len(), 2);
+    }
+
+    #[test]
+    fn self_axis_with_predicate() {
+        let d = doc();
+        let stats = sel(&d, d.root(), "metro/hotel/confstat");
+        assert_eq!(sel(&d, stats[0], ".[@sum<200]").len(), 1);
+        assert_eq!(sel(&d, stats[1], ".[@sum<200]").len(), 0);
+    }
+
+    #[test]
+    fn attribute_value_path() {
+        let d = doc();
+        let hotel = sel(&d, d.root(), "metro/hotel")[0];
+        let v = eval_path_value(
+            &d,
+            hotel,
+            &parse_path("@hotelname").unwrap(),
+            &VarBindings::new(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Strs(vec!["palmer".into()]));
+    }
+
+    #[test]
+    fn attribute_path_rejected_as_node_select() {
+        let d = doc();
+        let hotel = sel(&d, d.root(), "metro/hotel")[0];
+        assert!(matches!(
+            eval_path(&d, hotel, &parse_path("@hotelname").unwrap(), &VarBindings::new()),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predicates_with_comparisons() {
+        let d = doc();
+        assert_eq!(sel(&d, d.root(), "metro/hotel[@starrating>4]").len(), 1);
+        assert_eq!(sel(&d, d.root(), "metro/hotel[@starrating>=4]").len(), 2);
+        assert_eq!(
+            sel(&d, d.root(), "metro/hotel[@hotelname='drake']").len(),
+            1
+        );
+        assert_eq!(
+            sel(&d, d.root(), "metro/hotel/confroom[@capacity>250]").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn predicates_with_nested_paths() {
+        let d = doc();
+        // Hotels that have an available-count child with count > 10.
+        assert_eq!(
+            sel(&d, d.root(), "metro/hotel[hotel_available[@count>10]]").len(),
+            1
+        );
+        // Existence test without comparison.
+        assert_eq!(sel(&d, d.root(), "metro/hotel[confroom]").len(), 1);
+        assert_eq!(sel(&d, d.root(), "metro/hotel[not(confroom)]").len(), 1);
+    }
+
+    #[test]
+    fn the_paper_figure17_predicate_path() {
+        let d = doc();
+        let stats = sel(&d, d.root(), "metro/hotel/confstat");
+        let path = ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
+        let rooms = sel(&d, stats[0], path);
+        assert_eq!(rooms.len(), 1);
+        assert_eq!(d.attr(rooms[0], "capacity"), Some("300"));
+    }
+
+    #[test]
+    fn variables_in_predicates() {
+        let d = doc();
+        let mut vars = VarBindings::new();
+        vars.insert("idx".into(), Value::Num(200.0));
+        let stats = eval_path(
+            &d,
+            d.root(),
+            &parse_path("metro/hotel/confstat[@sum<$idx]").unwrap(),
+            &vars,
+        )
+        .unwrap();
+        assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let d = doc();
+        assert!(matches!(
+            eval_path(
+                &d,
+                d.root(),
+                &parse_path("metro[@x=$nope]").unwrap(),
+                &VarBindings::new()
+            ),
+            Err(Error::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn arithmetic_and_boolean_exprs() {
+        let d = doc();
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            eval_expr(&d, d.root(), &e, &VarBindings::new()).unwrap(),
+            Value::Num(7.0)
+        );
+        let e = parse_expr("$idx - 1").unwrap();
+        let mut vars = VarBindings::new();
+        vars.insert("idx".into(), Value::Num(10.0));
+        assert_eq!(eval_expr(&d, d.root(), &e, &vars).unwrap(), Value::Num(9.0));
+        let e = parse_expr("$idx<=1").unwrap();
+        assert_eq!(eval_expr(&d, d.root(), &e, &vars).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn existential_set_comparison() {
+        let d = doc();
+        // Some confroom has capacity > 250 — existential over the set.
+        let e = parse_expr("metro/hotel/confroom/@capacity > 250").unwrap();
+        assert!(eval_expr_bool(&d, d.root(), &e, &VarBindings::new()).unwrap());
+        let e = parse_expr("metro/hotel/confroom/@capacity > 500").unwrap();
+        assert!(!eval_expr_bool(&d, d.root(), &e, &VarBindings::new()).unwrap());
+    }
+
+    #[test]
+    fn string_vs_numeric_equality() {
+        let d = doc();
+        let e = parse_expr("@metroname = 'chicago'").unwrap();
+        let metro = sel(&d, d.root(), "metro")[0];
+        assert!(eval_expr_bool(&d, metro, &e, &VarBindings::new()).unwrap());
+        // Numeric comparison when both sides are numeric: "5" = 5.0.
+        let hotel = sel(&d, d.root(), "metro/hotel")[0];
+        let e = parse_expr("@starrating = 5.0").unwrap();
+        assert!(eval_expr_bool(&d, hotel, &e, &VarBindings::new()).unwrap());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(5.0), "5");
+        assert_eq!(format_number(5.5), "5.5");
+        assert_eq!(format_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn deduplicates_nodes() {
+        let d = doc();
+        let hotel = sel(&d, d.root(), "metro/hotel")[0];
+        // Going down then up twice yields the hotel once.
+        let back = sel(&d, hotel, "confroom/..");
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Tokenizer for the XPath dialect.
+
+use crate::error::{Error, Result};
+
+/// Lexical tokens of the XPath dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*` — either wildcard node test or multiplication, decided by parser.
+    Star,
+    /// `$`
+    Dollar,
+    /// `::`
+    ColonColon,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// An NCName (also carries keywords `and`/`or`/`not`/`div`/`mod`,
+    /// disambiguated by the parser based on position).
+    Name(String),
+    /// A quoted string literal (quotes removed).
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Slash => write!(f, "'/'"),
+            Token::DoubleSlash => write!(f, "'//'"),
+            Token::Dot => write!(f, "'.'"),
+            Token::DotDot => write!(f, "'..'"),
+            Token::At => write!(f, "'@'"),
+            Token::LBracket => write!(f, "'['"),
+            Token::RBracket => write!(f, "']'"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Star => write!(f, "'*'"),
+            Token::Dollar => write!(f, "'$'"),
+            Token::ColonColon => write!(f, "'::'"),
+            Token::Comma => write!(f, "','"),
+            Token::Eq => write!(f, "'='"),
+            Token::Ne => write!(f, "'!='"),
+            Token::Lt => write!(f, "'<'"),
+            Token::Le => write!(f, "'<='"),
+            Token::Gt => write!(f, "'>'"),
+            Token::Ge => write!(f, "'>='"),
+            Token::Plus => write!(f, "'+'"),
+            Token::Minus => write!(f, "'-'"),
+            Token::Name(n) => write!(f, "name '{n}'"),
+            Token::Literal(s) => write!(f, "literal \"{s}\""),
+            Token::Number(n) => write!(f, "number {n}"),
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Tokenizes an XPath expression.
+///
+/// Note on names: XPath names may contain `-` and `.`, which conflicts with
+/// subtraction and the self step. The standard resolution (which we follow)
+/// is maximal-munch *within* a name only when the `-`/`.` is followed by a
+/// name character and preceded by name characters without intervening
+/// whitespace — i.e. `a-b` is one name, `a - b` or `a -b` is a subtraction.
+/// `$idx-1` therefore lexes as `$`, `idx-1`... which is wrong for the
+/// paper's examples, so like several real engines we treat `-` after a name
+/// as part of the name only if the next char is a letter or `_`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(offset, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('/') {
+                    chars.next();
+                    out.push(Token::DoubleSlash);
+                } else {
+                    out.push(Token::Slash);
+                }
+            }
+            '.' => {
+                chars.next();
+                match chars.peek().map(|&(_, c)| c) {
+                    Some('.') => {
+                        chars.next();
+                        out.push(Token::DotDot);
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        // .5 style number
+                        let mut text = String::from("0.");
+                        while matches!(chars.peek(), Some(&(_, d)) if d.is_ascii_digit()) {
+                            text.push(chars.next().unwrap().1);
+                        }
+                        let n = text
+                            .parse::<f64>()
+                            .map_err(|_| Error::BadNumber { text: text.clone() })?;
+                        out.push(Token::Number(n));
+                    }
+                    _ => out.push(Token::Dot),
+                }
+            }
+            '@' => {
+                chars.next();
+                out.push(Token::At);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::RBracket);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '$' => {
+                chars.next();
+                out.push(Token::Dollar);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(Error::UnexpectedChar { found: '!', offset });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token::Le);
+                } else {
+                    out.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                out.push(Token::Minus);
+            }
+            ':' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some(':') {
+                    chars.next();
+                    out.push(Token::ColonColon);
+                } else {
+                    return Err(Error::UnexpectedChar { found: ':', offset });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, c)) if c == quote => break,
+                        Some((_, c)) => lit.push(c),
+                        None => return Err(Error::UnterminatedLiteral),
+                    }
+                }
+                out.push(Token::Literal(lit));
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while matches!(chars.peek(), Some(&(_, d)) if d.is_ascii_digit() || d == '.') {
+                    text.push(chars.next().unwrap().1);
+                }
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| Error::BadNumber { text: text.clone() })?;
+                out.push(Token::Number(n));
+            }
+            c if is_name_start(c) => {
+                let mut name = String::new();
+                name.push(c);
+                chars.next();
+                loop {
+                    match chars.peek() {
+                        Some(&(_, d)) if is_name_start(d) || d.is_ascii_digit() => {
+                            name.push(d);
+                            chars.next();
+                        }
+                        // `-` continues a name only when followed by a
+                        // letter/underscore (see function docs).
+                        Some(&(i, '-')) => {
+                            let next_is_name = input[i + 1..]
+                                .chars()
+                                .next()
+                                .is_some_and(is_name_start);
+                            if next_is_name {
+                                name.push('-');
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(Token::Name(name));
+            }
+            _ => return Err(Error::UnexpectedChar { found: c, offset }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_path() {
+        assert_eq!(
+            tokenize("hotel/confstat").unwrap(),
+            vec![
+                Token::Name("hotel".into()),
+                Token::Slash,
+                Token::Name("confstat".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_parent_steps() {
+        assert_eq!(
+            tokenize("../a/../b").unwrap(),
+            vec![
+                Token::DotDot,
+                Token::Slash,
+                Token::Name("a".into()),
+                Token::Slash,
+                Token::DotDot,
+                Token::Slash,
+                Token::Name("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_predicate_with_comparison() {
+        assert_eq!(
+            tokenize("[@sum<200]").unwrap(),
+            vec![
+                Token::LBracket,
+                Token::At,
+                Token::Name("sum".into()),
+                Token::Lt,
+                Token::Number(200.0),
+                Token::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphen_names_vs_subtraction() {
+        assert_eq!(
+            tokenize("hotel_available").unwrap(),
+            vec![Token::Name("hotel_available".into())]
+        );
+        assert_eq!(
+            tokenize("result-metro").unwrap(),
+            vec![Token::Name("result-metro".into())]
+        );
+        assert_eq!(
+            tokenize("$idx - 1").unwrap(),
+            vec![
+                Token::Dollar,
+                Token::Name("idx".into()),
+                Token::Minus,
+                Token::Number(1.0)
+            ]
+        );
+        assert_eq!(
+            tokenize("$idx-1").unwrap(),
+            vec![
+                Token::Dollar,
+                Token::Name("idx".into()),
+                Token::Minus,
+                Token::Number(1.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            tokenize("<= >= != = < >").unwrap(),
+            vec![Token::Le, Token::Ge, Token::Ne, Token::Eq, Token::Lt, Token::Gt]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals_both_quotes() {
+        assert_eq!(
+            tokenize("'chicago' \"nyc\"").unwrap(),
+            vec![
+                Token::Literal("chicago".into()),
+                Token::Literal("nyc".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_axis_syntax() {
+        assert_eq!(
+            tokenize("self::node").unwrap(),
+            vec![
+                Token::Name("self".into()),
+                Token::ColonColon,
+                Token::Name("node".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(matches!(
+            tokenize("a ! b"),
+            Err(Error::UnexpectedChar { found: '!', .. })
+        ));
+        assert!(matches!(tokenize("a : b"), Err(Error::UnexpectedChar { .. })));
+        assert!(matches!(tokenize("'abc"), Err(Error::UnterminatedLiteral)));
+    }
+
+    #[test]
+    fn tokenizes_decimal_numbers() {
+        assert_eq!(tokenize("3.25").unwrap(), vec![Token::Number(3.25)]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Token::Number(0.5)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # `xvc-xpath` — the XPath dialect of the SIGMOD'03 composition paper
+//!
+//! XSLT uses XPath in two roles, and this crate models both:
+//!
+//! * **select expressions** (`select=` of `<xsl:apply-templates>` /
+//!   `<xsl:value-of>`) — location paths whose results are node sets, e.g.
+//!   `hotel/confstat` or `../hotel_available/../confroom`;
+//! * **match patterns** (`match=` of `<xsl:template>`) — path patterns with
+//!   *suffix* semantics per Wadler's formal semantics \[17\]: a pattern
+//!   matches a node if it matches some suffix of the node's incoming path.
+//!
+//! Both share the same [`ast::PathExpr`] representation. Steps may carry
+//! predicates (`§5.1 XSLT_expression`): relational tests on attributes,
+//! nested relative paths (existence tests), `and`/`or`/`not(...)`, and
+//! variable references (`$idx`, needed for the §5.3 recursion examples).
+//!
+//! The [`eval`] module evaluates expressions over [`xvc_xml::Document`]s —
+//! this powers the reference XSLT interpreter in `xvc-xslt`. The *abstract*
+//! evaluation over schema-tree queries (`SELECTQ` / `MATCHQ`) lives in
+//! `xvc-core` and reuses the ASTs defined here.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod pattern;
+
+pub use ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
+pub use error::{Error, Result};
+pub use eval::{eval_expr, eval_expr_bool, eval_path, eval_path_value, eval_string, Value, VarBindings};
+pub use parser::{parse_expr, parse_path, parse_pattern};
+pub use pattern::{default_priority, pattern_matches};

@@ -1,0 +1,591 @@
+//! Recursive-descent parser for the XPath dialect.
+//!
+//! Entry points:
+//! * [`parse_path`] — a location path (select expressions);
+//! * [`parse_expr`] — a general expression (predicates, `xsl:if` tests,
+//!   `xsl:with-param` selects);
+//! * [`parse_pattern`] — a match pattern: a path restricted to the child,
+//!   descendant and attribute axes (per §2.2 the paper's match patterns
+//!   contain only child, descendant (`//`) and attribute axes).
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token};
+
+/// Parses a location path, e.g. `../hotel_available/../confroom`.
+pub fn parse_path(input: &str) -> Result<PathExpr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let path = p.path()?;
+    p.expect_end()?;
+    Ok(path)
+}
+
+/// Parses a general expression, e.g. `@sum < 200 and ../confstat`.
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parses a match pattern and validates the pattern restrictions.
+pub fn parse_pattern(input: &str) -> Result<PathExpr> {
+    let path = parse_path(input)?;
+    validate_pattern(&path)?;
+    Ok(path)
+}
+
+fn validate_pattern(path: &PathExpr) -> Result<()> {
+    for (i, step) in path.steps.iter().enumerate() {
+        match step.axis {
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf => {}
+            Axis::Attribute if i + 1 == path.steps.len() => {}
+            axis => {
+                return Err(Error::InvalidPattern {
+                    reason: format!(
+                        "patterns may only use child, descendant and attribute axes, found {}",
+                        axis.name()
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(Error::TrailingTokens {
+                found: t.to_string(),
+            }),
+        }
+    }
+
+    // -- paths ------------------------------------------------------------
+
+    fn path(&mut self) -> Result<PathExpr> {
+        let mut absolute = false;
+        let mut pending_descendant = false;
+        if self.eat(&Token::Slash) {
+            absolute = true;
+        } else if self.eat(&Token::DoubleSlash) {
+            absolute = true;
+            pending_descendant = true;
+        }
+        let mut steps = Vec::new();
+        // Absolute path `/` with nothing after it is the root pattern.
+        if absolute && self.at_path_end() {
+            return Ok(PathExpr { absolute, steps });
+        }
+        loop {
+            let mut step = self.step()?;
+            if pending_descendant {
+                // `//name` abbreviates descendant-or-self::node()/child::name,
+                // which selects exactly the `descendant::name` nodes.
+                step.axis = match step.axis {
+                    Axis::Child => Axis::Descendant,
+                    other => other,
+                };
+            }
+            steps.push(step);
+            if self.eat(&Token::DoubleSlash) {
+                pending_descendant = true;
+            } else if self.eat(&Token::Slash) {
+                pending_descendant = false;
+            } else {
+                break;
+            }
+        }
+        Ok(PathExpr { absolute, steps })
+    }
+
+    fn at_path_end(&self) -> bool {
+        !matches!(
+            self.peek(),
+            Some(
+                Token::Name(_)
+                    | Token::Dot
+                    | Token::DotDot
+                    | Token::At
+                    | Token::Star
+            )
+        )
+    }
+
+    fn step(&mut self) -> Result<Step> {
+        let step = match self.peek() {
+            Some(Token::Dot) => {
+                self.bump();
+                Step {
+                    axis: Axis::SelfAxis,
+                    test: NodeTest::Wildcard,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::DotDot) => {
+                self.bump();
+                Step {
+                    axis: Axis::Parent,
+                    test: NodeTest::Wildcard,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::At) => {
+                self.bump();
+                let test = self.node_test()?;
+                Step {
+                    axis: Axis::Attribute,
+                    test,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::Star) => {
+                self.bump();
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::Name(_)) => {
+                // Either `axis::test` or a plain child name test.
+                if self.peek2() == Some(&Token::ColonColon) {
+                    let axis_name = match self.bump() {
+                        Some(Token::Name(n)) => n,
+                        _ => unreachable!("peeked a name"),
+                    };
+                    self.bump(); // ::
+                    let axis = match axis_name.as_str() {
+                        "child" => Axis::Child,
+                        "parent" => Axis::Parent,
+                        "self" => Axis::SelfAxis,
+                        "descendant" => Axis::Descendant,
+                        "descendant-or-self" => Axis::DescendantOrSelf,
+                        "attribute" => Axis::Attribute,
+                        other => {
+                            return Err(Error::UnsupportedAxis {
+                                axis: other.to_owned(),
+                            })
+                        }
+                    };
+                    // The node test may be omitted when predicates follow
+                    // (the paper writes `self::[@count>50]` in Figure 25).
+                    let test = match self.peek() {
+                        Some(Token::LBracket) | None | Some(Token::Slash)
+                        | Some(Token::DoubleSlash) => NodeTest::Wildcard,
+                        _ => self.node_test()?,
+                    };
+                    Step {
+                        axis,
+                        test,
+                        predicates: Vec::new(),
+                    }
+                } else {
+                    let name = match self.bump() {
+                        Some(Token::Name(n)) => n,
+                        _ => unreachable!("peeked a name"),
+                    };
+                    Step {
+                        axis: Axis::Child,
+                        test: NodeTest::Name(name),
+                        predicates: Vec::new(),
+                    }
+                }
+            }
+            Some(t) => {
+                return Err(Error::UnexpectedToken {
+                    found: t.to_string(),
+                    expected: "a location step",
+                })
+            }
+            None => {
+                return Err(Error::UnexpectedEnd {
+                    expected: "a location step",
+                })
+            }
+        };
+        let mut step = step;
+        while self.eat(&Token::LBracket) {
+            let pred = self.expr()?;
+            if !self.eat(&Token::RBracket) {
+                return match self.peek() {
+                    Some(t) => Err(Error::UnexpectedToken {
+                        found: t.to_string(),
+                        expected: "']'",
+                    }),
+                    None => Err(Error::UnexpectedEnd { expected: "']'" }),
+                };
+            }
+            step.predicates.push(pred);
+        }
+        Ok(step)
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest> {
+        match self.bump() {
+            Some(Token::Name(n)) => Ok(NodeTest::Name(n)),
+            Some(Token::Star) => Ok(NodeTest::Wildcard),
+            Some(t) => Err(Error::UnexpectedToken {
+                found: t.to_string(),
+                expected: "a name test or '*'",
+            }),
+            None => Err(Error::UnexpectedEnd {
+                expected: "a name test",
+            }),
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at_keyword("or") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at_keyword("and") {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                // `*` here is multiplication: a path step would not follow a
+                // complete operand.
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Name(n)) if n == "div" => BinOp::Div,
+                Some(Token::Name(n)) if n == "mod" => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Sub,
+                lhs: Box::new(Expr::Number(0.0)),
+                rhs: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Token::Literal(_)) => {
+                let Some(Token::Literal(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Literal(s))
+            }
+            Some(Token::Number(_)) => {
+                let Some(Token::Number(n)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Number(n))
+            }
+            Some(Token::Dollar) => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::Name(n)) => Ok(Expr::Var(n)),
+                    Some(t) => Err(Error::UnexpectedToken {
+                        found: t.to_string(),
+                        expected: "a variable name after '$'",
+                    }),
+                    None => Err(Error::UnexpectedEnd {
+                        expected: "a variable name after '$'",
+                    }),
+                }
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                if !self.eat(&Token::RParen) {
+                    return Err(Error::UnexpectedEnd { expected: "')'" });
+                }
+                Ok(e)
+            }
+            Some(Token::Name(n)) if n == "not" && self.peek2() == Some(&Token::LParen) => {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                if !self.eat(&Token::RParen) {
+                    return Err(Error::UnexpectedEnd { expected: "')'" });
+                }
+                Ok(Expr::Not(Box::new(e)))
+            }
+            Some(Token::Name(n)) if self.peek2() == Some(&Token::LParen) => {
+                Err(Error::UnsupportedFunction { name: n.clone() })
+            }
+            Some(
+                Token::Name(_)
+                | Token::Dot
+                | Token::DotDot
+                | Token::At
+                | Token::Star
+                | Token::Slash
+                | Token::DoubleSlash,
+            ) => {
+                let p = self.path()?;
+                Ok(Expr::Path(p))
+            }
+            Some(t) => Err(Error::UnexpectedToken {
+                found: t.to_string(),
+                expected: "an expression",
+            }),
+            None => Err(Error::UnexpectedEnd {
+                expected: "an expression",
+            }),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Name(n)) if n == kw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_select_expressions() {
+        // All select expressions appearing in the paper's figures.
+        for src in [
+            "metro",
+            "hotel/confstat",
+            "../hotel_available/../confroom",
+            ".",
+            ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]",
+            "hotel/hotel_available[@count>10]/metro_available[@count<$idx]",
+            "self::[@count>50]/../../..",
+            "../metroavail_up",
+            "../metroavail_down[@count<$idx]",
+            ".[expression]",
+        ] {
+            parse_path(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parses_paper_match_patterns() {
+        for src in [
+            "/",
+            "metro",
+            "confstat",
+            "metro/hotel/confroom",
+            "metro[@metroname=\"chicago\"]/hotel/confroom",
+            "/metro",
+            "metro_available",
+        ] {
+            parse_pattern(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn pattern_rejects_parent_axis() {
+        assert!(matches!(
+            parse_pattern("../metro"),
+            Err(Error::InvalidPattern { .. })
+        ));
+        assert!(matches!(
+            parse_pattern("a/./b"),
+            Err(Error::InvalidPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn pattern_allows_descendant() {
+        let p = parse_pattern("metro//confroom").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        let p = parse_pattern("//confroom").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn root_path() {
+        let p = parse_path("/").unwrap();
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn predicates_attach_to_steps() {
+        let p = parse_path("a[@x>1][@y<2]/b").unwrap();
+        assert_eq!(p.steps[0].predicates.len(), 2);
+        assert_eq!(p.steps[1].predicates.len(), 0);
+    }
+
+    #[test]
+    fn self_with_predicate_shorthand() {
+        let p = parse_path(".[@sum<200]").unwrap();
+        assert_eq!(p.steps.len(), 1);
+        assert_eq!(p.steps[0].axis, Axis::SelfAxis);
+        assert_eq!(p.steps[0].predicates.len(), 1);
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let e = parse_expr("@a = 1 or @b = 2 and @c = 3").unwrap();
+        // `and` binds tighter than `or`.
+        assert!(matches!(e, Expr::Or(..)));
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let Expr::Binary { op, rhs, .. } = e else {
+            panic!()
+        };
+        assert_eq!(op, BinOp::Add);
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_not_and_nested_paths() {
+        let e = parse_expr("not(@a) and ../confstat[@sum>100]").unwrap();
+        assert!(matches!(e, Expr::And(..)));
+    }
+
+    #[test]
+    fn parses_variable_arithmetic() {
+        let e = parse_expr("$idx - 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Sub, .. }));
+        let e = parse_expr("$idx<=1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Le, .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-5").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_functions_and_axes() {
+        assert!(matches!(
+            parse_expr("count(a)"),
+            Err(Error::UnsupportedFunction { .. })
+        ));
+        assert!(matches!(
+            parse_path("following-sibling::a"),
+            Err(Error::UnsupportedAxis { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(matches!(
+            parse_path("a b"),
+            Err(Error::TrailingTokens { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [
+            "hotel/confstat",
+            "../hotel_available/../confroom",
+            "/metro",
+            "metro//confroom",
+            ".",
+        ] {
+            let p = parse_path(src).unwrap();
+            let p2 = parse_path(&p.to_string()).unwrap();
+            assert_eq!(p, p2, "{src}");
+        }
+    }
+}

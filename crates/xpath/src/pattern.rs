@@ -1,0 +1,223 @@
+//! Match-pattern semantics (the paper's `MATCH` function, §2.2.1).
+//!
+//! Following Wadler's formal semantics of XSLT patterns \[17\]: a pattern
+//! `p1/p2/.../pn` matches a document node `d` if `pn` matches `d` and the
+//! preceding steps match a chain of ancestors — i.e. the pattern matches
+//! "some suffix of the incoming path from the document root" to `d`.
+//! An absolute pattern (`/p1/...`) anchors that chain at the document root,
+//! and the bare pattern `/` matches only the root itself.
+
+use xvc_xml::{Document, NodeId};
+
+use crate::ast::{Axis, NodeTest, PathExpr, Step};
+use crate::error::{Error, Result};
+use crate::eval::{eval_expr, VarBindings};
+
+/// True if `pattern` matches `node` (the paper's `MATCH(dcon, r)`).
+pub fn pattern_matches(
+    doc: &Document,
+    node: NodeId,
+    pattern: &PathExpr,
+    vars: &VarBindings,
+) -> Result<bool> {
+    if pattern.steps.is_empty() {
+        // Pattern "/" — matches only the document root; a relative empty
+        // pattern is degenerate and matches nothing.
+        return Ok(pattern.absolute && doc.is_root(node));
+    }
+    matches_suffix(doc, node, pattern, pattern.steps.len() - 1, vars)
+}
+
+/// Checks that steps `0..=idx` of `pattern` match a chain ending at `node`.
+fn matches_suffix(
+    doc: &Document,
+    node: NodeId,
+    pattern: &PathExpr,
+    idx: usize,
+    vars: &VarBindings,
+) -> Result<bool> {
+    let step = &pattern.steps[idx];
+    if !step_accepts(doc, node, step, vars)? {
+        return Ok(false);
+    }
+    if idx == 0 {
+        return match (pattern.absolute, step.axis) {
+            // `/name...`: the first step's parent must be the root.
+            (true, Axis::Child) => Ok(doc.parent(node) == Some(doc.root())),
+            // `//name...`: anywhere below the root — always true.
+            (true, _) => Ok(true),
+            // Relative pattern: suffix semantics, any position is fine.
+            (false, _) => Ok(true),
+        };
+    }
+    // Find the node(s) the previous step must match.
+    match step.axis {
+        Axis::Child => match doc.parent(node) {
+            Some(p) => matches_suffix(doc, p, pattern, idx - 1, vars),
+            None => Ok(false),
+        },
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            let start = if step.axis == Axis::DescendantOrSelf {
+                Some(node)
+            } else {
+                doc.parent(node)
+            };
+            let mut cur = start;
+            while let Some(n) = cur {
+                if matches_suffix(doc, n, pattern, idx - 1, vars)? {
+                    return Ok(true);
+                }
+                cur = doc.parent(n);
+            }
+            Ok(false)
+        }
+        Axis::Attribute => Err(Error::InvalidPattern {
+            reason: "attribute step inside a pattern must be final".into(),
+        }),
+        axis => Err(Error::InvalidPattern {
+            reason: format!("axis {} not allowed in patterns", axis.name()),
+        }),
+    }
+}
+
+fn step_accepts(doc: &Document, node: NodeId, step: &Step, vars: &VarBindings) -> Result<bool> {
+    let name_ok = match &step.test {
+        NodeTest::Wildcard => doc.is_element(node),
+        NodeTest::Name(n) => doc.is_element_named(node, n),
+    };
+    if !name_ok {
+        return Ok(false);
+    }
+    for pred in &step.predicates {
+        if !eval_expr(doc, node, pred, vars)?.to_bool() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Default priority of a match pattern, per the XSLT specification:
+///
+/// * a single name test with no predicates → `0.0`;
+/// * a single wildcard with no predicates → `-0.5`;
+/// * anything more specific (multiple steps, predicates, absolute) → `0.5`.
+///
+/// Used by the conflict-resolution rewrite (§5.2.3) when templates carry no
+/// explicit priority.
+pub fn default_priority(pattern: &PathExpr) -> f64 {
+    if !pattern.absolute && pattern.steps.len() == 1 {
+        let step = &pattern.steps[0];
+        if step.predicates.is_empty() && step.axis == Axis::Child {
+            return match step.test {
+                NodeTest::Name(_) => 0.0,
+                NodeTest::Wildcard => -0.5,
+            };
+        }
+    }
+    0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use xvc_xml::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<metro metroname="chicago">
+                 <hotel><confroom capacity="300"/></hotel>
+               </metro>"#,
+        )
+        .unwrap()
+    }
+
+    fn node(d: &Document, path: &[&str]) -> NodeId {
+        let mut cur = d.root();
+        for name in path {
+            cur = d
+                .child_elements(cur)
+                .find(|&c| d.is_element_named(c, name))
+                .unwrap();
+        }
+        cur
+    }
+
+    fn m(d: &Document, n: NodeId, pat: &str) -> bool {
+        pattern_matches(d, n, &parse_pattern(pat).unwrap(), &VarBindings::new()).unwrap()
+    }
+
+    #[test]
+    fn root_pattern_matches_only_root() {
+        let d = doc();
+        assert!(m(&d, d.root(), "/"));
+        assert!(!m(&d, node(&d, &["metro"]), "/"));
+    }
+
+    #[test]
+    fn single_name_suffix_semantics() {
+        let d = doc();
+        let room = node(&d, &["metro", "hotel", "confroom"]);
+        assert!(m(&d, room, "confroom"));
+        assert!(m(&d, room, "hotel/confroom"));
+        assert!(m(&d, room, "metro/hotel/confroom"));
+        assert!(!m(&d, room, "hotel"));
+        assert!(!m(&d, room, "metro/confroom"));
+    }
+
+    #[test]
+    fn absolute_patterns_anchor_at_root() {
+        let d = doc();
+        let metro = node(&d, &["metro"]);
+        let hotel = node(&d, &["metro", "hotel"]);
+        assert!(m(&d, metro, "/metro"));
+        assert!(!m(&d, hotel, "/hotel"));
+        assert!(m(&d, hotel, "/metro/hotel"));
+    }
+
+    #[test]
+    fn descendant_patterns() {
+        let d = doc();
+        let room = node(&d, &["metro", "hotel", "confroom"]);
+        assert!(m(&d, room, "metro//confroom"));
+        assert!(m(&d, room, "//confroom"));
+        // No skipping needed also works.
+        assert!(m(&d, room, "hotel//confroom"));
+        // Wrong anchor fails.
+        assert!(!m(&d, room, "confstat//confroom"));
+    }
+
+    #[test]
+    fn predicates_in_patterns() {
+        let d = doc();
+        let room = node(&d, &["metro", "hotel", "confroom"]);
+        assert!(m(&d, room, "metro[@metroname=\"chicago\"]/hotel/confroom"));
+        assert!(!m(&d, room, "metro[@metroname=\"nyc\"]/hotel/confroom"));
+        assert!(m(&d, room, "confroom[@capacity>250]"));
+        assert!(!m(&d, room, "confroom[@capacity>500]"));
+    }
+
+    #[test]
+    fn wildcard_pattern() {
+        let d = doc();
+        let hotel = node(&d, &["metro", "hotel"]);
+        assert!(m(&d, hotel, "*"));
+        assert!(m(&d, hotel, "metro/*"));
+        assert!(!m(&d, d.root(), "*"));
+    }
+
+    #[test]
+    fn default_priorities() {
+        assert_eq!(default_priority(&parse_pattern("metro").unwrap()), 0.0);
+        assert_eq!(default_priority(&parse_pattern("*").unwrap()), -0.5);
+        assert_eq!(
+            default_priority(&parse_pattern("metro/hotel").unwrap()),
+            0.5
+        );
+        assert_eq!(
+            default_priority(&parse_pattern("metro[@x=1]").unwrap()),
+            0.5
+        );
+        assert_eq!(default_priority(&parse_pattern("/").unwrap()), 0.5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests for the XPath layer: display/parse round-trips on
+//! generated paths and expressions, and evaluation laws over random
+//! documents.
+
+use proptest::prelude::*;
+use xvc_xpath::ast::BinOp;
+use xvc_xpath::{
+    eval_path, parse_expr, parse_path, pattern_matches, Axis, Expr, NodeTest, PathExpr, Step,
+    VarBindings,
+};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+
+// ---------------------------------------------------------------------------
+// AST generators
+// ---------------------------------------------------------------------------
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+fn pred_strategy() -> impl Strategy<Value = Expr> {
+    let attr = name().prop_map(|a| {
+        Expr::Path(PathExpr {
+            absolute: false,
+            steps: vec![Step {
+                axis: Axis::Attribute,
+                test: NodeTest::Name(a),
+                predicates: vec![],
+            }],
+        })
+    });
+    let op = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Lt),
+        Just(BinOp::Gt),
+        Just(BinOp::Le),
+        Just(BinOp::Ge),
+        Just(BinOp::Ne),
+    ];
+    (attr, op, 0i64..1000).prop_map(|(a, op, n)| Expr::Binary {
+        op,
+        lhs: Box::new(a),
+        rhs: Box::new(Expr::Number(n as f64)),
+    })
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let axis = prop_oneof![
+        4 => Just(Axis::Child),
+        1 => Just(Axis::Parent),
+        1 => Just(Axis::SelfAxis),
+    ];
+    (axis, name(), prop::collection::vec(pred_strategy(), 0..2)).prop_map(
+        |(axis, n, predicates)| {
+            let test = match axis {
+                Axis::Child => NodeTest::Name(n),
+                _ => NodeTest::Wildcard,
+            };
+            Step {
+                axis,
+                test,
+                predicates,
+            }
+        },
+    )
+}
+
+fn path_strategy() -> impl Strategy<Value = PathExpr> {
+    (any::<bool>(), prop::collection::vec(step_strategy(), 1..5)).prop_map(
+        |(absolute, steps)| PathExpr { absolute, steps },
+    )
+}
+
+/// Nested boolean predicates: and/or/not over comparison atoms — display
+/// must parenthesize so the round-trip preserves the tree.
+fn bool_expr_strategy() -> impl Strategy<Value = Expr> {
+    pred_strategy().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(cases(256))]
+
+    /// display → parse is the identity on generated paths.
+    #[test]
+    fn path_display_parse_roundtrip(p in path_strategy()) {
+        let text = p.to_string();
+        let reparsed = parse_path(&text).unwrap();
+        prop_assert_eq!(&p, &reparsed, "{}", text);
+        prop_assert_eq!(text.clone(), reparsed.to_string());
+    }
+
+    /// display → parse is the identity on generated predicates.
+    #[test]
+    fn expr_display_parse_roundtrip(e in pred_strategy()) {
+        let text = e.to_string();
+        let reparsed = parse_expr(&text).unwrap();
+        prop_assert_eq!(&e, &reparsed, "{}", text);
+    }
+
+    /// ... including arbitrarily nested and/or/not trees (the display must
+    /// parenthesize `a and (b or c)` correctly).
+    #[test]
+    fn boolean_tree_display_parse_roundtrip(e in bool_expr_strategy()) {
+        let text = e.to_string();
+        let reparsed = parse_expr(&text).unwrap();
+        prop_assert_eq!(&e, &reparsed, "{}", text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation laws over random documents
+// ---------------------------------------------------------------------------
+
+fn doc_strategy() -> impl Strategy<Value = xvc_xml::Document> {
+    // Random three-level documents: <root><a x=..><b y=../></a>...</root>.
+    prop::collection::vec(
+        (0i64..10, prop::collection::vec(0i64..10, 0..3)),
+        0..4,
+    )
+    .prop_map(|tops| {
+        let mut b = xvc_xml::TreeBuilder::new();
+        b.open("root");
+        for (x, kids) in tops {
+            b.open("a");
+            b.attr("x", x.to_string());
+            for y in kids {
+                b.open("b");
+                b.attr("y", y.to_string());
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(cases(128))]
+
+    /// `a/b` from the root equals the union of `b` from each `a`.
+    #[test]
+    fn path_composition_law(doc in doc_strategy()) {
+        let vars = VarBindings::new();
+        let root = doc.root();
+        let composed = eval_path(&doc, root, &parse_path("root/a/b").unwrap(), &vars).unwrap();
+        let mut stepwise = Vec::new();
+        for a in eval_path(&doc, root, &parse_path("root/a").unwrap(), &vars).unwrap() {
+            stepwise.extend(eval_path(&doc, a, &parse_path("b").unwrap(), &vars).unwrap());
+        }
+        prop_assert_eq!(composed, stepwise);
+    }
+
+    /// `b/..` from the root's `a/b` children lands back on their parents.
+    #[test]
+    fn down_up_law(doc in doc_strategy()) {
+        let vars = VarBindings::new();
+        let root = doc.root();
+        for b in eval_path(&doc, root, &parse_path("root/a/b").unwrap(), &vars).unwrap() {
+            let up = eval_path(&doc, b, &parse_path("..").unwrap(), &vars).unwrap();
+            prop_assert_eq!(up, vec![doc.parent(b).unwrap()]);
+        }
+    }
+
+    /// Every node selected by `root/a[pred]` satisfies the pattern
+    /// `a[pred]` (select/match agreement — the invariant the CTG is
+    /// built on).
+    #[test]
+    fn select_match_agreement(doc in doc_strategy(), threshold in 0i64..10) {
+        let vars = VarBindings::new();
+        let root = doc.root();
+        let select = parse_path(&format!("root/a[@x>{threshold}]")).unwrap();
+        let pattern = xvc_xpath::parse_pattern(&format!("a[@x>{threshold}]")).unwrap();
+        let all = eval_path(&doc, root, &parse_path("root/a").unwrap(), &vars).unwrap();
+        let selected = eval_path(&doc, root, &select, &vars).unwrap();
+        for node in all {
+            let matched = pattern_matches(&doc, node, &pattern, &vars).unwrap();
+            prop_assert_eq!(matched, selected.contains(&node));
+        }
+    }
+
+    /// Predicates filter monotonically: `a[p]` ⊆ `a`.
+    #[test]
+    fn predicates_shrink(doc in doc_strategy(), threshold in 0i64..10) {
+        let vars = VarBindings::new();
+        let root = doc.root();
+        let all = eval_path(&doc, root, &parse_path("root/a").unwrap(), &vars).unwrap();
+        let filtered = eval_path(
+            &doc,
+            root,
+            &parse_path(&format!("root/a[@x&gt;{threshold}]").replace("&gt;", ">")).unwrap(),
+            &vars,
+        )
+        .unwrap();
+        prop_assert!(filtered.iter().all(|n| all.contains(n)));
+        prop_assert!(filtered.len() <= all.len());
+    }
+}

@@ -1,0 +1,266 @@
+//! The `XSLT_basic` restrictions (§2.2.2).
+//!
+//! `XSLT_basic` restricts XSLT to the fragment the core composition
+//! algorithm handles directly. [`check_basic`] reports every violation with
+//! the rule index and the restriction number, so callers can decide whether
+//! to reject, or first lower the stylesheet via the §5.2 rewrites
+//! ([`crate::rewrite`]) and compose predicates via §5.1.
+
+use xvc_xpath::{Axis, Expr, PathExpr};
+
+use crate::model::{OutputNode, Stylesheet};
+
+/// One violation of the `XSLT_basic` restrictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicViolation {
+    /// Index of the offending rule in the stylesheet.
+    pub rule: usize,
+    /// Which §2.2.2 restriction is violated (4–10; 1–3 are semantic and
+    /// checked elsewhere: recursion shows up as a CTG cycle at
+    /// composition time).
+    pub restriction: u8,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for BasicViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rule {}: violates XSLT_basic restriction ({}): {}",
+            self.rule, self.restriction, self.reason
+        )
+    }
+}
+
+/// Checks the statically checkable `XSLT_basic` restrictions:
+/// (4) no predicates, (5) no flow-control elements, (6) no potentially
+/// conflicting rules, (8) no variables/parameters, (9) no descendant axis,
+/// (10) `value-of`/`copy-of` select only `.` or `@attribute`.
+pub fn check_basic(s: &Stylesheet) -> Vec<BasicViolation> {
+    let mut out = Vec::new();
+    for (i, rule) in s.rules.iter().enumerate() {
+        check_path(i, &rule.match_pattern, "match pattern", &mut out);
+        if !rule.params.is_empty() {
+            out.push(BasicViolation {
+                rule: i,
+                restriction: 8,
+                reason: "xsl:param declarations are not allowed".into(),
+            });
+        }
+        check_output(i, &rule.output, &mut out);
+    }
+    // (6) conflict detection: two rules in the same mode whose patterns end
+    // in the same node name (or a wildcard) can match the same node.
+    for (i, a) in s.rules.iter().enumerate() {
+        for (j, b) in s.rules.iter().enumerate().skip(i + 1) {
+            if a.mode != b.mode {
+                continue;
+            }
+            let (na, nb) = (a.node_name(), b.node_name());
+            // The root pattern "/" never conflicts with element patterns.
+            if a.match_pattern.steps.is_empty() || b.match_pattern.steps.is_empty() {
+                continue;
+            }
+            if na == nb || na == "*" || nb == "*" {
+                out.push(BasicViolation {
+                    rule: j,
+                    restriction: 6,
+                    reason: format!(
+                        "rules {i} and {j} (mode {:?}) may both match <{}> nodes",
+                        a.mode,
+                        if na == "*" { &nb } else { &na }
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_path(rule: usize, p: &PathExpr, what: &str, out: &mut Vec<BasicViolation>) {
+    for step in &p.steps {
+        if !step.predicates.is_empty() {
+            out.push(BasicViolation {
+                rule,
+                restriction: 4,
+                reason: format!("{what} `{p}` contains predicates"),
+            });
+        }
+        for pred in &step.predicates {
+            check_expr(rule, pred, out);
+        }
+        if matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf) {
+            out.push(BasicViolation {
+                rule,
+                restriction: 9,
+                reason: format!("{what} `{p}` uses the descendant axis"),
+            });
+        }
+    }
+}
+
+fn check_expr(rule: usize, e: &Expr, out: &mut Vec<BasicViolation>) {
+    if e.uses_variables() {
+        out.push(BasicViolation {
+            rule,
+            restriction: 8,
+            reason: "expression references a variable".into(),
+        });
+    }
+}
+
+fn check_output(rule: usize, nodes: &[OutputNode], out: &mut Vec<BasicViolation>) {
+    for n in nodes {
+        match n {
+            OutputNode::Element { children, .. } => check_output(rule, children, out),
+            OutputNode::Text(_) => {}
+            OutputNode::ApplyTemplates(a) => {
+                check_path(rule, &a.select, "select expression", out);
+                if !a.with_params.is_empty() {
+                    out.push(BasicViolation {
+                        rule,
+                        restriction: 8,
+                        reason: "xsl:with-param is not allowed".into(),
+                    });
+                }
+            }
+            OutputNode::ValueOf { select } | OutputNode::CopyOf { select } => {
+                if !is_basic_value_select(select) {
+                    out.push(BasicViolation {
+                        rule,
+                        restriction: 10,
+                        reason: format!(
+                            "value-of/copy-of select must be \".\" or \"@attr\", found `{select}`"
+                        ),
+                    });
+                }
+            }
+            OutputNode::If { .. } | OutputNode::Choose { .. } | OutputNode::ForEach { .. } => {
+                out.push(BasicViolation {
+                    rule,
+                    restriction: 5,
+                    reason: "flow-control element (xsl:if/choose/for-each)".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Restriction (10): the select of `value-of`/`copy-of` can only be `.` or
+/// `@attribute`.
+pub fn is_basic_value_select(e: &Expr) -> bool {
+    match e {
+        Expr::Path(p) if !p.absolute && p.steps.len() == 1 => {
+            let s = &p.steps[0];
+            s.predicates.is_empty()
+                && matches!(
+                    (s.axis, &s.test),
+                    (Axis::SelfAxis, xvc_xpath::NodeTest::Wildcard)
+                        | (Axis::Attribute, xvc_xpath::NodeTest::Name(_))
+                )
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_stylesheet, FIGURE4_XSLT};
+
+    #[test]
+    fn figure4_is_basic() {
+        let s = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        assert!(check_basic(&s).is_empty());
+    }
+
+    #[test]
+    fn detects_predicates() {
+        let s = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"a[@x=1]\"/></xsl:stylesheet>",
+        )
+        .unwrap();
+        let v = check_basic(&s);
+        assert!(v.iter().any(|v| v.restriction == 4), "{v:?}");
+    }
+
+    #[test]
+    fn detects_flow_control() {
+        let s = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"a\"><xsl:if test=\"@x\"><y/></xsl:if></xsl:template></xsl:stylesheet>",
+        )
+        .unwrap();
+        assert!(check_basic(&s).iter().any(|v| v.restriction == 5));
+    }
+
+    #[test]
+    fn detects_conflicting_rules() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="hotel"/>
+                 <xsl:template match="metro/hotel"/>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(check_basic(&s).iter().any(|v| v.restriction == 6));
+        // Different modes do not conflict.
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="hotel" mode="a"/>
+                 <xsl:template match="metro/hotel" mode="b"/>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(check_basic(&s).is_empty());
+    }
+
+    #[test]
+    fn detects_params_and_variables() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="a">
+                   <xsl:param name="idx"/>
+                   <xsl:apply-templates select="b">
+                     <xsl:with-param name="idx" select="1"/>
+                   </xsl:apply-templates>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let v = check_basic(&s);
+        assert!(v.iter().filter(|v| v.restriction == 8).count() >= 2);
+    }
+
+    #[test]
+    fn detects_descendant_axis() {
+        let s = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"a//b\"/></xsl:stylesheet>",
+        )
+        .unwrap();
+        assert!(check_basic(&s).iter().any(|v| v.restriction == 9));
+    }
+
+    #[test]
+    fn detects_general_value_of() {
+        let s = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"a\"><xsl:value-of select=\"b/c\"/></xsl:template></xsl:stylesheet>",
+        )
+        .unwrap();
+        assert!(check_basic(&s).iter().any(|v| v.restriction == 10));
+    }
+
+    #[test]
+    fn basic_value_selects() {
+        assert!(is_basic_value_select(&xvc_xpath::parse_expr(".").unwrap()));
+        assert!(is_basic_value_select(
+            &xvc_xpath::parse_expr("@sum").unwrap()
+        ));
+        assert!(!is_basic_value_select(
+            &xvc_xpath::parse_expr("b/c").unwrap()
+        ));
+        assert!(!is_basic_value_select(
+            &xvc_xpath::parse_expr(".[@x=1]").unwrap()
+        ));
+    }
+}

@@ -1,0 +1,614 @@
+//! The reference XSLT interpreter: Figure 5's `PROCESS` function.
+//!
+//! `PROCESS(x, dcon, mode)` walks the input document by context
+//! transitions: the highest-priority rule whose mode matches and whose
+//! pattern `MATCH`es the context node is instantiated; each
+//! `<xsl:apply-templates>` in its output fragment `SELECT`s new context
+//! nodes and recurses. Built-in rules are overridden (§2.2.1): an unmatched
+//! node contributes nothing.
+//!
+//! Extensions beyond `XSLT_basic` (used by §5): predicates in paths,
+//! `xsl:if` / `xsl:choose` / `xsl:for-each`, `xsl:param` /
+//! `xsl:with-param`, and general `xsl:value-of` selects under the paper's
+//! output model (see crate docs).
+
+use std::collections::HashMap;
+
+use xvc_xml::{Document, NodeId, TreeBuilder};
+use xvc_xpath::{
+    eval_expr, eval_path_value, pattern_matches, Expr, Value, VarBindings,
+};
+
+use crate::error::{Error, Result};
+use crate::model::{OutputNode, Stylesheet, TemplateRule, DEFAULT_MODE};
+
+/// Default template-recursion depth limit.
+pub const DEFAULT_DEPTH_LIMIT: usize = 256;
+
+/// Counters from one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of `PROCESS` invocations (context nodes visited).
+    pub nodes_processed: usize,
+    /// Number of template-rule instantiations.
+    pub rules_fired: usize,
+    /// Deepest template recursion reached.
+    pub max_depth: usize,
+}
+
+/// Runs the stylesheet on a document: `PROCESS(x, root, #default)`.
+pub fn process(stylesheet: &Stylesheet, doc: &Document) -> Result<Document> {
+    process_with_limit(stylesheet, doc, DEFAULT_DEPTH_LIMIT).map(|(d, _)| d)
+}
+
+/// Like [`process`], with an explicit recursion limit and statistics.
+pub fn process_with_limit(
+    stylesheet: &Stylesheet,
+    doc: &Document,
+    depth_limit: usize,
+) -> Result<(Document, EngineStats)> {
+    let mut engine = Engine {
+        stylesheet,
+        doc,
+        builder: TreeBuilder::new(),
+        stats: EngineStats::default(),
+        depth_limit,
+    };
+    engine.process_node(doc.root(), DEFAULT_MODE, &HashMap::new(), 0)?;
+    Ok((engine.builder.finish(), engine.stats))
+}
+
+struct Engine<'a> {
+    stylesheet: &'a Stylesheet,
+    doc: &'a Document,
+    builder: TreeBuilder,
+    stats: EngineStats,
+    depth_limit: usize,
+}
+
+impl Engine<'_> {
+    /// Figure 5, `PROCESS(x, dcon, mode)`: pick the matching rule of
+    /// highest priority and instantiate its output.
+    fn process_node(
+        &mut self,
+        dcon: NodeId,
+        mode: &str,
+        passed: &VarBindings,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > self.depth_limit {
+            return Err(Error::RecursionLimit {
+                limit: self.depth_limit,
+            });
+        }
+        self.stats.nodes_processed += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        // Collect matching rules; among equal priorities the one latest in
+        // the stylesheet wins (the XSLT recoverable-conflict behaviour).
+        let mut best: Option<(&TemplateRule, f64, usize)> = None;
+        for (idx, rule) in self.stylesheet.rules.iter().enumerate() {
+            if rule.mode != mode {
+                continue;
+            }
+            if !pattern_matches(self.doc, dcon, &rule.match_pattern, passed)? {
+                continue;
+            }
+            let p = rule.priority();
+            let better = match best {
+                None => true,
+                Some((_, bp, bidx)) => p > bp || (p == bp && idx > bidx),
+            };
+            if better {
+                best = Some((rule, p, idx));
+            }
+        }
+        let Some((rule, ..)) = best else {
+            return Ok(()); // built-ins overridden: unmatched ⇒ nothing
+        };
+        self.stats.rules_fired += 1;
+
+        // Bind xsl:param declarations: passed value, else default, else "".
+        let mut vars: VarBindings = HashMap::new();
+        for p in &rule.params {
+            let v = if let Some(v) = passed.get(&p.name) {
+                v.clone()
+            } else if let Some(default) = &p.default {
+                eval_expr(self.doc, dcon, default, &HashMap::new())?
+            } else {
+                Value::Str(String::new())
+            };
+            vars.insert(p.name.clone(), v);
+        }
+
+        self.instantiate(&rule.output, dcon, &vars, depth)
+    }
+
+    fn instantiate(
+        &mut self,
+        nodes: &[OutputNode],
+        dcon: NodeId,
+        vars: &VarBindings,
+        depth: usize,
+    ) -> Result<()> {
+        for node in nodes {
+            match node {
+                OutputNode::Element {
+                    name,
+                    attrs,
+                    children,
+                } => {
+                    self.builder.open(name.clone());
+                    for (k, v) in attrs {
+                        self.builder.attr(k.clone(), v.clone());
+                    }
+                    self.instantiate(children, dcon, vars, depth)?;
+                    self.builder.close();
+                }
+                OutputNode::Text(t) => self.builder.text(t.clone()),
+                OutputNode::ApplyTemplates(a) => {
+                    // SELECT(dcon, aj) then recurse per new context node.
+                    let selected = xvc_xpath::eval_path(self.doc, dcon, &a.select, vars)?;
+                    let mut child_params: VarBindings = HashMap::new();
+                    for wp in &a.with_params {
+                        child_params.insert(
+                            wp.name.clone(),
+                            eval_expr(self.doc, dcon, &wp.select, vars)?,
+                        );
+                    }
+                    for new_con in selected {
+                        self.process_node(new_con, &a.mode, &child_params, depth + 1)?;
+                    }
+                }
+                OutputNode::ValueOf { select } => {
+                    self.emit_value(select, dcon, vars, /* deep = */ false)?
+                }
+                OutputNode::CopyOf { select } => {
+                    self.emit_value(select, dcon, vars, /* deep = */ true)?
+                }
+                OutputNode::If { test, children } => {
+                    if eval_expr(self.doc, dcon, test, vars)?.to_bool() {
+                        self.instantiate(children, dcon, vars, depth)?;
+                    }
+                }
+                OutputNode::Choose { whens, otherwise } => {
+                    let mut done = false;
+                    for (test, body) in whens {
+                        if eval_expr(self.doc, dcon, test, vars)?.to_bool() {
+                            self.instantiate(body, dcon, vars, depth)?;
+                            done = true;
+                            break;
+                        }
+                    }
+                    if !done {
+                        self.instantiate(otherwise, dcon, vars, depth)?;
+                    }
+                }
+                OutputNode::ForEach { select, children } => {
+                    let selected = xvc_xpath::eval_path(self.doc, dcon, select, vars)?;
+                    for item in selected {
+                        self.instantiate(children, item, vars, depth)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's output model for `<xsl:value-of>` / `<xsl:copy-of>`:
+    /// selected *elements* are emitted as copies (shallow for value-of,
+    /// deep for copy-of); selected *attributes* are attached to the
+    /// enclosing output element; scalar results become text.
+    fn emit_value(
+        &mut self,
+        select: &Expr,
+        dcon: NodeId,
+        vars: &VarBindings,
+        deep: bool,
+    ) -> Result<()> {
+        let value = match select {
+            Expr::Path(p) => eval_path_value(self.doc, dcon, p, vars)?,
+            other => eval_expr(self.doc, dcon, other, vars)?,
+        };
+        match value {
+            Value::Nodes(ns) => {
+                for n in ns {
+                    if self.doc.is_root(n) {
+                        continue;
+                    }
+                    if deep {
+                        self.builder.import(self.doc, n);
+                    } else {
+                        // Shallow copy: tag + attributes (restriction (10):
+                        // database values are attributes, so this is the
+                        // node's entire own content).
+                        let tag = self.doc.name(n).expect("element").to_owned();
+                        self.builder.open(tag);
+                        for (k, v) in self.doc.attrs(n) {
+                            self.builder.attr(k.clone(), v.clone());
+                        }
+                        self.builder.close();
+                    }
+                }
+            }
+            Value::Strs(_) => {
+                // Attribute selection: attach to the enclosing element. The
+                // attribute name comes from the final step of the path.
+                let Expr::Path(p) = select else {
+                    unreachable!("Strs only arise from attribute paths")
+                };
+                if self.builder.depth() == 0 {
+                    return Err(Error::ValueOfAttributeAtRoot);
+                }
+                let last = p.steps.last().expect("attribute path has steps");
+                match &last.test {
+                    xvc_xpath::NodeTest::Name(attr_name) => {
+                        if let Value::Strs(ss) =
+                            eval_path_value(self.doc, dcon, p, vars)?
+                        {
+                            if let Some(v) = ss.first() {
+                                self.builder.attr(attr_name.clone(), v.clone());
+                            }
+                        }
+                    }
+                    xvc_xpath::NodeTest::Wildcard => {
+                        // `@*`: attach every attribute of the selected
+                        // nodes' context — approximate with the context
+                        // node's own attributes.
+                        for (k, v) in self.doc.attrs(dcon) {
+                            self.builder.attr(k.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+            scalar => {
+                let s = scalar.to_str(self.doc);
+                if !s.is_empty() {
+                    self.builder.text(s);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_stylesheet, FIGURE4_XSLT};
+
+    fn doc() -> Document {
+        xvc_xml::parse(
+            r#"<metro metroid="1" metroname="chicago">
+                 <hotel hotelid="10" starrating="5">
+                   <confstat sum="150"/>
+                   <confroom c_id="100" capacity="300"/>
+                   <confroom c_id="101" capacity="150"/>
+                   <hotel_available count="12" startdate="2003-06-09"/>
+                 </hotel>
+                 <hotel hotelid="11" starrating="4">
+                   <confstat sum="250"/>
+                   <confroom c_id="102" capacity="500"/>
+                 </hotel>
+               </metro>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_figure4_stylesheet() {
+        let s = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let out = process(&s, &doc()).unwrap();
+        let xml = out.to_xml();
+        // HTML skeleton from R1.
+        assert!(xml.starts_with("<HTML><HEAD/><BODY>"), "{xml}");
+        // R2 fires once per metro.
+        assert_eq!(xml.matches("<result_metro>").count(), 1);
+        // R3 fires once per confstat (2 hotels).
+        assert_eq!(xml.matches("<result_confstat>").count(), 2);
+        // R4 copies confrooms: only hotel 10 has a hotel_available sibling,
+        // so only its two confrooms appear.
+        assert_eq!(xml.matches("<confroom").count(), 2);
+        assert!(xml.contains("<confroom c_id=\"100\" capacity=\"300\"/>"));
+        assert!(!xml.contains("c_id=\"102\""));
+    }
+
+    #[test]
+    fn unmatched_nodes_produce_nothing() {
+        let s = parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match=\"/\"><out><xsl:apply-templates select=\"nope\"/></out></xsl:template></xsl:stylesheet>",
+        )
+        .unwrap();
+        let out = process(&s, &doc()).unwrap();
+        assert_eq!(out.to_xml(), "<out/>");
+    }
+
+    #[test]
+    fn priority_conflict_resolution() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel"><generic/></xsl:template>
+                 <xsl:template match="hotel" priority="2"><specific/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let out = process(&s, &doc()).unwrap();
+        assert_eq!(out.to_xml(), "<specific/><specific/>");
+    }
+
+    #[test]
+    fn equal_priority_last_rule_wins() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>
+                 <xsl:template match="metro"><first/></xsl:template>
+                 <xsl:template match="metro"><second/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<second/>");
+    }
+
+    #[test]
+    fn modes_partition_rules() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <xsl:apply-templates select="metro" mode="a"/>
+                   <xsl:apply-templates select="metro" mode="b"/>
+                 </xsl:template>
+                 <xsl:template match="metro" mode="a"><in_a/></xsl:template>
+                 <xsl:template match="metro" mode="b"><in_b/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<in_a/><in_b/>");
+    }
+
+    #[test]
+    fn value_of_attribute_attaches_to_enclosing_element() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>
+                 <xsl:template match="metro">
+                   <result><xsl:value-of select="@metroname"/></result>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            process(&s, &doc()).unwrap().to_xml(),
+            "<result metroname=\"chicago\"/>"
+        );
+    }
+
+    #[test]
+    fn value_of_attribute_at_root_errors() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>
+                 <xsl:template match="metro"><xsl:value-of select="@metroname"/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()), Err(Error::ValueOfAttributeAtRoot));
+    }
+
+    #[test]
+    fn copy_of_is_deep() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel"><xsl:copy-of select="."/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let xml = process(&s, &doc()).unwrap().to_xml();
+        assert!(xml.contains("<hotel hotelid=\"10\" starrating=\"5\"><confstat sum=\"150\"/>"));
+    }
+
+    #[test]
+    fn flow_control_if_choose_foreach() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel">
+                   <h>
+                     <xsl:if test="@starrating &gt; 4"><lux/></xsl:if>
+                     <xsl:choose>
+                       <xsl:when test="@starrating = 5"><five/></xsl:when>
+                       <xsl:otherwise><fewer/></xsl:otherwise>
+                     </xsl:choose>
+                     <xsl:for-each select="confroom"><room/></xsl:for-each>
+                   </h>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let xml = process(&s, &doc()).unwrap().to_xml();
+        assert_eq!(
+            xml,
+            "<h><lux/><five/><room/><room/></h><h><fewer/><room/></h>"
+        );
+    }
+
+    #[test]
+    fn params_default_and_passing() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <xsl:apply-templates select="metro">
+                     <xsl:with-param name="n" select="3"/>
+                   </xsl:apply-templates>
+                 </xsl:template>
+                 <xsl:template match="metro">
+                   <xsl:param name="n" select="99"/>
+                   <xsl:param name="unset" select="7"/>
+                   <out><xsl:value-of select="$n + $unset"/></out>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<out>10</out>");
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        // An intentionally infinite self-recursion through the self axis.
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>
+                 <xsl:template match="metro"><xsl:apply-templates select="."/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            process_with_limit(&s, &doc(), 50),
+            Err(Error::RecursionLimit { limit: 50 })
+        ));
+    }
+
+    #[test]
+    fn stats_are_counted() {
+        let s = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let (_, stats) = process_with_limit(&s, &doc(), 64).unwrap();
+        // root + 1 metro + 2 confstat + 2 confroom = 6 context nodes.
+        assert_eq!(stats.nodes_processed, 6);
+        assert_eq!(stats.rules_fired, 6);
+        assert_eq!(stats.max_depth, 3);
+    }
+
+    #[test]
+    fn absolute_selects_jump_to_the_root() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel">
+                   <h><xsl:apply-templates select="/metro" mode="up"/></h>
+                 </xsl:template>
+                 <xsl:template match="metro" mode="up"><top/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        // Two hotels each jump back to the single metro.
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<h><top/></h><h><top/></h>");
+    }
+
+    #[test]
+    fn default_apply_select_is_all_child_elements() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates/></xsl:template>
+                 <xsl:template match="metro"><m><xsl:apply-templates/></m></xsl:template>
+                 <xsl:template match="hotel"><h/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<m><h/><h/></m>");
+    }
+
+    #[test]
+    fn undeclared_with_params_are_ignored() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <xsl:apply-templates select="metro">
+                     <xsl:with-param name="unused" select="42"/>
+                   </xsl:apply-templates>
+                 </xsl:template>
+                 <xsl:template match="metro"><m/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<m/>");
+    }
+
+    #[test]
+    fn params_do_not_leak_across_apply_boundaries() {
+        // R2 receives $n; R3 (called without with-param) must see its own
+        // default, not R2's binding.
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <xsl:apply-templates select="metro">
+                     <xsl:with-param name="n" select="5"/>
+                   </xsl:apply-templates>
+                 </xsl:template>
+                 <xsl:template match="metro">
+                   <xsl:param name="n"/>
+                   <outer><xsl:value-of select="$n"/></outer>
+                   <xsl:apply-templates select="hotel"/>
+                 </xsl:template>
+                 <xsl:template match="hotel">
+                   <xsl:param name="n" select="0"/>
+                   <inner><xsl:value-of select="$n"/></inner>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let xml = process(&s, &doc()).unwrap().to_xml();
+        assert_eq!(
+            xml,
+            "<outer>5</outer><inner>0</inner><inner>0</inner>"
+        );
+    }
+
+    #[test]
+    fn literal_text_is_emitted() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><greeting>hello <b>world</b></greeting></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            process(&s, &doc()).unwrap().to_xml(),
+            "<greeting>hello <b>world</b></greeting>"
+        );
+    }
+
+    #[test]
+    fn wildcard_match_catches_everything_selected() {
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel/confstat"/></xsl:template>
+                 <xsl:template match="*"><got/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<got/><got/>");
+    }
+
+    #[test]
+    fn bounded_recursion_with_params_terminates() {
+        // Countdown recursion: the §5.3 pattern in miniature.
+        let s = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <xsl:apply-templates select="metro">
+                     <xsl:with-param name="idx" select="3"/>
+                   </xsl:apply-templates>
+                 </xsl:template>
+                 <xsl:template match="metro">
+                   <xsl:param name="idx"/>
+                   <xsl:choose>
+                     <xsl:when test="$idx &lt;= 1"><done/></xsl:when>
+                     <xsl:otherwise>
+                       <level>
+                         <xsl:apply-templates select=".">
+                           <xsl:with-param name="idx" select="$idx - 1"/>
+                         </xsl:apply-templates>
+                       </level>
+                     </xsl:otherwise>
+                   </xsl:choose>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(
+            process(&s, &doc()).unwrap().to_xml(),
+            "<level><level><done/></level></level>"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for stylesheet parsing and execution.
+
+use std::fmt;
+
+/// Result alias used throughout `xvc-xslt`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or executing stylesheets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The stylesheet XML was malformed.
+    Xml(
+        /// Underlying XML error.
+        xvc_xml::Error,
+    ),
+    /// An XPath expression inside the stylesheet failed to parse or
+    /// evaluate.
+    XPath(
+        /// Underlying XPath error.
+        xvc_xpath::Error,
+    ),
+    /// The stylesheet root element is not `xsl:stylesheet`/`xsl:transform`.
+    NotAStylesheet {
+        /// The root element actually found.
+        found: String,
+    },
+    /// A template rule is missing its `match` attribute.
+    MissingMatch,
+    /// A required attribute is missing from an XSLT element.
+    MissingAttribute {
+        /// The XSLT element.
+        element: &'static str,
+        /// The missing attribute.
+        attribute: &'static str,
+    },
+    /// An unknown `xsl:` element was encountered.
+    UnknownXslElement {
+        /// The element name.
+        name: String,
+    },
+    /// A `priority` attribute did not parse as a number.
+    BadPriority {
+        /// The attribute text.
+        text: String,
+    },
+    /// `<xsl:value-of select="@a"/>` appeared where no output element is
+    /// open to attach the attribute to.
+    ValueOfAttributeAtRoot,
+    /// Template recursion exceeded the configured depth limit.
+    RecursionLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// Attribute value templates (`{...}`) are not supported.
+    AttributeValueTemplate {
+        /// The attribute value containing `{`.
+        value: String,
+    },
+    /// A §5.2 rewrite cannot handle this stylesheet shape.
+    RewriteUnsupported {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "stylesheet XML error: {e}"),
+            Error::XPath(e) => write!(f, "XPath error: {e}"),
+            Error::NotAStylesheet { found } => {
+                write!(f, "expected xsl:stylesheet root, found <{found}>")
+            }
+            Error::MissingMatch => write!(f, "xsl:template is missing its match attribute"),
+            Error::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing required attribute {attribute:?}")
+            }
+            Error::UnknownXslElement { name } => {
+                write!(f, "unsupported XSLT element <{name}>")
+            }
+            Error::BadPriority { text } => write!(f, "bad priority {text:?}"),
+            Error::ValueOfAttributeAtRoot => write!(
+                f,
+                "xsl:value-of select=\"@attr\" needs an enclosing output element"
+            ),
+            Error::RecursionLimit { limit } => {
+                write!(f, "template recursion exceeded depth limit {limit}")
+            }
+            Error::AttributeValueTemplate { value } => {
+                write!(f, "attribute value templates are unsupported: {value:?}")
+            }
+            Error::RewriteUnsupported { reason } => {
+                write!(f, "rewrite unsupported: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            Error::XPath(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<xvc_xml::Error> for Error {
+    fn from(e: xvc_xml::Error) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<xvc_xpath::Error> for Error {
+    fn from(e: xvc_xpath::Error) -> Self {
+        Error::XPath(e)
+    }
+}

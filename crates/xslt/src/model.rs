@@ -1,0 +1,315 @@
+//! Stylesheet model (Definition 2 and 3).
+
+use xvc_xpath::{default_priority, Expr, PathExpr};
+
+/// The default mode ("if there is no mode attribute, the XSLT processor
+/// will set it to be a default value", §2.2).
+pub const DEFAULT_MODE: &str = "#default";
+
+/// An XSLT stylesheet `x`: a set of template rules (Definition 2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stylesheet {
+    /// Template rules in document order.
+    pub rules: Vec<TemplateRule>,
+}
+
+impl Stylesheet {
+    /// Number of rules (the paper's |x|).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the stylesheet has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The maximum number of apply-templates nodes in any rule (the
+    /// paper's `max_a`, used in the §4.5 complexity bound).
+    pub fn max_apply_per_rule(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.apply_templates().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All mode names used by rules or apply-templates nodes.
+    pub fn modes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.mode) {
+                out.push(r.mode.clone());
+            }
+            for a in r.apply_templates() {
+                if !out.contains(&a.mode) {
+                    out.push(a.mode.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Allocates a mode name not used anywhere in the stylesheet
+    /// (for the §5.2 rewrites, which introduce "previously unused" modes).
+    pub fn fresh_mode(&self, hint: &str) -> String {
+        let used = self.modes();
+        let mut i = 1;
+        loop {
+            let cand = format!("{hint}{i}");
+            if !used.contains(&cand) {
+                return cand;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// A template rule `ri`: the 4-tuple of Definition 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateRule {
+    /// `match(ri)` — the match pattern.
+    pub match_pattern: PathExpr,
+    /// `mode(ri)` — the mode ([`DEFAULT_MODE`] when absent).
+    pub mode: String,
+    /// Explicit `priority` attribute; when `None` the XSLT default
+    /// priority of the pattern applies (see [`TemplateRule::priority`]).
+    pub explicit_priority: Option<f64>,
+    /// `xsl:param` declarations at the top of the rule (§5.3 recursion).
+    pub params: Vec<ParamDecl>,
+    /// `output(ri)` — the output tree fragment.
+    pub output: Vec<OutputNode>,
+}
+
+impl TemplateRule {
+    /// A rule with default mode and priority.
+    pub fn new(match_pattern: PathExpr, output: Vec<OutputNode>) -> Self {
+        TemplateRule {
+            match_pattern,
+            mode: DEFAULT_MODE.to_owned(),
+            explicit_priority: None,
+            params: Vec::new(),
+            output,
+        }
+    }
+
+    /// `priority(ri)` — explicit priority or the XSLT default priority of
+    /// the match pattern.
+    pub fn priority(&self) -> f64 {
+        self.explicit_priority
+            .unwrap_or_else(|| default_priority(&self.match_pattern))
+    }
+
+    /// `apply(ri)` — all `<xsl:apply-templates>` nodes in the output
+    /// fragment, in document order, recursing into flow-control bodies.
+    pub fn apply_templates(&self) -> Vec<&ApplyTemplates> {
+        let mut out = Vec::new();
+        collect_applies(&self.output, &mut out);
+        out
+    }
+
+    /// The element name of the last location step of the match pattern
+    /// (`nodename` in the Figure 21–24 rewrites); `*` for wildcards and
+    /// the root pattern.
+    pub fn node_name(&self) -> String {
+        use xvc_xpath::NodeTest;
+        match self.match_pattern.steps.last() {
+            Some(step) => match &step.test {
+                NodeTest::Name(n) => n.clone(),
+                NodeTest::Wildcard => "*".to_owned(),
+            },
+            None => "*".to_owned(),
+        }
+    }
+}
+
+fn collect_applies<'a>(nodes: &'a [OutputNode], out: &mut Vec<&'a ApplyTemplates>) {
+    for n in nodes {
+        match n {
+            OutputNode::ApplyTemplates(a) => out.push(a),
+            OutputNode::Element { children, .. } => collect_applies(children, out),
+            OutputNode::If { children, .. } => collect_applies(children, out),
+            OutputNode::ForEach { children, .. } => collect_applies(children, out),
+            OutputNode::Choose { whens, otherwise } => {
+                for (_, body) in whens {
+                    collect_applies(body, out);
+                }
+                collect_applies(otherwise, out);
+            }
+            OutputNode::Text(_) | OutputNode::ValueOf { .. } | OutputNode::CopyOf { .. } => {}
+        }
+    }
+}
+
+/// An `<xsl:apply-templates>` node `aj` (Definition 3) plus the
+/// `<xsl:with-param>` children used by §5.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyTemplates {
+    /// `select(aj)` — the select expression.
+    pub select: PathExpr,
+    /// `mode(aj)` — the desired mode of rules this may activate.
+    pub mode: String,
+    /// `<xsl:with-param>` children.
+    pub with_params: Vec<WithParam>,
+}
+
+impl ApplyTemplates {
+    /// An apply-templates with default mode and no params.
+    pub fn new(select: PathExpr) -> Self {
+        ApplyTemplates {
+            select,
+            mode: DEFAULT_MODE.to_owned(),
+            with_params: Vec::new(),
+        }
+    }
+}
+
+/// An `<xsl:param>` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name (without `$`).
+    pub name: String,
+    /// Default value expression (from the `select` attribute).
+    pub default: Option<Expr>,
+}
+
+/// An `<xsl:with-param>` argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithParam {
+    /// Parameter name (without `$`).
+    pub name: String,
+    /// Value expression.
+    pub select: Expr,
+}
+
+/// One node of a rule's output tree fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputNode {
+    /// A literal result element, e.g. `<result_metro>`.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Static attributes written on the literal element.
+        attrs: Vec<(String, String)>,
+        /// Element content.
+        children: Vec<OutputNode>,
+    },
+    /// Literal text (`<xsl:text>` or bare character data).
+    Text(
+        /// The text.
+        String,
+    ),
+    /// `<xsl:apply-templates/>`.
+    ApplyTemplates(
+        /// The apply-templates node.
+        ApplyTemplates,
+    ),
+    /// `<xsl:value-of select="..."/>` — see the crate docs for the paper's
+    /// output model.
+    ValueOf {
+        /// The select expression.
+        select: Expr,
+    },
+    /// `<xsl:copy-of select="..."/>` — deep copy of the selected nodes.
+    CopyOf {
+        /// The select expression.
+        select: Expr,
+    },
+    /// `<xsl:if test="...">` (§5.2.1).
+    If {
+        /// The test expression.
+        test: Expr,
+        /// Body instantiated when the test holds.
+        children: Vec<OutputNode>,
+    },
+    /// `<xsl:choose>` (§5.2.1).
+    Choose {
+        /// `(test, body)` per `<xsl:when>`.
+        whens: Vec<(Expr, Vec<OutputNode>)>,
+        /// `<xsl:otherwise>` body (possibly empty).
+        otherwise: Vec<OutputNode>,
+    },
+    /// `<xsl:for-each select="...">` (§5.2.1).
+    ForEach {
+        /// The select expression.
+        select: PathExpr,
+        /// Body instantiated once per selected node.
+        children: Vec<OutputNode>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_xpath::parse_path;
+
+    #[test]
+    fn priority_defaults_from_pattern() {
+        let r = TemplateRule::new(parse_path("metro").unwrap(), vec![]);
+        assert_eq!(r.priority(), 0.0);
+        let r = TemplateRule::new(parse_path("metro/hotel").unwrap(), vec![]);
+        assert_eq!(r.priority(), 0.5);
+        let mut r = TemplateRule::new(parse_path("metro").unwrap(), vec![]);
+        r.explicit_priority = Some(7.0);
+        assert_eq!(r.priority(), 7.0);
+    }
+
+    #[test]
+    fn collects_applies_recursively() {
+        let a1 = ApplyTemplates::new(parse_path("a").unwrap());
+        let a2 = ApplyTemplates::new(parse_path("b").unwrap());
+        let rule = TemplateRule::new(
+            parse_path("x").unwrap(),
+            vec![OutputNode::Element {
+                name: "out".into(),
+                attrs: vec![],
+                children: vec![
+                    OutputNode::ApplyTemplates(a1.clone()),
+                    OutputNode::If {
+                        test: xvc_xpath::parse_expr("@z").unwrap(),
+                        children: vec![OutputNode::ApplyTemplates(a2.clone())],
+                    },
+                ],
+            }],
+        );
+        let applies = rule.apply_templates();
+        assert_eq!(applies.len(), 2);
+        assert_eq!(applies[0], &a1);
+        assert_eq!(applies[1], &a2);
+    }
+
+    #[test]
+    fn node_name_of_patterns() {
+        let r = TemplateRule::new(parse_path("metro/hotel/confroom").unwrap(), vec![]);
+        assert_eq!(r.node_name(), "confroom");
+        let r = TemplateRule::new(parse_path("/").unwrap(), vec![]);
+        assert_eq!(r.node_name(), "*");
+        let r = TemplateRule::new(parse_path("*").unwrap(), vec![]);
+        assert_eq!(r.node_name(), "*");
+    }
+
+    #[test]
+    fn fresh_mode_avoids_used_names() {
+        let mut s = Stylesheet::default();
+        let mut r = TemplateRule::new(parse_path("a").unwrap(), vec![]);
+        r.mode = "m1".into();
+        s.rules.push(r);
+        assert_eq!(s.fresh_mode("m"), "m2");
+        assert_eq!(s.fresh_mode("q"), "q1");
+    }
+
+    #[test]
+    fn max_apply_per_rule() {
+        let mut s = Stylesheet::default();
+        s.rules.push(TemplateRule::new(
+            parse_path("a").unwrap(),
+            vec![
+                OutputNode::ApplyTemplates(ApplyTemplates::new(parse_path("b").unwrap())),
+                OutputNode::ApplyTemplates(ApplyTemplates::new(parse_path("c").unwrap())),
+            ],
+        ));
+        s.rules
+            .push(TemplateRule::new(parse_path("b").unwrap(), vec![]));
+        assert_eq!(s.max_apply_per_rule(), 2);
+    }
+}

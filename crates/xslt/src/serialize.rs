@@ -1,0 +1,192 @@
+//! Rendering stylesheets back to XSLT text (for artifacts and debugging).
+//!
+//! The output round-trips through [`crate::parse_stylesheet`]; golden tests
+//! for the §5.2/§5.3 rewrites compare this rendering.
+
+use xvc_xml::escape::escape_attr;
+
+use crate::model::{OutputNode, Stylesheet, TemplateRule, DEFAULT_MODE};
+
+impl Stylesheet {
+    /// Serializes the stylesheet as XSLT text (two-space indentation).
+    pub fn to_xslt(&self) -> String {
+        let mut out = String::from("<xsl:stylesheet>\n");
+        for rule in &self.rules {
+            write_rule(rule, &mut out);
+        }
+        out.push_str("</xsl:stylesheet>\n");
+        out
+    }
+}
+
+fn write_rule(rule: &TemplateRule, out: &mut String) {
+    out.push_str(&format!(
+        "  <xsl:template match=\"{}\"",
+        escape_attr(&rule.match_pattern.to_string())
+    ));
+    if rule.mode != DEFAULT_MODE {
+        out.push_str(&format!(" mode=\"{}\"", escape_attr(&rule.mode)));
+    }
+    if let Some(p) = rule.explicit_priority {
+        out.push_str(&format!(" priority=\"{p}\""));
+    }
+    out.push_str(">\n");
+    for p in &rule.params {
+        match &p.default {
+            Some(d) => out.push_str(&format!(
+                "    <xsl:param name=\"{}\" select=\"{}\"/>\n",
+                p.name,
+                escape_attr(&d.to_string())
+            )),
+            None => out.push_str(&format!("    <xsl:param name=\"{}\"/>\n", p.name)),
+        }
+    }
+    for node in &rule.output {
+        write_node(node, 2, out);
+    }
+    out.push_str("  </xsl:template>\n");
+}
+
+fn write_node(node: &OutputNode, depth: usize, out: &mut String) {
+    let ind = "  ".repeat(depth);
+    match node {
+        OutputNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            out.push_str(&format!("{ind}<{name}"));
+            for (k, v) in attrs {
+                out.push_str(&format!(" {k}=\"{}\"", escape_attr(v)));
+            }
+            if children.is_empty() {
+                out.push_str("/>\n");
+            } else {
+                out.push_str(">\n");
+                for c in children {
+                    write_node(c, depth + 1, out);
+                }
+                out.push_str(&format!("{ind}</{name}>\n"));
+            }
+        }
+        OutputNode::Text(t) => {
+            out.push_str(&format!(
+                "{ind}<xsl:text>{}</xsl:text>\n",
+                xvc_xml::escape::escape_text(t)
+            ));
+        }
+        OutputNode::ApplyTemplates(a) => {
+            out.push_str(&format!(
+                "{ind}<xsl:apply-templates select=\"{}\"",
+                escape_attr(&a.select.to_string())
+            ));
+            if a.mode != DEFAULT_MODE {
+                out.push_str(&format!(" mode=\"{}\"", escape_attr(&a.mode)));
+            }
+            if a.with_params.is_empty() {
+                out.push_str("/>\n");
+            } else {
+                out.push_str(">\n");
+                for wp in &a.with_params {
+                    out.push_str(&format!(
+                        "{ind}  <xsl:with-param name=\"{}\" select=\"{}\"/>\n",
+                        wp.name,
+                        escape_attr(&wp.select.to_string())
+                    ));
+                }
+                out.push_str(&format!("{ind}</xsl:apply-templates>\n"));
+            }
+        }
+        OutputNode::ValueOf { select } => {
+            out.push_str(&format!(
+                "{ind}<xsl:value-of select=\"{}\"/>\n",
+                escape_attr(&select.to_string())
+            ));
+        }
+        OutputNode::CopyOf { select } => {
+            out.push_str(&format!(
+                "{ind}<xsl:copy-of select=\"{}\"/>\n",
+                escape_attr(&select.to_string())
+            ));
+        }
+        OutputNode::If { test, children } => {
+            out.push_str(&format!(
+                "{ind}<xsl:if test=\"{}\">\n",
+                escape_attr(&test.to_string())
+            ));
+            for c in children {
+                write_node(c, depth + 1, out);
+            }
+            out.push_str(&format!("{ind}</xsl:if>\n"));
+        }
+        OutputNode::Choose { whens, otherwise } => {
+            out.push_str(&format!("{ind}<xsl:choose>\n"));
+            for (test, body) in whens {
+                out.push_str(&format!(
+                    "{ind}  <xsl:when test=\"{}\">\n",
+                    escape_attr(&test.to_string())
+                ));
+                for c in body {
+                    write_node(c, depth + 2, out);
+                }
+                out.push_str(&format!("{ind}  </xsl:when>\n"));
+            }
+            if !otherwise.is_empty() {
+                out.push_str(&format!("{ind}  <xsl:otherwise>\n"));
+                for c in otherwise {
+                    write_node(c, depth + 2, out);
+                }
+                out.push_str(&format!("{ind}  </xsl:otherwise>\n"));
+            }
+            out.push_str(&format!("{ind}</xsl:choose>\n"));
+        }
+        OutputNode::ForEach { select, children } => {
+            out.push_str(&format!(
+                "{ind}<xsl:for-each select=\"{}\">\n",
+                escape_attr(&select.to_string())
+            ));
+            for c in children {
+                write_node(c, depth + 1, out);
+            }
+            out.push_str(&format!("{ind}</xsl:for-each>\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::{parse_stylesheet, FIGURE4_XSLT};
+
+    #[test]
+    fn figure4_roundtrips() {
+        let s = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let text = s.to_xslt();
+        let s2 = parse_stylesheet(&text).unwrap();
+        assert_eq!(s, s2, "{text}");
+    }
+
+    #[test]
+    fn params_flow_control_roundtrip() {
+        let src = r#"<xsl:stylesheet>
+          <xsl:template match="/metro" mode="m7" priority="2.5">
+            <xsl:param name="idx" select="10"/>
+            <r a="x&quot;y">
+              <xsl:choose>
+                <xsl:when test="$idx &lt;= 1"><xsl:value-of select="."/></xsl:when>
+                <xsl:otherwise>
+                  <xsl:apply-templates select="a/b[@c&gt;2]">
+                    <xsl:with-param name="idx" select="$idx - 1"/>
+                  </xsl:apply-templates>
+                </xsl:otherwise>
+              </xsl:choose>
+              <xsl:if test="@z"><xsl:copy-of select="."/></xsl:if>
+              <xsl:for-each select="q"><w/></xsl:for-each>
+              <xsl:text>hello</xsl:text>
+            </r>
+          </xsl:template>
+        </xsl:stylesheet>"#;
+        let s = parse_stylesheet(src).unwrap();
+        let s2 = parse_stylesheet(&s.to_xslt()).unwrap();
+        assert_eq!(s, s2, "{}", s.to_xslt());
+    }
+}

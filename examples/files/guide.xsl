@@ -1,0 +1,14 @@
+<xsl:stylesheet>
+  <xsl:template match="/">
+    <guide><xsl:apply-templates select="city[@population&gt;1000000]"/></guide>
+  </xsl:template>
+  <xsl:template match="city">
+    <entry>
+      <xsl:value-of select="@name"/>
+      <xsl:apply-templates select="sight[@fee=0]"/>
+    </entry>
+  </xsl:template>
+  <xsl:template match="sight">
+    <free><xsl:value-of select="@sname"/></free>
+  </xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,12 @@
+-- travel-guide schema for the xvc CLI walkthrough
+CREATE TABLE city (
+    id         INT PRIMARY KEY,
+    name       TEXT,
+    population INT
+);
+CREATE TABLE sight (
+    sid     INT PRIMARY KEY,
+    city_id INT,
+    sname   TEXT,
+    fee     INT
+);

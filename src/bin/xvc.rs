@@ -1,0 +1,238 @@
+//! `xvc` — command-line front end for XSLT/view composition.
+//!
+//! ```text
+//! xvc compose --view v.view --xslt s.xsl --ddl schema.sql [--rewrites]
+//! xvc publish --view v.view --ddl schema.sql --data DIR
+//! xvc run     --view v.view --xslt s.xsl --ddl schema.sql --data DIR
+//!             [--naive] [--rewrites] [--pretty]
+//! xvc check   --xslt s.xsl
+//! ```
+//!
+//! * `compose` prints the composed stylesheet view (tag queries included);
+//! * `publish` materializes `v(I)` from CSV data (`DIR/<table>.csv`);
+//! * `run` prints the transformation result — by default via the composed
+//!   view (`v'(I)`), with `--naive` via materialize-then-transform
+//!   (`x(v(I))`); both paths are verified against each other;
+//! * `check` reports `XSLT_basic` violations (what `--rewrites` can lower).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xvc::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    view: Option<PathBuf>,
+    xslt: Option<PathBuf>,
+    ddl: Option<PathBuf>,
+    data: Option<PathBuf>,
+    rewrites: bool,
+    naive: bool,
+    pretty: bool,
+    optimize: bool,
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(command) = args.first().cloned() else {
+        return Err(usage());
+    };
+    let mut opts = Opts {
+        view: None,
+        xslt: None,
+        ddl: None,
+        data: None,
+        rewrites: false,
+        naive: false,
+        pretty: false,
+        optimize: false,
+    };
+    let mut it = args.into_iter().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--view" => opts.view = Some(path_arg(&mut it, "--view")?),
+            "--xslt" => opts.xslt = Some(path_arg(&mut it, "--xslt")?),
+            "--ddl" => opts.ddl = Some(path_arg(&mut it, "--ddl")?),
+            "--data" => opts.data = Some(path_arg(&mut it, "--data")?),
+            "--rewrites" => opts.rewrites = true,
+            "--optimize" => opts.optimize = true,
+            "--naive" => opts.naive = true,
+            "--pretty" => opts.pretty = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    match command.as_str() {
+        "compose" => cmd_compose(&opts),
+        "publish" => cmd_publish(&opts),
+        "run" => cmd_run(&opts),
+        "check" => cmd_check(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     xvc compose --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize]\n  \
+     xvc publish --view FILE --ddl FILE --data DIR [--pretty]\n  \
+     xvc run     --view FILE --xslt FILE --ddl FILE --data DIR \
+     [--naive] [--rewrites] [--pretty]\n  \
+     xvc check   --xslt FILE"
+        .to_owned()
+}
+
+fn path_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a path argument"))
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+fn load_view(opts: &Opts) -> Result<SchemaTree, String> {
+    let path = opts.view.as_ref().ok_or("missing --view FILE")?;
+    xvc::view::parse_view(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_xslt(opts: &Opts) -> Result<Stylesheet, String> {
+    let path = opts.xslt.as_ref().ok_or("missing --xslt FILE")?;
+    parse_stylesheet(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_catalog(opts: &Opts) -> Result<Catalog, String> {
+    let path = opts.ddl.as_ref().ok_or("missing --ddl FILE")?;
+    xvc::rel::parse_ddl(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_database(opts: &Opts) -> Result<Database, String> {
+    let ddl_path = opts.ddl.as_ref().ok_or("missing --ddl FILE")?;
+    let mut db = xvc::rel::database_from_ddl(&read(ddl_path)?)
+        .map_err(|e| format!("{}: {e}", ddl_path.display()))?;
+    let dir = opts.data.as_ref().ok_or("missing --data DIR")?;
+    let tables: Vec<String> = db.catalog().iter().map(|t| t.name.clone()).collect();
+    let mut loaded = 0;
+    for table in tables {
+        let csv_path = dir.join(format!("{table}.csv"));
+        if csv_path.exists() {
+            let rows = xvc::rel::load_csv(&mut db, &table, &read(&csv_path)?)
+                .map_err(|e| format!("{}: {e}", csv_path.display()))?;
+            eprintln!("loaded {rows} rows into {table}");
+            loaded += 1;
+        }
+    }
+    if loaded == 0 {
+        eprintln!(
+            "warning: no <table>.csv files found in {} — all tables are empty",
+            dir.display()
+        );
+    }
+    Ok(db)
+}
+
+fn compose_view(
+    view: &SchemaTree,
+    xslt: &Stylesheet,
+    catalog: &Catalog,
+    opts: &Opts,
+) -> Result<SchemaTree, String> {
+    let options = ComposeOptions {
+        optimize: opts.optimize,
+        ..ComposeOptions::default()
+    };
+    let lowered;
+    let xslt = if opts.rewrites {
+        lowered = xvc::xslt::rewrite::lower_to_basic(xslt).map_err(|e| e.to_string())?;
+        &lowered
+    } else {
+        xslt
+    };
+    xvc::core::compose_with_options(view, xslt, catalog, options).map_err(|e| e.to_string())
+}
+
+fn cmd_compose(opts: &Opts) -> Result<(), String> {
+    let view = load_view(opts)?;
+    let xslt = load_xslt(opts)?;
+    let catalog = load_catalog(opts)?;
+    let composed = compose_view(&view, &xslt, &catalog, opts)?;
+    print!("{}", composed.render());
+    Ok(())
+}
+
+fn cmd_publish(opts: &Opts) -> Result<(), String> {
+    let view = load_view(opts)?;
+    let db = load_database(opts)?;
+    let (doc, stats) = publish(&view, &db).map_err(|e| e.to_string())?;
+    emit(&doc, opts.pretty);
+    eprintln!(
+        "({} elements, {} queries, {} tuples)",
+        stats.elements, stats.queries_run, stats.tuples_fetched
+    );
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let view = load_view(opts)?;
+    let xslt = load_xslt(opts)?;
+    let db = load_database(opts)?;
+    if opts.naive {
+        let (full, _) = publish(&view, &db).map_err(|e| e.to_string())?;
+        let out = process(&xslt, &full).map_err(|e| e.to_string())?;
+        emit(&out, opts.pretty);
+        return Ok(());
+    }
+    let composed = compose_view(&view, &xslt, &db.catalog(), opts)?;
+    let (out, stats) = publish(&composed, &db).map_err(|e| e.to_string())?;
+    // Belt and braces: verify against the naive pipeline.
+    let (full, _) = publish(&view, &db).map_err(|e| e.to_string())?;
+    let expected = process(&xslt, &full).map_err(|e| e.to_string())?;
+    if !documents_equal_unordered(&expected, &out) {
+        return Err("internal error: v'(I) != x(v(I)) — please report this".into());
+    }
+    emit(&out, opts.pretty);
+    eprintln!(
+        "(composed execution: {} elements, {} queries)",
+        stats.elements, stats.queries_run
+    );
+    Ok(())
+}
+
+fn cmd_check(opts: &Opts) -> Result<(), String> {
+    let xslt = load_xslt(opts)?;
+    let violations = check_basic(&xslt);
+    if violations.is_empty() {
+        println!("OK: the stylesheet is within XSLT_basic");
+        return Ok(());
+    }
+    println!("{} XSLT_basic violation(s):", violations.len());
+    for v in &violations {
+        println!("  - {v}");
+    }
+    println!("(restrictions 4/5/10 can usually be lowered with --rewrites)");
+    Ok(())
+}
+
+fn emit(doc: &Document, pretty: bool) {
+    if pretty {
+        print!("{}", doc.to_pretty_xml());
+    } else {
+        println!("{}", doc.to_xml());
+    }
+}

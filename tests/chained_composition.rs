@@ -1,0 +1,161 @@
+//! Composition closure: the output of `compose` is itself a schema-tree
+//! query, so a *second* stylesheet can be composed with it. Verifies
+//!
+//! ```text
+//! compose(compose(v, x1), x2)(I)  =  x2(x1(v(I)))
+//! ```
+//!
+//! This exercises re-composition through literal skeleton nodes (the first
+//! composition's `<HTML>/<BODY>`-style output), which the paper never
+//! considers but which falls out of the algorithm once literal nodes are
+//! transparent to chains.
+
+use xvc::core::paper_fixtures::{figure1_view, sample_database};
+use xvc::prelude::*;
+use xvc::xslt::parse::FIGURE4_XSLT;
+
+fn chain_check(x1_src: &str, x2_src: &str) {
+    let v = figure1_view();
+    let db = sample_database();
+    let x1 = parse_stylesheet(x1_src).unwrap();
+    let x2 = parse_stylesheet(x2_src).unwrap();
+
+    let v1 = compose(&v, &x1, &db.catalog()).expect("first composition");
+    let v2 = compose(&v1, &x2, &db.catalog()).expect("second composition");
+
+    // Reference: run both stylesheets through the engine.
+    let (full, _) = publish(&v, &db).unwrap();
+    let step1 = process(&x1, &full).unwrap();
+    let expected = process(&x2, &step1).unwrap();
+
+    let (actual, _) = publish(&v2, &db).unwrap();
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "expected:\n{}\nactual:\n{}\nv2:\n{}",
+        expected.to_pretty_xml(),
+        actual.to_pretty_xml(),
+        v2.render()
+    );
+}
+
+#[test]
+fn figure4_then_extraction() {
+    // Second stylesheet digs the confroom copies back out of the HTML
+    // skeleton the first composition produced.
+    chain_check(
+        FIGURE4_XSLT,
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <rooms><xsl:apply-templates select="HTML/BODY/result_metro/result_confstat/confroom"/></rooms>
+             </xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+    );
+}
+
+#[test]
+fn figure4_then_predicate_filter() {
+    chain_check(
+        FIGURE4_XSLT,
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <big><xsl:apply-templates select="HTML/BODY/result_metro/result_confstat/confroom[@capacity&gt;200]"/></big>
+             </xsl:template>
+             <xsl:template match="confroom"><hall><xsl:value-of select="@capacity"/></hall></xsl:template>
+           </xsl:stylesheet>"#,
+    );
+}
+
+#[test]
+fn skeleton_only_second_pass() {
+    // x2 only touches literal skeleton nodes of v1.
+    chain_check(
+        FIGURE4_XSLT,
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <shell><xsl:apply-templates select="HTML/BODY"/></shell>
+             </xsl:template>
+             <xsl:template match="BODY"><body_seen/></xsl:template>
+           </xsl:stylesheet>"#,
+    );
+}
+
+#[test]
+fn optimized_first_pass_still_chains() {
+    // The Kim-style optimizer rewrites v1's queries; the second
+    // composition must still work and agree with the engine.
+    let v = figure1_view();
+    let db = sample_database();
+    let x1 = parse_stylesheet(FIGURE4_XSLT).unwrap();
+    let x2 = parse_stylesheet(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <rooms><xsl:apply-templates select="HTML/BODY/result_metro/result_confstat/confroom"/></rooms>
+             </xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let v1 = xvc::core::compose_with_options(
+        &v,
+        &x1,
+        &db.catalog(),
+        ComposeOptions {
+            optimize: true,
+            ..ComposeOptions::default()
+        },
+    )
+    .unwrap();
+    let v2 = compose(&v1, &x2, &db.catalog()).unwrap();
+    let (full, _) = publish(&v, &db).unwrap();
+    let expected = process(&x2, &process(&x1, &full).unwrap()).unwrap();
+    let (actual, _) = publish(&v2, &db).unwrap();
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "expected:\n{}\nactual:\n{}",
+        expected.to_pretty_xml(),
+        actual.to_pretty_xml()
+    );
+}
+
+#[test]
+fn triple_composition() {
+    let v = figure1_view();
+    let db = sample_database();
+    let x1 = parse_stylesheet(FIGURE4_XSLT).unwrap();
+    let x2 = parse_stylesheet(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <pass2><xsl:apply-templates select="HTML/BODY/result_metro"/></pass2>
+             </xsl:template>
+             <xsl:template match="result_metro">
+               <m2><xsl:apply-templates select="result_confstat/confroom"/></m2>
+             </xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let x3 = parse_stylesheet(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/">
+               <pass3><xsl:apply-templates select="pass2/m2/confroom"/></pass3>
+             </xsl:template>
+             <xsl:template match="confroom"><final_room/></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+
+    let v1 = compose(&v, &x1, &db.catalog()).unwrap();
+    let v2 = compose(&v1, &x2, &db.catalog()).unwrap();
+    let v3 = compose(&v2, &x3, &db.catalog()).unwrap();
+
+    let (full, _) = publish(&v, &db).unwrap();
+    let expected = process(&x3, &process(&x2, &process(&x1, &full).unwrap()).unwrap()).unwrap();
+    let (actual, _) = publish(&v3, &db).unwrap();
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "expected:\n{}\nactual:\n{}",
+        expected.to_pretty_xml(),
+        actual.to_pretty_xml()
+    );
+}

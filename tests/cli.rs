@@ -1,0 +1,220 @@
+//! End-to-end tests of the `xvc` CLI binary: file-based view definitions,
+//! DDL, CSV data, composition and execution.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const DDL: &str = "\
+CREATE TABLE city (id INT, name TEXT, population INT);
+CREATE TABLE sight (sid INT, city_id INT, sname TEXT, fee INT);
+";
+
+const VIEW: &str = "\
+# cities with their sights
+node city $c {
+    query: SELECT id, name, population FROM city;
+    node sight $s {
+        query: SELECT sid, sname, fee FROM sight WHERE city_id = $c.id;
+    }
+}
+";
+
+const XSLT: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <guide><xsl:apply-templates select="city[@population&gt;1000000]"/></guide>
+  </xsl:template>
+  <xsl:template match="city">
+    <entry>
+      <xsl:value-of select="@name"/>
+      <xsl:apply-templates select="sight[@fee=0]"/>
+    </entry>
+  </xsl:template>
+  <xsl:template match="sight">
+    <free><xsl:value-of select="@sname"/></free>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+const CITY_CSV: &str = "\
+id,name,population
+1,chicago,2700000
+2,galena,3200
+3,nyc,8300000
+";
+
+const SIGHT_CSV: &str = "\
+sid,city_id,sname,fee
+10,1,\"The Bean\",0
+11,1,Art Institute,25
+12,3,Central Park,0
+13,3,\"MoMA, Manhattan\",30
+";
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("xvc_cli_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("data")).unwrap();
+        std::fs::write(dir.join("schema.sql"), DDL).unwrap();
+        std::fs::write(dir.join("guide.view"), VIEW).unwrap();
+        std::fs::write(dir.join("guide.xsl"), XSLT).unwrap();
+        std::fs::write(dir.join("data/city.csv"), CITY_CSV).unwrap();
+        std::fs::write(dir.join("data/sight.csv"), SIGHT_CSV).unwrap();
+        Fixture { dir }
+    }
+
+    fn run(&self, args: &[&str]) -> (bool, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_xvc"))
+            .current_dir(&self.dir)
+            .args(args)
+            .output()
+            .expect("spawn xvc");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn compose_prints_the_stylesheet_view() {
+    let f = Fixture::new("compose");
+    let (ok, stdout, stderr) = f.run(&[
+        "compose",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("<guide>  [literal]"), "{stdout}");
+    assert!(stdout.contains("<entry>"), "{stdout}");
+    assert!(stdout.contains("population > 1000000"), "{stdout}");
+    assert!(stdout.contains("fee = 0"), "{stdout}");
+}
+
+#[test]
+fn run_produces_verified_output() {
+    let f = Fixture::new("run");
+    let (ok, stdout, stderr) = f.run(&[
+        "run",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+        "--data",
+        "data",
+    ]);
+    assert!(ok, "{stderr}");
+    // chicago and nyc pass the population filter; their free sights appear.
+    assert!(stdout.contains("name=\"chicago\""), "{stdout}");
+    assert!(stdout.contains("name=\"nyc\""), "{stdout}");
+    assert!(!stdout.contains("galena"), "{stdout}");
+    assert!(stdout.contains("sname=\"The Bean\""), "{stdout}");
+    assert!(stdout.contains("sname=\"Central Park\""), "{stdout}");
+    assert!(!stdout.contains("MoMA"), "{stdout}");
+    assert!(stderr.contains("composed execution"), "{stderr}");
+
+    // The naive path prints the same document.
+    let (ok, naive_stdout, _) = f.run(&[
+        "run",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+        "--data",
+        "data",
+        "--naive",
+    ]);
+    assert!(ok);
+    let canon = |s: &str| {
+        let d = xvc::xml::parse(s.trim()).unwrap();
+        xvc::xml::canonical_string(&d, d.root())
+    };
+    assert_eq!(canon(&stdout), canon(&naive_stdout));
+}
+
+#[test]
+fn publish_materializes_the_view() {
+    let f = Fixture::new("publish");
+    let (ok, stdout, stderr) = f.run(&[
+        "publish",
+        "--view",
+        "guide.view",
+        "--ddl",
+        "schema.sql",
+        "--data",
+        "data",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("<city id=\"2\" name=\"galena\""), "{stdout}");
+    assert!(stdout.contains("fee=\"25\""), "{stdout}");
+    assert!(stderr.contains("loaded 3 rows into city"), "{stderr}");
+    assert!(stderr.contains("loaded 4 rows into sight"), "{stderr}");
+}
+
+#[test]
+fn check_reports_basic_violations() {
+    let f = Fixture::new("check");
+    std::fs::write(
+        f.dir.join("flow.xsl"),
+        r#"<xsl:stylesheet>
+             <xsl:template match="city">
+               <xsl:if test="@population &gt; 1"><big/></xsl:if>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let (ok, stdout, _) = f.run(&["check", "--xslt", "flow.xsl"]);
+    assert!(ok);
+    assert!(stdout.contains("violation"), "{stdout}");
+    assert!(stdout.contains("restriction (5)"), "{stdout}");
+
+    let (ok, stdout, _) = f.run(&["check", "--xslt", "guide.xsl"]);
+    assert!(ok);
+    // guide.xsl uses predicates (restriction 4) but nothing else.
+    assert!(stdout.contains("restriction (4)"), "{stdout}");
+}
+
+#[test]
+fn helpful_errors() {
+    let f = Fixture::new("errors");
+    let (ok, _, stderr) = f.run(&["compose", "--view", "guide.view"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing --xslt"), "{stderr}");
+
+    let (ok, _, stderr) = f.run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = f.run(&[
+        "compose",
+        "--view",
+        "no_such_file.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no_such_file.view"), "{stderr}");
+
+    let (ok, stdout, _) = f.run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"), "{stdout}");
+}

@@ -1,0 +1,125 @@
+//! Structural invariants of composed stylesheet views, checked across the
+//! whole stylesheet library:
+//!
+//! * every generated tag query round-trips through the SQL printer/parser;
+//! * the composed view passes Definition 1 validation;
+//! * generated binding variables are fresh (`*_new*` style) and unique;
+//! * composed queries reference only binding variables bound by ancestors.
+
+use xvc::core::paper_fixtures::{figure1_view, figure2_catalog, FIGURE15_XSLT, FIGURE17_XSLT};
+use xvc::prelude::*;
+use xvc::xslt::parse::FIGURE4_XSLT;
+
+fn composed_views() -> Vec<(&'static str, SchemaTree)> {
+    let v = figure1_view();
+    let catalog = figure2_catalog();
+    [
+        ("figure4", FIGURE4_XSLT),
+        ("figure15", FIGURE15_XSLT),
+        ("figure17", FIGURE17_XSLT),
+    ]
+    .iter()
+    .map(|(name, xslt)| {
+        let x = parse_stylesheet(xslt).unwrap();
+        (*name, compose(&v, &x, &catalog).unwrap())
+    })
+    .collect()
+}
+
+#[test]
+fn composed_views_validate() {
+    for (name, view) in composed_views() {
+        view.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn composed_queries_roundtrip_through_sql_text() {
+    for (name, view) in composed_views() {
+        for vid in view.node_ids() {
+            let node = view.node(vid).unwrap();
+            let Some(q) = &node.query else { continue };
+            let sql = q.to_sql();
+            let reparsed = parse_query(&sql)
+                .unwrap_or_else(|e| panic!("{name}/{}: reparse failed: {e}\n{sql}", node.tag));
+            assert_eq!(
+                q, &reparsed,
+                "{name}/{}: printer/parser disagree on:\n{sql}",
+                node.tag
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_binding_variables_are_unique() {
+    for (name, view) in composed_views() {
+        let mut seen = std::collections::HashSet::new();
+        for vid in view.node_ids() {
+            let node = view.node(vid).unwrap();
+            if node.query.is_some() {
+                assert!(
+                    seen.insert(node.bv.clone()),
+                    "{name}: duplicate binding variable {}",
+                    node.bv
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn composed_parameters_bind_to_ancestors() {
+    for (name, view) in composed_views() {
+        for vid in view.node_ids() {
+            let node = view.node(vid).unwrap();
+            let Some(q) = &node.query else { continue };
+            let ancestors: std::collections::HashSet<String> = view
+                .path_from_root(vid)
+                .iter()
+                .filter(|&&a| a != vid)
+                .filter_map(|&a| view.bv(a).map(str::to_owned))
+                .collect();
+            for p in q.parameters() {
+                assert!(
+                    ancestors.contains(&p),
+                    "{name}/{}: parameter ${p} has no ancestor binding",
+                    node.tag
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn composed_literal_nodes_carry_no_queries_or_data() {
+    // The HTML skeleton of Figure 7(c): literal nodes publish nothing.
+    let (_, view) = composed_views().remove(0);
+    let mut literals = 0;
+    for vid in view.node_ids() {
+        let node = view.node(vid).unwrap();
+        if node.query.is_none() && node.context_tuple_of.is_none() {
+            literals += 1;
+            assert_eq!(node.attrs, AttrProjection::None, "{}", node.tag);
+        }
+    }
+    assert!(literals >= 5, "HTML/HEAD/BODY/A/B literals expected, got {literals}");
+}
+
+#[test]
+fn composed_views_have_sequential_paper_ids() {
+    for (name, view) in composed_views() {
+        let mut ids: Vec<u32> = view
+            .node_ids()
+            .iter()
+            .map(|&v| view.node(v).unwrap().id)
+            .collect();
+        let n = ids.len() as u32;
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (1..=n).collect::<Vec<_>>(),
+            "{name}: ids not sequential"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! The headline theorem, end to end across crates:
+//! for every database instance `I`, `v'(I) = x(v(I))` (unordered).
+//!
+//! These integration tests exercise the full pipeline — SQL parsing,
+//! schema-tree publishing, the XSLT engine, the composition algorithm and
+//! the composed-query evaluation — over a library of stylesheets and both
+//! hand-written and generated database instances.
+
+use xvc::core::paper_fixtures::{figure1_view, sample_database, FIGURE15_XSLT, FIGURE17_XSLT};
+use xvc::prelude::*;
+use xvc::xslt::parse::FIGURE4_XSLT;
+use xvc_bench::workload::{generate, WorkloadConfig};
+
+/// A library of composable stylesheets over the Figure 1 view. Each entry
+/// is (name, xslt, needs_rewrites).
+fn stylesheet_library() -> Vec<(&'static str, String, bool)> {
+    let mut lib: Vec<(&'static str, String, bool)> = vec![
+        ("figure4", FIGURE4_XSLT.to_owned(), false),
+        ("figure15", FIGURE15_XSLT.to_owned(), false),
+        ("figure17", FIGURE17_XSLT.to_owned(), false),
+        (
+            "single_level",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+                 <xsl:template match="metro"><m><xsl:value-of select="@metroname"/></m></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "deep_chain",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+                 <xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>
+                 <xsl:template match="hotel"><h><xsl:apply-templates select="hotel_available"/></h></xsl:template>
+                 <xsl:template match="hotel_available"><a><xsl:apply-templates select="metro_available"/></a></xsl:template>
+                 <xsl:template match="metro_available"><xsl:value-of select="."/></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "sibling_branches",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+                 <xsl:template match="metro">
+                   <m>
+                     <xsl:apply-templates select="confstat" mode="top"/>
+                     <xsl:apply-templates select="hotel/confstat" mode="inner"/>
+                   </m>
+                 </xsl:template>
+                 <xsl:template match="confstat" mode="top"><metro_stat><xsl:value-of select="@sum"/></metro_stat></xsl:template>
+                 <xsl:template match="confstat" mode="inner"><hotel_stat><xsl:value-of select="@sum"/></hotel_stat></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "parent_axis_zigzag",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel/confroom"/></r></xsl:template>
+                 <xsl:template match="confroom">
+                   <pair>
+                     <xsl:apply-templates select="../confstat" mode="stat"/>
+                   </pair>
+                 </xsl:template>
+                 <xsl:template match="confstat" mode="stat"><xsl:value-of select="."/></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "predicates_on_values",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel[@pool='yes']"/></r></xsl:template>
+                 <xsl:template match="hotel">
+                   <h><xsl:apply-templates select="confroom[@capacity&gt;200]"/></h>
+                 </xsl:template>
+                 <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "existence_predicates",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel[hotel_available]"/></r></xsl:template>
+                 <xsl:template match="hotel"><has_avail><xsl:value-of select="@hotelname"/></has_avail></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "flow_control_mix",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel"/></r></xsl:template>
+                 <xsl:template match="hotel">
+                   <h>
+                     <xsl:if test="@gym='yes'"><gym/></xsl:if>
+                     <xsl:choose>
+                       <xsl:when test="@pool='yes'"><pool/></xsl:when>
+                       <xsl:otherwise><dry/></xsl:otherwise>
+                     </xsl:choose>
+                   </h>
+                 </xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            true,
+        ),
+        (
+            "copy_of_subtree",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+                 <xsl:template match="metro"><xsl:copy-of select="."/></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+        (
+            "wildcard_match",
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel/confstat"/></r></xsl:template>
+                 <xsl:template match="*"><any/></xsl:template>
+               </xsl:stylesheet>"#
+                .to_owned(),
+            false,
+        ),
+    ];
+    lib.push((
+        "general_value_of",
+        r#"<xsl:stylesheet>
+             <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+             <xsl:template match="metro"><m><xsl:value-of select="hotel/confstat"/></m></xsl:template>
+           </xsl:stylesheet>"#
+            .to_owned(),
+        true,
+    ));
+    lib
+}
+
+fn check(name: &str, xslt: &str, needs_rewrites: bool, db: &Database) {
+    let view = figure1_view();
+    let stylesheet = parse_stylesheet(xslt).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+    let composed = if needs_rewrites {
+        compose_with_rewrites(&view, &stylesheet, &db.catalog())
+            .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
+            .0
+    } else {
+        compose(&view, &stylesheet, &db.catalog())
+            .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
+    };
+    let (full, _) = publish(&view, db).unwrap_or_else(|e| panic!("{name}: publish v: {e}"));
+    let expected =
+        process(&stylesheet, &full).unwrap_or_else(|e| panic!("{name}: engine: {e}"));
+    let (actual, _) =
+        publish(&composed, db).unwrap_or_else(|e| panic!("{name}: publish v': {e}"));
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "{name}: v'(I) != x(v(I))\nexpected:\n{}\nactual:\n{}",
+        expected.to_pretty_xml(),
+        actual.to_pretty_xml()
+    );
+}
+
+#[test]
+fn library_equivalence_on_sample_database() {
+    let db = sample_database();
+    for (name, xslt, rewrites) in stylesheet_library() {
+        check(name, &xslt, rewrites, &db);
+    }
+}
+
+#[test]
+fn library_equivalence_on_generated_scale_1() {
+    let db = generate(&WorkloadConfig::scale(1));
+    for (name, xslt, rewrites) in stylesheet_library() {
+        check(name, &xslt, rewrites, &db);
+    }
+}
+
+#[test]
+fn library_equivalence_on_generated_scale_3_low_selectivity() {
+    let db = generate(&WorkloadConfig::scale(3).with_luxury_fraction(0.2));
+    for (name, xslt, rewrites) in stylesheet_library() {
+        check(name, &xslt, rewrites, &db);
+    }
+}
+
+#[test]
+fn equivalence_on_empty_database() {
+    // Every query returns nothing; both sides must produce the same
+    // skeleton-only documents.
+    let db = xvc::core::paper_fixtures::figure2_database();
+    for (name, xslt, rewrites) in stylesheet_library() {
+        check(name, &xslt, rewrites, &db);
+    }
+}
+
+#[test]
+fn optimized_composition_is_equivalent() {
+    // The Kim-style simplification pass (ComposeOptions::optimize) is
+    // semantics-preserving over the whole stylesheet library.
+    let db = sample_database();
+    let view = figure1_view();
+    for (name, xslt, rewrites) in stylesheet_library() {
+        let stylesheet = parse_stylesheet(&xslt).unwrap();
+        let lowered;
+        let stylesheet = if rewrites {
+            lowered = xvc::xslt::rewrite::lower_to_basic(&stylesheet).unwrap();
+            &lowered
+        } else {
+            &stylesheet
+        };
+        let composed = xvc::core::compose_with_options(
+            &view,
+            stylesheet,
+            &db.catalog(),
+            ComposeOptions {
+                optimize: true,
+                ..ComposeOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (full, _) = publish(&view, &db).unwrap();
+        let expected = process(stylesheet, &full).unwrap();
+        let (actual, _) = publish(&composed, &db).unwrap();
+        assert!(
+            documents_equal_unordered(&expected, &actual),
+            "{name} (optimized):\nexpected:\n{}\nactual:\n{}\n{}",
+            expected.to_pretty_xml(),
+            actual.to_pretty_xml(),
+            composed.render()
+        );
+    }
+}
+
+#[test]
+fn optimizer_keeps_semantic_structures_and_merges_trivial_ones() {
+    let db = sample_database();
+    let view = figure1_view();
+    let stylesheet = parse_stylesheet(FIGURE4_XSLT).unwrap();
+    let composed = xvc::core::compose_with_options(
+        &view,
+        &stylesheet,
+        &db.catalog(),
+        ComposeOptions {
+            optimize: true,
+            ..ComposeOptions::default()
+        },
+    )
+    .unwrap();
+    let r = composed.render();
+    // The preserved OUTER derived table in Qs_new must stay — it carries
+    // the empty-group semantics; Qc_new's EXISTS must stay too. (For the
+    // paper's composition nothing is trivially mergeable.)
+    assert!(r.contains("OUTER ("), "{r}");
+    assert!(r.contains("EXISTS ("), "{r}");
+
+    // A level-skipping select over SELECT*-shaped queries produces a
+    // mergeable derived table, and the optimizer folds it into a scan.
+    let mut skip_view = SchemaTree::new();
+    let hotel = skip_view
+        .add_root_node(ViewNode::new(
+            1,
+            "hotel",
+            "h",
+            parse_query("SELECT * FROM hotel WHERE starrating > 2").unwrap(),
+        ))
+        .unwrap();
+    skip_view
+        .add_child(
+            hotel,
+            ViewNode::new(
+                2,
+                "confroom",
+                "c",
+                parse_query("SELECT * FROM confroom WHERE chotel_id = $h.hotelid").unwrap(),
+            ),
+        )
+        .unwrap();
+    let x = parse_stylesheet(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/"><r><xsl:apply-templates select="hotel/confroom"/></r></xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let plain =
+        compose(&skip_view, &x, &db.catalog()).unwrap();
+    let optimized = xvc::core::compose_with_options(
+        &skip_view,
+        &x,
+        &db.catalog(),
+        ComposeOptions {
+            optimize: true,
+            ..ComposeOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(plain.render().contains(") AS TEMP"), "{}", plain.render());
+    assert!(
+        optimized.render().contains("hotel AS TEMP"),
+        "{}",
+        optimized.render()
+    );
+    // And both agree with the engine.
+    let (full, _) = publish(&skip_view, &db).unwrap();
+    let expected = process(&x, &full).unwrap();
+    for v in [&plain, &optimized] {
+        let (actual, _) = publish(v, &db).unwrap();
+        assert!(documents_equal_unordered(&expected, &actual));
+    }
+}
+
+#[test]
+fn composition_is_idempotent_per_input() {
+    // Composing twice yields the same stylesheet view (determinism).
+    let view = figure1_view();
+    let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+    let db = sample_database();
+    let a = compose(&view, &x, &db.catalog()).unwrap();
+    let b = compose(&view, &x, &db.catalog()).unwrap();
+    assert_eq!(a.render(), b.render());
+}

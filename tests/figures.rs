@@ -1,0 +1,211 @@
+//! Golden tests pinning the regenerated paper figures (via
+//! `xvc_bench::figures`). Each test asserts the load-bearing content the
+//! paper's artwork shows; the `figures` binary prints the full artifacts.
+
+use xvc_bench::figures as f;
+
+#[test]
+fn figure1_view_artifact() {
+    let a = f::f1_schema_tree_view();
+    for needle in [
+        "(1) <metro> $m",
+        "(2) <confstat> $cs",
+        "(3) <hotel> $h",
+        "(4) <confstat> $s",
+        "(5) <confroom> $c",
+        "(6) <hotel_available> $a",
+        "(7) <metro_available> $v",
+        "starrating > 4",
+        "GROUP BY startdate",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+}
+
+#[test]
+fn figure2_schema_artifact() {
+    let a = f::f2_hotel_schema();
+    assert_eq!(
+        a,
+        "availability(a_id, a_r_id, startdate, enddate, price)\n\
+         confroom(c_id, chotel_id, croomnumber, capacity, rackrate)\n\
+         guestroom(r_id, rhotel_id, roomnumber, type, rackrate)\n\
+         hotel(hotelid, hotelname, starrating, chain_id, metro_id, state_id, city, pool, gym)\n\
+         hotelchain(chainid, companyname, hqstate)\n\
+         metroarea(metroid, metroname)\n"
+    );
+}
+
+#[test]
+fn figure6_ctg_artifact() {
+    let a = f::f6_ctg();
+    // The four nodes of Figure 6 ...
+    for needle in [
+        "((0, root), R1)",
+        "((1, metro), R2)",
+        "((4, confstat), R3)",
+        "((5, confroom), R4)",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+    // ... and the three edges with their select expressions.
+    assert!(a.contains("e1:"), "{a}");
+    assert!(a.contains("e3:"), "{a}");
+    assert!(!a.contains("e4:"), "{a}");
+    assert!(a.contains("[select metro]"), "{a}");
+    assert!(a.contains("[select hotel/confstat]"), "{a}");
+    assert!(a.contains("[select ../hotel_available/../confroom]"), "{a}");
+}
+
+#[test]
+fn figure7a_tvq_artifact() {
+    let a = f::f7a_tvq();
+    for needle in [
+        "((0, root), R1)",
+        "((1, metro), R2)  $m_new",
+        "((4, confstat), R3)  $s_new",
+        "((5, confroom), R4)  $c_new",
+        "SELECT SUM(capacity), TEMP.*",
+        "metro_id = $m_new.metroid",
+        "GROUP BY TEMP.hotelid",
+        "chotel_id = $s_new.hotelid",
+        "rhotel_id = $s_new.hotelid",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+}
+
+#[test]
+fn figure7c_stylesheet_view_artifact() {
+    let a = f::f7c_stylesheet_view();
+    for needle in [
+        "<HTML>  [literal]",
+        "<HEAD>  [literal]",
+        "<BODY>  [literal]",
+        "<result_metro> $m_new",
+        "<A>  [literal]",
+        "<result_confstat> $s_new",
+        "<B>  [literal]",
+        "<confroom> $c_new",
+        "EXISTS (",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+}
+
+#[test]
+fn figure8_combine_artifact() {
+    let a = f::f8_combine();
+    assert!(a.contains("query context node"), "{a}");
+    assert!(a.contains("new query context node"), "{a}");
+    assert!(a.contains("hotel_available"), "{a}");
+    // The Figure 8 result has five nodes: metro, hotel, and the three
+    // siblings.
+    assert!(a.contains("metro"), "{a}");
+}
+
+#[test]
+fn figure16_forced_unbinding_artifact() {
+    let a = f::f16_stylesheet_view();
+    // result_metro is gone; result_confstat's query swallowed the
+    // metroarea query as a nested derived table.
+    assert!(!a.contains("result_metro"), "{a}");
+    assert!(a.contains("<result_confstat>"), "{a}");
+    assert!(a.contains("FROM metroarea"), "{a}");
+}
+
+#[test]
+fn figure18_smt_artifact() {
+    let a = f::f18_smt_with_predicates();
+    // Two confstat pattern nodes, one with each predicate.
+    assert_eq!(a.matches("confstat").count(), 2, "{a}");
+    assert!(a.contains("@sum < 200"), "{a}");
+    assert!(a.contains("@sum > 100"), "{a}");
+    assert!(a.contains("@capacity > 250"), "{a}");
+    assert!(a.contains("@metroname = 'chicago'"), "{a}");
+}
+
+#[test]
+fn figure20_unbound_query_artifact() {
+    let a = f::f20_unbound_query();
+    for needle in [
+        "SELECT *",
+        "FROM confroom",
+        "chotel_id = $s_new.hotelid",
+        "capacity > 250",
+        "$s_new.sum < 200",
+        "$m_new.metroname = 'chicago'",
+        "HAVING SUM(capacity) > 100",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+    assert_eq!(a.matches("EXISTS (").count(), 2, "{a}");
+}
+
+#[test]
+fn figures21_23_rewrite_artifacts() {
+    let a = f::f21_23_rewrites();
+    // Each rewrite replaces flow control with a guarded apply-templates in
+    // a fresh mode.
+    assert!(a.contains("Figure 21"), "{a}");
+    assert!(a.contains(".[@pool = 'yes']"), "{a}");
+    assert!(a.contains("not(@starrating = 5)"), "{a}");
+    // xsl:if appears once — in the Figure 21 "before" section only.
+    assert_eq!(a.matches("<xsl:if test").count(), 1, "{a}");
+    // No flow control in any "after" section.
+    for after in a.split("after:\n").skip(1) {
+        let section = after.split("--- ").next().unwrap();
+        assert!(!section.contains("<xsl:if"), "{section}");
+        assert!(!section.contains("<xsl:choose"), "{section}");
+    }
+}
+
+#[test]
+fn figure24_conflict_artifact() {
+    let a = f::f24_conflict_rewrite();
+    // The high-priority rule moves to a fresh mode; the low-priority rule
+    // gains a reversed-pattern dispatch.
+    assert!(a.contains("__cr_"), "{a}");
+    assert!(a.contains("parent::hotel"), "{a}");
+}
+
+#[test]
+fn figure26_artifact() {
+    let a = f::f26_recursive_view();
+    for needle in [
+        "<metro> $m",
+        "<metro_available_down> $d",
+        "<metro_available_up> $u",
+        "HAVING COUNT(a_id) > 10",
+        "HAVING COUNT(a_id) > 50",
+        "starrating > 4",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+    assert!(!a.contains("idx"), "variable predicates must not compose: {a}");
+}
+
+#[test]
+fn figure27_artifact() {
+    let a = f::f27_residual_stylesheet();
+    for needle in [
+        "match=\"/metro\"",
+        "select=\"metro_available_down[@count &lt; $idx]\"",
+        "match=\"metro_available_down\"",
+        "select=\"../metro_available_up\"",
+        "match=\"metro_available_up\"",
+        "select=\"../metro_available_down[@count &lt; $idx]\"",
+        "<xsl:param name=\"idx\"/>",
+    ] {
+        assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
+    }
+}
+
+#[test]
+fn all_artifacts_are_stable() {
+    // Regenerating twice yields identical text (determinism of the whole
+    // pipeline).
+    let a: Vec<_> = f::all_figures();
+    let b: Vec<_> = f::all_figures();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,200 @@
+//! Property-based checks of the headline theorem: for *randomized*
+//! database instances (sizes, selectivities, seeds), the composed view and
+//! the naive pipeline agree on every stylesheet in the probe set.
+
+use proptest::prelude::*;
+use xvc::core::paper_fixtures::figure1_view;
+use xvc::prelude::*;
+use xvc::xslt::parse::FIGURE4_XSLT;
+use xvc_bench::random_stylesheet::{random_stylesheet, StylesheetConfig};
+use xvc_bench::synthetic::{chain_database, chain_stylesheet, chain_view};
+use xvc_bench::workload::{generate, WorkloadConfig};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        1usize..3,  // metros
+        1usize..5,  // hotels per metro
+        0u8..=10,   // luxury tenths
+        0usize..4,  // rooms
+        0usize..3,  // conference rooms
+        1usize..3,  // dates
+        0usize..3,  // availability per room
+        any::<u64>(),
+    )
+        .prop_map(
+            |(metros, hotels, lux, rooms, confs, dates, avail, seed)| WorkloadConfig {
+                metros,
+                hotels_per_metro: hotels,
+                luxury_fraction: lux as f64 / 10.0,
+                rooms_per_hotel: rooms,
+                conf_rooms_per_hotel: confs,
+                dates,
+                avail_per_room: avail,
+                seed,
+            },
+        )
+}
+
+fn probe_stylesheets() -> Vec<Stylesheet> {
+    [
+        FIGURE4_XSLT,
+        // Parent-axis zigzag with an existence requirement.
+        r#"<xsl:stylesheet>
+             <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel/confstat"/></r></xsl:template>
+             <xsl:template match="confstat">
+               <s><xsl:apply-templates select="../hotel_available/../confroom"/></s>
+             </xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+        // Value predicates at two levels.
+        r#"<xsl:stylesheet>
+             <xsl:template match="/"><r><xsl:apply-templates select="metro/hotel[@pool='yes']"/></r></xsl:template>
+             <xsl:template match="hotel">
+               <h><xsl:apply-templates select="confroom[@capacity&gt;300]"/></h>
+             </xsl:template>
+             <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+           </xsl:stylesheet>"#,
+    ]
+    .iter()
+    .map(|s| parse_stylesheet(s).expect("static stylesheet"))
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    /// v'(I) = x(v(I)) over randomized hotel instances.
+    #[test]
+    fn composed_equals_naive_on_random_instances(cfg in config_strategy()) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        for stylesheet in probe_stylesheets() {
+            let composed = compose(&view, &stylesheet, &db.catalog())
+                .expect("probe stylesheets are composable");
+            let (full, _) = publish(&view, &db).expect("publish v");
+            let expected = process(&stylesheet, &full).expect("engine");
+            let (actual, _) = publish(&composed, &db).expect("publish v'");
+            prop_assert!(
+                documents_equal_unordered(&expected, &actual),
+                "cfg {:?}\nexpected:\n{}\nactual:\n{}",
+                cfg,
+                expected.to_pretty_xml(),
+                actual.to_pretty_xml()
+            );
+        }
+    }
+
+    /// The same property over randomized chain views (structure sweep
+    /// instead of data sweep).
+    #[test]
+    fn composed_equals_naive_on_random_chains(
+        depth in 1usize..5,
+        fanout in 0usize..4,
+    ) {
+        let v = chain_view(depth);
+        let x = chain_stylesheet(depth);
+        let db = chain_database(depth, fanout);
+        let composed = compose(&v, &x, &db.catalog()).expect("chains compose");
+        let (full, _) = publish(&v, &db).expect("publish v");
+        let expected = process(&x, &full).expect("engine");
+        let (actual, _) = publish(&composed, &db).expect("publish v'");
+        prop_assert!(
+            documents_equal_unordered(&expected, &actual),
+            "depth {depth} fanout {fanout}\nexpected:\n{}\nactual:\n{}",
+            expected.to_pretty_xml(),
+            actual.to_pretty_xml()
+        );
+    }
+
+    /// Randomized stylesheets × randomized databases: the strongest form
+    /// of the headline property this suite checks.
+    #[test]
+    fn random_stylesheet_on_random_instance(
+        cfg in config_strategy(),
+        sheet_seed in 0u64..10_000,
+    ) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        let catalog = db.catalog();
+        let stylesheet =
+            random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
+        let composed = compose(&view, &stylesheet, &catalog)
+            .expect("generated stylesheets are composable");
+        let (full, _) = publish(&view, &db).expect("publish v");
+        let expected = process(&stylesheet, &full).expect("engine");
+        let (actual, _) = publish(&composed, &db).expect("publish v'");
+        prop_assert!(
+            documents_equal_unordered(&expected, &actual),
+            "sheet seed {sheet_seed}, cfg {:?}\n{}\nexpected:\n{}\nactual:\n{}",
+            cfg,
+            stylesheet.to_xslt(),
+            expected.to_pretty_xml(),
+            actual.to_pretty_xml()
+        );
+    }
+
+    /// The composed view always materializes at most as many elements as
+    /// the naive strategy (the paper's "no unnecessary nodes" claim, in
+    /// inequality form — equality holds when the stylesheet touches
+    /// everything).
+    #[test]
+    fn composed_never_materializes_more(cfg in config_strategy()) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        let stylesheet = parse_stylesheet(FIGURE4_XSLT).expect("fixture");
+        let composed = compose(&view, &stylesheet, &db.catalog()).expect("composable");
+        let (full, naive) = publish(&view, &db).expect("publish v");
+        let out = process(&stylesheet, &full).expect("engine");
+        let (_, comp) = publish(&composed, &db).expect("publish v'");
+        // Composed materializes exactly the result document's elements.
+        prop_assert_eq!(comp.elements, out.element_count());
+        prop_assert!(comp.elements <= naive.elements + out.element_count());
+    }
+}
+
+/// Opt-in deep fuzz: 2000 generated stylesheets against a mid-size
+/// instance, with both the default and a deeper/wider generator config.
+/// Run with `cargo test --release -- --ignored deep_fuzz`.
+#[test]
+#[ignore = "slow; run explicitly for heavy offline validation"]
+fn deep_fuzz_2000_stylesheets() {
+    let db = generate(&WorkloadConfig::scale(2));
+    let view = figure1_view();
+    let catalog = db.catalog();
+    let (full, _) = publish(&view, &db).expect("publish v");
+    let configs = [
+        StylesheetConfig::default(),
+        StylesheetConfig {
+            max_depth: 5,
+            max_fanout: 3,
+            zigzag_prob: 0.4,
+            descendant_prob: 0.35,
+            predicate_prob: 0.5,
+            ..StylesheetConfig::default()
+        },
+    ];
+    for (ci, cfg) in configs.iter().enumerate() {
+        for seed in 0..1000u64 {
+            let stylesheet = random_stylesheet(&view, &catalog, seed, *cfg);
+            let composed = compose(&view, &stylesheet, &catalog)
+                .unwrap_or_else(|e| panic!("cfg {ci} seed {seed}: compose: {e}"));
+            let expected = process(&stylesheet, &full).expect("engine");
+            let (actual, _) = publish(&composed, &db).expect("publish v'");
+            assert!(
+                documents_equal_unordered(&expected, &actual),
+                "cfg {ci} seed {seed}:\n{}",
+                stylesheet.to_xslt()
+            );
+        }
+    }
+}
