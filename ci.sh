@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, and the root test suite.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test (tier-1)"
+cargo test -q
+
+echo "ci.sh: all green"

@@ -75,8 +75,7 @@ fn bench_optimizer(c: &mut Criterion) {
             2,
             "confroom",
             "c",
-            xvc_rel::parse_query("SELECT * FROM confroom WHERE chotel_id = $h.hotelid")
-                .unwrap(),
+            xvc_rel::parse_query("SELECT * FROM confroom WHERE chotel_id = $h.hotelid").unwrap(),
         ),
     )
     .unwrap();
@@ -105,7 +104,9 @@ fn bench_optimizer(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation/kim_optimizer");
     group.bench_function("as_generated", |b| b.iter(|| publish(&plain, &db).unwrap()));
-    group.bench_function("optimized", |b| b.iter(|| publish(&optimized, &db).unwrap()));
+    group.bench_function("optimized", |b| {
+        b.iter(|| publish(&optimized, &db).unwrap())
+    });
     group.finish();
 }
 

@@ -27,13 +27,9 @@ fn bench_naive_vs_composed(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("composed_view", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| publish(&composed, &db).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("composed_view", scale), &scale, |b, _| {
+            b.iter(|| publish(&composed, &db).unwrap());
+        });
     }
     group.finish();
 }

@@ -17,7 +17,10 @@ fn bench_fan(c: &mut Criterion) {
                     &v,
                     &x,
                     &catalog,
-                    ComposeOptions { tvq_limit: 1_000_000, ..ComposeOptions::default() },
+                    ComposeOptions {
+                        tvq_limit: 1_000_000,
+                        ..ComposeOptions::default()
+                    },
                 )
                 .unwrap()
             });

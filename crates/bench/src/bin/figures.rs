@@ -7,8 +7,8 @@
 //! ```
 
 use xvc_bench::experiments::{
-    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep,
-    render_comparison_table, render_cost_table,
+    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, render_comparison_table,
+    render_cost_table,
 };
 use xvc_bench::figures::all_figures;
 
@@ -49,6 +49,9 @@ fn main() {
 
         println!("==== C2: TVQ duplication, fan-out (exponential regime, depth 6) ====\n");
         let rows = c2_fan_sweep(6, &[1, 2, 3], 3);
-        println!("{}", render_cost_table("C2 — fan stylesheets", "fan", &rows));
+        println!(
+            "{}",
+            render_cost_table("C2 — fan stylesheets", "fan", &rows)
+        );
     }
 }

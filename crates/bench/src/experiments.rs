@@ -10,7 +10,7 @@ use std::time::Instant;
 use xvc_core::paper_fixtures::figure1_view;
 use xvc_core::{compose, compose_with_options, ComposeOptions};
 use xvc_rel::Database;
-use xvc_view::{publish, SchemaTree};
+use xvc_view::{publish, publish_with_stats, SchemaTree};
 use xvc_xml::documents_equal_unordered;
 use xvc_xslt::{process, Stylesheet};
 
@@ -36,6 +36,10 @@ pub struct ComparisonRow {
     pub naive_queries: usize,
     /// Tag queries run by the composed strategy.
     pub composed_queries: usize,
+    /// Relational rows scanned materializing the full view `v(I)`.
+    pub naive_rows_scanned: u64,
+    /// Relational rows scanned evaluating the composed view `v'(I)`.
+    pub composed_rows_scanned: u64,
 }
 
 impl ComparisonRow {
@@ -55,13 +59,13 @@ pub fn compare(
     param: usize,
     reps: usize,
 ) -> ComparisonRow {
-    let composed =
-        compose(view, stylesheet, &db.catalog()).expect("stylesheet must compose");
+    let composed = compose(view, stylesheet, &db.catalog()).expect("stylesheet must compose");
 
-    // Verify once.
-    let (full, naive_stats) = publish(view, db).expect("publish v");
+    // Verify once (the instrumented publish also measures engine work).
+    let (full, naive_stats, naive_eval) = publish_with_stats(view, db).expect("publish v");
     let expected = process(stylesheet, &full).expect("run x");
-    let (actual, composed_stats) = publish(&composed, db).expect("publish v'");
+    let (actual, composed_stats, composed_eval) =
+        publish_with_stats(&composed, db).expect("publish v'");
     assert!(
         documents_equal_unordered(&expected, &actual),
         "v'(I) != x(v(I)) — benchmark would be meaningless"
@@ -86,6 +90,8 @@ pub fn compare(
         composed_elements: composed_stats.elements,
         naive_queries: naive_stats.queries_run,
         composed_queries: composed_stats.queries_run,
+        naive_rows_scanned: naive_eval.rows_scanned,
+        composed_rows_scanned: composed_eval.rows_scanned,
     }
 }
 
@@ -103,8 +109,7 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
 /// example (Figure 1 view × Figure 4 stylesheet).
 pub fn e1_scale_sweep(scales: &[usize], reps: usize) -> Vec<ComparisonRow> {
     let view = figure1_view();
-    let stylesheet =
-        xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
+    let stylesheet = xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
     scales
         .iter()
         .map(|&s| {
@@ -120,14 +125,11 @@ pub fn e1_scale_sweep(scales: &[usize], reps: usize) -> Vec<ComparisonRow> {
 /// strategy only pays for what the stylesheet selects.
 pub fn e3_selectivity_sweep(fractions_percent: &[usize], reps: usize) -> Vec<ComparisonRow> {
     let view = figure1_view();
-    let stylesheet =
-        xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
+    let stylesheet = xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
     fractions_percent
         .iter()
         .map(|&pct| {
-            let db = generate(
-                &WorkloadConfig::scale(4).with_luxury_fraction(pct as f64 / 100.0),
-            );
+            let db = generate(&WorkloadConfig::scale(4).with_luxury_fraction(pct as f64 / 100.0));
             compare(&view, &stylesheet, &db, pct, reps)
         })
         .collect()
@@ -188,7 +190,10 @@ pub fn c2_fan_sweep(depth: usize, fans: &[usize], reps: usize) -> Vec<ComposeCos
                     &v,
                     &x,
                     &catalog,
-                    ComposeOptions { tvq_limit: 1_000_000, ..ComposeOptions::default() },
+                    ComposeOptions {
+                        tvq_limit: 1_000_000,
+                        ..ComposeOptions::default()
+                    },
                 )
                 .expect("compose");
                 std::hint::black_box(out);
@@ -208,14 +213,23 @@ pub fn c2_fan_sweep(depth: usize, fans: &[usize], reps: usize) -> Vec<ComposeCos
 pub fn render_comparison_table(title: &str, param_name: &str, rows: &[ComparisonRow]) -> String {
     let mut out = format!("## {title}\n\n");
     out.push_str(&format!(
-        "{param_name:>10} | {:>8} | {:>11} | {:>11} | {:>8} | {:>10} | {:>10} | {:>8} | {:>8}\n",
-        "db rows", "naive ms", "composed ms", "speedup", "naive el", "comp el", "naive q", "comp q"
+        "{param_name:>10} | {:>8} | {:>11} | {:>11} | {:>8} | {:>10} | {:>10} | {:>8} | {:>8} | {:>9} | {:>9}\n",
+        "db rows",
+        "naive ms",
+        "composed ms",
+        "speedup",
+        "naive el",
+        "comp el",
+        "naive q",
+        "comp q",
+        "naive rs",
+        "comp rs"
     ));
-    out.push_str(&"-".repeat(104));
+    out.push_str(&"-".repeat(128));
     out.push('\n');
     for r in rows {
         out.push_str(&format!(
-            "{:>10} | {:>8} | {:>11.3} | {:>11.3} | {:>7.2}x | {:>10} | {:>10} | {:>8} | {:>8}\n",
+            "{:>10} | {:>8} | {:>11.3} | {:>11.3} | {:>7.2}x | {:>10} | {:>10} | {:>8} | {:>8} | {:>9} | {:>9}\n",
             r.param,
             r.db_rows,
             r.naive_ms,
@@ -225,6 +239,8 @@ pub fn render_comparison_table(title: &str, param_name: &str, rows: &[Comparison
             r.composed_elements,
             r.naive_queries,
             r.composed_queries,
+            r.naive_rows_scanned,
+            r.composed_rows_scanned,
         ));
     }
     out
@@ -266,6 +282,9 @@ mod tests {
                 r.naive_elements
             );
             assert!(r.db_rows > 0);
+            // The engine counters flow through: both strategies scan rows.
+            assert!(r.naive_rows_scanned > 0);
+            assert!(r.composed_rows_scanned > 0);
         }
         // Bigger instance ⇒ more naive elements.
         assert!(rows[1].naive_elements > rows[0].naive_elements);

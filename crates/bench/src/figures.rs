@@ -206,11 +206,7 @@ pub fn f24_conflict_rewrite() -> String {
     )
     .expect("case");
     let after = xvc_xslt::rewrite::rewrite_conflicts(&before).expect("rewrite");
-    format!(
-        "before:\n{}\nafter:\n{}",
-        before.to_xslt(),
-        after.to_xslt()
-    )
+    format!("before:\n{}\nafter:\n{}", before.to_xslt(), after.to_xslt())
 }
 
 /// Figure 25: the recursive stylesheet.
@@ -249,15 +245,30 @@ pub fn all_figures() -> Vec<(&'static str, String)> {
         ("Figure 7(c): stylesheet view", f7c_stylesheet_view()),
         ("Figure 8: COMBINE", f8_combine()),
         ("Figure 15: forced-unbinding stylesheet", f15_stylesheet()),
-        ("Figure 16: stylesheet view for Figure 15", f16_stylesheet_view()),
+        (
+            "Figure 16: stylesheet view for Figure 15",
+            f16_stylesheet_view(),
+        ),
         ("Figure 17: stylesheet with predicates", f17_stylesheet()),
-        ("Figure 18: select-match subtree with predicates", f18_smt_with_predicates()),
-        ("Figure 20: unbound query with predicates", f20_unbound_query()),
+        (
+            "Figure 18: select-match subtree with predicates",
+            f18_smt_with_predicates(),
+        ),
+        (
+            "Figure 20: unbound query with predicates",
+            f20_unbound_query(),
+        ),
         ("Figures 21-23: flow-control rewrites", f21_23_rewrites()),
-        ("Figure 24: conflict-resolution rewrite", f24_conflict_rewrite()),
+        (
+            "Figure 24: conflict-resolution rewrite",
+            f24_conflict_rewrite(),
+        ),
         ("Figure 25: recursive stylesheet", f25_stylesheet()),
         ("Figure 26: materialized view v'", f26_recursive_view()),
-        ("Figure 27: residual stylesheet x'", f27_residual_stylesheet()),
+        (
+            "Figure 27: residual stylesheet x'",
+            f27_residual_stylesheet(),
+        ),
     ]
 }
 

@@ -203,7 +203,7 @@ impl Gen<'_> {
             xvc_xpath::ast::BinOp::Ne,
         ];
         let op = ops[self.rng.gen_range(0..ops.len())];
-        let bound = [0i64, 1, 2, 5, 100, 1000][self.rng.gen_range(0..6)];
+        let bound = [0i64, 1, 2, 5, 100, 1000][self.rng.gen_range(0..6usize)];
         Some(Expr::Binary {
             op,
             lhs: Box::new(Expr::Path(PathExpr {
@@ -248,9 +248,7 @@ impl Gen<'_> {
             match item {
                 SelectItem::Star => {
                     for (n, ty) in &types {
-                        if matches!(ty, ColumnType::Int | ColumnType::Float)
-                            && !out.contains(n)
-                        {
+                        if matches!(ty, ColumnType::Int | ColumnType::Float) && !out.contains(n) {
                             out.push(n.clone());
                         }
                     }
@@ -258,9 +256,7 @@ impl Gen<'_> {
                 SelectItem::QualifiedStar(_) => {}
                 SelectItem::Expr { expr, alias } => {
                     let (name, numeric) = match expr {
-                        ScalarExpr::Column { name, .. } => {
-                            (name.clone(), numeric_base(name))
-                        }
+                        ScalarExpr::Column { name, .. } => (name.clone(), numeric_base(name)),
                         ScalarExpr::Aggregate { func, .. } => {
                             (func.default_column_name().to_owned(), true)
                         }
@@ -400,8 +396,8 @@ impl Gen<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
     use xvc_core::compose;
+    use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
     use xvc_view::publish;
     use xvc_xml::documents_equal_unordered;
     use xvc_xslt::{check_basic, process};

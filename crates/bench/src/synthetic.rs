@@ -167,8 +167,8 @@ mod tests {
             let v = chain_view(depth);
             let x = chain_stylesheet(depth);
             let db = chain_database(depth, 2);
-            let composed = compose(&v, &x, &db.catalog())
-                .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+            let composed =
+                compose(&v, &x, &db.catalog()).unwrap_or_else(|e| panic!("depth {depth}: {e}"));
             let (full, _) = publish(&v, &db).unwrap();
             let expected = process(&x, &full).unwrap();
             let (actual, _) = publish(&composed, &db).unwrap();
@@ -187,8 +187,7 @@ mod tests {
         let v = chain_view(3);
         let x = fan_stylesheet(3, 2);
         let ctg = xvc_core::build_ctg(&v, &x).unwrap();
-        let tvq =
-            xvc_core::build_tvq(&v, &x, &ctg, &chain_catalog(3), 10_000).unwrap();
+        let tvq = xvc_core::build_tvq(&v, &x, &ctg, &chain_catalog(3), 10_000).unwrap();
         assert_eq!(tvq.nodes.len(), 1 + 7);
         // CTG itself stays linear.
         assert_eq!(ctg.nodes.len(), 1 + 3);
@@ -214,7 +213,10 @@ mod tests {
             &v,
             &x,
             &chain_catalog(12),
-            ComposeOptions { tvq_limit: 500, ..ComposeOptions::default() },
+            ComposeOptions {
+                tvq_limit: 500,
+                ..ComposeOptions::default()
+            },
         );
         assert!(matches!(result, Err(Error::TvqTooLarge { limit: 500 })));
     }

@@ -90,11 +90,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Database {
         for h in 0..cfg.hotels_per_metro {
             hotel_id += 1;
             let luxury = (h as f64 + 0.5) / cfg.hotels_per_metro as f64 <= cfg.luxury_fraction;
-            let stars = if luxury {
-                5
-            } else {
-                rng.gen_range(1..=4)
-            };
+            let stars = if luxury { 5 } else { rng.gen_range(1..=4) };
             db.insert(
                 "hotel",
                 vec![

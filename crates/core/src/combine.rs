@@ -80,9 +80,13 @@ mod tests {
         .unwrap()
         .remove(0);
         // p: match(R4) at (5, confroom).
-        let p = matchq(&v, by_id(&v, 5), &parse_pattern("metro/hotel/confroom").unwrap())
-            .unwrap()
-            .unwrap();
+        let p = matchq(
+            &v,
+            by_id(&v, 5),
+            &parse_pattern("metro/hotel/confroom").unwrap(),
+        )
+        .unwrap()
+        .unwrap();
         let smt = combine(&v, &t, &p).unwrap();
         // Figure 8 bottom: metro on top, hotel below, then the three
         // siblings — 5 nodes in total.

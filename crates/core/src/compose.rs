@@ -38,7 +38,11 @@ impl Default for ComposeOptions {
 /// Stylesheets using flow control, general `value-of` or conflicting rules
 /// should go through [`compose_with_rewrites`]; recursive stylesheets
 /// through [`crate::compose_recursive`].
-pub fn compose(view: &SchemaTree, stylesheet: &Stylesheet, catalog: &Catalog) -> Result<SchemaTree> {
+pub fn compose(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+) -> Result<SchemaTree> {
     compose_with_options(view, stylesheet, catalog, ComposeOptions::default())
 }
 
@@ -49,6 +53,17 @@ pub fn compose_with_options(
     catalog: &Catalog,
     options: ComposeOptions,
 ) -> Result<SchemaTree> {
+    compose_with_stats(view, stylesheet, catalog, options).map(|(v, _)| v)
+}
+
+/// [`compose_with_options`] that also reports per-stage size statistics
+/// (CTG/TVQ/composed-view counts, §4.5 duplication factor, unbind depth).
+pub fn compose_with_stats(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+    options: ComposeOptions,
+) -> Result<(SchemaTree, crate::stats::ComposeStats)> {
     view.validate()?;
     let ctg = build_ctg(view, stylesheet)?;
     let tvq = build_tvq(view, stylesheet, &ctg, catalog, options.tvq_limit)?;
@@ -62,7 +77,8 @@ pub fn compose_with_options(
             }
         }
     }
-    Ok(composed)
+    let stats = crate::stats::ComposeStats::collect(view, stylesheet, &ctg, &tvq, &composed);
+    Ok((composed, stats))
 }
 
 /// Lowers the stylesheet through the §5.2 `XSLT_transformable` rewrites
@@ -96,8 +112,8 @@ mod tests {
         let v = figure1_view();
         let x = parse_stylesheet(xslt).unwrap();
         let db = sample_database();
-        let composed = compose(&v, &x, &figure2_catalog())
-            .unwrap_or_else(|e| panic!("compose failed: {e}"));
+        let composed =
+            compose(&v, &x, &figure2_catalog()).unwrap_or_else(|e| panic!("compose failed: {e}"));
         let (view_doc, _) = publish(&v, &db).unwrap();
         let expected = process(&x, &view_doc).unwrap();
         let (actual, _) = publish(&composed, &db).unwrap();

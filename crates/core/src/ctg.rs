@@ -56,9 +56,7 @@ impl Ctg {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| {
-                view.is_root(n.view) && stylesheet.rules[n.rule].mode == DEFAULT_MODE
-            })
+            .filter(|(_, n)| view.is_root(n.view) && stylesheet.rules[n.rule].mode == DEFAULT_MODE)
             .map(|(i, _)| i)
             .collect()
     }
@@ -199,7 +197,10 @@ pub fn build_ctg(view: &SchemaTree, stylesheet: &Stylesheet) -> Result<Ctg> {
     for vid in view.ids() {
         for (ri, rule) in stylesheet.rules.iter().enumerate() {
             if matchq(view, vid, &rule.match_pattern)?.is_some() {
-                nodes.push(CtgNode { view: vid, rule: ri });
+                nodes.push(CtgNode {
+                    view: vid,
+                    rule: ri,
+                });
             }
         }
     }
@@ -242,8 +243,8 @@ pub fn build_ctg(view: &SchemaTree, stylesheet: &Stylesheet) -> Result<Ctg> {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let is_entry = view.is_root(n.view)
-                    && stylesheet.rules[n.rule].mode == DEFAULT_MODE;
+                let is_entry =
+                    view.is_root(n.view) && stylesheet.rules[n.rule].mode == DEFAULT_MODE;
                 is_entry || ctg.edges.iter().any(|e| e.to == i)
             })
             .collect();

@@ -36,12 +36,14 @@
 
 pub mod combine;
 pub mod ctg;
+pub mod divergence;
 pub mod error;
 pub mod matchq;
 pub mod paper_fixtures;
 pub mod predicate;
 pub mod recursion;
 pub mod selectq;
+pub mod stats;
 pub mod stylesheet_view;
 pub mod tree_pattern;
 pub mod tvq;
@@ -49,12 +51,16 @@ pub mod unbind;
 
 mod compose;
 
-pub use compose::{compose, compose_with_options, compose_with_rewrites, ComposeOptions};
 pub use combine::combine;
+pub use compose::{
+    compose, compose_with_options, compose_with_rewrites, compose_with_stats, ComposeOptions,
+};
 pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
+pub use divergence::{check_composition, Divergence, DivergenceKind};
 pub use error::{Error, Result};
 pub use matchq::matchq;
 pub use recursion::{compose_recursive, RecursiveComposition};
 pub use selectq::{selectq, selectq_all};
+pub use stats::ComposeStats;
 pub use tree_pattern::{TpId, TreePattern};
 pub use tvq::{build_tvq, Tvq, TvqNode};

@@ -16,11 +16,7 @@ use crate::tree_pattern::TreePattern;
 
 /// Abstractly matches `pattern` against view node `n`, returning the
 /// tree-pattern chain if it matches, `None` otherwise.
-pub fn matchq(
-    view: &SchemaTree,
-    n: ViewNodeId,
-    pattern: &PathExpr,
-) -> Result<Option<TreePattern>> {
+pub fn matchq(view: &SchemaTree, n: ViewNodeId, pattern: &PathExpr) -> Result<Option<TreePattern>> {
     // Pattern "/" matches exactly the implied document root.
     if pattern.steps.is_empty() {
         if pattern.absolute && view.is_root(n) {
@@ -35,7 +31,14 @@ pub fn matchq(
     // Enumerate embeddings: chains of view nodes ending at n, aligned with
     // the pattern steps.
     let mut embeddings: Vec<Vec<ViewNodeId>> = Vec::new();
-    embed(view, n, pattern, pattern.steps.len() - 1, &mut vec![n], &mut embeddings)?;
+    embed(
+        view,
+        n,
+        pattern,
+        pattern.steps.len() - 1,
+        &mut vec![n],
+        &mut embeddings,
+    )?;
     match embeddings.len() {
         0 => Ok(None),
         1 => {
@@ -96,10 +99,7 @@ fn embed(
     if step_idx == 0 {
         // First step: check the anchoring constraint.
         let anchored = match (pattern.absolute, step.axis) {
-            (true, Axis::Child) => view
-                .parent(cur)
-                .map(|p| view.is_root(p))
-                .unwrap_or(false),
+            (true, Axis::Child) => view.parent(cur).map(|p| view.is_root(p)).unwrap_or(false),
             // `//name`: anywhere below the root.
             (true, _) => true,
             (false, _) => true,

@@ -18,9 +18,7 @@ pub fn figure2_catalog() -> Catalog {
     let t = |name: &str, cols: &[(&str, ColumnType)]| {
         TableSchema::new(
             name,
-            cols.iter()
-                .map(|(n, ty)| ColumnDef::new(*n, *ty))
-                .collect(),
+            cols.iter().map(|(n, ty)| ColumnDef::new(*n, *ty)).collect(),
         )
         .expect("static schema is well-formed")
     };
@@ -147,8 +145,10 @@ pub fn figure1_view() -> SchemaTree {
                 6,
                 "hotel_available",
                 "a",
-                q("SELECT COUNT(a_id), startdate FROM availability, guestroom \
-                   WHERE rhotel_id = $h.hotelid AND a_r_id = r_id GROUP BY startdate"),
+                q(
+                    "SELECT COUNT(a_id), startdate FROM availability, guestroom \
+                   WHERE rhotel_id = $h.hotelid AND a_r_id = r_id GROUP BY startdate",
+                ),
             ),
         )
         .expect("valid tag");

@@ -69,7 +69,10 @@ fn translate(e: &Expr, mode: &AttrMode<'_>) -> Result<(ScalarExpr, bool)> {
         Expr::Path(p) => {
             // A bare attribute path as a boolean: existence of the value.
             let (col, agg) = attr_ref(p, mode)?;
-            Ok((ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(col)))), agg))
+            Ok((
+                ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(col)))),
+                agg,
+            ))
         }
         Expr::Binary { op, lhs, rhs } => {
             let sql_op = map_op(*op)?;
@@ -105,9 +108,7 @@ fn operand(e: &Expr, mode: &AttrMode<'_>) -> Result<(ScalarExpr, bool)> {
 
 fn attr_ref(p: &PathExpr, mode: &AttrMode<'_>) -> Result<(ScalarExpr, bool)> {
     let attr = match (&p.steps.as_slice(), p.absolute) {
-        ([step], false)
-            if step.axis == Axis::Attribute && step.predicates.is_empty() =>
-        {
+        ([step], false) if step.axis == Axis::Attribute && step.predicates.is_empty() => {
             match &step.test {
                 NodeTest::Name(a) => a.clone(),
                 NodeTest::Wildcard => {
@@ -191,18 +192,14 @@ mod tests {
     fn plain_column_predicate_goes_to_where() {
         let mut q = parse_query("SELECT * FROM confroom").unwrap();
         push_into_query(&mut q, &parse_expr("@capacity > 250").unwrap()).unwrap();
-        assert_eq!(
-            q.to_sql(),
-            "SELECT *\nFROM confroom\nWHERE capacity > 250"
-        );
+        assert_eq!(q.to_sql(), "SELECT *\nFROM confroom\nWHERE capacity > 250");
     }
 
     #[test]
     fn aggregate_column_predicate_goes_to_having() {
         // Figure 20: the @sum>100 check on a SUM(capacity) query becomes
         // HAVING SUM(capacity) > 100.
-        let mut q =
-            parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id = 1").unwrap();
+        let mut q = parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id = 1").unwrap();
         push_into_query(&mut q, &parse_expr("@sum > 100").unwrap()).unwrap();
         assert!(
             q.to_sql().ends_with("HAVING SUM(capacity) > 100"),
@@ -223,7 +220,11 @@ mod tests {
         let c = to_param_condition("s_new", &parse_expr("@sum < 200").unwrap()).unwrap();
         assert_eq!(
             c,
-            ScalarExpr::binary(SqlOp::Lt, ScalarExpr::param("s_new", "sum"), ScalarExpr::int(200))
+            ScalarExpr::binary(
+                SqlOp::Lt,
+                ScalarExpr::param("s_new", "sum"),
+                ScalarExpr::int(200)
+            )
         );
     }
 
@@ -250,13 +251,15 @@ mod tests {
         )
         .unwrap();
         let sql = q.to_sql();
-        assert!(sql.contains("starrating > 3 AND city = 'chicago' OR gym = 'yes'"), "{sql}");
+        assert!(
+            sql.contains("starrating > 3 AND city = 'chicago' OR gym = 'yes'"),
+            "{sql}"
+        );
     }
 
     #[test]
     fn string_literals_and_numbers() {
-        let c = to_param_condition("m", &parse_expr("@metroname = \"chicago\"").unwrap())
-            .unwrap();
+        let c = to_param_condition("m", &parse_expr("@metroname = \"chicago\"").unwrap()).unwrap();
         assert!(matches!(
             c,
             ScalarExpr::Binary { rhs, .. }

@@ -74,10 +74,8 @@ pub fn compose_recursive(
         .ok_or_else(|| Error::NotComposable {
             reason: "the downward select path does not reach the recursion target".into(),
         })?;
-    let p = matchq(view, shape.target, &rb.match_pattern)?.ok_or_else(|| {
-        Error::NotComposable {
-            reason: "the inner rule does not match the recursion target".into(),
-        }
+    let p = matchq(view, shape.target, &rb.match_pattern)?.ok_or_else(|| Error::NotComposable {
+        reason: "the inner rule does not match the recursion target".into(),
     })?;
     let smt = combine(view, &t, &p)?;
     let anchor_bv = view
@@ -284,14 +282,14 @@ fn detect_shape(view: &SchemaTree, stylesheet: &Stylesheet) -> Result<Shape> {
                 // rb must walk back up to the anchor via self/parent steps.
                 for b_apply in rb.apply_templates() {
                     let up = &b_apply.select;
-                    let upward_only = up.steps.iter().all(|s| {
-                        matches!(s.axis, Axis::SelfAxis | Axis::Parent)
-                    });
+                    let upward_only = up
+                        .steps
+                        .iter()
+                        .all(|s| matches!(s.axis, Axis::SelfAxis | Axis::Parent));
                     if !upward_only || b_apply.mode != ra.mode {
                         continue;
                     }
-                    let Ok(back) = selectq(view, target, &strip_all_predicates(up), *anchor)
-                    else {
+                    let Ok(back) = selectq(view, target, &strip_all_predicates(up), *anchor) else {
                         continue;
                     };
                     if back.is_empty() {
@@ -374,11 +372,7 @@ fn strip_all_predicates(path: &PathExpr) -> PathExpr {
 
 /// Clones an output fragment, substituting the select of every
 /// apply-templates node whose select equals `old`.
-fn replace_apply_select(
-    nodes: &[OutputNode],
-    old: &PathExpr,
-    new: &PathExpr,
-) -> Vec<OutputNode> {
+fn replace_apply_select(nodes: &[OutputNode], old: &PathExpr, new: &PathExpr) -> Vec<OutputNode> {
     nodes
         .iter()
         .map(|n| match n {

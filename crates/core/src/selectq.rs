@@ -136,20 +136,15 @@ fn walk_step(
         Axis::Descendant | Axis::DescendantOrSelf => {
             if step.axis == Axis::DescendantOrSelf {
                 let vid = tp.view(cur);
-                if accepts(view, vid, &step.test)
-                    || matches!(step.test, NodeTest::Wildcard)
-                {
+                if accepts(view, vid, &step.test) || matches!(step.test, NodeTest::Wildcard) {
                     let mut tp = tp.clone();
                     attach_predicates(view, &mut tp, cur, &step.predicates)?;
                     out.push((tp, cur));
                 }
             }
             let start = tp.view(cur);
-            let mut stack: Vec<(ViewNodeId, Vec<ViewNodeId>)> = view
-                .children(start)
-                .iter()
-                .map(|&c| (c, vec![c]))
-                .collect();
+            let mut stack: Vec<(ViewNodeId, Vec<ViewNodeId>)> =
+                view.children(start).iter().map(|&c| (c, vec![c])).collect();
             while let Some((vid, path)) = stack.pop() {
                 if accepts(view, vid, &step.test) {
                     let mut tp = tp.clone();
@@ -200,7 +195,12 @@ pub fn attach_predicates(
     Ok(())
 }
 
-fn attach_predicate(view: &SchemaTree, tp: &mut TreePattern, node: TpId, pred: &Expr) -> Result<()> {
+fn attach_predicate(
+    view: &SchemaTree,
+    tp: &mut TreePattern,
+    node: TpId,
+    pred: &Expr,
+) -> Result<()> {
     let pred = simplify_self_paths(pred);
     match &pred {
         Expr::And(a, b) => {
@@ -252,9 +252,9 @@ pub fn simplify_self_paths(e: &Expr) -> Expr {
         Expr::Path(p)
             if !p.absolute
                 && !p.steps.is_empty()
-                && p.steps.iter().all(|s| {
-                    s.axis == Axis::SelfAxis && matches!(s.test, NodeTest::Wildcard)
-                }) =>
+                && p.steps
+                    .iter()
+                    .all(|s| s.axis == Axis::SelfAxis && matches!(s.test, NodeTest::Wildcard)) =>
         {
             let mut preds: Vec<Expr> = p
                 .steps
@@ -435,8 +435,8 @@ mod tests {
         let v = figure1_view();
         // R2's select "hotel/confstat" from metro reaches the hotel-level
         // confstat (id 4) only.
-        let results = selectq_all(&v, by_id(&v, 1), &parse_path("hotel/confstat").unwrap())
-            .unwrap();
+        let results =
+            selectq_all(&v, by_id(&v, 1), &parse_path("hotel/confstat").unwrap()).unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].view(results[0].new_context), by_id(&v, 4));
         // Directed form.
@@ -497,13 +497,17 @@ mod tests {
     #[test]
     fn dead_walks_return_empty() {
         let v = figure1_view();
-        assert!(selectq_all(&v, by_id(&v, 1), &parse_path("nonexistent").unwrap())
-            .unwrap()
-            .is_empty());
+        assert!(
+            selectq_all(&v, by_id(&v, 1), &parse_path("nonexistent").unwrap())
+                .unwrap()
+                .is_empty()
+        );
         // Climbing above the root dies.
-        assert!(selectq_all(&v, by_id(&v, 1), &parse_path("../../..").unwrap())
-            .unwrap()
-            .is_empty());
+        assert!(
+            selectq_all(&v, by_id(&v, 1), &parse_path("../../..").unwrap())
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]
@@ -517,7 +521,8 @@ mod tests {
     #[test]
     fn figure18_predicates_build_two_confstat_nodes() {
         let v = figure1_view();
-        let path = ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
+        let path =
+            ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
         let results = selectq_all(&v, by_id(&v, 4), &parse_path(path).unwrap()).unwrap();
         assert_eq!(results.len(), 1);
         let tp = &results[0];
@@ -545,8 +550,7 @@ mod tests {
         let v = figure1_view();
         // metro//confstat reaches BOTH confstat nodes (ids 2 and 4), each
         // via its own explicit chain.
-        let results =
-            selectq_all(&v, by_id(&v, 1), &parse_path(".//confstat").unwrap()).unwrap();
+        let results = selectq_all(&v, by_id(&v, 1), &parse_path(".//confstat").unwrap()).unwrap();
         let mut ids: Vec<u32> = results
             .iter()
             .map(|tp| v.node(tp.view(tp.new_context)).unwrap().id)
@@ -559,9 +563,8 @@ mod tests {
             .find(|tp| v.node(tp.view(tp.new_context)).unwrap().id == 4)
             .unwrap();
         assert_eq!(deep.len(), 3); // metro, hotel, confstat
-        // //metro_available from the root finds the grandchild.
-        let results =
-            selectq_all(&v, v.root(), &parse_path("//metro_available").unwrap()).unwrap();
+                                   // //metro_available from the root finds the grandchild.
+        let results = selectq_all(&v, v.root(), &parse_path("//metro_available").unwrap()).unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].len(), 5); // root..metro_available chain
     }

@@ -140,7 +140,10 @@ impl Emitter<'_> {
                             Carrier::Query(q)
                         }
                         UnboundQuery::Rebind { source, guard } => Carrier::Rebind {
-                            source: renames.get(source).cloned().unwrap_or_else(|| source.clone()),
+                            source: renames
+                                .get(source)
+                                .cloned()
+                                .unwrap_or_else(|| source.clone()),
                             guard: guard.clone().map(|g| rename_scalar(g, renames)),
                         },
                         // Literal transition target: once per parent, no tuple.
@@ -280,17 +283,17 @@ impl Emitter<'_> {
                 // the element's subtree when the carrier variable was
                 // uniquified.
                 let (sub_renames, sub_ctx);
-                let (renames_ref, ctx_ref): (&HashMap<String, String>, Option<&str>) =
-                    match claimed {
-                        Some((old, new)) => {
-                            let mut m = renames.clone();
-                            m.insert(old, new);
-                            sub_renames = m;
-                            sub_ctx = node_bv;
-                            (&sub_renames, Some(sub_ctx.as_str()))
-                        }
-                        None => (renames, ctx_bv),
-                    };
+                let (renames_ref, ctx_ref): (&HashMap<String, String>, Option<&str>) = match claimed
+                {
+                    Some((old, new)) => {
+                        let mut m = renames.clone();
+                        m.insert(old, new);
+                        sub_renames = m;
+                        sub_ctx = node_bv;
+                        (&sub_renames, Some(sub_ctx.as_str()))
+                    }
+                    None => (renames, ctx_bv),
+                };
                 for c in body {
                     self.emit_fragment(c, vid, None, w_idx, ctx_ref, apply_counter, renames_ref)?;
                 }
@@ -311,13 +314,7 @@ impl Emitter<'_> {
                     Some(Carrier::Query(q_parent)) => {
                         let parent_bv = self.tvq.nodes[w_idx].bv.clone();
                         for c in children {
-                            self.emit_forced(
-                                c,
-                                parent_vid,
-                                q_parent.clone(),
-                                &parent_bv,
-                                renames,
-                            )?;
+                            self.emit_forced(c, parent_vid, q_parent.clone(), &parent_bv, renames)?;
                         }
                         Ok(())
                     }
@@ -333,15 +330,19 @@ impl Emitter<'_> {
                                     q2.and_where(g.clone());
                                     Some(Carrier::Query(q2))
                                 }
-                                (UnboundQuery::Rebind { source: s2, guard: g2 }, g) => {
+                                (
+                                    UnboundQuery::Rebind {
+                                        source: s2,
+                                        guard: g2,
+                                    },
+                                    g,
+                                ) => {
                                     let merged = match (g2.clone(), g.clone()) {
                                         (None, None) => None,
                                         (Some(a), None) | (None, Some(a)) => Some(a),
-                                        (Some(a), Some(b)) => Some(ScalarExpr::binary(
-                                            xvc_rel::BinOp::And,
-                                            a,
-                                            b,
-                                        )),
+                                        (Some(a), Some(b)) => {
+                                            Some(ScalarExpr::binary(xvc_rel::BinOp::And, a, b))
+                                        }
                                     };
                                     Some(Carrier::Rebind {
                                         source: s2.clone(),
@@ -582,9 +583,7 @@ impl Emitter<'_> {
                 }
                 self.emit_tvq_node(child_idx, parent_vid, Some(Carrier::Query(q2)), renames)
             }
-            UnboundQuery::Rebind { .. } => {
-                self.emit_tvq_node(child_idx, parent_vid, None, renames)
-            }
+            UnboundQuery::Rebind { .. } => self.emit_tvq_node(child_idx, parent_vid, None, renames),
             // A literal child under an output-less rule: the parent query's
             // tuples are never materialized, but the child occurs once per
             // parent *tuple* — absorb the parent query with no published
@@ -604,11 +603,7 @@ impl Emitter<'_> {
 /// query's own select list — aggregate outputs substitute their aggregate
 /// expression and land in HAVING, everything else in WHERE. EXISTS
 /// subqueries inside the guard correlate through unqualified columns.
-fn fold_guard_into_query(
-    q: &mut SelectQuery,
-    guard: &ScalarExpr,
-    source: &str,
-) -> Result<()> {
+fn fold_guard_into_query(q: &mut SelectQuery, guard: &ScalarExpr, source: &str) -> Result<()> {
     fn conjuncts<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
         match e {
             ScalarExpr::Binary {
@@ -637,9 +632,7 @@ fn fold_guard_into_query(
                 lhs: Box::new(translate(lhs, source, q, has_agg)?),
                 rhs: Box::new(translate(rhs, source, q, has_agg)?),
             },
-            ScalarExpr::Not(i) => {
-                ScalarExpr::Not(Box::new(translate(i, source, q, has_agg)?))
-            }
+            ScalarExpr::Not(i) => ScalarExpr::Not(Box::new(translate(i, source, q, has_agg)?)),
             ScalarExpr::IsNull(i) => {
                 ScalarExpr::IsNull(Box::new(translate(i, source, q, has_agg)?))
             }
@@ -677,11 +670,7 @@ fn fold_guard_into_query(
 /// Resolves `$source.col` against the query's select list: aggregate items
 /// substitute their expression (setting the HAVING flag); everything else
 /// becomes a column reference.
-fn resolve_output_ref(
-    q: &SelectQuery,
-    column: &str,
-    has_agg: &mut bool,
-) -> Result<ScalarExpr> {
+fn resolve_output_ref(q: &SelectQuery, column: &str, has_agg: &mut bool) -> Result<ScalarExpr> {
     for item in &q.select {
         if let SelectItem::Expr { expr, alias } = item {
             let name = match alias {
@@ -689,9 +678,7 @@ fn resolve_output_ref(
                 None => match expr {
                     ScalarExpr::Column { name, .. } => name.clone(),
                     ScalarExpr::Param { column, .. } => column.clone(),
-                    ScalarExpr::Aggregate { func, .. } => {
-                        func.default_column_name().to_owned()
-                    }
+                    ScalarExpr::Aggregate { func, .. } => func.default_column_name().to_owned(),
                     _ => continue,
                 },
             };

@@ -244,7 +244,12 @@ mod tests {
         let hotel = t
             .add_child(
                 metro,
-                ViewNode::new(3, "hotel", "h", parse_query("SELECT hotelid FROM hotel").unwrap()),
+                ViewNode::new(
+                    3,
+                    "hotel",
+                    "h",
+                    parse_query("SELECT hotelid FROM hotel").unwrap(),
+                ),
             )
             .unwrap();
         let stat = t

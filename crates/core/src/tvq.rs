@@ -163,13 +163,21 @@ pub fn build_tvq(
         });
         tvq.roots.push(root_idx);
         expand(
-            view, stylesheet, ctg, catalog, entry, root_idx, &mut tvq, &mut bv_counter, limit,
+            view,
+            stylesheet,
+            ctg,
+            catalog,
+            entry,
+            root_idx,
+            &mut tvq,
+            &mut bv_counter,
+            limit,
         )?;
     }
     Ok(tvq)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn expand(
     view: &SchemaTree,
     stylesheet: &Stylesheet,
@@ -210,7 +218,9 @@ fn expand(
             parent: Some(tvq_idx),
             children: Vec::new(),
         });
-        tvq.nodes[tvq_idx].children.push((child_idx, edge.apply_idx));
+        tvq.nodes[tvq_idx]
+            .children
+            .push((child_idx, edge.apply_idx));
         expand(
             view, stylesheet, ctg, catalog, edge.to, child_idx, tvq, bv_counter, limit,
         )?;

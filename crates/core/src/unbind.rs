@@ -163,7 +163,6 @@ pub fn unbind_smt(
     // Fold the chain bottom-up into one query (Figures 10/12).
     let mut q = chain_query(view, smt, &chain, &chain, catalog)?;
 
-
     // Context side (Figure 13 lines 7–11 + Figure 19): walk root → m.
     // Binding variables on the S path were just dropped from the bvmap, so
     // context-side conditions pre-map through the *parent* bvmap: the
@@ -173,10 +172,7 @@ pub fn unbind_smt(
         let pvid = smt.view(p);
         if !view.is_root(pvid) {
             if let Some(bv) = view.bv(pvid) {
-                let mapped = parent_bvmap
-                    .get(bv)
-                    .map(String::as_str)
-                    .unwrap_or(bv);
+                let mapped = parent_bvmap.get(bv).map(String::as_str).unwrap_or(bv);
                 for pred in smt.predicates(p) {
                     q.and_where(predicate::to_param_condition(mapped, pred)?);
                 }
@@ -431,7 +427,12 @@ fn exists_maybe_negated(smt: &TreePattern, c: TpId, sub: SelectQuery) -> ScalarE
 
 /// `NEST(p, NULL)` of Figure 11: the existence query for a branch node and
 /// all of its required descendants (with the Figure 19 predicate change).
-pub fn nest(view: &SchemaTree, smt: &TreePattern, c: TpId, catalog: &Catalog) -> Result<SelectQuery> {
+pub fn nest(
+    view: &SchemaTree,
+    smt: &TreePattern,
+    c: TpId,
+    catalog: &Catalog,
+) -> Result<SelectQuery> {
     let cvid = smt.view(c);
     let node = view.node(cvid).ok_or_else(|| Error::NotComposable {
         reason: "NEST reached the document root".into(),
@@ -531,10 +532,7 @@ fn correlate_exists(
 /// Resolves an output column of `outer` to its underlying FROM column:
 /// `(preferred qualifier, column name)`. Aggregated outputs cannot be
 /// correlated on.
-fn resolve_output_column(
-    outer: &SelectQuery,
-    col: &str,
-) -> Result<(Option<String>, String)> {
+fn resolve_output_column(outer: &SelectQuery, col: &str) -> Result<(Option<String>, String)> {
     for item in &outer.select {
         if let SelectItem::Expr { expr, alias } = item {
             let name = match alias {
@@ -542,9 +540,7 @@ fn resolve_output_column(
                 None => match expr {
                     ScalarExpr::Column { name, .. } => name.clone(),
                     ScalarExpr::Param { column, .. } => column.clone(),
-                    ScalarExpr::Aggregate { func, .. } => {
-                        func.default_column_name().to_owned()
-                    }
+                    ScalarExpr::Aggregate { func, .. } => func.default_column_name().to_owned(),
                     _ => continue,
                 },
             };
@@ -617,11 +613,10 @@ fn rename_qualifier_shadow_aware(q: &mut SelectQuery, old: &str, new: &str, top:
     }
     fn walk(e: &mut ScalarExpr, old: &str, new: &str) {
         match e {
-            ScalarExpr::Column { qualifier, .. } => {
-                if qualifier.as_deref() == Some(old) {
-                    *qualifier = Some(new.to_owned());
-                }
+            ScalarExpr::Column { qualifier, .. } if qualifier.as_deref() == Some(old) => {
+                *qualifier = Some(new.to_owned());
             }
+            ScalarExpr::Column { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 walk(lhs, old, new);
                 walk(rhs, old, new);
@@ -666,12 +661,15 @@ fn rebind(
     let orig_bv = view.bv(nvid).ok_or_else(|| Error::NotComposable {
         reason: "self/ancestor select targets the document root".into(),
     })?;
-    let source = bvmap.get(orig_bv).cloned().ok_or_else(|| Error::NotComposable {
-        reason: format!(
-            "ancestor-or-self select needs ${orig_bv}, which is not carried \
+    let source = bvmap
+        .get(orig_bv)
+        .cloned()
+        .ok_or_else(|| Error::NotComposable {
+            reason: format!(
+                "ancestor-or-self select needs ${orig_bv}, which is not carried \
              by the traverse view query at this point"
-        ),
-    })?;
+            ),
+        })?;
 
     // All predicates anywhere in the subtree become guard conditions on
     // already-bound tuples; branch nodes become EXISTS guards.
@@ -696,7 +694,9 @@ fn rebind(
                     add(predicate::to_param_condition(bv, pred)?, &mut guard);
                 }
             }
-        } else if smt.parent(id).map(|p| main_path.contains(&p) || n_path.contains(&p))
+        } else if smt
+            .parent(id)
+            .map(|p| main_path.contains(&p) || n_path.contains(&p))
             == Some(true)
         {
             // Branch directly off the path: existence guard.
@@ -732,11 +732,11 @@ fn all_nodes(smt: &TreePattern) -> Vec<TpId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_view::ViewNodeId;
     use crate::combine::combine;
     use crate::matchq::matchq;
     use crate::paper_fixtures::{figure1_view, figure2_catalog};
     use crate::selectq::selectq;
+    use xvc_view::ViewNodeId;
     use xvc_xpath::{parse_path, parse_pattern};
 
     fn by_id(view: &SchemaTree, id: u32) -> ViewNodeId {
@@ -744,7 +744,11 @@ mod tests {
     }
 
     fn smt_for(view: &SchemaTree, from: u32, select: &str, to: u32, pattern: &str) -> TreePattern {
-        let n1 = if from == 0 { view.root() } else { by_id(view, from) };
+        let n1 = if from == 0 {
+            view.root()
+        } else {
+            by_id(view, from)
+        };
         let t = selectq(view, n1, &parse_path(select).unwrap(), by_id(view, to))
             .unwrap()
             .remove(0);
@@ -834,7 +838,8 @@ mod tests {
         // The §5.1 example: value predicates land in WHERE / on binding
         // tuples; existence predicates nest with HAVING.
         let v = figure1_view();
-        let select = ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
+        let select =
+            ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
         let pattern = "metro[@metroname=\"chicago\"]/hotel/confroom";
         let smt = smt_for(&v, 4, select, 5, pattern);
         let mut bvmap = HashMap::new();
@@ -927,6 +932,9 @@ mod tests {
         // Nested EXISTS: hotel_available EXISTS containing the
         // metro_available EXISTS, correlated by bare startdate.
         assert_eq!(sql.matches("EXISTS (").count(), 2, "{sql}");
-        assert!(sql.contains("startdate = startdate") || sql.contains("metro_id = $m_new.metroid"), "{sql}");
+        assert!(
+            sql.contains("startdate = startdate") || sql.contains("metro_id = $m_new.metroid"),
+            "{sql}"
+        );
     }
 }

@@ -215,11 +215,8 @@ impl ScalarExpr {
     /// descending into subqueries.
     pub fn collect_params(&self, out: &mut Vec<String>) {
         match self {
-            ScalarExpr::Param { var, .. } => {
-                if !out.contains(var) {
-                    out.push(var.clone());
-                }
-            }
+            ScalarExpr::Param { var, .. } if !out.contains(var) => out.push(var.clone()),
+            ScalarExpr::Param { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 lhs.collect_params(out);
                 rhs.collect_params(out);
@@ -375,9 +372,9 @@ impl SelectQuery {
     pub fn is_aggregating(&self) -> bool {
         !self.group_by.is_empty()
             || self.having.is_some()
-            || self.select.iter().any(|item| {
-                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-            })
+            || self.select.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+            )
     }
 
     /// The binding variables referenced by this query (its *parameters* in

@@ -42,7 +42,12 @@ pub fn load_csv(db: &mut Database, table: &str, csv: &str) -> Result<usize> {
         }
         let mut row = vec![Value::Null; schema.columns.len()];
         for (field, &idx) in fields.iter().zip(&indices) {
-            row[idx] = coerce(field, schema.columns[idx].ty, table, &schema.columns[idx].name)?;
+            row[idx] = coerce(
+                field,
+                schema.columns[idx].ty,
+                table,
+                &schema.columns[idx].name,
+            )?;
         }
         db.insert(table, row)?;
         count += 1;
@@ -56,16 +61,16 @@ fn coerce(field: &str, ty: ColumnType, table: &str, column: &str) -> Result<Valu
         return Ok(Value::Null);
     }
     Ok(match ty {
-        ColumnType::Int => Value::Int(trimmed.parse::<i64>().map_err(|_| {
-            Error::SchemaMismatch {
+        ColumnType::Int => {
+            Value::Int(trimmed.parse::<i64>().map_err(|_| Error::SchemaMismatch {
                 reason: format!("{table}.{column}: {trimmed:?} is not an integer"),
-            }
-        })?),
-        ColumnType::Float => Value::Float(trimmed.parse::<f64>().map_err(|_| {
-            Error::SchemaMismatch {
+            })?)
+        }
+        ColumnType::Float => {
+            Value::Float(trimmed.parse::<f64>().map_err(|_| Error::SchemaMismatch {
                 reason: format!("{table}.{column}: {trimmed:?} is not a number"),
-            }
-        })?),
+            })?)
+        }
         ColumnType::Str => Value::Str(field.to_owned()),
     })
 }
@@ -138,8 +143,12 @@ mod tests {
     #[test]
     fn quoted_fields_with_commas_and_escapes() {
         let mut db = db();
-        load_csv(&mut db, "city", "id,name\n1,\"St. Louis, MO\"\n2,\"the \"\"Loop\"\"\"\n")
-            .unwrap();
+        load_csv(
+            &mut db,
+            "city",
+            "id,name\n1,\"St. Louis, MO\"\n2,\"the \"\"Loop\"\"\"\n",
+        )
+        .unwrap();
         let t = db.table("city").unwrap();
         assert_eq!(t.rows()[0][1], Value::Str("St. Louis, MO".into()));
         assert_eq!(t.rows()[1][1], Value::Str("the \"Loop\"".into()));

@@ -152,10 +152,9 @@ mod tests {
 
     #[test]
     fn parses_single_table() {
-        let s = parse_create_table(
-            "CREATE TABLE hotel (hotelid INT, hotelname TEXT, starrating INT)",
-        )
-        .unwrap();
+        let s =
+            parse_create_table("CREATE TABLE hotel (hotelid INT, hotelname TEXT, starrating INT)")
+                .unwrap();
         assert_eq!(s.name, "hotel");
         assert_eq!(s.columns.len(), 3);
         assert_eq!(s.columns[1].ty, ColumnType::Str);

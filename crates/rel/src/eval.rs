@@ -99,6 +99,85 @@ impl Default for EvalOptions {
     }
 }
 
+/// Work counters for one (or several accumulated) query evaluations.
+///
+/// These expose what the engine actually did — the paper's efficiency
+/// argument ("the composed view does not generate the unnecessary nodes")
+/// becomes measurable: how many base rows were touched, which joins got a
+/// hash key and which fell back to nested loops, how often EXISTS
+/// subqueries ran versus being served from the uncorrelated cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Query blocks evaluated (top-level, derived tables and EXISTS
+    /// subqueries each count once per evaluation).
+    pub queries: u64,
+    /// Top-level invocations carrying a non-empty [`ParamEnv`] — i.e.
+    /// parameterized tag-query executions in the Definition 1 sense.
+    pub param_queries: u64,
+    /// Base-table rows read into working relations.
+    pub rows_scanned: u64,
+    /// Hash tables built for equi-joins.
+    pub hash_join_builds: u64,
+    /// Rows inserted into hash-join build sides.
+    pub hash_join_build_rows: u64,
+    /// Rows probed against hash-join tables.
+    pub hash_join_probe_rows: u64,
+    /// Joins that fell back to a nested-loop cross product (no usable
+    /// equality key).
+    pub nested_loop_joins: u64,
+    /// Rows emitted by nested-loop cross products.
+    pub nested_loop_rows: u64,
+    /// EXISTS subquery evaluations actually performed.
+    pub exists_evals: u64,
+    /// Rows whose residual predicate was served from the cached result of
+    /// an uncorrelated evaluation instead of re-running it.
+    pub exists_cache_hits: u64,
+    /// GROUP BY buckets created (implicit single groups included).
+    pub group_buckets: u64,
+}
+
+impl EvalStats {
+    /// Accumulates counters from another run (e.g. per tag query during
+    /// publishing).
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.queries += other.queries;
+        self.param_queries += other.param_queries;
+        self.rows_scanned += other.rows_scanned;
+        self.hash_join_builds += other.hash_join_builds;
+        self.hash_join_build_rows += other.hash_join_build_rows;
+        self.hash_join_probe_rows += other.hash_join_probe_rows;
+        self.nested_loop_joins += other.nested_loop_joins;
+        self.nested_loop_rows += other.nested_loop_rows;
+        self.exists_evals += other.exists_evals;
+        self.exists_cache_hits += other.exists_cache_hits;
+        self.group_buckets += other.group_buckets;
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "queries evaluated     {}", self.queries)?;
+        writeln!(f, "  parameterized       {}", self.param_queries)?;
+        writeln!(f, "rows scanned          {}", self.rows_scanned)?;
+        writeln!(
+            f,
+            "hash joins            {} ({} build rows, {} probe rows)",
+            self.hash_join_builds, self.hash_join_build_rows, self.hash_join_probe_rows
+        )?;
+        writeln!(
+            f,
+            "nested-loop fallbacks {} ({} rows emitted)",
+            self.nested_loop_joins, self.nested_loop_rows
+        )?;
+        writeln!(
+            f,
+            "EXISTS evaluations    {} ({} cache hits)",
+            self.exists_evals, self.exists_cache_hits
+        )?;
+        write!(f, "group-by buckets      {}", self.group_buckets)
+    }
+}
+
 /// Evaluates a query against a database with the given parameter bindings.
 pub fn eval_query(db: &Database, q: &SelectQuery, params: &ParamEnv) -> Result<Relation> {
     eval_query_with(db, q, params, EvalOptions::default())
@@ -111,7 +190,28 @@ pub fn eval_query_with(
     params: &ParamEnv,
     options: EvalOptions,
 ) -> Result<Relation> {
-    eval_scoped_opt(db, q, params, None, options)
+    let stats = Cell::new(EvalStats::default());
+    eval_scoped_opt(db, q, params, None, options, &stats)
+}
+
+/// [`eval_query_with`] that additionally accumulates [`EvalStats`] counters
+/// into `stats` (counters are added, never reset, so one `EvalStats` can
+/// aggregate a whole publish run).
+pub fn eval_query_stats(
+    db: &Database,
+    q: &SelectQuery,
+    params: &ParamEnv,
+    options: EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<Relation> {
+    let cell = Cell::new(EvalStats::default());
+    let rel = eval_scoped_opt(db, q, params, None, options, &cell)?;
+    let mut run = cell.get();
+    if !params.is_empty() {
+        run.param_queries += 1;
+    }
+    stats.absorb(&run);
+    Ok(rel)
 }
 
 // ---------------------------------------------------------------------------
@@ -119,7 +219,8 @@ pub fn eval_query_with(
 // ---------------------------------------------------------------------------
 
 /// Column layout of a working relation: `(qualifier, name)` per slot.
-type Layout = Vec<(String, String)>;
+/// Shared with the EXPLAIN planner simulation (`crate::explain`).
+pub(crate) type Layout = Vec<(String, String)>;
 
 struct Scope<'a> {
     layout: &'a Layout,
@@ -181,6 +282,17 @@ struct EvalCtx<'a> {
     db: &'a Database,
     params: &'a ParamEnv,
     options: EvalOptions,
+    stats: &'a Cell<EvalStats>,
+}
+
+impl EvalCtx<'_> {
+    /// Updates the run's counters. `EvalStats` is `Copy`, so a `Cell`
+    /// suffices — no `RefCell` borrow bookkeeping in the recursion.
+    fn bump(&self, f: impl FnOnce(&mut EvalStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
 }
 
 fn eval_scalar(ctx: &EvalCtx<'_>, e: &ScalarExpr, scope: &Scope<'_>) -> Result<Value> {
@@ -225,7 +337,8 @@ fn eval_scalar(ctx: &EvalCtx<'_>, e: &ScalarExpr, scope: &Scope<'_>) -> Result<V
             Ok(Value::Bool(v.is_null()))
         }
         ScalarExpr::Exists(q) => {
-            let rel = eval_scoped_opt(ctx.db, q, ctx.params, Some(scope), ctx.options)?;
+            ctx.bump(|s| s.exists_evals += 1);
+            let rel = eval_scoped_opt(ctx.db, q, ctx.params, Some(scope), ctx.options, ctx.stats)?;
             Ok(Value::Bool(!rel.is_empty()))
         }
         ScalarExpr::Aggregate { .. } => Err(Error::MisplacedAggregate),
@@ -233,9 +346,9 @@ fn eval_scalar(ctx: &EvalCtx<'_>, e: &ScalarExpr, scope: &Scope<'_>) -> Result<V
 }
 
 fn resolve_param(params: &ParamEnv, var: &str, column: &str) -> Result<Value> {
-    let tuple = params
-        .get(var)
-        .ok_or_else(|| Error::UnboundParameter { var: var.to_owned() })?;
+    let tuple = params.get(var).ok_or_else(|| Error::UnboundParameter {
+        var: var.to_owned(),
+    })?;
     tuple
         .get(column)
         .cloned()
@@ -516,12 +629,15 @@ fn eval_scoped_opt(
     params: &ParamEnv,
     parent: Option<&Scope<'_>>,
     options: EvalOptions,
+    stats: &Cell<EvalStats>,
 ) -> Result<Relation> {
     let ctx = EvalCtx {
         db,
         params,
         options,
+        stats,
     };
+    ctx.bump(|s| s.queries += 1);
 
     // Alias uniqueness.
     {
@@ -564,13 +680,12 @@ fn eval_scoped_opt(
         let (cols, rows) = match t {
             TableRef::Named { name, .. } => {
                 let table = db.table(name)?;
-                (
-                    table.schema.column_names(),
-                    table.rows().to_vec(),
-                )
+                let rows = table.rows().to_vec();
+                ctx.bump(|s| s.rows_scanned += rows.len() as u64);
+                (table.schema.column_names(), rows)
             }
             TableRef::Derived { query, .. } => {
-                let rel = eval_scoped_opt(db, query, params, parent, options)?;
+                let rel = eval_scoped_opt(db, query, params, parent, options, stats)?;
                 (rel.columns, rel.rows)
             }
         };
@@ -735,11 +850,8 @@ fn check_level_ambiguity(
             ScalarExpr::Column {
                 qualifier: None,
                 name,
-            } => {
-                if !names.contains(name) {
-                    names.push(name.clone());
-                }
-            }
+            } if !names.contains(name) => names.push(name.clone()),
+            ScalarExpr::Column { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 walk(lhs, names);
                 walk(rhs, names);
@@ -772,11 +884,11 @@ fn check_level_ambiguity(
     Ok(())
 }
 
-fn cols_set(layout: &Layout) -> std::collections::HashSet<String> {
+pub(crate) fn cols_set(layout: &Layout) -> std::collections::HashSet<String> {
     layout.iter().map(|(_, n)| n.clone()).collect()
 }
 
-fn split_and<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+pub(crate) fn split_and<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
     match e {
         ScalarExpr::Binary {
             op: BinOp::And,
@@ -790,7 +902,7 @@ fn split_and<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
     }
 }
 
-fn contains_exists(e: &ScalarExpr) -> bool {
+pub(crate) fn contains_exists(e: &ScalarExpr) -> bool {
     match e {
         ScalarExpr::Exists(_) => true,
         ScalarExpr::Binary { lhs, rhs, .. } => contains_exists(lhs) || contains_exists(rhs),
@@ -801,7 +913,7 @@ fn contains_exists(e: &ScalarExpr) -> bool {
 
 /// True if every column reference in `e` resolves within the given aliases /
 /// column-name set (conservative: unqualified names must be member columns).
-fn resolvable_within(
+pub(crate) fn resolvable_within(
     e: &ScalarExpr,
     aliases: &[String],
     columns: &std::collections::HashSet<String>,
@@ -824,6 +936,16 @@ fn resolvable_within(
 /// If `c` is `lhs = rhs` with one side resolvable only in `prev` and the
 /// other only in `next`, returns the pair ordered (prev-side, next-side).
 fn equi_pair(c: &ScalarExpr, prev: &WorkRel, next: &WorkRel) -> Option<(ScalarExpr, ScalarExpr)> {
+    equi_pair_layouts(c, &prev.layout, &next.layout)
+}
+
+/// Layout-based form of [`equi_pair`], usable without materialized rows —
+/// this is how the EXPLAIN printer re-derives join-strategy decisions.
+pub(crate) fn equi_pair_layouts(
+    c: &ScalarExpr,
+    prev: &Layout,
+    next: &Layout,
+) -> Option<(ScalarExpr, ScalarExpr)> {
     let ScalarExpr::Binary {
         op: BinOp::Eq,
         lhs,
@@ -832,10 +954,10 @@ fn equi_pair(c: &ScalarExpr, prev: &WorkRel, next: &WorkRel) -> Option<(ScalarEx
     else {
         return None;
     };
-    let prev_aliases: Vec<String> = distinct_aliases(&prev.layout);
-    let next_aliases: Vec<String> = distinct_aliases(&next.layout);
-    let prev_cols = cols_set(&prev.layout);
-    let next_cols = cols_set(&next.layout);
+    let prev_aliases: Vec<String> = distinct_aliases(prev);
+    let next_aliases: Vec<String> = distinct_aliases(next);
+    let prev_cols = cols_set(prev);
+    let next_cols = cols_set(next);
     let l_prev = resolvable_within(lhs, &prev_aliases, &prev_cols);
     let l_next = resolvable_within(lhs, &next_aliases, &next_cols);
     let r_prev = resolvable_within(rhs, &prev_aliases, &prev_cols);
@@ -851,7 +973,7 @@ fn equi_pair(c: &ScalarExpr, prev: &WorkRel, next: &WorkRel) -> Option<(ScalarEx
     }
 }
 
-fn distinct_aliases(layout: &Layout) -> Vec<String> {
+pub(crate) fn distinct_aliases(layout: &Layout) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for (q, _) in layout {
         if !out.contains(q) {
@@ -898,7 +1020,10 @@ fn apply_residual_filter(
     let probe = Cell::new(false);
     for (i, row) in rel.rows.drain(..).enumerate() {
         let keep = match cached {
-            Some(b) => b,
+            Some(b) => {
+                ctx.bump(|s| s.exists_cache_hits += 1);
+                b
+            }
             None => {
                 let scope = Scope {
                     layout: &rel.layout,
@@ -942,8 +1067,18 @@ fn hash_join(
                 rows.push(row);
             }
         }
+        ctx.bump(|s| {
+            s.nested_loop_joins += 1;
+            s.nested_loop_rows += rows.len() as u64;
+        });
         return Ok(WorkRel { layout, rows });
     }
+
+    ctx.bump(|s| {
+        s.hash_join_builds += 1;
+        s.hash_join_build_rows += next.rows.len() as u64;
+        s.hash_join_probe_rows += prev.rows.len() as u64;
+    });
 
     // Build hash table on the next side.
     let mut index: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
@@ -1101,6 +1236,8 @@ fn project_grouped(
             groups.entry(key).or_default().push(row);
         }
     }
+
+    ctx.bump(|s| s.group_buckets += groups.len() as u64);
 
     let mut rows = Vec::with_capacity(groups.len());
     for key in &group_order {
@@ -1490,11 +1627,7 @@ mod tests {
     fn ambiguous_column_errors() {
         let mut db = hotel_db();
         db.create_table(
-            TableSchema::new(
-                "other",
-                vec![ColumnDef::new("hotelid", ColumnType::Int)],
-            )
-            .unwrap(),
+            TableSchema::new("other", vec![ColumnDef::new("hotelid", ColumnType::Int)]).unwrap(),
         );
         db.insert("other", vec![Value::Int(10)]).unwrap();
         let q = parse_query("SELECT hotelid FROM hotel, other WHERE starrating > 0").unwrap();
@@ -1514,7 +1647,10 @@ mod tests {
     #[test]
     fn arithmetic_in_select() {
         let db = hotel_db();
-        let r = run(&db, "SELECT capacity * 2 AS double FROM confroom WHERE c_id = 100");
+        let r = run(
+            &db,
+            "SELECT capacity * 2 AS double FROM confroom WHERE c_id = 100",
+        );
         assert_eq!(r.columns, vec!["double"]);
         assert_eq!(r.rows[0][0], Value::Int(600));
     }
@@ -1550,7 +1686,10 @@ mod tests {
             Err(Error::DuplicateAlias { .. })
         ));
         // Self-join with aliases is fine.
-        let r = run(&db, "SELECT a.hotelid FROM hotel a, hotel b WHERE a.hotelid = b.hotelid");
+        let r = run(
+            &db,
+            "SELECT a.hotelid FROM hotel a, hotel b WHERE a.hotelid = b.hotelid",
+        );
         assert_eq!(r.len(), 3);
     }
 
@@ -1585,11 +1724,7 @@ mod tests {
              GROUP BY TEMP.hotelid",
         );
         assert_eq!(r.len(), 3); // all three hotels
-        let drake_less = r
-            .rows
-            .iter()
-            .find(|row| row[1] == Value::Int(11))
-            .unwrap();
+        let drake_less = r.rows.iter().find(|row| row[1] == Value::Int(11)).unwrap();
         assert_eq!(drake_less[0], Value::Null); // no rooms ⇒ SUM over NULL
         let palmer = r.rows.iter().find(|row| row[1] == Value::Int(10)).unwrap();
         assert_eq!(palmer[0], Value::Int(450));
@@ -1622,7 +1757,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             q.from[1],
-            crate::ast::TableRef::Derived { preserved: true, .. }
+            crate::ast::TableRef::Derived {
+                preserved: true,
+                ..
+            }
         ));
         let reparsed = parse_query(&q.to_sql()).unwrap();
         assert_eq!(q, reparsed);
@@ -1651,6 +1789,112 @@ mod tests {
         assert_eq!(r.rows[0][1], Value::Null);
     }
 
+    fn stats_for(db: &Database, sql: &str, params: &ParamEnv) -> EvalStats {
+        let mut stats = EvalStats::default();
+        eval_query_stats(
+            db,
+            &parse_query(sql).unwrap(),
+            params,
+            EvalOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        stats
+    }
+
+    #[test]
+    fn stats_count_scans_and_hash_join() {
+        let db = hotel_db();
+        let s = stats_for(
+            &db,
+            "SELECT hotelname, metroname FROM hotel, metroarea WHERE metro_id = metroid",
+            &ParamEnv::new(),
+        );
+        // One query block; 3 hotel rows + 2 metroarea rows scanned; one
+        // hash join building on metroarea (2 rows) probed by hotel (3).
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.rows_scanned, 5);
+        assert_eq!(s.hash_join_builds, 1);
+        assert_eq!(s.hash_join_build_rows, 2);
+        assert_eq!(s.hash_join_probe_rows, 3);
+        assert_eq!(s.nested_loop_joins, 0);
+        assert_eq!(s.param_queries, 0);
+    }
+
+    #[test]
+    fn stats_count_nested_loop_fallback() {
+        let db = hotel_db();
+        let s = stats_for(
+            &db,
+            "SELECT hotelname, metroname FROM hotel, metroarea",
+            &ParamEnv::new(),
+        );
+        assert_eq!(s.hash_join_builds, 0);
+        assert_eq!(s.nested_loop_joins, 1);
+        assert_eq!(s.nested_loop_rows, 6); // 3 × 2 cross product
+    }
+
+    #[test]
+    fn stats_count_group_buckets() {
+        let db = hotel_db();
+        let s = stats_for(
+            &db,
+            "SELECT chotel_id, SUM(capacity) FROM confroom GROUP BY chotel_id",
+            &ParamEnv::new(),
+        );
+        assert_eq!(s.group_buckets, 2); // hotels 10 and 12
+                                        // Bare aggregate: the implicit single group is still a bucket.
+        let s = stats_for(&db, "SELECT SUM(capacity) FROM confroom", &ParamEnv::new());
+        assert_eq!(s.group_buckets, 1);
+    }
+
+    #[test]
+    fn stats_count_correlated_exists_per_row() {
+        let db = hotel_db();
+        let s = stats_for(
+            &db,
+            "SELECT hotelname FROM hotel \
+             WHERE EXISTS (SELECT * FROM confroom WHERE chotel_id = hotelid)",
+            &ParamEnv::new(),
+        );
+        // Correlated: one EXISTS evaluation per hotel row, each scanning
+        // the 3 confroom rows (plus the 3 hotel rows themselves).
+        assert_eq!(s.exists_evals, 3);
+        assert_eq!(s.exists_cache_hits, 0);
+        assert_eq!(s.rows_scanned, 3 + 3 * 3);
+        assert_eq!(s.queries, 1 + 3);
+    }
+
+    #[test]
+    fn stats_count_uncorrelated_exists_cached() {
+        let db = hotel_db();
+        let s = stats_for(
+            &db,
+            "SELECT hotelname FROM hotel \
+             WHERE EXISTS (SELECT * FROM metroarea WHERE metroid = 1)",
+            &ParamEnv::new(),
+        );
+        // Uncorrelated: evaluated for the first row only, the other two
+        // hotel rows are served from the cache.
+        assert_eq!(s.exists_evals, 1);
+        assert_eq!(s.exists_cache_hits, 2);
+        assert_eq!(s.rows_scanned, 3 + 2);
+    }
+
+    #[test]
+    fn stats_count_param_queries_and_accumulate() {
+        let db = hotel_db();
+        let mut stats = EvalStats::default();
+        let q = parse_query("SELECT * FROM hotel WHERE metro_id = $m.metroid").unwrap();
+        for (id, name) in [(1, "chicago"), (2, "nyc")] {
+            let env = metro_param(id, name);
+            eval_query_stats(&db, &q, &env, EvalOptions::default(), &mut stats).unwrap();
+        }
+        assert_eq!(stats.param_queries, 2);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.rows_scanned, 6); // 3 hotel rows per invocation
+    }
+
     #[test]
     fn group_by_null_groups_together() {
         let mut db = hotel_db();
@@ -1674,7 +1918,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let r = run(&db, "SELECT metro_id, COUNT(*) FROM hotel GROUP BY metro_id");
+        let r = run(
+            &db,
+            "SELECT metro_id, COUNT(*) FROM hotel GROUP BY metro_id",
+        );
         let null_group = r.rows.iter().find(|r| r[0] == Value::Null).unwrap();
         assert_eq!(null_group[1], Value::Int(2));
     }

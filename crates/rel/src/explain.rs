@@ -1,0 +1,424 @@
+//! EXPLAIN: a static re-simulation of the evaluator's planning decisions.
+//!
+//! [`explain_query`] walks a [`SelectQuery`] exactly the way
+//! `eval::eval_scoped_opt` would — same conjunct splitting, same pushdown
+//! test, same equi-key detection — but against catalog-derived column
+//! layouts instead of materialized rows, so no data is touched. The result
+//! is a numbered plan showing join order, join strategy (hash vs.
+//! nested-loop), which predicates were pushed down to scans, which remain
+//! as residual filters (and whether an EXISTS residual is correlated with
+//! the row), and the grouping/projection stages.
+//!
+//! Because the classification helpers are shared with the evaluator
+//! (`split_and`, `resolvable_within`, `equi_pair_layouts`), the printed
+//! plan cannot drift from what execution actually does — with one caveat:
+//! the evaluator detects EXISTS correlation dynamically via a scope
+//! tripwire, while EXPLAIN decides it statically from free column
+//! references, which is conservative for predicates whose correlation
+//! never fires at runtime.
+
+use crate::ast::{ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::error::Result;
+use crate::eval::{
+    cols_set, contains_exists, distinct_aliases, equi_pair_layouts, output_columns,
+    resolvable_within, split_and, EvalOptions, Layout,
+};
+use crate::print::expr_to_sql_inline;
+use crate::schema::Catalog;
+
+/// Renders the execution plan for `q` under default [`EvalOptions`].
+pub fn explain_query(q: &SelectQuery, catalog: &Catalog) -> Result<String> {
+    explain_query_with(q, catalog, EvalOptions::default())
+}
+
+/// Renders the execution plan for `q` under the given options (e.g. with
+/// hash joins disabled every join shows as a nested loop).
+pub fn explain_query_with(
+    q: &SelectQuery,
+    catalog: &Catalog,
+    options: EvalOptions,
+) -> Result<String> {
+    let mut lines = Vec::new();
+    explain_block(q, catalog, options, 0, &mut lines)?;
+    Ok(lines.join("\n"))
+}
+
+fn pad(depth: usize) -> String {
+    "     ".repeat(depth)
+}
+
+fn explain_block(
+    q: &SelectQuery,
+    catalog: &Catalog,
+    options: EvalOptions,
+    depth: usize,
+    lines: &mut Vec<String>,
+) -> Result<()> {
+    let p = pad(depth);
+    let mut step = 0usize;
+
+    let mut conjuncts: Vec<&ScalarExpr> = Vec::new();
+    if let Some(w) = &q.where_clause {
+        split_and(w, &mut conjuncts);
+    }
+    let mut applied = vec![false; conjuncts.len()];
+
+    let mut full: Layout = Layout::new();
+    let mut seen_aliases: Vec<String> = Vec::new();
+
+    for (idx, t) in q.from.iter().enumerate() {
+        let alias = t.binding_name().to_owned();
+        let layout = item_layout(catalog, t)?;
+        let this_cols = cols_set(&layout);
+
+        step += 1;
+        match t {
+            TableRef::Named { name, .. } => {
+                if *name == alias {
+                    lines.push(format!("{p}{step}. scan {name}"));
+                } else {
+                    lines.push(format!("{p}{step}. scan {name} AS {alias}"));
+                }
+            }
+            TableRef::Derived {
+                query, preserved, ..
+            } => {
+                let note = if *preserved {
+                    " (preserved — left-outer)"
+                } else {
+                    ""
+                };
+                lines.push(format!("{p}{step}. derived table {alias}{note}:"));
+                explain_block(query, catalog, options, depth + 1, lines)?;
+            }
+        }
+        // Predicates pushed down to this scan alone.
+        for (i, c) in conjuncts.iter().enumerate() {
+            if applied[i] || contains_exists(c) || c.contains_aggregate() {
+                continue;
+            }
+            if resolvable_within(c, std::slice::from_ref(&alias), &this_cols) {
+                lines.push(format!("{p}     pushdown: {}", expr_to_sql_inline(c)));
+                applied[i] = true;
+            }
+        }
+
+        if idx > 0 {
+            let mut keys: Vec<String> = Vec::new();
+            if options.hash_joins {
+                for (i, c) in conjuncts.iter().enumerate() {
+                    if applied[i] {
+                        continue;
+                    }
+                    if let Some((l, r)) = equi_pair_layouts(c, &full, &layout) {
+                        keys.push(format!(
+                            "{} = {}",
+                            expr_to_sql_inline(&l),
+                            expr_to_sql_inline(&r)
+                        ));
+                        applied[i] = true;
+                    }
+                }
+            }
+            step += 1;
+            if keys.is_empty() {
+                lines.push(format!(
+                    "{p}{step}. nested-loop join {alias} (cross product — no equality key)"
+                ));
+            } else {
+                lines.push(format!(
+                    "{p}{step}. hash join {alias} ON {}",
+                    keys.join(" AND ")
+                ));
+            }
+        }
+
+        full.extend(layout);
+        seen_aliases.push(alias);
+        let full_cols = cols_set(&full);
+
+        // Predicates that became resolvable over the joined prefix.
+        for (i, c) in conjuncts.iter().enumerate() {
+            if applied[i] || contains_exists(c) || c.contains_aggregate() {
+                continue;
+            }
+            if resolvable_within(c, &seen_aliases, &full_cols) {
+                lines.push(format!("{p}     filter: {}", expr_to_sql_inline(c)));
+                applied[i] = true;
+            }
+        }
+    }
+
+    if q.from.is_empty() {
+        step += 1;
+        lines.push(format!("{p}{step}. constant single-row input (empty FROM)"));
+    }
+
+    // Residual conjuncts: EXISTS and outer-scope references.
+    let full_cols = cols_set(&full);
+    for (i, c) in conjuncts.iter().enumerate() {
+        if applied[i] {
+            continue;
+        }
+        step += 1;
+        let correlated = conjunct_is_correlated(c, &seen_aliases, &full_cols, catalog);
+        let note = if !correlated && options.cache_uncorrelated_exists {
+            "[uncorrelated — evaluated once, result cached]"
+        } else {
+            "[evaluated per row]"
+        };
+        lines.push(format!(
+            "{p}{step}. residual filter: {} {note}",
+            expr_to_sql_inline(c)
+        ));
+    }
+
+    if q.is_aggregating() {
+        step += 1;
+        if q.group_by.is_empty() {
+            lines.push(format!("{p}{step}. aggregate over implicit single group"));
+        } else {
+            let keys: Vec<String> = q.group_by.iter().map(expr_to_sql_inline).collect();
+            lines.push(format!("{p}{step}. hash group by {}", keys.join(", ")));
+        }
+        if let Some(h) = &q.having {
+            lines.push(format!("{p}     having: {}", expr_to_sql_inline(h)));
+        }
+    }
+
+    step += 1;
+    let cols = output_columns(q, catalog)?;
+    let d = if q.distinct { " distinct" } else { "" };
+    lines.push(format!("{p}{step}. project{d} [{}]", cols.join(", ")));
+    Ok(())
+}
+
+/// Alias-qualified column layout a FROM item contributes, from the catalog.
+fn item_layout(catalog: &Catalog, t: &TableRef) -> Result<Layout> {
+    let alias = t.binding_name().to_owned();
+    let cols = match t {
+        TableRef::Named { name, .. } => catalog.get(name)?.column_names(),
+        TableRef::Derived { query, .. } => output_columns(query, catalog)?,
+    };
+    Ok(cols.into_iter().map(|c| (alias.clone(), c)).collect())
+}
+
+/// Static correlation test for a residual conjunct: does any free column
+/// reference (including those escaping EXISTS subqueries) resolve in the
+/// current block's layout?
+fn conjunct_is_correlated(
+    c: &ScalarExpr,
+    aliases: &[String],
+    columns: &std::collections::HashSet<String>,
+    catalog: &Catalog,
+) -> bool {
+    let mut refs = Vec::new();
+    free_refs(c, catalog, &mut refs);
+    refs.iter().any(|(q, n)| match q {
+        Some(q) => aliases.iter().any(|a| a == q),
+        None => columns.contains(n),
+    })
+}
+
+type ColRef = (Option<String>, String);
+
+fn free_refs(e: &ScalarExpr, catalog: &Catalog, out: &mut Vec<ColRef>) {
+    match e {
+        ScalarExpr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+        ScalarExpr::Binary { lhs, rhs, .. } => {
+            free_refs(lhs, catalog, out);
+            free_refs(rhs, catalog, out);
+        }
+        ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => free_refs(i, catalog, out),
+        ScalarExpr::Aggregate { arg: Some(a), .. } => free_refs(a, catalog, out),
+        ScalarExpr::Exists(q) => out.extend(query_free_refs(q, catalog)),
+        _ => {}
+    }
+}
+
+/// Column references in `q` that do not resolve against `q`'s own FROM
+/// layout — i.e. the ones that correlate it with an outer scope.
+fn query_free_refs(q: &SelectQuery, catalog: &Catalog) -> Vec<ColRef> {
+    let mut layout = Layout::new();
+    for t in &q.from {
+        if let Ok(l) = item_layout(catalog, t) {
+            layout.extend(l);
+        }
+    }
+    let aliases = distinct_aliases(&layout);
+    let columns = cols_set(&layout);
+    let mut refs = Vec::new();
+    for item in &q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            free_refs(expr, catalog, &mut refs);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        free_refs(w, catalog, &mut refs);
+    }
+    for g in &q.group_by {
+        free_refs(g, catalog, &mut refs);
+    }
+    if let Some(h) = &q.having {
+        free_refs(h, catalog, &mut refs);
+    }
+    refs.into_iter()
+        .filter(|(qual, name)| match qual {
+            Some(qual) => !aliases.iter().any(|a| a == qual),
+            None => !columns.contains(name),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn hotel_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::new(
+                "metroarea",
+                vec![
+                    ColumnDef::new("metroid", ColumnType::Int),
+                    ColumnDef::new("metroname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        c.add(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int),
+                    ColumnDef::new("hotelname", ColumnType::Str),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c.add(
+            TableSchema::new(
+                "confroom",
+                vec![
+                    ColumnDef::new("c_id", ColumnType::Int),
+                    ColumnDef::new("chotel_id", ColumnType::Int),
+                    ColumnDef::new("capacity", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    fn plan(sql: &str) -> String {
+        explain_query(&parse_query(sql).unwrap(), &hotel_catalog()).unwrap()
+    }
+
+    #[test]
+    fn scan_with_pushdown() {
+        let p = plan("SELECT hotelname FROM hotel WHERE starrating > 4");
+        assert!(p.contains("1. scan hotel"), "got:\n{p}");
+        assert!(p.contains("pushdown: starrating > 4"), "got:\n{p}");
+        assert!(p.contains("project [hotelname]"), "got:\n{p}");
+    }
+
+    #[test]
+    fn hash_join_detected() {
+        let p = plan("SELECT hotelname, metroname FROM hotel, metroarea WHERE metro_id = metroid");
+        assert!(
+            p.contains("hash join metroarea ON metro_id = metroid"),
+            "got:\n{p}"
+        );
+    }
+
+    #[test]
+    fn cross_product_without_key() {
+        let p = plan("SELECT hotelname, metroname FROM hotel, metroarea");
+        assert!(
+            p.contains("nested-loop join metroarea (cross product — no equality key)"),
+            "got:\n{p}"
+        );
+    }
+
+    #[test]
+    fn hash_joins_disabled_fall_back() {
+        let q = parse_query(
+            "SELECT hotelname, metroname FROM hotel, metroarea WHERE metro_id = metroid",
+        )
+        .unwrap();
+        let p = explain_query_with(
+            &q,
+            &hotel_catalog(),
+            EvalOptions {
+                hash_joins: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(p.contains("nested-loop join metroarea"), "got:\n{p}");
+        assert!(p.contains("filter: metro_id = metroid"), "got:\n{p}");
+    }
+
+    #[test]
+    fn derived_table_nested_plan() {
+        let p = plan(
+            "SELECT SUM(capacity), TEMP.hotelid \
+             FROM confroom, (SELECT * FROM hotel WHERE starrating > 4) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid \
+             GROUP BY TEMP.hotelid",
+        );
+        assert!(p.contains("derived table TEMP:"), "got:\n{p}");
+        assert!(p.contains("pushdown: starrating > 4"), "got:\n{p}");
+        assert!(
+            p.contains("hash join TEMP ON chotel_id = TEMP.hotelid"),
+            "got:\n{p}"
+        );
+        assert!(p.contains("hash group by TEMP.hotelid"), "got:\n{p}");
+    }
+
+    #[test]
+    fn preserved_derived_table_annotated() {
+        let p = plan(
+            "SELECT COUNT(c_id), TEMP.hotelid \
+             FROM confroom, OUTER (SELECT * FROM hotel) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid GROUP BY TEMP.hotelid",
+        );
+        assert!(
+            p.contains("derived table TEMP (preserved — left-outer):"),
+            "got:\n{p}"
+        );
+    }
+
+    #[test]
+    fn exists_correlation_classified() {
+        let p = plan(
+            "SELECT hotelname FROM hotel \
+             WHERE EXISTS (SELECT * FROM confroom WHERE chotel_id = hotelid)",
+        );
+        assert!(p.contains("residual filter: EXISTS"), "got:\n{p}");
+        assert!(p.contains("[evaluated per row]"), "got:\n{p}");
+
+        let p = plan(
+            "SELECT hotelname FROM hotel \
+             WHERE EXISTS (SELECT * FROM metroarea WHERE metroid = 1)",
+        );
+        assert!(
+            p.contains("[uncorrelated — evaluated once, result cached]"),
+            "got:\n{p}"
+        );
+    }
+
+    #[test]
+    fn having_and_distinct_rendered() {
+        let p = plan(
+            "SELECT DISTINCT chotel_id FROM confroom \
+             GROUP BY chotel_id HAVING SUM(capacity) > 400",
+        );
+        assert!(p.contains("having: SUM(capacity) > 400"), "got:\n{p}");
+        assert!(p.contains("project distinct [chotel_id]"), "got:\n{p}");
+    }
+}

@@ -32,6 +32,7 @@ pub mod csv;
 pub mod ddl;
 pub mod error;
 pub mod eval;
+pub mod explain;
 pub mod optimize;
 pub mod parse;
 pub mod print;
@@ -41,10 +42,14 @@ pub mod table;
 pub mod value;
 
 pub use ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
-pub use error::{Error, Result};
-pub use eval::{eval_query, eval_query_with, output_columns, EvalOptions, NamedTuple, ParamEnv, Relation};
 pub use csv::load_csv;
 pub use ddl::{database_from_ddl, parse_create_table, parse_ddl};
+pub use error::{Error, Result};
+pub use eval::{
+    eval_query, eval_query_stats, eval_query_with, output_columns, EvalOptions, EvalStats,
+    NamedTuple, ParamEnv, Relation,
+};
+pub use explain::{explain_query, explain_query_with};
 pub use optimize::optimize;
 pub use parse::parse_query;
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};

@@ -283,10 +283,8 @@ mod tests {
     fn projecting_derived_tables_stay() {
         // SELECT a subset of columns changes the output schema: not
         // mergeable under the conservative rule.
-        let mut q = parse_query(
-            "SELECT T.capacity FROM (SELECT capacity FROM confroom) AS T",
-        )
-        .unwrap();
+        let mut q =
+            parse_query("SELECT T.capacity FROM (SELECT capacity FROM confroom) AS T").unwrap();
         let before = q.clone();
         optimize(&mut q, &catalog()).unwrap();
         assert_eq!(q, before);

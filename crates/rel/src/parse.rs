@@ -199,10 +199,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while matches!(chars.peek(), Some(&(_, d)) if d.is_ascii_digit() || d == '.') {
                     text.push(chars.next().unwrap().1);
                 }
-                let n = text.parse::<f64>().map_err(|_| Error::Lex {
-                    found: c,
-                    offset,
-                })?;
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| Error::Lex { found: c, offset })?;
                 out.push(Token::Number(n, text.contains('.')));
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -305,9 +304,9 @@ impl Parser {
             select.push(self.select_item()?);
         }
         self.expect_keyword("FROM")?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.table_ref()?];
         while self.eat(&Token::Comma) {
-            from.push(self.from_item()?);
+            from.push(self.table_ref()?);
         }
         let mut q = SelectQuery {
             distinct,
@@ -356,7 +355,7 @@ impl Parser {
         Ok(SelectItem::Expr { expr, alias })
     }
 
-    fn from_item(&mut self) -> Result<TableRef> {
+    fn table_ref(&mut self) -> Result<TableRef> {
         // `OUTER (…) AS alias`: preserved-side derived table (see
         // `TableRef::Derived::preserved`).
         let preserved = self.eat_keyword("OUTER");
@@ -668,8 +667,7 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        let q = parse_query("select a from t where a > 1 group by a having count(*) > 2")
-            .unwrap();
+        let q = parse_query("select a from t where a > 1 group by a having count(*) > 2").unwrap();
         assert!(q.having.is_some());
     }
 

@@ -33,6 +33,14 @@ impl fmt::Display for SelectQuery {
     }
 }
 
+/// Single-line rendering of a scalar expression (EXPLAIN output, labels).
+pub(crate) fn expr_to_sql_inline(e: &ScalarExpr) -> String {
+    render_expr(e, 0)
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 fn pad(indent: usize) -> String {
     " ".repeat(indent)
 }
@@ -69,7 +77,7 @@ fn write_query(q: &SelectQuery, indent: usize, out: &mut String) {
                 if *preserved {
                     out.push_str("OUTER ");
                 }
-                out.push_str("(");
+                out.push('(');
                 out.push('\n');
                 write_query(query, indent + 4, out);
                 out.push('\n');
@@ -103,7 +111,11 @@ fn write_predicate(pred: &ScalarExpr, keyword: &str, indent: usize, out: &mut St
     let p = pad(indent);
     // When several conjuncts are stacked, each is rendered as an AND
     // operand, so lower-precedence operators (OR) need parentheses.
-    let operand_prec = if conjuncts.len() > 1 { prec(BinOp::And) + 1 } else { 0 };
+    let operand_prec = if conjuncts.len() > 1 {
+        prec(BinOp::And) + 1
+    } else {
+        0
+    };
     for (i, c) in conjuncts.iter().enumerate() {
         if i == 0 {
             out.push_str(&p);

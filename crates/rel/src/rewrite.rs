@@ -132,10 +132,7 @@ pub fn qualify_level_columns(
 
 /// Visits `(qualifier, name)` of every column reference at this query level
 /// (not descending into derived tables or EXISTS subqueries).
-fn visit_level_columns(
-    q: &mut SelectQuery,
-    f: &mut impl FnMut(&mut Option<String>, &str),
-) {
+fn visit_level_columns(q: &mut SelectQuery, f: &mut impl FnMut(&mut Option<String>, &str)) {
     fn walk(e: &mut ScalarExpr, f: &mut impl FnMut(&mut Option<String>, &str)) {
         match e {
             ScalarExpr::Column { qualifier, name } => f(qualifier, name),
@@ -203,9 +200,7 @@ pub fn unbind_param_nested(
     ) -> Result<()> {
         match e {
             ScalarExpr::Exists(sub) => {
-                if unbind_param_nested(sub, var, binding_query, catalog)? {
-                    *any = true;
-                }
+                *any |= unbind_param_nested(sub, var, binding_query, catalog)?;
             }
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 walk_exists(lhs, var, binding_query, catalog, any)?;
@@ -265,9 +260,10 @@ pub fn unbind_param_nested(
 /// shape the composition generates). No-op when the query does not group
 /// by that alias.
 pub fn refresh_group_by_all(q: &mut SelectQuery, alias: &str, catalog: &Catalog) -> Result<()> {
-    let grouped: bool = q.group_by.iter().any(
-        |g| matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias),
-    );
+    let grouped: bool = q
+        .group_by
+        .iter()
+        .any(|g| matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias));
     if !grouped {
         return Ok(());
     }
@@ -276,9 +272,8 @@ pub fn refresh_group_by_all(q: &mut SelectQuery, alias: &str, catalog: &Catalog)
         Some(TableRef::Named { name, .. }) => catalog.get(name)?.column_names(),
         None => return Ok(()),
     };
-    q.group_by.retain(|g| {
-        !matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias)
-    });
+    q.group_by
+        .retain(|g| !matches!(g, ScalarExpr::Column { qualifier: Some(x), .. } if x == alias));
     for c in cols {
         q.group_by.push(ScalarExpr::qcol(alias, c));
     }
@@ -508,9 +503,8 @@ mod tests {
         // The paper's running example: unbinding Qs(h) with Qh(m).
         let mut qs =
             parse_query("SELECT SUM(capacity) FROM confroom WHERE chotel_id=$h.hotelid").unwrap();
-        let qh =
-            parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4")
-                .unwrap();
+        let qh = parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4")
+            .unwrap();
         assert!(unbind_param(&mut qs, "h", "TEMP", qh));
         let sql = qs.to_sql_inline();
         assert!(sql.contains("chotel_id = TEMP.hotelid"), "{sql}");

@@ -187,7 +187,9 @@ mod tests {
     #[test]
     fn check_row_validates_arity_and_types() {
         let s = metro_schema();
-        assert!(s.check_row(&[Value::Int(1), Value::Str("chi".into())]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Str("chi".into())])
+            .is_ok());
         assert!(s.check_row(&[Value::Null, Value::Null]).is_ok());
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         assert!(s

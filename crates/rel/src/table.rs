@@ -60,8 +60,7 @@ impl Database {
 
     /// Creates a table from a schema (empty).
     pub fn create_table(&mut self, schema: TableSchema) {
-        self.tables
-            .insert(schema.name.clone(), Table::new(schema));
+        self.tables.insert(schema.name.clone(), Table::new(schema));
     }
 
     /// Inserts a row into the named table.
@@ -124,8 +123,11 @@ mod tests {
     #[test]
     fn insert_and_read_back() {
         let mut db = db();
-        db.insert("metroarea", vec![Value::Int(1), Value::Str("chicago".into())])
-            .unwrap();
+        db.insert(
+            "metroarea",
+            vec![Value::Int(1), Value::Str("chicago".into())],
+        )
+        .unwrap();
         let t = db.table("metroarea").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows()[0][1], Value::Str("chicago".into()));

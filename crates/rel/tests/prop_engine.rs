@@ -21,7 +21,6 @@ fn cases(default: u32) -> proptest::test_runner::Config {
     proptest::test_runner::Config::with_cases(n)
 }
 
-
 // ---------------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------------
@@ -127,10 +126,7 @@ fn join_query_strategy() -> impl Strategy<Value = SelectQuery> {
         } else {
             vec![SelectItem::Star]
         };
-        let mut q = SelectQuery::new(
-            select,
-            vec![TableRef::table("r"), TableRef::table("s")],
-        );
+        let mut q = SelectQuery::new(select, vec![TableRef::table("r"), TableRef::table("s")]);
         q.distinct = distinct && !agg;
         q.where_clause = Some(w);
         if agg {

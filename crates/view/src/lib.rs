@@ -28,5 +28,8 @@ pub mod schema_tree;
 
 pub use error::{Error, Result};
 pub use parse::parse_view;
-pub use publish::{publish, publish_node_count, PublishStats};
+pub use publish::{
+    publish, publish_node_count, publish_traced, publish_with_stats, PublishStats, PublishTrace,
+    TraceEntry,
+};
 pub use schema_tree::{AttrProjection, SchemaTree, ViewNode, ViewNodeId};

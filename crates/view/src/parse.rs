@@ -126,7 +126,9 @@ impl Parser<'_> {
         })?;
         let id = self.next_id;
         self.next_id += 1;
-        let vid = self.tree.add_child(parent, ViewNode::new(id, tag, bv, query))?;
+        let vid = self
+            .tree
+            .add_child(parent, ViewNode::new(id, tag, bv, query))?;
         loop {
             self.skip_ws();
             if self.rest().starts_with('}') {
@@ -247,10 +249,8 @@ mod tests {
     #[test]
     fn validation_errors_propagate() {
         // $ghost is bound by no ancestor.
-        let e = parse_view(
-            "node a $x { query: SELECT * FROM t WHERE c = $ghost.id; }",
-        )
-        .unwrap_err();
+        let e =
+            parse_view("node a $x { query: SELECT * FROM t WHERE c = $ghost.id; }").unwrap_err();
         assert!(matches!(e, Error::UnboundViewParameter { .. }));
     }
 }

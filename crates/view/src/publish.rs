@@ -1,6 +1,6 @@
 //! Publishing: evaluating a schema-tree query to an XML document, `v(I)`.
 
-use xvc_rel::{eval_query, Database, ParamEnv, Relation};
+use xvc_rel::{eval_query_stats, Database, EvalOptions, EvalStats, ParamEnv, Relation};
 use xvc_xml::{Document, TreeBuilder};
 
 use crate::error::Result;
@@ -23,17 +23,71 @@ pub struct PublishStats {
     pub tuples_fetched: usize,
 }
 
+/// One emitted element, recorded when publishing with a trace: which view
+/// node produced it, at which document path, under which bindings.
+///
+/// This is the attribution layer the divergence reporter uses — given the
+/// XML path of a wrong subtree it recovers the tag query and [`ParamEnv`]
+/// that generated it.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Indexed element path, e.g. `/metro[2]/hotel[1]` (indices count
+    /// same-tag siblings in document order, 1-based).
+    pub path: String,
+    /// The schema-tree node that emitted the element.
+    pub view: ViewNodeId,
+    /// The parameter environment its tag query (or guard) ran under.
+    pub env: ParamEnv,
+}
+
+/// Per-element provenance of one publish run, in document order.
+#[derive(Debug, Clone, Default)]
+pub struct PublishTrace {
+    /// One entry per emitted element, in document order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl PublishTrace {
+    /// Finds the entry for an exact indexed path.
+    pub fn lookup(&self, path: &str) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Finds the entry for the longest recorded prefix of `path` (the
+    /// deepest emitted ancestor of a node that was never produced).
+    pub fn deepest_ancestor(&self, path: &str) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| path == e.path || path.starts_with(&format!("{}/", e.path)))
+            .max_by_key(|e| e.path.len())
+    }
+}
+
 /// Evaluates the schema-tree query against a database instance, producing
 /// the XML document `v(I)` plus materialization statistics.
 pub fn publish(tree: &SchemaTree, db: &Database) -> Result<(Document, PublishStats)> {
-    tree.validate()?;
-    let mut builder = TreeBuilder::new();
-    let mut stats = PublishStats::default();
-    let env = ParamEnv::new();
-    for &child in tree.children(tree.root()) {
-        publish_node(tree, db, child, &env, &mut builder, &mut stats)?;
-    }
-    Ok((builder.finish(), stats))
+    let (doc, stats, _) = publish_with_stats(tree, db)?;
+    Ok((doc, stats))
+}
+
+/// [`publish`] that also reports the relational engine's work counters
+/// accumulated across every tag-query / guard evaluation of the run.
+pub fn publish_with_stats(
+    tree: &SchemaTree,
+    db: &Database,
+) -> Result<(Document, PublishStats, EvalStats)> {
+    let (doc, stats, eval, _) = Publisher::new(tree, db, false).run()?;
+    Ok((doc, stats, eval))
+}
+
+/// [`publish`] that additionally records per-element provenance (used by
+/// the divergence reporter).
+pub fn publish_traced(
+    tree: &SchemaTree,
+    db: &Database,
+) -> Result<(Document, PublishStats, PublishTrace)> {
+    let (doc, stats, _, trace) = Publisher::new(tree, db, true).run()?;
+    Ok((doc, stats, trace))
 }
 
 /// Convenience: number of elements `v(I)` would materialize.
@@ -41,114 +95,184 @@ pub fn publish_node_count(tree: &SchemaTree, db: &Database) -> Result<usize> {
     publish(tree, db).map(|(_, s)| s.elements)
 }
 
-fn publish_node(
-    tree: &SchemaTree,
-    db: &Database,
-    vid: ViewNodeId,
-    env: &ParamEnv,
-    builder: &mut TreeBuilder,
-    stats: &mut PublishStats,
-) -> Result<()> {
-    let node = tree.node(vid).expect("publish_node is never called on root");
+struct Publisher<'a> {
+    tree: &'a SchemaTree,
+    db: &'a Database,
+    builder: TreeBuilder,
+    stats: PublishStats,
+    eval: EvalStats,
+    tracing: bool,
+    trace: PublishTrace,
+    /// Indexed path segments of currently open elements.
+    path: Vec<String>,
+    /// Per open level: same-tag sibling counts emitted so far (the root
+    /// level is the first entry).
+    sibling_counts: Vec<std::collections::HashMap<String, usize>>,
+}
 
-    // Emission guard: `SELECT 1 WHERE guard` over the current bindings.
-    if let Some(guard) = &node.guard {
-        let mut probe = xvc_rel::SelectQuery::new(
-            vec![xvc_rel::SelectItem::expr(xvc_rel::ScalarExpr::int(1))],
-            vec![],
-        );
-        probe.where_clause = Some(guard.clone());
-        stats.queries_run += 1;
-        if eval_query(db, &probe, env)?.is_empty() {
-            return Ok(());
+impl<'a> Publisher<'a> {
+    fn new(tree: &'a SchemaTree, db: &'a Database, tracing: bool) -> Self {
+        Publisher {
+            tree,
+            db,
+            builder: TreeBuilder::new(),
+            stats: PublishStats::default(),
+            eval: EvalStats::default(),
+            tracing,
+            trace: PublishTrace::default(),
+            path: Vec::new(),
+            sibling_counts: vec![std::collections::HashMap::new()],
         }
     }
 
-    // Context-copy element: one instance per parent, attributes from the
-    // tuple already bound to `$var` in the environment.
-    if let Some(var) = &node.context_tuple_of {
-        builder.open(&node.tag);
-        stats.elements += 1;
-        for (k, v) in &node.static_attrs {
-            builder.attr(k.clone(), v.clone());
-            stats.attributes += 1;
+    fn run(mut self) -> Result<(Document, PublishStats, EvalStats, PublishTrace)> {
+        self.tree.validate()?;
+        let env = ParamEnv::new();
+        for &child in self.tree.children(self.tree.root()) {
+            self.publish_node(child, &env)?;
         }
-        let mut child_env = env.clone();
-        if let Some(tuple) = env.get(var) {
-            let mut seen = std::collections::HashSet::new();
-            for (c, val) in tuple.columns.iter().zip(&tuple.values) {
-                let wanted = match &node.attrs {
-                    AttrProjection::All => true,
-                    AttrProjection::None => false,
-                    AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
-                };
-                if !wanted || val.is_null() || !seen.insert(c.as_str()) {
-                    continue;
-                }
-                builder.attr(c, val.render());
-                stats.attributes += 1;
-            }
-            if !node.bv.is_empty() {
-                child_env.insert(node.bv.clone(), tuple.clone());
-            }
-        }
-        for &child in tree.children(vid) {
-            publish_node(tree, db, child, &child_env, builder, stats)?;
-        }
-        builder.close();
-        return Ok(());
+        Ok((self.builder.finish(), self.stats, self.eval, self.trace))
     }
 
-    // Literal element: exactly one instance per parent, no tuple data.
-    let Some(query) = &node.query else {
-        builder.open(&node.tag);
-        stats.elements += 1;
-        for (k, v) in &node.static_attrs {
-            builder.attr(k.clone(), v.clone());
-            stats.attributes += 1;
-        }
-        for &child in tree.children(vid) {
-            publish_node(tree, db, child, env, builder, stats)?;
-        }
-        builder.close();
-        return Ok(());
-    };
+    fn run_query(&mut self, q: &xvc_rel::SelectQuery, env: &ParamEnv) -> Result<Relation> {
+        Ok(eval_query_stats(
+            self.db,
+            q,
+            env,
+            EvalOptions::default(),
+            &mut self.eval,
+        )?)
+    }
 
-    let rel: Relation = eval_query(db, query, env)?;
-    stats.queries_run += 1;
-    stats.tuples_fetched += rel.len();
-    for i in 0..rel.len() {
-        builder.open(&node.tag);
-        stats.elements += 1;
-        for (k, v) in &node.static_attrs {
-            builder.attr(k.clone(), v.clone());
-            stats.attributes += 1;
+    /// Opens an element, maintaining the indexed path and trace.
+    fn open(&mut self, tag: &str, vid: ViewNodeId, env: &ParamEnv) {
+        self.builder.open(tag);
+        self.stats.elements += 1;
+        let level = self
+            .sibling_counts
+            .last_mut()
+            .expect("sibling_counts is never empty");
+        let n = level.entry(tag.to_owned()).or_insert(0);
+        *n += 1;
+        self.path.push(format!("{tag}[{n}]"));
+        self.sibling_counts.push(std::collections::HashMap::new());
+        if self.tracing {
+            self.trace.entries.push(TraceEntry {
+                path: format!("/{}", self.path.join("/")),
+                view: vid,
+                env: env.clone(),
+            });
         }
-        // Projected columns become attributes; NULLs are omitted; on
-        // duplicate column names the first occurrence wins.
+    }
+
+    fn close(&mut self) {
+        self.builder.close();
+        self.path.pop();
+        self.sibling_counts.pop();
+    }
+
+    fn emit_attr(&mut self, name: &str, value: String) {
+        self.builder.attr(name, value);
+        self.stats.attributes += 1;
+    }
+
+    fn emit_static_attrs(&mut self, vid: ViewNodeId) {
+        let tree = self.tree;
+        let node = tree.node(vid).expect("caller validated vid");
+        for (k, v) in &node.static_attrs {
+            self.emit_attr(k, v.clone());
+        }
+    }
+
+    /// Emits projected tuple columns as attributes: NULLs omitted, first
+    /// occurrence wins on duplicate column names.
+    fn emit_tuple_attrs(
+        &mut self,
+        attrs: &AttrProjection,
+        columns: &[String],
+        values: &[xvc_rel::Value],
+    ) {
         let mut seen = std::collections::HashSet::new();
-        for (c, val) in rel.columns.iter().zip(&rel.rows[i]) {
-            let wanted = match &node.attrs {
+        for (c, val) in columns.iter().zip(values) {
+            let wanted = match attrs {
                 AttrProjection::All => true,
                 AttrProjection::None => false,
                 AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
             };
-            if !wanted || val.is_null() || !seen.insert(c.as_str()) {
+            if !wanted || val.is_null() || !seen.insert(c.clone()) {
                 continue;
             }
-            builder.attr(c, val.render());
-            stats.attributes += 1;
+            self.emit_attr(c, val.render());
         }
-        if !tree.children(vid).is_empty() {
-            let mut child_env = env.clone();
-            child_env.insert(node.bv.clone(), rel.tuple(i));
-            for &child in tree.children(vid) {
-                publish_node(tree, db, child, &child_env, builder, stats)?;
+    }
+
+    fn publish_node(&mut self, vid: ViewNodeId, env: &ParamEnv) -> Result<()> {
+        let tree = self.tree;
+        let node = tree
+            .node(vid)
+            .expect("publish_node is never called on root");
+
+        // Emission guard: `SELECT 1 WHERE guard` over the current bindings.
+        if let Some(guard) = &node.guard {
+            let mut probe = xvc_rel::SelectQuery::new(
+                vec![xvc_rel::SelectItem::expr(xvc_rel::ScalarExpr::int(1))],
+                vec![],
+            );
+            probe.where_clause = Some(guard.clone());
+            self.stats.queries_run += 1;
+            if self.run_query(&probe, env)?.is_empty() {
+                return Ok(());
             }
         }
-        builder.close();
+
+        // Context-copy element: one instance per parent, attributes from
+        // the tuple already bound to `$var` in the environment.
+        if let Some(var) = &node.context_tuple_of {
+            self.open(&node.tag, vid, env);
+            self.emit_static_attrs(vid);
+            let mut child_env = env.clone();
+            if let Some(tuple) = env.get(var) {
+                self.emit_tuple_attrs(&node.attrs, &tuple.columns, &tuple.values);
+                if !node.bv.is_empty() {
+                    child_env.insert(node.bv.clone(), tuple.clone());
+                }
+            }
+            for &child in tree.children(vid) {
+                self.publish_node(child, &child_env)?;
+            }
+            self.close();
+            return Ok(());
+        }
+
+        // Literal element: exactly one instance per parent, no tuple data.
+        let Some(query) = &node.query else {
+            self.open(&node.tag, vid, env);
+            self.emit_static_attrs(vid);
+            for &child in tree.children(vid) {
+                self.publish_node(child, env)?;
+            }
+            self.close();
+            return Ok(());
+        };
+
+        let rel: Relation = self.run_query(query, env)?;
+        self.stats.queries_run += 1;
+        self.stats.tuples_fetched += rel.len();
+        for i in 0..rel.len() {
+            self.open(&node.tag, vid, env);
+            self.emit_static_attrs(vid);
+            self.emit_tuple_attrs(&node.attrs, &rel.columns, &rel.rows[i]);
+            if !tree.children(vid).is_empty() {
+                let mut child_env = env.clone();
+                child_env.insert(node.bv.clone(), rel.tuple(i));
+                for &child in tree.children(vid) {
+                    self.publish_node(child, &child_env)?;
+                }
+            }
+            self.close();
+        }
+        Ok(())
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -185,9 +309,11 @@ mod tests {
             db.insert("metroarea", vec![Value::Int(id), Value::Str(name.into())])
                 .unwrap();
         }
-        for (id, name, stars, metro) in
-            [(10, "palmer", 5, 1), (11, "drake", 4, 1), (12, "plaza", 5, 2)]
-        {
+        for (id, name, stars, metro) in [
+            (10, "palmer", 5, 1),
+            (11, "drake", 4, 1),
+            (12, "plaza", 5, 2),
+        ] {
             db.insert(
                 "hotel",
                 vec![
@@ -249,10 +375,7 @@ mod tests {
     fn null_attributes_omitted() {
         let mut database = db();
         database
-            .insert(
-                "metroarea",
-                vec![Value::Int(3), Value::Null],
-            )
+            .insert("metroarea", vec![Value::Int(3), Value::Null])
             .unwrap();
         let (doc, _) = publish(&view(), &database).unwrap();
         assert!(doc.to_xml().contains("<metro metroid=\"3\"/>"));
@@ -395,6 +518,43 @@ mod tests {
             "<metro metroid=\"1\" metroname=\"chicago\"><only_chicago/></metro>\
              <metro metroid=\"2\" metroname=\"nyc\"/>"
         );
+    }
+
+    #[test]
+    fn trace_records_indexed_paths_and_envs() {
+        let (doc, _, trace) = publish_traced(&view(), &db()).unwrap();
+        assert_eq!(trace.entries.len(), 4); // 2 metros + 1 hotel each
+        let paths: Vec<&str> = trace.entries.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "/metro[1]",
+                "/metro[1]/hotel[1]",
+                "/metro[2]",
+                "/metro[2]/hotel[1]"
+            ]
+        );
+        // The hotel under the second metro ran with $m bound to nyc.
+        let entry = trace.lookup("/metro[2]/hotel[1]").unwrap();
+        let m = entry.env.get("m").unwrap();
+        assert_eq!(m.get("metroname"), Some(&Value::Str("nyc".into())));
+        // deepest_ancestor finds the emitted parent of a missing child.
+        let anc = trace
+            .deepest_ancestor("/metro[2]/hotel[1]/room[1]")
+            .unwrap();
+        assert_eq!(anc.path, "/metro[2]/hotel[1]");
+        assert!(!doc.is_empty());
+    }
+
+    #[test]
+    fn publish_with_stats_reports_engine_work() {
+        let (_, stats, eval) = publish_with_stats(&view(), &db()).unwrap();
+        assert_eq!(stats.queries_run, 3);
+        // metroarea scan (2 rows) + two parameterized hotel scans (3 rows
+        // each), both carrying the $m binding.
+        assert_eq!(eval.queries, 3);
+        assert_eq!(eval.param_queries, 2);
+        assert_eq!(eval.rows_scanned, 2 + 3 + 3);
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl SchemaTree {
 
     /// All non-root arena ids in pre-order.
     pub fn node_ids(&self) -> Vec<ViewNodeId> {
-        self.ids().into_iter().filter(|&i| !self.is_root(i)).collect()
+        self.ids()
+            .into_iter()
+            .filter(|&i| !self.is_root(i))
+            .collect()
     }
 
     /// Number of view nodes, excluding the implied root (the paper's |v|).
@@ -303,10 +306,7 @@ impl SchemaTree {
                 .collect();
             for var in query.parameters() {
                 if !ancestors.contains(var.as_str()) {
-                    return Err(Error::UnboundViewParameter {
-                        node_id: n.id,
-                        var,
-                    });
+                    return Err(Error::UnboundViewParameter { node_id: n.id, var });
                 }
             }
         }
@@ -331,7 +331,12 @@ mod tests {
         let hotel = t
             .add_child(
                 metro,
-                node(3, "hotel", "h", "SELECT * FROM hotel WHERE metro_id=$m.metroid"),
+                node(
+                    3,
+                    "hotel",
+                    "h",
+                    "SELECT * FROM hotel WHERE metro_id=$m.metroid",
+                ),
             )
             .unwrap();
         let stat = t
@@ -414,7 +419,12 @@ mod tests {
         // ancestor.
         t.add_child(
             metro,
-            node(9, "bad", "b", "SELECT * FROM confroom WHERE chotel_id=$h.hotelid"),
+            node(
+                9,
+                "bad",
+                "b",
+                "SELECT * FROM confroom WHERE chotel_id=$h.hotelid",
+            ),
         )
         .unwrap();
         assert!(matches!(

@@ -281,7 +281,9 @@ impl<'a> Parser<'a> {
             "quot" => Ok('"'),
             "apos" => Ok('\''),
             _ => {
-                if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X"))
+                if let Some(hex) = entity
+                    .strip_prefix("#x")
+                    .or_else(|| entity.strip_prefix("#X"))
                 {
                     u32::from_str_radix(hex, 16)
                         .ok()
@@ -372,8 +374,8 @@ mod tests {
 
     #[test]
     fn skips_declaration_comments_and_pis() {
-        let d = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><?pi data?><b/></a>")
-            .unwrap();
+        let d =
+            parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><?pi data?><b/></a>").unwrap();
         let a = d.document_element().unwrap();
         assert_eq!(d.children(a).len(), 1);
     }

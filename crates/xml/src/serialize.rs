@@ -103,7 +103,10 @@ fn write_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
                 out.push_str("</");
                 out.push_str(name);
                 out.push_str(">\n");
-            } else if children.iter().any(|&c| matches!(doc.kind(c), NodeKind::Text(_))) {
+            } else if children
+                .iter()
+                .any(|&c| matches!(doc.kind(c), NodeKind::Text(_)))
+            {
                 // Mixed content: compact to preserve whitespace semantics.
                 out.push('>');
                 for &c in children {

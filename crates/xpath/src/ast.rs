@@ -129,10 +129,9 @@ impl PathExpr {
 
     /// True if any step (or nested predicate path) uses the given axis.
     pub fn uses_axis(&self, axis: Axis) -> bool {
-        self.steps.iter().any(|s| {
-            s.axis == axis
-                || s.predicates.iter().any(|p| p.uses_axis(axis))
-        })
+        self.steps
+            .iter()
+            .any(|s| s.axis == axis || s.predicates.iter().any(|p| p.uses_axis(axis)))
     }
 
     /// True if any step carries a predicate (incl. nested paths).
@@ -231,12 +230,8 @@ impl Expr {
     pub fn has_path_predicates(&self) -> bool {
         match self {
             Expr::Path(p) => p.has_predicates(),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.has_path_predicates() || rhs.has_path_predicates()
-            }
-            Expr::And(a, b) | Expr::Or(a, b) => {
-                a.has_path_predicates() || b.has_path_predicates()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.has_path_predicates() || rhs.has_path_predicates(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.has_path_predicates() || b.has_path_predicates(),
             Expr::Not(a) => a.has_path_predicates(),
             _ => false,
         }
@@ -295,9 +290,7 @@ impl fmt::Display for Step {
         match (self.axis, &self.test) {
             (Axis::Child, NodeTest::Name(n)) => write!(f, "{n}")?,
             (Axis::Child, NodeTest::Wildcard) => write!(f, "*")?,
-            (Axis::Parent, NodeTest::Wildcard) if self.predicates.is_empty() => {
-                write!(f, "..")?
-            }
+            (Axis::Parent, NodeTest::Wildcard) if self.predicates.is_empty() => write!(f, "..")?,
             (Axis::SelfAxis, NodeTest::Wildcard) => write!(f, ".")?,
             (Axis::Attribute, NodeTest::Name(n)) => write!(f, "@{n}")?,
             (Axis::Attribute, NodeTest::Wildcard) => write!(f, "@*")?,
@@ -391,7 +384,10 @@ mod tests {
 
     #[test]
     fn display_simple_paths() {
-        assert_eq!(PathExpr::children(&["hotel", "confstat"]).to_string(), "hotel/confstat");
+        assert_eq!(
+            PathExpr::children(&["hotel", "confstat"]).to_string(),
+            "hotel/confstat"
+        );
         assert_eq!(PathExpr::root().to_string(), "/");
     }
 

@@ -47,10 +47,7 @@ impl Value {
     /// formatted number.
     pub fn to_str(&self, doc: &Document) -> String {
         match self {
-            Value::Nodes(ns) => ns
-                .first()
-                .map(|&n| doc.text_content(n))
-                .unwrap_or_default(),
+            Value::Nodes(ns) => ns.first().map(|&n| doc.text_content(n)).unwrap_or_default(),
             Value::Strs(ss) => ss.first().cloned().unwrap_or_default(),
             Value::Num(n) => format_number(*n),
             Value::Str(s) => s.clone(),
@@ -69,11 +66,7 @@ impl Value {
                     0.0
                 }
             }
-            other => other
-                .to_str(doc)
-                .trim()
-                .parse::<f64>()
-                .unwrap_or(f64::NAN),
+            other => other.to_str(doc).trim().parse::<f64>().unwrap_or(f64::NAN),
         }
     }
 }
@@ -286,7 +279,8 @@ pub fn eval_string(doc: &Document, ctx: NodeId, expr: &Expr, vars: &VarBindings)
 fn compare(doc: &Document, op: BinOp, l: &Value, r: &Value) -> bool {
     let ls = scalars(doc, l);
     let rs = scalars(doc, r);
-    ls.iter().any(|a| rs.iter().any(|b| compare_scalar(op, a, b)))
+    ls.iter()
+        .any(|a| rs.iter().any(|b| compare_scalar(op, a, b)))
 }
 
 fn scalars(doc: &Document, v: &Value) -> Vec<String> {
@@ -404,7 +398,12 @@ mod tests {
         let d = doc();
         let hotel = sel(&d, d.root(), "metro/hotel")[0];
         assert!(matches!(
-            eval_path(&d, hotel, &parse_path("@hotelname").unwrap(), &VarBindings::new()),
+            eval_path(
+                &d,
+                hotel,
+                &parse_path("@hotelname").unwrap(),
+                &VarBindings::new()
+            ),
             Err(Error::TypeMismatch { .. })
         ));
     }
@@ -441,7 +440,8 @@ mod tests {
     fn the_paper_figure17_predicate_path() {
         let d = doc();
         let stats = sel(&d, d.root(), "metro/hotel/confstat");
-        let path = ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
+        let path =
+            ".[@sum<200]/../hotel_available/../confroom[../confstat[@sum>100]][@capacity>250]";
         let rooms = sel(&d, stats[0], path);
         assert_eq!(rooms.len(), 1);
         assert_eq!(d.attr(rooms[0], "capacity"), Some("300"));
@@ -489,7 +489,10 @@ mod tests {
         vars.insert("idx".into(), Value::Num(10.0));
         assert_eq!(eval_expr(&d, d.root(), &e, &vars).unwrap(), Value::Num(9.0));
         let e = parse_expr("$idx<=1").unwrap();
-        assert_eq!(eval_expr(&d, d.root(), &e, &vars).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_expr(&d, d.root(), &e, &vars).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]

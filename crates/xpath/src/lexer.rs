@@ -255,10 +255,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         // `-` continues a name only when followed by a
                         // letter/underscore (see function docs).
                         Some(&(i, '-')) => {
-                            let next_is_name = input[i + 1..]
-                                .chars()
-                                .next()
-                                .is_some_and(is_name_start);
+                            let next_is_name =
+                                input[i + 1..].chars().next().is_some_and(is_name_start);
                             if next_is_name {
                                 name.push('-');
                                 chars.next();
@@ -358,7 +356,14 @@ mod tests {
     fn tokenizes_operators() {
         assert_eq!(
             tokenize("<= >= != = < >").unwrap(),
-            vec![Token::Le, Token::Ge, Token::Ne, Token::Eq, Token::Lt, Token::Gt]
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Eq,
+                Token::Lt,
+                Token::Gt
+            ]
         );
     }
 
@@ -391,7 +396,10 @@ mod tests {
             tokenize("a ! b"),
             Err(Error::UnexpectedChar { found: '!', .. })
         ));
-        assert!(matches!(tokenize("a : b"), Err(Error::UnexpectedChar { .. })));
+        assert!(matches!(
+            tokenize("a : b"),
+            Err(Error::UnexpectedChar { .. })
+        ));
         assert!(matches!(tokenize("'abc"), Err(Error::UnterminatedLiteral)));
     }
 

@@ -30,6 +30,8 @@ pub mod pattern;
 
 pub use ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
 pub use error::{Error, Result};
-pub use eval::{eval_expr, eval_expr_bool, eval_path, eval_path_value, eval_string, Value, VarBindings};
+pub use eval::{
+    eval_expr, eval_expr_bool, eval_path, eval_path_value, eval_string, Value, VarBindings,
+};
 pub use parser::{parse_expr, parse_path, parse_pattern};
 pub use pattern::{default_priority, pattern_matches};

@@ -136,13 +136,7 @@ impl Parser {
     fn at_path_end(&self) -> bool {
         !matches!(
             self.peek(),
-            Some(
-                Token::Name(_)
-                    | Token::Dot
-                    | Token::DotDot
-                    | Token::At
-                    | Token::Star
-            )
+            Some(Token::Name(_) | Token::Dot | Token::DotDot | Token::At | Token::Star)
         )
     }
 
@@ -205,7 +199,9 @@ impl Parser {
                     // The node test may be omitted when predicates follow
                     // (the paper writes `self::[@count>50]` in Figure 25).
                     let test = match self.peek() {
-                        Some(Token::LBracket) | None | Some(Token::Slash)
+                        Some(Token::LBracket)
+                        | None
+                        | Some(Token::Slash)
                         | Some(Token::DoubleSlash) => NodeTest::Wildcard,
                         _ => self.node_test()?,
                     };

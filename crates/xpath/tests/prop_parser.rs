@@ -19,7 +19,6 @@ fn cases(default: u32) -> proptest::test_runner::Config {
     proptest::test_runner::Config::with_cases(n)
 }
 
-
 // ---------------------------------------------------------------------------
 // AST generators
 // ---------------------------------------------------------------------------
@@ -76,9 +75,8 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn path_strategy() -> impl Strategy<Value = PathExpr> {
-    (any::<bool>(), prop::collection::vec(step_strategy(), 1..5)).prop_map(
-        |(absolute, steps)| PathExpr { absolute, steps },
-    )
+    (any::<bool>(), prop::collection::vec(step_strategy(), 1..5))
+        .prop_map(|(absolute, steps)| PathExpr { absolute, steps })
 }
 
 /// Nested boolean predicates: and/or/not over comparison atoms — display
@@ -86,10 +84,8 @@ fn path_strategy() -> impl Strategy<Value = PathExpr> {
 fn bool_expr_strategy() -> impl Strategy<Value = Expr> {
     pred_strategy().prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Expr::Not(Box::new(a))),
         ]
     })
@@ -131,26 +127,24 @@ proptest! {
 
 fn doc_strategy() -> impl Strategy<Value = xvc_xml::Document> {
     // Random three-level documents: <root><a x=..><b y=../></a>...</root>.
-    prop::collection::vec(
-        (0i64..10, prop::collection::vec(0i64..10, 0..3)),
-        0..4,
-    )
-    .prop_map(|tops| {
-        let mut b = xvc_xml::TreeBuilder::new();
-        b.open("root");
-        for (x, kids) in tops {
-            b.open("a");
-            b.attr("x", x.to_string());
-            for y in kids {
-                b.open("b");
-                b.attr("y", y.to_string());
+    prop::collection::vec((0i64..10, prop::collection::vec(0i64..10, 0..3)), 0..4).prop_map(
+        |tops| {
+            let mut b = xvc_xml::TreeBuilder::new();
+            b.open("root");
+            for (x, kids) in tops {
+                b.open("a");
+                b.attr("x", x.to_string());
+                for y in kids {
+                    b.open("b");
+                    b.attr("y", y.to_string());
+                    b.close();
+                }
                 b.close();
             }
             b.close();
-        }
-        b.close();
-        b.finish()
-    })
+            b.finish()
+        },
+    )
 }
 
 proptest! {

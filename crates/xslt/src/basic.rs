@@ -177,10 +177,9 @@ mod tests {
 
     #[test]
     fn detects_predicates() {
-        let s = parse_stylesheet(
-            "<xsl:stylesheet><xsl:template match=\"a[@x=1]\"/></xsl:stylesheet>",
-        )
-        .unwrap();
+        let s =
+            parse_stylesheet("<xsl:stylesheet><xsl:template match=\"a[@x=1]\"/></xsl:stylesheet>")
+                .unwrap();
         let v = check_basic(&s);
         assert!(v.iter().any(|v| v.restriction == 4), "{v:?}");
     }
@@ -234,10 +233,8 @@ mod tests {
 
     #[test]
     fn detects_descendant_axis() {
-        let s = parse_stylesheet(
-            "<xsl:stylesheet><xsl:template match=\"a//b\"/></xsl:stylesheet>",
-        )
-        .unwrap();
+        let s = parse_stylesheet("<xsl:stylesheet><xsl:template match=\"a//b\"/></xsl:stylesheet>")
+            .unwrap();
         assert!(check_basic(&s).iter().any(|v| v.restriction == 9));
     }
 

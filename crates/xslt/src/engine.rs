@@ -15,9 +15,7 @@
 use std::collections::HashMap;
 
 use xvc_xml::{Document, NodeId, TreeBuilder};
-use xvc_xpath::{
-    eval_expr, eval_path_value, pattern_matches, Expr, Value, VarBindings,
-};
+use xvc_xpath::{eval_expr, eval_path_value, pattern_matches, Expr, Value, VarBindings};
 
 use crate::error::{Error, Result};
 use crate::model::{OutputNode, Stylesheet, TemplateRule, DEFAULT_MODE};
@@ -243,9 +241,7 @@ impl Engine<'_> {
                 let last = p.steps.last().expect("attribute path has steps");
                 match &last.test {
                     xvc_xpath::NodeTest::Name(attr_name) => {
-                        if let Value::Strs(ss) =
-                            eval_path_value(self.doc, dcon, p, vars)?
-                        {
+                        if let Value::Strs(ss) = eval_path_value(self.doc, dcon, p, vars)? {
                             if let Some(v) = ss.first() {
                                 self.builder.attr(attr_name.clone(), v.clone());
                             }
@@ -492,7 +488,10 @@ mod tests {
         )
         .unwrap();
         // Two hotels each jump back to the single metro.
-        assert_eq!(process(&s, &doc()).unwrap().to_xml(), "<h><top/></h><h><top/></h>");
+        assert_eq!(
+            process(&s, &doc()).unwrap().to_xml(),
+            "<h><top/></h><h><top/></h>"
+        );
     }
 
     #[test]
@@ -548,10 +547,7 @@ mod tests {
         )
         .unwrap();
         let xml = process(&s, &doc()).unwrap().to_xml();
-        assert_eq!(
-            xml,
-            "<outer>5</outer><inner>0</inner><inner>0</inner>"
-        );
+        assert_eq!(xml, "<outer>5</outer><inner>0</inner><inner>0</inner>");
     }
 
     #[test]

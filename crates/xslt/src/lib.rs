@@ -41,5 +41,7 @@ pub mod serialize;
 pub use basic::{check_basic, BasicViolation};
 pub use engine::{process, process_with_limit, EngineStats};
 pub use error::{Error, Result};
-pub use model::{ApplyTemplates, OutputNode, ParamDecl, Stylesheet, TemplateRule, WithParam, DEFAULT_MODE};
+pub use model::{
+    ApplyTemplates, OutputNode, ParamDecl, Stylesheet, TemplateRule, WithParam, DEFAULT_MODE,
+};
 pub use parse::parse_stylesheet;

@@ -16,11 +16,9 @@ use crate::model::{
 /// rules only, with built-in rules assumed overridden).
 pub fn parse_stylesheet(text: &str) -> Result<Stylesheet> {
     let doc = xvc_xml::parse(text)?;
-    let root = doc
-        .document_element()
-        .ok_or(Error::NotAStylesheet {
-            found: "(multiple top-level elements)".to_owned(),
-        })?;
+    let root = doc.document_element().ok_or(Error::NotAStylesheet {
+        found: "(multiple top-level elements)".to_owned(),
+    })?;
     let root_name = doc.name(root).unwrap_or_default();
     if root_name != "xsl:stylesheet" && root_name != "xsl:transform" {
         return Err(Error::NotAStylesheet {
@@ -45,15 +43,14 @@ pub fn parse_stylesheet(text: &str) -> Result<Stylesheet> {
 fn parse_template(doc: &Document, elem: NodeId) -> Result<TemplateRule> {
     let match_text = doc.attr(elem, "match").ok_or(Error::MissingMatch)?;
     let match_pattern = parse_pattern(match_text)?;
-    let mode = doc
-        .attr(elem, "mode")
-        .unwrap_or(DEFAULT_MODE)
-        .to_owned();
+    let mode = doc.attr(elem, "mode").unwrap_or(DEFAULT_MODE).to_owned();
     let explicit_priority = match doc.attr(elem, "priority") {
         None => None,
-        Some(p) => Some(p.trim().parse::<f64>().map_err(|_| Error::BadPriority {
-            text: p.to_owned(),
-        })?),
+        Some(p) => Some(
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| Error::BadPriority { text: p.to_owned() })?,
+        ),
     };
 
     // Leading xsl:param declarations.
@@ -283,10 +280,7 @@ mod tests {
         let applies = s.rules[2].apply_templates();
         assert_eq!(applies[0].select.steps[0].axis, Axis::Parent);
         // R4 is a value-of ".".
-        assert!(matches!(
-            s.rules[3].output[0],
-            OutputNode::ValueOf { .. }
-        ));
+        assert!(matches!(s.rules[3].output[0], OutputNode::ValueOf { .. }));
         assert_eq!(s.max_apply_per_rule(), 1);
     }
 
@@ -360,7 +354,12 @@ mod tests {
                </xsl:stylesheet>"#,
         )
         .unwrap();
-        let OutputNode::Element { name, attrs, children } = &s.rules[0].output[0] else {
+        let OutputNode::Element {
+            name,
+            attrs,
+            children,
+        } = &s.rules[0].output[0]
+        else {
             panic!();
         };
         assert_eq!(name, "A");

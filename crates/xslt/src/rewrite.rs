@@ -19,9 +19,7 @@
 use xvc_xpath::{Axis, Expr, NodeTest, PathExpr, Step};
 
 use crate::error::{Error, Result};
-use crate::model::{
-    ApplyTemplates, OutputNode, ParamDecl, Stylesheet, TemplateRule, WithParam,
-};
+use crate::model::{ApplyTemplates, OutputNode, ParamDecl, Stylesheet, TemplateRule, WithParam};
 
 /// Applies the flow-control and value-of rewrites repeatedly, then the
 /// conflict rewrite, until the stylesheet is stable.
@@ -221,11 +219,7 @@ impl Rewriter<'_> {
             OutputNode::ForEach { select, children } => {
                 *self.changed = true;
                 let mode = self.fresh_mode();
-                self.emit_rule(
-                    last_step_pattern(select),
-                    mode.clone(),
-                    children.clone(),
-                );
+                self.emit_rule(last_step_pattern(select), mode.clone(), children.clone());
                 vec![OutputNode::ApplyTemplates(ApplyTemplates {
                     select: select.clone(),
                     mode,
@@ -445,9 +439,7 @@ pub fn rewrite_conflicts(s: &Stylesheet) -> Result<Stylesheet> {
 pub fn reverse_pattern_expression(pattern: &PathExpr) -> Result<Expr> {
     if pattern.absolute {
         return Err(Error::RewriteUnsupported {
-            reason: format!(
-                "absolute pattern `{pattern}` cannot be reversed into an expression"
-            ),
+            reason: format!("absolute pattern `{pattern}` cannot be reversed into an expression"),
         });
     }
     for s in &pattern.steps {
@@ -675,7 +667,10 @@ mod tests {
     fn reverse_pattern_expression_shape() {
         let p = xvc_xpath::parse_pattern("metro[@m=1]/hotel/confroom[@c>2]").unwrap();
         let e = reverse_pattern_expression(&p).unwrap();
-        assert_eq!(e.to_string(), ".[@c > 2]/parent::hotel/parent::metro[@m = 1]");
+        assert_eq!(
+            e.to_string(),
+            ".[@c > 2]/parent::hotel/parent::metro[@m = 1]"
+        );
         assert!(reverse_pattern_expression(&xvc_xpath::parse_pattern("/metro").unwrap()).is_err());
     }
 

@@ -18,22 +18,37 @@ fn main() {
     let db = sample_database();
     let catalog = figure2_catalog();
 
-    println!("== Figure 1: the conference-planning view ==\n{}", view.render());
+    println!(
+        "== Figure 1: the conference-planning view ==\n{}",
+        view.render()
+    );
     println!("== Figure 4: the stylesheet ==\n{}", stylesheet.to_xslt());
 
     // The naive pipeline.
     let (full, naive_stats) = publish(&view, &db).expect("publish v");
-    println!("== v(I): the full published document ==\n{}", full.to_pretty_xml());
+    println!(
+        "== v(I): the full published document ==\n{}",
+        full.to_pretty_xml()
+    );
     let expected = process(&stylesheet, &full).expect("engine");
-    println!("== x(v(I)): the transformed document ==\n{}", expected.to_pretty_xml());
+    println!(
+        "== x(v(I)): the transformed document ==\n{}",
+        expected.to_pretty_xml()
+    );
 
     // Step 1: the context transition graph (Figure 6).
     let ctg = build_ctg(&view, &stylesheet).expect("ctg");
-    println!("== Figure 6: context transition graph ==\n{}", ctg.render(&view, &stylesheet));
+    println!(
+        "== Figure 6: context transition graph ==\n{}",
+        ctg.render(&view, &stylesheet)
+    );
 
     // Step 2: the traverse view query (Figure 7a).
     let tvq = build_tvq(&view, &stylesheet, &ctg, &catalog, 10_000).expect("tvq");
-    println!("== Figure 7(a): traverse view query ==\n{}", tvq.render(&view, &stylesheet));
+    println!(
+        "== Figure 7(a): traverse view query ==\n{}",
+        tvq.render(&view, &stylesheet)
+    );
 
     // Steps 3-4: the stylesheet view (Figure 7c).
     let composed = compose(&view, &stylesheet, &catalog).expect("compose");

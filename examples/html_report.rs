@@ -70,7 +70,10 @@ fn main() {
     let (html, stats) = publish(&composed, &db).expect("publish v'");
     assert!(documents_equal_unordered(&expected, &html));
 
-    println!("== generated HTML (directly from SQL) ==\n{}", html.to_pretty_xml());
+    println!(
+        "== generated HTML (directly from SQL) ==\n{}",
+        html.to_pretty_xml()
+    );
     println!(
         "v'(I) = x(v(I))  ✓   ({} elements materialized, {} queries)",
         stats.elements, stats.queries_run

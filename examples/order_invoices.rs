@@ -51,9 +51,14 @@ fn build_database() -> Database {
     let i = Value::Int;
     let s = |x: &str| Value::Str(x.into());
     for (cid, name, tier) in [(1, "acme", "gold"), (2, "initech", "basic")] {
-        db.insert("customer", vec![i(cid), s(name), s(tier)]).unwrap();
+        db.insert("customer", vec![i(cid), s(name), s(tier)])
+            .unwrap();
     }
-    for (oid, cid, date) in [(100, 1, "2026-07-01"), (101, 1, "2026-07-03"), (102, 2, "2026-07-04")] {
+    for (oid, cid, date) in [
+        (100, 1, "2026-07-01"),
+        (101, 1, "2026-07-03"),
+        (102, 2, "2026-07-04"),
+    ] {
         db.insert("orders", vec![i(oid), i(cid), s(date)]).unwrap();
     }
     for (lid, oid, product, qty, price) in [
@@ -62,8 +67,11 @@ fn build_database() -> Database {
         (3, 101, "widget", 10, 40),
         (4, 102, "gadget", 2, 99),
     ] {
-        db.insert("lineitem", vec![i(lid), i(oid), s(product), i(qty), i(price)])
-            .unwrap();
+        db.insert(
+            "lineitem",
+            vec![i(lid), i(oid), s(product), i(qty), i(price)],
+        )
+        .unwrap();
     }
     db
 }
@@ -165,7 +173,10 @@ fn main() {
     );
 
     let (invoices, stats) = publish(&composed, &db).expect("publish v'");
-    println!("== invoices, straight from SQL ==\n{}", invoices.to_pretty_xml());
+    println!(
+        "== invoices, straight from SQL ==\n{}",
+        invoices.to_pretty_xml()
+    );
 
     // Cross-check against the reference pipeline.
     let (full, naive_stats) = publish(&view, &db).expect("publish v");

@@ -21,8 +21,11 @@ fn main() {
         )
         .expect("valid schema"),
     );
-    for (id, name, pop) in [(1, "chicago", 2_700_000), (2, "nyc", 8_300_000), (3, "galena", 3_200)]
-    {
+    for (id, name, pop) in [
+        (1, "chicago", 2_700_000),
+        (2, "nyc", 8_300_000),
+        (3, "galena", 3_200),
+    ] {
         db.insert(
             "city",
             vec![Value::Int(id), Value::Str(name.into()), Value::Int(pop)],
@@ -68,7 +71,10 @@ fn main() {
     println!("== the stylesheet view v' ==\n{}", composed.render());
     let (direct, stats) = publish(&composed, &db).expect("publish v'");
     println!("== v'(I) — composed ==\n{}", direct.to_pretty_xml());
-    println!("(materialized {} elements — the result only)", stats.elements);
+    println!(
+        "(materialized {} elements — the result only)",
+        stats.elements
+    );
 
     assert!(documents_equal_unordered(&expected, &direct));
     println!("\nv'(I) = x(v(I))  ✓");

@@ -21,12 +21,21 @@ use xvc::prelude::*;
 fn main() {
     let view = figure1_view();
     let stylesheet = parse_stylesheet(FIGURE25_XSLT).expect("fixture");
-    println!("== Figure 25: the recursive stylesheet ==\n{}", stylesheet.to_xslt());
+    println!(
+        "== Figure 25: the recursive stylesheet ==\n{}",
+        stylesheet.to_xslt()
+    );
 
-    let rc = compose_recursive(&view, &stylesheet, &figure2_catalog())
-        .expect("supported §5.3 shape");
-    println!("== Figure 26: the materialized view v' ==\n{}", rc.view.render());
-    println!("== Figure 27: the residual stylesheet x' ==\n{}", rc.stylesheet.to_xslt());
+    let rc =
+        compose_recursive(&view, &stylesheet, &figure2_catalog()).expect("supported §5.3 shape");
+    println!(
+        "== Figure 26: the materialized view v' ==\n{}",
+        rc.view.render()
+    );
+    println!(
+        "== Figure 27: the residual stylesheet x' ==\n{}",
+        rc.stylesheet.to_xslt()
+    );
 
     // Evaluate on an instance dense enough to clear the @count thresholds.
     let db = dense_availability_database();

@@ -92,13 +92,17 @@ pub use xvc_xslt as xslt;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use xvc_core::{
-        compose, compose_recursive, compose_with_rewrites, ComposeOptions,
-        RecursiveComposition,
+        check_composition, compose, compose_recursive, compose_with_rewrites, compose_with_stats,
+        ComposeOptions, ComposeStats, Divergence, DivergenceKind, RecursiveComposition,
     };
     pub use xvc_rel::{
-        parse_query, Catalog, ColumnDef, ColumnType, Database, SelectQuery, TableSchema, Value,
+        explain_query, parse_query, Catalog, ColumnDef, ColumnType, Database, EvalStats,
+        SelectQuery, TableSchema, Value,
     };
-    pub use xvc_view::{publish, AttrProjection, PublishStats, SchemaTree, ViewNode};
+    pub use xvc_view::{
+        publish, publish_traced, publish_with_stats, AttrProjection, PublishStats, PublishTrace,
+        SchemaTree, ViewNode,
+    };
     pub use xvc_xml::{documents_equal_unordered, Document};
     pub use xvc_xpath::{parse_expr, parse_path, parse_pattern};
     pub use xvc_xslt::{check_basic, parse_stylesheet, process, Stylesheet};

@@ -162,7 +162,10 @@ fn publish_materializes_the_view() {
         "data",
     ]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("<city id=\"2\" name=\"galena\""), "{stdout}");
+    assert!(
+        stdout.contains("<city id=\"2\" name=\"galena\""),
+        "{stdout}"
+    );
     assert!(stdout.contains("fee=\"25\""), "{stdout}");
     assert!(stderr.contains("loaded 3 rows into city"), "{stderr}");
     assert!(stderr.contains("loaded 4 rows into sight"), "{stderr}");
@@ -217,4 +220,79 @@ fn helpful_errors() {
     let (ok, stdout, _) = f.run(&["--help"]);
     assert!(ok);
     assert!(stdout.contains("usage:"), "{stdout}");
+}
+
+#[test]
+fn explain_sql_prints_a_plan() {
+    let f = Fixture::new("explain_sql");
+    let (ok, stdout, stderr) = f.run(&[
+        "explain",
+        "--sql",
+        "SELECT name, sname FROM city, sight WHERE city_id = id",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("scan city"), "{stdout}");
+    assert!(
+        stdout.contains("hash join sight ON id = city_id"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("project [name, sname]"), "{stdout}");
+}
+
+#[test]
+fn explain_composed_prints_tag_query_plans() {
+    let f = Fixture::new("explain_composed");
+    let (ok, stdout, stderr) = f.run(&[
+        "explain",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    // One plan per composed tag query, parameterized predicates pushed down.
+    assert!(stdout.contains("<entry> tag query:"), "{stdout}");
+    assert!(stdout.contains("scan city"), "{stdout}");
+    assert!(stdout.contains("pushdown:"), "{stdout}");
+}
+
+#[test]
+fn stats_reports_pipeline_and_engine_counters() {
+    let f = Fixture::new("stats");
+    let (ok, stdout, stderr) = f.run(&[
+        "stats",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+        "--data",
+        "data",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("composition:"), "{stdout}");
+    assert!(stdout.contains("CTG:"), "{stdout}");
+    assert!(stdout.contains("duplication factor"), "{stdout}");
+    assert!(stdout.contains("publish (composed v'(I)):"), "{stdout}");
+    assert!(stdout.contains("tag-query executions"), "{stdout}");
+    assert!(stdout.contains("rows scanned"), "{stdout}");
+
+    // Without --data only the composition counters appear.
+    let (ok, stdout, _) = f.run(&[
+        "stats",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("composition:"), "{stdout}");
+    assert!(!stdout.contains("engine:"), "{stdout}");
 }

@@ -103,7 +103,10 @@ fn composed_literal_nodes_carry_no_queries_or_data() {
             assert_eq!(node.attrs, AttrProjection::None, "{}", node.tag);
         }
     }
-    assert!(literals >= 5, "HTML/HEAD/BODY/A/B literals expected, got {literals}");
+    assert!(
+        literals >= 5,
+        "HTML/HEAD/BODY/A/B literals expected, got {literals}"
+    );
 }
 
 #[test]

@@ -150,10 +150,8 @@ fn check(name: &str, xslt: &str, needs_rewrites: bool, db: &Database) {
             .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
     };
     let (full, _) = publish(&view, db).unwrap_or_else(|e| panic!("{name}: publish v: {e}"));
-    let expected =
-        process(&stylesheet, &full).unwrap_or_else(|e| panic!("{name}: engine: {e}"));
-    let (actual, _) =
-        publish(&composed, db).unwrap_or_else(|e| panic!("{name}: publish v': {e}"));
+    let expected = process(&stylesheet, &full).unwrap_or_else(|e| panic!("{name}: engine: {e}"));
+    let (actual, _) = publish(&composed, db).unwrap_or_else(|e| panic!("{name}: publish v': {e}"));
     assert!(
         documents_equal_unordered(&expected, &actual),
         "{name}: v'(I) != x(v(I))\nexpected:\n{}\nactual:\n{}",
@@ -285,8 +283,7 @@ fn optimizer_keeps_semantic_structures_and_merges_trivial_ones() {
            </xsl:stylesheet>"#,
     )
     .unwrap();
-    let plain =
-        compose(&skip_view, &x, &db.catalog()).unwrap();
+    let plain = compose(&skip_view, &x, &db.catalog()).unwrap();
     let optimized = xvc::core::compose_with_options(
         &skip_view,
         &x,

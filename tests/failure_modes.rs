@@ -65,7 +65,10 @@ fn variables_in_predicates_are_rejected_for_plain_compose() {
              <xsl:template match="metro"><m/></xsl:template>
            </xsl:stylesheet>"#,
     );
-    assert!(err.to_string().contains("§5.3") || err.to_string().contains("variable"), "{err}");
+    assert!(
+        err.to_string().contains("§5.3") || err.to_string().contains("variable"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -125,7 +128,10 @@ fn engine_recursion_limit_is_typed() {
     )
     .unwrap();
     let err = xvc::xslt::process_with_limit(&x, &doc, 10).unwrap_err();
-    assert!(matches!(err, xvc::xslt::Error::RecursionLimit { limit: 10 }));
+    assert!(matches!(
+        err,
+        xvc::xslt::Error::RecursionLimit { limit: 10 }
+    ));
 }
 
 #[test]
@@ -137,7 +143,10 @@ fn tvq_budget_is_enforced() {
         &v,
         &x,
         &chain_catalog(10),
-        ComposeOptions { tvq_limit: 100, ..ComposeOptions::default() },
+        ComposeOptions {
+            tvq_limit: 100,
+            ..ComposeOptions::default()
+        },
     )
     .unwrap_err();
     assert!(matches!(err, xvc::core::Error::TvqTooLarge { limit: 100 }));
@@ -156,10 +165,10 @@ fn ambiguous_sql_columns_are_rejected_not_misscoped() {
     // `capacity` exists in `confroom` only, but `rackrate` is in both
     // confroom and guestroom — an unqualified reference must error.
     let db = sample_database();
-    let q = parse_query(
-        "SELECT rackrate FROM confroom, guestroom WHERE c_id = r_id",
-    )
-    .unwrap();
+    let q = parse_query("SELECT rackrate FROM confroom, guestroom WHERE c_id = r_id").unwrap();
     let err = xvc::rel::eval_query(&db, &q, &Default::default()).unwrap_err();
-    assert!(matches!(err, xvc::rel::Error::AmbiguousColumn { .. }), "{err}");
+    assert!(
+        matches!(err, xvc::rel::Error::AmbiguousColumn { .. }),
+        "{err}"
+    );
 }

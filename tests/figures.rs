@@ -182,7 +182,10 @@ fn figure26_artifact() {
     ] {
         assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
     }
-    assert!(!a.contains("idx"), "variable predicates must not compose: {a}");
+    assert!(
+        !a.contains("idx"),
+        "variable predicates must not compose: {a}"
+    );
 }
 
 #[test]

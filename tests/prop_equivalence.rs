@@ -22,13 +22,13 @@ fn cases(default: u32) -> proptest::test_runner::Config {
 
 fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
     (
-        1usize..3,  // metros
-        1usize..5,  // hotels per metro
-        0u8..=10,   // luxury tenths
-        0usize..4,  // rooms
-        0usize..3,  // conference rooms
-        1usize..3,  // dates
-        0usize..3,  // availability per room
+        1usize..3, // metros
+        1usize..5, // hotels per metro
+        0u8..=10,  // luxury tenths
+        0usize..4, // rooms
+        0usize..3, // conference rooms
+        1usize..3, // dates
+        0usize..3, // availability per room
         any::<u64>(),
     )
         .prop_map(

@@ -163,7 +163,10 @@ fn static_attributes_survive_composition() {
     let (doc, _) = publish(&composed, &db).unwrap();
     let xml = doc.to_xml();
     assert!(xml.starts_with("<r lang=\"en\">"), "{xml}");
-    assert!(xml.contains("<d class=\"department\" name=\"eng\"/>"), "{xml}");
+    assert!(
+        xml.contains("<d class=\"department\" name=\"eng\"/>"),
+        "{xml}"
+    );
     // And it matches the engine.
     let (full, _) = publish(&v, &db).unwrap();
     let expected = process(&x, &full).unwrap();

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `sample_size`, `criterion_group!` / `criterion_main!` —
+//! with a deliberately simple measurement: per sample, the closure runs
+//! in a timed batch, and the reported figure is the mean per-iteration
+//! wall-clock time over `sample_size` samples (median and min/max are
+//! printed alongside).
+//!
+//! Output is one line per benchmark:
+//!
+//! ```text
+//! bench <group>/<id> ... mean 1.234 ms (median 1.200 ms, range 1.1..1.5 ms, N=10)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement-time budget. Accepted for API compatibility;
+    /// the stand-in's sampling is bounded by [`Self::sample_size`] alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("benchmark"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    /// Mean per-iteration duration of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then scale the batch so one sample costs
+        // roughly a millisecond (bounded to keep total runtime sane).
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u32
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut means: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let mut b = Bencher { last_mean: None };
+        f(&mut b);
+        if let Some(m) = b.last_mean {
+            means.push(m);
+        }
+    }
+    if means.is_empty() {
+        println!("bench {label} ... no measurement (Bencher::iter never called)");
+        return;
+    }
+    means.sort();
+    let mean: Duration = means.iter().sum::<Duration>() / means.len() as u32;
+    let median = means[means.len() / 2];
+    println!(
+        "bench {label} ... mean {} (median {}, range {}..{}, N={})",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(means[0]),
+        fmt_duration(means[means.len() - 1]),
+        means.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, i| {
+            ran += 1;
+            b.iter(|| black_box(*i * 2));
+        });
+        group.finish();
+        assert!(ran >= 2);
+    }
+}

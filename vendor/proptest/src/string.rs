@@ -1,0 +1,213 @@
+//! Regex-shaped string generation (`proptest::string::string_regex`).
+//!
+//! Supports the pattern subset the in-tree tests use: literal characters,
+//! character classes with ranges (`[a-z0-9_]`, `[ -~]`), `\`-escapes, and
+//! the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (starred/plus atoms are
+//! capped at 8 repetitions to keep generated strings small).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An error from parsing an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One repeatable unit of the pattern.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: u32,
+    max: u32,
+}
+
+/// A strategy generating strings matching the parsed pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .ok_or_else(|| Error("dangling escape".into()))?;
+                vec![esc]
+            }
+            '.' => (' '..='~').collect(),
+            '{' | '}' | '*' | '+' | '?' => {
+                return Err(Error(format!("unexpected `{c}` in pattern {pattern:?}")))
+            }
+            other => vec![other],
+        };
+        if choices.is_empty() {
+            return Err(Error(format!("empty character class in {pattern:?}")));
+        }
+        let (min, max) = parse_quantifier(&mut chars)?;
+        atoms.push(Atom { choices, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| Error("unterminated character class".into()))?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                return Ok(out);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked above");
+                let hi = chars
+                    .next()
+                    .ok_or_else(|| Error("unterminated range".into()))?;
+                if hi < lo {
+                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                }
+                out.extend(lo..=hi);
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape in class".into()))?,
+                ) {
+                    out.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(u32, u32), Error> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (lo.trim().to_owned(), hi.trim().to_owned()),
+                        None => (body.trim().to_owned(), body.trim().to_owned()),
+                    };
+                    let lo: u32 = lo
+                        .parse()
+                        .map_err(|_| Error(format!("bad quantifier {{{body}}}")))?;
+                    let hi: u32 = hi
+                        .parse()
+                        .map_err(|_| Error(format!("bad quantifier {{{body}}}")))?;
+                    if hi < lo {
+                        return Err(Error(format!("inverted quantifier {{{body}}}")));
+                    }
+                    return Ok((lo, hi));
+                }
+                body.push(c);
+            }
+            Err(Error("unterminated quantifier".into()))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let s = string_regex(pattern).unwrap();
+        let mut rng = TestRng::deterministic(0xabcd, 0);
+        (0..n).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in samples("[a-z][a-z0-9_]{0,6}", 200) {
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        for s in samples("[ -~]{0,12}", 200) {
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        for s in samples("ab[0-9]{3}", 50) {
+            assert_eq!(s.len(), 5);
+            assert!(s.starts_with("ab"));
+            assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("[a-").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("*").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Test-runner types: per-test configuration, the deterministic RNG, and
+//! the error carried by `prop_assert!` failures.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` configuration. Only `cases` is honored; the rest of
+/// upstream's knobs (shrink iterations, persistence, …) have no meaning
+/// without shrinking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// The generator handed to strategies: a seeded [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The RNG for one test case: a fixed mix of the test's base seed and
+    /// the case index, so every run regenerates identical inputs.
+    pub fn deterministic(base: u64, case: u32) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A stable base seed derived from the test's module path + name (FNV-1a),
+/// optionally overridden with the `PROPTEST_RNG_SEED` environment variable
+/// for replaying a whole suite under a different stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Some(s) = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return s;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Why a generated case failed; produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
