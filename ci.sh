@@ -12,4 +12,12 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test (tier-1)"
 cargo test -q
 
+echo "== xvc check (examples must be error-free)"
+cargo build --release --quiet --bin xvc
+./target/release/xvc check \
+    examples/files/guide.view examples/files/guide.xsl examples/files/schema.sql
+./target/release/xvc check \
+    examples/files/paper/figure1.view examples/files/paper/figure4.xsl \
+    examples/files/paper/figure2.sql
+
 echo "ci.sh: all green"

@@ -1,0 +1,67 @@
+//! Pass 4: validation of the composed stylesheet view `v′`.
+//!
+//! The SQL that `UNBIND`/`NEST` generate (Figures 10–13) is re-checked
+//! against the catalog with the same typed resolver as the input view,
+//! but in [`TreeKind::Composed`] mode: column/type defects fold to
+//! XVC301, parameter-scoping defects to XVC302, and the aggregate
+//! projection check is disabled (Figure 12's GROUP BY preservation adds
+//! grouped context columns on purpose). A clean run is the static
+//! counterpart of `check_composition`'s dynamic `v′(I) = x(v(I))` check.
+
+use xvc_rel::Catalog;
+use xvc_view::SchemaTree;
+
+use crate::diag::Diagnostic;
+use crate::view_check::{check_view, TreeKind};
+
+/// Checks every tag query of a composed stylesheet view.
+pub fn check_composed(composed: &SchemaTree, catalog: &Catalog) -> Vec<Diagnostic> {
+    check_view(composed, catalog, TreeKind::Composed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use xvc_core::compose;
+    use xvc_core::paper_fixtures::{figure1_view, figure2_catalog};
+    use xvc_xslt::parse::FIGURE4_XSLT;
+    use xvc_xslt::parse_stylesheet;
+
+    #[test]
+    fn figure4_composition_is_clean() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let cat = figure2_catalog();
+        let composed = compose(&v, &x, &cat).unwrap();
+        let ds = check_composed(&composed, &cat);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn corrupted_composition_is_caught() {
+        // Sabotage a composed tag query: reference a column that exists
+        // nowhere. The static pass must notice without executing anything.
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let cat = figure2_catalog();
+        let mut composed = compose(&v, &x, &cat).unwrap();
+        let victim = composed
+            .node_ids()
+            .into_iter()
+            .find(|&i| composed.node(i).is_some_and(|n| n.query.is_some()))
+            .unwrap();
+        composed
+            .node_mut(victim)
+            .unwrap()
+            .query
+            .as_mut()
+            .unwrap()
+            .and_where(xvc_rel::ScalarExpr::eq(
+                xvc_rel::ScalarExpr::col("no_such_column"),
+                xvc_rel::ScalarExpr::int(1),
+            ));
+        let ds = check_composed(&composed, &cat);
+        assert!(ds.iter().any(|d| d.code == Code::Xvc301), "{ds:?}");
+    }
+}

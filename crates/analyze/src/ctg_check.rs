@@ -1,0 +1,323 @@
+//! Pass 3: CTG-level analysis — reachability, recursion, and the §4.5
+//! duplication blowup prediction.
+//!
+//! The TVQ unrolls the CTG into a tree of *paths*, so its exact size is
+//! predictable without building it: each TVQ node corresponds to one
+//! edge-path from an entry node, giving the recurrence
+//!
+//! ```text
+//! occ(n)  =  [n is an entry]  +  Σ over edges e=(m → n) of occ(m)
+//! |TVQ|   =  Σ over CTG nodes n of occ(n)
+//! ```
+//!
+//! which mirrors `xvc_core::tvq`'s `expand()` exactly (one child per
+//! outgoing edge, recursively). `occ(n)` is also the per-node duplication
+//! factor the §4.5 bound talks about; tests cross-check the prediction
+//! against `ComposeStats::tvq_nodes`.
+
+use xvc_view::SchemaTree;
+use xvc_xslt::Stylesheet;
+
+use xvc_core::Ctg;
+
+use crate::diag::{Code, Diagnostic, Stage};
+use crate::CheckOptions;
+
+/// Predicted TVQ size and duplication, computed from the CTG alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlowupPrediction {
+    /// CTG node count.
+    pub ctg_nodes: usize,
+    /// CTG edge count.
+    pub ctg_edges: usize,
+    /// Exact TVQ node count `build_tvq` would produce (saturating), or 0
+    /// when the CTG is cyclic (the TVQ is undefined; see
+    /// [`BlowupPrediction::cyclic`]).
+    pub predicted_tvq_nodes: usize,
+    /// `occ(n)` per CTG node, aligned with `Ctg::nodes`.
+    pub per_node: Vec<usize>,
+    /// `predicted_tvq_nodes / ctg_nodes` (1.0 when the CTG is a tree).
+    pub duplication_factor: f64,
+    /// True when the CTG has a cycle (recursive stylesheet, §5.3).
+    pub cyclic: bool,
+}
+
+/// Predicts the TVQ size for a CTG (see module docs).
+pub fn predict_tvq(view: &SchemaTree, stylesheet: &Stylesheet, ctg: &Ctg) -> BlowupPrediction {
+    let n = ctg.nodes.len();
+    let cyclic = ctg.has_cycle().is_some();
+    if cyclic || n == 0 {
+        return BlowupPrediction {
+            ctg_nodes: n,
+            ctg_edges: ctg.edges.len(),
+            predicted_tvq_nodes: 0,
+            per_node: vec![0; n],
+            duplication_factor: if cyclic { f64::INFINITY } else { 1.0 },
+            cyclic,
+        };
+    }
+
+    // Path counts via Kahn's topological order over the edge multigraph.
+    let mut occ = vec![0usize; n];
+    for e in ctg.entry_nodes(view, stylesheet) {
+        occ[e] = occ[e].saturating_add(1);
+    }
+    let mut indegree = vec![0usize; n];
+    for e in &ctg.edges {
+        indegree[e.to] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    while let Some(node) = queue.pop() {
+        for e in ctg.edges.iter().filter(|e| e.from == node) {
+            occ[e.to] = occ[e.to].saturating_add(occ[node]);
+            indegree[e.to] -= 1;
+            if indegree[e.to] == 0 {
+                queue.push(e.to);
+            }
+        }
+    }
+    let total = occ.iter().fold(0usize, |a, &b| a.saturating_add(b));
+    BlowupPrediction {
+        ctg_nodes: n,
+        ctg_edges: ctg.edges.len(),
+        predicted_tvq_nodes: total,
+        #[allow(clippy::cast_precision_loss)]
+        duplication_factor: total as f64 / n as f64,
+        per_node: occ,
+        cyclic,
+    }
+}
+
+/// Runs the CTG-level checks (XVC201, XVC202, XVC203, XVC204).
+pub fn check_ctg(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    ctg: &Ctg,
+    opts: &CheckOptions,
+) -> (Vec<Diagnostic>, BlowupPrediction) {
+    let mut out = Vec::new();
+
+    // XVC201: rules that survive in no CTG node can never fire.
+    for (ri, rule) in stylesheet.rules.iter().enumerate() {
+        if !ctg.nodes.iter().any(|n| n.rule == ri) {
+            out.push(
+                Diagnostic::new(
+                    Code::Xvc201,
+                    Stage::Stylesheet,
+                    format!(
+                        "template rule {ri} (match `{}`{}) can never fire over this view",
+                        rule.match_pattern,
+                        if rule.mode == xvc_xslt::DEFAULT_MODE {
+                            String::new()
+                        } else {
+                            format!(", mode {:?}", rule.mode)
+                        }
+                    ),
+                )
+                .with_span(rule.match_span.get())
+                .with_help(
+                    "no reachable view node matches this pattern in this mode \
+                     (CTG pruning, Figure 9 line 15)",
+                ),
+            );
+        }
+    }
+
+    // XVC202: view nodes the stylesheet never visits — their instances
+    // would be published by v but contribute nothing to x(v(I)). A node
+    // is live if some CTG node fires on it, or if it lies on the path to
+    // one (its tag query still parameterizes a descendant's).
+    let mut live = std::collections::HashSet::new();
+    for n in &ctg.nodes {
+        live.extend(view.path_from_root(n.view));
+        live.insert(n.view);
+    }
+    for vid in view.node_ids() {
+        if !live.contains(&vid) {
+            if let Some(node) = view.node(vid) {
+                out.push(
+                    Diagnostic::new(
+                        Code::Xvc202,
+                        Stage::View,
+                        format!(
+                            "view node {} <{}> is never visited by the stylesheet",
+                            node.id, node.tag
+                        ),
+                    )
+                    .with_span(node.query_span.get())
+                    .with_help(
+                        "composition skips it entirely — fine if intended, but its tag \
+                         query is dead weight in the view definition",
+                    ),
+                );
+            }
+        }
+    }
+
+    // XVC203: recursion — compose() will refuse; §5.3 partial push-down
+    // applies.
+    let prediction = predict_tvq(view, stylesheet, ctg);
+    if let Some(witness) = ctg.has_cycle() {
+        let n = &ctg.nodes[witness];
+        let label = if view.is_root(n.view) {
+            format!("((0, root), R{})", n.rule + 1)
+        } else {
+            let vn = view.node(n.view).expect("non-root CTG node");
+            format!("(({}, {}), R{})", vn.id, vn.tag, n.rule + 1)
+        };
+        out.push(
+            Diagnostic::new(
+                Code::Xvc203,
+                Stage::Stylesheet,
+                format!("the stylesheet is recursive over this view (CTG cycle through {label})"),
+            )
+            .with_span(stylesheet.rules[n.rule].match_span.get())
+            .with_help("compose() rejects cycles; use compose_recursive (§5.3) instead"),
+        );
+        return (out, prediction);
+    }
+
+    // XVC204: the §4.5 duplication blowup. Exceeding the TVQ budget is an
+    // error (build_tvq will refuse); a high factor is a warning.
+    if prediction.predicted_tvq_nodes > opts.tvq_limit {
+        out.push(
+            Diagnostic::new(
+                Code::Xvc204,
+                Stage::Stylesheet,
+                format!(
+                    "predicted TVQ size {} exceeds the {}-node budget \
+                     ({} CTG nodes, duplication factor {:.1})",
+                    prediction.predicted_tvq_nodes,
+                    opts.tvq_limit,
+                    prediction.ctg_nodes,
+                    prediction.duplication_factor
+                ),
+            )
+            .as_error()
+            .with_help(
+                "shared CTG nodes duplicate once per incoming path (§4.5); restructure the \
+                 selects or raise ComposeOptions::tvq_limit",
+            ),
+        );
+    } else if prediction.duplication_factor >= opts.blowup_factor {
+        let worst = prediction
+            .per_node
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &o)| o)
+            .map(|(i, &o)| (i, o));
+        let mut d = Diagnostic::new(
+            Code::Xvc204,
+            Stage::Stylesheet,
+            format!(
+                "TVQ unrolling duplicates the CTG {:.1}x ({} CTG nodes become {} TVQ nodes)",
+                prediction.duplication_factor, prediction.ctg_nodes, prediction.predicted_tvq_nodes
+            ),
+        );
+        if let Some((i, o)) = worst {
+            let n = &ctg.nodes[i];
+            let label = if view.is_root(n.view) {
+                "(0, root)".to_owned()
+            } else {
+                let vn = view.node(n.view).expect("non-root CTG node");
+                format!("({}, {})", vn.id, vn.tag)
+            };
+            d = d.with_help(format!(
+                "worst node: ({label}, R{}) is instantiated {o} times (§4.5 — every \
+                 entry-to-node path becomes a separate TVQ node and tag query)",
+                n.rule + 1
+            ));
+            d = d.with_span(stylesheet.rules[n.rule].match_span.get());
+        }
+        out.push(d);
+    }
+    (out, prediction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_core::paper_fixtures::{figure1_view, figure2_catalog};
+    use xvc_core::{build_ctg, build_tvq};
+    use xvc_xslt::parse::FIGURE4_XSLT;
+    use xvc_xslt::parse_stylesheet;
+
+    fn default_opts() -> CheckOptions {
+        CheckOptions::default()
+    }
+
+    #[test]
+    fn figure4_prediction_matches_built_tvq() {
+        let v = figure1_view();
+        let x = parse_stylesheet(FIGURE4_XSLT).unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let p = predict_tvq(&v, &x, &ctg);
+        let tvq = build_tvq(&v, &x, &ctg, &figure2_catalog(), 10_000).unwrap();
+        assert_eq!(p.predicted_tvq_nodes, tvq.nodes.len());
+        assert!(!p.cyclic);
+        assert!((p.duplication_factor - 1.0).abs() < 1e-9, "{p:?}");
+    }
+
+    #[test]
+    fn duplication_is_predicted_exactly() {
+        // Two distinct apply chains reach the same confstat rule: the CTG
+        // shares the (confstat, R) node, the TVQ duplicates it.
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/">
+                   <r><xsl:apply-templates select="metro"/></r>
+                 </xsl:template>
+                 <xsl:template match="metro">
+                   <m>
+                     <xsl:apply-templates select="confstat"/>
+                     <xsl:apply-templates select="confstat"/>
+                   </m>
+                 </xsl:template>
+                 <xsl:template match="confstat"><c><xsl:value-of select="@sum"/></c></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let p = predict_tvq(&v, &x, &ctg);
+        let tvq = build_tvq(&v, &x, &ctg, &figure2_catalog(), 10_000).unwrap();
+        assert_eq!(p.predicted_tvq_nodes, tvq.nodes.len());
+        assert!(p.per_node.contains(&2), "{p:?}");
+    }
+
+    #[test]
+    fn flags_unreachable_rule_and_dead_view_nodes() {
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+                 <xsl:template match="metro"><m/></xsl:template>
+                 <xsl:template match="guestroom"><g/></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let (ds, _) = check_ctg(&v, &x, &ctg, &default_opts());
+        // guestroom rule never fires; hotel/confstat/… nodes are dead.
+        assert!(ds.iter().any(|d| d.code == Code::Xvc201), "{ds:?}");
+        assert!(ds.iter().any(|d| d.code == Code::Xvc202), "{ds:?}");
+    }
+
+    #[test]
+    fn flags_recursion() {
+        let v = figure1_view();
+        let x = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>
+                 <xsl:template match="hotel"><h><xsl:apply-templates select="confstat"/></h></xsl:template>
+                 <xsl:template match="confstat"><c><xsl:apply-templates select=".."/></c></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let ctg = build_ctg(&v, &x).unwrap();
+        let (ds, p) = check_ctg(&v, &x, &ctg, &default_opts());
+        assert!(p.cyclic);
+        let d = ds.iter().find(|d| d.code == Code::Xvc203).unwrap();
+        assert!(d.help.as_deref().unwrap().contains("compose_recursive"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Diagnostic model: stable codes, severities, spans, help text.
+//!
+//! Every problem `xvc check` can report has a stable code (`XVC001`…)
+//! so fixtures, scripts and documentation can match on it. Codes are
+//! grouped by pipeline stage: `0xx` stylesheet/dialect, `1xx` view
+//! definition, `2xx` CTG-level, `3xx` composed output.
+
+use std::fmt;
+
+use xvc_xml::Span;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The workload still composes (possibly after the §5 rewrites).
+    Warning,
+    /// Composition or execution will definitely fail or be wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which input artifact a diagnostic (and its span) refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The XSLT stylesheet source.
+    Stylesheet,
+    /// The view-definition source.
+    View,
+    /// The composed stylesheet view (no source text; spans are absent).
+    Composed,
+    /// Workload-level (neither input file specifically).
+    General,
+}
+
+/// Stable diagnostic codes. See `DIAGNOSTICS.md` for the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variant name *is* the code; summaries below
+pub enum Code {
+    Xvc001,
+    Xvc002,
+    Xvc003,
+    Xvc004,
+    Xvc005,
+    Xvc006,
+    Xvc007,
+    Xvc008,
+    Xvc009,
+    Xvc010,
+    Xvc101,
+    Xvc102,
+    Xvc103,
+    Xvc104,
+    Xvc105,
+    Xvc106,
+    Xvc107,
+    Xvc110,
+    Xvc201,
+    Xvc202,
+    Xvc203,
+    Xvc204,
+    Xvc301,
+    Xvc302,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"XVC001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Xvc001 => "XVC001",
+            Code::Xvc002 => "XVC002",
+            Code::Xvc003 => "XVC003",
+            Code::Xvc004 => "XVC004",
+            Code::Xvc005 => "XVC005",
+            Code::Xvc006 => "XVC006",
+            Code::Xvc007 => "XVC007",
+            Code::Xvc008 => "XVC008",
+            Code::Xvc009 => "XVC009",
+            Code::Xvc010 => "XVC010",
+            Code::Xvc101 => "XVC101",
+            Code::Xvc102 => "XVC102",
+            Code::Xvc103 => "XVC103",
+            Code::Xvc104 => "XVC104",
+            Code::Xvc105 => "XVC105",
+            Code::Xvc106 => "XVC106",
+            Code::Xvc107 => "XVC107",
+            Code::Xvc110 => "XVC110",
+            Code::Xvc201 => "XVC201",
+            Code::Xvc202 => "XVC202",
+            Code::Xvc203 => "XVC203",
+            Code::Xvc204 => "XVC204",
+            Code::Xvc301 => "XVC301",
+            Code::Xvc302 => "XVC302",
+        }
+    }
+
+    /// One-line summary of what the code means.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Xvc001 => "pattern contains predicates (XSLT_basic restriction 4)",
+            Code::Xvc002 => "flow-control element (XSLT_basic restriction 5)",
+            Code::Xvc003 => "potentially conflicting template rules (XSLT_basic restriction 6)",
+            Code::Xvc004 => "variables or parameters (XSLT_basic restriction 8)",
+            Code::Xvc005 => "descendant axis in a pattern (XSLT_basic restriction 9)",
+            Code::Xvc006 => "non-basic value-of/copy-of select (XSLT_basic restriction 10)",
+            Code::Xvc007 => "apply-templates targets a mode with no template rules",
+            Code::Xvc008 => "no default-mode rule matches the document root",
+            Code::Xvc009 => "stylesheet is not composable over this view",
+            Code::Xvc010 => "stylesheet failed to parse",
+            Code::Xvc101 => "tag query references an unknown table",
+            Code::Xvc102 => "tag query references an unknown column",
+            Code::Xvc103 => "comparison between incompatible column types",
+            Code::Xvc104 => "tag query references an unbound view parameter",
+            Code::Xvc105 => "parameter column not produced by the ancestor's tag query",
+            Code::Xvc106 => "non-aggregated select item outside GROUP BY",
+            Code::Xvc107 => "duplicate view-node id or binding variable",
+            Code::Xvc110 => "view definition failed to parse",
+            Code::Xvc201 => "template rule can never fire over this view",
+            Code::Xvc202 => "view node is never visited by the stylesheet",
+            Code::Xvc203 => "stylesheet is recursive over this view (CTG cycle)",
+            Code::Xvc204 => "TVQ duplication blowup predicted (§4.5)",
+            Code::Xvc301 => "composed tag query is not well-typed",
+            Code::Xvc302 => "composed tag query parameter is out of scope",
+        }
+    }
+
+    /// The severity this code carries unless escalated.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            // Lowerable dialect deviations (§5.1/§5.2), constructs the
+            // composer handles beyond XSLT_basic (unambiguous descendant
+            // steps), and advisory CTG findings are warnings; everything
+            // else definitely breaks composition or execution.
+            Code::Xvc001
+            | Code::Xvc002
+            | Code::Xvc003
+            | Code::Xvc004
+            | Code::Xvc005
+            | Code::Xvc006
+            | Code::Xvc007
+            | Code::Xvc201
+            | Code::Xvc202
+            | Code::Xvc203
+            | Code::Xvc204 => Severity::Warning,
+            Code::Xvc008
+            | Code::Xvc009
+            | Code::Xvc010
+            | Code::Xvc101
+            | Code::Xvc102
+            | Code::Xvc103
+            | Code::Xvc104
+            | Code::Xvc105
+            | Code::Xvc106
+            | Code::Xvc107
+            | Code::Xvc110
+            | Code::Xvc301
+            | Code::Xvc302 => Severity::Error,
+        }
+    }
+
+    /// All codes, in catalogue order (for documentation and tests).
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::Xvc001,
+            Code::Xvc002,
+            Code::Xvc003,
+            Code::Xvc004,
+            Code::Xvc005,
+            Code::Xvc006,
+            Code::Xvc007,
+            Code::Xvc008,
+            Code::Xvc009,
+            Code::Xvc010,
+            Code::Xvc101,
+            Code::Xvc102,
+            Code::Xvc103,
+            Code::Xvc104,
+            Code::Xvc105,
+            Code::Xvc106,
+            Code::Xvc107,
+            Code::Xvc110,
+            Code::Xvc201,
+            Code::Xvc202,
+            Code::Xvc203,
+            Code::Xvc204,
+            Code::Xvc301,
+            Code::Xvc302,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually [`Code::default_severity`], sometimes escalated).
+    pub severity: Severity,
+    /// Which artifact the span points into.
+    pub stage: Stage,
+    /// Human-readable message (the line after `error[XVC...]:`).
+    pub message: String,
+    /// Byte-offset span into that artifact's source, when known.
+    pub span: Option<Span>,
+    /// Optional suggestion line.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, stage: Stage, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            stage,
+            message: message.into(),
+            span: None,
+            help: None,
+        }
+    }
+
+    /// Attaches a source span.
+    #[must_use]
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attaches a help line.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Escalates the diagnostic to an error.
+    #[must_use]
+    pub fn as_error(mut self) -> Self {
+        self.severity = Severity::Error;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = Code::all();
+        for (i, c) in all.iter().enumerate() {
+            assert!(c.as_str().starts_with("XVC"));
+            assert!(!c.summary().is_empty());
+            for other in &all[i + 1..] {
+                assert_ne!(c.as_str(), other.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn severity_escalation() {
+        let d = Diagnostic::new(Code::Xvc204, Stage::General, "big");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.as_error().severity, Severity::Error);
+    }
+
+    #[test]
+    fn display_is_rustc_shaped() {
+        let d = Diagnostic::new(Code::Xvc101, Stage::View, "unknown table `htel`");
+        assert_eq!(d.to_string(), "error[XVC101]: unknown table `htel`");
+    }
+}

@@ -1,0 +1,145 @@
+//! Pass 1: dialect conformance against `XSLT_basic` (§2.2.2).
+//!
+//! Maps [`xvc_xslt::check_basic`] violations onto stable codes and adds
+//! two mode-level checks the basic checker does not perform: selects into
+//! empty modes (XVC007) and the missing default-mode root rule (XVC008 —
+//! without it `PROCESS(x, root, #default)` fires nothing and composition
+//! rejects the workload).
+
+use xvc_xslt::{check_basic, BasicViolation, Stylesheet, DEFAULT_MODE};
+
+use crate::diag::{Code, Diagnostic, Stage};
+
+/// Checks a stylesheet's dialect conformance.
+pub fn check_stylesheet(s: &Stylesheet) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = check_basic(s).iter().map(violation_to_diag).collect();
+
+    // XVC007: apply-templates into a mode no rule declares.
+    for (i, rule) in s.rules.iter().enumerate() {
+        for a in rule.apply_templates() {
+            if !s.rules.iter().any(|r| r.mode == a.mode) {
+                out.push(
+                    Diagnostic::new(
+                        Code::Xvc007,
+                        Stage::Stylesheet,
+                        format!(
+                            "rule {i}: apply-templates select=`{}` targets mode {:?}, \
+                             which no template rule declares",
+                            a.select, a.mode
+                        ),
+                    )
+                    .with_span(a.select_span.get())
+                    .with_help("the apply-templates can never fire a rule; check the mode name"),
+                );
+            }
+        }
+    }
+
+    // XVC008: PROCESS starts at (root, #default); only the pattern `/`
+    // matches the implied document root.
+    let has_root_rule = s.rules.iter().any(|r| {
+        r.mode == DEFAULT_MODE && r.match_pattern.absolute && r.match_pattern.steps.is_empty()
+    });
+    if !has_root_rule {
+        out.push(
+            Diagnostic::new(
+                Code::Xvc008,
+                Stage::Stylesheet,
+                "no default-mode template rule matches the document root",
+            )
+            .with_help("add <xsl:template match=\"/\"> — composition starts there (Figure 9)"),
+        );
+    }
+    out
+}
+
+fn violation_to_diag(v: &BasicViolation) -> Diagnostic {
+    let (code, help) = match v.restriction {
+        4 => (
+            Code::Xvc001,
+            Some("predicates compose directly (§5.1); no rewrite needed"),
+        ),
+        5 => (
+            Code::Xvc002,
+            Some("lowered by the §5.2 flow-control rewrite (compose_with_rewrites / --rewrites)"),
+        ),
+        6 => (
+            Code::Xvc003,
+            Some("lowered by the §5.2 conflict-resolution rewrite (compose_with_rewrites / --rewrites)"),
+        ),
+        8 => (
+            Code::Xvc004,
+            Some("variables and parameters are outside XSLT_basic; \
+                  recursive parameter use needs compose_recursive (§5.3)"),
+        ),
+        9 => (
+            Code::Xvc005,
+            Some("outside XSLT_basic, but unambiguous descendant steps compose; \
+                  ambiguous embeddings fail at compose time (XVC009)"),
+        ),
+        _ => (
+            Code::Xvc006,
+            Some("lowered by the §5.2 value-of rewrite (compose_with_rewrites / --rewrites)"),
+        ),
+    };
+    let mut d = Diagnostic::new(
+        code,
+        Stage::Stylesheet,
+        format!("rule {}: {}", v.rule, v.reason),
+    )
+    .with_span(v.span);
+    if let Some(h) = help {
+        d = d.with_help(h);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvc_xslt::parse::FIGURE4_XSLT;
+    use xvc_xslt::parse_stylesheet;
+
+    fn codes(src: &str) -> Vec<Code> {
+        let s = parse_stylesheet(src).unwrap();
+        check_stylesheet(&s).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn figure4_is_clean() {
+        assert!(codes(FIGURE4_XSLT).is_empty());
+    }
+
+    #[test]
+    fn flags_missing_root_rule() {
+        let c =
+            codes("<xsl:stylesheet><xsl:template match=\"a\"><x/></xsl:template></xsl:stylesheet>");
+        assert_eq!(c, vec![Code::Xvc008]);
+    }
+
+    #[test]
+    fn flags_empty_mode_with_span() {
+        let src = r#"<xsl:stylesheet>
+            <xsl:template match="/"><xsl:apply-templates select="metro" mode="ghost"/></xsl:template>
+          </xsl:stylesheet>"#;
+        let s = parse_stylesheet(src).unwrap();
+        let ds = check_stylesheet(&s);
+        let d = ds.iter().find(|d| d.code == Code::Xvc007).unwrap();
+        let span = d.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "metro");
+    }
+
+    #[test]
+    fn maps_restrictions_to_codes() {
+        let c = codes(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="/"><xsl:apply-templates select="a[@x=1]"/></xsl:template>
+                 <xsl:template match="a"><xsl:if test="@y"><z/></xsl:if></xsl:template>
+                 <xsl:template match="b//c"/>
+               </xsl:stylesheet>"#,
+        );
+        assert!(c.contains(&Code::Xvc001), "{c:?}");
+        assert!(c.contains(&Code::Xvc002), "{c:?}");
+        assert!(c.contains(&Code::Xvc005), "{c:?}");
+    }
+}

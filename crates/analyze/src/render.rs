@@ -1,0 +1,149 @@
+//! Rustc-style rendering of diagnostics with source context.
+//!
+//! ```text
+//! warning[XVC001]: rule 1: match pattern `city[@population>1000000]` contains predicates
+//!   --> guide.xsl:3:42
+//!    |
+//!  3 |     <guide><xsl:apply-templates select="city[@population&gt;1000000]"/></guide>
+//!    |                                          ^^^^^^^^^^^^^^^^^^^^^^^^^^^
+//!    = help: predicates compose directly (§5.1); no rewrite needed
+//! ```
+
+use xvc_xml::line_col;
+
+use crate::diag::{Diagnostic, Severity, Stage};
+
+/// The source texts a report's spans point into, with display names.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sources<'a> {
+    /// `(display name, text)` of the view definition, when checking one.
+    pub view: Option<(&'a str, &'a str)>,
+    /// `(display name, text)` of the stylesheet, when checking one.
+    pub stylesheet: Option<(&'a str, &'a str)>,
+}
+
+impl<'a> Sources<'a> {
+    /// The source a diagnostic of this stage points into.
+    fn for_stage(&self, stage: Stage) -> Option<(&'a str, &'a str)> {
+        match stage {
+            Stage::Stylesheet => self.stylesheet,
+            Stage::View => self.view,
+            Stage::Composed | Stage::General => None,
+        }
+    }
+}
+
+/// Renders one diagnostic, with a caret-underlined source excerpt when the
+/// span and source are available.
+pub fn render(d: &Diagnostic, sources: &Sources<'_>) -> String {
+    let mut out = format!("{d}\n");
+    let located = d.span.and_then(|span| {
+        sources
+            .for_stage(d.stage)
+            .map(|(name, text)| (span, name, text))
+    });
+    if let Some((span, name, text)) = located {
+        let (line, col) = line_col(text, span.start);
+        out.push_str(&format!("  --> {name}:{line}:{col}\n"));
+        if let Some(src_line) = text.lines().nth(line - 1) {
+            let gutter = line.to_string().len();
+            out.push_str(&format!("{:gutter$} |\n", ""));
+            out.push_str(&format!("{line} | {src_line}\n"));
+            // Caret width: span chars, clamped to the rest of the line.
+            let prefix: String = src_line.chars().take(col - 1).collect();
+            let line_remaining = src_line.chars().count() - (col - 1);
+            let span_chars = text
+                .get(span.start..span.end)
+                .map_or(1, |s| s.chars().take_while(|&c| c != '\n').count());
+            let width = span_chars.clamp(1, line_remaining.max(1));
+            let pad: String = prefix
+                .chars()
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            out.push_str(&format!("{:gutter$} | {pad}{}\n", "", "^".repeat(width)));
+        }
+    } else if let Some((name, _)) = sources.for_stage(d.stage) {
+        out.push_str(&format!("  --> {name}\n"));
+    }
+    if let Some(help) = &d.help {
+        out.push_str(&format!("  = help: {help}\n"));
+    }
+    out
+}
+
+/// Renders the `N error(s); M warning(s)` trailer line.
+pub fn render_summary(diagnostics: &[Diagnostic]) -> String {
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    match (errors, warnings) {
+        (0, 0) => "check: no problems found".to_owned(),
+        (0, w) => format!("check: {w} warning{} emitted", plural(w)),
+        (e, 0) => format!("check: {e} error{} emitted", plural(e)),
+        (e, w) => format!(
+            "check: {e} error{} and {w} warning{} emitted",
+            plural(e),
+            plural(w)
+        ),
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic, Stage};
+    use xvc_xml::Span;
+
+    #[test]
+    fn renders_span_with_caret() {
+        let src = "line one\nnode metro $m {\n";
+        let span_start = src.find("metro").unwrap();
+        let d = Diagnostic::new(Code::Xvc110, Stage::View, "bad tag")
+            .with_span(Some(Span::new(span_start, span_start + 5)));
+        let sources = Sources {
+            view: Some(("v.view", src)),
+            stylesheet: None,
+        };
+        let r = render(&d, &sources);
+        assert!(r.contains("error[XVC110]: bad tag"), "{r}");
+        assert!(r.contains("--> v.view:2:6"), "{r}");
+        assert!(r.contains("2 | node metro $m {"), "{r}");
+        assert!(r.contains("^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn renders_without_span() {
+        let d = Diagnostic::new(Code::Xvc008, Stage::Stylesheet, "no root rule")
+            .with_help("add <xsl:template match=\"/\">");
+        let sources = Sources {
+            view: None,
+            stylesheet: Some(("s.xsl", "<xsl:stylesheet/>")),
+        };
+        let r = render(&d, &sources);
+        assert!(r.contains("error[XVC008]"), "{r}");
+        assert!(r.contains("--> s.xsl\n"), "{r}");
+        assert!(r.contains("= help: add <xsl:template"), "{r}");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let w = Diagnostic::new(Code::Xvc001, Stage::Stylesheet, "w");
+        let e = Diagnostic::new(Code::Xvc101, Stage::View, "e");
+        assert_eq!(render_summary(&[]), "check: no problems found");
+        assert_eq!(render_summary(&[w.clone()]), "check: 1 warning emitted");
+        assert_eq!(
+            render_summary(&[w, e]),
+            "check: 1 error and 1 warning emitted"
+        );
+    }
+}

@@ -81,6 +81,7 @@ pub fn random_stylesheet(
             select,
             mode: mode.clone(),
             with_params: Vec::new(),
+            select_span: Default::default(),
         }));
         g.emit_rule(target, mode, 0);
     }
@@ -123,6 +124,7 @@ impl Gen<'_> {
                     absolute: false,
                     steps: vec![Step::self_step()],
                 }),
+                span: Default::default(),
             });
         } else if let Some(col) = self.random_column(target) {
             children.push(OutputNode::ValueOf {
@@ -134,6 +136,7 @@ impl Gen<'_> {
                         predicates: Vec::new(),
                     }],
                 }),
+                span: Default::default(),
             });
         }
 
@@ -147,6 +150,7 @@ impl Gen<'_> {
                         select,
                         mode: mode.clone(),
                         with_params: Vec::new(),
+                        select_span: Default::default(),
                     }));
                     self.emit_rule(next, mode, depth + 1);
                 }

@@ -90,6 +90,7 @@ pub fn fan_stylesheet(depth: usize, fan: usize) -> Stylesheet {
         } else {
             children.push(OutputNode::ValueOf {
                 select: xvc_xpath::parse_expr(".").unwrap(),
+                span: Default::default(),
             });
         }
         let mut rule = TemplateRule::new(

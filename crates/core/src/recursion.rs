@@ -129,6 +129,7 @@ pub fn compose_recursive(
             static_attrs: Vec::new(),
             context_tuple_of: None,
             guard: None,
+            query_span: Default::default(),
         },
     )?;
     v2.add_child(
@@ -142,6 +143,7 @@ pub fn compose_recursive(
             static_attrs: Vec::new(),
             context_tuple_of: None,
             guard: None,
+            query_span: Default::default(),
         },
     )?;
     v2.validate()?;
@@ -381,6 +383,7 @@ fn replace_apply_select(nodes: &[OutputNode], old: &PathExpr, new: &PathExpr) ->
                     select: new.clone(),
                     mode: a.mode.clone(),
                     with_params: a.with_params.clone(),
+                    select_span: a.select_span,
                 })
             }
             OutputNode::Element {
@@ -392,20 +395,35 @@ fn replace_apply_select(nodes: &[OutputNode], old: &PathExpr, new: &PathExpr) ->
                 attrs: attrs.clone(),
                 children: replace_apply_select(children, old, new),
             },
-            OutputNode::If { test, children } => OutputNode::If {
+            OutputNode::If {
+                test,
+                children,
+                span,
+            } => OutputNode::If {
                 test: test.clone(),
                 children: replace_apply_select(children, old, new),
+                span: *span,
             },
-            OutputNode::Choose { whens, otherwise } => OutputNode::Choose {
+            OutputNode::Choose {
+                whens,
+                otherwise,
+                span,
+            } => OutputNode::Choose {
                 whens: whens
                     .iter()
                     .map(|(t, b)| (t.clone(), replace_apply_select(b, old, new)))
                     .collect(),
                 otherwise: replace_apply_select(otherwise, old, new),
+                span: *span,
             },
-            OutputNode::ForEach { select, children } => OutputNode::ForEach {
+            OutputNode::ForEach {
+                select,
+                children,
+                span,
+            } => OutputNode::ForEach {
                 select: select.clone(),
                 children: replace_apply_select(children, old, new),
+                span: *span,
             },
             other => other.clone(),
         })

@@ -227,6 +227,7 @@ impl Emitter<'_> {
                             static_attrs: attrs.clone(),
                             context_tuple_of: None,
                             guard: None,
+                            query_span: Default::default(),
                         }
                     }
                     Some(Carrier::Rebind { source, guard }) => {
@@ -240,6 +241,7 @@ impl Emitter<'_> {
                             static_attrs: attrs.clone(),
                             context_tuple_of: Some(source.clone()),
                             guard: guard.clone(),
+                            query_span: Default::default(),
                         }
                     }
                     Some(Carrier::None) | None => {
@@ -273,6 +275,7 @@ impl Emitter<'_> {
                                 static_attrs: attrs.clone(),
                                 context_tuple_of: None,
                                 guard: None,
+                                query_span: Default::default(),
                             }
                         }
                     }
@@ -366,7 +369,7 @@ impl Emitter<'_> {
                     }
                 }
             }
-            OutputNode::ValueOf { select } | OutputNode::CopyOf { select } => {
+            OutputNode::ValueOf { select, .. } | OutputNode::CopyOf { select, .. } => {
                 let deep = matches!(node, OutputNode::CopyOf { .. });
                 match classify_value_select(select) {
                     ValueSelect::Context => {
@@ -455,6 +458,7 @@ impl Emitter<'_> {
                     static_attrs: Vec::new(),
                     context_tuple_of: None,
                     guard: None,
+                    query_span: Default::default(),
                 }
             }
             Some(Carrier::Rebind { source, guard }) => ViewNode {
@@ -466,6 +470,7 @@ impl Emitter<'_> {
                 static_attrs: Vec::new(),
                 context_tuple_of: Some(source.clone()),
                 guard: guard.clone(),
+                query_span: Default::default(),
             },
             Some(Carrier::None) | None => {
                 let ctx = ctx_bv.ok_or_else(|| Error::NotComposable {
@@ -481,6 +486,7 @@ impl Emitter<'_> {
                     static_attrs: Vec::new(),
                     context_tuple_of: Some(ctx.to_owned()),
                     guard: None,
+                    query_span: Default::default(),
                 }
             }
         };
@@ -532,6 +538,7 @@ impl Emitter<'_> {
                 static_attrs: n.static_attrs.clone(),
                 context_tuple_of: None,
                 guard: None,
+                query_span: Default::default(),
             },
         )?;
         let children: Vec<ViewNodeId> = self.view.children(orig).to_vec();
@@ -705,7 +712,7 @@ fn projection(attr_cols: &[String]) -> AttrProjection {
 /// Detects `<xsl:value-of select="@attr"/>` (also copy-of) as a child that
 /// attaches an attribute to its parent element.
 fn as_attr_select(node: &OutputNode) -> Option<String> {
-    let (OutputNode::ValueOf { select } | OutputNode::CopyOf { select }) = node else {
+    let (OutputNode::ValueOf { select, .. } | OutputNode::CopyOf { select, .. }) = node else {
         return None;
     };
     match classify_value_select(select) {

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use xvc_xml::Span;
+
 /// Result alias used throughout `xvc-view`.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -12,11 +14,15 @@ pub enum Error {
     DuplicateId {
         /// The repeated id.
         id: u32,
+        /// Span of the second occurrence's tag query, when parsed from text.
+        span: Option<Span>,
     },
     /// Two view nodes share the same binding variable.
     DuplicateBindingVariable {
         /// The repeated binding-variable name.
         bv: String,
+        /// Span of the second occurrence's tag query, when parsed from text.
+        span: Option<Span>,
     },
     /// A tag query references a binding variable that no strict ancestor
     /// defines (Definition 1: parameters must be binding variables of
@@ -26,6 +32,8 @@ pub enum Error {
         node_id: u32,
         /// The unbound binding-variable name.
         var: String,
+        /// Span of the offending node's tag query, when parsed from text.
+        span: Option<Span>,
     },
     /// A node tag is not a valid XML name.
     InvalidTag {
@@ -36,6 +44,8 @@ pub enum Error {
     ViewSyntax {
         /// Human-readable explanation.
         reason: String,
+        /// Byte-offset span of the offending region of the source text.
+        span: Option<Span>,
     },
     /// Error from the relational engine while running a tag query.
     Rel(
@@ -44,19 +54,33 @@ pub enum Error {
     ),
 }
 
+impl Error {
+    /// Byte-offset span into the view-definition source, for errors
+    /// produced while parsing or validating a textual view definition.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Error::DuplicateId { span, .. }
+            | Error::DuplicateBindingVariable { span, .. }
+            | Error::UnboundViewParameter { span, .. }
+            | Error::ViewSyntax { span, .. } => *span,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::DuplicateId { id } => write!(f, "duplicate view-node id {id}"),
-            Error::DuplicateBindingVariable { bv } => {
+            Error::DuplicateId { id, .. } => write!(f, "duplicate view-node id {id}"),
+            Error::DuplicateBindingVariable { bv, .. } => {
                 write!(f, "duplicate binding variable ${bv}")
             }
-            Error::UnboundViewParameter { node_id, var } => write!(
+            Error::UnboundViewParameter { node_id, var, .. } => write!(
                 f,
                 "tag query of node {node_id} references ${var}, which no ancestor binds"
             ),
             Error::InvalidTag { tag } => write!(f, "invalid XML tag {tag:?}"),
-            Error::ViewSyntax { reason } => write!(f, "view definition: {reason}"),
+            Error::ViewSyntax { reason, .. } => write!(f, "view definition: {reason}"),
             Error::Rel(e) => write!(f, "relational error: {e}"),
         }
     }

@@ -19,18 +19,33 @@
 //! comments. Paper-level ids are assigned in definition order (1-based).
 
 use xvc_rel::parse_query;
+use xvc_xml::{Span, SpanInfo};
 
 use crate::error::{Error, Result};
 use crate::schema_tree::{SchemaTree, ViewNode, ViewNodeId};
 
+/// Replaces `#` comments with spaces, byte for byte, so parser positions
+/// remain valid byte offsets into the original source text.
+fn blank_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for line in input.split_inclusive('\n') {
+        match line.find('#') {
+            Some(hash) => {
+                let (keep, comment) = line.split_at(hash);
+                out.push_str(keep);
+                for c in comment.chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            None => out.push_str(line),
+        }
+    }
+    out
+}
+
 /// Parses a view definition (see module docs).
 pub fn parse_view(input: &str) -> Result<SchemaTree> {
-    // Strip # comments.
-    let cleaned: String = input
-        .lines()
-        .map(|l| l.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n");
+    let cleaned = blank_comments(input);
     let mut p = Parser {
         src: &cleaned,
         pos: 0,
@@ -46,6 +61,7 @@ pub fn parse_view(input: &str) -> Result<SchemaTree> {
     if p.tree.is_empty() {
         return Err(Error::ViewSyntax {
             reason: "the view definition declares no nodes".into(),
+            span: None,
         });
     }
     p.tree.validate()?;
@@ -73,6 +89,13 @@ impl Parser<'_> {
         self.pos = self.src.len() - trimmed.len();
     }
 
+    /// Span covering the next `n` characters (for error reporting).
+    fn span_here(&self, n: usize) -> Option<Span> {
+        let len: usize = self.rest().chars().take(n.max(1)).map(char::len_utf8).sum();
+        let end = (self.pos + len.max(1)).min(self.src.len());
+        Some(Span::new(self.pos, end.max(self.pos)))
+    }
+
     fn expect_word(&mut self, word: &str) -> Result<()> {
         self.skip_ws();
         if self.rest().starts_with(word) {
@@ -84,6 +107,7 @@ impl Parser<'_> {
                     "expected `{word}` near `{}`",
                     self.rest().chars().take(30).collect::<String>()
                 ),
+                span: self.span_here(1),
             })
         }
     }
@@ -101,6 +125,7 @@ impl Parser<'_> {
                     "expected {what} near `{}`",
                     self.rest().chars().take(30).collect::<String>()
                 ),
+                span: self.span_here(1),
             });
         }
         self.pos += ident.len();
@@ -116,19 +141,27 @@ impl Parser<'_> {
         self.expect_word("query")?;
         self.expect_word(":")?;
         // SQL runs until the terminating `;`.
+        self.skip_ws();
+        let sql_start = self.pos;
         let sql_end = self.rest().find(';').ok_or_else(|| Error::ViewSyntax {
             reason: format!("missing `;` after the query of <{tag}>"),
+            span: Some(Span::new(sql_start, self.src.len())),
         })?;
-        let sql = self.rest()[..sql_end].trim().to_owned();
+        let raw = &self.rest()[..sql_end];
+        let trimmed_start = sql_start + (raw.len() - raw.trim_start().len());
+        let trimmed_end = sql_start + raw.trim_end().len();
+        let query_span = Span::new(trimmed_start, trimmed_end.max(trimmed_start));
+        let sql = raw.trim().to_owned();
         self.pos += sql_end + 1;
         let query = parse_query(&sql).map_err(|e| Error::ViewSyntax {
             reason: format!("tag query of <{tag}>: {e}"),
+            span: Some(query_span),
         })?;
         let id = self.next_id;
         self.next_id += 1;
-        let vid = self
-            .tree
-            .add_child(parent, ViewNode::new(id, tag, bv, query))?;
+        let mut vn = ViewNode::new(id, tag, bv, query);
+        vn.query_span = SpanInfo::new(query_span);
+        let vid = self.tree.add_child(parent, vn)?;
         loop {
             self.skip_ws();
             if self.rest().starts_with('}') {
@@ -143,6 +176,7 @@ impl Parser<'_> {
                         "expected `node` or `}}` near `{}`",
                         self.rest().chars().take(30).collect::<String>()
                     ),
+                    span: self.span_here(1),
                 });
             }
         }
@@ -244,6 +278,21 @@ mod tests {
         assert!(e.to_string().contains("no nodes"), "{e}");
         let e = parse_view("node m $m { query: NOT SQL; }").unwrap_err();
         assert!(e.to_string().contains("tag query"), "{e}");
+    }
+
+    #[test]
+    fn records_query_spans_and_error_spans() {
+        let src =
+            "# leading comment\nnode metro $m {\n    query: SELECT metroid FROM metroarea;\n}";
+        let v = parse_view(src).unwrap();
+        let metro = v.find_by_paper_id(1).unwrap();
+        let span = v.node(metro).unwrap().query_span.get().unwrap();
+        assert_eq!(&src[span.start..span.end], "SELECT metroid FROM metroarea");
+
+        let bad = "node metro { query: SELECT 1 FROM t; }";
+        let e = parse_view(bad).unwrap_err();
+        let span = e.span().expect("syntax errors carry spans");
+        assert_eq!(&bad[span.start..span.start + 1], "{");
     }
 
     #[test]

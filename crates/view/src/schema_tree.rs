@@ -1,6 +1,7 @@
 //! Schema-tree queries (Definition 1).
 
 use xvc_rel::SelectQuery;
+use xvc_xml::SpanInfo;
 
 use crate::error::{Error, Result};
 
@@ -73,6 +74,9 @@ pub struct ViewNode {
     /// `SELECT 1 WHERE guard`. Produced by composed `.[predicate]`
     /// transitions (the §5.2 flow-control rewrites).
     pub guard: Option<xvc_rel::ScalarExpr>,
+    /// Source span of the tag-query SQL text, when the view was parsed
+    /// from a textual definition. Not part of equality.
+    pub query_span: SpanInfo,
 }
 
 impl ViewNode {
@@ -87,6 +91,7 @@ impl ViewNode {
             static_attrs: Vec::new(),
             context_tuple_of: None,
             guard: None,
+            query_span: SpanInfo::default(),
         }
     }
 
@@ -101,6 +106,7 @@ impl ViewNode {
             static_attrs: Vec::new(),
             context_tuple_of: None,
             guard: None,
+            query_span: SpanInfo::default(),
         }
     }
 }
@@ -289,10 +295,16 @@ impl SchemaTree {
         for vid in self.node_ids() {
             let n = self.node(vid).expect("non-root");
             if !ids.insert(n.id) {
-                return Err(Error::DuplicateId { id: n.id });
+                return Err(Error::DuplicateId {
+                    id: n.id,
+                    span: n.query_span.get(),
+                });
             }
             if n.query.is_some() && !bvs.insert(n.bv.clone()) {
-                return Err(Error::DuplicateBindingVariable { bv: n.bv.clone() });
+                return Err(Error::DuplicateBindingVariable {
+                    bv: n.bv.clone(),
+                    span: n.query_span.get(),
+                });
             }
         }
         for vid in self.node_ids() {
@@ -306,7 +318,11 @@ impl SchemaTree {
                 .collect();
             for var in query.parameters() {
                 if !ancestors.contains(var.as_str()) {
-                    return Err(Error::UnboundViewParameter { node_id: n.id, var });
+                    return Err(Error::UnboundViewParameter {
+                        node_id: n.id,
+                        var,
+                        span: n.query_span.get(),
+                    });
                 }
             }
         }
@@ -398,7 +414,10 @@ mod tests {
         let (mut t, metro, ..) = small_tree();
         t.add_child(metro, node(1, "dup", "d", "SELECT metroid FROM metroarea"))
             .unwrap();
-        assert!(matches!(t.validate(), Err(Error::DuplicateId { id: 1 })));
+        assert!(matches!(
+            t.validate(),
+            Err(Error::DuplicateId { id: 1, .. })
+        ));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! (needed constantly by XPath's `parent` axis) without interior mutability
 //! or reference counting.
 
+use std::collections::HashMap;
+
 use crate::error::{Error, Result};
+use crate::span::Span;
 
 /// Identifier of a node inside a [`Document`] arena.
 ///
@@ -49,10 +52,31 @@ struct NodeData {
     kind: NodeKind,
 }
 
+/// Source spans recorded by the parser, kept out of the node arena so
+/// that `Document` equality stays purely structural: two documents with
+/// the same tree compare equal regardless of where (or whether) they
+/// were parsed from text.
+#[derive(Debug, Clone, Default)]
+struct SpanTable {
+    /// Start-tag span of each element, keyed by arena index.
+    nodes: HashMap<u32, Span>,
+    /// Attribute *value* spans, keyed by (arena index, attribute name).
+    attrs: HashMap<(u32, String), Span>,
+}
+
+impl PartialEq for SpanTable {
+    fn eq(&self, _: &SpanTable) -> bool {
+        true
+    }
+}
+
+impl Eq for SpanTable {}
+
 /// An XML document: a tree of elements and text under a synthetic root.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<NodeData>,
+    spans: SpanTable,
 }
 
 impl Default for Document {
@@ -70,7 +94,29 @@ impl Document {
                 children: Vec::new(),
                 kind: NodeKind::Root,
             }],
+            spans: SpanTable::default(),
         }
+    }
+
+    /// Records the source span of a node (for elements: the start tag).
+    pub fn set_span(&mut self, id: NodeId, span: Span) {
+        self.spans.nodes.insert(id.0, span);
+    }
+
+    /// Source span of a node, if the document was parsed from text.
+    pub fn span(&self, id: NodeId) -> Option<Span> {
+        self.spans.nodes.get(&id.0).copied()
+    }
+
+    /// Records the source span of an attribute's *value* (the region
+    /// between the quotes, before entity expansion).
+    pub fn set_attr_span(&mut self, id: NodeId, name: impl Into<String>, span: Span) {
+        self.spans.attrs.insert((id.0, name.into()), span);
+    }
+
+    /// Source span of an attribute value, if recorded by the parser.
+    pub fn attr_span(&self, id: NodeId, name: &str) -> Option<Span> {
+        self.spans.attrs.get(&(id.0, name.to_owned())).copied()
     }
 
     /// The synthetic document root. Its children are the top-level nodes.

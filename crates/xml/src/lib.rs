@@ -30,9 +30,11 @@ pub mod error;
 pub mod escape;
 pub mod parse;
 pub mod serialize;
+pub mod span;
 
 pub use arena::{Document, NodeId, NodeKind};
 pub use builder::TreeBuilder;
 pub use canon::{canonical_string, documents_equal_unordered, nodes_equal_unordered};
 pub use error::{Error, Result};
 pub use parse::parse;
+pub use span::{line_col, Span, SpanInfo};

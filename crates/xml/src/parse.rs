@@ -14,6 +14,7 @@
 use crate::arena::{Document, NodeId};
 use crate::error::{Error, Result};
 use crate::escape::{is_name_char, is_name_start};
+use crate::span::Span;
 
 /// Parses an XML document from text.
 ///
@@ -142,6 +143,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<NodeId> {
+        let tag_start = self.offset();
         self.expect('<', "'<'")?;
         let name = self.parse_name()?;
         let elem = self.doc.create_element(name.clone());
@@ -151,11 +153,15 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some('>') => {
                     self.bump();
+                    let tag_end = self.offset();
+                    self.doc.set_span(elem, Span::new(tag_start, tag_end));
                     break;
                 }
                 Some('/') => {
                     self.bump();
                     self.expect('>', "'>' after '/'")?;
+                    let tag_end = self.offset();
+                    self.doc.set_span(elem, Span::new(tag_start, tag_end));
                     return Ok(elem);
                 }
                 Some(c) if is_name_start(c) => {
@@ -163,10 +169,11 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect('=', "'=' after attribute name")?;
                     self.skip_ws();
-                    let value = self.parse_attr_value()?;
+                    let (value, value_span) = self.parse_attr_value()?;
                     if self.doc.attr(elem, &attr_name).is_some() {
                         return Err(Error::DuplicateAttribute { name: attr_name });
                     }
+                    self.doc.set_attr_span(elem, attr_name.as_str(), value_span);
                     self.doc
                         .set_attr(elem, attr_name, value)
                         .expect("elem is an element");
@@ -218,7 +225,9 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_attr_value(&mut self) -> Result<String> {
+    /// Parses a quoted attribute value, returning the unescaped text and
+    /// the source span of the raw value (between the quotes).
+    fn parse_attr_value(&mut self) -> Result<(String, Span)> {
         let offset = self.offset();
         let quote = match self.bump() {
             Some(q @ ('"' | '\'')) => q,
@@ -235,12 +244,14 @@ impl<'a> Parser<'a> {
                 })
             }
         };
+        let value_start = self.offset();
         let mut value = String::new();
         loop {
             match self.peek() {
                 Some(c) if c == quote => {
+                    let value_end = self.offset();
                     self.bump();
-                    return Ok(value);
+                    return Ok((value, Span::new(value_start, value_end)));
                 }
                 Some('&') => value.push(self.parse_entity()?),
                 Some(_) => value.push(self.bump().unwrap()),
@@ -424,6 +435,35 @@ mod tests {
             parse("<a>&nope;</a>"),
             Err(Error::UnknownEntity { .. })
         ));
+    }
+
+    #[test]
+    fn records_element_and_attr_value_spans() {
+        let src = "<a>\n  <b x=\"1&lt;2\" y='z'/>\n</a>";
+        let d = parse(src).unwrap();
+        let a = d.document_element().unwrap();
+        let b = d.child_elements(a).next().unwrap();
+        // Element span covers the whole start tag.
+        let span = d.span(b).unwrap();
+        assert_eq!(&src[span.start..span.end], "<b x=\"1&lt;2\" y='z'/>");
+        assert_eq!(d.span(a), Some(Span::new(0, 3)));
+        // Attribute spans cover the raw value between the quotes.
+        let x = d.attr_span(b, "x").unwrap();
+        assert_eq!(&src[x.start..x.end], "1&lt;2");
+        let y = d.attr_span(b, "y").unwrap();
+        assert_eq!(&src[y.start..y.end], "z");
+        assert_eq!(d.attr_span(b, "missing"), None);
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let parsed = parse("<a x=\"1\"/>").unwrap();
+        let mut built = Document::new();
+        let a = built.create_element("a");
+        built.set_attr(a, "x", "1").unwrap();
+        let root = built.root();
+        built.append_child(root, a);
+        assert_eq!(parsed, built);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Byte-offset source spans.
+//!
+//! Spans let parse errors and static-analysis diagnostics point back at
+//! the exact region of the source text that produced an AST node. They
+//! are deliberately lightweight: a half-open byte range plus a helper to
+//! convert an offset into a 1-based line/column pair for display.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Converts a byte offset into a 1-based `(line, column)` pair. Columns
+/// count characters, not bytes. Offsets past the end of `src` (or inside
+/// a multi-byte character) are clamped to the nearest valid boundary.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let mut offset = offset.min(src.len());
+    while offset > 0 && !src.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    let before = &src[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let col = src[line_start..offset].chars().count() + 1;
+    (line, col)
+}
+
+/// Optional span metadata attached to AST nodes.
+///
+/// `SpanInfo` always compares (and hashes) equal so that span-carrying
+/// ASTs keep the *structural* equality their callers rely on: a parsed
+/// tree still equals an equivalent hand-built one, and rewritten trees
+/// (whose spans are gone) still equal their reparsed serializations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanInfo(pub Option<Span>);
+
+impl SpanInfo {
+    /// Wraps a concrete span.
+    pub fn new(span: Span) -> SpanInfo {
+        SpanInfo(Some(span))
+    }
+
+    /// Returns the underlying span, if one was recorded.
+    pub fn get(&self) -> Option<Span> {
+        self.0
+    }
+}
+
+impl PartialEq for SpanInfo {
+    fn eq(&self, _: &SpanInfo) -> bool {
+        true
+    }
+}
+
+impl Eq for SpanInfo {}
+
+impl std::hash::Hash for SpanInfo {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl From<Option<Span>> for SpanInfo {
+    fn from(span: Option<Span>) -> SpanInfo {
+        SpanInfo(span)
+    }
+}
+
+impl From<Span> for SpanInfo {
+    fn from(span: Span) -> SpanInfo {
+        SpanInfo(Some(span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based_and_clamped() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 5), (2, 3));
+        assert_eq!(line_col(src, 7), (3, 1));
+        assert_eq!(line_col(src, 999), (3, 2));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        let src = "é<b>"; // 'é' is two bytes
+        assert_eq!(line_col(src, 2), (1, 2));
+        // Offset inside the multi-byte char clamps to its start.
+        assert_eq!(line_col(src, 1), (1, 1));
+    }
+
+    #[test]
+    fn span_info_always_compares_equal() {
+        assert_eq!(SpanInfo::new(Span::new(1, 5)), SpanInfo::default());
+        assert_eq!(
+            SpanInfo::new(Span::new(1, 5)),
+            SpanInfo::new(Span::new(7, 9))
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! to reject, or first lower the stylesheet via the §5.2 rewrites
 //! ([`crate::rewrite`]) and compose predicates via §5.1.
 
+use xvc_xml::Span;
 use xvc_xpath::{Axis, Expr, PathExpr};
 
 use crate::model::{OutputNode, Stylesheet};
@@ -21,6 +22,9 @@ pub struct BasicViolation {
     pub restriction: u8,
     /// Human-readable explanation.
     pub reason: String,
+    /// Byte-offset span of the offending construct in the stylesheet
+    /// source, when the stylesheet was parsed from text.
+    pub span: Option<Span>,
 }
 
 impl std::fmt::Display for BasicViolation {
@@ -40,12 +44,19 @@ impl std::fmt::Display for BasicViolation {
 pub fn check_basic(s: &Stylesheet) -> Vec<BasicViolation> {
     let mut out = Vec::new();
     for (i, rule) in s.rules.iter().enumerate() {
-        check_path(i, &rule.match_pattern, "match pattern", &mut out);
+        check_path(
+            i,
+            &rule.match_pattern,
+            "match pattern",
+            rule.match_span.get(),
+            &mut out,
+        );
         if !rule.params.is_empty() {
             out.push(BasicViolation {
                 rule: i,
                 restriction: 8,
                 reason: "xsl:param declarations are not allowed".into(),
+                span: rule.match_span.get(),
             });
         }
         check_output(i, &rule.output, &mut out);
@@ -71,6 +82,7 @@ pub fn check_basic(s: &Stylesheet) -> Vec<BasicViolation> {
                         a.mode,
                         if na == "*" { &nb } else { &na }
                     ),
+                    span: b.match_span.get(),
                 });
             }
         }
@@ -78,34 +90,43 @@ pub fn check_basic(s: &Stylesheet) -> Vec<BasicViolation> {
     out
 }
 
-fn check_path(rule: usize, p: &PathExpr, what: &str, out: &mut Vec<BasicViolation>) {
+fn check_path(
+    rule: usize,
+    p: &PathExpr,
+    what: &str,
+    span: Option<Span>,
+    out: &mut Vec<BasicViolation>,
+) {
     for step in &p.steps {
         if !step.predicates.is_empty() {
             out.push(BasicViolation {
                 rule,
                 restriction: 4,
                 reason: format!("{what} `{p}` contains predicates"),
+                span,
             });
         }
         for pred in &step.predicates {
-            check_expr(rule, pred, out);
+            check_expr(rule, pred, span, out);
         }
         if matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf) {
             out.push(BasicViolation {
                 rule,
                 restriction: 9,
                 reason: format!("{what} `{p}` uses the descendant axis"),
+                span,
             });
         }
     }
 }
 
-fn check_expr(rule: usize, e: &Expr, out: &mut Vec<BasicViolation>) {
+fn check_expr(rule: usize, e: &Expr, span: Option<Span>, out: &mut Vec<BasicViolation>) {
     if e.uses_variables() {
         out.push(BasicViolation {
             rule,
             restriction: 8,
             reason: "expression references a variable".into(),
+            span,
         });
     }
 }
@@ -116,16 +137,23 @@ fn check_output(rule: usize, nodes: &[OutputNode], out: &mut Vec<BasicViolation>
             OutputNode::Element { children, .. } => check_output(rule, children, out),
             OutputNode::Text(_) => {}
             OutputNode::ApplyTemplates(a) => {
-                check_path(rule, &a.select, "select expression", out);
+                check_path(
+                    rule,
+                    &a.select,
+                    "select expression",
+                    a.select_span.get(),
+                    out,
+                );
                 if !a.with_params.is_empty() {
                     out.push(BasicViolation {
                         rule,
                         restriction: 8,
                         reason: "xsl:with-param is not allowed".into(),
+                        span: a.select_span.get(),
                     });
                 }
             }
-            OutputNode::ValueOf { select } | OutputNode::CopyOf { select } => {
+            OutputNode::ValueOf { select, span } | OutputNode::CopyOf { select, span } => {
                 if !is_basic_value_select(select) {
                     out.push(BasicViolation {
                         rule,
@@ -133,14 +161,18 @@ fn check_output(rule: usize, nodes: &[OutputNode], out: &mut Vec<BasicViolation>
                         reason: format!(
                             "value-of/copy-of select must be \".\" or \"@attr\", found `{select}`"
                         ),
+                        span: span.get(),
                     });
                 }
             }
-            OutputNode::If { .. } | OutputNode::Choose { .. } | OutputNode::ForEach { .. } => {
+            OutputNode::If { span, .. }
+            | OutputNode::Choose { span, .. }
+            | OutputNode::ForEach { span, .. } => {
                 out.push(BasicViolation {
                     rule,
                     restriction: 5,
                     reason: "flow-control element (xsl:if/choose/for-each)".into(),
+                    span: span.get(),
                 });
             }
         }

@@ -158,18 +158,20 @@ impl Engine<'_> {
                         self.process_node(new_con, &a.mode, &child_params, depth + 1)?;
                     }
                 }
-                OutputNode::ValueOf { select } => {
+                OutputNode::ValueOf { select, .. } => {
                     self.emit_value(select, dcon, vars, /* deep = */ false)?
                 }
-                OutputNode::CopyOf { select } => {
+                OutputNode::CopyOf { select, .. } => {
                     self.emit_value(select, dcon, vars, /* deep = */ true)?
                 }
-                OutputNode::If { test, children } => {
+                OutputNode::If { test, children, .. } => {
                     if eval_expr(self.doc, dcon, test, vars)?.to_bool() {
                         self.instantiate(children, dcon, vars, depth)?;
                     }
                 }
-                OutputNode::Choose { whens, otherwise } => {
+                OutputNode::Choose {
+                    whens, otherwise, ..
+                } => {
                     let mut done = false;
                     for (test, body) in whens {
                         if eval_expr(self.doc, dcon, test, vars)?.to_bool() {
@@ -182,7 +184,9 @@ impl Engine<'_> {
                         self.instantiate(otherwise, dcon, vars, depth)?;
                     }
                 }
-                OutputNode::ForEach { select, children } => {
+                OutputNode::ForEach {
+                    select, children, ..
+                } => {
                     let selected = xvc_xpath::eval_path(self.doc, dcon, select, vars)?;
                     for item in selected {
                         self.instantiate(children, item, vars, depth)?;

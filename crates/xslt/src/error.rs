@@ -2,10 +2,16 @@
 
 use std::fmt;
 
+use xvc_xml::Span;
+
 /// Result alias used throughout `xvc-xslt`.
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced while parsing or executing stylesheets.
+///
+/// Parse-time variants carry an optional byte-offset [`Span`] into the
+/// stylesheet source (see [`Error::span`]) so callers can point at the
+/// offending location.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// The stylesheet XML was malformed.
@@ -23,25 +29,36 @@ pub enum Error {
     NotAStylesheet {
         /// The root element actually found.
         found: String,
+        /// Span of the root element's start tag.
+        span: Option<Span>,
     },
     /// A template rule is missing its `match` attribute.
-    MissingMatch,
+    MissingMatch {
+        /// Span of the `xsl:template` start tag.
+        span: Option<Span>,
+    },
     /// A required attribute is missing from an XSLT element.
     MissingAttribute {
         /// The XSLT element.
         element: &'static str,
         /// The missing attribute.
         attribute: &'static str,
+        /// Span of the element's start tag.
+        span: Option<Span>,
     },
     /// An unknown `xsl:` element was encountered.
     UnknownXslElement {
         /// The element name.
         name: String,
+        /// Span of the element's start tag.
+        span: Option<Span>,
     },
     /// A `priority` attribute did not parse as a number.
     BadPriority {
         /// The attribute text.
         text: String,
+        /// Span of the `priority` attribute value.
+        span: Option<Span>,
     },
     /// `<xsl:value-of select="@a"/>` appeared where no output element is
     /// open to attach the attribute to.
@@ -55,6 +72,8 @@ pub enum Error {
     AttributeValueTemplate {
         /// The attribute value containing `{`.
         value: String,
+        /// Span of the attribute value.
+        span: Option<Span>,
     },
     /// A §5.2 rewrite cannot handle this stylesheet shape.
     RewriteUnsupported {
@@ -63,22 +82,42 @@ pub enum Error {
     },
 }
 
+impl Error {
+    /// Byte-offset span into the stylesheet source, for parse-time errors
+    /// produced from a source text.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Error::NotAStylesheet { span, .. }
+            | Error::MissingMatch { span }
+            | Error::MissingAttribute { span, .. }
+            | Error::UnknownXslElement { span, .. }
+            | Error::BadPriority { span, .. }
+            | Error::AttributeValueTemplate { span, .. } => *span,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Xml(e) => write!(f, "stylesheet XML error: {e}"),
             Error::XPath(e) => write!(f, "XPath error: {e}"),
-            Error::NotAStylesheet { found } => {
+            Error::NotAStylesheet { found, .. } => {
                 write!(f, "expected xsl:stylesheet root, found <{found}>")
             }
-            Error::MissingMatch => write!(f, "xsl:template is missing its match attribute"),
-            Error::MissingAttribute { element, attribute } => {
+            Error::MissingMatch { .. } => {
+                write!(f, "xsl:template is missing its match attribute")
+            }
+            Error::MissingAttribute {
+                element, attribute, ..
+            } => {
                 write!(f, "<{element}> is missing required attribute {attribute:?}")
             }
-            Error::UnknownXslElement { name } => {
+            Error::UnknownXslElement { name, .. } => {
                 write!(f, "unsupported XSLT element <{name}>")
             }
-            Error::BadPriority { text } => write!(f, "bad priority {text:?}"),
+            Error::BadPriority { text, .. } => write!(f, "bad priority {text:?}"),
             Error::ValueOfAttributeAtRoot => write!(
                 f,
                 "xsl:value-of select=\"@attr\" needs an enclosing output element"
@@ -86,7 +125,7 @@ impl fmt::Display for Error {
             Error::RecursionLimit { limit } => {
                 write!(f, "template recursion exceeded depth limit {limit}")
             }
-            Error::AttributeValueTemplate { value } => {
+            Error::AttributeValueTemplate { value, .. } => {
                 write!(f, "attribute value templates are unsupported: {value:?}")
             }
             Error::RewriteUnsupported { reason } => {

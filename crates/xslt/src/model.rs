@@ -1,5 +1,6 @@
 //! Stylesheet model (Definition 2 and 3).
 
+use xvc_xml::SpanInfo;
 use xvc_xpath::{default_priority, Expr, PathExpr};
 
 /// The default mode ("if there is no mode attribute, the XSLT processor
@@ -79,6 +80,9 @@ pub struct TemplateRule {
     pub params: Vec<ParamDecl>,
     /// `output(ri)` — the output tree fragment.
     pub output: Vec<OutputNode>,
+    /// Source span of the `match` attribute value (parse-time only; does
+    /// not participate in equality).
+    pub match_span: SpanInfo,
 }
 
 impl TemplateRule {
@@ -90,6 +94,7 @@ impl TemplateRule {
             explicit_priority: None,
             params: Vec::new(),
             output,
+            match_span: SpanInfo::default(),
         }
     }
 
@@ -130,7 +135,9 @@ fn collect_applies<'a>(nodes: &'a [OutputNode], out: &mut Vec<&'a ApplyTemplates
             OutputNode::Element { children, .. } => collect_applies(children, out),
             OutputNode::If { children, .. } => collect_applies(children, out),
             OutputNode::ForEach { children, .. } => collect_applies(children, out),
-            OutputNode::Choose { whens, otherwise } => {
+            OutputNode::Choose {
+                whens, otherwise, ..
+            } => {
                 for (_, body) in whens {
                     collect_applies(body, out);
                 }
@@ -151,6 +158,9 @@ pub struct ApplyTemplates {
     pub mode: String,
     /// `<xsl:with-param>` children.
     pub with_params: Vec<WithParam>,
+    /// Source span of the `select` attribute value (or the element start
+    /// tag when `select` was defaulted). Not part of equality.
+    pub select_span: SpanInfo,
 }
 
 impl ApplyTemplates {
@@ -160,6 +170,7 @@ impl ApplyTemplates {
             select,
             mode: DEFAULT_MODE.to_owned(),
             with_params: Vec::new(),
+            select_span: SpanInfo::default(),
         }
     }
 }
@@ -209,11 +220,15 @@ pub enum OutputNode {
     ValueOf {
         /// The select expression.
         select: Expr,
+        /// Source span of the `select` attribute value. Not part of equality.
+        span: SpanInfo,
     },
     /// `<xsl:copy-of select="..."/>` — deep copy of the selected nodes.
     CopyOf {
         /// The select expression.
         select: Expr,
+        /// Source span of the `select` attribute value. Not part of equality.
+        span: SpanInfo,
     },
     /// `<xsl:if test="...">` (§5.2.1).
     If {
@@ -221,6 +236,8 @@ pub enum OutputNode {
         test: Expr,
         /// Body instantiated when the test holds.
         children: Vec<OutputNode>,
+        /// Source span of the start tag. Not part of equality.
+        span: SpanInfo,
     },
     /// `<xsl:choose>` (§5.2.1).
     Choose {
@@ -228,6 +245,8 @@ pub enum OutputNode {
         whens: Vec<(Expr, Vec<OutputNode>)>,
         /// `<xsl:otherwise>` body (possibly empty).
         otherwise: Vec<OutputNode>,
+        /// Source span of the start tag. Not part of equality.
+        span: SpanInfo,
     },
     /// `<xsl:for-each select="...">` (§5.2.1).
     ForEach {
@@ -235,6 +254,8 @@ pub enum OutputNode {
         select: PathExpr,
         /// Body instantiated once per selected node.
         children: Vec<OutputNode>,
+        /// Source span of the start tag. Not part of equality.
+        span: SpanInfo,
     },
 }
 
@@ -268,6 +289,7 @@ mod tests {
                     OutputNode::If {
                         test: xvc_xpath::parse_expr("@z").unwrap(),
                         children: vec![OutputNode::ApplyTemplates(a2.clone())],
+                        span: SpanInfo::default(),
                     },
                 ],
             }],

@@ -1,6 +1,6 @@
 //! Parsing stylesheets from XSLT/XML text.
 
-use xvc_xml::{Document, NodeId, NodeKind};
+use xvc_xml::{Document, NodeId, NodeKind, SpanInfo};
 use xvc_xpath::{parse_expr, parse_path, parse_pattern};
 
 use crate::error::{Error, Result};
@@ -18,11 +18,13 @@ pub fn parse_stylesheet(text: &str) -> Result<Stylesheet> {
     let doc = xvc_xml::parse(text)?;
     let root = doc.document_element().ok_or(Error::NotAStylesheet {
         found: "(multiple top-level elements)".to_owned(),
+        span: None,
     })?;
     let root_name = doc.name(root).unwrap_or_default();
     if root_name != "xsl:stylesheet" && root_name != "xsl:transform" {
         return Err(Error::NotAStylesheet {
             found: root_name.to_owned(),
+            span: doc.span(root),
         });
     }
     let mut rules = Vec::new();
@@ -32,6 +34,7 @@ pub fn parse_stylesheet(text: &str) -> Result<Stylesheet> {
             Some(other) => {
                 return Err(Error::UnknownXslElement {
                     name: other.to_owned(),
+                    span: doc.span(child),
                 })
             }
             None => unreachable!("child_elements yields elements"),
@@ -41,16 +44,18 @@ pub fn parse_stylesheet(text: &str) -> Result<Stylesheet> {
 }
 
 fn parse_template(doc: &Document, elem: NodeId) -> Result<TemplateRule> {
-    let match_text = doc.attr(elem, "match").ok_or(Error::MissingMatch)?;
+    let match_text = doc.attr(elem, "match").ok_or(Error::MissingMatch {
+        span: doc.span(elem),
+    })?;
     let match_pattern = parse_pattern(match_text)?;
+    let match_span = SpanInfo::from(doc.attr_span(elem, "match"));
     let mode = doc.attr(elem, "mode").unwrap_or(DEFAULT_MODE).to_owned();
     let explicit_priority = match doc.attr(elem, "priority") {
         None => None,
-        Some(p) => Some(
-            p.trim()
-                .parse::<f64>()
-                .map_err(|_| Error::BadPriority { text: p.to_owned() })?,
-        ),
+        Some(p) => Some(p.trim().parse::<f64>().map_err(|_| Error::BadPriority {
+            text: p.to_owned(),
+            span: doc.attr_span(elem, "priority"),
+        })?),
     };
 
     // Leading xsl:param declarations.
@@ -64,6 +69,7 @@ fn parse_template(doc: &Document, elem: NodeId) -> Result<TemplateRule> {
                 .ok_or(Error::MissingAttribute {
                     element: "xsl:param",
                     attribute: "name",
+                    span: doc.span(child),
                 })?
                 .to_owned();
             let default = match doc.attr(child, "select") {
@@ -89,6 +95,7 @@ fn parse_template(doc: &Document, elem: NodeId) -> Result<TemplateRule> {
         explicit_priority,
         params,
         output,
+        match_span,
     })
 }
 
@@ -106,6 +113,8 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
             "xsl:apply-templates" => {
                 let select_text = doc.attr(id, "select").unwrap_or("*");
                 let select = parse_path(select_text)?;
+                let select_span =
+                    SpanInfo::from(doc.attr_span(id, "select").or_else(|| doc.span(id)));
                 let mode = doc.attr(id, "mode").unwrap_or(DEFAULT_MODE).to_owned();
                 let mut with_params = Vec::new();
                 for child in doc.child_elements(id) {
@@ -115,12 +124,14 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
                             .ok_or(Error::MissingAttribute {
                                 element: "xsl:with-param",
                                 attribute: "name",
+                                span: doc.span(child),
                             })?
                             .to_owned();
                         let select_text =
                             doc.attr(child, "select").ok_or(Error::MissingAttribute {
                                 element: "xsl:with-param",
                                 attribute: "select",
+                                span: doc.span(child),
                             })?;
                         with_params.push(WithParam {
                             name,
@@ -129,6 +140,7 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
                     } else {
                         return Err(Error::UnknownXslElement {
                             name: doc.name(child).unwrap_or_default().to_owned(),
+                            span: doc.span(child),
                         });
                     }
                 }
@@ -136,34 +148,41 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
                     select,
                     mode,
                     with_params,
+                    select_span,
                 })))
             }
             "xsl:value-of" => {
                 let select = doc.attr(id, "select").ok_or(Error::MissingAttribute {
                     element: "xsl:value-of",
                     attribute: "select",
+                    span: doc.span(id),
                 })?;
                 Ok(Some(OutputNode::ValueOf {
                     select: parse_expr(select)?,
+                    span: SpanInfo::from(doc.attr_span(id, "select")),
                 }))
             }
             "xsl:copy-of" => {
                 let select = doc.attr(id, "select").ok_or(Error::MissingAttribute {
                     element: "xsl:copy-of",
                     attribute: "select",
+                    span: doc.span(id),
                 })?;
                 Ok(Some(OutputNode::CopyOf {
                     select: parse_expr(select)?,
+                    span: SpanInfo::from(doc.attr_span(id, "select")),
                 }))
             }
             "xsl:if" => {
                 let test = doc.attr(id, "test").ok_or(Error::MissingAttribute {
                     element: "xsl:if",
                     attribute: "test",
+                    span: doc.span(id),
                 })?;
                 Ok(Some(OutputNode::If {
                     test: parse_expr(test)?,
                     children: parse_children(doc, id)?,
+                    span: SpanInfo::from(doc.span(id)),
                 }))
             }
             "xsl:choose" => {
@@ -175,6 +194,7 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
                             let test = doc.attr(child, "test").ok_or(Error::MissingAttribute {
                                 element: "xsl:when",
                                 attribute: "test",
+                                span: doc.span(child),
                             })?;
                             whens.push((parse_expr(test)?, parse_children(doc, child)?));
                         }
@@ -184,32 +204,43 @@ fn parse_output_node(doc: &Document, id: NodeId) -> Result<Option<OutputNode>> {
                         Some(other) => {
                             return Err(Error::UnknownXslElement {
                                 name: other.to_owned(),
+                                span: doc.span(child),
                             })
                         }
                         None => unreachable!(),
                     }
                 }
-                Ok(Some(OutputNode::Choose { whens, otherwise }))
+                Ok(Some(OutputNode::Choose {
+                    whens,
+                    otherwise,
+                    span: SpanInfo::from(doc.span(id)),
+                }))
             }
             "xsl:for-each" => {
                 let select = doc.attr(id, "select").ok_or(Error::MissingAttribute {
                     element: "xsl:for-each",
                     attribute: "select",
+                    span: doc.span(id),
                 })?;
                 Ok(Some(OutputNode::ForEach {
                     select: parse_path(select)?,
                     children: parse_children(doc, id)?,
+                    span: SpanInfo::from(doc.span(id)),
                 }))
             }
             "xsl:text" => Ok(Some(OutputNode::Text(doc.text_content(id)))),
             other if other.starts_with("xsl:") => Err(Error::UnknownXslElement {
                 name: other.to_owned(),
+                span: doc.span(id),
             }),
             // Literal result element.
             _ => {
-                for (_, v) in attrs {
+                for (n, v) in attrs {
                     if v.contains('{') {
-                        return Err(Error::AttributeValueTemplate { value: v.clone() });
+                        return Err(Error::AttributeValueTemplate {
+                            value: v.clone(),
+                            span: doc.attr_span(id, n),
+                        });
                     }
                 }
                 Ok(Some(OutputNode::Element {
@@ -338,7 +369,10 @@ mod tests {
         .unwrap();
         let out = &s.rules[0].output;
         assert!(matches!(out[0], OutputNode::If { .. }));
-        let OutputNode::Choose { whens, otherwise } = &out[1] else {
+        let OutputNode::Choose {
+            whens, otherwise, ..
+        } = &out[1]
+        else {
             panic!("expected choose");
         };
         assert_eq!(whens.len(), 2);
@@ -371,7 +405,7 @@ mod tests {
     fn rejects_missing_match_and_unknown_elements() {
         assert!(matches!(
             parse_stylesheet("<xsl:stylesheet><xsl:template/></xsl:stylesheet>"),
-            Err(Error::MissingMatch)
+            Err(Error::MissingMatch { .. })
         ));
         assert!(matches!(
             parse_stylesheet(
@@ -403,6 +437,28 @@ mod tests {
             ),
             Err(Error::BadPriority { .. })
         ));
+    }
+
+    #[test]
+    fn records_match_and_select_spans() {
+        let src = r#"<xsl:stylesheet>
+  <xsl:template match="metro">
+    <xsl:apply-templates select="hotel/confstat"/>
+  </xsl:template>
+</xsl:stylesheet>"#;
+        let s = parse_stylesheet(src).unwrap();
+        let m = s.rules[0].match_span.get().unwrap();
+        assert_eq!(&src[m.start..m.end], "metro");
+        let a = s.rules[0].apply_templates()[0].select_span.get().unwrap();
+        assert_eq!(&src[a.start..a.end], "hotel/confstat");
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let src = "<xsl:stylesheet><xsl:template/></xsl:stylesheet>";
+        let err = parse_stylesheet(src).unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!(&src[span.start..span.end], "<xsl:template/>");
     }
 
     #[test]

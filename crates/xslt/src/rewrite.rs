@@ -16,6 +16,7 @@
 //! the generated apply-templates (`with-param name="p" select="$p"`), which
 //! preserves semantics under this crate's engine.
 
+use xvc_xml::SpanInfo;
 use xvc_xpath::{Axis, Expr, NodeTest, PathExpr, Step};
 
 use crate::error::{Error, Result};
@@ -144,6 +145,7 @@ impl Rewriter<'_> {
             explicit_priority: None,
             params: self.inherited_params(),
             output: body,
+            match_span: SpanInfo::default(),
         });
     }
 
@@ -173,7 +175,7 @@ impl Rewriter<'_> {
             // Figure 21: <xsl:if test="e"> body </xsl:if>
             //   → <xsl:apply-templates select=".[e]" mode="mnew"/>
             //     + <xsl:template match="nodename" mode="mnew"> body
-            OutputNode::If { test, children } => {
+            OutputNode::If { test, children, .. } => {
                 *self.changed = true;
                 let mode = self.fresh_mode();
                 self.emit_rule(self.context_pattern(), mode.clone(), children.clone());
@@ -181,11 +183,14 @@ impl Rewriter<'_> {
                     select: self_with_predicate(Some(test.clone())),
                     mode,
                     with_params: self.passthrough_params(),
+                    select_span: SpanInfo::default(),
                 })]
             }
             // Figure 22: <xsl:choose> — one guarded apply-templates per
             // branch; guard k tests not(e1) .. not(e_{k-1}) and ek.
-            OutputNode::Choose { whens, otherwise } => {
+            OutputNode::Choose {
+                whens, otherwise, ..
+            } => {
                 *self.changed = true;
                 let mut result = Vec::new();
                 let mut negations: Vec<Expr> = Vec::new();
@@ -197,6 +202,7 @@ impl Rewriter<'_> {
                         select: self_with_predicate(guard),
                         mode,
                         with_params: self.passthrough_params(),
+                        select_span: SpanInfo::default(),
                     }));
                     negations.push(Expr::Not(Box::new(test.clone())));
                 }
@@ -208,6 +214,7 @@ impl Rewriter<'_> {
                         select: self_with_predicate(guard),
                         mode,
                         with_params: self.passthrough_params(),
+                        select_span: SpanInfo::default(),
                     }));
                 }
                 result
@@ -216,7 +223,9 @@ impl Rewriter<'_> {
             //   <xsl:for-each select="p"> body
             //   → <xsl:apply-templates select="p" mode="mnew"/>
             //     + <xsl:template match="name-of-last-step(p)" mode="mnew">
-            OutputNode::ForEach { select, children } => {
+            OutputNode::ForEach {
+                select, children, ..
+            } => {
                 *self.changed = true;
                 let mode = self.fresh_mode();
                 self.emit_rule(last_step_pattern(select), mode.clone(), children.clone());
@@ -224,10 +233,11 @@ impl Rewriter<'_> {
                     select: select.clone(),
                     mode,
                     with_params: self.passthrough_params(),
+                    select_span: SpanInfo::default(),
                 })]
             }
             // Figure 23: general value-of.
-            OutputNode::ValueOf { select } | OutputNode::CopyOf { select } => {
+            OutputNode::ValueOf { select, .. } | OutputNode::CopyOf { select, .. } => {
                 let deep = matches!(node, OutputNode::CopyOf { .. });
                 if crate::basic::is_basic_value_select(select) {
                     return Ok(vec![node.clone()]);
@@ -256,22 +266,35 @@ impl Rewriter<'_> {
                     // Was just `@attr` with predicates stripped impossible
                     // here; emit directly.
                     return Ok(vec![if deep {
-                        OutputNode::CopyOf { select: tail_value }
+                        OutputNode::CopyOf {
+                            select: tail_value,
+                            span: SpanInfo::default(),
+                        }
                     } else {
-                        OutputNode::ValueOf { select: tail_value }
+                        OutputNode::ValueOf {
+                            select: tail_value,
+                            span: SpanInfo::default(),
+                        }
                     }]);
                 }
                 let mode = self.fresh_mode();
                 let body = vec![if deep {
-                    OutputNode::CopyOf { select: tail_value }
+                    OutputNode::CopyOf {
+                        select: tail_value,
+                        span: SpanInfo::default(),
+                    }
                 } else {
-                    OutputNode::ValueOf { select: tail_value }
+                    OutputNode::ValueOf {
+                        select: tail_value,
+                        span: SpanInfo::default(),
+                    }
                 }];
                 self.emit_rule(last_step_pattern(&path), mode.clone(), body);
                 vec![OutputNode::ApplyTemplates(ApplyTemplates {
                     select: path,
                     mode,
                     with_params: self.passthrough_params(),
+                    select_span: SpanInfo::default(),
                 })]
             }
         })
@@ -421,6 +444,7 @@ pub fn rewrite_conflicts(s: &Stylesheet) -> Result<Stylesheet> {
                         select: self_with_predicate(None),
                         mode,
                         with_params: Vec::new(),
+                        select_span: SpanInfo::default(),
                     })],
                 )
             })
@@ -428,6 +452,7 @@ pub fn rewrite_conflicts(s: &Stylesheet) -> Result<Stylesheet> {
         out.rules[lowest].output = vec![OutputNode::Choose {
             whens,
             otherwise: fallback,
+            span: SpanInfo::default(),
         }];
     }
     Ok(out)
@@ -616,7 +641,7 @@ mod tests {
         assert_eq!(new_rule.node_name(), "hotel");
         assert!(matches!(
             &new_rule.output[0],
-            OutputNode::ValueOf { select: Expr::Path(p) }
+            OutputNode::ValueOf { select: Expr::Path(p), .. }
                 if p.steps[0].axis == Axis::Attribute
         ));
     }

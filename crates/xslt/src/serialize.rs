@@ -97,19 +97,19 @@ fn write_node(node: &OutputNode, depth: usize, out: &mut String) {
                 out.push_str(&format!("{ind}</xsl:apply-templates>\n"));
             }
         }
-        OutputNode::ValueOf { select } => {
+        OutputNode::ValueOf { select, .. } => {
             out.push_str(&format!(
                 "{ind}<xsl:value-of select=\"{}\"/>\n",
                 escape_attr(&select.to_string())
             ));
         }
-        OutputNode::CopyOf { select } => {
+        OutputNode::CopyOf { select, .. } => {
             out.push_str(&format!(
                 "{ind}<xsl:copy-of select=\"{}\"/>\n",
                 escape_attr(&select.to_string())
             ));
         }
-        OutputNode::If { test, children } => {
+        OutputNode::If { test, children, .. } => {
             out.push_str(&format!(
                 "{ind}<xsl:if test=\"{}\">\n",
                 escape_attr(&test.to_string())
@@ -119,7 +119,9 @@ fn write_node(node: &OutputNode, depth: usize, out: &mut String) {
             }
             out.push_str(&format!("{ind}</xsl:if>\n"));
         }
-        OutputNode::Choose { whens, otherwise } => {
+        OutputNode::Choose {
+            whens, otherwise, ..
+        } => {
             out.push_str(&format!("{ind}<xsl:choose>\n"));
             for (test, body) in whens {
                 out.push_str(&format!(
@@ -140,7 +142,9 @@ fn write_node(node: &OutputNode, depth: usize, out: &mut String) {
             }
             out.push_str(&format!("{ind}</xsl:choose>\n"));
         }
-        OutputNode::ForEach { select, children } => {
+        OutputNode::ForEach {
+            select, children, ..
+        } => {
             out.push_str(&format!(
                 "{ind}<xsl:for-each select=\"{}\">\n",
                 escape_attr(&select.to_string())

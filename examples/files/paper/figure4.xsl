@@ -1,0 +1,25 @@
+<xsl:stylesheet>
+  <xsl:template match="/">
+    <HTML>
+      <HEAD></HEAD>
+      <BODY>
+        <xsl:apply-templates select="metro"/>
+      </BODY>
+    </HTML>
+  </xsl:template>
+  <xsl:template match="metro">
+    <result_metro>
+      <A></A>
+      <xsl:apply-templates select="hotel/confstat"/>
+    </result_metro>
+  </xsl:template>
+  <xsl:template match="confstat">
+    <result_confstat>
+      <B></B>
+      <xsl:apply-templates select="../hotel_available/../confroom"/>
+    </result_confstat>
+  </xsl:template>
+  <xsl:template match="metro/hotel/confroom">
+    <xsl:value-of select="."/>
+  </xsl:template>
+</xsl:stylesheet>

@@ -8,7 +8,7 @@
 //! xvc explain --sql "SELECT ..." --ddl schema.sql
 //! xvc explain --view v.view --xslt s.xsl --ddl schema.sql [--rewrites]
 //! xvc stats   --view v.view --xslt s.xsl --ddl schema.sql [--data DIR]
-//! xvc check   --xslt s.xsl
+//! xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE]
 //! ```
 //!
 //! * `compose` prints the composed stylesheet view (tag queries included);
@@ -22,7 +22,13 @@
 //! * `stats` prints per-stage composition counters (CTG/TVQ sizes, §4.5
 //!   duplication factor, unbind depth) and, with `--data`, the relational
 //!   engine's work executing the composed view;
-//! * `check` reports `XSLT_basic` violations (what `--rewrites` can lower).
+//! * `check` runs the static analyzer (dialect conformance, tag-query
+//!   scoping/typing, CTG blowup prediction) and prints rustc-style
+//!   diagnostics; positional files are classified by extension
+//!   (`.view`, `.xsl`/`.xslt`, `.sql`/`.ddl`).
+//!
+//! Exit codes: 0 success (warnings allowed), 1 failure or error-level
+//! diagnostics, 2 usage errors (unknown command/flag, missing argument).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,10 +38,42 @@ use xvc::prelude::*;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            if e.usage {
+                // Distinct exit code for "you invoked me wrongly", so
+                // scripts can tell misuse from a failed check/compose.
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// A CLI failure. `usage: true` means the invocation itself was malformed
+/// (unknown command/flag, missing or unclassifiable argument) — exit 2;
+/// everything else exits 1.
+struct CliError {
+    message: String,
+    usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: true,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            usage: false,
         }
     }
 }
@@ -46,15 +84,16 @@ struct Opts {
     ddl: Option<PathBuf>,
     data: Option<PathBuf>,
     sql: Option<String>,
+    files: Vec<PathBuf>,
     rewrites: bool,
     naive: bool,
     pretty: bool,
     optimize: bool,
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
     let Some(command) = args.first().cloned() else {
-        return Err(usage());
+        return Err(CliError::usage(usage()));
     };
     let mut opts = Opts {
         view: None,
@@ -62,14 +101,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
         ddl: None,
         data: None,
         sql: None,
+        files: Vec::new(),
         rewrites: false,
         naive: false,
         pretty: false,
         optimize: false,
     };
     let mut it = args.into_iter().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
             "--view" => opts.view = Some(path_arg(&mut it, "--view")?),
             "--xslt" => opts.xslt = Some(path_arg(&mut it, "--xslt")?),
             "--ddl" => opts.ddl = Some(path_arg(&mut it, "--ddl")?),
@@ -77,7 +117,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--sql" => {
                 opts.sql = Some(
                     it.next()
-                        .ok_or_else(|| "--sql needs a query argument".to_owned())?,
+                        .ok_or_else(|| CliError::usage("--sql needs a query argument"))?,
                 )
             }
             "--rewrites" => opts.rewrites = true,
@@ -86,24 +126,58 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--pretty" => opts.pretty = true,
             "--help" | "-h" => {
                 println!("{}", usage());
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
-            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            other if other.starts_with('-') => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{other}`\n{}",
+                    usage()
+                )))
+            }
+            _ => opts.files.push(PathBuf::from(arg)),
         }
     }
-    match command.as_str() {
-        "compose" => cmd_compose(&opts),
-        "publish" => cmd_publish(&opts),
-        "run" => cmd_run(&opts),
-        "explain" => cmd_explain(&opts),
-        "stats" => cmd_stats(&opts),
-        "check" => cmd_check(&opts),
+    if command != "check" && !opts.files.is_empty() {
+        return Err(CliError::usage(format!(
+            "unexpected argument `{}` — only `check` takes positional files\n{}",
+            opts.files[0].display(),
+            usage()
+        )));
+    }
+    let code = match command.as_str() {
+        "compose" => {
+            cmd_compose(&opts)?;
+            ExitCode::SUCCESS
+        }
+        "publish" => {
+            cmd_publish(&opts)?;
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            cmd_run(&opts)?;
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            cmd_explain(&opts)?;
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            cmd_stats(&opts)?;
+            ExitCode::SUCCESS
+        }
+        "check" => cmd_check(&opts)?,
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            ExitCode::SUCCESS
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
-    }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown command `{other}`\n{}",
+                usage()
+            )))
+        }
+    };
+    Ok(code)
 }
 
 fn usage() -> String {
@@ -115,14 +189,17 @@ fn usage() -> String {
      xvc explain --sql QUERY --ddl FILE\n  \
      xvc explain --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize]\n  \
      xvc stats   --view FILE --xslt FILE --ddl FILE [--data DIR] [--rewrites] [--optimize]\n  \
-     xvc check   --xslt FILE"
+     xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE]\n\n\
+     `check` classifies positional files by extension: .view (publishing view),\n\
+     .xsl/.xslt (stylesheet), .sql/.ddl (catalog). It exits 0 when only\n\
+     warnings were emitted, 1 on error-level diagnostics, 2 on usage errors."
         .to_owned()
 }
 
-fn path_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+fn path_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, CliError> {
     it.next()
         .map(PathBuf::from)
-        .ok_or_else(|| format!("{flag} needs a path argument"))
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a path argument")))
 }
 
 fn read(path: &Path) -> Result<String, String> {
@@ -307,19 +384,75 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(opts: &Opts) -> Result<(), String> {
-    let xslt = load_xslt(opts)?;
-    let violations = check_basic(&xslt);
-    if violations.is_empty() {
-        println!("OK: the stylesheet is within XSLT_basic");
-        return Ok(());
+fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
+    use xvc::analyze::{check_sources, render, render_summary, CheckOptions, Sources};
+
+    let mut view_path = opts.view.clone();
+    let mut xslt_path = opts.xslt.clone();
+    let mut ddl_path = opts.ddl.clone();
+    for f in &opts.files {
+        match f.extension().and_then(|e| e.to_str()) {
+            Some("view") => view_path = Some(f.clone()),
+            Some("xsl" | "xslt") => xslt_path = Some(f.clone()),
+            Some("sql" | "ddl") => ddl_path = Some(f.clone()),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "cannot classify `{}` by extension — expected .view, .xsl/.xslt or .sql/.ddl",
+                    f.display()
+                )))
+            }
+        }
     }
-    println!("{} XSLT_basic violation(s):", violations.len());
-    for v in &violations {
-        println!("  - {v}");
+    if view_path.is_none() && xslt_path.is_none() {
+        return Err(CliError::usage(format!(
+            "check needs a view and/or a stylesheet\n{}",
+            usage()
+        )));
     }
-    println!("(restrictions 4/5/10 can usually be lowered with --rewrites)");
-    Ok(())
+    let view_src = match &view_path {
+        Some(p) => Some((p.display().to_string(), read(p)?)),
+        None => None,
+    };
+    let xslt_src = match &xslt_path {
+        Some(p) => Some((p.display().to_string(), read(p)?)),
+        None => None,
+    };
+    let catalog = match &ddl_path {
+        Some(p) => {
+            Some(xvc::rel::parse_ddl(&read(p)?).map_err(|e| format!("{}: {e}", p.display()))?)
+        }
+        None => None,
+    };
+    let report = check_sources(
+        view_src.as_ref().map(|(_, s)| s.as_str()),
+        xslt_src.as_ref().map(|(_, s)| s.as_str()),
+        catalog.as_ref(),
+        &CheckOptions::default(),
+    );
+    let sources = Sources {
+        view: view_src.as_ref().map(|(n, s)| (n.as_str(), s.as_str())),
+        stylesheet: xslt_src.as_ref().map(|(n, s)| (n.as_str(), s.as_str())),
+    };
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", render(d, &sources));
+    }
+    println!("{}", render_summary(&report.diagnostics));
+    if let Some(p) = &report.prediction {
+        if !p.cyclic {
+            eprintln!(
+                "(§4.5 prediction: {} CTG nodes -> {} TVQ nodes, duplication factor {:.2})",
+                p.ctg_nodes, p.predicted_tvq_nodes, p.duplication_factor
+            );
+        }
+    }
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn emit(doc: &Document, pretty: bool) {

@@ -79,9 +79,11 @@
 //! | [`view`] (`xvc-view`) | schema-tree queries (Definition 1) and the XML publisher |
 //! | [`xslt`] (`xvc-xslt`) | stylesheet model, Figure-5 engine, `XSLT_basic` checks, §5.2 rewrites |
 //! | [`core`] (`xvc-core`) | the composition algorithm: CTG → TVQ → OTT → stylesheet view; §5.3 recursion |
+//! | [`analyze`] (`xvc-analyze`) | `xvc check` static analysis: dialect conformance, tag-query typing, CTG blowup prediction |
 
 #![warn(missing_docs)]
 
+pub use xvc_analyze as analyze;
 pub use xvc_core as core;
 pub use xvc_rel as rel;
 pub use xvc_view as view;
@@ -91,6 +93,7 @@ pub use xvc_xslt as xslt;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
+    pub use xvc_analyze::{check_sources, check_workload, CheckOptions, Report};
     pub use xvc_core::{
         check_composition, compose, compose_recursive, compose_with_rewrites, compose_with_stats,
         ComposeOptions, ComposeStats, Divergence, DivergenceKind, RecursiveComposition,

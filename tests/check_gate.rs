@@ -1,0 +1,80 @@
+//! The analyzer as a gate: if `xvc check` reports no errors for a
+//! workload, composition and the dynamic `v'(I) = x(v(I))` verification
+//! must run panic- and error-free. Randomized stylesheets probe the gate
+//! from the stylesheet side; the converse (errors ⇒ compose fails) is
+//! deliberately NOT claimed — warnings may degrade, never block.
+
+use proptest::prelude::*;
+use xvc::analyze::{check_workload, CheckOptions};
+use xvc::core::paper_fixtures::figure1_view;
+use xvc::prelude::*;
+use xvc_bench::random_stylesheet::{random_stylesheet, StylesheetConfig};
+use xvc_bench::workload::{generate, WorkloadConfig};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+proptest! {
+    #![proptest_config(cases(24))]
+
+    /// check-clean ⇒ compose + check_composition succeed.
+    #[test]
+    fn error_free_report_implies_composable(sheet_seed in 0u64..10_000) {
+        let db = generate(&WorkloadConfig::scale(1));
+        let view = figure1_view();
+        let catalog = db.catalog();
+        let stylesheet =
+            random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
+
+        let report = check_workload(
+            Some(&view),
+            Some(&stylesheet),
+            Some(&catalog),
+            &CheckOptions::default(),
+        );
+        prop_assert!(
+            !report.has_errors(),
+            "seed {sheet_seed}: generated stylesheets must check clean\n{:?}",
+            report.diagnostics
+        );
+
+        // The gate's promise: no errors ⇒ the whole pipeline goes through.
+        let composed = compose(&view, &stylesheet, &catalog);
+        prop_assert!(composed.is_ok(), "seed {sheet_seed}: {:?}", composed.err());
+        let composed = composed.unwrap();
+        match check_composition(&view, &stylesheet, &composed, &db) {
+            Ok(None) => {}
+            Ok(Some(div)) => prop_assert!(false, "seed {sheet_seed}: divergence\n{div}"),
+            Err(e) => prop_assert!(false, "seed {sheet_seed}: verification error {e}"),
+        }
+    }
+
+    /// The §4.5 prediction agrees with the measured TVQ size on every
+    /// generated workload, not just the hand-written fixtures.
+    #[test]
+    fn prediction_matches_measured_stats(sheet_seed in 0u64..10_000) {
+        let view = figure1_view();
+        let db = generate(&WorkloadConfig::scale(1));
+        let catalog = db.catalog();
+        let stylesheet =
+            random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
+        let report = check_workload(
+            Some(&view),
+            Some(&stylesheet),
+            Some(&catalog),
+            &CheckOptions::default(),
+        );
+        let p = report.prediction.as_ref().expect("acyclic workload");
+        let (_, stats) =
+            compose_with_stats(&view, &stylesheet, &catalog, ComposeOptions::default())
+                .expect("composable");
+        prop_assert_eq!(p.predicted_tvq_nodes, stats.tvq_nodes, "seed {}", sheet_seed);
+    }
+}

@@ -66,13 +66,20 @@ impl Fixture {
     }
 
     fn run(&self, args: &[&str]) -> (bool, String, String) {
+        let (code, stdout, stderr) = self.run_code(args);
+        (code == Some(0), stdout, stderr)
+    }
+
+    /// Like [`Fixture::run`] but returns the raw exit code, for tests that
+    /// distinguish failure (1) from usage errors (2).
+    fn run_code(&self, args: &[&str]) -> (Option<i32>, String, String) {
         let out = Command::new(env!("CARGO_BIN_EXE_xvc"))
             .current_dir(&self.dir)
             .args(args)
             .output()
             .expect("spawn xvc");
         (
-            out.status.success(),
+            out.status.code(),
             String::from_utf8_lossy(&out.stdout).into_owned(),
             String::from_utf8_lossy(&out.stderr).into_owned(),
         )
@@ -172,7 +179,7 @@ fn publish_materializes_the_view() {
 }
 
 #[test]
-fn check_reports_basic_violations() {
+fn check_reports_diagnostics_with_codes() {
     let f = Fixture::new("check");
     std::fs::write(
         f.dir.join("flow.xsl"),
@@ -183,27 +190,55 @@ fn check_reports_basic_violations() {
            </xsl:stylesheet>"#,
     )
     .unwrap();
-    let (ok, stdout, _) = f.run(&["check", "--xslt", "flow.xsl"]);
-    assert!(ok);
-    assert!(stdout.contains("violation"), "{stdout}");
-    assert!(stdout.contains("restriction (5)"), "{stdout}");
+    // Flow control is a lowerable warning (XVC002) but the missing root
+    // rule is fatal (XVC008): exit 1.
+    let (code, stdout, _) = f.run_code(&["check", "--xslt", "flow.xsl"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("warning[XVC002]"), "{stdout}");
+    assert!(stdout.contains("error[XVC008]"), "{stdout}");
+    assert!(stdout.contains("error"), "{stdout}");
 
+    // guide.xsl only uses predicates (XVC001, composes directly): exit 0.
     let (ok, stdout, _) = f.run(&["check", "--xslt", "guide.xsl"]);
-    assert!(ok);
-    // guide.xsl uses predicates (restriction 4) but nothing else.
-    assert!(stdout.contains("restriction (4)"), "{stdout}");
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("warning[XVC001]"), "{stdout}");
+    assert!(stdout.contains("--> guide.xsl"), "{stdout}");
+    assert!(!stdout.contains("error["), "{stdout}");
+}
+
+#[test]
+fn check_classifies_positional_files() {
+    let f = Fixture::new("check_positional");
+    // Full workload via positional args: view + stylesheet + catalog.
+    let (ok, stdout, stderr) = f.run(&["check", "guide.view", "guide.xsl", "schema.sql"]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("warning[XVC001]"), "{stdout}");
+    assert!(!stdout.contains("error["), "{stdout}");
+    assert!(stdout.contains("warning"), "{stdout}");
+    assert!(stderr.contains("prediction"), "{stderr}");
+
+    // Unclassifiable extension is a usage error: exit 2.
+    let (code, _, stderr) = f.run_code(&["check", "guide.txt"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("cannot classify"), "{stderr}");
 }
 
 #[test]
 fn helpful_errors() {
     let f = Fixture::new("errors");
-    let (ok, _, stderr) = f.run(&["compose", "--view", "guide.view"]);
-    assert!(!ok);
+    let (code, _, stderr) = f.run_code(&["compose", "--view", "guide.view"]);
+    assert_eq!(code, Some(1), "{stderr}");
     assert!(stderr.contains("missing --xslt"), "{stderr}");
 
-    let (ok, _, stderr) = f.run(&["frobnicate"]);
-    assert!(!ok);
+    // Misuse (unknown command/flag) exits 2, distinct from failures.
+    let (code, _, stderr) = f.run_code(&["frobnicate"]);
+    assert_eq!(code, Some(2), "{stderr}");
     assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (code, _, stderr) = f.run_code(&["compose", "--frobnicate"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown flag"), "{stderr}");
 
     let (ok, _, stderr) = f.run(&[
         "compose",
