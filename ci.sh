@@ -20,4 +20,11 @@ cargo build --release --quiet --bin xvc
     examples/files/paper/figure1.view examples/files/paper/figure4.xsl \
     examples/files/paper/figure2.sql
 
+echo "== xvc check --json (machine-readable gate, exits 1 on error-level codes)"
+./target/release/xvc check --json \
+    examples/files/guide.view examples/files/guide.xsl examples/files/schema.sql
+./target/release/xvc check --json \
+    examples/files/paper/figure1.view examples/files/paper/figure4.xsl \
+    examples/files/paper/figure2.sql
+
 echo "ci.sh: all green"

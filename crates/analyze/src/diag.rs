@@ -3,7 +3,8 @@
 //! Every problem `xvc check` can report has a stable code (`XVC001`…)
 //! so fixtures, scripts and documentation can match on it. Codes are
 //! grouped by pipeline stage: `0xx` stylesheet/dialect, `1xx` view
-//! definition, `2xx` CTG-level, `3xx` composed output.
+//! definition, `2xx` CTG-level, `3xx` composed output, `4xx`
+//! predicate-dataflow findings over the TVQ.
 
 use std::fmt;
 
@@ -68,6 +69,13 @@ pub enum Code {
     Xvc204,
     Xvc301,
     Xvc302,
+    Xvc401,
+    Xvc402,
+    Xvc403,
+    Xvc404,
+    Xvc405,
+    Xvc406,
+    Xvc407,
 }
 
 impl Code {
@@ -98,6 +106,13 @@ impl Code {
             Code::Xvc204 => "XVC204",
             Code::Xvc301 => "XVC301",
             Code::Xvc302 => "XVC302",
+            Code::Xvc401 => "XVC401",
+            Code::Xvc402 => "XVC402",
+            Code::Xvc403 => "XVC403",
+            Code::Xvc404 => "XVC404",
+            Code::Xvc405 => "XVC405",
+            Code::Xvc406 => "XVC406",
+            Code::Xvc407 => "XVC407",
         }
     }
 
@@ -128,6 +143,13 @@ impl Code {
             Code::Xvc204 => "TVQ duplication blowup predicted (§4.5)",
             Code::Xvc301 => "composed tag query is not well-typed",
             Code::Xvc302 => "composed tag query parameter is out of scope",
+            Code::Xvc401 => "TVQ subtree is provably dead (unsatisfiable tag query)",
+            Code::Xvc402 => "contradictory predicate (query still yields its aggregate row)",
+            Code::Xvc403 => "conjunct is redundant (entailed by facts in force)",
+            Code::Xvc404 => "EXISTS condition is tautological",
+            Code::Xvc405 => "comparison with NULL never holds",
+            Code::Xvc406 => "key-implied duplicate join candidate",
+            Code::Xvc407 => "predicate-dataflow prune report",
         }
     }
 
@@ -148,7 +170,14 @@ impl Code {
             | Code::Xvc201
             | Code::Xvc202
             | Code::Xvc203
-            | Code::Xvc204 => Severity::Warning,
+            | Code::Xvc204
+            | Code::Xvc401
+            | Code::Xvc402
+            | Code::Xvc403
+            | Code::Xvc404
+            | Code::Xvc405
+            | Code::Xvc406
+            | Code::Xvc407 => Severity::Warning,
             Code::Xvc008
             | Code::Xvc009
             | Code::Xvc010
@@ -192,6 +221,13 @@ impl Code {
             Code::Xvc204,
             Code::Xvc301,
             Code::Xvc302,
+            Code::Xvc401,
+            Code::Xvc402,
+            Code::Xvc403,
+            Code::Xvc404,
+            Code::Xvc405,
+            Code::Xvc406,
+            Code::Xvc407,
         ]
     }
 }

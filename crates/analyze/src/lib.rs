@@ -1,6 +1,6 @@
 //! # `xvc-analyze` — static analysis for view/stylesheet workloads
 //!
-//! `xvc check` runs this analyzer *before* composition. Four passes, each
+//! `xvc check` runs this analyzer *before* composition. Five passes, each
 //! emitting [`Diagnostic`]s with stable `XVCnnn` codes, severities, source
 //! spans and suggestions (see `DIAGNOSTICS.md` for the catalogue):
 //!
@@ -15,7 +15,12 @@
 //!    prediction (exact, cross-checked against `ComposeStats`);
 //! 4. **Composed-output validation** ([`composed_check`]) — the SQL that
 //!    `UNBIND`/`NEST` generated for `v′`, re-checked with the same typed
-//!    resolver.
+//!    resolver;
+//! 5. **Predicate dataflow** ([`dataflow`]) — abstract interpretation over
+//!    the TVQ (per-column equality/interval/nullability domains seeded
+//!    from DDL constraints): dead subtrees, contradictions, redundant
+//!    conjuncts, tautological `EXISTS`, NULL comparisons, key-implied
+//!    duplicate joins, and what `ComposeOptions::prune` would remove.
 //!
 //! The analyzer never executes queries and needs no database instance —
 //! only the catalog.
@@ -37,6 +42,7 @@
 
 pub mod composed_check;
 pub mod ctg_check;
+pub mod dataflow;
 pub mod diag;
 pub mod dialect;
 pub mod render;
@@ -50,9 +56,10 @@ use xvc_core::tvq::DEFAULT_TVQ_LIMIT;
 
 pub use composed_check::check_composed;
 pub use ctg_check::{check_ctg, predict_tvq, BlowupPrediction};
+pub use dataflow::check_dataflow;
 pub use diag::{Code, Diagnostic, Severity, Stage};
 pub use dialect::check_stylesheet;
-pub use render::{render, render_summary, Sources};
+pub use render::{render, render_summary, sort_for_display, Sources};
 pub use view_check::{check_view, TreeKind};
 
 /// Analyzer knobs.
@@ -158,7 +165,8 @@ pub fn check_workload(
         }
     }
 
-    // Pass 4: compose and validate the output. Only when the workload is
+    // Passes 4 & 5: compose and validate the output, then run the
+    // predicate-dataflow pass over the TVQ. Only when the workload is
     // error-free so far (errors mean composition is known to fail) and
     // acyclic (recursion takes the §5.3 path instead).
     if let (Some(v), Some(x), Some(cat)) = (view, stylesheet, catalog) {
@@ -174,35 +182,64 @@ pub fn check_workload(
                 ..xvc_core::ComposeOptions::default()
             };
             // §5.1 predicates compose directly; §5.2 deviations lower first.
-            let composed = if needs_lowering {
-                xvc_xslt::rewrite::lower_to_basic(x)
-                    .map_err(xvc_core::Error::from)
-                    .and_then(|lowered| xvc_core::compose_with_options(v, &lowered, cat, options))
-            } else {
-                xvc_core::compose_with_options(v, x, cat, options)
-            };
-            match composed {
-                Ok(c) => report
-                    .diagnostics
-                    .extend(composed_check::check_composed(&c, cat)),
-                Err(xvc_core::Error::TvqTooLarge { limit }) => {
-                    if !report.diagnostics.iter().any(|d| d.code == Code::Xvc204) {
+            let lowered;
+            let target: Option<&Stylesheet> = if needs_lowering {
+                match xvc_xslt::rewrite::lower_to_basic(x) {
+                    Ok(l) => {
+                        lowered = l;
+                        Some(&lowered)
+                    }
+                    Err(e) => {
                         report.diagnostics.push(
                             Diagnostic::new(
-                                Code::Xvc204,
+                                Code::Xvc009,
                                 Stage::General,
-                                format!("traverse view query exceeds the {limit}-node budget"),
+                                xvc_core::Error::from(e).to_string(),
                             )
-                            .as_error(),
+                            .with_help(
+                                "the stylesheet parses and type-checks but falls outside \
+                                 the composable fragment",
+                            ),
                         );
+                        None
                     }
                 }
-                Err(e) => report.diagnostics.push(
-                    Diagnostic::new(Code::Xvc009, Stage::General, e.to_string()).with_help(
-                        "the stylesheet parses and type-checks but falls outside the \
-                         composable fragment",
+            } else {
+                Some(x)
+            };
+            if let Some(xs) = target {
+                match xvc_core::compose_with_options(v, xs, cat, options) {
+                    Ok(c) => {
+                        report
+                            .diagnostics
+                            .extend(composed_check::check_composed(&c, cat));
+                        // Pass 5: XVC4xx over the same (lowered) workload.
+                        report.diagnostics.extend(dataflow::check_dataflow(
+                            v,
+                            xs,
+                            cat,
+                            opts.tvq_limit,
+                        ));
+                    }
+                    Err(xvc_core::Error::TvqTooLarge { limit }) => {
+                        if !report.diagnostics.iter().any(|d| d.code == Code::Xvc204) {
+                            report.diagnostics.push(
+                                Diagnostic::new(
+                                    Code::Xvc204,
+                                    Stage::General,
+                                    format!("traverse view query exceeds the {limit}-node budget"),
+                                )
+                                .as_error(),
+                            );
+                        }
+                    }
+                    Err(e) => report.diagnostics.push(
+                        Diagnostic::new(Code::Xvc009, Stage::General, e.to_string()).with_help(
+                            "the stylesheet parses and type-checks but falls outside the \
+                             composable fragment",
+                        ),
                     ),
-                ),
+                }
             }
         }
     }

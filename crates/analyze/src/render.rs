@@ -71,6 +71,38 @@ pub fn render(d: &Diagnostic, sources: &Sources<'_>) -> String {
     out
 }
 
+/// Orders diagnostics for display — by source file (view first, then
+/// stylesheet, then the sourceless composed/general stages), span offset
+/// (spanless findings last within their file), and code — and drops exact
+/// duplicates. Emission order (pass order) is left to the [`crate::Report`];
+/// this is applied at the presentation layer only, so tests asserting
+/// pass order keep working.
+pub fn sort_for_display(diagnostics: &[Diagnostic]) -> Vec<Diagnostic> {
+    let stage_rank = |s: Stage| match s {
+        Stage::View => 0usize,
+        Stage::Stylesheet => 1,
+        Stage::Composed => 2,
+        Stage::General => 3,
+    };
+    let mut out: Vec<Diagnostic> = diagnostics.to_vec();
+    out.sort_by(|a, b| {
+        (
+            stage_rank(a.stage),
+            a.span.map_or(usize::MAX, |s| s.start),
+            a.code,
+            &a.message,
+        )
+            .cmp(&(
+                stage_rank(b.stage),
+                b.span.map_or(usize::MAX, |s| s.start),
+                b.code,
+                &b.message,
+            ))
+    });
+    out.dedup();
+    out
+}
+
 /// Renders the `N error(s); M warning(s)` trailer line.
 pub fn render_summary(diagnostics: &[Diagnostic]) -> String {
     let errors = diagnostics
@@ -133,6 +165,27 @@ mod tests {
         assert!(r.contains("error[XVC008]"), "{r}");
         assert!(r.contains("--> s.xsl\n"), "{r}");
         assert!(r.contains("= help: add <xsl:template"), "{r}");
+    }
+
+    #[test]
+    fn sort_for_display_orders_and_dedupes() {
+        let a = Diagnostic::new(Code::Xvc102, Stage::View, "later in file")
+            .with_span(Some(Span::new(40, 45)));
+        let b = Diagnostic::new(Code::Xvc101, Stage::View, "earlier in file")
+            .with_span(Some(Span::new(4, 9)));
+        let c = Diagnostic::new(Code::Xvc001, Stage::Stylesheet, "xslt");
+        let g = Diagnostic::new(Code::Xvc407, Stage::General, "summary");
+        let spanless_view = Diagnostic::new(Code::Xvc103, Stage::View, "no span");
+        let input = vec![
+            g.clone(),
+            c.clone(),
+            a.clone(),
+            b.clone(),
+            b.clone(), // exact duplicate
+            spanless_view.clone(),
+        ];
+        let sorted = sort_for_display(&input);
+        assert_eq!(sorted, vec![b, a, spanless_view, c, g]);
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! cargo run -p xvc-bench --bin figures --release            # everything
 //! cargo run -p xvc-bench --bin figures --release -- figures # figures only
 //! cargo run -p xvc-bench --bin figures --release -- tables  # tables only
+//! cargo run -p xvc-bench --bin figures --release -- prune   # BENCH_compose.json only
 //! ```
 
 use xvc_bench::experiments::{
-    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, render_comparison_table,
-    render_cost_table,
+    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
+    render_comparison_table, render_cost_table, render_prune_json,
 };
 use xvc_bench::figures::all_figures;
 
@@ -16,6 +17,7 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
     let figures = arg.is_empty() || arg == "figures";
     let tables = arg.is_empty() || arg == "tables";
+    let prune = arg.is_empty() || arg == "prune";
 
     if figures {
         for (title, body) in all_figures() {
@@ -53,5 +55,27 @@ fn main() {
             "{}",
             render_cost_table("C2 — fan stylesheets", "fan", &rows)
         );
+    }
+
+    if prune {
+        println!("==== prune: §4.2.1 predicate-dataflow pass (BENCH_compose.json) ====\n");
+        let rows = prune_bench(4, 3);
+        for r in &rows {
+            println!(
+                "{}: TVQ {} -> {} nodes, {} conjunct(s) dropped; \
+                 compose {:.3} -> {:.3} ms, eval {:.3} -> {:.3} ms",
+                r.workload,
+                r.tvq_nodes_before,
+                r.tvq_nodes_after,
+                r.conjuncts_eliminated,
+                r.compose_plain_ms,
+                r.compose_prune_ms,
+                r.eval_plain_ms,
+                r.eval_prune_ms,
+            );
+        }
+        let json = render_prune_json(&rows);
+        std::fs::write("BENCH_compose.json", &json).expect("write BENCH_compose.json");
+        println!("\nwrote BENCH_compose.json");
     }
 }

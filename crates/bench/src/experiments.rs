@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use xvc_core::paper_fixtures::figure1_view;
-use xvc_core::{compose, compose_with_options, ComposeOptions};
+use xvc_core::{compose, compose_with_options, compose_with_stats, ComposeOptions};
 use xvc_rel::Database;
 use xvc_view::{publish, publish_with_stats, SchemaTree};
 use xvc_xml::documents_equal_unordered;
@@ -207,6 +207,149 @@ pub fn c2_fan_sweep(depth: usize, fans: &[usize], reps: usize) -> Vec<ComposeCos
             }
         })
         .collect()
+}
+
+/// One measured data point of the §4.2.1 predicate-dataflow prune study:
+/// how much of the TVQ the prune pass removes on a workload, and what
+/// that does to composition and evaluation wall time.
+#[derive(Debug, Clone)]
+pub struct PruneBenchRow {
+    /// Human-readable workload name.
+    pub workload: String,
+    /// TVQ nodes without pruning.
+    pub tvq_nodes_before: usize,
+    /// TVQ nodes after pruning (strictly smaller when anything was dead).
+    pub tvq_nodes_after: usize,
+    /// Redundant conjuncts dropped from surviving tag queries.
+    pub conjuncts_eliminated: usize,
+    /// Composition wall time without pruning.
+    pub compose_plain_ms: f64,
+    /// Composition wall time with the prune pass enabled.
+    pub compose_prune_ms: f64,
+    /// Wall time evaluating the unpruned composed view.
+    pub eval_plain_ms: f64,
+    /// Wall time evaluating the pruned composed view.
+    pub eval_prune_ms: f64,
+}
+
+/// A Figure-4 variant whose `hotel` branch demands `starrating < 3`
+/// against the view's `starrating > 4` restriction (provably dead) and
+/// whose surviving branch repeats an entailed conjunct.
+const PRUNE_STUDY_XSLT: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <out><xsl:apply-templates select="metro"/></out>
+  </xsl:template>
+  <xsl:template match="metro">
+    <m>
+      <xsl:apply-templates select="hotel[@starrating &lt; 3]"/>
+      <xsl:apply-templates select="confstat"/>
+    </m>
+  </xsl:template>
+  <xsl:template match="hotel">
+    <h><xsl:apply-templates select="confroom"/></h>
+  </xsl:template>
+  <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+  <xsl:template match="confstat"><s/></xsl:template>
+</xsl:stylesheet>"#;
+
+/// Measures the prune pass on the clean Figure 4 workload (nothing to
+/// remove — the overhead case) and on the dead-branch variant (the win
+/// case). Both runs verify `v'(I) = x(v(I))` with pruning on before any
+/// timing.
+pub fn prune_bench(scale: usize, reps: usize) -> Vec<PruneBenchRow> {
+    let view = figure1_view();
+    let db = generate(&WorkloadConfig::scale(scale));
+    let figure4 = xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).expect("fixture");
+    let dead = xvc_xslt::parse_stylesheet(PRUNE_STUDY_XSLT).expect("fixture");
+    [
+        ("figure4 (clean)", &figure4),
+        ("figure4 + dead hotel branch", &dead),
+    ]
+    .into_iter()
+    .map(|(name, stylesheet)| prune_compare(name, &view, stylesheet, &db, reps))
+    .collect()
+}
+
+fn prune_compare(
+    name: &str,
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    db: &Database,
+    reps: usize,
+) -> PruneBenchRow {
+    let plain = ComposeOptions::default();
+    let pruning = ComposeOptions {
+        prune: true,
+        ..plain
+    };
+    let catalog = db.catalog();
+    let (unpruned, before) =
+        compose_with_stats(view, stylesheet, &catalog, plain).expect("compose");
+    let (pruned, after) =
+        compose_with_stats(view, stylesheet, &catalog, pruning).expect("compose --prune");
+
+    // Verify before measuring, as everywhere else in this module.
+    let (full, _) = publish(view, db).expect("publish v");
+    let expected = process(stylesheet, &full).expect("run x");
+    let (actual, _) = publish(&pruned, db).expect("publish pruned v'");
+    assert!(
+        documents_equal_unordered(&expected, &actual),
+        "pruned v'(I) != x(v(I)) — benchmark would be meaningless"
+    );
+
+    let compose_plain_ms = best_ms(reps, || {
+        let out = compose_with_options(view, stylesheet, &catalog, plain).expect("compose");
+        std::hint::black_box(out);
+    });
+    let compose_prune_ms = best_ms(reps, || {
+        let out = compose_with_options(view, stylesheet, &catalog, pruning).expect("compose");
+        std::hint::black_box(out);
+    });
+    let eval_plain_ms = best_ms(reps, || {
+        let (out, _) = publish(&unpruned, db).expect("publish v'");
+        std::hint::black_box(out);
+    });
+    let eval_prune_ms = best_ms(reps, || {
+        let (out, _) = publish(&pruned, db).expect("publish pruned v'");
+        std::hint::black_box(out);
+    });
+
+    PruneBenchRow {
+        workload: name.to_owned(),
+        tvq_nodes_before: before.tvq_nodes,
+        tvq_nodes_after: after.tvq_nodes,
+        conjuncts_eliminated: after.conjuncts_eliminated,
+        compose_plain_ms,
+        compose_prune_ms,
+        eval_plain_ms,
+        eval_prune_ms,
+    }
+}
+
+/// Serializes prune-bench rows as the `BENCH_compose.json` artifact: a
+/// JSON array, one object per workload.
+pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"tvq_nodes_before\": {}, \"tvq_nodes_after\": {}, \
+             \"conjuncts_eliminated\": {}, \"compose_plain_ms\": {:.3}, \
+             \"compose_prune_ms\": {:.3}, \"eval_plain_ms\": {:.3}, \"eval_prune_ms\": {:.3}}}",
+            r.workload,
+            r.tvq_nodes_before,
+            r.tvq_nodes_after,
+            r.conjuncts_eliminated,
+            r.compose_plain_ms,
+            r.compose_prune_ms,
+            r.eval_plain_ms,
+            r.eval_prune_ms,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// Renders comparison rows as an aligned text table.

@@ -20,6 +20,12 @@ pub struct ComposeOptions {
     /// conjuncts collapse. Off by default so the artifacts match the
     /// paper's figures verbatim.
     pub optimize: bool,
+    /// Run the predicate-dataflow pruning pass ([`crate::prune`]) between
+    /// the TVQ and stylesheet-view stages: provably dead TVQ subtrees are
+    /// removed and redundant conjuncts dropped, with every decision
+    /// justified by a recorded fact chain. Off by default for the same
+    /// reason as `optimize`.
+    pub prune: bool,
 }
 
 impl Default for ComposeOptions {
@@ -27,6 +33,7 @@ impl Default for ComposeOptions {
         ComposeOptions {
             tvq_limit: DEFAULT_TVQ_LIMIT,
             optimize: false,
+            prune: false,
         }
     }
 }
@@ -66,7 +73,12 @@ pub fn compose_with_stats(
 ) -> Result<(SchemaTree, crate::stats::ComposeStats)> {
     view.validate()?;
     let ctg = build_ctg(view, stylesheet)?;
-    let tvq = build_tvq(view, stylesheet, &ctg, catalog, options.tvq_limit)?;
+    let mut tvq = build_tvq(view, stylesheet, &ctg, catalog, options.tvq_limit)?;
+    let prune_stats = if options.prune {
+        crate::prune::prune_tvq(&mut tvq, catalog)
+    } else {
+        crate::prune::PruneStats::default()
+    };
     let mut composed = build_stylesheet_view(view, stylesheet, &tvq, catalog)?;
     if options.optimize {
         for vid in composed.node_ids() {
@@ -77,7 +89,9 @@ pub fn compose_with_stats(
             }
         }
     }
-    let stats = crate::stats::ComposeStats::collect(view, stylesheet, &ctg, &tvq, &composed);
+    let mut stats = crate::stats::ComposeStats::collect(view, stylesheet, &ctg, &tvq, &composed);
+    stats.tvq_nodes_pruned = prune_stats.nodes_removed;
+    stats.conjuncts_eliminated = prune_stats.conjuncts_eliminated;
     Ok((composed, stats))
 }
 

@@ -30,7 +30,10 @@
 //! into `WHERE`/`HAVING` clauses ([`predicate`]); flow control and conflict
 //! resolution are lowered first via `xvc_xslt::rewrite`
 //! ([`compose_with_rewrites`]); recursive stylesheets are partially pushed
-//! down per §5.3 ([`recursion`]).
+//! down per §5.3 ([`recursion`]). The §4.2.1 optimization hooks include a
+//! predicate-dataflow pass ([`prune`]) that removes provably dead TVQ
+//! subtrees and drops redundant conjuncts before the stylesheet view is
+//! built (opt-in via [`ComposeOptions`]).
 
 #![warn(missing_docs)]
 
@@ -41,6 +44,7 @@ pub mod error;
 pub mod matchq;
 pub mod paper_fixtures;
 pub mod predicate;
+pub mod prune;
 pub mod recursion;
 pub mod selectq;
 pub mod stats;
@@ -59,6 +63,7 @@ pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
 pub use divergence::{check_composition, Divergence, DivergenceKind};
 pub use error::{Error, Result};
 pub use matchq::matchq;
+pub use prune::{analyze_tvq, prune_tvq, NodeVerdict, PruneStats, TvqAnalysis};
 pub use recursion::{compose_recursive, RecursiveComposition};
 pub use selectq::{selectq, selectq_all};
 pub use stats::ComposeStats;

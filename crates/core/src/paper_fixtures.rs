@@ -15,10 +15,22 @@ use xvc_view::{SchemaTree, ViewNode};
 /// The hotel reservation schema of Figure 2.
 pub fn figure2_catalog() -> Catalog {
     let mut c = Catalog::new();
+    // The first column of every Figure 2 table is its PRIMARY KEY, matching
+    // the annotations in `examples/files/paper/figure2.sql`.
     let t = |name: &str, cols: &[(&str, ColumnType)]| {
         TableSchema::new(
             name,
-            cols.iter().map(|(n, ty)| ColumnDef::new(*n, *ty)).collect(),
+            cols.iter()
+                .enumerate()
+                .map(|(i, (n, ty))| {
+                    let def = ColumnDef::new(*n, *ty);
+                    if i == 0 {
+                        def.primary_key()
+                    } else {
+                        def
+                    }
+                })
+                .collect(),
         )
         .expect("static schema is well-formed")
     };

@@ -26,8 +26,15 @@ pub struct ComposeStats {
     pub ctg_nodes: usize,
     /// CTG edges: possible context transitions.
     pub ctg_edges: usize,
-    /// TVQ nodes after unrolling the CTG into a tree.
+    /// TVQ nodes after unrolling the CTG into a tree (post-prune when
+    /// [`crate::ComposeOptions::prune`] is on).
     pub tvq_nodes: usize,
+    /// TVQ nodes the predicate-dataflow pass removed as provably dead
+    /// (0 unless [`crate::ComposeOptions::prune`] is on).
+    pub tvq_nodes_pruned: usize,
+    /// Provably redundant conjuncts dropped from surviving tag queries by
+    /// the same pass.
+    pub conjuncts_eliminated: usize,
     /// `tvq_nodes / ctg_nodes` — how much unrolling duplicated shared CTG
     /// nodes (§4.5; 1.0 means the CTG was already a tree).
     pub duplication_factor: f64,
@@ -74,6 +81,8 @@ impl ComposeStats {
             ctg_nodes: ctg.nodes.len(),
             ctg_edges: ctg.edges.len(),
             tvq_nodes: tvq.nodes.len(),
+            tvq_nodes_pruned: 0,
+            conjuncts_eliminated: 0,
             duplication_factor: if ctg.nodes.is_empty() {
                 1.0
             } else {
@@ -104,6 +113,13 @@ impl std::fmt::Display for ComposeStats {
             "TVQ:      {} nodes (duplication factor {:.2})",
             self.tvq_nodes, self.duplication_factor
         )?;
+        if self.tvq_nodes_pruned > 0 || self.conjuncts_eliminated > 0 {
+            writeln!(
+                f,
+                "pruned:   {} dead TVQ nodes removed, {} redundant conjuncts dropped",
+                self.tvq_nodes_pruned, self.conjuncts_eliminated
+            )?;
+        }
         write!(
             f,
             "composed: {} nodes ({} tag queries, {} OTT literals, max unbind depth {})",

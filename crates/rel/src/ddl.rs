@@ -12,8 +12,10 @@
 //! Accepted type names: `INT`/`INTEGER`/`BIGINT` → [`ColumnType::Int`],
 //! `FLOAT`/`REAL`/`DOUBLE` → [`ColumnType::Float`], `TEXT`/`STRING`/
 //! `VARCHAR`/`CHAR`/`DATE` → [`ColumnType::Str`] (dates are ISO strings in
-//! this engine). Anything after the type up to `,`/`)` is ignored, so
-//! common annotations like `PRIMARY KEY` or `NOT NULL` parse through.
+//! this engine). The column annotations `PRIMARY KEY` and `NOT NULL` are
+//! retained on [`ColumnDef`] — they seed the predicate-dataflow fact base
+//! and `check_row` enforces NOT NULL on insert. Other trailing tokens up
+//! to `,`/`)` (e.g. `DEFAULT 0`, `UNIQUE`) still parse through unrecorded.
 
 use crate::error::{Error, Result};
 use crate::schema::{Catalog, ColumnDef, ColumnType, TableSchema};
@@ -94,7 +96,17 @@ pub fn parse_create_table(stmt: &str) -> Result<TableSchema> {
             found: format!("'{ty_name}'"),
             expected: "INT/FLOAT/TEXT-family type",
         })?;
-        columns.push(ColumnDef::new(col_name, ty));
+        let mut def = ColumnDef::new(col_name, ty);
+        // Constraint annotations after the type: `PRIMARY KEY`, `NOT NULL`.
+        let trailing: Vec<String> = parts.map(str::to_ascii_uppercase).collect();
+        for pair in trailing.windows(2) {
+            match (pair[0].as_str(), pair[1].as_str()) {
+                ("PRIMARY", "KEY") => def = def.primary_key(),
+                ("NOT", "NULL") => def = def.not_null(),
+                _ => {}
+            }
+        }
+        columns.push(def);
     }
     TableSchema::new(name, columns)
 }
@@ -172,6 +184,26 @@ mod tests {
         let avail = catalog.get("availability").unwrap();
         assert_eq!(avail.columns[1].ty, ColumnType::Float);
         assert_eq!(avail.columns[2].ty, ColumnType::Str);
+        // PRIMARY KEY is retained, not stripped.
+        let metro = catalog.get("metroarea").unwrap();
+        assert!(metro.columns[0].primary_key);
+        assert!(metro.columns[0].not_null);
+        assert!(!metro.columns[1].primary_key);
+        assert_eq!(metro.primary_key(), vec!["metroid"]);
+    }
+
+    #[test]
+    fn retains_not_null_and_enforces_it() {
+        let db =
+            database_from_ddl("CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, note TEXT)")
+                .unwrap();
+        let schema = db.table("t").unwrap().schema.clone();
+        assert!(schema.columns[1].not_null && !schema.columns[1].primary_key);
+        assert!(!schema.columns[2].not_null);
+        use crate::value::Value;
+        assert!(schema
+            .check_row(&[Value::Int(1), Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

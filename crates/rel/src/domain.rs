@@ -1,0 +1,439 @@
+//! Per-column abstract domain for predicate dataflow analysis (§4.2.1).
+//!
+//! A [`ColumnDomain`] over-approximates the set of values a column (or a
+//! `$bv.column` parameter) can take on any row that satisfies the facts
+//! assumed so far: an optional exact value, a set of excluded values, an
+//! interval, and nullability. Facts are *assumed* one conjunct at a time;
+//! each assumption reports whether it contradicts the accumulated domain
+//! (the conjunction is provably false under SQL three-valued logic), is
+//! entailed by it (the conjunct can be dropped), or genuinely narrows it.
+//!
+//! Soundness notes:
+//!
+//! * Assuming a comparison conjunct `col op v` TRUE also implies `col` is
+//!   not NULL — a comparison with NULL is *unknown*, and filters discard
+//!   unknown rows.
+//! * Entailment (`Redundant`) of a comparison requires the domain to pin
+//!   the column non-NULL; an interval alone proves nothing about a row
+//!   where the column is NULL.
+//! * Incomparable values ([`Value::sql_cmp`] returns `None`, e.g. `Int`
+//!   vs `Str`) never produce `Contradiction` or `Redundant`; the domain
+//!   stays conservative.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::ast::BinOp;
+use crate::value::Value;
+
+/// Outcome of assuming one fact against a [`ColumnDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assumption {
+    /// The fact conflicts with the accumulated domain: the conjunction is
+    /// provably false (no row can satisfy all facts at once).
+    Contradiction,
+    /// The fact is already entailed by the accumulated domain: the
+    /// conjunct is provably true on every surviving row and can be
+    /// dropped.
+    Redundant,
+    /// The fact narrows the domain (or is incomparable and recorded
+    /// conservatively).
+    Narrowed,
+}
+
+/// An interval endpoint: the bounding value and whether it is inclusive.
+type Bound = (Value, bool);
+
+/// Abstract value-set of one column: equality, disequalities, interval and
+/// nullability. The empty (`Default`) domain means "anything, possibly
+/// NULL".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnDomain {
+    /// Exact value, when a `col = literal` fact was assumed.
+    pub eq: Option<Value>,
+    /// Excluded values (`col <> literal` facts).
+    pub ne: Vec<Value>,
+    /// Lower bound from `>` / `>=` facts.
+    pub lo: Option<Bound>,
+    /// Upper bound from `<` / `<=` facts.
+    pub hi: Option<Bound>,
+    /// The column is known non-NULL (DDL `NOT NULL`, a key column, or any
+    /// assumed comparison).
+    pub non_null: bool,
+    /// The column is known NULL (`col IS NULL` assumed true).
+    pub null_only: bool,
+}
+
+impl ColumnDomain {
+    /// The domain seeded by a DDL `NOT NULL` / `PRIMARY KEY` constraint.
+    pub fn not_null() -> Self {
+        ColumnDomain {
+            non_null: true,
+            ..ColumnDomain::default()
+        }
+    }
+
+    /// Assumes the comparison conjunct `col op v` is TRUE (`v` must not be
+    /// NULL; NULL-literal comparisons are never true and are handled by
+    /// the caller).
+    pub fn assume_cmp(&mut self, op: BinOp, v: &Value) -> Assumption {
+        debug_assert!(op.is_comparison());
+        if v.is_null() || self.null_only {
+            // `col op NULL` is unknown on every row; `col IS NULL` plus a
+            // true comparison is impossible.
+            return Assumption::Contradiction;
+        }
+        match op {
+            BinOp::Eq => self.assume_eq(v),
+            BinOp::Ne => self.assume_ne(v),
+            BinOp::Lt | BinOp::Le => self.assume_upper(v, op == BinOp::Le),
+            BinOp::Gt | BinOp::Ge => self.assume_lower(v, op == BinOp::Ge),
+            _ => Assumption::Narrowed,
+        }
+    }
+
+    /// Assumes `col IS NOT NULL` is TRUE.
+    pub fn assume_non_null(&mut self) -> Assumption {
+        if self.null_only {
+            return Assumption::Contradiction;
+        }
+        if self.non_null {
+            return Assumption::Redundant;
+        }
+        self.non_null = true;
+        Assumption::Narrowed
+    }
+
+    /// Assumes `col IS NULL` is TRUE.
+    pub fn assume_null(&mut self) -> Assumption {
+        if self.non_null || self.eq.is_some() || self.lo.is_some() || self.hi.is_some() {
+            return Assumption::Contradiction;
+        }
+        if self.null_only {
+            return Assumption::Redundant;
+        }
+        self.null_only = true;
+        Assumption::Narrowed
+    }
+
+    fn assume_eq(&mut self, v: &Value) -> Assumption {
+        if let Some(e) = &self.eq {
+            return match e.sql_eq(v) {
+                Some(true) => Assumption::Redundant,
+                Some(false) => Assumption::Contradiction,
+                None => Assumption::Narrowed, // incomparable types
+            };
+        }
+        if self.ne.iter().any(|n| n.sql_eq(v) == Some(true)) {
+            return Assumption::Contradiction;
+        }
+        if !self.bounds_admit(v) {
+            return Assumption::Contradiction;
+        }
+        self.eq = Some(v.clone());
+        self.non_null = true;
+        Assumption::Narrowed
+    }
+
+    fn assume_ne(&mut self, v: &Value) -> Assumption {
+        let known_non_null = self.non_null;
+        if let Some(e) = &self.eq {
+            return match e.sql_eq(v) {
+                Some(true) => Assumption::Contradiction,
+                Some(false) if known_non_null => Assumption::Redundant,
+                _ => Assumption::Narrowed,
+            };
+        }
+        if known_non_null
+            && (self.ne.iter().any(|n| n.sql_eq(v) == Some(true)) || !self.bounds_admit(v))
+        {
+            // Already excluded by a prior `<>` or by the interval.
+            return Assumption::Redundant;
+        }
+        self.ne.push(v.clone());
+        self.non_null = true;
+        Assumption::Narrowed
+    }
+
+    /// Assumes `col < v` (`inclusive = false`) or `col <= v` (`true`).
+    fn assume_upper(&mut self, v: &Value, inclusive: bool) -> Assumption {
+        if let Some(e) = &self.eq {
+            return match e.sql_cmp(v) {
+                Some(Ordering::Less) => Assumption::Redundant,
+                Some(Ordering::Equal) if inclusive => Assumption::Redundant,
+                Some(_) => Assumption::Contradiction,
+                None => Assumption::Narrowed,
+            };
+        }
+        // Contradiction against the lower bound: [lo, v) or [lo, v] empty.
+        if let Some((lo, lo_inc)) = &self.lo {
+            match lo.sql_cmp(v) {
+                Some(Ordering::Greater) => return Assumption::Contradiction,
+                Some(Ordering::Equal) if !(inclusive && *lo_inc) => {
+                    return Assumption::Contradiction
+                }
+                _ => {}
+            }
+        }
+        // Redundant if the existing upper bound is at least as tight (and
+        // the column is already pinned non-NULL).
+        if self.non_null {
+            if let Some((hi, hi_inc)) = &self.hi {
+                let entailed = match hi.sql_cmp(v) {
+                    Some(Ordering::Less) => true,
+                    Some(Ordering::Equal) => inclusive || !*hi_inc,
+                    _ => false,
+                };
+                if entailed {
+                    return Assumption::Redundant;
+                }
+            }
+        }
+        if self.tighter_than_hi(v, inclusive) {
+            self.hi = Some((v.clone(), inclusive));
+        }
+        self.non_null = true;
+        Assumption::Narrowed
+    }
+
+    /// Assumes `col > v` (`inclusive = false`) or `col >= v` (`true`).
+    fn assume_lower(&mut self, v: &Value, inclusive: bool) -> Assumption {
+        if let Some(e) = &self.eq {
+            return match e.sql_cmp(v) {
+                Some(Ordering::Greater) => Assumption::Redundant,
+                Some(Ordering::Equal) if inclusive => Assumption::Redundant,
+                Some(_) => Assumption::Contradiction,
+                None => Assumption::Narrowed,
+            };
+        }
+        if let Some((hi, hi_inc)) = &self.hi {
+            match v.sql_cmp(hi) {
+                Some(Ordering::Greater) => return Assumption::Contradiction,
+                Some(Ordering::Equal) if !(inclusive && *hi_inc) => {
+                    return Assumption::Contradiction
+                }
+                _ => {}
+            }
+        }
+        if self.non_null {
+            if let Some((lo, lo_inc)) = &self.lo {
+                let entailed = match lo.sql_cmp(v) {
+                    Some(Ordering::Greater) => true,
+                    Some(Ordering::Equal) => inclusive || !*lo_inc,
+                    _ => false,
+                };
+                if entailed {
+                    return Assumption::Redundant;
+                }
+            }
+        }
+        if self.tighter_than_lo(v, inclusive) {
+            self.lo = Some((v.clone(), inclusive));
+        }
+        self.non_null = true;
+        Assumption::Narrowed
+    }
+
+    /// True if `v` can lie inside the current interval.
+    fn bounds_admit(&self, v: &Value) -> bool {
+        if let Some((lo, inc)) = &self.lo {
+            match lo.sql_cmp(v) {
+                Some(Ordering::Greater) => return false,
+                Some(Ordering::Equal) if !inc => return false,
+                _ => {}
+            }
+        }
+        if let Some((hi, inc)) = &self.hi {
+            match v.sql_cmp(hi) {
+                Some(Ordering::Greater) => return false,
+                Some(Ordering::Equal) if !inc => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// True if `(v, inclusive)` is a strictly tighter upper bound than the
+    /// current one (incomparable bounds are never replaced).
+    fn tighter_than_hi(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.hi {
+            None => true,
+            Some((hi, hi_inc)) => matches!(
+                (v.sql_cmp(hi), inclusive, hi_inc),
+                (Some(Ordering::Less), _, _) | (Some(Ordering::Equal), false, true)
+            ),
+        }
+    }
+
+    /// True if `(v, inclusive)` is a strictly tighter lower bound than the
+    /// current one.
+    fn tighter_than_lo(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.lo {
+            None => true,
+            Some((lo, lo_inc)) => matches!(
+                (v.sql_cmp(lo), inclusive, lo_inc),
+                (Some(Ordering::Greater), _, _) | (Some(Ordering::Equal), false, true)
+            ),
+        }
+    }
+
+    /// True if nothing is known about the column.
+    pub fn is_top(&self) -> bool {
+        *self == ColumnDomain::default()
+    }
+}
+
+impl fmt::Display for ColumnDomain {
+    /// Compact rendering used in fact chains: `= 5`, `> 4, <= 10, NOT NULL`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(v) = &self.eq {
+            parts.push(format!("= {}", v.render()));
+        }
+        for n in &self.ne {
+            parts.push(format!("<> {}", n.render()));
+        }
+        if let Some((v, inc)) = &self.lo {
+            parts.push(format!("{} {}", if *inc { ">=" } else { ">" }, v.render()));
+        }
+        if let Some((v, inc)) = &self.hi {
+            parts.push(format!("{} {}", if *inc { "<=" } else { "<" }, v.render()));
+        }
+        if self.null_only {
+            parts.push("IS NULL".to_owned());
+        } else if self.non_null && self.eq.is_none() {
+            parts.push("NOT NULL".to_owned());
+        }
+        if parts.is_empty() {
+            parts.push("unconstrained".to_owned());
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn equality_conflicts() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(5)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(5)), Assumption::Redundant);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(6)), Assumption::Contradiction);
+        assert!(d.non_null);
+    }
+
+    #[test]
+    fn interval_contradiction() {
+        // starrating > 4 AND starrating < 3 — the Figure 1 seed example.
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(4)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Lt, &int(3)), Assumption::Contradiction);
+    }
+
+    #[test]
+    fn interval_boundary_cases() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Ge, &int(3)), Assumption::Narrowed);
+        // >= 3 AND < 3 is empty; >= 3 AND <= 3 pins the value.
+        assert_eq!(
+            d.clone().assume_cmp(BinOp::Lt, &int(3)),
+            Assumption::Contradiction
+        );
+        assert_eq!(d.assume_cmp(BinOp::Le, &int(3)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(3)), Assumption::Narrowed);
+    }
+
+    #[test]
+    fn redundant_bounds() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(10)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(5)), Assumption::Redundant);
+        assert_eq!(d.assume_cmp(BinOp::Ge, &int(10)), Assumption::Redundant);
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(12)), Assumption::Narrowed);
+    }
+
+    #[test]
+    fn entailment_requires_non_null() {
+        // A bare DDL interval fact without NOT NULL must not prove a
+        // conjunct redundant... but any assumed comparison pins non-NULL,
+        // so construct the domain by hand.
+        let mut d = ColumnDomain {
+            lo: Some((int(10), false)),
+            ..ColumnDomain::default()
+        };
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(5)), Assumption::Narrowed);
+    }
+
+    #[test]
+    fn equality_vs_interval() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Lt, &int(3)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(7)), Assumption::Contradiction);
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(7)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Lt, &int(3)), Assumption::Contradiction);
+        assert_eq!(d.assume_cmp(BinOp::Gt, &int(3)), Assumption::Redundant);
+    }
+
+    #[test]
+    fn disequality() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Ne, &int(5)), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Ne, &int(5)), Assumption::Redundant);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(5)), Assumption::Contradiction);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(6)), Assumption::Narrowed);
+    }
+
+    #[test]
+    fn nullability() {
+        let mut d = ColumnDomain::not_null();
+        assert_eq!(d.assume_null(), Assumption::Contradiction);
+        assert_eq!(d.assume_non_null(), Assumption::Redundant);
+
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_null(), Assumption::Narrowed);
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(1)), Assumption::Contradiction);
+
+        // Comparing against a NULL literal is never true.
+        let mut d = ColumnDomain::default();
+        assert_eq!(
+            d.assume_cmp(BinOp::Eq, &Value::Null),
+            Assumption::Contradiction
+        );
+    }
+
+    #[test]
+    fn incomparable_types_stay_conservative() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(d.assume_cmp(BinOp::Eq, &int(5)), Assumption::Narrowed);
+        assert_eq!(
+            d.assume_cmp(BinOp::Eq, &Value::Str("x".into())),
+            Assumption::Narrowed
+        );
+    }
+
+    #[test]
+    fn int_float_compare() {
+        let mut d = ColumnDomain::default();
+        assert_eq!(
+            d.assume_cmp(BinOp::Gt, &Value::Float(4.5)),
+            Assumption::Narrowed
+        );
+        assert_eq!(d.assume_cmp(BinOp::Lt, &int(4)), Assumption::Contradiction);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut d = ColumnDomain::default();
+        d.assume_cmp(BinOp::Gt, &int(4));
+        d.assume_cmp(BinOp::Le, &int(10));
+        assert_eq!(d.to_string(), "> 4, <= 10, NOT NULL");
+        assert_eq!(ColumnDomain::default().to_string(), "unconstrained");
+    }
+}

@@ -1,0 +1,1174 @@
+//! Conjunct-level fact analysis of SELECT queries (§4.2.1).
+//!
+//! [`analyze_query`] walks a query's FROM/WHERE/HAVING under a
+//! [`FactSet`] — a map from column keys to [`ColumnDomain`]s with recorded
+//! provenance — seeded from DDL constraints (`NOT NULL` / `PRIMARY KEY`,
+//! retained by `ddl.rs`) and from *inherited* facts about `$bv.column`
+//! parameters supplied by the caller (the TVQ dataflow pass flows a
+//! parent's output-column domains into its descendants). It derives:
+//!
+//! * **contradictions** — a WHERE/HAVING conjunction provably false under
+//!   three-valued logic, with the justifying fact chain;
+//! * **emptiness** — whether the query provably yields zero rows (an
+//!   implicitly aggregating query still yields one row when its WHERE is
+//!   unsatisfiable, so contradiction ≠ emptiness);
+//! * **redundant conjuncts** — entailed by inherited/DDL facts or earlier
+//!   conjuncts, safe to drop;
+//! * **tautological / empty EXISTS** subqueries;
+//! * **NULL comparisons** that can never bind a row;
+//! * **key-implied duplicate joins** (diagnostic candidates only — never
+//!   used for pruning);
+//! * **output-column facts** for propagation to child TVQ nodes.
+//!
+//! Column keys are textual and scoped to one query: `alias.column` for
+//! resolved table columns, `$bv.column` for parameters, and the rendered
+//! SQL text for aggregate expressions (so `HAVING SUM(x) > 100 AND
+//! SUM(x) < 50` is recognized as contradictory). EXISTS subqueries get a
+//! fresh scope seeded with the parameter facts only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::domain::{Assumption, ColumnDomain};
+use crate::eval::output_columns;
+use crate::print::expr_to_sql_inline;
+use crate::schema::Catalog;
+use crate::value::Value;
+
+/// One column's accumulated domain plus the human-readable facts that
+/// produced it (the *fact chain* justifying any decision based on it).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FactEntry {
+    /// The abstract value-set.
+    pub domain: ColumnDomain,
+    /// One line per fact applied, e.g. ``DDL: hotel.hotelid PRIMARY KEY``
+    /// or ``conjunct `starrating > 4```.
+    pub sources: Vec<String>,
+}
+
+/// A set of facts: column key → domain + provenance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FactSet {
+    entries: BTreeMap<String, FactEntry>,
+}
+
+/// The key under which facts about `$var.column` are stored.
+pub fn param_key(var: &str, column: &str) -> String {
+    format!("${var}.{column}")
+}
+
+impl FactSet {
+    /// An empty fact set.
+    pub fn new() -> Self {
+        FactSet::default()
+    }
+
+    /// True if no facts are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a whole entry (seeding). An existing entry for the key is
+    /// replaced.
+    pub fn insert(&mut self, key: impl Into<String>, entry: FactEntry) {
+        self.entries.insert(key.into(), entry);
+    }
+
+    /// The entry for a key, if any fact is recorded.
+    pub fn get(&self, key: &str) -> Option<&FactEntry> {
+        self.entries.get(key)
+    }
+
+    /// Iterates `(key, entry)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &FactEntry)> {
+        self.entries.iter()
+    }
+
+    /// The subset of facts about `$bv.column` parameters — the only facts
+    /// that remain valid inside a subquery scope.
+    pub fn params_only(&self) -> FactSet {
+        FactSet {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(k, _)| k.starts_with('$'))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Assumes `key op v` TRUE; returns the outcome and, for
+    /// `Contradiction`/`Redundant`, the justifying chain.
+    fn assume_cmp(&mut self, key: &str, op: BinOp, v: &Value, source: &str) -> Outcome {
+        self.assume_with(key, source, |d| d.assume_cmp(op, v))
+    }
+
+    fn assume_non_null(&mut self, key: &str, source: &str) -> Outcome {
+        self.assume_with(key, source, ColumnDomain::assume_non_null)
+    }
+
+    fn assume_null(&mut self, key: &str, source: &str) -> Outcome {
+        self.assume_with(key, source, ColumnDomain::assume_null)
+    }
+
+    fn assume_with(
+        &mut self,
+        key: &str,
+        source: &str,
+        f: impl FnOnce(&mut ColumnDomain) -> Assumption,
+    ) -> Outcome {
+        let entry = self.entries.entry(key.to_owned()).or_default();
+        let prior = entry.sources.clone();
+        match f(&mut entry.domain) {
+            Assumption::Contradiction => {
+                let mut chain = prior;
+                chain.push(source.to_owned());
+                Outcome {
+                    assumption: Assumption::Contradiction,
+                    chain,
+                }
+            }
+            Assumption::Redundant => Outcome {
+                assumption: Assumption::Redundant,
+                chain: prior,
+            },
+            Assumption::Narrowed => {
+                entry.sources.push(source.to_owned());
+                Outcome {
+                    assumption: Assumption::Narrowed,
+                    chain: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+struct Outcome {
+    assumption: Assumption,
+    chain: Vec<String>,
+}
+
+/// Which clause a finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseKind {
+    /// The WHERE clause.
+    Where,
+    /// The HAVING clause.
+    Having,
+}
+
+/// A provably false conjunct, with the facts that conflict with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contradiction {
+    /// The clause the conjunct sits in.
+    pub clause: ClauseKind,
+    /// Rendered conjunct.
+    pub conjunct: String,
+    /// Facts that make it false, oldest first (the chain ends with the
+    /// conjunct itself).
+    pub chain: Vec<String>,
+}
+
+/// A conjunct entailed by the facts in force before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Redundancy {
+    /// The clause the conjunct sits in.
+    pub clause: ClauseKind,
+    /// Index in the flattened conjunct list of that clause (see
+    /// [`conjuncts`]); used by [`drop_redundant_conjuncts`].
+    pub index: usize,
+    /// Rendered conjunct.
+    pub conjunct: String,
+    /// Facts that entail it.
+    pub chain: Vec<String>,
+    /// True when the conjunct is an `EXISTS` (or `NOT EXISTS`) whose
+    /// subquery provably yields rows (resp. none).
+    pub tautological_exists: bool,
+}
+
+/// Result of [`analyze_query`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryAnalysis {
+    /// First provable contradiction, if any.
+    pub contradiction: Option<Contradiction>,
+    /// The query provably yields zero rows. Not implied by
+    /// `contradiction`: an implicitly aggregating query with an
+    /// unsatisfiable WHERE still yields one all-NULL row.
+    pub empty: bool,
+    /// Fact chain justifying `empty`.
+    pub empty_chain: Vec<String>,
+    /// Conjuncts that can be dropped without changing the result.
+    pub redundant: Vec<Redundancy>,
+    /// Comparisons that can never bind (NULL literal operand, or
+    /// `IS NULL` on a NOT NULL column).
+    pub null_compares: Vec<String>,
+    /// Key-implied duplicate-join candidates (diagnostic only).
+    pub dup_joins: Vec<String>,
+    /// Facts about the query's output columns, keyed by output name.
+    pub out_facts: BTreeMap<String, FactEntry>,
+    /// The `$bv.column` facts in force after the WHERE/HAVING clauses —
+    /// the inherited facts, possibly narrowed by this query's conjuncts.
+    /// Only populated when no contradiction poisoned the clause walk.
+    ///
+    /// Narrowed parameter facts hold wherever a *row of this query*
+    /// exists, so callers may propagate them to TVQ descendants — but not
+    /// for implicitly aggregating queries, which yield a row even when
+    /// their WHERE is false for every underlying tuple.
+    pub param_facts: FactSet,
+}
+
+/// Flattens a predicate into its top-level AND conjuncts, left to right.
+pub fn conjuncts(pred: &ScalarExpr) -> Vec<&ScalarExpr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+        match e {
+            ScalarExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                walk(lhs, out);
+                walk(rhs, out);
+            }
+            _ => out.push(e),
+        }
+    }
+    walk(pred, &mut out);
+    out
+}
+
+fn conjuncts_owned(pred: ScalarExpr) -> Vec<ScalarExpr> {
+    let mut out = Vec::new();
+    fn walk(e: ScalarExpr, out: &mut Vec<ScalarExpr>) {
+        match e {
+            ScalarExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                walk(*lhs, out);
+                walk(*rhs, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(pred, &mut out);
+    out
+}
+
+fn refold(parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
+    parts
+        .into_iter()
+        .reduce(|acc, p| ScalarExpr::binary(BinOp::And, acc, p))
+}
+
+/// Name-resolution scope of one query: which FROM item provides each
+/// column, plus the declaration-ordered column layout (for `*`).
+struct Scope {
+    providers: BTreeMap<String, Vec<String>>,
+    layout: Vec<(String, Vec<String>)>,
+    /// Binding name → base-table name, for `Named` FROM items.
+    tables: BTreeMap<String, String>,
+}
+
+impl Scope {
+    fn build(from: &[TableRef], catalog: &Catalog) -> Scope {
+        let mut providers: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut layout = Vec::new();
+        let mut tables = BTreeMap::new();
+        for t in from {
+            let binding = t.binding_name().to_owned();
+            let cols: Vec<String> = match t {
+                TableRef::Named { name, .. } => {
+                    tables.insert(binding.clone(), name.clone());
+                    catalog
+                        .get(name)
+                        .map(|s| s.column_names())
+                        .unwrap_or_default()
+                }
+                TableRef::Derived { query, .. } => {
+                    output_columns(query, catalog).unwrap_or_default()
+                }
+            };
+            for c in &cols {
+                providers
+                    .entry(c.clone())
+                    .or_default()
+                    .push(binding.clone());
+            }
+            layout.push((binding, cols));
+        }
+        Scope {
+            providers,
+            layout,
+            tables,
+        }
+    }
+
+    /// Canonical fact key for a column reference.
+    fn key_of(&self, qualifier: Option<&str>, name: &str) -> String {
+        if let Some(q) = qualifier {
+            return format!("{q}.{name}");
+        }
+        match self.providers.get(name).map(Vec::as_slice) {
+            Some([unique]) => format!("{unique}.{name}"),
+            _ => name.to_owned(), // ambiguous or unknown: its own bucket
+        }
+    }
+}
+
+fn is_preserved(t: &TableRef) -> bool {
+    matches!(
+        t,
+        TableRef::Derived {
+            preserved: true,
+            ..
+        }
+    )
+}
+
+/// One side of a comparison conjunct, normalized.
+enum Side<'a> {
+    /// Column / parameter / aggregate reference: `(fact key, display)`.
+    Ref(String, String),
+    /// A literal value.
+    Lit(&'a Value),
+    /// Anything else (arithmetic, OR, nested subquery...).
+    Opaque,
+}
+
+fn side_of<'a>(e: &'a ScalarExpr, scope: &Scope) -> Side<'a> {
+    match e {
+        ScalarExpr::Column { qualifier, name } => {
+            let key = scope.key_of(qualifier.as_deref(), name);
+            Side::Ref(key, expr_to_sql_inline(e))
+        }
+        ScalarExpr::Param { var, column } => {
+            Side::Ref(param_key(var, column), expr_to_sql_inline(e))
+        }
+        ScalarExpr::Aggregate { .. } => {
+            let text = expr_to_sql_inline(e);
+            Side::Ref(text.clone(), text)
+        }
+        ScalarExpr::Literal(v) => Side::Lit(v),
+        _ => Side::Opaque,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other, // Eq / Ne are symmetric
+    }
+}
+
+/// Analyzes one query under inherited parameter facts. `inherited` should
+/// contain only `$bv.column` keys (anything else is filtered out).
+pub fn analyze_query(q: &SelectQuery, catalog: &Catalog, inherited: &FactSet) -> QueryAnalysis {
+    let mut a = QueryAnalysis::default();
+    let scope = Scope::build(&q.from, catalog);
+    let mut facts = inherited.params_only();
+    let any_preserved = q.from.iter().any(is_preserved);
+
+    // Seed facts from the FROM clause: DDL constraints for base tables,
+    // recursive analysis for derived tables. When some *other* FROM item
+    // has preserved (left-outer) semantics, this item's columns may be
+    // NULL-padded, so its non-NULL facts are weakened.
+    for t in &q.from {
+        let binding = t.binding_name().to_owned();
+        let padded = any_preserved && !is_preserved(t);
+        match t {
+            TableRef::Named { name, .. } => {
+                if let Ok(schema) = catalog.get(name) {
+                    for col in &schema.columns {
+                        if col.rejects_null() && !padded {
+                            let kind = if col.primary_key {
+                                "PRIMARY KEY"
+                            } else {
+                                "NOT NULL"
+                            };
+                            facts.insert(
+                                format!("{binding}.{}", col.name),
+                                FactEntry {
+                                    domain: ColumnDomain::not_null(),
+                                    sources: vec![format!("DDL: {}.{} {kind}", name, col.name)],
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            TableRef::Derived {
+                query, preserved, ..
+            } => {
+                let sub = analyze_query(query, catalog, &facts);
+                if sub.empty && (*preserved || !any_preserved) && !a.empty {
+                    a.empty = true;
+                    a.empty_chain = std::iter::once(format!(
+                        "derived table `{binding}` provably yields no rows"
+                    ))
+                    .chain(sub.empty_chain.iter().cloned())
+                    .collect();
+                }
+                for (col, entry) in &sub.out_facts {
+                    let mut domain = entry.domain.clone();
+                    if padded {
+                        domain.non_null = false;
+                        domain.null_only = false;
+                    }
+                    if !domain.is_top() {
+                        facts.insert(
+                            format!("{binding}.{col}"),
+                            FactEntry {
+                                domain,
+                                sources: entry.sources.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // WHERE conjuncts.
+    if let Some(w) = &q.where_clause {
+        analyze_clause(ClauseKind::Where, w, &scope, catalog, &mut facts, &mut a);
+    }
+
+    let implicit_agg = q.is_aggregating() && q.group_by.is_empty();
+
+    // HAVING conjuncts, over the same fact set (group columns keep their
+    // WHERE-level facts; aggregates get their own keys). Every group of a
+    // grouped query holds at least one row.
+    if a.contradiction.is_none() {
+        if let Some(h) = &q.having {
+            if !q.group_by.is_empty() {
+                facts.insert(
+                    expr_to_sql_inline(&ScalarExpr::Aggregate {
+                        func: crate::ast::AggFunc::Count,
+                        arg: None,
+                    }),
+                    FactEntry {
+                        domain: ColumnDomain {
+                            lo: Some((Value::Int(1), true)),
+                            non_null: true,
+                            ..ColumnDomain::default()
+                        },
+                        sources: vec!["every group contains at least one row".to_owned()],
+                    },
+                );
+            }
+            analyze_clause(ClauseKind::Having, h, &scope, catalog, &mut facts, &mut a);
+        }
+    }
+
+    // Emptiness: a false WHERE kills every row unless the query is an
+    // implicit (ungrouped) aggregation, which still yields one row; a
+    // false HAVING filters even that group out.
+    if !a.empty {
+        if let Some(c) = &a.contradiction {
+            let dead = match c.clause {
+                ClauseKind::Where => !implicit_agg,
+                ClauseKind::Having => true,
+            };
+            if dead {
+                a.empty = true;
+                a.empty_chain = c.chain.clone();
+                if a.empty_chain.last() != Some(&c.conjunct) {
+                    a.empty_chain.push(c.conjunct.clone());
+                }
+            }
+        }
+    }
+
+    // Output-column facts (only when the query can actually yield rows —
+    // callers prune empty nodes before propagating).
+    if a.contradiction.is_none() {
+        collect_out_facts(q, &scope, &facts, &mut a.out_facts);
+        a.param_facts = facts.params_only();
+    }
+    a
+}
+
+fn collect_out_facts(
+    q: &SelectQuery,
+    scope: &Scope,
+    facts: &FactSet,
+    out: &mut BTreeMap<String, FactEntry>,
+) {
+    let mut push = |name: &str, entry: FactEntry| {
+        if !entry.domain.is_top() {
+            out.entry(name.to_owned()).or_insert(entry);
+        }
+    };
+    for item in &q.select {
+        match item {
+            SelectItem::Expr { expr, alias } => match expr {
+                ScalarExpr::Column { qualifier, name } => {
+                    let key = scope.key_of(qualifier.as_deref(), name);
+                    if let Some(e) = facts.get(&key) {
+                        push(alias.as_deref().unwrap_or(name), e.clone());
+                    }
+                }
+                ScalarExpr::Literal(v) if !v.is_null() => {
+                    if let Some(name) = alias {
+                        push(
+                            name,
+                            FactEntry {
+                                domain: ColumnDomain {
+                                    eq: Some(v.clone()),
+                                    non_null: true,
+                                    ..ColumnDomain::default()
+                                },
+                                sources: vec![format!("selected literal {}", v.render())],
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            },
+            SelectItem::Star => {
+                for (binding, cols) in &scope.layout {
+                    for col in cols {
+                        if let Some(e) = facts.get(&format!("{binding}.{col}")) {
+                            push(col, e.clone());
+                        }
+                    }
+                }
+            }
+            SelectItem::QualifiedStar(binding) => {
+                if let Some((_, cols)) = scope.layout.iter().find(|(b, _)| b == binding) {
+                    for col in cols {
+                        if let Some(e) = facts.get(&format!("{binding}.{col}")) {
+                            push(col, e.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn analyze_clause(
+    clause: ClauseKind,
+    pred: &ScalarExpr,
+    scope: &Scope,
+    catalog: &Catalog,
+    facts: &mut FactSet,
+    a: &mut QueryAnalysis,
+) {
+    for (index, conjunct) in conjuncts(pred).into_iter().enumerate() {
+        if a.contradiction.is_some() {
+            return; // facts after a contradiction are meaningless
+        }
+        let display = expr_to_sql_inline(conjunct);
+        let source = format!("conjunct `{display}`");
+        let mut contradiction = |chain: Vec<String>, a: &mut QueryAnalysis| {
+            a.contradiction = Some(Contradiction {
+                clause,
+                conjunct: display.clone(),
+                chain,
+            });
+        };
+        let redundancy = |chain: Vec<String>, tautological_exists: bool| Redundancy {
+            clause,
+            index,
+            conjunct: display.clone(),
+            chain,
+            tautological_exists,
+        };
+        match conjunct {
+            ScalarExpr::Literal(v) => {
+                if v.is_truthy() {
+                    a.redundant
+                        .push(redundancy(vec!["the literal is TRUE".to_owned()], false));
+                } else {
+                    contradiction(vec!["the literal is never TRUE".to_owned()], a);
+                }
+            }
+            ScalarExpr::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let (lhs_side, rhs_side) = (side_of(lhs, scope), side_of(rhs, scope));
+                match (lhs_side, rhs_side) {
+                    (Side::Ref(_, _), Side::Lit(v)) | (Side::Lit(v), Side::Ref(_, _))
+                        if v.is_null() =>
+                    {
+                        a.null_compares
+                            .push(format!("`{display}`: comparison with NULL is never TRUE"));
+                        contradiction(vec!["comparison with NULL is never TRUE".to_owned()], a);
+                    }
+                    (Side::Ref(key, _), Side::Lit(v)) => {
+                        apply_cmp(
+                            facts,
+                            &key,
+                            *op,
+                            v,
+                            &source,
+                            &redundancy,
+                            &mut contradiction,
+                            a,
+                        );
+                    }
+                    (Side::Lit(v), Side::Ref(key, _)) => {
+                        apply_cmp(
+                            facts,
+                            &key,
+                            flip(*op),
+                            v,
+                            &source,
+                            &redundancy,
+                            &mut contradiction,
+                            a,
+                        );
+                    }
+                    (Side::Lit(l), Side::Lit(r)) => match l.sql_cmp(r) {
+                        Some(ord) => {
+                            let holds = match op {
+                                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                                BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                                _ => return,
+                            };
+                            if holds {
+                                a.redundant.push(redundancy(
+                                    vec!["both operands are constants".to_owned()],
+                                    false,
+                                ));
+                            } else {
+                                contradiction(vec!["both operands are constants".to_owned()], a);
+                            }
+                        }
+                        None => {
+                            a.null_compares
+                                .push(format!("`{display}`: comparison with NULL is never TRUE"));
+                            contradiction(vec!["comparison with NULL is never TRUE".to_owned()], a);
+                        }
+                    },
+                    (Side::Ref(k1, d1), Side::Ref(k2, d2)) => {
+                        // Both referenced values must be non-NULL for the
+                        // comparison to be TRUE.
+                        for k in [&k1, &k2] {
+                            let o = facts.assume_non_null(k, &source);
+                            if o.assumption == Assumption::Contradiction {
+                                contradiction(o.chain, a);
+                                return;
+                            }
+                        }
+                        if *op == BinOp::Eq {
+                            record_dup_join(&k1, &k2, scope, catalog, &display, a);
+                            // `a = b` with both pinned to the same constant
+                            // is redundant; cross-propagate domains so a
+                            // parent's fact can contradict a grandchild's.
+                            let (e1, e2) = (facts.get(&k1).cloned(), facts.get(&k2).cloned());
+                            if let (Some(e1), Some(e2)) = (&e1, &e2) {
+                                if let (Some(v1), Some(v2)) = (&e1.domain.eq, &e2.domain.eq) {
+                                    if v1.sql_eq(v2) == Some(true) {
+                                        let mut chain = e1.sources.clone();
+                                        chain.extend(e2.sources.clone());
+                                        a.redundant.push(redundancy(chain, false));
+                                        continue;
+                                    }
+                                }
+                            }
+                            for (from, to, from_disp) in [(&e1, &k2, &d1), (&e2, &k1, &d2)] {
+                                if let Some(entry) = from {
+                                    if let Some(chain) =
+                                        cross_assume(facts, entry, to, &display, from_disp)
+                                    {
+                                        contradiction(chain, a);
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {} // opaque operand: no facts
+                }
+            }
+            ScalarExpr::IsNull(inner) => match side_of(inner, scope) {
+                Side::Ref(key, _) => {
+                    let o = facts.assume_null(&key, &source);
+                    match o.assumption {
+                        Assumption::Contradiction => {
+                            a.null_compares
+                                .push(format!("`{display}`: the operand is provably NOT NULL"));
+                            contradiction(o.chain, a);
+                        }
+                        Assumption::Redundant => a.redundant.push(redundancy(o.chain, false)),
+                        Assumption::Narrowed => {}
+                    }
+                }
+                Side::Lit(v) if v.is_null() => {
+                    a.redundant
+                        .push(redundancy(vec!["NULL IS NULL is TRUE".to_owned()], false));
+                }
+                Side::Lit(_) => {
+                    contradiction(vec!["the operand is a non-NULL literal".to_owned()], a);
+                }
+                Side::Opaque => {}
+            },
+            ScalarExpr::Not(inner) => match &**inner {
+                ScalarExpr::IsNull(e) => {
+                    if let Side::Ref(key, _) = side_of(e, scope) {
+                        let o = facts.assume_non_null(&key, &source);
+                        match o.assumption {
+                            Assumption::Contradiction => contradiction(o.chain, a),
+                            Assumption::Redundant => a.redundant.push(redundancy(o.chain, false)),
+                            Assumption::Narrowed => {}
+                        }
+                    }
+                }
+                ScalarExpr::Exists(sub) => {
+                    let sub_a = analyze_query(sub, catalog, &facts.params_only());
+                    if sub_a.empty {
+                        let mut chain =
+                            vec!["NOT EXISTS over a provably empty subquery is TRUE".to_owned()];
+                        chain.extend(sub_a.empty_chain);
+                        a.redundant.push(redundancy(chain, true));
+                    } else if is_tautological(sub, &sub_a) {
+                        contradiction(
+                            vec!["the EXISTS subquery provably yields a row".to_owned()],
+                            a,
+                        );
+                    }
+                }
+                ScalarExpr::Literal(v) => {
+                    if v.is_truthy() || v.is_null() {
+                        contradiction(vec!["NOT of the literal is never TRUE".to_owned()], a);
+                    } else {
+                        a.redundant.push(redundancy(
+                            vec!["NOT of the literal is TRUE".to_owned()],
+                            false,
+                        ));
+                    }
+                }
+                _ => {}
+            },
+            ScalarExpr::Exists(sub) => {
+                let sub_a = analyze_query(sub, catalog, &facts.params_only());
+                if sub_a.empty {
+                    let mut chain = vec!["the EXISTS subquery provably yields no rows".to_owned()];
+                    chain.extend(sub_a.empty_chain);
+                    contradiction(chain, a);
+                } else if is_tautological(sub, &sub_a) {
+                    a.redundant.push(redundancy(
+                        vec!["the EXISTS subquery provably yields a row".to_owned()],
+                        true,
+                    ));
+                }
+            }
+            _ => {} // OR / arithmetic / other: opaque
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_cmp(
+    facts: &mut FactSet,
+    key: &str,
+    op: BinOp,
+    v: &Value,
+    source: &str,
+    redundancy: &impl Fn(Vec<String>, bool) -> Redundancy,
+    contradiction: &mut impl FnMut(Vec<String>, &mut QueryAnalysis),
+    a: &mut QueryAnalysis,
+) {
+    let o = facts.assume_cmp(key, op, v, source);
+    match o.assumption {
+        Assumption::Contradiction => contradiction(o.chain, a),
+        Assumption::Redundant => a.redundant.push(redundancy(o.chain, false)),
+        Assumption::Narrowed => {}
+    }
+}
+
+/// Copies one entry's equality/interval facts onto another key (used for
+/// `a = b` conjuncts). Returns the contradiction chain if the target's
+/// domain conflicts.
+fn cross_assume(
+    facts: &mut FactSet,
+    from: &FactEntry,
+    to: &str,
+    conjunct: &str,
+    from_display: &str,
+) -> Option<Vec<String>> {
+    let via = |what: &str| {
+        format!(
+            "`{conjunct}` with {what} of `{from_display}` ({})",
+            from.sources.join("; ")
+        )
+    };
+    let d = &from.domain;
+    let mut steps: Vec<(BinOp, Value, String)> = Vec::new();
+    if let Some(v) = &d.eq {
+        steps.push((BinOp::Eq, v.clone(), via("the known value")));
+    }
+    if let Some((v, inc)) = &d.lo {
+        steps.push((
+            if *inc { BinOp::Ge } else { BinOp::Gt },
+            v.clone(),
+            via("the lower bound"),
+        ));
+    }
+    if let Some((v, inc)) = &d.hi {
+        steps.push((
+            if *inc { BinOp::Le } else { BinOp::Lt },
+            v.clone(),
+            via("the upper bound"),
+        ));
+    }
+    for (op, v, source) in steps {
+        let o = facts.assume_cmp(to, op, &v, &source);
+        if o.assumption == Assumption::Contradiction {
+            return Some(o.chain);
+        }
+    }
+    None
+}
+
+/// Records an XVC406 candidate: the same base table twice in FROM, joined
+/// by equality on its single-column primary key.
+fn record_dup_join(
+    k1: &str,
+    k2: &str,
+    scope: &Scope,
+    catalog: &Catalog,
+    display: &str,
+    a: &mut QueryAnalysis,
+) {
+    let split = |k: &str| -> Option<(String, String)> {
+        if k.starts_with('$') {
+            return None;
+        }
+        let (b, c) = k.split_once('.')?;
+        Some((b.to_owned(), c.to_owned()))
+    };
+    let (Some((b1, c1)), Some((b2, c2))) = (split(k1), split(k2)) else {
+        return;
+    };
+    if b1 == b2 || c1 != c2 {
+        return;
+    }
+    let (Some(t1), Some(t2)) = (scope.tables.get(&b1), scope.tables.get(&b2)) else {
+        return;
+    };
+    if t1 != t2 {
+        return;
+    }
+    let Ok(schema) = catalog.get(t1) else { return };
+    let pk = schema.primary_key();
+    if pk.len() == 1 && pk[0] == c1 {
+        a.dup_joins.push(format!(
+            "`{display}`: FROM items `{b1}` and `{b2}` are both table `{t1}` equated on its \
+             primary key `{c1}`; every match is the same row, so one join is removable"
+        ));
+    }
+}
+
+/// True when the EXISTS subquery provably yields at least one row for
+/// every parameter valuation satisfying the inherited facts.
+fn is_tautological(sub: &SelectQuery, sub_a: &QueryAnalysis) -> bool {
+    if sub_a.contradiction.is_some() || sub_a.empty {
+        return false;
+    }
+    // An implicit (ungrouped) aggregation without HAVING always yields
+    // exactly one row.
+    if sub.is_aggregating() && sub.group_by.is_empty() && sub.having.is_none() {
+        return true;
+    }
+    // `SELECT 1` over an empty FROM (produced by NEST for literal branch
+    // nodes) yields one pseudo-row; it survives iff every conjunct is
+    // provably TRUE.
+    if sub.from.is_empty() && !sub.is_aggregating() {
+        return match &sub.where_clause {
+            None => true,
+            Some(w) => sub_a.redundant.len() == conjuncts(w).len(),
+        };
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int).primary_key(),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                    ColumnDef::new("city", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    fn analyze(sql: &str) -> QueryAnalysis {
+        analyze_query(&parse_query(sql).unwrap(), &catalog(), &FactSet::new())
+    }
+
+    #[test]
+    fn detects_interval_contradiction() {
+        let a = analyze("SELECT * FROM hotel WHERE starrating > 4 AND starrating < 3");
+        let c = a.contradiction.expect("contradiction");
+        assert_eq!(c.clause, ClauseKind::Where);
+        assert!(c.conjunct.contains("starrating < 3"), "{c:?}");
+        assert!(a.empty);
+        assert!(!a.empty_chain.is_empty());
+    }
+
+    #[test]
+    fn implicit_aggregation_is_not_empty() {
+        // One NULL-aggregate row still comes out (§4.2 OUTER semantics
+        // depend on this).
+        let a = analyze("SELECT SUM(starrating) FROM hotel WHERE 1 = 2");
+        assert!(a.contradiction.is_some());
+        assert!(!a.empty);
+        // ... but a grouped query with a false WHERE is empty.
+        let a = analyze("SELECT city, SUM(starrating) FROM hotel WHERE 1 = 2 GROUP BY city");
+        assert!(a.empty);
+    }
+
+    #[test]
+    fn having_contradiction_empties_even_implicit_groups() {
+        let a = analyze(
+            "SELECT SUM(starrating) FROM hotel HAVING SUM(starrating) > 100 AND SUM(starrating) < 50",
+        );
+        let c = a.contradiction.as_ref().expect("contradiction");
+        assert_eq!(c.clause, ClauseKind::Having);
+        assert!(a.empty);
+    }
+
+    #[test]
+    fn grouped_count_star_is_at_least_one() {
+        let a = analyze("SELECT city FROM hotel GROUP BY city HAVING COUNT(*) >= 1");
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        let a = analyze("SELECT city FROM hotel GROUP BY city HAVING COUNT(*) < 1");
+        assert!(a.empty, "{a:?}");
+    }
+
+    #[test]
+    fn duplicate_conjunct_is_redundant_and_droppable() {
+        let mut q = parse_query(
+            "SELECT * FROM hotel WHERE starrating > 4 AND metro_id = 1 AND starrating > 4",
+        )
+        .unwrap();
+        let a = analyze_query(&q, &catalog(), &FactSet::new());
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        assert_eq!(a.redundant[0].index, 2);
+        assert_eq!(drop_redundant_conjuncts(&mut q, &a), 1);
+        let w = q.where_clause.as_ref().unwrap();
+        assert_eq!(conjuncts(w).len(), 2);
+        // Second pass: nothing left to drop.
+        let a2 = analyze_query(&q, &catalog(), &FactSet::new());
+        assert!(a2.redundant.is_empty());
+    }
+
+    #[test]
+    fn inherited_param_fact_contradicts_conjunct() {
+        let mut inherited = FactSet::new();
+        let mut domain = ColumnDomain::default();
+        domain.assume_cmp(BinOp::Gt, &Value::Int(4));
+        inherited.insert(
+            param_key("h", "starrating"),
+            FactEntry {
+                domain,
+                sources: vec!["conjunct `starrating > 4` (ancestor `hotel`)".to_owned()],
+            },
+        );
+        let q = parse_query("SELECT * FROM hotel WHERE $h.starrating < 3").unwrap();
+        let a = analyze_query(&q, &catalog(), &inherited);
+        let c = a.contradiction.expect("contradiction");
+        assert!(
+            c.chain.iter().any(|s| s.contains("ancestor")),
+            "chain should cite the inherited fact: {c:?}"
+        );
+    }
+
+    #[test]
+    fn equality_propagates_across_join() {
+        // $m.metroid = 5 inherited; metro_id = $m.metroid AND metro_id = 7
+        // is contradictory.
+        let mut inherited = FactSet::new();
+        let mut domain = ColumnDomain::default();
+        domain.assume_cmp(BinOp::Eq, &Value::Int(5));
+        inherited.insert(
+            param_key("m", "metroid"),
+            FactEntry {
+                domain,
+                sources: vec!["parent pins metroid = 5".to_owned()],
+            },
+        );
+        let q = parse_query("SELECT * FROM hotel WHERE metro_id = $m.metroid AND metro_id = 7")
+            .unwrap();
+        let a = analyze_query(&q, &catalog(), &inherited);
+        assert!(a.contradiction.is_some(), "{a:?}");
+    }
+
+    #[test]
+    fn null_literal_comparison_never_binds() {
+        let a = analyze("SELECT * FROM hotel WHERE starrating = NULL");
+        assert_eq!(a.null_compares.len(), 1, "{a:?}");
+        assert!(a.empty);
+    }
+
+    #[test]
+    fn is_null_on_key_column_never_binds() {
+        let a = analyze("SELECT * FROM hotel WHERE hotelid IS NULL");
+        assert!(a.contradiction.is_some(), "{a:?}");
+        assert_eq!(a.null_compares.len(), 1);
+        let c = a.contradiction.unwrap();
+        assert!(
+            c.chain.iter().any(|s| s.contains("PRIMARY KEY")),
+            "chain cites the DDL fact: {c:?}"
+        );
+    }
+
+    #[test]
+    fn ddl_fact_makes_not_null_check_redundant() {
+        let a = analyze("SELECT * FROM hotel WHERE NOT hotelid IS NULL");
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        assert!(a.redundant[0].chain[0].contains("PRIMARY KEY"));
+    }
+
+    #[test]
+    fn empty_exists_kills_the_query() {
+        let a = analyze(
+            "SELECT * FROM hotel WHERE EXISTS \
+             (SELECT 1 FROM hotel WHERE starrating > 4 AND starrating < 3)",
+        );
+        assert!(a.empty, "{a:?}");
+    }
+
+    /// `SELECT * FROM hotel WHERE [NOT] EXISTS (SELECT 1)` — the empty-FROM
+    /// subquery NEST generates for literal branch nodes (only constructible
+    /// through the AST; the text parser requires FROM).
+    fn exists_select1(negate: bool) -> SelectQuery {
+        let sub = SelectQuery::new(vec![SelectItem::expr(ScalarExpr::int(1))], vec![]);
+        let pred = ScalarExpr::Exists(Box::new(sub));
+        let pred = if negate {
+            ScalarExpr::Not(Box::new(pred))
+        } else {
+            pred
+        };
+        let mut q = parse_query("SELECT * FROM hotel").unwrap();
+        q.and_where(pred);
+        q
+    }
+
+    #[test]
+    fn tautological_exists_is_redundant() {
+        // NEST's literal-branch guard: SELECT 1 with empty FROM.
+        let mut q = exists_select1(false);
+        let a = analyze_query(&q, &catalog(), &FactSet::new());
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        assert!(a.redundant[0].tautological_exists);
+        assert_eq!(drop_redundant_conjuncts(&mut q, &a), 1);
+        assert!(q.where_clause.is_none());
+
+        // An implicit aggregation always yields one row.
+        let a = analyze("SELECT * FROM hotel WHERE EXISTS (SELECT SUM(starrating) FROM hotel)");
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        assert!(a.redundant[0].tautological_exists);
+    }
+
+    #[test]
+    fn not_exists_inverts() {
+        let a = analyze(
+            "SELECT * FROM hotel WHERE NOT EXISTS \
+             (SELECT 1 FROM hotel WHERE starrating > 4 AND starrating < 3)",
+        );
+        assert_eq!(a.redundant.len(), 1, "{a:?}");
+        let q = exists_select1(true);
+        let a = analyze_query(&q, &catalog(), &FactSet::new());
+        assert!(a.contradiction.is_some(), "{a:?}");
+        assert!(a.empty, "{a:?}");
+    }
+
+    #[test]
+    fn empty_derived_table_empties_the_outer_query() {
+        let a = analyze(
+            "SELECT * FROM (SELECT * FROM hotel WHERE starrating > 4 AND starrating < 3) AS t",
+        );
+        assert!(a.empty, "{a:?}");
+        assert!(a.empty_chain[0].contains("derived table"), "{a:?}");
+    }
+
+    #[test]
+    fn dup_join_candidate_detected() {
+        let mut c = catalog();
+        c.add(TableSchema::new("h2", vec![ColumnDef::new("x", ColumnType::Int)]).unwrap());
+        let q =
+            parse_query("SELECT a.city FROM hotel AS a, hotel AS b WHERE a.hotelid = b.hotelid")
+                .unwrap();
+        let a = analyze_query(&q, &c, &FactSet::new());
+        assert_eq!(a.dup_joins.len(), 1, "{a:?}");
+    }
+
+    #[test]
+    fn out_facts_cover_stars_aliases_and_literals() {
+        let a = analyze("SELECT *, 7 AS seven FROM hotel WHERE starrating > 4");
+        let sr = a.out_facts.get("starrating").expect("starrating fact");
+        assert!(sr.domain.lo.is_some() && sr.domain.non_null);
+        assert!(a.out_facts.get("hotelid").unwrap().domain.non_null);
+        assert_eq!(
+            a.out_facts.get("seven").unwrap().domain.eq,
+            Some(Value::Int(7))
+        );
+        let a = analyze("SELECT starrating AS stars FROM hotel WHERE starrating = 5");
+        assert_eq!(
+            a.out_facts.get("stars").unwrap().domain.eq,
+            Some(Value::Int(5))
+        );
+    }
+}
+
+/// Drops the conjuncts `analysis` proved redundant from `q`'s WHERE and
+/// HAVING clauses; returns how many were eliminated. `analysis` must come
+/// from [`analyze_query`] on this exact query.
+pub fn drop_redundant_conjuncts(q: &mut SelectQuery, analysis: &QueryAnalysis) -> usize {
+    if analysis.contradiction.is_some() {
+        return 0; // facts past a contradiction are unreliable
+    }
+    let mut eliminated = 0;
+    for clause in [ClauseKind::Where, ClauseKind::Having] {
+        let drops: BTreeSet<usize> = analysis
+            .redundant
+            .iter()
+            .filter(|r| r.clause == clause && !r.conjunct.is_empty())
+            .map(|r| r.index)
+            .collect();
+        if drops.is_empty() {
+            continue;
+        }
+        let slot = match clause {
+            ClauseKind::Where => &mut q.where_clause,
+            ClauseKind::Having => &mut q.having,
+        };
+        let Some(pred) = slot.take() else { continue };
+        let parts = conjuncts_owned(pred);
+        let total = parts.len();
+        let kept: Vec<ScalarExpr> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !drops.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        eliminated += total - kept.len();
+        *slot = refold(kept);
+    }
+    eliminated
+}

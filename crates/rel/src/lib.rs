@@ -23,16 +23,22 @@
 //!   `EXISTS` with constant-per-parameterization caching;
 //! * [`rewrite`] — the query-surgery helpers `UNBIND`/`NEST` rely on;
 //! * [`optimize`] — the Kim-style unnesting pass the paper points at
-//!   (§4.2.1), applied opt-in after composition.
+//!   (§4.2.1), applied opt-in after composition;
+//! * [`domain`] / [`facts`] — the predicate-dataflow engine: a per-column
+//!   equality/interval/nullability abstract domain seeded from retained
+//!   DDL constraints, with conjunct-level satisfiability, entailment and
+//!   fact-chain provenance (consumed by TVQ pruning and `xvc check`).
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod csv;
 pub mod ddl;
+pub mod domain;
 pub mod error;
 pub mod eval;
 pub mod explain;
+pub mod facts;
 pub mod optimize;
 pub mod parse;
 pub mod print;
@@ -44,12 +50,17 @@ pub mod value;
 pub use ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
 pub use csv::load_csv;
 pub use ddl::{database_from_ddl, parse_create_table, parse_ddl};
+pub use domain::{Assumption, ColumnDomain};
 pub use error::{Error, Result};
 pub use eval::{
     eval_query, eval_query_stats, eval_query_with, output_columns, EvalOptions, EvalStats,
     NamedTuple, ParamEnv, Relation,
 };
 pub use explain::{explain_query, explain_query_with};
+pub use facts::{
+    analyze_query, drop_redundant_conjuncts, param_key, ClauseKind, FactEntry, FactSet,
+    QueryAnalysis,
+};
 pub use optimize::optimize;
 pub use parse::parse_query;
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};

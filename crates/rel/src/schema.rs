@@ -37,15 +37,41 @@ pub struct ColumnDef {
     pub name: String,
     /// Column type.
     pub ty: ColumnType,
+    /// `NOT NULL` constraint (also implied by `primary_key`).
+    pub not_null: bool,
+    /// `PRIMARY KEY` constraint (implies uniqueness and NOT NULL).
+    pub primary_key: bool,
 }
 
 impl ColumnDef {
-    /// Convenience constructor.
+    /// Convenience constructor (no constraints).
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
         ColumnDef {
             name: name.into(),
             ty,
+            not_null: false,
+            primary_key: false,
         }
+    }
+
+    /// Marks the column `NOT NULL`.
+    #[must_use]
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Marks the column `PRIMARY KEY` (which also implies NOT NULL).
+    #[must_use]
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self.not_null = true;
+        self
+    }
+
+    /// True if NULL is rejected in this column (`NOT NULL` or key column).
+    pub fn rejects_null(&self) -> bool {
+        self.not_null || self.primary_key
     }
 }
 
@@ -83,6 +109,15 @@ impl TableSchema {
         self.columns.iter().position(|c| c.name == name)
     }
 
+    /// Names of the `PRIMARY KEY` columns, in declaration order.
+    pub fn primary_key(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.primary_key)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
     /// Validates one row against the schema.
     pub fn check_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.columns.len() {
@@ -96,6 +131,11 @@ impl TableSchema {
             });
         }
         for (col, v) in self.columns.iter().zip(row) {
+            if col.rejects_null() && matches!(v, Value::Null) {
+                return Err(Error::SchemaMismatch {
+                    reason: format!("NULL value in NOT NULL column {}.{}", self.name, col.name),
+                });
+            }
             if !col.ty.admits(v) {
                 return Err(Error::SchemaMismatch {
                     reason: format!(
@@ -195,6 +235,29 @@ mod tests {
         assert!(s
             .check_row(&[Value::Str("x".into()), Value::Str("chi".into())])
             .is_err());
+    }
+
+    #[test]
+    fn not_null_columns_reject_null() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int).primary_key(),
+                ColumnDef::new("name", ColumnType::Str).not_null(),
+                ColumnDef::new("note", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Str("a".into()), Value::Null])
+            .is_ok());
+        assert!(s
+            .check_row(&[Value::Null, Value::Str("a".into()), Value::Null])
+            .is_err());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Null, Value::Null])
+            .is_err());
+        assert_eq!(s.primary_key(), vec!["id"]);
     }
 
     #[test]

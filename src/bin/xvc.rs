@@ -89,6 +89,8 @@ struct Opts {
     naive: bool,
     pretty: bool,
     optimize: bool,
+    prune: bool,
+    json: bool,
 }
 
 fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
@@ -106,6 +108,8 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
         naive: false,
         pretty: false,
         optimize: false,
+        prune: false,
+        json: false,
     };
     let mut it = args.into_iter().skip(1);
     while let Some(arg) = it.next() {
@@ -122,6 +126,8 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
             }
             "--rewrites" => opts.rewrites = true,
             "--optimize" => opts.optimize = true,
+            "--prune" => opts.prune = true,
+            "--json" => opts.json = true,
             "--naive" => opts.naive = true,
             "--pretty" => opts.pretty = true,
             "--help" | "-h" => {
@@ -182,17 +188,22 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
 
 fn usage() -> String {
     "usage:\n  \
-     xvc compose --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize]\n  \
+     xvc compose --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize] [--prune]\n  \
      xvc publish --view FILE --ddl FILE --data DIR [--pretty]\n  \
      xvc run     --view FILE --xslt FILE --ddl FILE --data DIR \
-     [--naive] [--rewrites] [--pretty]\n  \
+     [--naive] [--rewrites] [--pretty] [--prune]\n  \
      xvc explain --sql QUERY --ddl FILE\n  \
-     xvc explain --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize]\n  \
-     xvc stats   --view FILE --xslt FILE --ddl FILE [--data DIR] [--rewrites] [--optimize]\n  \
-     xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE]\n\n\
+     xvc explain --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize] [--prune]\n  \
+     xvc stats   --view FILE --xslt FILE --ddl FILE [--data DIR] [--rewrites] [--optimize] \
+     [--prune]\n  \
+     xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE] [--json]\n\n\
      `check` classifies positional files by extension: .view (publishing view),\n\
      .xsl/.xslt (stylesheet), .sql/.ddl (catalog). It exits 0 when only\n\
-     warnings were emitted, 1 on error-level diagnostics, 2 on usage errors."
+     warnings were emitted, 1 on error-level diagnostics, 2 on usage errors.\n\
+     With --json it prints one JSON object per diagnostic per line\n\
+     (code, severity, stage, file, span, message, help).\n\
+     `--prune` removes provably dead TVQ subtrees and redundant conjuncts\n\
+     during composition (see the XVC4xx diagnostics for what it would do)."
         .to_owned()
 }
 
@@ -257,6 +268,7 @@ fn compose_view(
 ) -> Result<(SchemaTree, ComposeStats, Stylesheet), String> {
     let options = ComposeOptions {
         optimize: opts.optimize,
+        prune: opts.prune,
         ..ComposeOptions::default()
     };
     let effective = if opts.rewrites {
@@ -385,7 +397,9 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
-    use xvc::analyze::{check_sources, render, render_summary, CheckOptions, Sources};
+    use xvc::analyze::{
+        check_sources, render, render_summary, sort_for_display, CheckOptions, Sources,
+    };
 
     let mut view_path = opts.view.clone();
     let mut xslt_path = opts.xslt.clone();
@@ -433,19 +447,34 @@ fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
         view: view_src.as_ref().map(|(n, s)| (n.as_str(), s.as_str())),
         stylesheet: xslt_src.as_ref().map(|(n, s)| (n.as_str(), s.as_str())),
     };
-    for (i, d) in report.diagnostics.iter().enumerate() {
-        if i > 0 {
-            println!();
-        }
-        print!("{}", render(d, &sources));
-    }
-    println!("{}", render_summary(&report.diagnostics));
-    if let Some(p) = &report.prediction {
-        if !p.cyclic {
-            eprintln!(
-                "(§4.5 prediction: {} CTG nodes -> {} TVQ nodes, duplication factor {:.2})",
-                p.ctg_nodes, p.predicted_tvq_nodes, p.duplication_factor
+    // Presentation order: by file, span offset, code — duplicates dropped.
+    let display = sort_for_display(&report.diagnostics);
+    if opts.json {
+        for d in &display {
+            println!(
+                "{}",
+                diag_to_json(
+                    d,
+                    view_src.as_ref().map(|(n, _)| n.as_str()),
+                    xslt_src.as_ref().map(|(n, _)| n.as_str()),
+                )
             );
+        }
+    } else {
+        for (i, d) in display.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", render(d, &sources));
+        }
+        println!("{}", render_summary(&display));
+        if let Some(p) = &report.prediction {
+            if !p.cyclic {
+                eprintln!(
+                    "(§4.5 prediction: {} CTG nodes -> {} TVQ nodes, duplication factor {:.2})",
+                    p.ctg_nodes, p.predicted_tvq_nodes, p.duplication_factor
+                );
+            }
         }
     }
     Ok(if report.has_errors() {
@@ -453,6 +482,66 @@ fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// One diagnostic as a single-line JSON object (no serde in-tree; the
+/// schema is stable: code, severity, stage, file, span, message, help).
+fn diag_to_json(
+    d: &xvc::analyze::Diagnostic,
+    view_name: Option<&str>,
+    xslt_name: Option<&str>,
+) -> String {
+    use xvc::analyze::Stage;
+    let stage = match d.stage {
+        Stage::View => "view",
+        Stage::Stylesheet => "stylesheet",
+        Stage::Composed => "composed",
+        Stage::General => "general",
+    };
+    let file = match d.stage {
+        Stage::View => view_name,
+        Stage::Stylesheet => xslt_name,
+        Stage::Composed | Stage::General => None,
+    };
+    let mut s = format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"stage\":\"{stage}\"",
+        d.code.as_str(),
+        d.severity
+    );
+    match file {
+        Some(f) => s.push_str(&format!(",\"file\":\"{}\"", json_escape(f))),
+        None => s.push_str(",\"file\":null"),
+    }
+    match d.span {
+        Some(sp) => s.push_str(&format!(
+            ",\"span\":{{\"start\":{},\"end\":{}}}",
+            sp.start, sp.end
+        )),
+        None => s.push_str(",\"span\":null"),
+    }
+    s.push_str(&format!(",\"message\":\"{}\"", json_escape(&d.message)));
+    match &d.help {
+        Some(h) => s.push_str(&format!(",\"help\":\"{}\"", json_escape(h))),
+        None => s.push_str(",\"help\":null"),
+    }
+    s.push('}');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn emit(doc: &Document, pretty: bool) {

@@ -426,11 +426,130 @@ fn xvc302_composed_scoping() {
     assert!(hits[0].span.is_none(), "{}", hits[0]);
 }
 
+// ------------------------------------------------- predicate dataflow (4xx)
+
+/// The paper's hotel filter (`starrating > 4`), as textual view source.
+const STAR_VIEW: &str = "\
+node metro $m {
+    query: SELECT metroid, metroname FROM metroarea;
+    node hotel $h {
+        query: SELECT hotelid, hotelname, starrating FROM hotel \
+               WHERE metro_id = $m.metroid AND starrating > 4;
+    }
+}";
+
+#[test]
+fn xvc401_dead_subtree_with_fact_chain() {
+    // Figure 4 extended with a conflicting match predicate: the view keeps
+    // only hotels with starrating > 4, the stylesheet selects < 3.
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel[@starrating &lt; 3]"/></m></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(STAR_VIEW), Some(xslt));
+    let d = the(&r, Code::Xvc401);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::Composed);
+    assert!(d.span.is_none(), "{d}");
+    let help = d.help.as_deref().unwrap();
+    assert!(help.contains("fact chain"), "{help}");
+    assert!(help.contains("starrating"), "{help}");
+    // The prune report quantifies the removal.
+    let p = the(&r, Code::Xvc407);
+    assert!(p.message.contains("remove 1 of"), "{p}");
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn xvc402_implicit_aggregate_survives_contradiction() {
+    // WHERE is provably false, but SUM over no tuples still yields a row —
+    // the node is NOT dead, and the report says why.
+    let view = "node stat $s { query: SELECT SUM(capacity) AS total FROM confroom \
+                WHERE capacity > 10 AND capacity < 5; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="stat"/></r></xsl:template>
+      <xsl:template match="stat"><s/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc402);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("implicit"), "{d}");
+    assert!(!r.codes().contains(&Code::Xvc401), "{:?}", r.codes());
+}
+
+#[test]
+fn xvc403_redundant_conjunct_and_prune_report() {
+    let view = "node hotel $h { query: SELECT hotelid, starrating FROM hotel \
+                WHERE starrating > 4 AND starrating > 2; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="hotel"/></r></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc403);
+    assert!(d.message.contains("starrating > 2"), "{d}");
+    assert!(
+        d.help.as_deref().unwrap().contains("starrating > 4"),
+        "{d:?}"
+    );
+    let p = the(&r, Code::Xvc407);
+    assert!(p.message.contains("drop 1 redundant conjunct"), "{p}");
+}
+
+#[test]
+fn xvc404_tautological_exists() {
+    // An implicitly aggregating subquery always yields its one row, so the
+    // EXISTS is always TRUE.
+    let view = "node metro $m { query: SELECT metroid FROM metroarea \
+                WHERE EXISTS (SELECT COUNT(*) FROM availability); }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc404);
+    assert!(d.message.contains("tautological"), "{d}");
+}
+
+#[test]
+fn xvc405_is_null_on_key_column() {
+    // hotelid is the table's PRIMARY KEY (retained from the DDL), so
+    // `IS NULL` can never bind — and the node is dead.
+    let view = "node hotel $h { query: SELECT hotelid FROM hotel WHERE hotelid IS NULL; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="hotel"/></r></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc405);
+    assert!(d.message.contains("NOT NULL"), "{d}");
+    let dead = the(&r, Code::Xvc401);
+    assert!(
+        dead.help.as_deref().unwrap().contains("PRIMARY KEY"),
+        "{dead:?}"
+    );
+}
+
+#[test]
+fn xvc406_key_implied_duplicate_join() {
+    let view = "node h $h { query: SELECT a.hotelid, a.hotelname FROM hotel AS a, hotel AS b \
+                WHERE a.hotelid = b.hotelid; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="h"/></r></xsl:template>
+      <xsl:template match="h"><x/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc406);
+    assert!(d.message.contains("primary key"), "{d}");
+    assert!(d.message.contains("hotelid"), "{d}");
+}
+
 // ------------------------------------------------------------------- catalog
 
 /// Every code in the catalogue has a fixture in this file (or is the clean
 /// case); keep `Code::all()` and this list in sync with `DIAGNOSTICS.md`.
 #[test]
 fn every_code_is_exercised() {
-    assert_eq!(Code::all().len(), 24);
+    assert_eq!(Code::all().len(), 31);
 }

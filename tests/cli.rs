@@ -207,6 +207,74 @@ fn check_reports_diagnostics_with_codes() {
 }
 
 #[test]
+fn check_json_emits_one_object_per_line() {
+    let f = Fixture::new("check_json");
+    // A view restricting population > 1000000 composed with a stylesheet
+    // demanding population < 5: the branch is provably dead (XVC401).
+    std::fs::write(
+        f.dir.join("dead.view"),
+        "\
+node city $c {
+    query: SELECT id, name, population FROM city WHERE population > 1000000;
+}
+",
+    )
+    .unwrap();
+    std::fs::write(
+        f.dir.join("dead.xsl"),
+        r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <out><xsl:apply-templates select="city[@population &lt; 5]"/></out>
+  </xsl:template>
+  <xsl:template match="city"><hit/></xsl:template>
+</xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = f.run(&["check", "--json", "dead.view", "dead.xsl", "schema.sql"]);
+    assert!(ok, "{stdout}{stderr}");
+    // One JSON object per line, nothing else on stdout.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty(), "{stdout}");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"code\":\"XVC") && line.ends_with('}'),
+            "not a diagnostic object: {line}"
+        );
+        for key in [
+            "\"code\":",
+            "\"severity\":",
+            "\"stage\":",
+            "\"file\":",
+            "\"span\":",
+            "\"message\":",
+            "\"help\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+    // The dead branch surfaces as XVC401 (warning) plus the prune report.
+    let dead = lines
+        .iter()
+        .find(|l| l.contains("\"code\":\"XVC401\""))
+        .unwrap_or_else(|| panic!("no XVC401 line in {stdout}"));
+    assert!(dead.contains("\"severity\":\"warning\""), "{dead}");
+    assert!(dead.contains("\"stage\":\"composed\""), "{dead}");
+    assert!(dead.contains("population"), "{dead}");
+    assert!(
+        lines.iter().any(|l| l.contains("\"code\":\"XVC407\"")),
+        "{stdout}"
+    );
+    // Spanned stylesheet findings carry the file and a numeric span.
+    let spanned = lines
+        .iter()
+        .find(|l| l.contains("\"file\":\"dead.xsl\""))
+        .unwrap_or_else(|| panic!("no stylesheet-file line in {stdout}"));
+    assert!(spanned.contains("\"span\":{\"start\":"), "{spanned}");
+    // The human summary and prediction stay off stdout in JSON mode.
+    assert!(!stdout.contains("check:"), "{stdout}");
+}
+
+#[test]
 fn check_classifies_positional_files() {
     let f = Fixture::new("check_positional");
     // Full workload via positional args: view + stylesheet + catalog.

@@ -162,6 +162,123 @@ proptest! {
     }
 }
 
+/// A stylesheet whose `hotel` branch contradicts the view's
+/// `starrating > 4` restriction: the subtree is provably dead, so the
+/// §4.2.1 prune pass must remove it without changing the result.
+const DEAD_BRANCH_XSLT: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <out>
+      <xsl:apply-templates select="metro"/>
+    </out>
+  </xsl:template>
+  <xsl:template match="metro">
+    <m>
+      <xsl:apply-templates select="hotel[@starrating &lt; 3]"/>
+      <xsl:apply-templates select="confstat"/>
+    </m>
+  </xsl:template>
+  <xsl:template match="hotel">
+    <h><xsl:apply-templates select="confroom"/></h>
+  </xsl:template>
+  <xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>
+  <xsl:template match="confstat"><s/></xsl:template>
+</xsl:stylesheet>"#;
+
+proptest! {
+    #![proptest_config(cases(200))]
+
+    /// §4.2.1 prune soundness: composing with dead-branch pruning (and the
+    /// Kim-style optimizer) on still satisfies v'(I) = x(v(I)), checked by
+    /// the divergence reporter over randomized instances and stylesheets.
+    #[test]
+    fn prune_and_optimize_preserve_equivalence(
+        cfg in config_strategy(),
+        sheet_seed in 0u64..10_000,
+    ) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        let catalog = db.catalog();
+        let options = ComposeOptions {
+            optimize: true,
+            prune: true,
+            ..ComposeOptions::default()
+        };
+        let stylesheet =
+            random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
+        let (composed, _) = compose_with_stats(&view, &stylesheet, &catalog, options)
+            .expect("generated stylesheets compose with prune+optimize");
+        let divergence = check_composition(&view, &stylesheet, &composed, &db)
+            .expect("both pipelines evaluate");
+        prop_assert!(
+            divergence.is_none(),
+            "sheet seed {sheet_seed}, cfg {:?}\n{}\n{}",
+            cfg,
+            stylesheet.to_xslt(),
+            divergence.unwrap()
+        );
+    }
+
+    /// Pruning a provably-dead branch removes TVQ nodes (strictly fewer
+    /// than the unpruned composition) while the result stays equivalent.
+    #[test]
+    fn prune_removes_dead_branch_and_preserves_result(cfg in config_strategy()) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        let catalog = db.catalog();
+        let stylesheet = parse_stylesheet(DEAD_BRANCH_XSLT).expect("fixture");
+        let plain = ComposeOptions::default();
+        let pruning = ComposeOptions { prune: true, ..plain };
+        let (_, before) =
+            compose_with_stats(&view, &stylesheet, &catalog, plain).expect("composable");
+        let (composed, after) =
+            compose_with_stats(&view, &stylesheet, &catalog, pruning).expect("composable");
+        prop_assert!(after.tvq_nodes_pruned > 0, "{after:?}");
+        prop_assert!(
+            after.tvq_nodes < before.tvq_nodes,
+            "pruned {:?} vs unpruned {:?}",
+            after,
+            before
+        );
+        prop_assert!(after.composed_queries <= before.composed_queries);
+        let divergence = check_composition(&view, &stylesheet, &composed, &db)
+            .expect("both pipelines evaluate");
+        prop_assert!(divergence.is_none(), "cfg {cfg:?}\n{}", divergence.unwrap());
+    }
+
+    /// The Kim-style optimizer is idempotent: re-running it over every tag
+    /// query of an already-optimized composed view changes nothing.
+    #[test]
+    fn optimize_is_idempotent(
+        cfg in config_strategy(),
+        sheet_seed in 0u64..10_000,
+    ) {
+        let db = generate(&cfg);
+        let view = figure1_view();
+        let catalog = db.catalog();
+        let options = ComposeOptions {
+            optimize: true,
+            ..ComposeOptions::default()
+        };
+        let stylesheet =
+            random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
+        let (composed, _) = compose_with_stats(&view, &stylesheet, &catalog, options)
+            .expect("generated stylesheets compose with optimize");
+        for vid in composed.node_ids() {
+            let Some(q) = composed.node(vid).and_then(|n| n.query.as_ref()) else {
+                continue;
+            };
+            let mut again = q.clone();
+            xvc::rel::optimize(&mut again, &catalog).expect("optimize re-run");
+            prop_assert_eq!(
+                again.to_sql_inline(),
+                q.to_sql_inline(),
+                "optimize not idempotent (sheet seed {})",
+                sheet_seed
+            );
+        }
+    }
+}
+
 /// Opt-in deep fuzz: 2000 generated stylesheets against a mid-size
 /// instance, with both the default and a deeper/wider generator config.
 /// Run with `cargo test --release -- --ignored deep_fuzz`.
