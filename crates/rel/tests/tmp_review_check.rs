@@ -1,0 +1,70 @@
+//! Temporary review verification test (not part of the PR).
+
+use xvc_rel::facts::{analyze_query, drop_redundant_conjuncts, FactSet};
+use xvc_rel::{database_from_ddl, eval_query, parse_query, Value};
+
+fn db() -> xvc_rel::Database {
+    let mut db = database_from_ddl(
+        "CREATE TABLE metroarea (metroid INT PRIMARY KEY, mname TEXT);\n\
+         CREATE TABLE hotel (hotelid INT PRIMARY KEY, starrating INT, metro_id INT);",
+    )
+    .unwrap();
+    db.insert(
+        "metroarea",
+        vec![Value::Int(1), Value::Str("sf".into())],
+    )
+    .unwrap();
+    // One hotel with starrating 2: no hotel satisfies starrating > 4.
+    db.insert(
+        "hotel",
+        vec![Value::Int(10), Value::Int(2), Value::Int(1)],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn padded_out_facts_soundness() {
+    let db = db();
+    let catalog = db.catalog();
+    let sql = "SELECT * FROM (SELECT m.metroid AS mx, h.starrating AS hs \
+               FROM OUTER (SELECT metroid FROM metroarea) AS m, hotel AS h \
+               WHERE h.starrating > 4) AS t WHERE t.hs IS NULL";
+    let q = parse_query(sql).unwrap();
+    let rel = eval_query(&db, &q).unwrap();
+    let a = analyze_query(&q, &catalog, &FactSet::new());
+    println!("rows = {}", rel.rows.len());
+    println!("analysis.empty = {}, chain = {:?}", a.empty, a.empty_chain);
+    assert!(
+        !(a.empty && !rel.rows.is_empty()),
+        "UNSOUND: analysis says empty but eval returns {} row(s)",
+        rel.rows.len()
+    );
+}
+
+#[test]
+fn padded_redundant_conjunct_soundness() {
+    let db = db();
+    let catalog = db.catalog();
+    // Derived table pins hs = 2 (matches the data); the outer OUTER item
+    // pads h-columns with NULL when no join partner survives the WHERE.
+    let sql = "SELECT * FROM OUTER (SELECT metroid FROM metroarea) AS m, \
+               (SELECT starrating AS hs FROM hotel WHERE starrating = 5) AS h \
+               WHERE h.hs = 5";
+    let mut q = parse_query(sql).unwrap();
+    let before = eval_query(&db, &q).unwrap();
+    let a = analyze_query(&q, &catalog, &FactSet::new());
+    println!("redundant = {:?}", a.redundant);
+    let dropped = drop_redundant_conjuncts(&mut q, &a);
+    let after = eval_query(&db, &q).unwrap();
+    println!(
+        "dropped = {dropped}, rows before = {}, after = {}",
+        before.rows.len(),
+        after.rows.len()
+    );
+    assert_eq!(
+        before.rows.len(),
+        after.rows.len(),
+        "UNSOUND: dropping 'redundant' conjunct changed the result"
+    );
+}
