@@ -27,4 +27,14 @@ echo "== xvc check --json (machine-readable gate, exits 1 on error-level codes)"
     examples/files/paper/figure1.view examples/files/paper/figure4.xsl \
     examples/files/paper/figure2.sql
 
+echo "== figures -- plans (prepared-plan benchmark + plan-cache gate)"
+# The binary verifies v'(I) = x(v(I)) before timing and aborts on a warm
+# publish that misses the plan cache, so a divergence or a broken cache
+# fails this step. The grep double-checks the written artifact.
+cargo run --release --quiet -p xvc-bench --bin figures -- plans
+if grep -q '"plan_cache_hit_rate": 0\.000' BENCH_compose.json; then
+    echo "ci.sh: plan cache never hit (see BENCH_compose.json)" >&2
+    exit 1
+fi
+
 echo "ci.sh: all green"

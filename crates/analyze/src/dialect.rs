@@ -61,11 +61,11 @@ fn violation_to_diag(v: &BasicViolation) -> Diagnostic {
         ),
         5 => (
             Code::Xvc002,
-            Some("lowered by the §5.2 flow-control rewrite (compose_with_rewrites / --rewrites)"),
+            Some("lowered by the §5.2 flow-control rewrite (Composer::rewrites(true) / --rewrites)"),
         ),
         6 => (
             Code::Xvc003,
-            Some("lowered by the §5.2 conflict-resolution rewrite (compose_with_rewrites / --rewrites)"),
+            Some("lowered by the §5.2 conflict-resolution rewrite (Composer::rewrites(true) / --rewrites)"),
         ),
         8 => (
             Code::Xvc004,
@@ -79,7 +79,7 @@ fn violation_to_diag(v: &BasicViolation) -> Diagnostic {
         ),
         _ => (
             Code::Xvc006,
-            Some("lowered by the §5.2 value-of rewrite (compose_with_rewrites / --rewrites)"),
+            Some("lowered by the §5.2 value-of rewrite (Composer::rewrites(true) / --rewrites)"),
         ),
     };
     let mut d = Diagnostic::new(

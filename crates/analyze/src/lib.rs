@@ -208,7 +208,11 @@ pub fn check_workload(
                 Some(x)
             };
             if let Some(xs) = target {
-                match xvc_core::compose_with_options(v, xs, cat, options) {
+                match xvc_core::Composer::new(v, xs, cat)
+                    .with_options(options)
+                    .run()
+                    .map(|c| c.view)
+                {
                     Ok(c) => {
                         report
                             .diagnostics

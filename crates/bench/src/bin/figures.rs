@@ -5,7 +5,13 @@
 //! cargo run -p xvc-bench --bin figures --release -- figures # figures only
 //! cargo run -p xvc-bench --bin figures --release -- tables  # tables only
 //! cargo run -p xvc-bench --bin figures --release -- prune   # BENCH_compose.json only
+//! cargo run -p xvc-bench --bin figures --release -- plans   # same, plan-focused report
 //! ```
+//!
+//! `plans` runs the same two workloads as `prune` (every row carries both
+//! field sets, so BENCH_compose.json is always a superset) but reports the
+//! prepared-vs-interpreted comparison and enforces the plan-cache invariant:
+//! a warm publish that misses the cache is a hard failure.
 
 use xvc_bench::experiments::{
     c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
@@ -17,7 +23,8 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
     let figures = arg.is_empty() || arg == "figures";
     let tables = arg.is_empty() || arg == "tables";
-    let prune = arg.is_empty() || arg == "prune";
+    let plans = arg.is_empty() || arg == "plans";
+    let prune = plans || arg == "prune";
 
     if figures {
         for (title, body) in all_figures() {
@@ -74,6 +81,26 @@ fn main() {
                 r.eval_prune_ms,
             );
         }
+        if plans {
+            println!("\n==== plans: prepared vs interpreted publishing ====\n");
+            for r in &rows {
+                println!(
+                    "{}: eval interpreted {:.3} ms vs prepared {:.3} ms ({:.2}x); \
+                     warm plan-cache hit rate {:.0}%",
+                    r.workload,
+                    r.eval_interpreted_ms,
+                    r.eval_prepared_ms,
+                    r.eval_interpreted_ms / r.eval_prepared_ms,
+                    r.plan_cache_hit_rate * 100.0,
+                );
+                assert!(
+                    r.plan_cache_hit_rate > 0.0,
+                    "{}: warm publish missed the plan cache — caching is broken",
+                    r.workload
+                );
+            }
+        }
+
         let json = render_prune_json(&rows);
         std::fs::write("BENCH_compose.json", &json).expect("write BENCH_compose.json");
         println!("\nwrote BENCH_compose.json");

@@ -8,9 +8,9 @@
 use std::time::Instant;
 
 use xvc_core::paper_fixtures::figure1_view;
-use xvc_core::{compose, compose_with_options, compose_with_stats, ComposeOptions};
+use xvc_core::Composer;
 use xvc_rel::Database;
-use xvc_view::{publish, publish_with_stats, SchemaTree};
+use xvc_view::{Publisher, SchemaTree};
 use xvc_xml::documents_equal_unordered;
 use xvc_xslt::{process, Stylesheet};
 
@@ -59,25 +59,34 @@ pub fn compare(
     param: usize,
     reps: usize,
 ) -> ComparisonRow {
-    let composed = compose(view, stylesheet, &db.catalog()).expect("stylesheet must compose");
+    let composed = Composer::new(view, stylesheet, &db.catalog())
+        .run()
+        .expect("stylesheet must compose")
+        .view;
 
     // Verify once (the instrumented publish also measures engine work).
-    let (full, naive_stats, naive_eval) = publish_with_stats(view, db).expect("publish v");
+    // The same Publishers serve the timed loops below, so the measured
+    // state is the warm plan cache — the deployment steady state.
+    let mut naive_pub = Publisher::new(view);
+    let mut composed_pub = Publisher::new(&composed);
+    let naive_out = naive_pub.publish(db).expect("publish v");
+    let (full, naive_stats, naive_eval) = (naive_out.document, naive_out.stats, naive_out.eval);
     let expected = process(stylesheet, &full).expect("run x");
+    let composed_out = composed_pub.publish(db).expect("publish v'");
     let (actual, composed_stats, composed_eval) =
-        publish_with_stats(&composed, db).expect("publish v'");
+        (composed_out.document, composed_out.stats, composed_out.eval);
     assert!(
         documents_equal_unordered(&expected, &actual),
         "v'(I) != x(v(I)) — benchmark would be meaningless"
     );
 
     let naive_ms = best_ms(reps, || {
-        let (full, _) = publish(view, db).expect("publish v");
+        let full = naive_pub.publish(db).expect("publish v").document;
         let out = process(stylesheet, &full).expect("run x");
         std::hint::black_box(out);
     });
     let composed_ms = best_ms(reps, || {
-        let (out, _) = publish(&composed, db).expect("publish v'");
+        let out = composed_pub.publish(db).expect("publish v'").document;
         std::hint::black_box(out);
     });
 
@@ -161,7 +170,7 @@ pub fn c1_chain_sweep(depths: &[usize], reps: usize) -> Vec<ComposeCostRow> {
             let ctg = xvc_core::build_ctg(&v, &x).expect("ctg");
             let tvq = xvc_core::build_tvq(&v, &x, &ctg, &catalog, 1_000_000).expect("tvq");
             let ms = best_ms(reps, || {
-                let out = compose(&v, &x, &catalog).expect("compose");
+                let out = Composer::new(&v, &x, &catalog).run().expect("compose").view;
                 std::hint::black_box(out);
             });
             ComposeCostRow {
@@ -186,16 +195,11 @@ pub fn c2_fan_sweep(depth: usize, fans: &[usize], reps: usize) -> Vec<ComposeCos
             let ctg = xvc_core::build_ctg(&v, &x).expect("ctg");
             let tvq = xvc_core::build_tvq(&v, &x, &ctg, &catalog, 1_000_000).expect("tvq");
             let ms = best_ms(reps, || {
-                let out = compose_with_options(
-                    &v,
-                    &x,
-                    &catalog,
-                    ComposeOptions {
-                        tvq_limit: 1_000_000,
-                        ..ComposeOptions::default()
-                    },
-                )
-                .expect("compose");
+                let out = Composer::new(&v, &x, &catalog)
+                    .tvq_limit(1_000_000)
+                    .run()
+                    .expect("compose")
+                    .view;
                 std::hint::black_box(out);
             });
             ComposeCostRow {
@@ -230,6 +234,14 @@ pub struct PruneBenchRow {
     pub eval_plain_ms: f64,
     /// Wall time evaluating the pruned composed view.
     pub eval_prune_ms: f64,
+    /// Wall time evaluating the pruned view through the tuple-at-a-time
+    /// interpreter (`Publisher::prepared(false)`).
+    pub eval_interpreted_ms: f64,
+    /// Wall time evaluating the pruned view through cached prepared plans
+    /// (the default publisher path, warm cache).
+    pub eval_prepared_ms: f64,
+    /// Warm-publish plan-cache hit rate (1.0 when every lookup hits).
+    pub plan_cache_hit_rate: f64,
 }
 
 /// A Figure-4 variant whose `hotel` branch demands `starrating < 3`
@@ -277,42 +289,84 @@ fn prune_compare(
     db: &Database,
     reps: usize,
 ) -> PruneBenchRow {
-    let plain = ComposeOptions::default();
-    let pruning = ComposeOptions {
-        prune: true,
-        ..plain
-    };
     let catalog = db.catalog();
-    let (unpruned, before) =
-        compose_with_stats(view, stylesheet, &catalog, plain).expect("compose");
-    let (pruned, after) =
-        compose_with_stats(view, stylesheet, &catalog, pruning).expect("compose --prune");
+    let plain_composition = Composer::new(view, stylesheet, &catalog)
+        .run()
+        .expect("compose");
+    let (unpruned, before) = (plain_composition.view, plain_composition.stats);
+    let pruned_composition = Composer::new(view, stylesheet, &catalog)
+        .prune(true)
+        .run()
+        .expect("compose --prune");
+    let (pruned, after) = (pruned_composition.view, pruned_composition.stats);
 
-    // Verify before measuring, as everywhere else in this module.
-    let (full, _) = publish(view, db).expect("publish v");
+    // Verify before measuring, as everywhere else in this module. The
+    // Publishers stay warm for the eval timing loops below.
+    let mut view_pub = Publisher::new(view);
+    let mut unpruned_pub = Publisher::new(&unpruned);
+    let mut pruned_pub = Publisher::new(&pruned);
+    let full = view_pub.publish(db).expect("publish v").document;
     let expected = process(stylesheet, &full).expect("run x");
-    let (actual, _) = publish(&pruned, db).expect("publish pruned v'");
+    let actual = pruned_pub.publish(db).expect("publish pruned v'").document;
     assert!(
         documents_equal_unordered(&expected, &actual),
         "pruned v'(I) != x(v(I)) — benchmark would be meaningless"
     );
 
     let compose_plain_ms = best_ms(reps, || {
-        let out = compose_with_options(view, stylesheet, &catalog, plain).expect("compose");
+        let out = Composer::new(view, stylesheet, &catalog)
+            .run()
+            .expect("compose")
+            .view;
         std::hint::black_box(out);
     });
     let compose_prune_ms = best_ms(reps, || {
-        let out = compose_with_options(view, stylesheet, &catalog, pruning).expect("compose");
+        let out = Composer::new(view, stylesheet, &catalog)
+            .prune(true)
+            .run()
+            .expect("compose")
+            .view;
         std::hint::black_box(out);
     });
     let eval_plain_ms = best_ms(reps, || {
-        let (out, _) = publish(&unpruned, db).expect("publish v'");
+        let out = unpruned_pub.publish(db).expect("publish v'").document;
         std::hint::black_box(out);
     });
     let eval_prune_ms = best_ms(reps, || {
-        let (out, _) = publish(&pruned, db).expect("publish pruned v'");
+        let out = pruned_pub.publish(db).expect("publish pruned v'").document;
         std::hint::black_box(out);
     });
+
+    // Prepared vs interpreted execution of the same (pruned) view. The
+    // interpreted publisher is warmed and verified like the others, so the
+    // two loops differ only in the execution path.
+    let mut interp_pub = Publisher::new(&pruned).prepared(false);
+    let interp_doc = interp_pub
+        .publish(db)
+        .expect("publish interpreted")
+        .document;
+    assert!(
+        documents_equal_unordered(&expected, &interp_doc),
+        "interpreted v'(I) != x(v(I)) — benchmark would be meaningless"
+    );
+    let eval_interpreted_ms = best_ms(reps, || {
+        let out = interp_pub
+            .publish(db)
+            .expect("publish interpreted")
+            .document;
+        std::hint::black_box(out);
+    });
+    let eval_prepared_ms = best_ms(reps, || {
+        let out = pruned_pub.publish(db).expect("publish prepared").document;
+        std::hint::black_box(out);
+    });
+    // Every plan was compiled during the verification publish above, so
+    // this warm publish must be served entirely from the cache.
+    let plan_cache_hit_rate = pruned_pub
+        .publish(db)
+        .expect("publish warm")
+        .stats
+        .plan_cache_hit_rate();
 
     PruneBenchRow {
         workload: name.to_owned(),
@@ -323,6 +377,9 @@ fn prune_compare(
         compose_prune_ms,
         eval_plain_ms,
         eval_prune_ms,
+        eval_interpreted_ms,
+        eval_prepared_ms,
+        plan_cache_hit_rate,
     }
 }
 
@@ -337,7 +394,9 @@ pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
         out.push_str(&format!(
             "  {{\"workload\": \"{}\", \"tvq_nodes_before\": {}, \"tvq_nodes_after\": {}, \
              \"conjuncts_eliminated\": {}, \"compose_plain_ms\": {:.3}, \
-             \"compose_prune_ms\": {:.3}, \"eval_plain_ms\": {:.3}, \"eval_prune_ms\": {:.3}}}",
+             \"compose_prune_ms\": {:.3}, \"eval_plain_ms\": {:.3}, \"eval_prune_ms\": {:.3}, \
+             \"eval_interpreted_ms\": {:.3}, \"eval_prepared_ms\": {:.3}, \
+             \"plan_cache_hit_rate\": {:.3}}}",
             r.workload,
             r.tvq_nodes_before,
             r.tvq_nodes_after,
@@ -346,6 +405,9 @@ pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
             r.compose_prune_ms,
             r.eval_plain_ms,
             r.eval_prune_ms,
+            r.eval_interpreted_ms,
+            r.eval_prepared_ms,
+            r.plan_cache_hit_rate,
         ));
     }
     out.push_str("\n]\n");

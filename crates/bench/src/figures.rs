@@ -11,7 +11,7 @@
 use xvc_core::paper_fixtures::{
     figure1_view, figure2_catalog, FIGURE15_XSLT, FIGURE17_XSLT, FIGURE25_XSLT,
 };
-use xvc_core::{build_ctg, combine, compose, compose_recursive, matchq, selectq};
+use xvc_core::{build_ctg, combine, compose_recursive, matchq, selectq, Composer};
 use xvc_view::SchemaTree;
 use xvc_xpath::{parse_path, parse_pattern};
 use xvc_xslt::parse::FIGURE4_XSLT;
@@ -62,8 +62,10 @@ pub fn f7a_tvq() -> String {
 pub fn f7c_stylesheet_view() -> String {
     let v = figure1_view();
     let x = parse_stylesheet(FIGURE4_XSLT).expect("fixture");
-    compose(&v, &x, &figure2_catalog())
+    Composer::new(&v, &x, &figure2_catalog())
+        .run()
         .expect("compose")
+        .view
         .render()
 }
 
@@ -103,8 +105,10 @@ pub fn f15_stylesheet() -> String {
 pub fn f16_stylesheet_view() -> String {
     let v = figure1_view();
     let x = parse_stylesheet(FIGURE15_XSLT).expect("fixture");
-    compose(&v, &x, &figure2_catalog())
+    Composer::new(&v, &x, &figure2_catalog())
+        .run()
         .expect("compose")
+        .view
         .render()
 }
 
@@ -133,7 +137,10 @@ pub fn f18_smt_with_predicates() -> String {
 pub fn f20_unbound_query() -> String {
     let v = figure1_view();
     let x = parse_stylesheet(FIGURE17_XSLT).expect("fixture");
-    let composed = compose(&v, &x, &figure2_catalog()).expect("compose");
+    let composed = Composer::new(&v, &x, &figure2_catalog())
+        .run()
+        .expect("compose")
+        .view;
     // The confroom node of the composed view carries the Figure 20 query.
     for vid in composed.node_ids() {
         let n = composed.node(vid).expect("non-root");

@@ -400,9 +400,9 @@ impl Gen<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_core::compose;
     use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
-    use xvc_view::publish;
+    use xvc_core::Composer;
+    use xvc_view::Publisher;
     use xvc_xml::documents_equal_unordered;
     use xvc_xslt::{check_basic, process};
 
@@ -432,11 +432,13 @@ mod tests {
         let db = sample_database();
         for seed in 0..40 {
             let s = random_stylesheet(&v, &c, seed, StylesheetConfig::default());
-            let composed = compose(&v, &s, &c)
-                .unwrap_or_else(|e| panic!("seed {seed}: compose: {e}\n{}", s.to_xslt()));
-            let (full, _) = publish(&v, &db).unwrap();
+            let composed = Composer::new(&v, &s, &c)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: compose: {e}\n{}", s.to_xslt()))
+                .view;
+            let full = Publisher::new(&v).publish(&db).unwrap().document;
             let expected = process(&s, &full).unwrap();
-            let (actual, _) = publish(&composed, &db).unwrap();
+            let actual = Publisher::new(&composed).publish(&db).unwrap().document;
             assert!(
                 documents_equal_unordered(&expected, &actual),
                 "seed {seed}:\n{}\nexpected:\n{}\nactual:\n{}",

@@ -157,8 +157,8 @@ pub fn chain_catalog(depth: usize) -> xvc_rel::Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_core::{compose, compose_with_options, ComposeOptions, Error};
-    use xvc_view::publish;
+    use xvc_core::{Composer, Error};
+    use xvc_view::Publisher;
     use xvc_xml::documents_equal_unordered;
     use xvc_xslt::process;
 
@@ -168,11 +168,13 @@ mod tests {
             let v = chain_view(depth);
             let x = chain_stylesheet(depth);
             let db = chain_database(depth, 2);
-            let composed =
-                compose(&v, &x, &db.catalog()).unwrap_or_else(|e| panic!("depth {depth}: {e}"));
-            let (full, _) = publish(&v, &db).unwrap();
+            let composed = Composer::new(&v, &x, &db.catalog())
+                .run()
+                .unwrap_or_else(|e| panic!("depth {depth}: {e}"))
+                .view;
+            let full = Publisher::new(&v).publish(&db).unwrap().document;
             let expected = process(&x, &full).unwrap();
-            let (actual, _) = publish(&composed, &db).unwrap();
+            let actual = Publisher::new(&composed).publish(&db).unwrap().document;
             assert!(
                 documents_equal_unordered(&expected, &actual),
                 "depth {depth}:\n{}\nvs\n{}",
@@ -199,10 +201,10 @@ mod tests {
         let v = chain_view(3);
         let x = fan_stylesheet(3, 2);
         let db = chain_database(3, 2);
-        let composed = compose(&v, &x, &db.catalog()).unwrap();
-        let (full, _) = publish(&v, &db).unwrap();
+        let composed = Composer::new(&v, &x, &db.catalog()).run().unwrap().view;
+        let full = Publisher::new(&v).publish(&db).unwrap().document;
         let expected = process(&x, &full).unwrap();
-        let (actual, _) = publish(&composed, &db).unwrap();
+        let actual = Publisher::new(&composed).publish(&db).unwrap().document;
         assert!(documents_equal_unordered(&expected, &actual));
     }
 
@@ -210,15 +212,9 @@ mod tests {
     fn budget_stops_fan_blowup() {
         let v = chain_view(12);
         let x = fan_stylesheet(12, 2);
-        let result = compose_with_options(
-            &v,
-            &x,
-            &chain_catalog(12),
-            ComposeOptions {
-                tvq_limit: 500,
-                ..ComposeOptions::default()
-            },
-        );
+        let result = Composer::new(&v, &x, &chain_catalog(12))
+            .tvq_limit(500)
+            .run();
         assert!(matches!(result, Err(Error::TvqTooLarge { limit: 500 })));
     }
 

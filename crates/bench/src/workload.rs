@@ -198,7 +198,7 @@ mod tests {
     fn generated_instance_publishes_figure1() {
         let db = generate(&WorkloadConfig::scale(1));
         let v = xvc_core::paper_fixtures::figure1_view();
-        let (_, stats) = xvc_view::publish(&v, &db).unwrap();
+        let stats = xvc_view::Publisher::new(&v).publish(&db).unwrap().stats;
         assert!(stats.elements > 50);
     }
 }

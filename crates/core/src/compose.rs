@@ -38,34 +38,113 @@ impl Default for ComposeOptions {
     }
 }
 
-/// Composes an `XSLT_basic` (+ predicates, §5.1) stylesheet with a
-/// schema-tree view query, producing the stylesheet view `v'` with
-/// `v'(I) = x(v(I))` for every instance `I` (document order excluded).
+/// Everything one composition produced.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// The stylesheet view `v'` with `v'(I) = x(v(I))`.
+    pub view: SchemaTree,
+    /// Per-stage size statistics (CTG/TVQ/composed-view counts, §4.5
+    /// duplication factor, unbind depth, pruning counters).
+    pub stats: crate::stats::ComposeStats,
+    /// The stylesheet actually composed: the input verbatim, or its §5.2
+    /// lowering when [`Composer::rewrites`] was enabled.
+    pub stylesheet: Stylesheet,
+}
+
+/// Builder-style composition entry point (Figure 9's `Compose(v, x)`):
+/// configures the §5.2 rewrites, pruning, optimization and the TVQ budget,
+/// then [`run`](Composer::run)s, producing a [`Composition`] whose view
+/// satisfies `v'(I) = x(v(I))` for every instance `I` (document order
+/// excluded, §2.2.2).
 ///
-/// Stylesheets using flow control, general `value-of` or conflicting rules
-/// should go through [`compose_with_rewrites`]; recursive stylesheets
-/// through [`crate::compose_recursive`].
-pub fn compose(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
-) -> Result<SchemaTree> {
-    compose_with_options(view, stylesheet, catalog, ComposeOptions::default())
-}
-
-/// [`compose`] with explicit options.
-pub fn compose_with_options(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
+/// ```no_run
+/// # use xvc_core::Composer;
+/// # fn demo(view: &xvc_view::SchemaTree, xslt: &xvc_xslt::Stylesheet,
+/// #         catalog: &xvc_rel::Catalog) -> xvc_core::Result<()> {
+/// let composition = Composer::new(view, xslt, catalog)
+///     .rewrites(true) // lower flow control / general value-of first
+///     .prune(true)    // drop provably dead TVQ subtrees
+///     .run()?;
+/// println!("{}", composition.view.render());
+/// # Ok(()) }
+/// ```
+///
+/// Recursive stylesheets go through [`crate::compose_recursive`] instead.
+#[derive(Debug, Clone)]
+pub struct Composer<'a> {
+    view: &'a SchemaTree,
+    stylesheet: &'a Stylesheet,
+    catalog: &'a Catalog,
+    rewrites: bool,
     options: ComposeOptions,
-) -> Result<SchemaTree> {
-    compose_with_stats(view, stylesheet, catalog, options).map(|(v, _)| v)
 }
 
-/// [`compose_with_options`] that also reports per-stage size statistics
-/// (CTG/TVQ/composed-view counts, §4.5 duplication factor, unbind depth).
-pub fn compose_with_stats(
+impl<'a> Composer<'a> {
+    /// A composer over `view` and `stylesheet` with default options: no
+    /// rewrites, no pruning, no optimization, the default TVQ budget.
+    pub fn new(view: &'a SchemaTree, stylesheet: &'a Stylesheet, catalog: &'a Catalog) -> Self {
+        Composer {
+            view,
+            stylesheet,
+            catalog,
+            rewrites: false,
+            options: ComposeOptions::default(),
+        }
+    }
+
+    /// Lower the stylesheet through the §5.2 `XSLT_transformable` rewrites
+    /// (flow control, general `value-of`, conflict resolution) before
+    /// composing. The lowered stylesheet is returned in
+    /// [`Composition::stylesheet`].
+    pub fn rewrites(mut self, on: bool) -> Self {
+        self.rewrites = on;
+        self
+    }
+
+    /// Run the predicate-dataflow pruning pass ([`crate::prune`]) between
+    /// the TVQ and stylesheet-view stages.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.options.prune = on;
+        self
+    }
+
+    /// Run the Kim-style simplification pass (`xvc_rel::optimize`) over
+    /// every generated tag query.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.options.optimize = on;
+        self
+    }
+
+    /// Budget for TVQ duplication (§4.5's exponential case).
+    pub fn tvq_limit(mut self, limit: usize) -> Self {
+        self.options.tvq_limit = limit;
+        self
+    }
+
+    /// Apply a whole [`ComposeOptions`] at once (the CLI's path).
+    pub fn with_options(mut self, options: ComposeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Composes, producing the stylesheet view plus statistics.
+    pub fn run(&self) -> Result<Composition> {
+        let effective = if self.rewrites {
+            Some(rewrite::lower_to_basic(self.stylesheet)?)
+        } else {
+            None
+        };
+        let stylesheet = effective.as_ref().unwrap_or(self.stylesheet);
+        let (view, stats) = compose_impl(self.view, stylesheet, self.catalog, self.options)?;
+        Ok(Composition {
+            view,
+            stats,
+            stylesheet: effective.unwrap_or_else(|| self.stylesheet.clone()),
+        })
+    }
+}
+
+fn compose_impl(
     view: &SchemaTree,
     stylesheet: &Stylesheet,
     catalog: &Catalog,
@@ -95,17 +174,60 @@ pub fn compose_with_stats(
     Ok((composed, stats))
 }
 
-/// Lowers the stylesheet through the §5.2 `XSLT_transformable` rewrites
-/// (flow control, general `value-of`, conflict resolution) and then
-/// composes. Returns the stylesheet view together with the lowered
-/// stylesheet actually composed (useful for inspection).
+/// Composes an `XSLT_basic` (+ predicates, §5.1) stylesheet with a
+/// schema-tree view query, producing the stylesheet view `v'` with
+/// `v'(I) = x(v(I))` for every instance `I` (document order excluded).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Composer::new(view, stylesheet, catalog).run()`"
+)]
+pub fn compose(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+) -> Result<SchemaTree> {
+    Composer::new(view, stylesheet, catalog)
+        .run()
+        .map(|c| c.view)
+}
+
+/// [`compose`] with explicit options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Composer::new(..).with_options(options).run()`"
+)]
+pub fn compose_with_options(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+    options: ComposeOptions,
+) -> Result<SchemaTree> {
+    compose_impl(view, stylesheet, catalog, options).map(|(v, _)| v)
+}
+
+/// [`compose_with_options`] that also reports per-stage size statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Composer::new(..).with_options(options).run()` and read `stats`"
+)]
+pub fn compose_with_stats(
+    view: &SchemaTree,
+    stylesheet: &Stylesheet,
+    catalog: &Catalog,
+    options: ComposeOptions,
+) -> Result<(SchemaTree, crate::stats::ComposeStats)> {
+    compose_impl(view, stylesheet, catalog, options)
+}
+
+/// Lowers the stylesheet through the §5.2 rewrites and then composes.
+#[deprecated(since = "0.2.0", note = "use `Composer::new(..).rewrites(true).run()`")]
 pub fn compose_with_rewrites(
     view: &SchemaTree,
     stylesheet: &Stylesheet,
     catalog: &Catalog,
 ) -> Result<(SchemaTree, Stylesheet)> {
     let lowered = rewrite::lower_to_basic(stylesheet)?;
-    let v = compose_with_options(view, &lowered, catalog, ComposeOptions::default())?;
+    let v = compose_impl(view, &lowered, catalog, ComposeOptions::default())?.0;
     Ok((v, lowered))
 }
 
@@ -115,10 +237,21 @@ mod tests {
     use crate::paper_fixtures::{
         figure1_view, figure2_catalog, sample_database, FIGURE15_XSLT, FIGURE17_XSLT,
     };
-    use xvc_view::publish;
-    use xvc_xml::documents_equal_unordered;
+    use xvc_rel::Database;
+    use xvc_view::Publisher;
+    use xvc_xml::{documents_equal_unordered, Document};
     use xvc_xslt::parse::FIGURE4_XSLT;
     use xvc_xslt::{parse_stylesheet, process};
+
+    /// Shadows the deprecated free function: the tests exercise the
+    /// builder path.
+    fn compose(view: &SchemaTree, x: &Stylesheet, catalog: &Catalog) -> Result<SchemaTree> {
+        Composer::new(view, x, catalog).run().map(|c| c.view)
+    }
+
+    fn publish_doc(tree: &SchemaTree, db: &Database) -> Document {
+        Publisher::new(tree).publish(db).unwrap().document
+    }
 
     /// The headline theorem: `v'(I) = x(v(I))`, checked without document
     /// order.
@@ -128,9 +261,9 @@ mod tests {
         let db = sample_database();
         let composed =
             compose(&v, &x, &figure2_catalog()).unwrap_or_else(|e| panic!("compose failed: {e}"));
-        let (view_doc, _) = publish(&v, &db).unwrap();
+        let view_doc = publish_doc(&v, &db);
         let expected = process(&x, &view_doc).unwrap();
-        let (actual, _) = publish(&composed, &db).unwrap();
+        let actual = publish_doc(&composed, &db);
         assert!(
             documents_equal_unordered(&expected, &actual),
             "expected (x(v(I))):\n{}\nactual (v'(I)):\n{}\nstylesheet view:\n{}",
@@ -145,17 +278,20 @@ mod tests {
         let v = figure1_view();
         let x = parse_stylesheet(xslt).unwrap();
         let db = sample_database();
-        let (composed, lowered) = compose_with_rewrites(&v, &x, &figure2_catalog())
-            .unwrap_or_else(|e| panic!("compose_with_rewrites failed: {e}"));
-        let (view_doc, _) = publish(&v, &db).unwrap();
+        let composition = Composer::new(&v, &x, &figure2_catalog())
+            .rewrites(true)
+            .run()
+            .unwrap_or_else(|e| panic!("compose with rewrites failed: {e}"));
+        let composed = &composition.view;
+        let view_doc = publish_doc(&v, &db);
         let expected = process(&x, &view_doc).unwrap();
-        let (actual, _) = publish(&composed, &db).unwrap();
+        let actual = publish_doc(composed, &db);
         assert!(
             documents_equal_unordered(&expected, &actual),
             "expected (x(v(I))):\n{}\nactual (v'(I)):\n{}\nlowered rules: {}\nstylesheet view:\n{}",
             expected.to_pretty_xml(),
             actual.to_pretty_xml(),
-            lowered.len(),
+            composition.stylesheet.len(),
             composed.render(),
         );
     }

@@ -13,16 +13,16 @@
 //! first divergent node: unmatched children are paired by tag and recursed
 //! into, so the reported path is as deep as the documents still agree.
 //! The composed side is published with a provenance trace
-//! ([`xvc_view::publish_traced`]), letting the report name the schema-tree
-//! node, its tag query, and the [`ParamEnv`] in effect at the divergent
-//! path.
+//! ([`xvc_view::Publisher::traced`]), letting the report name the
+//! schema-tree node, its tag query, and the [`ParamEnv`] in effect at the
+//! divergent path.
 //!
 //! [`ParamEnv`]: xvc_rel::ParamEnv
 
 use std::collections::HashMap;
 
 use xvc_rel::Database;
-use xvc_view::{publish, publish_traced, PublishTrace, SchemaTree, ViewNodeId};
+use xvc_view::{PublishTrace, Publisher, SchemaTree, ViewNodeId};
 use xvc_xml::{canonical_string, documents_equal_unordered, Document, NodeId, NodeKind};
 use xvc_xslt::Stylesheet;
 
@@ -113,9 +113,13 @@ pub fn check_composition(
     composed: &SchemaTree,
     db: &Database,
 ) -> Result<Option<Divergence>> {
-    let (vi, _) = publish(view, db)?;
+    let vi = Publisher::new(view).publish(db)?.document;
     let expected = xvc_xslt::process(stylesheet, &vi)?;
-    let (actual, _, trace) = publish_traced(composed, db)?;
+    let published = Publisher::new(composed).traced(true).publish(db)?;
+    let (actual, trace) = (
+        published.document,
+        published.trace.expect("tracing was enabled"),
+    );
     if documents_equal_unordered(&expected, &actual) {
         return Ok(None);
     }
@@ -335,8 +339,18 @@ fn attribute(raw: RawDivergence, composed: &SchemaTree, trace: &PublishTrace) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compose;
     use crate::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
+    use crate::Composer;
+
+    fn compose(
+        view: &SchemaTree,
+        stylesheet: &Stylesheet,
+        catalog: &xvc_rel::Catalog,
+    ) -> Result<SchemaTree> {
+        Composer::new(view, stylesheet, catalog)
+            .run()
+            .map(|c| c.view)
+    }
     use xvc_rel::{parse_query, BinOp, ScalarExpr, SelectQuery, TableRef, Value};
     use xvc_view::ViewNode;
     use xvc_xslt::parse::FIGURE4_XSLT;

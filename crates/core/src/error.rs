@@ -48,6 +48,39 @@ pub enum Error {
         /// The underlying error.
         xvc_xslt::Error,
     ),
+    /// A filesystem-level failure (used by front ends loading inputs).
+    Io {
+        /// The path that could not be read.
+        path: String,
+        /// The OS-level message.
+        message: String,
+    },
+    /// Any error, annotated with the file it came from (used by front
+    /// ends so a parse failure names its input).
+    InFile {
+        /// The offending file.
+        path: String,
+        /// The underlying error.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wraps a [`std::io::Error`] with the path being read.
+    pub fn io(path: impl Into<String>, e: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Annotates any error convertible to [`Error`] with its source file.
+    pub fn in_file(path: impl Into<String>, e: impl Into<Error>) -> Self {
+        Error::InFile {
+            path: path.into(),
+            source: Box::new(e.into()),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -68,6 +101,8 @@ impl fmt::Display for Error {
             Error::Rel(e) => write!(f, "relational error: {e}"),
             Error::View(e) => write!(f, "view error: {e}"),
             Error::Xslt(e) => write!(f, "XSLT error: {e}"),
+            Error::Io { path, message } => write!(f, "reading {path}: {message}"),
+            Error::InFile { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -78,6 +113,7 @@ impl std::error::Error for Error {
             Error::Rel(e) => Some(e),
             Error::View(e) => Some(e),
             Error::Xslt(e) => Some(e),
+            Error::InFile { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -1,7 +1,7 @@
 //! # `xvc-core` — the SIGMOD'03 view-composition algorithm
 //!
 //! Given a schema-tree view query `v` ([`xvc_view::SchemaTree`]) and an
-//! XSLT stylesheet `x` ([`xvc_xslt::Stylesheet`]), [`compose`] produces the
+//! XSLT stylesheet `x` ([`xvc_xslt::Stylesheet`]), [`Composer`] produces the
 //! **stylesheet view** `v'`: a new schema-tree query such that for every
 //! relational database instance `I`
 //!
@@ -29,7 +29,7 @@
 //! §5 extensions: predicates ride along in the tree patterns and are pushed
 //! into `WHERE`/`HAVING` clauses ([`predicate`]); flow control and conflict
 //! resolution are lowered first via `xvc_xslt::rewrite`
-//! ([`compose_with_rewrites`]); recursive stylesheets are partially pushed
+//! ([`Composer::rewrites`]); recursive stylesheets are partially pushed
 //! down per §5.3 ([`recursion`]). The §4.2.1 optimization hooks include a
 //! predicate-dataflow pass ([`prune`]) that removes provably dead TVQ
 //! subtrees and drops redundant conjuncts before the stylesheet view is
@@ -56,9 +56,9 @@ pub mod unbind;
 mod compose;
 
 pub use combine::combine;
-pub use compose::{
-    compose, compose_with_options, compose_with_rewrites, compose_with_stats, ComposeOptions,
-};
+#[allow(deprecated)]
+pub use compose::{compose, compose_with_options, compose_with_rewrites, compose_with_stats};
+pub use compose::{ComposeOptions, Composer, Composition};
 pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
 pub use divergence::{check_composition, Divergence, DivergenceKind};
 pub use error::{Error, Result};

@@ -368,7 +368,7 @@ pub fn dense_availability_database() -> Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_view::publish;
+    use xvc_view::Publisher;
 
     #[test]
     fn figure1_view_is_well_formed() {
@@ -393,7 +393,10 @@ mod tests {
 
     #[test]
     fn sample_database_publishes_figure1() {
-        let (doc, stats) = publish(&figure1_view(), &sample_database()).unwrap();
+        let published = Publisher::new(&figure1_view())
+            .publish(&sample_database())
+            .unwrap();
+        let (doc, stats) = (published.document, published.stats);
         let xml = doc.to_xml();
         // Two metros; three hotels pass the starrating filter.
         assert_eq!(xml.matches("<metro ").count(), 2);

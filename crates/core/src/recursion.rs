@@ -459,7 +459,7 @@ mod tests {
     use crate::paper_fixtures::{
         dense_availability_database, figure1_view, figure2_catalog, FIGURE25_XSLT,
     };
-    use xvc_view::publish;
+    use xvc_view::Publisher;
     use xvc_xslt::{parse_stylesheet, process};
 
     fn figure25() -> RecursiveComposition {
@@ -531,7 +531,8 @@ mod tests {
         // the hotel count), so the driver passes a larger $idx.
         let rc = figure25();
         let db = dense_availability_database();
-        let (doc, stats) = publish(&rc.view, &db).unwrap();
+        let published = Publisher::new(&rc.view).publish(&db).unwrap();
+        let (doc, stats) = (published.document, published.stats);
         assert!(stats.elements > 0);
         // Only metro/down/up nodes are materialized — none of the hotel /
         // confstat / confroom intermediates (the §5.3 selling point).
@@ -578,7 +579,7 @@ mod tests {
         // columns (here: `count`), despite the wider composed query.
         let rc = figure25();
         let db = dense_availability_database();
-        let (doc, _) = publish(&rc.view, &db).unwrap();
+        let doc = Publisher::new(&rc.view).publish(&db).unwrap().document;
         let xml = doc.to_xml();
         let down_open = xml
             .split('<')

@@ -185,13 +185,10 @@ mod tests {
         use crate::paper_fixtures::{figure1_view, figure2_catalog};
         let view = figure1_view();
         let stylesheet = xvc_xslt::parse_stylesheet(xvc_xslt::parse::FIGURE4_XSLT).unwrap();
-        let (composed, stats) = crate::compose_with_stats(
-            &view,
-            &stylesheet,
-            &figure2_catalog(),
-            crate::ComposeOptions::default(),
-        )
-        .unwrap();
+        let composition = crate::Composer::new(&view, &stylesheet, &figure2_catalog())
+            .run()
+            .unwrap();
+        let (composed, stats) = (composition.view, composition.stats);
 
         assert_eq!(stats.view_nodes, view.len());
         assert_eq!(stats.stylesheet_rules, stylesheet.len());

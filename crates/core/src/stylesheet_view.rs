@@ -397,7 +397,7 @@ impl Emitter<'_> {
             OutputNode::If { .. } | OutputNode::Choose { .. } | OutputNode::ForEach { .. } => {
                 Err(Error::NotComposable {
                     reason: "flow-control element in an output fragment; lower the \
-                             stylesheet with compose_with_rewrites (§5.2) first"
+                             stylesheet first via Composer::rewrites(true) (§5.2)"
                         .into(),
                 })
             }

@@ -222,17 +222,17 @@ pub fn eval_query_stats(
 /// Shared with the EXPLAIN planner simulation (`crate::explain`).
 pub(crate) type Layout = Vec<(String, String)>;
 
-struct Scope<'a> {
-    layout: &'a Layout,
-    row: &'a [Value],
-    parent: Option<&'a Scope<'a>>,
+pub(crate) struct Scope<'a> {
+    pub(crate) layout: &'a Layout,
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Scope<'a>>,
     /// Tripwire: set when a lookup matches in *this* scope level. Used to
     /// detect whether an EXISTS subquery is correlated with the row.
-    probe: Option<&'a Cell<bool>>,
+    pub(crate) probe: Option<&'a Cell<bool>>,
 }
 
 impl<'a> Scope<'a> {
-    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value> {
+    pub(crate) fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value> {
         let mut found: Option<&Value> = None;
         match qualifier {
             Some(q) => {
@@ -345,7 +345,7 @@ fn eval_scalar(ctx: &EvalCtx<'_>, e: &ScalarExpr, scope: &Scope<'_>) -> Result<V
     }
 }
 
-fn resolve_param(params: &ParamEnv, var: &str, column: &str) -> Result<Value> {
+pub(crate) fn resolve_param(params: &ParamEnv, var: &str, column: &str) -> Result<Value> {
     let tuple = params.get(var).ok_or_else(|| Error::UnboundParameter {
         var: var.to_owned(),
     })?;
@@ -358,7 +358,7 @@ fn resolve_param(params: &ParamEnv, var: &str, column: &str) -> Result<Value> {
         })
 }
 
-fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     if op.is_comparison() {
         let cmp = l.sql_cmp(r);
         return Ok(match cmp {
@@ -503,7 +503,7 @@ fn eval_agg_expr(
     }
 }
 
-struct AggAcc {
+pub(crate) struct AggAcc {
     func: AggFunc,
     count: i64,
     sum_i: i64,
@@ -513,7 +513,7 @@ struct AggAcc {
 }
 
 impl AggAcc {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         AggAcc {
             func,
             count: 0,
@@ -524,7 +524,7 @@ impl AggAcc {
         }
     }
 
-    fn feed(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn feed(&mut self, v: &Value) -> Result<()> {
         if v.is_null() {
             return Ok(()); // SQL aggregates skip NULLs
         }
@@ -566,7 +566,7 @@ impl AggAcc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Sum => {
@@ -597,14 +597,14 @@ impl AggAcc {
 /// Owned, hashable key for grouping and hash joins. NULLs group together in
 /// GROUP BY; join code filters NULL keys out beforehand.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     Null,
     Num(u64),
     Str(String),
     Bool(bool),
 }
 
-fn key_of(v: &Value) -> Key {
+pub(crate) fn key_of(v: &Value) -> Key {
     match v {
         Value::Null => Key::Null,
         Value::Int(i) => Key::Num((*i as f64).to_bits()),
@@ -844,6 +844,14 @@ fn check_level_ambiguity(
     for t in &q.from {
         sets.push(from_item_columns(db, t)?.into_iter().collect());
     }
+    ambiguity_from_sets(q, &sets)
+}
+
+/// Unqualified column names referenced at this query level (select list,
+/// WHERE, GROUP BY, HAVING — EXISTS subqueries excluded, they have their
+/// own level). Shared between the interpreter's per-evaluation check and
+/// the prepared-plan compiler so both reject exactly the same queries.
+pub(crate) fn unqualified_names(q: &SelectQuery) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     fn walk(e: &ScalarExpr, names: &mut Vec<String>) {
         match e {
@@ -876,7 +884,15 @@ fn check_level_ambiguity(
     if let Some(h) = &q.having {
         walk(h, &mut names);
     }
-    for n in names {
+    names
+}
+
+/// The ambiguity rule itself, over precomputed per-FROM-item column sets.
+pub(crate) fn ambiguity_from_sets(
+    q: &SelectQuery,
+    sets: &[std::collections::HashSet<String>],
+) -> Result<()> {
+    for n in unqualified_names(q) {
         if sets.iter().filter(|s| s.contains(&n)).count() > 1 {
             return Err(Error::AmbiguousColumn { name: n });
         }
@@ -1133,7 +1149,7 @@ fn hash_join(
 // ---------------------------------------------------------------------------
 
 /// Output column name for one select item (see [`output_columns`]).
-fn item_names(item: &SelectItem, layout: &Layout, idx: usize) -> Result<Vec<String>> {
+pub(crate) fn item_names(item: &SelectItem, layout: &Layout, idx: usize) -> Result<Vec<String>> {
     Ok(match item {
         SelectItem::Star => layout.iter().map(|(_, n)| n.clone()).collect(),
         SelectItem::QualifiedStar(q) => {

@@ -433,6 +433,18 @@ pub fn analyze_query(q: &SelectQuery, catalog: &Catalog, inherited: &FactSet) ->
         }
     }
 
+    // Preserved (`OUTER`) padding re-adds baseline rows that never
+    // satisfied the WHERE clause, so conjunct-narrowed facts hold only for
+    // *matched* rows, not for everything the block emits. Snapshot the
+    // seed-time facts (DDL + derived-table facts, already weakened for
+    // padded items above): they are the strongest statements that survive
+    // padding, and the only ones safe to export from this block.
+    let seed_facts = if any_preserved {
+        Some(facts.clone())
+    } else {
+        None
+    };
+
     // WHERE conjuncts.
     if let Some(w) = &q.where_clause {
         analyze_clause(ClauseKind::Where, w, &scope, catalog, &mut facts, &mut a);
@@ -466,12 +478,15 @@ pub fn analyze_query(q: &SelectQuery, catalog: &Catalog, inherited: &FactSet) ->
     }
 
     // Emptiness: a false WHERE kills every row unless the query is an
-    // implicit (ungrouped) aggregation, which still yields one row; a
-    // false HAVING filters even that group out.
+    // implicit (ungrouped) aggregation, which still yields one row — or a
+    // preserved FROM item pads its baseline back in regardless of the
+    // filter, in which case the block is non-empty whenever the baseline
+    // is (unknowable statically); a false HAVING filters even that group
+    // out in either case.
     if !a.empty {
         if let Some(c) = &a.contradiction {
             let dead = match c.clause {
-                ClauseKind::Where => !implicit_agg,
+                ClauseKind::Where => !implicit_agg && !any_preserved,
                 ClauseKind::Having => true,
             };
             if dead {
@@ -485,10 +500,14 @@ pub fn analyze_query(q: &SelectQuery, catalog: &Catalog, inherited: &FactSet) ->
     }
 
     // Output-column facts (only when the query can actually yield rows —
-    // callers prune empty nodes before propagating).
-    if a.contradiction.is_none() {
-        collect_out_facts(q, &scope, &facts, &mut a.out_facts);
-        a.param_facts = facts.params_only();
+    // callers prune empty nodes before propagating). Under preserved
+    // padding, export the seed-time snapshot: padded rows bypass the
+    // WHERE clause, so conjunct-narrowed column facts (and narrowed
+    // parameter facts) do not hold for every emitted row.
+    if a.contradiction.is_none() || any_preserved {
+        let export = seed_facts.as_ref().unwrap_or(&facts);
+        collect_out_facts(q, &scope, export, &mut a.out_facts);
+        a.param_facts = export.params_only();
     }
     a
 }

@@ -21,6 +21,10 @@
 //! * [`eval`] — the interpreter: eager single-table filters, hash
 //!   equi-joins, grouping, aggregate & `HAVING` evaluation, correlated
 //!   `EXISTS` with constant-per-parameterization caching;
+//! * [`plan`] — prepared plans: the interpreter's classification hoisted
+//!   to compile time (predicate pushdown assignment, join order and
+//!   hash-key selection, parameter slots), executable once per binding —
+//!   what the publisher's per-`SchemaTree` plan cache stores;
 //! * [`rewrite`] — the query-surgery helpers `UNBIND`/`NEST` rely on;
 //! * [`optimize`] — the Kim-style unnesting pass the paper points at
 //!   (§4.2.1), applied opt-in after composition;
@@ -41,6 +45,7 @@ pub mod explain;
 pub mod facts;
 pub mod optimize;
 pub mod parse;
+pub mod plan;
 pub mod print;
 pub mod rewrite;
 pub mod schema;
@@ -63,6 +68,7 @@ pub use facts::{
 };
 pub use optimize::optimize;
 pub use parse::parse_query;
+pub use plan::{prepare, prepare_with, PreparedPlan};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use table::{Database, Table};
 pub use value::Value;

@@ -1,0 +1,1188 @@
+//! Prepared query plans: compile once, execute per parameter binding.
+//!
+//! The publisher evaluates each schema-tree tag query once *per parent
+//! tuple* (Definition 1), so the interpreter re-classifies predicates,
+//! re-derives the join order and re-resolves `$var.column` parameters on
+//! every call — an N+1 planning pattern. [`prepare`] hoists all of that
+//! to compile time:
+//!
+//! * **predicate classification** — WHERE conjuncts are split and assigned
+//!   to scans (pushdown), hash-join keys, joined-prefix filters or
+//!   residuals using the *same* `pub(crate)` helpers the interpreter and
+//!   the EXPLAIN printer use (`split_and`, `resolvable_within`,
+//!   `equi_pair_layouts`), so plan, EXPLAIN output and interpreted
+//!   execution can never disagree;
+//! * **join order and strategy** — fixed at compile time from
+//!   catalog-derived layouts (which always equal the runtime layouts);
+//! * **parameter slots** — every `$var.column` becomes a numbered slot,
+//!   resolved lazily against the [`ParamEnv`] at most once per execution
+//!   (the interpreter does a hash lookup per reference per row);
+//! * **fused scan + pushdown** — base-table rows are filtered while
+//!   scanning, so rows rejected by a pushdown predicate are never cloned
+//!   (the interpreter copies the whole table first, then filters).
+//!
+//! [`PreparedPlan::execute`] produces the same [`Relation`] — and
+//! [`PreparedPlan::execute_stats`] the same [`EvalStats`] counters — as
+//! `eval_query` / `eval_query_stats` on the same input; a property test
+//! in `tests/prop_plan.rs` enforces the equivalence. Queries the
+//! interpreter rejects at evaluation time (duplicate aliases, ambiguous
+//! unqualified columns, aggregates in WHERE) are rejected by [`prepare`]
+//! instead, which is the point: a cached plan fails at publish *setup*,
+//! not on the thousandth tuple.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::error::{Error, Result};
+use crate::eval::{
+    ambiguity_from_sets, cols_set, contains_exists, equi_pair_layouts, eval_binop, item_names,
+    key_of, output_columns, resolvable_within, resolve_param, split_and, AggAcc, EvalOptions,
+    EvalStats, Key, Layout, ParamEnv, Relation, Scope,
+};
+use crate::schema::Catalog;
+use crate::table::Database;
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Plan representation
+// ---------------------------------------------------------------------------
+
+/// A compiled scalar expression: parameters interned to slots, EXISTS
+/// subqueries compiled to nested blocks. Column references keep their
+/// written form and resolve through the runtime [`Scope`] chain, which
+/// preserves the interpreter's correlation and ambiguity semantics.
+#[derive(Debug, Clone)]
+enum PExpr {
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Slot(usize),
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        lhs: Box<PExpr>,
+        rhs: Box<PExpr>,
+    },
+    Not(Box<PExpr>),
+    IsNull(Box<PExpr>),
+    Exists(Box<PlanBlock>),
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<PExpr>>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum PlanSource {
+    /// Base-table scan.
+    Scan(String),
+    /// Derived table: a nested compiled block.
+    Derived(Box<PlanBlock>),
+}
+
+/// One FROM item with its compile-time classification results.
+#[derive(Debug, Clone)]
+struct PlanFrom {
+    source: PlanSource,
+    /// This item's alias-qualified column layout.
+    layout: Layout,
+    /// Joined layout of all items before this one (hash-probe side).
+    prev_layout: Layout,
+    /// Joined layout including this item (prefix-filter scope).
+    joined_layout: Layout,
+    /// Conjuncts resolvable within this item alone — applied during the
+    /// scan (fused) or right after a derived block evaluates.
+    pushdown: Vec<PExpr>,
+    /// Equi-join keys against the joined prefix, as (prev-side, this-side)
+    /// expression pairs. Empty means cross product.
+    join_keys: Vec<(PExpr, PExpr)>,
+    /// Conjuncts that became resolvable over the joined prefix.
+    prefix_filters: Vec<PExpr>,
+    /// Preserved-side derived table (left-outer padding semantics).
+    preserved: bool,
+}
+
+#[derive(Debug, Clone)]
+enum PlanItem {
+    Star,
+    QualifiedStar(String),
+    Expr(PExpr),
+}
+
+/// One compiled query block (top level, derived table or EXISTS subquery).
+#[derive(Debug, Clone)]
+struct PlanBlock {
+    from: Vec<PlanFrom>,
+    /// Conjuncts left after classification: EXISTS and outer references.
+    residuals: Vec<PExpr>,
+    select: Vec<PlanItem>,
+    group_by: Vec<PExpr>,
+    having: Option<PExpr>,
+    distinct: bool,
+    aggregating: bool,
+    /// Full joined FROM layout (projection scope).
+    layout: Layout,
+    /// Output column names, precomputed.
+    columns: Vec<String>,
+}
+
+/// A query compiled once against a [`Catalog`], executable any number of
+/// times against databases of that catalog with varying parameter
+/// bindings. Owns all of its data, so it is `Send + Sync` and can be
+/// shared across publisher worker threads.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    root: PlanBlock,
+    /// Interned `$var.column` parameter slots in first-reference order.
+    slots: Vec<(String, String)>,
+    options: EvalOptions,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Compiles `q` against `catalog` under default [`EvalOptions`].
+pub fn prepare(q: &SelectQuery, catalog: &Catalog) -> Result<PreparedPlan> {
+    prepare_with(q, catalog, EvalOptions::default())
+}
+
+/// [`prepare`] with explicit [`EvalOptions`]. The options are baked into
+/// the plan (e.g. with `hash_joins` off no equi-keys are selected), so
+/// executing it always behaves like `eval_query_with` under the same
+/// options.
+pub fn prepare_with(
+    q: &SelectQuery,
+    catalog: &Catalog,
+    options: EvalOptions,
+) -> Result<PreparedPlan> {
+    let mut compiler = Compiler {
+        catalog,
+        options,
+        slots: Vec::new(),
+    };
+    let root = compiler.compile_block(q)?;
+    Ok(PreparedPlan {
+        root,
+        slots: compiler.slots,
+        options,
+    })
+}
+
+struct Compiler<'a> {
+    catalog: &'a Catalog,
+    options: EvalOptions,
+    slots: Vec<(String, String)>,
+}
+
+impl Compiler<'_> {
+    fn slot(&mut self, var: &str, column: &str) -> usize {
+        if let Some(i) = self.slots.iter().position(|(v, c)| v == var && c == column) {
+            return i;
+        }
+        self.slots.push((var.to_owned(), column.to_owned()));
+        self.slots.len() - 1
+    }
+
+    fn compile_expr(&mut self, e: &ScalarExpr) -> Result<PExpr> {
+        Ok(match e {
+            ScalarExpr::Column { qualifier, name } => PExpr::Column {
+                qualifier: qualifier.clone(),
+                name: name.clone(),
+            },
+            ScalarExpr::Param { var, column } => PExpr::Slot(self.slot(var, column)),
+            ScalarExpr::Literal(v) => PExpr::Literal(v.clone()),
+            ScalarExpr::Binary { op, lhs, rhs } => PExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.compile_expr(lhs)?),
+                rhs: Box::new(self.compile_expr(rhs)?),
+            },
+            ScalarExpr::Not(i) => PExpr::Not(Box::new(self.compile_expr(i)?)),
+            ScalarExpr::IsNull(i) => PExpr::IsNull(Box::new(self.compile_expr(i)?)),
+            ScalarExpr::Exists(q) => PExpr::Exists(Box::new(self.compile_block(q)?)),
+            ScalarExpr::Aggregate { func, arg } => PExpr::Aggregate {
+                func: *func,
+                arg: match arg {
+                    Some(a) => Some(Box::new(self.compile_expr(a)?)),
+                    None => None,
+                },
+            },
+        })
+    }
+
+    /// Mirrors `eval::eval_scoped_opt`'s per-evaluation classification,
+    /// against catalog-derived layouts (which the runtime layouts always
+    /// equal). The check order matches the interpreter so the same invalid
+    /// query surfaces the same class of error.
+    fn compile_block(&mut self, q: &SelectQuery) -> Result<PlanBlock> {
+        // Alias uniqueness.
+        {
+            let mut seen = HashSet::new();
+            for t in &q.from {
+                if !seen.insert(t.binding_name().to_owned()) {
+                    return Err(Error::DuplicateAlias {
+                        alias: t.binding_name().to_owned(),
+                    });
+                }
+            }
+        }
+
+        // Static per-item column layouts. Unknown tables and malformed
+        // derived select lists error here, like the interpreter's
+        // `from_item_columns` pass inside its ambiguity check.
+        let mut item_layouts: Vec<Layout> = Vec::new();
+        let mut sets: Vec<HashSet<String>> = Vec::new();
+        for t in &q.from {
+            let alias = t.binding_name().to_owned();
+            let cols = match t {
+                TableRef::Named { name, .. } => self.catalog.get(name)?.column_names(),
+                TableRef::Derived { query, .. } => output_columns(query, self.catalog)?,
+            };
+            sets.push(cols.iter().cloned().collect());
+            item_layouts.push(cols.into_iter().map(|c| (alias.clone(), c)).collect());
+        }
+        ambiguity_from_sets(q, &sets)?;
+
+        let mut conjuncts: Vec<&ScalarExpr> = Vec::new();
+        if let Some(w) = &q.where_clause {
+            split_and(w, &mut conjuncts);
+        }
+        let mut applied = vec![false; conjuncts.len()];
+
+        let mut from = Vec::new();
+        let mut full: Layout = Layout::new();
+        let mut seen_aliases: Vec<String> = Vec::new();
+        for (idx, t) in q.from.iter().enumerate() {
+            let alias = t.binding_name().to_owned();
+            let layout = item_layouts[idx].clone();
+            let this_cols = cols_set(&layout);
+
+            let source = match t {
+                TableRef::Named { name, .. } => PlanSource::Scan(name.clone()),
+                TableRef::Derived { query, .. } => {
+                    PlanSource::Derived(Box::new(self.compile_block(query)?))
+                }
+            };
+
+            let mut pushdown = Vec::new();
+            for (i, c) in conjuncts.iter().enumerate() {
+                if applied[i] || contains_exists(c) || c.contains_aggregate() {
+                    continue;
+                }
+                if resolvable_within(c, std::slice::from_ref(&alias), &this_cols) {
+                    pushdown.push(self.compile_expr(c)?);
+                    applied[i] = true;
+                }
+            }
+
+            let mut join_keys = Vec::new();
+            if idx > 0 && self.options.hash_joins {
+                for (i, c) in conjuncts.iter().enumerate() {
+                    if applied[i] {
+                        continue;
+                    }
+                    if let Some((l, r)) = equi_pair_layouts(c, &full, &layout) {
+                        join_keys.push((self.compile_expr(&l)?, self.compile_expr(&r)?));
+                        applied[i] = true;
+                    }
+                }
+            }
+
+            let prev_layout = full.clone();
+            full.extend(layout.iter().cloned());
+            seen_aliases.push(alias);
+            let full_cols = cols_set(&full);
+
+            let mut prefix_filters = Vec::new();
+            for (i, c) in conjuncts.iter().enumerate() {
+                if applied[i] || contains_exists(c) || c.contains_aggregate() {
+                    continue;
+                }
+                if resolvable_within(c, &seen_aliases, &full_cols) {
+                    prefix_filters.push(self.compile_expr(c)?);
+                    applied[i] = true;
+                }
+            }
+
+            from.push(PlanFrom {
+                source,
+                layout,
+                prev_layout,
+                joined_layout: full.clone(),
+                pushdown,
+                join_keys,
+                prefix_filters,
+                preserved: matches!(
+                    t,
+                    TableRef::Derived {
+                        preserved: true,
+                        ..
+                    }
+                ),
+            });
+        }
+
+        let mut residuals = Vec::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            if c.contains_aggregate() {
+                return Err(Error::MisplacedAggregate);
+            }
+            residuals.push(self.compile_expr(c)?);
+        }
+
+        let mut columns = Vec::new();
+        let mut select = Vec::new();
+        for (i, item) in q.select.iter().enumerate() {
+            columns.extend(item_names(item, &full, i)?);
+            select.push(match item {
+                SelectItem::Star => PlanItem::Star,
+                SelectItem::QualifiedStar(qual) => PlanItem::QualifiedStar(qual.clone()),
+                SelectItem::Expr { expr, .. } => PlanItem::Expr(self.compile_expr(expr)?),
+            });
+        }
+        let group_by = q
+            .group_by
+            .iter()
+            .map(|g| self.compile_expr(g))
+            .collect::<Result<Vec<_>>>()?;
+        let having = q
+            .having
+            .as_ref()
+            .map(|h| self.compile_expr(h))
+            .transpose()?;
+
+        Ok(PlanBlock {
+            from,
+            residuals,
+            select,
+            group_by,
+            having,
+            distinct: q.distinct,
+            aggregating: q.is_aggregating(),
+            layout: full,
+            columns,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+impl PreparedPlan {
+    /// Output column names (known without executing).
+    pub fn columns(&self) -> &[String] {
+        &self.root.columns
+    }
+
+    /// The `$var.column` parameter slots this plan reads, in
+    /// first-reference order. A result memo keyed on these values (and
+    /// nothing else) is sound: two environments agreeing on every slot
+    /// produce identical results.
+    pub fn slots(&self) -> &[(String, String)] {
+        &self.slots
+    }
+
+    /// The [`EvalOptions`] the plan was compiled under.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// Executes the plan, producing the same [`Relation`] as
+    /// `eval_query_with` on the source query under the plan's options.
+    pub fn execute(&self, db: &Database, env: &ParamEnv) -> Result<Relation> {
+        let stats = Cell::new(EvalStats::default());
+        self.run(db, env, &stats)
+    }
+
+    /// [`PreparedPlan::execute`] that also accumulates [`EvalStats`]
+    /// counters into `stats` on success, mirroring `eval_query_stats`
+    /// (including the `param_queries` bump for non-empty environments).
+    pub fn execute_stats(
+        &self,
+        db: &Database,
+        env: &ParamEnv,
+        stats: &mut EvalStats,
+    ) -> Result<Relation> {
+        let cell = Cell::new(EvalStats::default());
+        let rel = self.run(db, env, &cell)?;
+        let mut run = cell.get();
+        if !env.is_empty() {
+            run.param_queries += 1;
+        }
+        stats.absorb(&run);
+        Ok(rel)
+    }
+
+    fn run(&self, db: &Database, env: &ParamEnv, stats: &Cell<EvalStats>) -> Result<Relation> {
+        let ctx = ExecCtx {
+            db,
+            env,
+            slots: &self.slots,
+            cache: RefCell::new(vec![None; self.slots.len()]),
+            options: self.options,
+            stats,
+        };
+        exec_block(&ctx, &self.root, None)
+    }
+}
+
+struct ExecCtx<'a> {
+    db: &'a Database,
+    env: &'a ParamEnv,
+    slots: &'a [(String, String)],
+    /// Per-execution slot memo. Lazy, so a parameter the evaluation never
+    /// reaches (short-circuits, empty inputs) is never resolved — matching
+    /// the interpreter's unbound-parameter error behaviour.
+    cache: RefCell<Vec<Option<Result<Value>>>>,
+    options: EvalOptions,
+    stats: &'a Cell<EvalStats>,
+}
+
+impl ExecCtx<'_> {
+    fn bump(&self, f: impl FnOnce(&mut EvalStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn slot(&self, i: usize) -> Result<Value> {
+        if let Some(r) = &self.cache.borrow()[i] {
+            return r.clone();
+        }
+        let (var, column) = &self.slots[i];
+        let r = resolve_param(self.env, var, column);
+        self.cache.borrow_mut()[i] = Some(r.clone());
+        r
+    }
+}
+
+fn p_eval_scalar(ctx: &ExecCtx<'_>, e: &PExpr, scope: &Scope<'_>) -> Result<Value> {
+    match e {
+        PExpr::Column { qualifier, name } => scope.resolve(qualifier.as_deref(), name),
+        PExpr::Slot(i) => ctx.slot(*i),
+        PExpr::Literal(v) => Ok(v.clone()),
+        PExpr::Binary { op, lhs, rhs } => {
+            let l = p_eval_scalar(ctx, lhs, scope)?;
+            match op {
+                BinOp::And => {
+                    if !l.is_truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = p_eval_scalar(ctx, rhs, scope)?;
+                    Ok(Value::Bool(r.is_truthy()))
+                }
+                BinOp::Or => {
+                    if l.is_truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = p_eval_scalar(ctx, rhs, scope)?;
+                    Ok(Value::Bool(r.is_truthy()))
+                }
+                _ => {
+                    let r = p_eval_scalar(ctx, rhs, scope)?;
+                    eval_binop(*op, &l, &r)
+                }
+            }
+        }
+        PExpr::Not(inner) => {
+            let v = p_eval_scalar(ctx, inner, scope)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        PExpr::IsNull(inner) => {
+            let v = p_eval_scalar(ctx, inner, scope)?;
+            Ok(Value::Bool(v.is_null()))
+        }
+        PExpr::Exists(block) => {
+            ctx.bump(|s| s.exists_evals += 1);
+            let rel = exec_block(ctx, block, Some(scope))?;
+            Ok(Value::Bool(!rel.is_empty()))
+        }
+        PExpr::Aggregate { .. } => Err(Error::MisplacedAggregate),
+    }
+}
+
+/// Mirrors `eval::eval_agg_expr`: aggregates accumulate over the group,
+/// boolean connectives do *not* short-circuit, other subexpressions
+/// evaluate on the group's first row (NULL columns for an empty group).
+fn p_agg_expr(
+    ctx: &ExecCtx<'_>,
+    e: &PExpr,
+    layout: &Layout,
+    group: &[&Vec<Value>],
+    parent: Option<&Scope<'_>>,
+) -> Result<Value> {
+    match e {
+        PExpr::Aggregate { func, arg } => {
+            let mut acc = AggAcc::new(*func);
+            for row in group {
+                let scope = Scope {
+                    layout,
+                    row,
+                    parent,
+                    probe: None,
+                };
+                let v = match arg {
+                    Some(a) => p_eval_scalar(ctx, a, &scope)?,
+                    None => Value::Int(1), // COUNT(*)
+                };
+                acc.feed(&v)?;
+            }
+            Ok(acc.finish())
+        }
+        PExpr::Binary { op, lhs, rhs } => {
+            let l = p_agg_expr(ctx, lhs, layout, group, parent)?;
+            let r = p_agg_expr(ctx, rhs, layout, group, parent)?;
+            match op {
+                BinOp::And => Ok(Value::Bool(l.is_truthy() && r.is_truthy())),
+                BinOp::Or => Ok(Value::Bool(l.is_truthy() || r.is_truthy())),
+                _ => eval_binop(*op, &l, &r),
+            }
+        }
+        PExpr::Not(inner) => {
+            let v = p_agg_expr(ctx, inner, layout, group, parent)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!v.is_truthy()))
+            }
+        }
+        PExpr::IsNull(inner) => {
+            let v = p_agg_expr(ctx, inner, layout, group, parent)?;
+            Ok(Value::Bool(v.is_null()))
+        }
+        other => match group.first() {
+            Some(row) => {
+                let scope = Scope {
+                    layout,
+                    row,
+                    parent,
+                    probe: None,
+                };
+                p_eval_scalar(ctx, other, &scope)
+            }
+            None => match other {
+                PExpr::Column { .. } => Ok(Value::Null),
+                _ => {
+                    let empty_layout = Layout::new();
+                    let empty_row: Vec<Value> = Vec::new();
+                    let scope = Scope {
+                        layout: &empty_layout,
+                        row: &empty_row,
+                        parent,
+                        probe: None,
+                    };
+                    p_eval_scalar(ctx, other, &scope)
+                }
+            },
+        },
+    }
+}
+
+fn exec_block(
+    ctx: &ExecCtx<'_>,
+    block: &PlanBlock,
+    parent: Option<&Scope<'_>>,
+) -> Result<Relation> {
+    ctx.bump(|s| s.queries += 1);
+
+    let mut work: Option<Vec<Vec<Value>>> = None;
+    // Preserved-side baselines: (offset, width, rows after pushdown).
+    let mut baselines: Vec<(usize, usize, Vec<Vec<Value>>)> = Vec::new();
+
+    for item in &block.from {
+        let rows = match &item.source {
+            PlanSource::Scan(name) => {
+                let table = ctx.db.table(name)?;
+                ctx.bump(|s| s.rows_scanned += table.rows().len() as u64);
+                // Fused scan + pushdown: evaluate the pushed-down conjuncts
+                // while iterating the stored rows, cloning survivors only.
+                let mut out = Vec::new();
+                'row: for row in table.rows() {
+                    for p in &item.pushdown {
+                        let scope = Scope {
+                            layout: &item.layout,
+                            row,
+                            parent,
+                            probe: None,
+                        };
+                        if !p_eval_scalar(ctx, p, &scope)?.is_truthy() {
+                            continue 'row;
+                        }
+                    }
+                    out.push(row.clone());
+                }
+                out
+            }
+            PlanSource::Derived(child) => {
+                let rel = exec_block(ctx, child, parent)?;
+                let mut rows = rel.rows;
+                for p in &item.pushdown {
+                    p_filter_rows(ctx, &mut rows, &item.layout, p, parent)?;
+                }
+                rows
+            }
+        };
+
+        if item.preserved {
+            baselines.push((item.prev_layout.len(), item.layout.len(), rows.clone()));
+        }
+
+        let mut joined = match work.take() {
+            None => rows,
+            Some(prev) => p_join(ctx, prev, rows, item, parent)?,
+        };
+        for p in &item.prefix_filters {
+            p_filter_rows(ctx, &mut joined, &item.joined_layout, p, parent)?;
+        }
+        work = Some(joined);
+    }
+
+    // An empty FROM list yields one empty row (the rebind-guard probe
+    // shape), exactly like the interpreter.
+    let mut rows = work.unwrap_or_else(|| vec![Vec::new()]);
+
+    for pred in &block.residuals {
+        p_apply_residual(ctx, &mut rows, &block.layout, pred, parent)?;
+    }
+
+    // Left-outer padding for preserved derived tables.
+    for (offset, width, baseline) in &baselines {
+        let present: HashSet<Vec<Key>> = rows
+            .iter()
+            .map(|r| r[*offset..offset + width].iter().map(key_of).collect())
+            .collect();
+        for b in baseline {
+            let key: Vec<Key> = b.iter().map(key_of).collect();
+            if !present.contains(&key) {
+                let mut row = vec![Value::Null; block.layout.len()];
+                row[*offset..offset + width].clone_from_slice(b);
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut rel = if block.aggregating {
+        p_project_grouped(ctx, block, &rows, parent)?
+    } else {
+        p_project_plain(ctx, block, &rows, parent)?
+    };
+
+    if block.distinct {
+        let mut seen = HashSet::new();
+        let mut kept = Vec::new();
+        for row in rel.rows.drain(..) {
+            let key: Vec<Key> = row.iter().map(key_of).collect();
+            if seen.insert(key) {
+                kept.push(row);
+            }
+        }
+        rel.rows = kept;
+    }
+    Ok(rel)
+}
+
+fn p_filter_rows(
+    ctx: &ExecCtx<'_>,
+    rows: &mut Vec<Vec<Value>>,
+    layout: &Layout,
+    pred: &PExpr,
+    parent: Option<&Scope<'_>>,
+) -> Result<()> {
+    let mut kept = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let scope = Scope {
+            layout,
+            row: &row,
+            parent,
+            probe: None,
+        };
+        if p_eval_scalar(ctx, pred, &scope)?.is_truthy() {
+            kept.push(row);
+        }
+    }
+    *rows = kept;
+    Ok(())
+}
+
+/// Mirrors `eval::apply_residual_filter`: a probe cell detects whether the
+/// first row's evaluation ever read the row scope; if not, the predicate is
+/// row-independent and its result is reused (counted as cache hits).
+fn p_apply_residual(
+    ctx: &ExecCtx<'_>,
+    rows: &mut Vec<Vec<Value>>,
+    layout: &Layout,
+    pred: &PExpr,
+    parent: Option<&Scope<'_>>,
+) -> Result<()> {
+    let mut kept = Vec::with_capacity(rows.len());
+    let mut cached: Option<bool> = None;
+    let probe = Cell::new(false);
+    for (i, row) in rows.drain(..).enumerate() {
+        let keep = match cached {
+            Some(b) => {
+                ctx.bump(|s| s.exists_cache_hits += 1);
+                b
+            }
+            None => {
+                let scope = Scope {
+                    layout,
+                    row: &row,
+                    parent,
+                    probe: Some(&probe),
+                };
+                let b = p_eval_scalar(ctx, pred, &scope)?.is_truthy();
+                if i == 0 && !probe.get() && ctx.options.cache_uncorrelated_exists {
+                    cached = Some(b);
+                }
+                b
+            }
+        };
+        if keep {
+            kept.push(row);
+        }
+    }
+    *rows = kept;
+    Ok(())
+}
+
+fn p_join(
+    ctx: &ExecCtx<'_>,
+    prev_rows: Vec<Vec<Value>>,
+    next_rows: Vec<Vec<Value>>,
+    item: &PlanFrom,
+    parent: Option<&Scope<'_>>,
+) -> Result<Vec<Vec<Value>>> {
+    if item.join_keys.is_empty() {
+        // Cross product.
+        let mut rows = Vec::with_capacity(prev_rows.len() * next_rows.len());
+        for a in &prev_rows {
+            for b in &next_rows {
+                let mut row = a.clone();
+                row.extend(b.iter().cloned());
+                rows.push(row);
+            }
+        }
+        ctx.bump(|s| {
+            s.nested_loop_joins += 1;
+            s.nested_loop_rows += rows.len() as u64;
+        });
+        return Ok(rows);
+    }
+
+    ctx.bump(|s| {
+        s.hash_join_builds += 1;
+        s.hash_join_build_rows += next_rows.len() as u64;
+        s.hash_join_probe_rows += prev_rows.len() as u64;
+    });
+
+    // Build on the next side.
+    let mut index: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+    'build: for (i, row) in next_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(item.join_keys.len());
+        for (_, nexpr) in &item.join_keys {
+            let scope = Scope {
+                layout: &item.layout,
+                row,
+                parent,
+                probe: None,
+            };
+            let v = p_eval_scalar(ctx, nexpr, &scope)?;
+            if v.is_null() {
+                continue 'build; // NULL never equi-joins
+            }
+            key.push(key_of(&v));
+        }
+        index.entry(key).or_default().push(i);
+    }
+
+    // Probe with the prev side.
+    let mut rows = Vec::new();
+    'probe: for a in &prev_rows {
+        let mut key = Vec::with_capacity(item.join_keys.len());
+        for (pexpr, _) in &item.join_keys {
+            let scope = Scope {
+                layout: &item.prev_layout,
+                row: a,
+                parent,
+                probe: None,
+            };
+            let v = p_eval_scalar(ctx, pexpr, &scope)?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(key_of(&v));
+        }
+        if let Some(matches) = index.get(&key) {
+            for &i in matches {
+                let mut row = a.clone();
+                row.extend(next_rows[i].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+fn p_project_plain(
+    ctx: &ExecCtx<'_>,
+    block: &PlanBlock,
+    rows: &[Vec<Value>],
+    parent: Option<&Scope<'_>>,
+) -> Result<Relation> {
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let scope = Scope {
+            layout: &block.layout,
+            row,
+            parent,
+            probe: None,
+        };
+        let mut out = Vec::with_capacity(block.columns.len());
+        for item in &block.select {
+            match item {
+                PlanItem::Star => out.extend(row.iter().cloned()),
+                PlanItem::QualifiedStar(qal) => {
+                    for (i, (cq, _)) in block.layout.iter().enumerate() {
+                        if cq == qal {
+                            out.push(row[i].clone());
+                        }
+                    }
+                }
+                PlanItem::Expr(e) => out.push(p_eval_scalar(ctx, e, &scope)?),
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(Relation {
+        columns: block.columns.clone(),
+        rows: out_rows,
+    })
+}
+
+fn p_project_grouped(
+    ctx: &ExecCtx<'_>,
+    block: &PlanBlock,
+    rows: &[Vec<Value>],
+    parent: Option<&Scope<'_>>,
+) -> Result<Relation> {
+    // Build groups in first-occurrence order.
+    let mut group_order: Vec<Vec<Key>> = Vec::new();
+    let mut groups: HashMap<Vec<Key>, Vec<&Vec<Value>>> = HashMap::new();
+    if block.group_by.is_empty() {
+        // Implicit single group, present even over empty input.
+        groups.insert(Vec::new(), rows.iter().collect());
+        group_order.push(Vec::new());
+    } else {
+        for row in rows {
+            let scope = Scope {
+                layout: &block.layout,
+                row,
+                parent,
+                probe: None,
+            };
+            let mut key = Vec::with_capacity(block.group_by.len());
+            for g in &block.group_by {
+                key.push(key_of(&p_eval_scalar(ctx, g, &scope)?));
+            }
+            if !groups.contains_key(&key) {
+                group_order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(row);
+        }
+    }
+
+    ctx.bump(|s| s.group_buckets += groups.len() as u64);
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for key in &group_order {
+        let group = &groups[key];
+        if let Some(h) = &block.having {
+            let v = p_agg_expr(ctx, h, &block.layout, group, parent)?;
+            if !v.is_truthy() {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(block.columns.len());
+        for item in &block.select {
+            match item {
+                PlanItem::Star => match group.first() {
+                    Some(r) => out.extend(r.iter().cloned()),
+                    None => out.extend(block.layout.iter().map(|_| Value::Null)),
+                },
+                PlanItem::QualifiedStar(qal) => {
+                    for (i, (cq, _)) in block.layout.iter().enumerate() {
+                        if cq == qal {
+                            match group.first() {
+                                Some(r) => out.push(r[i].clone()),
+                                None => out.push(Value::Null),
+                            }
+                        }
+                    }
+                }
+                PlanItem::Expr(e) => out.push(p_agg_expr(ctx, e, &block.layout, group, parent)?),
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(Relation {
+        columns: block.columns.clone(),
+        rows: out_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_query_stats, NamedTuple};
+    use crate::parse::parse_query;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn hotel_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "metroarea",
+                vec![
+                    ColumnDef::new("metroid", ColumnType::Int),
+                    ColumnDef::new("metroname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        db.create_table(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int),
+                    ColumnDef::new("hotelname", ColumnType::Str),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        db.create_table(
+            TableSchema::new(
+                "confroom",
+                vec![
+                    ColumnDef::new("c_id", ColumnType::Int),
+                    ColumnDef::new("chotel_id", ColumnType::Int),
+                    ColumnDef::new("capacity", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        for (id, name) in [(1, "chicago"), (2, "nyc")] {
+            db.insert("metroarea", vec![Value::Int(id), Value::Str(name.into())])
+                .unwrap();
+        }
+        for (id, name, stars, metro) in [
+            (10, "palmer", 5, 1),
+            (11, "drake", 4, 1),
+            (12, "plaza", 5, 2),
+        ] {
+            db.insert(
+                "hotel",
+                vec![
+                    Value::Int(id),
+                    Value::Str(name.into()),
+                    Value::Int(stars),
+                    Value::Int(metro),
+                ],
+            )
+            .unwrap();
+        }
+        for (id, hotel, cap) in [(100, 10, 300), (101, 10, 150), (102, 12, 500)] {
+            db.insert(
+                "confroom",
+                vec![Value::Int(id), Value::Int(hotel), Value::Int(cap)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// Asserts rows AND stats parity with the interpreter on `sql`.
+    fn check(db: &Database, sql: &str, env: &ParamEnv) -> Relation {
+        let q = parse_query(sql).unwrap();
+        let mut interp_stats = EvalStats::default();
+        let interp =
+            eval_query_stats(db, &q, env, EvalOptions::default(), &mut interp_stats).unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let mut plan_stats = EvalStats::default();
+        let prepared = plan.execute_stats(db, env, &mut plan_stats).unwrap();
+        assert_eq!(prepared, interp, "relation mismatch for {sql}");
+        assert_eq!(plan_stats, interp_stats, "stats mismatch for {sql}");
+        prepared
+    }
+
+    fn metro_param(id: i64, name: &str) -> ParamEnv {
+        let mut env = ParamEnv::new();
+        env.insert(
+            "m".into(),
+            NamedTuple {
+                columns: vec!["metroid".into(), "metroname".into()],
+                values: vec![Value::Int(id), Value::Str(name.into())],
+            },
+        );
+        env
+    }
+
+    #[test]
+    fn scan_filter_join_parity() {
+        let db = hotel_db();
+        for sql in [
+            "SELECT metroid, metroname FROM metroarea",
+            "SELECT hotelname FROM hotel WHERE starrating > 4",
+            "SELECT hotelname, metroname FROM hotel, metroarea WHERE metro_id = metroid",
+            "SELECT hotelname, metroname FROM hotel, metroarea",
+            "SELECT metroname, hotelname, capacity FROM metroarea, hotel, confroom \
+             WHERE metro_id = metroid AND chotel_id = hotelid",
+            "SELECT DISTINCT starrating FROM hotel",
+        ] {
+            check(&db, sql, &ParamEnv::new());
+        }
+    }
+
+    #[test]
+    fn aggregate_parity() {
+        let db = hotel_db();
+        for sql in [
+            "SELECT chotel_id, SUM(capacity), COUNT(*) FROM confroom GROUP BY chotel_id",
+            "SELECT SUM(capacity) FROM confroom",
+            "SELECT SUM(capacity), COUNT(*) FROM confroom WHERE capacity > 9999",
+            "SELECT chotel_id FROM confroom GROUP BY chotel_id HAVING SUM(capacity) > 400",
+            "SELECT MIN(capacity), MAX(capacity), AVG(capacity) FROM confroom",
+        ] {
+            check(&db, sql, &ParamEnv::new());
+        }
+    }
+
+    #[test]
+    fn exists_parity_including_cache_counters() {
+        let db = hotel_db();
+        for sql in [
+            "SELECT * FROM hotel WHERE EXISTS (SELECT * FROM metroarea WHERE metroid = 1)",
+            "SELECT * FROM hotel WHERE EXISTS (SELECT * FROM metroarea WHERE metroid = 99)",
+            "SELECT hotelname FROM hotel \
+             WHERE EXISTS (SELECT * FROM confroom WHERE chotel_id = hotelid)",
+        ] {
+            check(&db, sql, &ParamEnv::new());
+        }
+    }
+
+    #[test]
+    fn parameterized_parity_and_slots() {
+        let db = hotel_db();
+        let env = metro_param(1, "chicago");
+        let sql = "SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4";
+        let r = check(&db, sql, &env);
+        assert_eq!(r.len(), 1);
+        let plan = prepare(&parse_query(sql).unwrap(), &db.catalog()).unwrap();
+        assert_eq!(plan.slots(), &[("m".to_owned(), "metroid".to_owned())]);
+    }
+
+    #[test]
+    fn derived_table_with_params_parity() {
+        let db = hotel_db();
+        let env = metro_param(1, "chicago");
+        let r = check(
+            &db,
+            "SELECT SUM(capacity), TEMP.* \
+             FROM confroom, (SELECT * FROM hotel \
+                             WHERE metro_id=$m.metroid AND starrating > 4) AS TEMP \
+             WHERE chotel_id=TEMP.hotelid \
+             GROUP BY TEMP.hotelid, TEMP.hotelname, TEMP.starrating, TEMP.metro_id",
+            &env,
+        );
+        assert_eq!(r.rows[0][0], Value::Int(450));
+    }
+
+    #[test]
+    fn preserved_derived_table_parity() {
+        let db = hotel_db();
+        check(
+            &db,
+            "SELECT COUNT(c_id), TEMP.hotelid \
+             FROM confroom, OUTER (SELECT * FROM hotel) AS TEMP \
+             WHERE chotel_id = TEMP.hotelid GROUP BY TEMP.hotelid",
+            &ParamEnv::new(),
+        );
+    }
+
+    #[test]
+    fn one_plan_many_environments() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let r1 = plan.execute(&db, &metro_param(1, "chicago")).unwrap();
+        let r2 = plan.execute(&db, &metro_param(2, "nyc")).unwrap();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2.rows[0][0], Value::Str("plaza".into()));
+    }
+
+    #[test]
+    fn invalid_queries_rejected_at_prepare() {
+        let db = hotel_db();
+        let dup = parse_query("SELECT * FROM hotel, hotel").unwrap();
+        assert!(matches!(
+            prepare(&dup, &db.catalog()),
+            Err(Error::DuplicateAlias { .. })
+        ));
+        let agg = parse_query("SELECT * FROM confroom WHERE SUM(capacity) > 1").unwrap();
+        assert!(matches!(
+            prepare(&agg, &db.catalog()),
+            Err(Error::MisplacedAggregate)
+        ));
+        let missing = parse_query("SELECT * FROM nonexistent").unwrap();
+        assert!(matches!(
+            prepare(&missing, &db.catalog()),
+            Err(Error::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_parameter_errors_at_execute() {
+        let db = hotel_db();
+        let q = parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        assert!(matches!(
+            plan.execute(&db, &ParamEnv::new()),
+            Err(Error::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn hash_joins_disabled_matches_interpreter() {
+        let db = hotel_db();
+        let q = parse_query(
+            "SELECT hotelname, metroname FROM hotel, metroarea WHERE metro_id = metroid",
+        )
+        .unwrap();
+        let opts = EvalOptions {
+            hash_joins: false,
+            ..EvalOptions::default()
+        };
+        let mut interp_stats = EvalStats::default();
+        let interp = eval_query_stats(&db, &q, &ParamEnv::new(), opts, &mut interp_stats).unwrap();
+        let plan = prepare_with(&q, &db.catalog(), opts).unwrap();
+        let mut plan_stats = EvalStats::default();
+        let prepared = plan
+            .execute_stats(&db, &ParamEnv::new(), &mut plan_stats)
+            .unwrap();
+        assert_eq!(prepared, interp);
+        assert_eq!(plan_stats, interp_stats);
+        assert!(plan_stats.nested_loop_joins > 0);
+    }
+}

@@ -1,7 +1,9 @@
-//! Temporary review verification test (not part of the PR).
+//! Soundness checks for the predicate-dataflow analysis around
+//! preserved-side (`OUTER`) derived tables, whose NULL padding invalidates
+//! facts derived from the padded columns' defining queries.
 
 use xvc_rel::facts::{analyze_query, drop_redundant_conjuncts, FactSet};
-use xvc_rel::{database_from_ddl, eval_query, parse_query, Value};
+use xvc_rel::{database_from_ddl, eval_query, parse_query, ParamEnv, Value};
 
 fn db() -> xvc_rel::Database {
     let mut db = database_from_ddl(
@@ -9,20 +11,18 @@ fn db() -> xvc_rel::Database {
          CREATE TABLE hotel (hotelid INT PRIMARY KEY, starrating INT, metro_id INT);",
     )
     .unwrap();
-    db.insert(
-        "metroarea",
-        vec![Value::Int(1), Value::Str("sf".into())],
-    )
-    .unwrap();
+    db.insert("metroarea", vec![Value::Int(1), Value::Str("sf".into())])
+        .unwrap();
     // One hotel with starrating 2: no hotel satisfies starrating > 4.
-    db.insert(
-        "hotel",
-        vec![Value::Int(10), Value::Int(2), Value::Int(1)],
-    )
-    .unwrap();
+    db.insert("hotel", vec![Value::Int(10), Value::Int(2), Value::Int(1)])
+        .unwrap();
     db
 }
 
+/// `starrating > 4` is unsatisfiable over the data, but the preserved
+/// `OUTER` item pads its columns with NULL instead of dropping the row —
+/// so the outer `t.hs IS NULL` query is *not* empty, and the analysis must
+/// not claim it is.
 #[test]
 fn padded_out_facts_soundness() {
     let db = db();
@@ -31,10 +31,8 @@ fn padded_out_facts_soundness() {
                FROM OUTER (SELECT metroid FROM metroarea) AS m, hotel AS h \
                WHERE h.starrating > 4) AS t WHERE t.hs IS NULL";
     let q = parse_query(sql).unwrap();
-    let rel = eval_query(&db, &q).unwrap();
+    let rel = eval_query(&db, &q, &ParamEnv::new()).unwrap();
     let a = analyze_query(&q, &catalog, &FactSet::new());
-    println!("rows = {}", rel.rows.len());
-    println!("analysis.empty = {}, chain = {:?}", a.empty, a.empty_chain);
     assert!(
         !(a.empty && !rel.rows.is_empty()),
         "UNSOUND: analysis says empty but eval returns {} row(s)",
@@ -42,26 +40,24 @@ fn padded_out_facts_soundness() {
     );
 }
 
+/// A conjunct entailed by a derived table's defining query is only
+/// droppable if NULL padding cannot reach its columns: here `h.hs = 5`
+/// re-filters rows the `OUTER` padding would otherwise let through, so
+/// dropping it must not change the result (if the analysis marks it
+/// redundant regardless, `drop_redundant_conjuncts` changing row counts
+/// would be unsound).
 #[test]
 fn padded_redundant_conjunct_soundness() {
     let db = db();
     let catalog = db.catalog();
-    // Derived table pins hs = 2 (matches the data); the outer OUTER item
-    // pads h-columns with NULL when no join partner survives the WHERE.
     let sql = "SELECT * FROM OUTER (SELECT metroid FROM metroarea) AS m, \
                (SELECT starrating AS hs FROM hotel WHERE starrating = 5) AS h \
                WHERE h.hs = 5";
     let mut q = parse_query(sql).unwrap();
-    let before = eval_query(&db, &q).unwrap();
+    let before = eval_query(&db, &q, &ParamEnv::new()).unwrap();
     let a = analyze_query(&q, &catalog, &FactSet::new());
-    println!("redundant = {:?}", a.redundant);
-    let dropped = drop_redundant_conjuncts(&mut q, &a);
-    let after = eval_query(&db, &q).unwrap();
-    println!(
-        "dropped = {dropped}, rows before = {}, after = {}",
-        before.rows.len(),
-        after.rows.len()
-    );
+    let _dropped = drop_redundant_conjuncts(&mut q, &a);
+    let after = eval_query(&db, &q, &ParamEnv::new()).unwrap();
     assert_eq!(
         before.rows.len(),
         after.rows.len(),

@@ -1,0 +1,261 @@
+//! Property tests for prepared plans: on every generated database and
+//! query, `prepare(q).execute(db, env)` must produce exactly the same
+//! rows — and `execute_stats` the same [`EvalStats`] counters — as the
+//! interpreter (`eval_query_stats`). Queries both sides reject count as
+//! agreement: the plan's promise is "same behaviour", not "no errors".
+
+use proptest::prelude::*;
+use xvc_rel::{
+    eval_query_stats, parse_query, prepare, prepare_with, AggFunc, BinOp, ColumnDef, ColumnType,
+    Database, EvalOptions, EvalStats, NamedTuple, ParamEnv, ScalarExpr, SelectItem, SelectQuery,
+    TableRef, Value,
+};
+
+/// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
+/// heavier offline fuzzing runs.
+fn cases(default: u32) -> proptest::test_runner::Config {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    proptest::test_runner::Config::with_cases(n)
+}
+
+// ---------------------------------------------------------------------------
+// Generators (same shape as prop_engine.rs: r(a, b, k) ⋈ s(c, k2))
+// ---------------------------------------------------------------------------
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let row_r = (0i64..5, 0i64..5, 0i64..4);
+    let row_s = (0i64..5, 0i64..4);
+    (
+        prop::collection::vec(row_r, 0..8),
+        prop::collection::vec(row_s, 0..8),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut db = Database::new();
+            db.create_table(
+                xvc_rel::TableSchema::new(
+                    "r",
+                    vec![
+                        ColumnDef::new("a", ColumnType::Int),
+                        ColumnDef::new("b", ColumnType::Int),
+                        ColumnDef::new("k", ColumnType::Int),
+                    ],
+                )
+                .unwrap(),
+            );
+            db.create_table(
+                xvc_rel::TableSchema::new(
+                    "s",
+                    vec![
+                        ColumnDef::new("c", ColumnType::Int),
+                        ColumnDef::new("k2", ColumnType::Int),
+                    ],
+                )
+                .unwrap(),
+            );
+            for (a, b, k) in rs {
+                db.insert("r", vec![Value::Int(a), Value::Int(b), Value::Int(k)])
+                    .unwrap();
+            }
+            for (c, k) in ss {
+                db.insert("s", vec![Value::Int(c), Value::Int(k)]).unwrap();
+            }
+            db
+        })
+}
+
+fn cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// A conjunctive filter mixing per-table pushdowns, the equi-join key and
+/// (optionally) a `$p.v` parameter bound — every classification bucket the
+/// compiler distinguishes (pushdown / join key / prefix filter / residual)
+/// gets exercised across the case set.
+fn where_strategy() -> impl Strategy<Value = ScalarExpr> {
+    let atom = (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        cmp_op(),
+        0i64..5,
+        any::<bool>(),
+    )
+        .prop_map(|(col, op, v, param)| {
+            let bound = if param {
+                ScalarExpr::Param {
+                    var: "p".into(),
+                    column: "v".into(),
+                }
+            } else {
+                ScalarExpr::int(v)
+            };
+            ScalarExpr::binary(op, ScalarExpr::col(col), bound)
+        });
+    (prop::collection::vec(atom, 0..3), any::<bool>()).prop_map(|(extra, join)| {
+        let mut pred = if join {
+            ScalarExpr::eq(ScalarExpr::col("k"), ScalarExpr::col("k2"))
+        } else {
+            // Cross product with a filter: exercises the nested-loop path.
+            ScalarExpr::binary(BinOp::Le, ScalarExpr::col("k"), ScalarExpr::col("k2"))
+        };
+        for e in extra {
+            pred = ScalarExpr::binary(BinOp::And, pred, e);
+        }
+        pred
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = SelectQuery> {
+    (where_strategy(), any::<bool>(), any::<bool>()).prop_map(|(w, agg, distinct)| {
+        let select = if agg {
+            vec![
+                SelectItem::expr(ScalarExpr::col("k")),
+                SelectItem::expr(ScalarExpr::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                }),
+                SelectItem::aliased(
+                    ScalarExpr::Aggregate {
+                        func: AggFunc::Sum,
+                        arg: Some(Box::new(ScalarExpr::col("a"))),
+                    },
+                    "total",
+                ),
+            ]
+        } else {
+            vec![SelectItem::Star]
+        };
+        let mut q = SelectQuery::new(select, vec![TableRef::table("r"), TableRef::table("s")]);
+        q.distinct = distinct && !agg;
+        q.where_clause = Some(w);
+        if agg {
+            q.group_by = vec![ScalarExpr::col("k")];
+        }
+        q
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = ParamEnv> {
+    (0i64..5).prop_map(|v| {
+        let mut env = ParamEnv::new();
+        env.insert(
+            "p".into(),
+            NamedTuple {
+                columns: vec!["v".into()],
+                values: vec![Value::Int(v)],
+            },
+        );
+        env
+    })
+}
+
+/// Both paths on the same inputs; rows and stats must agree exactly
+/// (including row order — the plan mirrors the interpreter's pipeline, so
+/// even ordering is deterministic). Both-sides-error is agreement too.
+fn assert_parity(db: &Database, q: &SelectQuery, env: &ParamEnv, options: EvalOptions) {
+    let mut interp_stats = EvalStats::default();
+    let interp = eval_query_stats(db, q, env, options, &mut interp_stats);
+    let prepared = prepare_with(q, &db.catalog(), options).and_then(|plan| {
+        let mut plan_stats = EvalStats::default();
+        let rel = plan.execute_stats(db, env, &mut plan_stats)?;
+        Ok((rel, plan_stats))
+    });
+    match (interp, prepared) {
+        (Ok(i), Ok((p, p_stats))) => {
+            assert_eq!(p, i, "relation mismatch for {}", q.to_sql());
+            assert_eq!(p_stats, interp_stats, "stats mismatch for {}", q.to_sql());
+        }
+        (Err(_), Err(_)) => {} // both reject: agreement
+        (Ok(_), Err(e)) => panic!("only the plan failed for {}: {e}", q.to_sql()),
+        (Err(e), Ok(_)) => panic!("only the interpreter failed for {}: {e}", q.to_sql()),
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(256))]
+
+    /// `PreparedPlan::execute` ≡ `eval_query` on generated join queries,
+    /// including parameter bindings and the EvalStats counters.
+    #[test]
+    fn prepared_equals_interpreted(
+        db in db_strategy(),
+        q in query_strategy(),
+        env in env_strategy(),
+    ) {
+        assert_parity(&db, &q, &env, EvalOptions::default());
+    }
+
+    /// The equivalence holds under non-default options too: the plan bakes
+    /// the options in at compile time, the interpreter applies them per
+    /// call — both must land in the same place.
+    #[test]
+    fn prepared_equals_interpreted_without_hash_joins(
+        db in db_strategy(),
+        q in query_strategy(),
+        env in env_strategy(),
+    ) {
+        assert_parity(
+            &db,
+            &q,
+            &env,
+            EvalOptions { hash_joins: false, ..EvalOptions::default() },
+        );
+    }
+
+    /// EXISTS subqueries (correlated and not) through the plan compiler,
+    /// including the uncorrelated-EXISTS cache counters.
+    #[test]
+    fn exists_parity(db in db_strategy(), threshold in 0i64..5, correlated in any::<bool>()) {
+        let sql = if correlated {
+            format!("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE k2 = k AND c > {threshold})")
+        } else {
+            format!("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE c > {threshold})")
+        };
+        let q = parse_query(&sql).unwrap();
+        assert_parity(&db, &q, &ParamEnv::new(), EvalOptions::default());
+    }
+
+    /// One plan, many environments: compiling once and re-executing with
+    /// different bindings equals interpreting from scratch each time —
+    /// the cached-plan reuse the publisher relies on.
+    #[test]
+    fn one_plan_many_environments(db in db_strategy(), vs in prop::collection::vec(0i64..5, 1..5)) {
+        let q = parse_query("SELECT a, b FROM r WHERE k = $p.v").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        for v in vs {
+            let mut env = ParamEnv::new();
+            env.insert(
+                "p".into(),
+                NamedTuple { columns: vec!["v".into()], values: vec![Value::Int(v)] },
+            );
+            let mut interp_stats = EvalStats::default();
+            let interp =
+                eval_query_stats(&db, &q, &env, EvalOptions::default(), &mut interp_stats)
+                    .unwrap();
+            let mut plan_stats = EvalStats::default();
+            let prepared = plan.execute_stats(&db, &env, &mut plan_stats).unwrap();
+            prop_assert_eq!(&prepared, &interp);
+            prop_assert_eq!(&plan_stats, &interp_stats);
+        }
+    }
+
+    /// Derived tables (plain and parameterized) compile to nested blocks;
+    /// parity must hold through the nesting.
+    #[test]
+    fn derived_table_parity(db in db_strategy(), env in env_strategy(), lo in 0i64..5) {
+        let sql = format!(
+            "SELECT k, c FROM s, (SELECT * FROM r WHERE a >= {lo} AND b = $p.v) AS t \
+             WHERE k2 = t.k"
+        );
+        let q = parse_query(&sql).unwrap();
+        assert_parity(&db, &q, &env, EvalOptions::default());
+    }
+}

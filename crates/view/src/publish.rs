@@ -1,6 +1,21 @@
 //! Publishing: evaluating a schema-tree query to an XML document, `v(I)`.
+//!
+//! The entry point is the [`Publisher`] builder: it owns a per-tree
+//! **plan cache** (each node's tag query compiled once into an
+//! [`xvc_rel::PreparedPlan`], executed once per binding), a bounded
+//! per-publish **result memo** (repeated parent tuples with equal relevant
+//! binding values reuse the child relation), and can evaluate sibling
+//! subtrees in **parallel** (`std::thread::scope`) while keeping document
+//! order and producing thread-count-independent statistics.
 
-use xvc_rel::{eval_query_stats, Database, EvalOptions, EvalStats, ParamEnv, Relation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use xvc_rel::{
+    eval_query_stats, prepare, Catalog, Database, EvalOptions, EvalStats, NamedTuple, ParamEnv,
+    PreparedPlan, Relation, ScalarExpr, SelectItem, SelectQuery,
+};
 use xvc_xml::{Document, TreeBuilder};
 
 use crate::error::Result;
@@ -21,6 +36,44 @@ pub struct PublishStats {
     pub queries_run: usize,
     /// Tuples fetched across all tag-query executions.
     pub tuples_fetched: usize,
+    /// Tag queries / guard probes compiled into a [`PreparedPlan`] during
+    /// this publish (plan-cache misses).
+    pub plans_prepared: usize,
+    /// Nodes whose plan was already in the publisher's cache from an
+    /// earlier publish against the same catalog (plan-cache hits).
+    pub plan_cache_hits: usize,
+    /// Tag-query executions served from the parameterized-result memo
+    /// (equal relevant binding values, relation reused without touching
+    /// the engine).
+    pub memo_hits: usize,
+    /// Memoizable executions that had to run the engine.
+    pub memo_misses: usize,
+}
+
+impl PublishStats {
+    /// Adds `other`'s counters into `self` (used to merge per-subtree
+    /// statistics deterministically).
+    pub fn absorb(&mut self, other: &PublishStats) {
+        self.elements += other.elements;
+        self.attributes += other.attributes;
+        self.queries_run += other.queries_run;
+        self.tuples_fetched += other.tuples_fetched;
+        self.plans_prepared += other.plans_prepared;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// Fraction of plan lookups served by the cache:
+    /// `hits / (hits + prepared)`, or `0.0` when no plans were looked up.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plans_prepared;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// One emitted element, recorded when publishing with a trace: which view
@@ -63,80 +116,380 @@ impl PublishTrace {
     }
 }
 
-/// Evaluates the schema-tree query against a database instance, producing
-/// the XML document `v(I)` plus materialization statistics.
-pub fn publish(tree: &SchemaTree, db: &Database) -> Result<(Document, PublishStats)> {
-    let (doc, stats, _) = publish_with_stats(tree, db)?;
-    Ok((doc, stats))
+/// Everything one publish run produced.
+#[derive(Debug)]
+pub struct Published {
+    /// The XML document `v(I)`.
+    pub document: Document,
+    /// Materialization counters (elements, queries, cache behavior).
+    pub stats: PublishStats,
+    /// Relational-engine work accumulated across every tag-query / guard
+    /// evaluation of the run.
+    pub eval: EvalStats,
+    /// Per-element provenance; `Some` only when tracing was requested via
+    /// [`Publisher::traced`].
+    pub trace: Option<PublishTrace>,
 }
 
-/// [`publish`] that also reports the relational engine's work counters
-/// accumulated across every tag-query / guard evaluation of the run.
-pub fn publish_with_stats(
-    tree: &SchemaTree,
-    db: &Database,
-) -> Result<(Document, PublishStats, EvalStats)> {
-    let (doc, stats, eval, _) = Publisher::new(tree, db, false).run()?;
-    Ok((doc, stats, eval))
+/// Distinguishes a node's tag query from its emission-guard probe in the
+/// plan cache and result memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Role {
+    Tag,
+    Guard,
 }
 
-/// [`publish`] that additionally records per-element provenance (used by
-/// the divergence reporter).
-pub fn publish_traced(
-    tree: &SchemaTree,
-    db: &Database,
-) -> Result<(Document, PublishStats, PublishTrace)> {
-    let (doc, stats, _, trace) = Publisher::new(tree, db, true).run()?;
-    Ok((doc, stats, trace))
+type PlanKey = (u32, Role);
+
+/// Compiled plans for one schema tree, valid for one catalog.
+#[derive(Debug, Default)]
+struct PlanCache {
+    /// The catalog the cached plans were compiled against; a different
+    /// catalog invalidates every plan.
+    catalog: Option<Catalog>,
+    plans: HashMap<PlanKey, PreparedPlan>,
 }
 
-/// Convenience: number of elements `v(I)` would materialize.
-pub fn publish_node_count(tree: &SchemaTree, db: &Database) -> Result<usize> {
-    publish(tree, db).map(|(_, s)| s.elements)
+/// Entries per subtree-task result memo; inserts are skipped beyond this.
+const MEMO_CAP: usize = 256;
+
+/// Builder-style publisher: configures tracing / parallelism / plan usage,
+/// owns the plan cache, and evaluates a schema tree against database
+/// instances.
+///
+/// ```no_run
+/// # use xvc_view::{Publisher, SchemaTree};
+/// # use xvc_rel::Database;
+/// # fn demo(tree: &SchemaTree, db: &Database) -> xvc_view::Result<()> {
+/// let mut publisher = Publisher::new(tree).traced(true).parallel(4);
+/// let first = publisher.publish(db)?; // compiles and caches the plans
+/// let again = publisher.publish(db)?; // reuses every cached plan
+/// assert!(again.stats.plan_cache_hit_rate() > 0.0);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Publisher<'t> {
+    tree: &'t SchemaTree,
+    tracing: bool,
+    parallel: usize,
+    prepared: bool,
+    cache: PlanCache,
 }
 
-struct Publisher<'a> {
+impl<'t> Publisher<'t> {
+    /// A publisher for `tree`: untraced, single-threaded, prepared-plan
+    /// execution enabled.
+    pub fn new(tree: &'t SchemaTree) -> Self {
+        Publisher {
+            tree,
+            tracing: false,
+            parallel: 1,
+            prepared: true,
+            cache: PlanCache::default(),
+        }
+    }
+
+    /// Record per-element provenance ([`Published::trace`]).
+    pub fn traced(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Evaluate up to `n` root-level sibling subtrees concurrently.
+    /// `0` and `1` both mean sequential. Document order and all statistics
+    /// are independent of `n`.
+    pub fn parallel(mut self, n: usize) -> Self {
+        self.parallel = n.max(1);
+        self
+    }
+
+    /// Use compiled [`PreparedPlan`]s and the result memo (`true`, the
+    /// default), or force the tuple-at-a-time interpreter (`false`; used
+    /// by benchmarks to measure the prepared path's win).
+    pub fn prepared(mut self, on: bool) -> Self {
+        self.prepared = on;
+        self
+    }
+
+    /// Evaluates the schema tree against `db`, producing `v(I)` plus
+    /// statistics (and a trace when requested).
+    ///
+    /// Plans cached by an earlier call are reused when the database's
+    /// catalog is unchanged; the result memo never outlives one call, so
+    /// database mutations between calls are always observed.
+    pub fn publish(&mut self, db: &Database) -> Result<Published> {
+        self.tree.validate()?;
+        let mut stats = PublishStats::default();
+        let catalog = db.catalog();
+        if self.cache.catalog.as_ref() != Some(&catalog) {
+            self.cache.plans.clear();
+            self.cache.catalog = Some(catalog.clone());
+        }
+        if self.prepared {
+            for vid in self.tree.node_ids() {
+                let node = self.tree.node(vid).expect("non-root id");
+                if let Some(q) = &node.query {
+                    ensure_plan(&mut self.cache, vid, Role::Tag, q, &catalog, &mut stats);
+                }
+                if let Some(g) = &node.guard {
+                    let probe = guard_probe(g);
+                    ensure_plan(
+                        &mut self.cache,
+                        vid,
+                        Role::Guard,
+                        &probe,
+                        &catalog,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+
+        // Root pass (always sequential): evaluate root-level guards and tag
+        // queries, and cut the document into one task per root element
+        // instance. The decomposition — and therefore every per-task
+        // counter — is independent of the thread count.
+        let shared = Shared {
+            tree: self.tree,
+            db,
+            plans: &self.cache.plans,
+            use_plans: self.prepared,
+            tracing: self.tracing,
+        };
+        let mut main = Worker::new(&shared, HashMap::new());
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut root_counts: HashMap<String, usize> = HashMap::new();
+        let env = ParamEnv::new();
+        for &child in self.tree.children(self.tree.root()) {
+            let node = self.tree.node(child).expect("non-root id");
+            if let Some(guard) = &node.guard {
+                main.stats.queries_run += 1;
+                let probe = guard_probe(guard);
+                if main
+                    .run_tag_query(child, Role::Guard, &probe, &env)?
+                    .is_empty()
+                {
+                    continue;
+                }
+            }
+            let mut seed = |tag: &str| {
+                let n = root_counts.entry(tag.to_owned()).or_insert(0);
+                *n += 1;
+                *n - 1
+            };
+            match &node.query {
+                Some(q) if node.context_tuple_of.is_none() => {
+                    let rel = main.run_tag_query(child, Role::Tag, q, &env)?;
+                    main.stats.queries_run += 1;
+                    main.stats.tuples_fetched += rel.len();
+                    for i in 0..rel.len() {
+                        tasks.push(Task {
+                            vid: child,
+                            tag: node.tag.clone(),
+                            index: seed(&node.tag),
+                            tuple: Some(rel.tuple(i)),
+                        });
+                    }
+                }
+                _ => {
+                    tasks.push(Task {
+                        vid: child,
+                        tag: node.tag.clone(),
+                        index: seed(&node.tag),
+                        tuple: None,
+                    });
+                }
+            }
+        }
+
+        let outs = run_tasks(&shared, &tasks, self.parallel);
+
+        // Deterministic merge, in task (= document) order.
+        stats.absorb(&main.stats);
+        let mut eval = main.eval;
+        let mut trace = main.trace;
+        let mut builder = TreeBuilder::new();
+        for out in outs {
+            let out = out.expect("every task slot is filled")?;
+            let kids: Vec<_> = out.doc.children(out.doc.root()).to_vec();
+            for kid in kids {
+                builder.import(&out.doc, kid);
+            }
+            stats.absorb(&out.stats);
+            eval.absorb(&out.eval);
+            trace.extend(out.trace);
+        }
+        Ok(Published {
+            document: builder.finish(),
+            stats,
+            eval,
+            trace: self.tracing.then_some(PublishTrace { entries: trace }),
+        })
+    }
+}
+
+/// Compiles `q` into the cache under `(vid, role)` unless already present.
+/// Compilation failures are not fatal: the node simply falls back to the
+/// interpreter (which will surface any genuine error at execution time,
+/// and only if the node actually runs).
+fn ensure_plan(
+    cache: &mut PlanCache,
+    vid: ViewNodeId,
+    role: Role,
+    q: &SelectQuery,
+    catalog: &Catalog,
+    stats: &mut PublishStats,
+) {
+    let key = (vid.index() as u32, role);
+    match cache.plans.entry(key) {
+        std::collections::hash_map::Entry::Occupied(_) => stats.plan_cache_hits += 1,
+        std::collections::hash_map::Entry::Vacant(e) => {
+            if let Ok(p) = prepare(q, catalog) {
+                e.insert(p);
+                stats.plans_prepared += 1;
+            }
+        }
+    }
+}
+
+/// The `SELECT 1 WHERE guard` probe the publisher evaluates for emission
+/// guards.
+fn guard_probe(guard: &ScalarExpr) -> SelectQuery {
+    let mut probe = SelectQuery::new(vec![SelectItem::expr(ScalarExpr::int(1))], vec![]);
+    probe.where_clause = Some(guard.clone());
+    probe
+}
+
+/// Read-only state shared by every subtree task.
+struct Shared<'a> {
     tree: &'a SchemaTree,
     db: &'a Database,
+    plans: &'a HashMap<PlanKey, PreparedPlan>,
+    use_plans: bool,
+    tracing: bool,
+}
+
+/// One root-level element instance to publish: a query-node tuple, or a
+/// literal / context-copy element.
+struct Task {
+    vid: ViewNodeId,
+    tag: String,
+    /// 0-based occurrence index of `tag` among root-level siblings, for
+    /// indexed trace paths.
+    index: usize,
+    tuple: Option<NamedTuple>,
+}
+
+/// What one task produced: a document fragment (the element subtree) plus
+/// its private counters and trace entries.
+struct TaskOut {
+    doc: Document,
+    stats: PublishStats,
+    eval: EvalStats,
+    trace: Vec<TraceEntry>,
+}
+
+/// Runs every task — inline when `parallel <= 1`, else on a scoped thread
+/// pool — returning results in task order.
+fn run_tasks(shared: &Shared<'_>, tasks: &[Task], parallel: usize) -> Vec<Option<Result<TaskOut>>> {
+    let n = parallel.clamp(1, tasks.len().max(1));
+    if n <= 1 {
+        return tasks.iter().map(|t| Some(run_task(shared, t))).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<TaskOut>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let out = run_task(shared, task);
+                *slots[i].lock().expect("task slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("task slot"))
+        .collect()
+}
+
+fn run_task(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
+    let mut seed = HashMap::new();
+    seed.insert(task.tag.clone(), task.index);
+    let mut w = Worker::new(shared, seed);
+    w.emit_instance(task.vid, &ParamEnv::new(), task.tuple.as_ref())?;
+    Ok(TaskOut {
+        doc: w.builder.finish(),
+        stats: w.stats,
+        eval: w.eval,
+        trace: w.trace,
+    })
+}
+
+/// Per-task publishing state: its own builder, counters, trace slice and
+/// result memo (memoization is task-scoped so statistics cannot depend on
+/// how tasks are spread over threads).
+struct Worker<'a> {
+    shared: &'a Shared<'a>,
     builder: TreeBuilder,
     stats: PublishStats,
     eval: EvalStats,
-    tracing: bool,
-    trace: PublishTrace,
+    trace: Vec<TraceEntry>,
     /// Indexed path segments of currently open elements.
     path: Vec<String>,
-    /// Per open level: same-tag sibling counts emitted so far (the root
-    /// level is the first entry).
-    sibling_counts: Vec<std::collections::HashMap<String, usize>>,
+    /// Per open level: same-tag sibling counts emitted so far (the task's
+    /// base level is the first entry).
+    sibling_counts: Vec<HashMap<String, usize>>,
+    /// `(node, role, rendered binding values)` → relation.
+    memo: HashMap<(u32, Role, String), Relation>,
 }
 
-impl<'a> Publisher<'a> {
-    fn new(tree: &'a SchemaTree, db: &'a Database, tracing: bool) -> Self {
-        Publisher {
-            tree,
-            db,
+impl<'a> Worker<'a> {
+    fn new(shared: &'a Shared<'a>, seed_counts: HashMap<String, usize>) -> Self {
+        Worker {
+            shared,
             builder: TreeBuilder::new(),
             stats: PublishStats::default(),
             eval: EvalStats::default(),
-            tracing,
-            trace: PublishTrace::default(),
+            trace: Vec::new(),
             path: Vec::new(),
-            sibling_counts: vec![std::collections::HashMap::new()],
+            sibling_counts: vec![seed_counts],
+            memo: HashMap::new(),
         }
     }
 
-    fn run(mut self) -> Result<(Document, PublishStats, EvalStats, PublishTrace)> {
-        self.tree.validate()?;
-        let env = ParamEnv::new();
-        for &child in self.tree.children(self.tree.root()) {
-            self.publish_node(child, &env)?;
+    /// Executes a node's tag query (or guard probe): through its cached
+    /// prepared plan and the result memo when available, else through the
+    /// interpreter.
+    fn run_tag_query(
+        &mut self,
+        vid: ViewNodeId,
+        role: Role,
+        q: &SelectQuery,
+        env: &ParamEnv,
+    ) -> Result<Relation> {
+        if self.shared.use_plans {
+            if let Some(plan) = self.shared.plans.get(&(vid.index() as u32, role)) {
+                if let Some(key) = memo_key(plan.slots(), env) {
+                    let mk = (vid.index() as u32, role, key);
+                    if let Some(hit) = self.memo.get(&mk) {
+                        self.stats.memo_hits += 1;
+                        return Ok(hit.clone());
+                    }
+                    let rel = plan.execute_stats(self.shared.db, env, &mut self.eval)?;
+                    self.stats.memo_misses += 1;
+                    if self.memo.len() < MEMO_CAP {
+                        self.memo.insert(mk, rel.clone());
+                    }
+                    return Ok(rel);
+                }
+                return Ok(plan.execute_stats(self.shared.db, env, &mut self.eval)?);
+            }
         }
-        Ok((self.builder.finish(), self.stats, self.eval, self.trace))
-    }
-
-    fn run_query(&mut self, q: &xvc_rel::SelectQuery, env: &ParamEnv) -> Result<Relation> {
         Ok(eval_query_stats(
-            self.db,
+            self.shared.db,
             q,
             env,
             EvalOptions::default(),
@@ -155,9 +508,9 @@ impl<'a> Publisher<'a> {
         let n = level.entry(tag.to_owned()).or_insert(0);
         *n += 1;
         self.path.push(format!("{tag}[{n}]"));
-        self.sibling_counts.push(std::collections::HashMap::new());
-        if self.tracing {
-            self.trace.entries.push(TraceEntry {
+        self.sibling_counts.push(HashMap::new());
+        if self.shared.tracing {
+            self.trace.push(TraceEntry {
                 path: format!("/{}", self.path.join("/")),
                 view: vid,
                 env: env.clone(),
@@ -177,10 +530,9 @@ impl<'a> Publisher<'a> {
     }
 
     fn emit_static_attrs(&mut self, vid: ViewNodeId) {
-        let tree = self.tree;
-        let node = tree.node(vid).expect("caller validated vid");
-        for (k, v) in &node.static_attrs {
-            self.emit_attr(k, v.clone());
+        let node = self.shared.tree.node(vid).expect("caller validated vid");
+        for (k, v) in node.static_attrs.clone() {
+            self.emit_attr(&k, v);
         }
     }
 
@@ -206,35 +558,26 @@ impl<'a> Publisher<'a> {
         }
     }
 
-    fn publish_node(&mut self, vid: ViewNodeId, env: &ParamEnv) -> Result<()> {
-        let tree = self.tree;
-        let node = tree
-            .node(vid)
-            .expect("publish_node is never called on root");
+    /// Publishes one already-guarded element instance: the entry point of a
+    /// root-level task (guards of root children run in the main pass).
+    fn emit_instance(
+        &mut self,
+        vid: ViewNodeId,
+        env: &ParamEnv,
+        tuple: Option<&NamedTuple>,
+    ) -> Result<()> {
+        let tree = self.shared.tree;
+        let node = tree.node(vid).expect("non-root id");
 
-        // Emission guard: `SELECT 1 WHERE guard` over the current bindings.
-        if let Some(guard) = &node.guard {
-            let mut probe = xvc_rel::SelectQuery::new(
-                vec![xvc_rel::SelectItem::expr(xvc_rel::ScalarExpr::int(1))],
-                vec![],
-            );
-            probe.where_clause = Some(guard.clone());
-            self.stats.queries_run += 1;
-            if self.run_query(&probe, env)?.is_empty() {
-                return Ok(());
-            }
-        }
-
-        // Context-copy element: one instance per parent, attributes from
-        // the tuple already bound to `$var` in the environment.
         if let Some(var) = &node.context_tuple_of {
             self.open(&node.tag, vid, env);
             self.emit_static_attrs(vid);
             let mut child_env = env.clone();
-            if let Some(tuple) = env.get(var) {
-                self.emit_tuple_attrs(&node.attrs, &tuple.columns, &tuple.values);
+            if let Some(t) = env.get(var) {
+                let t = t.clone();
+                self.emit_tuple_attrs(&node.attrs.clone(), &t.columns, &t.values);
                 if !node.bv.is_empty() {
-                    child_env.insert(node.bv.clone(), tuple.clone());
+                    child_env.insert(node.bv.clone(), t);
                 }
             }
             for &child in tree.children(vid) {
@@ -244,35 +587,121 @@ impl<'a> Publisher<'a> {
             return Ok(());
         }
 
-        // Literal element: exactly one instance per parent, no tuple data.
-        let Some(query) = &node.query else {
-            self.open(&node.tag, vid, env);
-            self.emit_static_attrs(vid);
-            for &child in tree.children(vid) {
-                self.publish_node(child, env)?;
-            }
-            self.close();
-            return Ok(());
-        };
-
-        let rel: Relation = self.run_query(query, env)?;
-        self.stats.queries_run += 1;
-        self.stats.tuples_fetched += rel.len();
-        for i in 0..rel.len() {
-            self.open(&node.tag, vid, env);
-            self.emit_static_attrs(vid);
-            self.emit_tuple_attrs(&node.attrs, &rel.columns, &rel.rows[i]);
-            if !tree.children(vid).is_empty() {
-                let mut child_env = env.clone();
-                child_env.insert(node.bv.clone(), rel.tuple(i));
-                for &child in tree.children(vid) {
-                    self.publish_node(child, &child_env)?;
+        match (&node.query, tuple) {
+            (Some(_), Some(t)) => {
+                self.open(&node.tag, vid, env);
+                self.emit_static_attrs(vid);
+                self.emit_tuple_attrs(&node.attrs.clone(), &t.columns, &t.values);
+                if !tree.children(vid).is_empty() {
+                    let mut child_env = env.clone();
+                    child_env.insert(node.bv.clone(), t.clone());
+                    for &child in tree.children(vid) {
+                        self.publish_node(child, &child_env)?;
+                    }
                 }
+                self.close();
             }
-            self.close();
+            (None, _) => {
+                self.open(&node.tag, vid, env);
+                self.emit_static_attrs(vid);
+                for &child in tree.children(vid) {
+                    self.publish_node(child, env)?;
+                }
+                self.close();
+            }
+            (Some(_), None) => unreachable!("query-node tasks always carry a tuple"),
         }
         Ok(())
     }
+
+    /// Full per-node logic (guard, context copy, literal, query) for
+    /// non-root-level descendants.
+    fn publish_node(&mut self, vid: ViewNodeId, env: &ParamEnv) -> Result<()> {
+        let tree = self.shared.tree;
+        let node = tree
+            .node(vid)
+            .expect("publish_node is never called on root");
+
+        // Emission guard: `SELECT 1 WHERE guard` over the current bindings.
+        if let Some(guard) = &node.guard {
+            let probe = guard_probe(guard);
+            self.stats.queries_run += 1;
+            if self
+                .run_tag_query(vid, Role::Guard, &probe, env)?
+                .is_empty()
+            {
+                return Ok(());
+            }
+        }
+
+        if node.context_tuple_of.is_some() || node.query.is_none() {
+            return self.emit_instance(vid, env, None);
+        }
+
+        let query = node.query.as_ref().expect("query node");
+        let rel: Relation = self.run_tag_query(vid, Role::Tag, query, env)?;
+        self.stats.queries_run += 1;
+        self.stats.tuples_fetched += rel.len();
+        for i in 0..rel.len() {
+            self.emit_instance(vid, env, Some(&rel.tuple(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// The memo key for one execution: the rendered values of every binding
+/// slot the plan actually reads. `None` (memo bypass) when a slot cannot be
+/// resolved — the execution then reports the unbound parameter itself.
+fn memo_key(slots: &[(String, String)], env: &ParamEnv) -> Option<String> {
+    let mut key = String::new();
+    for (var, column) in slots {
+        let v = env.get(var)?.get(column)?;
+        key.push_str(&format!("{v:?}"));
+        key.push('\u{1f}');
+    }
+    Some(key)
+}
+
+/// Evaluates the schema-tree query against a database instance, producing
+/// the XML document `v(I)` plus materialization statistics.
+#[deprecated(since = "0.2.0", note = "use `Publisher::new(tree).publish(db)`")]
+pub fn publish(tree: &SchemaTree, db: &Database) -> Result<(Document, PublishStats)> {
+    let p = Publisher::new(tree).publish(db)?;
+    Ok((p.document, p.stats))
+}
+
+/// `publish` that also reports the relational engine's work counters
+/// accumulated across every tag-query / guard evaluation of the run.
+#[deprecated(since = "0.2.0", note = "use `Publisher::new(tree).publish(db)`")]
+pub fn publish_with_stats(
+    tree: &SchemaTree,
+    db: &Database,
+) -> Result<(Document, PublishStats, EvalStats)> {
+    let p = Publisher::new(tree).publish(db)?;
+    Ok((p.document, p.stats, p.eval))
+}
+
+/// `publish` that additionally records per-element provenance (used by
+/// the divergence reporter).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Publisher::new(tree).traced(true).publish(db)`"
+)]
+pub fn publish_traced(
+    tree: &SchemaTree,
+    db: &Database,
+) -> Result<(Document, PublishStats, PublishTrace)> {
+    let p = Publisher::new(tree).traced(true).publish(db)?;
+    Ok((p.document, p.stats, p.trace.expect("tracing was requested")))
+}
+
+/// Convenience: number of elements `v(I)` would materialize.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Publisher::new(tree).publish(db)` and read `stats.elements`"
+)]
+pub fn publish_node_count(tree: &SchemaTree, db: &Database) -> Result<usize> {
+    Ok(Publisher::new(tree).publish(db)?.stats.elements)
 }
 
 #[cfg(test)]
@@ -352,10 +781,14 @@ mod tests {
         t
     }
 
+    fn publish_one(tree: &SchemaTree, db: &Database) -> Result<Published> {
+        Publisher::new(tree).publish(db)
+    }
+
     #[test]
     fn publishes_nested_elements() {
-        let (doc, stats) = publish(&view(), &db()).unwrap();
-        let xml = doc.to_xml();
+        let p = publish_one(&view(), &db()).unwrap();
+        let xml = p.document.to_xml();
         assert_eq!(
             xml,
             "<metro metroid=\"1\" metroname=\"chicago\">\
@@ -365,10 +798,11 @@ mod tests {
              <hotel hotelid=\"12\" hotelname=\"plaza\" starrating=\"5\" metro_id=\"2\"/>\
              </metro>"
         );
-        assert_eq!(stats.elements, 4);
+        assert_eq!(p.stats.elements, 4);
         // One metroarea query + one hotel query per metro tuple.
-        assert_eq!(stats.queries_run, 3);
-        assert_eq!(stats.tuples_fetched, 4);
+        assert_eq!(p.stats.queries_run, 3);
+        assert_eq!(p.stats.tuples_fetched, 4);
+        assert!(p.trace.is_none());
     }
 
     #[test]
@@ -377,8 +811,8 @@ mod tests {
         database
             .insert("metroarea", vec![Value::Int(3), Value::Null])
             .unwrap();
-        let (doc, _) = publish(&view(), &database).unwrap();
-        assert!(doc.to_xml().contains("<metro metroid=\"3\"/>"));
+        let p = publish_one(&view(), &database).unwrap();
+        assert!(p.document.to_xml().contains("<metro metroid=\"3\"/>"));
     }
 
     #[test]
@@ -391,10 +825,10 @@ mod tests {
             parse_query("SELECT metroid FROM metroarea WHERE metroid > 99").unwrap(),
         ))
         .unwrap();
-        let (doc, stats) = publish(&t, &db()).unwrap();
-        assert!(doc.is_empty());
-        assert_eq!(stats.elements, 0);
-        assert_eq!(stats.queries_run, 1);
+        let p = publish_one(&t, &db()).unwrap();
+        assert!(p.document.is_empty());
+        assert_eq!(p.stats.elements, 0);
+        assert_eq!(p.stats.queries_run, 1);
     }
 
     #[test]
@@ -408,7 +842,7 @@ mod tests {
         ))
         .unwrap();
         assert!(matches!(
-            publish(&t, &db()),
+            publish_one(&t, &db()),
             Err(crate::Error::UnboundViewParameter { .. })
         ));
     }
@@ -424,8 +858,8 @@ mod tests {
         );
         n.attrs = crate::AttrProjection::Columns(vec!["metroname".into()]);
         t.add_root_node(n).unwrap();
-        let (doc, _) = publish(&t, &db()).unwrap();
-        let xml = doc.to_xml();
+        let p = publish_one(&t, &db()).unwrap();
+        let xml = p.document.to_xml();
         assert!(xml.contains("<metro metroname=\"chicago\"/>"), "{xml}");
         assert!(!xml.contains("metroid"), "{xml}");
     }
@@ -441,8 +875,8 @@ mod tests {
         );
         n.attrs = crate::AttrProjection::None;
         t.add_root_node(n).unwrap();
-        let (doc, _) = publish(&t, &db()).unwrap();
-        assert_eq!(doc.to_xml(), "<metro/><metro/>");
+        let p = publish_one(&t, &db()).unwrap();
+        assert_eq!(p.document.to_xml(), "<metro/><metro/>");
     }
 
     #[test]
@@ -459,9 +893,9 @@ mod tests {
         let mut lit = ViewNode::literal(2, "badge");
         lit.static_attrs = vec![("kind".into(), "gold".into())];
         t.add_child(metro, lit).unwrap();
-        let (doc, _) = publish(&t, &db()).unwrap();
+        let p = publish_one(&t, &db()).unwrap();
         assert_eq!(
-            doc.to_xml(),
+            p.document.to_xml(),
             "<metro metroid=\"1\"><badge kind=\"gold\"/></metro>\
              <metro metroid=\"2\"><badge kind=\"gold\"/></metro>"
         );
@@ -483,19 +917,19 @@ mod tests {
         copy.context_tuple_of = Some("m".into());
         copy.attrs = crate::AttrProjection::All;
         t.add_child(wrapper, copy).unwrap();
-        let (doc, stats) = publish(&t, &db()).unwrap();
-        let xml = doc.to_xml();
+        let p = publish_one(&t, &db()).unwrap();
+        let xml = p.document.to_xml();
         assert!(
             xml.contains("<wrap><metro_copy metroid=\"1\" metroname=\"chicago\"/></wrap>"),
             "{xml}"
         );
         // One query (metroarea) — the copies run none.
-        assert_eq!(stats.queries_run, 1);
+        assert_eq!(p.stats.queries_run, 1);
     }
 
     #[test]
     fn guards_gate_subtrees() {
-        use xvc_rel::{BinOp, ScalarExpr};
+        use xvc_rel::BinOp;
         let mut t = SchemaTree::new();
         let metro = t
             .add_root_node(ViewNode::new(
@@ -512,9 +946,9 @@ mod tests {
             ScalarExpr::str("chicago"),
         ));
         t.add_child(metro, guarded).unwrap();
-        let (doc, _) = publish(&t, &db()).unwrap();
+        let p = publish_one(&t, &db()).unwrap();
         assert_eq!(
-            doc.to_xml(),
+            p.document.to_xml(),
             "<metro metroid=\"1\" metroname=\"chicago\"><only_chicago/></metro>\
              <metro metroid=\"2\" metroname=\"nyc\"/>"
         );
@@ -522,7 +956,8 @@ mod tests {
 
     #[test]
     fn trace_records_indexed_paths_and_envs() {
-        let (doc, _, trace) = publish_traced(&view(), &db()).unwrap();
+        let p = Publisher::new(&view()).traced(true).publish(&db()).unwrap();
+        let trace = p.trace.expect("traced publish");
         assert_eq!(trace.entries.len(), 4); // 2 metros + 1 hotel each
         let paths: Vec<&str> = trace.entries.iter().map(|e| e.path.as_str()).collect();
         assert_eq!(
@@ -543,18 +978,18 @@ mod tests {
             .deepest_ancestor("/metro[2]/hotel[1]/room[1]")
             .unwrap();
         assert_eq!(anc.path, "/metro[2]/hotel[1]");
-        assert!(!doc.is_empty());
+        assert!(!p.document.is_empty());
     }
 
     #[test]
     fn publish_with_stats_reports_engine_work() {
-        let (_, stats, eval) = publish_with_stats(&view(), &db()).unwrap();
-        assert_eq!(stats.queries_run, 3);
+        let p = publish_one(&view(), &db()).unwrap();
+        assert_eq!(p.stats.queries_run, 3);
         // metroarea scan (2 rows) + two parameterized hotel scans (3 rows
         // each), both carrying the $m binding.
-        assert_eq!(eval.queries, 3);
-        assert_eq!(eval.param_queries, 2);
-        assert_eq!(eval.rows_scanned, 2 + 3 + 3);
+        assert_eq!(p.eval.queries, 3);
+        assert_eq!(p.eval.param_queries, 2);
+        assert_eq!(p.eval.rows_scanned, 2 + 3 + 3);
     }
 
     #[test]
@@ -566,7 +1001,102 @@ mod tests {
         t.node_mut(metro).unwrap().query = Some(
             parse_query("SELECT metroid, metroname FROM metroarea WHERE metroid > 99").unwrap(),
         );
-        let (_, stats) = publish(&t, &db()).unwrap();
-        assert_eq!(stats.queries_run, 1);
+        let p = publish_one(&t, &db()).unwrap();
+        assert_eq!(p.stats.queries_run, 1);
+    }
+
+    #[test]
+    fn second_publish_hits_the_plan_cache() {
+        let tree = view();
+        let db = db();
+        let mut publisher = Publisher::new(&tree);
+        let first = publisher.publish(&db).unwrap();
+        assert_eq!(first.stats.plans_prepared, 2);
+        assert_eq!(first.stats.plan_cache_hits, 0);
+        let second = publisher.publish(&db).unwrap();
+        assert_eq!(second.stats.plans_prepared, 0);
+        assert_eq!(second.stats.plan_cache_hits, 2);
+        assert!(second.stats.plan_cache_hit_rate() > 0.99);
+        assert_eq!(first.document.to_xml(), second.document.to_xml());
+        // Engine work is identical on the warm path.
+        assert_eq!(first.eval, second.eval);
+    }
+
+    #[test]
+    fn interpreter_and_prepared_paths_agree() {
+        let tree = view();
+        let db = db();
+        let prepared = Publisher::new(&tree).publish(&db).unwrap();
+        let interpreted = Publisher::new(&tree).prepared(false).publish(&db).unwrap();
+        assert_eq!(prepared.document.to_xml(), interpreted.document.to_xml());
+        assert_eq!(prepared.eval, interpreted.eval);
+        assert_eq!(interpreted.stats.plans_prepared, 0);
+    }
+
+    #[test]
+    fn memo_reuses_equal_bindings() {
+        // metro -> hotel -> home: the `home` plan reads only $h.metro_id,
+        // which is equal for both hotels under metro 1, so the second
+        // sibling is a memo hit inside that subtree task (the memo is
+        // task-scoped, so reuse never crosses root-level siblings).
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let hotel = t
+            .add_child(
+                metro,
+                ViewNode::new(
+                    2,
+                    "hotel",
+                    "h",
+                    parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid").unwrap(),
+                ),
+            )
+            .unwrap();
+        t.add_child(
+            hotel,
+            ViewNode::new(
+                3,
+                "home",
+                "x",
+                parse_query("SELECT metroname FROM metroarea WHERE metroid=$h.metro_id").unwrap(),
+            ),
+        )
+        .unwrap();
+        let database = db();
+        let p = publish_one(&t, &database).unwrap();
+        // metro 1 has two hotels with the same metro_id: one hit.
+        assert_eq!(p.stats.memo_hits, 1, "{:?}", p.stats);
+        // The memoized relation still counts as a query run.
+        assert_eq!(p.stats.queries_run, 1 + 2 + 3);
+        // ... but skips the engine entirely.
+        assert_eq!(p.eval.queries, 1 + 2 + 2);
+        // Document content identical to the interpreter's.
+        let i = Publisher::new(&t)
+            .prepared(false)
+            .publish(&database)
+            .unwrap();
+        assert_eq!(p.document.to_xml(), i.document.to_xml());
+    }
+
+    #[test]
+    fn compat_shims_still_work() {
+        #![allow(deprecated)]
+        let tree = view();
+        let database = db();
+        let (doc, stats) = publish(&tree, &database).unwrap();
+        assert_eq!(stats.elements, 4);
+        let (doc2, _, eval) = publish_with_stats(&tree, &database).unwrap();
+        assert_eq!(doc.to_xml(), doc2.to_xml());
+        assert_eq!(eval.queries, 3);
+        let (_, _, trace) = publish_traced(&tree, &database).unwrap();
+        assert_eq!(trace.entries.len(), 4);
+        assert_eq!(publish_node_count(&tree, &database).unwrap(), 4);
     }
 }

@@ -1,0 +1,209 @@
+//! Publisher builder integration tests: parallel evaluation is
+//! deterministic, the plan cache warms and invalidates correctly, the
+//! per-publish memo never leaks stale results across database mutations,
+//! and the interpreted path agrees with the prepared path.
+
+use xvc_rel::{parse_query, ColumnDef, ColumnType, Database, TableSchema, Value};
+use xvc_view::{Publisher, SchemaTree, ViewNode};
+use xvc_xml::documents_equal_unordered;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "metroarea",
+            vec![
+                ColumnDef::new("metroid", ColumnType::Int),
+                ColumnDef::new("metroname", ColumnType::Str),
+            ],
+        )
+        .unwrap(),
+    );
+    db.create_table(
+        TableSchema::new(
+            "hotel",
+            vec![
+                ColumnDef::new("hotelid", ColumnType::Int),
+                ColumnDef::new("hotelname", ColumnType::Str),
+                ColumnDef::new("starrating", ColumnType::Int),
+                ColumnDef::new("metro_id", ColumnType::Int),
+            ],
+        )
+        .unwrap(),
+    );
+    for (id, name) in [(1, "chicago"), (2, "nyc"), (3, "sf"), (4, "boston")] {
+        db.insert("metroarea", vec![Value::Int(id), Value::Str(name.into())])
+            .unwrap();
+    }
+    for (id, name, stars, metro) in [
+        (10, "palmer", 5, 1),
+        (11, "drake", 4, 1),
+        (12, "plaza", 5, 2),
+        (13, "fairmont", 4, 3),
+        (14, "lenox", 3, 4),
+    ] {
+        db.insert(
+            "hotel",
+            vec![
+                Value::Int(id),
+                Value::Str(name.into()),
+                Value::Int(stars),
+                Value::Int(metro),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// metro → hotel, parameterized on the metro binding: four root-level
+/// sibling subtrees, so `.parallel(4)` actually fans out.
+fn view() -> SchemaTree {
+    let mut t = SchemaTree::new();
+    let metro = t
+        .add_root_node(ViewNode::new(
+            1,
+            "metro",
+            "m",
+            parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+        ))
+        .unwrap();
+    t.add_child(
+        metro,
+        ViewNode::new(
+            2,
+            "hotel",
+            "h",
+            parse_query("SELECT hotelname, starrating FROM hotel WHERE metro_id = $m.metroid")
+                .unwrap(),
+        ),
+    )
+    .unwrap();
+    t
+}
+
+#[test]
+fn parallel_publish_is_deterministic() {
+    let v = view();
+    let db = db();
+    let sequential = Publisher::new(&v).publish(&db).unwrap();
+    for n in [2, 4, 8] {
+        let parallel = Publisher::new(&v).parallel(n).publish(&db).unwrap();
+        // Not just an unordered match: document order is pinned too.
+        assert_eq!(
+            parallel.document.to_pretty_xml(),
+            sequential.document.to_pretty_xml(),
+            "document order changed at parallel({n})"
+        );
+        assert!(documents_equal_unordered(
+            &parallel.document,
+            &sequential.document
+        ));
+        // Per-task counters merge deterministically, so every statistic —
+        // publish and eval alike — is independent of the thread count.
+        assert_eq!(parallel.stats, sequential.stats, "stats at parallel({n})");
+        assert_eq!(
+            parallel.eval, sequential.eval,
+            "eval stats at parallel({n})"
+        );
+    }
+}
+
+#[test]
+fn plan_cache_warms_on_second_publish() {
+    let v = view();
+    let db = db();
+    let mut publisher = Publisher::new(&v);
+
+    let cold = publisher.publish(&db).unwrap();
+    // Two tag queries (metro, hotel), no guards: two compilations, no hits.
+    assert_eq!(cold.stats.plans_prepared, 2);
+    assert_eq!(cold.stats.plan_cache_hits, 0);
+    assert_eq!(cold.stats.plan_cache_hit_rate(), 0.0);
+
+    let warm = publisher.publish(&db).unwrap();
+    assert_eq!(warm.stats.plans_prepared, 0);
+    assert_eq!(warm.stats.plan_cache_hits, 2);
+    assert_eq!(warm.stats.plan_cache_hit_rate(), 1.0);
+    assert!(documents_equal_unordered(&warm.document, &cold.document));
+}
+
+#[test]
+fn catalog_change_invalidates_plan_cache() {
+    let v = view();
+    let mut db = db();
+    let mut publisher = Publisher::new(&v);
+    publisher.publish(&db).unwrap();
+
+    // A new table changes the catalog, so every cached plan is dropped.
+    db.create_table(TableSchema::new("extra", vec![ColumnDef::new("x", ColumnType::Int)]).unwrap());
+    let after = publisher.publish(&db).unwrap();
+    assert_eq!(after.stats.plans_prepared, 2);
+    assert_eq!(after.stats.plan_cache_hits, 0);
+}
+
+#[test]
+fn database_mutations_between_publishes_are_observed() {
+    let v = view();
+    let mut db = db();
+    let mut publisher = Publisher::new(&v);
+
+    let before = publisher.publish(&db).unwrap();
+    db.insert(
+        "hotel",
+        vec![
+            Value::Int(15),
+            Value::Str("ritz".into()),
+            Value::Int(5),
+            Value::Int(2),
+        ],
+    )
+    .unwrap();
+    let after = publisher.publish(&db).unwrap();
+
+    // Same catalog ⇒ plans were reused — but the memo is per-publish, so
+    // the new row must show up (a cross-call memo would hand back the
+    // stale nyc subtree here).
+    assert_eq!(after.stats.plan_cache_hits, 2);
+    assert_eq!(after.stats.elements, before.stats.elements + 1);
+    assert!(after.document.to_pretty_xml().contains("ritz"));
+    assert!(!before.document.to_pretty_xml().contains("ritz"));
+}
+
+#[test]
+fn interpreted_path_matches_prepared_path() {
+    let v = view();
+    let db = db();
+    let prepared = Publisher::new(&v).publish(&db).unwrap();
+    let interpreted = Publisher::new(&v).prepared(false).publish(&db).unwrap();
+
+    assert_eq!(
+        prepared.document.to_pretty_xml(),
+        interpreted.document.to_pretty_xml()
+    );
+    // The prepared executor mirrors the interpreter's counters exactly.
+    assert_eq!(prepared.eval, interpreted.eval);
+    // Only the prepared path touches the plan cache.
+    assert_eq!(interpreted.stats.plans_prepared, 0);
+    assert_eq!(interpreted.stats.plan_cache_hits, 0);
+    assert!(prepared.stats.plans_prepared > 0);
+}
+
+#[test]
+fn tracing_is_identical_under_parallelism() {
+    let v = view();
+    let db = db();
+    let seq = Publisher::new(&v).traced(true).publish(&db).unwrap();
+    let par = Publisher::new(&v)
+        .traced(true)
+        .parallel(4)
+        .publish(&db)
+        .unwrap();
+    let (st, pt) = (seq.trace.unwrap(), par.trace.unwrap());
+    assert_eq!(st.entries.len(), pt.entries.len());
+    for (a, b) in st.entries.iter().zip(pt.entries.iter()) {
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.view, b.view);
+        assert_eq!(a.env, b.env);
+    }
+}

@@ -25,7 +25,8 @@ fn main() {
     println!("== Figure 4: the stylesheet ==\n{}", stylesheet.to_xslt());
 
     // The naive pipeline.
-    let (full, naive_stats) = publish(&view, &db).expect("publish v");
+    let naive = Publisher::new(&view).publish(&db).expect("publish v");
+    let (full, naive_stats) = (naive.document, naive.stats);
     println!(
         "== v(I): the full published document ==\n{}",
         full.to_pretty_xml()
@@ -51,11 +52,15 @@ fn main() {
     );
 
     // Steps 3-4: the stylesheet view (Figure 7c).
-    let composed = compose(&view, &stylesheet, &catalog).expect("compose");
+    let composed = Composer::new(&view, &stylesheet, &catalog)
+        .run()
+        .expect("compose")
+        .view;
     println!("== Figure 7(c): stylesheet view ==\n{}", composed.render());
 
     // Evaluate it directly — no XSLT processing, no intermediate nodes.
-    let (direct, composed_stats) = publish(&composed, &db).expect("publish v'");
+    let published = Publisher::new(&composed).publish(&db).expect("publish v'");
+    let (direct, composed_stats) = (published.document, published.stats);
     assert!(documents_equal_unordered(&expected, &direct));
     println!("v'(I) = x(v(I))  ✓\n");
 

@@ -56,8 +56,11 @@ fn main() {
     }
 
     // Lower (§5.2) and compose (§3-4 + §5.1).
-    let (composed, lowered) =
-        compose_with_rewrites(&view, &stylesheet, &db.catalog()).expect("composable");
+    let composition = Composer::new(&view, &stylesheet, &db.catalog())
+        .rewrites(true)
+        .run()
+        .expect("composable");
+    let (composed, lowered) = (&composition.view, &composition.stylesheet);
     println!(
         "\nlowered to {} XSLT_basic rules; composed stylesheet view:\n{}",
         lowered.len(),
@@ -65,9 +68,13 @@ fn main() {
     );
 
     // Verify against the reference engine.
-    let (full, _) = publish(&view, &db).expect("publish v");
+    let full = Publisher::new(&view)
+        .publish(&db)
+        .expect("publish v")
+        .document;
     let expected = process(&stylesheet, &full).expect("engine");
-    let (html, stats) = publish(&composed, &db).expect("publish v'");
+    let published = Publisher::new(composed).publish(&db).expect("publish v'");
+    let (html, stats) = (published.document, published.stats);
     assert!(documents_equal_unordered(&expected, &html));
 
     println!(

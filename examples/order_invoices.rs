@@ -164,22 +164,27 @@ fn main() {
     )
     .expect("valid stylesheet");
 
-    let (composed, lowered) =
-        compose_with_rewrites(&view, &stylesheet, &db.catalog()).expect("composable");
+    let composition = Composer::new(&view, &stylesheet, &db.catalog())
+        .rewrites(true)
+        .run()
+        .expect("composable");
+    let (composed, lowered) = (&composition.view, &composition.stylesheet);
     println!(
         "== composed stylesheet view ({} lowered rules) ==\n{}",
         lowered.len(),
         composed.render()
     );
 
-    let (invoices, stats) = publish(&composed, &db).expect("publish v'");
+    let published = Publisher::new(composed).publish(&db).expect("publish v'");
+    let (invoices, stats) = (published.document, published.stats);
     println!(
         "== invoices, straight from SQL ==\n{}",
         invoices.to_pretty_xml()
     );
 
     // Cross-check against the reference pipeline.
-    let (full, naive_stats) = publish(&view, &db).expect("publish v");
+    let naive = Publisher::new(&view).publish(&db).expect("publish v");
+    let (full, naive_stats) = (naive.document, naive.stats);
     let expected = process(&stylesheet, &full).expect("engine");
     assert!(documents_equal_unordered(&expected, &invoices));
     println!(

@@ -44,7 +44,8 @@ fn main() {
     .expect("valid view");
 
     println!("== the publishing view v ==\n{}", view.render());
-    let (doc, stats) = publish(&view, &db).expect("publish");
+    let published = Publisher::new(&view).publish(&db).expect("publish");
+    let (doc, stats) = (published.document, published.stats);
     println!("== v(I) ==\n{}", doc.to_pretty_xml());
     println!("(materialized {} elements)\n", stats.elements);
 
@@ -67,9 +68,13 @@ fn main() {
     println!("== x(v(I)) — naive ==\n{}", expected.to_pretty_xml());
 
     // 5. Composition: the stylesheet disappears into SQL.
-    let composed = compose(&view, &xslt, &db.catalog()).expect("composable");
+    let composed = Composer::new(&view, &xslt, &db.catalog())
+        .run()
+        .expect("composable")
+        .view;
     println!("== the stylesheet view v' ==\n{}", composed.render());
-    let (direct, stats) = publish(&composed, &db).expect("publish v'");
+    let published = Publisher::new(&composed).publish(&db).expect("publish v'");
+    let (direct, stats) = (published.document, published.stats);
     println!("== v'(I) — composed ==\n{}", direct.to_pretty_xml());
     println!(
         "(materialized {} elements — the result only)",

@@ -33,6 +33,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use xvc::core::Error as XvcError;
 use xvc::prelude::*;
 
 fn main() -> ExitCode {
@@ -75,6 +76,36 @@ impl From<String> for CliError {
             message,
             usage: false,
         }
+    }
+}
+
+/// All library failures funnel through [`xvc::core::Error`]: the loaders
+/// and commands below return typed errors, and this is the single point
+/// where they are rendered for the terminal.
+impl From<XvcError> for CliError {
+    fn from(e: XvcError) -> Self {
+        CliError {
+            message: e.to_string(),
+            usage: false,
+        }
+    }
+}
+
+impl From<xvc::view::Error> for CliError {
+    fn from(e: xvc::view::Error) -> Self {
+        XvcError::from(e).into()
+    }
+}
+
+impl From<xvc::rel::Error> for CliError {
+    fn from(e: xvc::rel::Error) -> Self {
+        XvcError::from(e).into()
+    }
+}
+
+impl From<xvc::xslt::Error> for CliError {
+    fn from(e: xvc::xslt::Error) -> Self {
+        XvcError::from(e).into()
     }
 }
 
@@ -213,37 +244,40 @@ fn path_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf
         .ok_or_else(|| CliError::usage(format!("{flag} needs a path argument")))
 }
 
-fn read(path: &Path) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+/// The path for `flag`, or the legacy "missing --flag FILE" failure
+/// (exit 1, not a usage error — the command was recognizable).
+fn require<'a>(path: &'a Option<PathBuf>, flag: &str) -> Result<&'a Path, CliError> {
+    path.as_deref()
+        .ok_or_else(|| CliError::from(format!("missing {flag}")))
 }
 
-fn load_view(opts: &Opts) -> Result<SchemaTree, String> {
-    let path = opts.view.as_ref().ok_or("missing --view FILE")?;
-    xvc::view::parse_view(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+fn read(path: &Path) -> Result<String, XvcError> {
+    std::fs::read_to_string(path).map_err(|e| XvcError::io(path.display().to_string(), e))
 }
 
-fn load_xslt(opts: &Opts) -> Result<Stylesheet, String> {
-    let path = opts.xslt.as_ref().ok_or("missing --xslt FILE")?;
-    parse_stylesheet(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+fn load_view(path: &Path) -> Result<SchemaTree, XvcError> {
+    xvc::view::parse_view(&read(path)?)
+        .map_err(|e| XvcError::in_file(path.display().to_string(), e))
 }
 
-fn load_catalog(opts: &Opts) -> Result<Catalog, String> {
-    let path = opts.ddl.as_ref().ok_or("missing --ddl FILE")?;
-    xvc::rel::parse_ddl(&read(path)?).map_err(|e| format!("{}: {e}", path.display()))
+fn load_xslt(path: &Path) -> Result<Stylesheet, XvcError> {
+    parse_stylesheet(&read(path)?).map_err(|e| XvcError::in_file(path.display().to_string(), e))
 }
 
-fn load_database(opts: &Opts) -> Result<Database, String> {
-    let ddl_path = opts.ddl.as_ref().ok_or("missing --ddl FILE")?;
+fn load_catalog(path: &Path) -> Result<Catalog, XvcError> {
+    xvc::rel::parse_ddl(&read(path)?).map_err(|e| XvcError::in_file(path.display().to_string(), e))
+}
+
+fn load_database(ddl_path: &Path, dir: &Path) -> Result<Database, XvcError> {
     let mut db = xvc::rel::database_from_ddl(&read(ddl_path)?)
-        .map_err(|e| format!("{}: {e}", ddl_path.display()))?;
-    let dir = opts.data.as_ref().ok_or("missing --data DIR")?;
+        .map_err(|e| XvcError::in_file(ddl_path.display().to_string(), e))?;
     let tables: Vec<String> = db.catalog().iter().map(|t| t.name.clone()).collect();
     let mut loaded = 0;
     for table in tables {
         let csv_path = dir.join(format!("{table}.csv"));
         if csv_path.exists() {
             let rows = xvc::rel::load_csv(&mut db, &table, &read(&csv_path)?)
-                .map_err(|e| format!("{}: {e}", csv_path.display()))?;
+                .map_err(|e| XvcError::in_file(csv_path.display().to_string(), e))?;
             eprintln!("loaded {rows} rows into {table}");
             loaded += 1;
         }
@@ -257,44 +291,41 @@ fn load_database(opts: &Opts) -> Result<Database, String> {
     Ok(db)
 }
 
-/// Composes the stylesheet view, returning the composed tree, per-stage
-/// statistics, and the stylesheet actually composed (lowered under
-/// `--rewrites`) — the one the result must be checked against.
+/// Composes the stylesheet view under the CLI flags. The returned
+/// [`Composition`] carries the composed tree, per-stage statistics, and
+/// the stylesheet actually composed (lowered under `--rewrites`) — the
+/// one the result must be checked against.
 fn compose_view(
     view: &SchemaTree,
     xslt: &Stylesheet,
     catalog: &Catalog,
     opts: &Opts,
-) -> Result<(SchemaTree, ComposeStats, Stylesheet), String> {
-    let options = ComposeOptions {
-        optimize: opts.optimize,
-        prune: opts.prune,
-        ..ComposeOptions::default()
-    };
-    let effective = if opts.rewrites {
-        xvc::xslt::rewrite::lower_to_basic(xslt).map_err(|e| e.to_string())?
-    } else {
-        xslt.clone()
-    };
-    let (composed, stats) =
-        compose_with_stats(view, &effective, catalog, options).map_err(|e| e.to_string())?;
-    Ok((composed, stats, effective))
+) -> Result<Composition, XvcError> {
+    Composer::new(view, xslt, catalog)
+        .rewrites(opts.rewrites)
+        .optimize(opts.optimize)
+        .prune(opts.prune)
+        .run()
 }
 
-fn cmd_compose(opts: &Opts) -> Result<(), String> {
-    let view = load_view(opts)?;
-    let xslt = load_xslt(opts)?;
-    let catalog = load_catalog(opts)?;
-    let (composed, _, _) = compose_view(&view, &xslt, &catalog, opts)?;
-    print!("{}", composed.render());
+fn cmd_compose(opts: &Opts) -> Result<(), CliError> {
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
+    let catalog = load_catalog(require(&opts.ddl, "--ddl FILE")?)?;
+    let composition = compose_view(&view, &xslt, &catalog, opts)?;
+    print!("{}", composition.view.render());
     Ok(())
 }
 
-fn cmd_publish(opts: &Opts) -> Result<(), String> {
-    let view = load_view(opts)?;
-    let db = load_database(opts)?;
-    let (doc, stats) = publish(&view, &db).map_err(|e| e.to_string())?;
-    emit(&doc, opts.pretty);
+fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let db = load_database(
+        require(&opts.ddl, "--ddl FILE")?,
+        require(&opts.data, "--data DIR")?,
+    )?;
+    let published = Publisher::new(&view).publish(&db)?;
+    emit(&published.document, opts.pretty);
+    let stats = &published.stats;
     eprintln!(
         "({} elements, {} queries, {} tuples)",
         stats.elements, stats.queries_run, stats.tuples_fetched
@@ -302,51 +333,60 @@ fn cmd_publish(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(opts: &Opts) -> Result<(), String> {
-    let view = load_view(opts)?;
-    let xslt = load_xslt(opts)?;
-    let db = load_database(opts)?;
+fn cmd_run(opts: &Opts) -> Result<(), CliError> {
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
+    let db = load_database(
+        require(&opts.ddl, "--ddl FILE")?,
+        require(&opts.data, "--data DIR")?,
+    )?;
     if opts.naive {
-        let (full, _) = publish(&view, &db).map_err(|e| e.to_string())?;
-        let out = process(&xslt, &full).map_err(|e| e.to_string())?;
+        let full = Publisher::new(&view).publish(&db)?.document;
+        let out = process(&xslt, &full)?;
         emit(&out, opts.pretty);
         return Ok(());
     }
-    let (composed, _, effective) = compose_view(&view, &xslt, &db.catalog(), opts)?;
-    let (out, stats) = publish(&composed, &db).map_err(|e| e.to_string())?;
+    let composition = compose_view(&view, &xslt, &db.catalog(), opts)?;
+    let published = Publisher::new(&composition.view).publish(&db)?;
     // Belt and braces: verify against the naive pipeline; on disagreement,
     // report where and which tag query is responsible.
-    match check_composition(&view, &effective, &composed, &db) {
+    match check_composition(&view, &composition.stylesheet, &composition.view, &db) {
         Ok(None) => {}
         Ok(Some(divergence)) => {
-            return Err(format!("internal error: v'(I) != x(v(I))\n{divergence}"))
+            return Err(CliError::from(format!(
+                "internal error: v'(I) != x(v(I))\n{divergence}"
+            )))
         }
-        Err(e) => return Err(format!("internal error verifying v'(I) = x(v(I)): {e}")),
+        Err(e) => {
+            return Err(CliError::from(format!(
+                "internal error verifying v'(I) = x(v(I)): {e}"
+            )))
+        }
     }
-    emit(&out, opts.pretty);
+    emit(&published.document, opts.pretty);
     eprintln!(
         "(composed execution: {} elements, {} queries)",
-        stats.elements, stats.queries_run
+        published.stats.elements, published.stats.queries_run
     );
     Ok(())
 }
 
-fn cmd_explain(opts: &Opts) -> Result<(), String> {
-    let catalog = load_catalog(opts)?;
+fn cmd_explain(opts: &Opts) -> Result<(), CliError> {
+    let catalog = load_catalog(require(&opts.ddl, "--ddl FILE")?)?;
     // One ad-hoc query…
     if let Some(sql) = &opts.sql {
-        let q = parse_query(sql).map_err(|e| e.to_string())?;
-        let plan = explain_query(&q, &catalog).map_err(|e| e.to_string())?;
+        let q = parse_query(sql)?;
+        let plan = explain_query(&q, &catalog)?;
         println!("{}", plan.trim_end_matches('\n'));
         return Ok(());
     }
     // …or every tag query of the composed stylesheet view.
-    let view = load_view(opts)?;
-    let xslt = load_xslt(opts)?;
-    let (composed, _, _) = compose_view(&view, &xslt, &catalog, opts)?;
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
+    let composition = compose_view(&view, &xslt, &catalog, opts)?;
     let mut printed = 0;
-    for vid in composed.node_ids() {
-        let Some(node) = composed.node(vid) else {
+    for vid in composition.view.node_ids() {
+        let Some(node) = composition.view.node(vid) else {
             continue;
         };
         let Some(q) = &node.query else { continue };
@@ -354,7 +394,7 @@ fn cmd_explain(opts: &Opts) -> Result<(), String> {
             println!();
         }
         println!("<{}> tag query:", node.tag);
-        let plan = explain_query(q, &catalog).map_err(|e| e.to_string())?;
+        let plan = explain_query(q, &catalog)?;
         for line in plan.lines() {
             println!("  {line}");
         }
@@ -366,30 +406,39 @@ fn cmd_explain(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(opts: &Opts) -> Result<(), String> {
-    let view = load_view(opts)?;
-    let xslt = load_xslt(opts)?;
-    let catalog = load_catalog(opts)?;
-    let (composed, stats, _) = compose_view(&view, &xslt, &catalog, opts)?;
+fn cmd_stats(opts: &Opts) -> Result<(), CliError> {
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
+    let catalog = load_catalog(require(&opts.ddl, "--ddl FILE")?)?;
+    let composition = compose_view(&view, &xslt, &catalog, opts)?;
     println!("composition:");
-    for line in stats.to_string().lines() {
+    for line in composition.stats.to_string().lines() {
         println!("  {line}");
     }
-    // With data, also measure what executing the composed view costs.
-    if opts.data.is_some() {
-        let db = load_database(opts)?;
-        let (_, pub_stats, eval_stats) =
-            publish_with_stats(&composed, &db).map_err(|e| e.to_string())?;
+    // With data, also measure what executing the composed view costs —
+    // publishing twice through one Publisher so the plan cache shows a
+    // steady-state (warm) hit rate.
+    if let Some(dir) = &opts.data {
+        let db = load_database(require(&opts.ddl, "--ddl FILE")?, dir)?;
+        let mut publisher = Publisher::new(&composition.view);
+        publisher.publish(&db)?; // cold: fills the plan cache
+        let published = publisher.publish(&db)?;
+        let p = &published.stats;
         println!("publish (composed v'(I)):");
         println!(
             "  {} elements, {} attributes, {} tag-query executions, {} tuples fetched",
-            pub_stats.elements,
-            pub_stats.attributes,
-            pub_stats.queries_run,
-            pub_stats.tuples_fetched
+            p.elements, p.attributes, p.queries_run, p.tuples_fetched
+        );
+        println!(
+            "  plan cache: {} prepared, {} hits ({:.0}% warm hit rate), memo {} hits / {} misses",
+            p.plans_prepared,
+            p.plan_cache_hits,
+            p.plan_cache_hit_rate() * 100.0,
+            p.memo_hits,
+            p.memo_misses
         );
         println!("engine:");
-        for line in eval_stats.to_string().lines() {
+        for line in published.eval.to_string().lines() {
             println!("  {line}");
         }
     }
@@ -432,9 +481,10 @@ fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
         None => None,
     };
     let catalog = match &ddl_path {
-        Some(p) => {
-            Some(xvc::rel::parse_ddl(&read(p)?).map_err(|e| format!("{}: {e}", p.display()))?)
-        }
+        Some(p) => Some(
+            xvc::rel::parse_ddl(&read(p)?)
+                .map_err(|e| XvcError::in_file(p.display().to_string(), e))?,
+        ),
         None => None,
     };
     let report = check_sources(

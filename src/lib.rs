@@ -56,11 +56,16 @@
 //! .unwrap();
 //!
 //! // Compose: the stylesheet disappears into SQL.
-//! let composed = compose(&view, &xslt, &db.catalog()).unwrap();
-//! let (direct, _) = publish(&composed, &db).unwrap();
+//! let composition = Composer::new(&view, &xslt, &db.catalog()).run().unwrap();
+//!
+//! // Publish through a Publisher: tag queries are compiled to prepared
+//! // plans once and cached across publishes; `.parallel(n)` evaluates
+//! // independent root subtrees on n threads.
+//! let mut publisher = Publisher::new(&composition.view);
+//! let direct = publisher.publish(&db).unwrap().document;
 //!
 //! // Same document as materializing the view and running the stylesheet.
-//! let (full, _) = publish(&view, &db).unwrap();
+//! let full = Publisher::new(&view).publish(&db).unwrap().document;
 //! let expected = process(&xslt, &full).unwrap();
 //! assert!(documents_equal_unordered(&direct, &expected));
 //! assert_eq!(
@@ -95,16 +100,19 @@ pub use xvc_xslt as xslt;
 pub mod prelude {
     pub use xvc_analyze::{check_sources, check_workload, CheckOptions, Report};
     pub use xvc_core::{
-        check_composition, compose, compose_recursive, compose_with_rewrites, compose_with_stats,
-        ComposeOptions, ComposeStats, Divergence, DivergenceKind, RecursiveComposition,
+        check_composition, compose_recursive, ComposeOptions, ComposeStats, Composer, Composition,
+        Divergence, DivergenceKind, RecursiveComposition,
     };
+    #[allow(deprecated)]
+    pub use xvc_core::{compose, compose_with_rewrites, compose_with_stats};
     pub use xvc_rel::{
         explain_query, parse_query, Catalog, ColumnDef, ColumnType, Database, EvalStats,
         SelectQuery, TableSchema, Value,
     };
+    #[allow(deprecated)]
+    pub use xvc_view::{publish, publish_traced, publish_with_stats};
     pub use xvc_view::{
-        publish, publish_traced, publish_with_stats, AttrProjection, PublishStats, PublishTrace,
-        SchemaTree, ViewNode,
+        AttrProjection, PublishStats, PublishTrace, Published, Publisher, SchemaTree, ViewNode,
     };
     pub use xvc_xml::{documents_equal_unordered, Document};
     pub use xvc_xpath::{parse_expr, parse_path, parse_pattern};

@@ -14,6 +14,16 @@ use xvc::core::paper_fixtures::{figure1_view, sample_database};
 use xvc::prelude::*;
 use xvc::xslt::parse::FIGURE4_XSLT;
 
+// Local shims over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
+fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
+    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+}
+
 fn chain_check(x1_src: &str, x2_src: &str) {
     let v = figure1_view();
     let db = sample_database();
@@ -96,16 +106,11 @@ fn optimized_first_pass_still_chains() {
            </xsl:stylesheet>"#,
     )
     .unwrap();
-    let v1 = xvc::core::compose_with_options(
-        &v,
-        &x1,
-        &db.catalog(),
-        ComposeOptions {
-            optimize: true,
-            ..ComposeOptions::default()
-        },
-    )
-    .unwrap();
+    let v1 = Composer::new(&v, &x1, &db.catalog())
+        .optimize(true)
+        .run()
+        .unwrap()
+        .view;
     let v2 = compose(&v1, &x2, &db.catalog()).unwrap();
     let (full, _) = publish(&v, &db).unwrap();
     let expected = process(&x2, &process(&x1, &full).unwrap()).unwrap();

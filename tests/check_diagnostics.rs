@@ -353,7 +353,7 @@ fn xvc204_blowup_warning_with_exact_prediction() {
     let v = xvc::view::parse_view(BLOWUP_VIEW).unwrap();
     let x = parse_stylesheet(BLOWUP_XSLT).unwrap();
     let cat = figure2_catalog();
-    let (_, stats) = compose_with_stats(&v, &x, &cat, ComposeOptions::default()).unwrap();
+    let stats = Composer::new(&v, &x, &cat).run().unwrap().stats;
     assert_eq!(p.predicted_tvq_nodes, stats.tvq_nodes);
     assert!((p.duplication_factor - stats.duplication_factor).abs() < 1e-9);
 }
@@ -378,7 +378,7 @@ fn corrupt_composed(extra: xvc::rel::ScalarExpr) -> (SchemaTree, Catalog) {
     let v = figure1_view();
     let x = parse_stylesheet(xvc::xslt::parse::FIGURE4_XSLT).unwrap();
     let cat = figure2_catalog();
-    let mut composed = compose(&v, &x, &cat).unwrap();
+    let mut composed = Composer::new(&v, &x, &cat).run().unwrap().view;
     let victim = composed
         .node_ids()
         .into_iter()

@@ -11,6 +11,12 @@ use xvc::prelude::*;
 use xvc_bench::random_stylesheet::{random_stylesheet, StylesheetConfig};
 use xvc_bench::workload::{generate, WorkloadConfig};
 
+// Local shim over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
 /// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
 /// heavier offline fuzzing runs.
 fn cases(default: u32) -> proptest::test_runner::Config {
@@ -72,9 +78,10 @@ proptest! {
             &CheckOptions::default(),
         );
         let p = report.prediction.as_ref().expect("acyclic workload");
-        let (_, stats) =
-            compose_with_stats(&view, &stylesheet, &catalog, ComposeOptions::default())
-                .expect("composable");
+        let stats = Composer::new(&view, &stylesheet, &catalog)
+            .run()
+            .expect("composable")
+            .stats;
         prop_assert_eq!(p.predicted_tvq_nodes, stats.tvq_nodes, "seed {}", sheet_seed);
     }
 }

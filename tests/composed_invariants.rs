@@ -10,6 +10,12 @@ use xvc::core::paper_fixtures::{figure1_view, figure2_catalog, FIGURE15_XSLT, FI
 use xvc::prelude::*;
 use xvc::xslt::parse::FIGURE4_XSLT;
 
+// Local shim over the builder API: the deprecated free function is
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
 fn composed_views() -> Vec<(&'static str, SchemaTree)> {
     let v = figure1_view();
     let catalog = figure2_catalog();

@@ -11,6 +11,16 @@ use xvc::prelude::*;
 use xvc::xslt::parse::FIGURE4_XSLT;
 use xvc_bench::workload::{generate, WorkloadConfig};
 
+// Local shims over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
+fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
+    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+}
+
 /// A library of composable stylesheets over the Figure 1 view. Each entry
 /// is (name, xslt, needs_rewrites).
 fn stylesheet_library() -> Vec<(&'static str, String, bool)> {
@@ -141,17 +151,20 @@ fn stylesheet_library() -> Vec<(&'static str, String, bool)> {
 fn check(name: &str, xslt: &str, needs_rewrites: bool, db: &Database) {
     let view = figure1_view();
     let stylesheet = parse_stylesheet(xslt).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
-    let composed = if needs_rewrites {
-        compose_with_rewrites(&view, &stylesheet, &db.catalog())
-            .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
-            .0
-    } else {
-        compose(&view, &stylesheet, &db.catalog())
-            .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
-    };
+    let composed = Composer::new(&view, &stylesheet, &db.catalog())
+        .rewrites(needs_rewrites)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: compose: {e}"))
+        .view;
     let (full, _) = publish(&view, db).unwrap_or_else(|e| panic!("{name}: publish v: {e}"));
     let expected = process(&stylesheet, &full).unwrap_or_else(|e| panic!("{name}: engine: {e}"));
-    let (actual, _) = publish(&composed, db).unwrap_or_else(|e| panic!("{name}: publish v': {e}"));
+    // The composed side runs the PR's headline path: prepared plans plus
+    // four worker threads for the root-level siblings.
+    let actual = Publisher::new(&composed)
+        .parallel(4)
+        .publish(db)
+        .unwrap_or_else(|e| panic!("{name}: publish v': {e}"))
+        .document;
     assert!(
         documents_equal_unordered(&expected, &actual),
         "{name}: v'(I) != x(v(I))\nexpected:\n{}\nactual:\n{}",
@@ -209,16 +222,11 @@ fn optimized_composition_is_equivalent() {
         } else {
             &stylesheet
         };
-        let composed = xvc::core::compose_with_options(
-            &view,
-            stylesheet,
-            &db.catalog(),
-            ComposeOptions {
-                optimize: true,
-                ..ComposeOptions::default()
-            },
-        )
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let composed = Composer::new(&view, stylesheet, &db.catalog())
+            .optimize(true)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .view;
         let (full, _) = publish(&view, &db).unwrap();
         let expected = process(stylesheet, &full).unwrap();
         let (actual, _) = publish(&composed, &db).unwrap();
@@ -237,16 +245,11 @@ fn optimizer_keeps_semantic_structures_and_merges_trivial_ones() {
     let db = sample_database();
     let view = figure1_view();
     let stylesheet = parse_stylesheet(FIGURE4_XSLT).unwrap();
-    let composed = xvc::core::compose_with_options(
-        &view,
-        &stylesheet,
-        &db.catalog(),
-        ComposeOptions {
-            optimize: true,
-            ..ComposeOptions::default()
-        },
-    )
-    .unwrap();
+    let composed = Composer::new(&view, &stylesheet, &db.catalog())
+        .optimize(true)
+        .run()
+        .unwrap()
+        .view;
     let r = composed.render();
     // The preserved OUTER derived table in Qs_new must stay — it carries
     // the empty-group semantics; Qc_new's EXISTS must stay too. (For the
@@ -284,16 +287,11 @@ fn optimizer_keeps_semantic_structures_and_merges_trivial_ones() {
     )
     .unwrap();
     let plain = compose(&skip_view, &x, &db.catalog()).unwrap();
-    let optimized = xvc::core::compose_with_options(
-        &skip_view,
-        &x,
-        &db.catalog(),
-        ComposeOptions {
-            optimize: true,
-            ..ComposeOptions::default()
-        },
-    )
-    .unwrap();
+    let optimized = Composer::new(&skip_view, &x, &db.catalog())
+        .optimize(true)
+        .run()
+        .unwrap()
+        .view;
     assert!(plain.render().contains(") AS TEMP"), "{}", plain.render());
     assert!(
         optimized.render().contains("hotel AS TEMP"),

@@ -5,6 +5,16 @@
 use xvc::core::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
 use xvc::prelude::*;
 
+// Local shims over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
+fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
+    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+}
+
 fn compose_err(xslt: &str) -> xvc::core::Error {
     let v = figure1_view();
     let x = parse_stylesheet(xslt).unwrap();
@@ -40,7 +50,7 @@ fn flow_control_without_rewrites_is_rejected_with_guidance() {
              <xsl:template match="metro"><xsl:if test="@metroname"><m/></xsl:if></xsl:template>
            </xsl:stylesheet>"#,
     );
-    assert!(err.to_string().contains("compose_with_rewrites"), "{err}");
+    assert!(err.to_string().contains("Composer::rewrites"), "{err}");
 }
 
 #[test]
@@ -139,16 +149,10 @@ fn tvq_budget_is_enforced() {
     use xvc_bench::synthetic::{chain_catalog, chain_view, fan_stylesheet};
     let v = chain_view(10);
     let x = fan_stylesheet(10, 2);
-    let err = xvc::core::compose_with_options(
-        &v,
-        &x,
-        &chain_catalog(10),
-        ComposeOptions {
-            tvq_limit: 100,
-            ..ComposeOptions::default()
-        },
-    )
-    .unwrap_err();
+    let err = Composer::new(&v, &x, &chain_catalog(10))
+        .tvq_limit(100)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, xvc::core::Error::TvqTooLarge { limit: 100 }));
 }
 

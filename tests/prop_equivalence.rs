@@ -10,6 +10,16 @@ use xvc_bench::random_stylesheet::{random_stylesheet, StylesheetConfig};
 use xvc_bench::synthetic::{chain_database, chain_stylesheet, chain_view};
 use xvc_bench::workload::{generate, WorkloadConfig};
 
+// Local shims over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
+fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
+    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+}
+
 /// Case count: the in-tree default, overridable via `PROPTEST_CASES` for
 /// heavier offline fuzzing runs.
 fn cases(default: u32) -> proptest::test_runner::Config {
@@ -205,8 +215,11 @@ proptest! {
         };
         let stylesheet =
             random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
-        let (composed, _) = compose_with_stats(&view, &stylesheet, &catalog, options)
-            .expect("generated stylesheets compose with prune+optimize");
+        let composed = Composer::new(&view, &stylesheet, &catalog)
+            .with_options(options)
+            .run()
+            .expect("generated stylesheets compose with prune+optimize")
+            .view;
         let divergence = check_composition(&view, &stylesheet, &composed, &db)
             .expect("both pipelines evaluate");
         prop_assert!(
@@ -228,10 +241,16 @@ proptest! {
         let stylesheet = parse_stylesheet(DEAD_BRANCH_XSLT).expect("fixture");
         let plain = ComposeOptions::default();
         let pruning = ComposeOptions { prune: true, ..plain };
-        let (_, before) =
-            compose_with_stats(&view, &stylesheet, &catalog, plain).expect("composable");
-        let (composed, after) =
-            compose_with_stats(&view, &stylesheet, &catalog, pruning).expect("composable");
+        let before = Composer::new(&view, &stylesheet, &catalog)
+            .with_options(plain)
+            .run()
+            .expect("composable")
+            .stats;
+        let pruned = Composer::new(&view, &stylesheet, &catalog)
+            .with_options(pruning)
+            .run()
+            .expect("composable");
+        let (composed, after) = (pruned.view, pruned.stats);
         prop_assert!(after.tvq_nodes_pruned > 0, "{after:?}");
         prop_assert!(
             after.tvq_nodes < before.tvq_nodes,
@@ -261,8 +280,11 @@ proptest! {
         };
         let stylesheet =
             random_stylesheet(&view, &catalog, sheet_seed, StylesheetConfig::default());
-        let (composed, _) = compose_with_stats(&view, &stylesheet, &catalog, options)
-            .expect("generated stylesheets compose with optimize");
+        let composed = Composer::new(&view, &stylesheet, &catalog)
+            .with_options(options)
+            .run()
+            .expect("generated stylesheets compose with optimize")
+            .view;
         for vid in composed.node_ids() {
             let Some(q) = composed.node(vid).and_then(|n| n.query.as_ref()) else {
                 continue;

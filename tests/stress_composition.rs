@@ -5,6 +5,16 @@
 
 use xvc::prelude::*;
 
+// Local shims over the builder API: the deprecated free functions are
+// exercised only by the dedicated compat tests.
+fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<SchemaTree> {
+    Composer::new(v, x, c).run().map(|c| c.view)
+}
+
+fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
+    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+}
+
 /// A view where one select expression reaches *two* schema-tree nodes with
 /// the same tag under one parent — the multigraph case: one CTG node per
 /// (node, rule) but several TVQ children for one apply-templates.
@@ -75,11 +85,11 @@ fn twin_tag_view_and_db() -> (SchemaTree, Database) {
 
 fn assert_equiv(v: &SchemaTree, xslt: &str, db: &Database, rewrites: bool) {
     let x = parse_stylesheet(xslt).unwrap();
-    let composed = if rewrites {
-        compose_with_rewrites(v, &x, &db.catalog()).unwrap().0
-    } else {
-        compose(v, &x, &db.catalog()).unwrap()
-    };
+    let composed = Composer::new(v, &x, &db.catalog())
+        .rewrites(rewrites)
+        .run()
+        .unwrap()
+        .view;
     let (full, _) = publish(v, db).unwrap();
     let expected = process(&x, &full).unwrap();
     let (actual, _) = publish(&composed, db).unwrap();
