@@ -27,13 +27,18 @@ echo "== xvc check --json (machine-readable gate, exits 1 on error-level codes)"
     examples/files/paper/figure1.view examples/files/paper/figure4.xsl \
     examples/files/paper/figure2.sql
 
-echo "== figures -- plans (prepared-plan benchmark + plan-cache gate)"
-# The binary verifies v'(I) = x(v(I)) before timing and aborts on a warm
-# publish that misses the plan cache, so a divergence or a broken cache
-# fails this step. The grep double-checks the written artifact.
-cargo run --release --quiet -p xvc-bench --bin figures -- plans
+echo "== figures -- batch (prepared-plan + set-oriented benchmark gates)"
+# The binary verifies v'(I) = x(v(I)) and batched == scalar documents
+# before timing, aborts on a warm publish that misses the plan cache, and
+# aborts if the batched publisher is slower than tuple-at-a-time on the
+# fan-out workload. The greps double-check the written artifact.
+cargo run --release --quiet -p xvc-bench --bin figures -- batch
 if grep -q '"plan_cache_hit_rate": 0\.000' BENCH_compose.json; then
     echo "ci.sh: plan cache never hit (see BENCH_compose.json)" >&2
+    exit 1
+fi
+if ! grep -q '"eval_batched_ms"' BENCH_compose.json; then
+    echo "ci.sh: batch study missing from BENCH_compose.json" >&2
     exit 1
 fi
 

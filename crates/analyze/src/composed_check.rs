@@ -23,8 +23,18 @@ pub fn check_composed(composed: &SchemaTree, catalog: &Catalog) -> Vec<Diagnosti
 mod tests {
     use super::*;
     use crate::diag::Code;
-    use xvc_core::compose;
     use xvc_core::paper_fixtures::{figure1_view, figure2_catalog};
+    use xvc_core::Composer;
+    use xvc_view::SchemaTree;
+    use xvc_xslt::Stylesheet;
+
+    fn compose(
+        v: &SchemaTree,
+        x: &Stylesheet,
+        cat: &xvc_rel::Catalog,
+    ) -> xvc_core::Result<SchemaTree> {
+        Composer::new(v, x, cat).run().map(|c| c.view)
+    }
     use xvc_xslt::parse::FIGURE4_XSLT;
     use xvc_xslt::parse_stylesheet;
 

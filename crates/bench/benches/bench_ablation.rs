@@ -49,8 +49,8 @@ fn bench_exists_caching(c: &mut Criterion) {
 }
 
 fn bench_optimizer(c: &mut Criterion) {
-    use xvc_core::{compose_with_options, ComposeOptions};
-    use xvc_view::{publish, SchemaTree, ViewNode};
+    use xvc_core::{ComposeOptions, Composer};
+    use xvc_view::{Publisher, SchemaTree, ViewNode};
     use xvc_xslt::parse_stylesheet;
 
     // A composition where unnesting actually fires: the level-skipping
@@ -86,26 +86,26 @@ fn bench_optimizer(c: &mut Criterion) {
            </xsl:stylesheet>"#,
     )
     .unwrap();
-    let plain = compose_with_options(&view, &x, &db.catalog(), ComposeOptions::default()).unwrap();
-    let optimized = compose_with_options(
-        &view,
-        &x,
-        &db.catalog(),
-        ComposeOptions {
+    let plain = Composer::new(&view, &x, &db.catalog()).run().unwrap().view;
+    let optimized = Composer::new(&view, &x, &db.catalog())
+        .with_options(ComposeOptions {
             optimize: true,
             ..ComposeOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap()
+        .view;
     assert_ne!(
         plain.render(),
         optimized.render(),
         "the optimizer must change this composition"
     );
     let mut group = c.benchmark_group("ablation/kim_optimizer");
-    group.bench_function("as_generated", |b| b.iter(|| publish(&plain, &db).unwrap()));
+    group.bench_function("as_generated", |b| {
+        b.iter(|| Publisher::new(&plain).publish(&db).unwrap())
+    });
     group.bench_function("optimized", |b| {
-        b.iter(|| publish(&optimized, &db).unwrap())
+        b.iter(|| Publisher::new(&optimized).publish(&db).unwrap())
     });
     group.finish();
 }

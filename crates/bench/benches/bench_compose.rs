@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xvc_bench::synthetic::{chain_catalog, chain_stylesheet, chain_view};
 use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, FIGURE15_XSLT, FIGURE17_XSLT};
-use xvc_core::{compose, compose_recursive};
+use xvc_core::{compose_recursive, Composer};
 use xvc_xslt::parse::FIGURE4_XSLT;
 use xvc_xslt::parse_stylesheet;
 
@@ -18,7 +18,7 @@ fn bench_paper_fixtures(c: &mut Criterion) {
     ] {
         let x = parse_stylesheet(xslt).unwrap();
         group.bench_function(name, |b| {
-            b.iter(|| compose(&v, &x, &catalog).unwrap());
+            b.iter(|| Composer::new(&v, &x, &catalog).run().unwrap());
         });
     }
     let x25 = parse_stylesheet(xvc_core::paper_fixtures::FIGURE25_XSLT).unwrap();
@@ -35,7 +35,7 @@ fn bench_chain_depth(c: &mut Criterion) {
         let x = chain_stylesheet(depth);
         let catalog = chain_catalog(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| compose(&v, &x, &catalog).unwrap());
+            b.iter(|| Composer::new(&v, &x, &catalog).run().unwrap());
         });
     }
     group.finish();

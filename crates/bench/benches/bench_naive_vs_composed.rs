@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xvc_bench::workload::{generate, WorkloadConfig};
-use xvc_core::compose;
 use xvc_core::paper_fixtures::figure1_view;
-use xvc_view::publish;
+use xvc_core::Composer;
+use xvc_view::Publisher;
 use xvc_xslt::parse::FIGURE4_XSLT;
 use xvc_xslt::{parse_stylesheet, process};
 
@@ -16,19 +16,19 @@ fn bench_naive_vs_composed(c: &mut Criterion) {
     group.sample_size(10);
     for scale in [1usize, 2, 4] {
         let db = generate(&WorkloadConfig::scale(scale));
-        let composed = compose(&view, &x, &db.catalog()).unwrap();
+        let composed = Composer::new(&view, &x, &db.catalog()).run().unwrap().view;
         group.bench_with_input(
             BenchmarkId::new("naive_publish_then_xslt", scale),
             &scale,
             |b, _| {
                 b.iter(|| {
-                    let (full, _) = publish(&view, &db).unwrap();
+                    let full = Publisher::new(&view).publish(&db).unwrap().document;
                     process(&x, &full).unwrap()
                 });
             },
         );
         group.bench_with_input(BenchmarkId::new("composed_view", scale), &scale, |b, _| {
-            b.iter(|| publish(&composed, &db).unwrap());
+            b.iter(|| Publisher::new(&composed).publish(&db).unwrap());
         });
     }
     group.finish();

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xvc_bench::synthetic::{chain_catalog, chain_view, fan_stylesheet};
-use xvc_core::{compose_with_options, ComposeOptions};
+use xvc_core::{ComposeOptions, Composer};
 
 fn bench_fan(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/fan_depth6");
@@ -13,16 +13,13 @@ fn bench_fan(c: &mut Criterion) {
         let catalog = chain_catalog(6);
         group.bench_with_input(BenchmarkId::from_parameter(fan), &fan, |b, _| {
             b.iter(|| {
-                compose_with_options(
-                    &v,
-                    &x,
-                    &catalog,
-                    ComposeOptions {
+                Composer::new(&v, &x, &catalog)
+                    .with_options(ComposeOptions {
                         tvq_limit: 1_000_000,
                         ..ComposeOptions::default()
-                    },
-                )
-                .unwrap()
+                    })
+                    .run()
+                    .unwrap()
             });
         });
     }

@@ -4,12 +4,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use xvc_bench::workload::{generate, WorkloadConfig};
 use xvc_core::paper_fixtures::figure1_view;
 use xvc_rel::{eval_query, parse_query, ParamEnv};
-use xvc_view::publish;
+use xvc_view::Publisher;
 use xvc_xpath::{eval_path, parse_path, VarBindings};
 
 fn bench_xml(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
-    let (doc, _) = publish(&figure1_view(), &db).unwrap();
+    let doc = Publisher::new(&figure1_view())
+        .publish(&db)
+        .unwrap()
+        .document;
     let xml = doc.to_xml();
     let mut group = c.benchmark_group("substrate/xml");
     group.bench_function("parse", |b| b.iter(|| xvc_xml::parse(&xml).unwrap()));
@@ -22,7 +25,10 @@ fn bench_xml(c: &mut Criterion) {
 
 fn bench_xpath(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
-    let (doc, _) = publish(&figure1_view(), &db).unwrap();
+    let doc = Publisher::new(&figure1_view())
+        .publish(&db)
+        .unwrap()
+        .document;
     let paths = [
         "metro/hotel/confstat",
         "metro/hotel/confroom[@capacity>250]",
@@ -78,7 +84,7 @@ fn bench_publish(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
     let v = figure1_view();
     c.bench_function("substrate/publish_figure1", |b| {
-        b.iter(|| publish(&v, &db).unwrap())
+        b.iter(|| Publisher::new(&v).publish(&db).unwrap())
     });
 }
 

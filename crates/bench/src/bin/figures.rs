@@ -6,15 +6,22 @@
 //! cargo run -p xvc-bench --bin figures --release -- tables  # tables only
 //! cargo run -p xvc-bench --bin figures --release -- prune   # BENCH_compose.json only
 //! cargo run -p xvc-bench --bin figures --release -- plans   # same, plan-focused report
+//! cargo run -p xvc-bench --bin figures --release -- batch   # + set-oriented study
 //! ```
 //!
 //! `plans` runs the same two workloads as `prune` (every row carries both
 //! field sets, so BENCH_compose.json is always a superset) but reports the
 //! prepared-vs-interpreted comparison and enforces the plan-cache invariant:
 //! a warm publish that misses the cache is a hard failure.
+//!
+//! `batch` implies `plans` and adds the set-oriented publishing study: a
+//! deep fan-out chain where the tuple-at-a-time publisher runs `Σ fanout^k`
+//! tag queries while the batched publisher runs one per level. Divergence
+//! between the two documents, or a batched run slower than scalar on that
+//! workload, is a hard failure.
 
 use xvc_bench::experiments::{
-    c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
+    batch_bench, c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
     render_comparison_table, render_cost_table, render_prune_json,
 };
 use xvc_bench::figures::all_figures;
@@ -23,7 +30,8 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
     let figures = arg.is_empty() || arg == "figures";
     let tables = arg.is_empty() || arg == "tables";
-    let plans = arg.is_empty() || arg == "plans";
+    let batch = arg.is_empty() || arg == "batch";
+    let plans = batch || arg == "plans";
     let prune = plans || arg == "prune";
 
     if figures {
@@ -66,7 +74,7 @@ fn main() {
 
     if prune {
         println!("==== prune: §4.2.1 predicate-dataflow pass (BENCH_compose.json) ====\n");
-        let rows = prune_bench(4, 3);
+        let mut rows = prune_bench(4, 3);
         for r in &rows {
             println!(
                 "{}: TVQ {} -> {} nodes, {} conjunct(s) dropped; \
@@ -99,6 +107,37 @@ fn main() {
                     r.workload
                 );
             }
+        }
+        if batch {
+            println!("\n==== batch: set-oriented vs tuple-at-a-time publishing ====\n");
+            // Depth 5, fan-out 4: the scalar publisher runs 1+4+16+64+256
+            // tag queries per publish; the batched one runs one per level.
+            let fanout_row = batch_bench(5, 4, 3);
+            rows.push(fanout_row);
+            for r in &rows {
+                println!(
+                    "{}: eval scalar {:.3} ms vs batched {:.3} ms ({:.2}x); \
+                     {} batches, {} max bindings/batch",
+                    r.workload,
+                    r.eval_scalar_ms,
+                    r.eval_batched_ms,
+                    r.eval_scalar_ms / r.eval_batched_ms,
+                    r.batches_executed,
+                    r.bindings_per_batch_max,
+                );
+            }
+            // The publisher-internal document check already gates on
+            // divergence; here, the fan-out workload must also show the
+            // set-oriented win the refactor exists for.
+            let r = rows.last().expect("fan-out row");
+            assert!(
+                r.eval_batched_ms <= r.eval_scalar_ms,
+                "{}: batched ({:.3} ms) slower than scalar ({:.3} ms) — \
+                 set-oriented publishing regressed",
+                r.workload,
+                r.eval_batched_ms,
+                r.eval_scalar_ms
+            );
         }
 
         let json = render_prune_json(&rows);

@@ -242,6 +242,16 @@ pub struct PruneBenchRow {
     pub eval_prepared_ms: f64,
     /// Warm-publish plan-cache hit rate (1.0 when every lookup hits).
     pub plan_cache_hit_rate: f64,
+    /// Wall time for the tuple-at-a-time publisher (`.batched(false)`),
+    /// warm plan cache — one plan execution per parent binding.
+    pub eval_scalar_ms: f64,
+    /// Wall time for the set-oriented publisher (the default), warm plan
+    /// cache — one `execute_batch` per (view node, frontier wave).
+    pub eval_batched_ms: f64,
+    /// Batched plan executions per publish (set-oriented path).
+    pub batches_executed: usize,
+    /// Largest binding relation joined in one batch.
+    pub bindings_per_batch_max: usize,
 }
 
 /// A Figure-4 variant whose `hotel` branch demands `starrating < 3`
@@ -362,11 +372,29 @@ fn prune_compare(
     });
     // Every plan was compiled during the verification publish above, so
     // this warm publish must be served entirely from the cache.
-    let plan_cache_hit_rate = pruned_pub
-        .publish(db)
-        .expect("publish warm")
-        .stats
-        .plan_cache_hit_rate();
+    let warm = pruned_pub.publish(db).expect("publish warm");
+    let plan_cache_hit_rate = warm.stats.plan_cache_hit_rate();
+    let batches_executed = warm.stats.batches_executed;
+    let bindings_per_batch_max = warm.stats.bindings_per_batch_max;
+
+    // Set-oriented vs tuple-at-a-time publishing of the same pruned view.
+    // `pruned_pub` is the batched default; the scalar publisher must emit
+    // a byte-identical document or the benchmark would be meaningless.
+    let mut scalar_pub = Publisher::new(&pruned).batched(false);
+    let scalar_doc = scalar_pub.publish(db).expect("publish scalar").document;
+    assert_eq!(
+        scalar_doc.to_xml(),
+        warm.document.to_xml(),
+        "batched v'(I) != scalar v'(I) — set-oriented publishing diverged"
+    );
+    let eval_scalar_ms = best_ms(reps, || {
+        let out = scalar_pub.publish(db).expect("publish scalar").document;
+        std::hint::black_box(out);
+    });
+    let eval_batched_ms = best_ms(reps, || {
+        let out = pruned_pub.publish(db).expect("publish batched").document;
+        std::hint::black_box(out);
+    });
 
     PruneBenchRow {
         workload: name.to_owned(),
@@ -380,7 +408,29 @@ fn prune_compare(
         eval_interpreted_ms,
         eval_prepared_ms,
         plan_cache_hit_rate,
+        eval_scalar_ms,
+        eval_batched_ms,
+        batches_executed,
+        bindings_per_batch_max,
     }
+}
+
+/// The set-oriented publishing study: a deep fan-out chain where the
+/// tuple-at-a-time publisher runs one tag query per parent binding
+/// (`Σ fanout^k` executions per root subtree) while the batched publisher
+/// runs one per level. The row carries the same field set as the prune
+/// study, so `BENCH_compose.json` stays a single homogeneous array.
+pub fn batch_bench(depth: usize, fanout: usize, reps: usize) -> PruneBenchRow {
+    let view = chain_view(depth);
+    let stylesheet = chain_stylesheet(depth);
+    let db = crate::synthetic::chain_database(depth, fanout);
+    prune_compare(
+        &format!("chain depth {depth} x fan-out {fanout} (batch study)"),
+        &view,
+        &stylesheet,
+        &db,
+        reps,
+    )
 }
 
 /// Serializes prune-bench rows as the `BENCH_compose.json` artifact: a
@@ -396,7 +446,9 @@ pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
              \"conjuncts_eliminated\": {}, \"compose_plain_ms\": {:.3}, \
              \"compose_prune_ms\": {:.3}, \"eval_plain_ms\": {:.3}, \"eval_prune_ms\": {:.3}, \
              \"eval_interpreted_ms\": {:.3}, \"eval_prepared_ms\": {:.3}, \
-             \"plan_cache_hit_rate\": {:.3}}}",
+             \"plan_cache_hit_rate\": {:.3}, \"eval_scalar_ms\": {:.3}, \
+             \"eval_batched_ms\": {:.3}, \"batches_executed\": {}, \
+             \"bindings_per_batch_max\": {}}}",
             r.workload,
             r.tvq_nodes_before,
             r.tvq_nodes_after,
@@ -408,6 +460,10 @@ pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
             r.eval_interpreted_ms,
             r.eval_prepared_ms,
             r.plan_cache_hit_rate,
+            r.eval_scalar_ms,
+            r.eval_batched_ms,
+            r.batches_executed,
+            r.bindings_per_batch_max,
         ));
     }
     out.push_str("\n]\n");
@@ -509,6 +565,19 @@ mod tests {
         assert_eq!(rows[0].tvq_nodes, 1 + 4);
         assert_eq!(rows[1].tvq_nodes, 1 + 15);
         assert_eq!(rows[2].tvq_nodes, 1 + 40);
+    }
+
+    #[test]
+    fn batch_bench_engages_set_oriented_execution() {
+        let r = batch_bench(4, 3, 1);
+        // The batched publisher ran, and at least one wave joined more
+        // than one parent binding in a single plan execution.
+        assert!(r.batches_executed > 0, "{r:?}");
+        assert!(r.bindings_per_batch_max >= 3, "{r:?}");
+        assert!(r.eval_scalar_ms > 0.0 && r.eval_batched_ms > 0.0);
+        let json = render_prune_json(&[r]);
+        assert!(json.contains("\"eval_batched_ms\""));
+        assert!(json.contains("\"bindings_per_batch_max\""));
     }
 
     #[test]

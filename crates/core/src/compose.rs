@@ -174,63 +174,6 @@ fn compose_impl(
     Ok((composed, stats))
 }
 
-/// Composes an `XSLT_basic` (+ predicates, §5.1) stylesheet with a
-/// schema-tree view query, producing the stylesheet view `v'` with
-/// `v'(I) = x(v(I))` for every instance `I` (document order excluded).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Composer::new(view, stylesheet, catalog).run()`"
-)]
-pub fn compose(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
-) -> Result<SchemaTree> {
-    Composer::new(view, stylesheet, catalog)
-        .run()
-        .map(|c| c.view)
-}
-
-/// [`compose`] with explicit options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Composer::new(..).with_options(options).run()`"
-)]
-pub fn compose_with_options(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
-    options: ComposeOptions,
-) -> Result<SchemaTree> {
-    compose_impl(view, stylesheet, catalog, options).map(|(v, _)| v)
-}
-
-/// [`compose_with_options`] that also reports per-stage size statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Composer::new(..).with_options(options).run()` and read `stats`"
-)]
-pub fn compose_with_stats(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
-    options: ComposeOptions,
-) -> Result<(SchemaTree, crate::stats::ComposeStats)> {
-    compose_impl(view, stylesheet, catalog, options)
-}
-
-/// Lowers the stylesheet through the §5.2 rewrites and then composes.
-#[deprecated(since = "0.2.0", note = "use `Composer::new(..).rewrites(true).run()`")]
-pub fn compose_with_rewrites(
-    view: &SchemaTree,
-    stylesheet: &Stylesheet,
-    catalog: &Catalog,
-) -> Result<(SchemaTree, Stylesheet)> {
-    let lowered = rewrite::lower_to_basic(stylesheet)?;
-    let v = compose_impl(view, &lowered, catalog, ComposeOptions::default())?.0;
-    Ok((v, lowered))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

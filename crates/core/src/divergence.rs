@@ -113,9 +113,15 @@ pub fn check_composition(
     composed: &SchemaTree,
     db: &Database,
 ) -> Result<Option<Divergence>> {
-    let vi = Publisher::new(view).publish(db)?.document;
+    // Both sides run through the set-oriented (batched) publisher — the
+    // default production path, so the equivalence check certifies exactly
+    // what serving uses.
+    let vi = Publisher::new(view).batched(true).publish(db)?.document;
     let expected = xvc_xslt::process(stylesheet, &vi)?;
-    let published = Publisher::new(composed).traced(true).publish(db)?;
+    let published = Publisher::new(composed)
+        .batched(true)
+        .traced(true)
+        .publish(db)?;
     let (actual, trace) = (
         published.document,
         published.trace.expect("tracing was enabled"),

@@ -56,8 +56,6 @@ pub mod unbind;
 mod compose;
 
 pub use combine::combine;
-#[allow(deprecated)]
-pub use compose::{compose, compose_with_options, compose_with_rewrites, compose_with_stats};
 pub use compose::{ComposeOptions, Composer, Composition};
 pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
 pub use divergence::{check_composition, Divergence, DivergenceKind};

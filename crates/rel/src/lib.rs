@@ -68,7 +68,7 @@ pub use facts::{
 };
 pub use optimize::optimize;
 pub use parse::parse_query;
-pub use plan::{prepare, prepare_with, PreparedPlan};
+pub use plan::{prepare, prepare_with, BatchResult, PreparedPlan};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use table::{Database, Table};
 pub use value::Value;

@@ -138,6 +138,10 @@ pub struct PreparedPlan {
     /// Interned `$var.column` parameter slots in first-reference order.
     slots: Vec<(String, String)>,
     options: EvalOptions,
+    /// Set-oriented strategy for [`PreparedPlan::execute_batch`],
+    /// precomputed when every slot reference is a separable top-level
+    /// equality (`None` falls back to per-distinct-binding execution).
+    batch: Option<BatchPlan>,
 }
 
 // ---------------------------------------------------------------------------
@@ -164,10 +168,12 @@ pub fn prepare_with(
         slots: Vec::new(),
     };
     let root = compiler.compile_block(q)?;
+    let batch = analyze_batch(&root, compiler.slots.len());
     Ok(PreparedPlan {
         root,
         slots: compiler.slots,
         options,
+        batch,
     })
 }
 
@@ -371,6 +377,197 @@ impl Compiler<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Batch (set-oriented) analysis
+// ---------------------------------------------------------------------------
+
+/// How one deferred equality's row side is computed.
+#[derive(Debug, Clone)]
+enum BatchSide {
+    /// Index into the root block's joined layout.
+    Col(usize),
+    /// A constant.
+    Lit(Value),
+}
+
+/// One `row-expr = $var.column` equality lifted out of the shared pipeline
+/// and into the binding hash-join.
+#[derive(Debug, Clone)]
+struct BatchKeySpec {
+    row: BatchSide,
+    slot: usize,
+    /// The slot was written on the left (`$m.x = col`); preserved so the
+    /// post-hash recheck evaluates operands in the scalar order.
+    slot_first: bool,
+}
+
+/// Precomputed set-oriented strategy: the root block with every slot
+/// equality removed (so it runs once, binding-free), plus the deferred
+/// keys that hash-join its rows back to the binding relation.
+#[derive(Debug, Clone)]
+struct BatchPlan {
+    stripped: PlanBlock,
+    keys: Vec<BatchKeySpec>,
+}
+
+/// Decides whether the plan is eligible for the shared-pipeline batch
+/// strategy: every `$var.column` reference in the *entire* plan must be a
+/// top-level `column = $slot` (or `literal = $slot`) conjunct assigned to
+/// a root-block scan pushdown or prefix filter. Preserved (left-outer)
+/// derived tables capture their baseline *after* pushdown, so their
+/// presence disables the rewrite.
+fn analyze_batch(root: &PlanBlock, n_slots: usize) -> Option<BatchPlan> {
+    if n_slots == 0 || root.from.iter().any(|f| f.preserved) {
+        return None;
+    }
+    // (from idx, in-pushdown?, conjunct idx) of every separable equality.
+    let mut take: Vec<(usize, bool, usize)> = Vec::new();
+    let mut keys = Vec::new();
+    for (fi, item) in root.from.iter().enumerate() {
+        let offset = item.prev_layout.len();
+        for (ci, c) in item.pushdown.iter().enumerate() {
+            if let Some(k) = slot_equality(c, &item.layout, offset) {
+                keys.push(k);
+                take.push((fi, true, ci));
+            }
+        }
+        for (ci, c) in item.prefix_filters.iter().enumerate() {
+            if let Some(k) = slot_equality(c, &item.joined_layout, 0) {
+                keys.push(k);
+                take.push((fi, false, ci));
+            }
+        }
+    }
+    // Sound only if those equalities are the plan's ONLY slot references
+    // (each carries exactly one): a slot surviving anywhere else —
+    // residuals, nested blocks, projections — still needs per-binding
+    // evaluation.
+    if keys.is_empty() || count_slots_block(root) != keys.len() {
+        return None;
+    }
+    let mut stripped = root.clone();
+    for (fi, item) in stripped.from.iter_mut().enumerate() {
+        let mut i = 0;
+        item.pushdown.retain(|_| {
+            let hit = take.contains(&(fi, true, i));
+            i += 1;
+            !hit
+        });
+        let mut i = 0;
+        item.prefix_filters.retain(|_| {
+            let hit = take.contains(&(fi, false, i));
+            i += 1;
+            !hit
+        });
+    }
+    Some(BatchPlan { stripped, keys })
+}
+
+fn slot_equality(c: &PExpr, layout: &Layout, offset: usize) -> Option<BatchKeySpec> {
+    let PExpr::Binary {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (PExpr::Slot(s), other) => row_side(other, layout, offset).map(|row| BatchKeySpec {
+            row,
+            slot: *s,
+            slot_first: true,
+        }),
+        (other, PExpr::Slot(s)) => row_side(other, layout, offset).map(|row| BatchKeySpec {
+            row,
+            slot: *s,
+            slot_first: false,
+        }),
+        _ => None,
+    }
+}
+
+/// Statically resolves the non-slot side of a candidate equality. A column
+/// must resolve uniquely in the scope layout the conjunct executes under;
+/// ambiguity (which the scalar path reports at runtime) disables batching
+/// so the scalar path stays the one reporting it.
+fn row_side(e: &PExpr, layout: &Layout, offset: usize) -> Option<BatchSide> {
+    match e {
+        PExpr::Literal(v) => Some(BatchSide::Lit(v.clone())),
+        PExpr::Column { qualifier, name } => {
+            let mut found = None;
+            for (i, (q, n)) in layout.iter().enumerate() {
+                let qual_ok = match qualifier {
+                    Some(qq) => qq == q,
+                    None => true,
+                };
+                if n == name && qual_ok {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(i);
+                }
+            }
+            found.map(|i| BatchSide::Col(offset + i))
+        }
+        _ => None,
+    }
+}
+
+fn count_slots_block(b: &PlanBlock) -> usize {
+    let mut n = 0;
+    for item in &b.from {
+        if let PlanSource::Derived(child) = &item.source {
+            n += count_slots_block(child);
+        }
+        for e in &item.pushdown {
+            n += count_slots_expr(e);
+        }
+        for (l, r) in &item.join_keys {
+            n += count_slots_expr(l) + count_slots_expr(r);
+        }
+        for e in &item.prefix_filters {
+            n += count_slots_expr(e);
+        }
+    }
+    for e in &b.residuals {
+        n += count_slots_expr(e);
+    }
+    for item in &b.select {
+        if let PlanItem::Expr(e) = item {
+            n += count_slots_expr(e);
+        }
+    }
+    for e in &b.group_by {
+        n += count_slots_expr(e);
+    }
+    if let Some(h) = &b.having {
+        n += count_slots_expr(h);
+    }
+    n
+}
+
+fn count_slots_expr(e: &PExpr) -> usize {
+    match e {
+        PExpr::Slot(_) => 1,
+        PExpr::Column { .. } | PExpr::Literal(_) => 0,
+        PExpr::Binary { lhs, rhs, .. } => count_slots_expr(lhs) + count_slots_expr(rhs),
+        PExpr::Not(i) | PExpr::IsNull(i) => count_slots_expr(i),
+        PExpr::Exists(b) => count_slots_block(b),
+        PExpr::Aggregate { arg, .. } => arg.as_ref().map_or(0, |a| count_slots_expr(a)),
+    }
+}
+
+/// `key_of` with negative zero folded onto positive zero: `sql_cmp` treats
+/// `-0.0` and `0.0` as equal, so the binding hash-join must too. (`Int`
+/// and `Float` already unify — both hash through `f64` bits.)
+fn batch_key_of(v: &Value) -> Key {
+    match v {
+        Value::Float(f) if *f == 0.0 => Key::Num(0f64.to_bits()),
+        _ => key_of(v),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -430,6 +627,496 @@ impl PreparedPlan {
         };
         exec_block(&ctx, &self.root, None)
     }
+
+    /// Whether [`PreparedPlan::execute_batch`] can use the shared-pipeline
+    /// strategy (scan once, hash-join the binding relation) rather than
+    /// one execution per distinct binding.
+    pub fn batchable(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// [`PreparedPlan::execute_batch_stats`] without counter reporting.
+    pub fn execute_batch(&self, db: &Database, envs: &[ParamEnv]) -> Result<BatchResult> {
+        let mut stats = EvalStats::default();
+        self.execute_batch_stats(db, envs, &mut stats)
+    }
+
+    /// Set-oriented execution: evaluates the plan for *every* environment
+    /// in `envs` at once, returning each binding's rows tagged by its
+    /// index in `envs` ([`BatchResult`]). Rows, row order and errors agree
+    /// with the scalar loop `envs.iter().map(|e| plan.execute(db, e))`;
+    /// the first error of that loop (if any) is the error returned.
+    ///
+    /// Strategy: the distinct binding tuples (resolved slot values) are
+    /// materialized as an in-memory binding relation. When the plan is
+    /// [`batchable`](PreparedPlan::batchable), the already-fused scan
+    /// pipeline runs **once** with the slot equalities removed and its
+    /// rows are hash-joined against the binding relation on the interned
+    /// slot columns (with an exact `=` recheck after the hash match, so
+    /// NULL/NaN semantics match the scalar filters). Otherwise the plan
+    /// executes once per *distinct* binding and the result is replicated
+    /// to duplicate bindings. Environments whose slots cannot be resolved
+    /// are executed scalarly one by one, preserving the scalar path's lazy
+    /// unbound-parameter behaviour.
+    ///
+    /// `EvalStats` counters are defined **relative to the scalar path** —
+    /// they report physical work actually done, which is the point of
+    /// batching:
+    ///
+    /// * `queries` / `rows_scanned` etc. count one shared pipeline run
+    ///   (plus nested blocks per evaluation) instead of one per binding;
+    /// * the binding hash-join itself counts as one `hash_join_builds`
+    ///   with `hash_join_build_rows` = pipeline rows and
+    ///   `hash_join_probe_rows` = distinct resolved bindings;
+    /// * `param_queries` counts distinct binding groups served (scalar
+    ///   counts every non-empty-env execution, including duplicates);
+    /// * `group_buckets` is bumped per binding group, like the scalar
+    ///   loop, because grouping happens after regrouping.
+    ///
+    /// On the per-distinct fallback, counters equal the scalar loop's
+    /// minus the duplicate executions. Counters are absorbed into `stats`
+    /// only when the whole batch succeeds.
+    pub fn execute_batch_stats(
+        &self,
+        db: &Database,
+        envs: &[ParamEnv],
+        stats: &mut EvalStats,
+    ) -> Result<BatchResult> {
+        if envs.is_empty() {
+            return Ok(BatchResult {
+                columns: self.root.columns.clone(),
+                groups: Vec::new(),
+            });
+        }
+
+        // 1. The binding relation: distinct resolved slot tuples in
+        // first-occurrence order. Distinctness is on strict value identity
+        // (same rendering the publisher's memo uses), which is sound per
+        // the `slots()` contract.
+        struct Group {
+            first: usize,
+            members: Vec<usize>,
+            values: Option<Vec<Value>>,
+        }
+        let mut order: Vec<Group> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for (i, env) in envs.iter().enumerate() {
+            let resolved: Result<Vec<Value>> = self
+                .slots
+                .iter()
+                .map(|(v, c)| resolve_param(env, v, c))
+                .collect();
+            match resolved {
+                Ok(values) => {
+                    let mut key = String::new();
+                    for v in &values {
+                        key.push_str(&format!("{v:?}"));
+                        key.push('\u{1f}');
+                    }
+                    if let Some(&g) = by_key.get(&key) {
+                        order[g].members.push(i);
+                    } else {
+                        by_key.insert(key, order.len());
+                        order.push(Group {
+                            first: i,
+                            members: vec![i],
+                            values: Some(values),
+                        });
+                    }
+                }
+                // Unresolvable bindings stay scalar: slot resolution is
+                // lazy there, so a plan that never reaches the slot still
+                // succeeds, exactly like `execute` on that env.
+                Err(_) => order.push(Group {
+                    first: i,
+                    members: vec![i],
+                    values: None,
+                }),
+            }
+        }
+
+        let cell = Cell::new(EvalStats::default());
+
+        // 2. Shared pipeline: one binding-free run of the stripped plan,
+        // indexed by the deferred key columns.
+        enum Mode {
+            Fast {
+                rows: Vec<Vec<Value>>,
+                index: HashMap<Vec<Key>, Vec<usize>>,
+            },
+            Scalar,
+        }
+        let mode = match &self.batch {
+            Some(bp) if order.iter().any(|g| g.values.is_some()) => {
+                let attempt = Cell::new(EvalStats::default());
+                let empty = ParamEnv::new();
+                let shared = {
+                    let ctx = ExecCtx {
+                        db,
+                        env: &empty,
+                        slots: &self.slots,
+                        cache: RefCell::new(vec![None; self.slots.len()]),
+                        options: self.options,
+                        stats: &attempt,
+                    };
+                    exec_source_rows(&ctx, &bp.stripped, None)
+                };
+                match shared {
+                    Ok(rows) => {
+                        let mut index: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+                        'row: for (ri, row) in rows.iter().enumerate() {
+                            let mut key = Vec::with_capacity(bp.keys.len());
+                            for k in &bp.keys {
+                                let v = match &k.row {
+                                    BatchSide::Col(c) => &row[*c],
+                                    BatchSide::Lit(v) => v,
+                                };
+                                if v.is_null() {
+                                    continue 'row; // NULL never equi-joins
+                                }
+                                key.push(batch_key_of(v));
+                            }
+                            index.entry(key).or_default().push(ri);
+                        }
+                        let mut s = attempt.get();
+                        s.hash_join_builds += 1;
+                        s.hash_join_build_rows += rows.len() as u64;
+                        s.hash_join_probe_rows +=
+                            order.iter().filter(|g| g.values.is_some()).count() as u64;
+                        attempt.set(s);
+                        let mut c = cell.get();
+                        c.absorb(&attempt.get());
+                        cell.set(c);
+                        Mode::Fast { rows, index }
+                    }
+                    // The stripped pipeline evaluated predicates on rows
+                    // the per-binding filters would have dropped first;
+                    // re-run scalar per group so the error (if still one)
+                    // is the scalar loop's first error.
+                    Err(_) => Mode::Scalar,
+                }
+            }
+            _ => Mode::Scalar,
+        };
+
+        // 3. Per distinct binding, in first-occurrence order (which makes
+        // the first failing group the scalar loop's first failing env).
+        let mut results: Vec<Relation> = Vec::with_capacity(order.len());
+        for group in &order {
+            let rel = match (&mode, &group.values) {
+                (Mode::Fast { rows, index }, Some(values)) => {
+                    let bp = self.batch.as_ref().expect("fast mode implies batch plan");
+                    let mut probe = Vec::with_capacity(bp.keys.len());
+                    let mut null_probe = false;
+                    for k in &bp.keys {
+                        let v = &values[k.slot];
+                        if v.is_null() {
+                            null_probe = true;
+                            break;
+                        }
+                        probe.push(batch_key_of(v));
+                    }
+                    let mut matched: Vec<Vec<Value>> = Vec::new();
+                    if !null_probe {
+                        if let Some(hits) = index.get(&probe) {
+                            'cand: for &ri in hits {
+                                let row = &rows[ri];
+                                for k in &bp.keys {
+                                    let rv = match &k.row {
+                                        BatchSide::Col(c) => row[*c].clone(),
+                                        BatchSide::Lit(v) => v.clone(),
+                                    };
+                                    let sv = values[k.slot].clone();
+                                    let (l, r) = if k.slot_first { (sv, rv) } else { (rv, sv) };
+                                    if !eval_binop(BinOp::Eq, &l, &r)?.is_truthy() {
+                                        continue 'cand;
+                                    }
+                                }
+                                matched.push(row.clone());
+                            }
+                        }
+                    }
+                    let rel = {
+                        let empty = ParamEnv::new();
+                        let ctx = ExecCtx {
+                            db,
+                            env: &empty,
+                            slots: &self.slots,
+                            cache: RefCell::new(vec![None; self.slots.len()]),
+                            options: self.options,
+                            stats: &cell,
+                        };
+                        finish_block(&ctx, &bp.stripped, matched, None)?
+                    };
+                    let mut s = cell.get();
+                    s.param_queries += 1; // slots resolved ⇒ env non-empty
+                    cell.set(s);
+                    rel
+                }
+                _ => {
+                    let env = &envs[group.first];
+                    let attempt = Cell::new(EvalStats::default());
+                    let rel = self.run(db, env, &attempt)?;
+                    let mut s = attempt.get();
+                    if !env.is_empty() {
+                        s.param_queries += 1;
+                    }
+                    let mut c = cell.get();
+                    c.absorb(&s);
+                    cell.set(c);
+                    rel
+                }
+            };
+            results.push(rel);
+        }
+
+        // 4. Regroup: every binding receives its group's rows.
+        let columns = results
+            .first()
+            .map(|r| r.columns.clone())
+            .unwrap_or_else(|| self.root.columns.clone());
+        let mut groups: Vec<Vec<Vec<Value>>> = vec![Vec::new(); envs.len()];
+        for (group, rel) in order.iter().zip(results.iter()) {
+            for &m in &group.members {
+                groups[m] = rel.rows.clone();
+            }
+        }
+        stats.absorb(&cell.get());
+        Ok(BatchResult { columns, groups })
+    }
+
+    /// Renders the compiled pipeline — slot table, per-item scan fusion
+    /// and join strategy, projection, and the batch (set-oriented)
+    /// operator — as indented text. This is the plan that *executes*, as
+    /// opposed to `explain_query`'s static classification; `xvc explain`
+    /// prints both.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "prepared plan: {} column(s)", self.root.columns.len());
+        if self.slots.is_empty() {
+            let _ = writeln!(out, "  slots: (none)");
+        } else {
+            let rendered: Vec<String> = self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, (v, c))| format!("s{i}=${v}.{c}"))
+                .collect();
+            let _ = writeln!(out, "  slots: {}", rendered.join(", "));
+        }
+        describe_block(&self.root, &self.slots, 1, &mut out);
+        match &self.batch {
+            Some(bp) => {
+                let keys: Vec<String> = bp
+                    .keys
+                    .iter()
+                    .map(|k| {
+                        let row = match &k.row {
+                            BatchSide::Col(i) => {
+                                let (q, n) = &self.root.layout[*i];
+                                format!("{q}.{n}")
+                            }
+                            BatchSide::Lit(v) => fmt_literal(v),
+                        };
+                        let (var, col) = &self.slots[k.slot];
+                        format!("{row} = ${var}.{col}")
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  batch: set-oriented — shared pipeline once, \
+                     hash-join binding relation on ({})",
+                    keys.join(", ")
+                );
+            }
+            None if self.slots.is_empty() => {
+                let _ = writeln!(out, "  batch: single shared execution (no binding slots)");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  batch: per-distinct-binding execution \
+                     (slot predicates not separable)"
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Rows for a whole batch of parameter environments, tagged by the index
+/// of the binding that produced them. Produced by
+/// [`PreparedPlan::execute_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    columns: Vec<String>,
+    /// `groups[i]` holds the rows binding `i` produced, in the scalar
+    /// path's row order.
+    groups: Vec<Vec<Vec<Value>>>,
+}
+
+impl BatchResult {
+    /// Output column names (shared by every binding's rows).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of bindings the batch was executed for.
+    pub fn bindings(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the batch was executed over zero bindings.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The rows binding `binding` produced, in scalar row order.
+    pub fn rows_for(&self, binding: usize) -> &[Vec<Value>] {
+        &self.groups[binding]
+    }
+
+    /// Total rows across all bindings (duplicate bindings count their
+    /// replicated rows).
+    pub fn total_rows(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// All rows as `(binding index, row)` pairs, grouped by binding.
+    pub fn tagged_rows(&self) -> impl Iterator<Item = (usize, &Vec<Value>)> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .flat_map(|(i, rows)| rows.iter().map(move |r| (i, r)))
+    }
+
+    /// One binding's rows as a standalone [`Relation`] (clones).
+    pub fn relation_for(&self, binding: usize) -> Relation {
+        Relation {
+            columns: self.columns.clone(),
+            rows: self.groups[binding].clone(),
+        }
+    }
+
+    /// Consumes the batch into one [`Relation`] per binding.
+    pub fn into_relations(self) -> Vec<Relation> {
+        let columns = self.columns;
+        self.groups
+            .into_iter()
+            .map(|rows| Relation {
+                columns: columns.clone(),
+                rows,
+            })
+            .collect()
+    }
+}
+
+fn fmt_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => format!("'{s}'"),
+        Value::Bool(b) => b.to_string().to_uppercase(),
+    }
+}
+
+fn fmt_pexpr(e: &PExpr, slots: &[(String, String)]) -> String {
+    match e {
+        PExpr::Column {
+            qualifier: Some(q),
+            name,
+        } => format!("{q}.{name}"),
+        PExpr::Column {
+            qualifier: None,
+            name,
+        } => name.clone(),
+        PExpr::Slot(i) => {
+            let (v, c) = &slots[*i];
+            format!("${v}.{c}")
+        }
+        PExpr::Literal(v) => fmt_literal(v),
+        PExpr::Binary { op, lhs, rhs } => format!(
+            "{} {} {}",
+            fmt_pexpr(lhs, slots),
+            op.symbol(),
+            fmt_pexpr(rhs, slots)
+        ),
+        PExpr::Not(i) => format!("NOT ({})", fmt_pexpr(i, slots)),
+        PExpr::IsNull(i) => format!("{} IS NULL", fmt_pexpr(i, slots)),
+        PExpr::Exists(_) => "EXISTS (...)".to_owned(),
+        PExpr::Aggregate { func, arg } => {
+            let inner = match arg {
+                Some(a) => fmt_pexpr(a, slots),
+                None => "*".to_owned(),
+            };
+            format!("{func:?}({inner})").to_uppercase()
+        }
+    }
+}
+
+fn describe_block(block: &PlanBlock, slots: &[(String, String)], depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    for (i, item) in block.from.iter().enumerate() {
+        let source = match &item.source {
+            PlanSource::Scan(t) => format!("scan {t}"),
+            PlanSource::Derived(_) => "derived subplan".to_owned(),
+        };
+        let join = if i == 0 {
+            String::new()
+        } else if item.join_keys.is_empty() {
+            " | nested-loop (cross) join".to_owned()
+        } else {
+            let ks: Vec<String> = item
+                .join_keys
+                .iter()
+                .map(|(l, r)| format!("{} = {}", fmt_pexpr(l, slots), fmt_pexpr(r, slots)))
+                .collect();
+            format!(" | hash join on ({})", ks.join(", "))
+        };
+        let preserved = if item.preserved {
+            " | preserved (left-outer)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{pad}from[{i}]: {source}{join}{preserved}");
+        if !item.pushdown.is_empty() {
+            let ps: Vec<String> = item.pushdown.iter().map(|p| fmt_pexpr(p, slots)).collect();
+            let _ = writeln!(out, "{pad}  fused pushdown: {}", ps.join(" AND "));
+        }
+        if !item.prefix_filters.is_empty() {
+            let ps: Vec<String> = item
+                .prefix_filters
+                .iter()
+                .map(|p| fmt_pexpr(p, slots))
+                .collect();
+            let _ = writeln!(out, "{pad}  prefix filter: {}", ps.join(" AND "));
+        }
+        if let PlanSource::Derived(child) = &item.source {
+            describe_block(child, slots, depth + 1, out);
+        }
+    }
+    if !block.residuals.is_empty() {
+        let ps: Vec<String> = block
+            .residuals
+            .iter()
+            .map(|p| fmt_pexpr(p, slots))
+            .collect();
+        let _ = writeln!(out, "{pad}residual: {}", ps.join(" AND "));
+    }
+    let mut proj = format!("{pad}project: {}", block.columns.join(", "));
+    if block.aggregating {
+        proj.push_str(&format!(" | group by {}", block.group_by.len()));
+    }
+    if block.having.is_some() {
+        proj.push_str(" | having");
+    }
+    if block.distinct {
+        proj.push_str(" | distinct");
+    }
+    let _ = writeln!(out, "{proj}");
 }
 
 struct ExecCtx<'a> {
@@ -593,6 +1280,18 @@ fn exec_block(
     block: &PlanBlock,
     parent: Option<&Scope<'_>>,
 ) -> Result<Relation> {
+    let rows = exec_source_rows(ctx, block, parent)?;
+    finish_block(ctx, block, rows, parent)
+}
+
+/// FROM + WHERE: scans (with fused pushdown), joins, prefix filters,
+/// residuals and preserved-side padding — everything up to (but excluding)
+/// projection. The batch executor runs this once and projects per binding.
+fn exec_source_rows(
+    ctx: &ExecCtx<'_>,
+    block: &PlanBlock,
+    parent: Option<&Scope<'_>>,
+) -> Result<Vec<Vec<Value>>> {
     ctx.bump(|s| s.queries += 1);
 
     let mut work: Option<Vec<Vec<Value>>> = None;
@@ -670,7 +1369,17 @@ fn exec_block(
             }
         }
     }
+    Ok(rows)
+}
 
+/// Projection (plain or grouped), HAVING and DISTINCT over the joined and
+/// filtered source rows.
+fn finish_block(
+    ctx: &ExecCtx<'_>,
+    block: &PlanBlock,
+    rows: Vec<Vec<Value>>,
+    parent: Option<&Scope<'_>>,
+) -> Result<Relation> {
     let mut rel = if block.aggregating {
         p_project_grouped(ctx, block, &rows, parent)?
     } else {
@@ -1161,6 +1870,159 @@ mod tests {
             plan.execute(&db, &ParamEnv::new()),
             Err(Error::UnboundParameter { .. })
         ));
+    }
+
+    /// Scalar reference loop for batch parity: `execute_stats` per env,
+    /// stopping at the first error, summing stats only over successes.
+    fn scalar_loop(
+        plan: &PreparedPlan,
+        db: &Database,
+        envs: &[ParamEnv],
+    ) -> Result<(Vec<Relation>, EvalStats)> {
+        let mut stats = EvalStats::default();
+        let mut out = Vec::new();
+        for env in envs {
+            out.push(plan.execute_stats(db, env, &mut stats)?);
+        }
+        Ok((out, stats))
+    }
+
+    #[test]
+    fn batch_fast_path_matches_scalar_loop() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        assert!(plan.batchable());
+        let envs = vec![
+            metro_param(1, "chicago"),
+            metro_param(2, "nyc"),
+            metro_param(1, "chicago"), // duplicate binding
+            metro_param(99, "nowhere"),
+        ];
+        let (scalar, _) = scalar_loop(&plan, &db, &envs).unwrap();
+        let mut stats = EvalStats::default();
+        let batch = plan.execute_batch_stats(&db, &envs, &mut stats).unwrap();
+        assert_eq!(batch.bindings(), envs.len());
+        assert_eq!(batch.columns(), &["hotelname".to_owned()]);
+        for (i, rel) in scalar.iter().enumerate() {
+            assert_eq!(batch.rows_for(i), &rel.rows[..], "binding {i}");
+        }
+        // One shared pipeline run, one binding hash-join, one
+        // param_query per *distinct* binding (3, not 4).
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.rows_scanned, 3);
+        assert_eq!(stats.param_queries, 3);
+        assert_eq!(stats.hash_join_builds, 1);
+        assert_eq!(stats.hash_join_build_rows, 3);
+        assert_eq!(stats.hash_join_probe_rows, 3);
+        assert_eq!(batch.total_rows(), 2 + 1 + 2);
+        assert_eq!(batch.tagged_rows().count(), 5);
+    }
+
+    #[test]
+    fn batch_fallback_still_matches_scalar_loop() {
+        let db = hotel_db();
+        // Non-equality slot predicate: not separable, so execute_batch
+        // runs once per distinct binding instead of joining.
+        let q = parse_query("SELECT hotelname FROM hotel WHERE starrating > $m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        assert!(!plan.batchable());
+        let envs = vec![
+            metro_param(4, "x"),
+            metro_param(4, "x"),
+            metro_param(0, "y"),
+        ];
+        let (scalar, _) = scalar_loop(&plan, &db, &envs).unwrap();
+        let mut stats = EvalStats::default();
+        let batch = plan.execute_batch_stats(&db, &envs, &mut stats).unwrap();
+        for (i, rel) in scalar.iter().enumerate() {
+            assert_eq!(batch.rows_for(i), &rel.rows[..], "binding {i}");
+        }
+        // Two distinct bindings: two executions, two param_queries.
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.param_queries, 2);
+    }
+
+    #[test]
+    fn batch_error_agreement_with_scalar_loop() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let envs = vec![metro_param(1, "chicago"), ParamEnv::new()];
+        let scalar_err = scalar_loop(&plan, &db, &envs).unwrap_err();
+        let mut stats = EvalStats::default();
+        let batch_err = plan
+            .execute_batch_stats(&db, &envs, &mut stats)
+            .unwrap_err();
+        assert_eq!(format!("{scalar_err:?}"), format!("{batch_err:?}"));
+        // Failed batch absorbs nothing.
+        assert_eq!(stats, EvalStats::default());
+    }
+
+    #[test]
+    fn batch_of_nothing_is_empty() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let mut stats = EvalStats::default();
+        let batch = plan.execute_batch_stats(&db, &[], &mut stats).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.columns(), &["hotelname".to_owned()]);
+        assert_eq!(stats, EvalStats::default());
+    }
+
+    #[test]
+    fn batch_relation_accessors_round_trip() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let envs = vec![metro_param(2, "nyc")];
+        let batch = plan.execute_batch(&db, &envs).unwrap();
+        let direct = plan.execute(&db, &envs[0]).unwrap();
+        assert_eq!(batch.relation_for(0), direct);
+        assert_eq!(batch.into_relations(), vec![direct]);
+    }
+
+    #[test]
+    fn describe_renders_pipeline_and_batch_operator() {
+        let db = hotel_db();
+        let q = parse_query(
+            "SELECT hotelname, capacity FROM hotel, confroom \
+             WHERE chotel_id = hotelid AND metro_id = $m.metroid AND starrating > 3",
+        )
+        .unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let text = plan.describe();
+        assert!(text.contains("slots: s0=$m.metroid"), "{text}");
+        assert!(text.contains("from[0]: scan hotel"), "{text}");
+        assert!(text.contains("fused pushdown"), "{text}");
+        assert!(text.contains("hash join on"), "{text}");
+        assert!(
+            text.contains("batch: set-oriented") && text.contains("= $m.metroid"),
+            "{text}"
+        );
+
+        let unbatched = prepare(
+            &parse_query("SELECT hotelname FROM hotel WHERE starrating > $m.metroid").unwrap(),
+            &db.catalog(),
+        )
+        .unwrap();
+        assert!(
+            unbatched.describe().contains("per-distinct-binding"),
+            "{}",
+            unbatched.describe()
+        );
+
+        let slotless = prepare(
+            &parse_query("SELECT hotelname FROM hotel").unwrap(),
+            &db.catalog(),
+        )
+        .unwrap();
+        assert!(
+            slotless.describe().contains("single shared execution"),
+            "{}",
+            slotless.describe()
+        );
     }
 
     #[test]

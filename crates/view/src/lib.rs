@@ -28,7 +28,5 @@ pub mod schema_tree;
 
 pub use error::{Error, Result};
 pub use parse::parse_view;
-#[allow(deprecated)]
-pub use publish::{publish, publish_node_count, publish_traced, publish_with_stats};
 pub use publish::{PublishStats, PublishTrace, Published, Publisher, TraceEntry};
 pub use schema_tree::{AttrProjection, SchemaTree, ViewNode, ViewNodeId};

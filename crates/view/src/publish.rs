@@ -2,8 +2,11 @@
 //!
 //! The entry point is the [`Publisher`] builder: it owns a per-tree
 //! **plan cache** (each node's tag query compiled once into an
-//! [`xvc_rel::PreparedPlan`], executed once per binding), a bounded
-//! per-publish **result memo** (repeated parent tuples with equal relevant
+//! [`xvc_rel::PreparedPlan`]), publishes **set-oriented** by default (a
+//! breadth-first frontier walk running one
+//! [`xvc_rel::PreparedPlan::execute_batch_stats`] per (view node,
+//! frontier) instead of one execution per parent tuple), keeps a bounded
+//! per-task **result memo** (repeated parent tuples with equal relevant
 //! binding values reuse the child relation), and can evaluate sibling
 //! subtrees in **parallel** (`std::thread::scope`) while keeping document
 //! order and producing thread-count-independent statistics.
@@ -48,6 +51,16 @@ pub struct PublishStats {
     pub memo_hits: usize,
     /// Memoizable executions that had to run the engine.
     pub memo_misses: usize,
+    /// Set-oriented executions: one per (view node, frontier) with at
+    /// least one non-memoized binding. Zero on the scalar path.
+    pub batches_executed: usize,
+    /// Largest number of bindings any single batch carried (merged with
+    /// `max`, not `+`, across subtree tasks).
+    pub bindings_per_batch_max: usize,
+    /// Rows returned by batched executions and regrouped back to their
+    /// parent bindings. Memo-served parents reuse an existing relation
+    /// and are **not** counted here.
+    pub rows_regrouped: usize,
 }
 
 impl PublishStats {
@@ -62,6 +75,23 @@ impl PublishStats {
         self.plan_cache_hits += other.plan_cache_hits;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.batches_executed += other.batches_executed;
+        self.bindings_per_batch_max = self
+            .bindings_per_batch_max
+            .max(other.bindings_per_batch_max);
+        self.rows_regrouped += other.rows_regrouped;
+    }
+
+    /// This run's counters with the batch-only ones zeroed — what the run
+    /// would have reported on the scalar path, which is identical on every
+    /// other field (the equality the batched-vs-scalar tests assert).
+    pub fn without_batch_counters(&self) -> PublishStats {
+        PublishStats {
+            batches_executed: 0,
+            bindings_per_batch_max: 0,
+            rows_regrouped: 0,
+            ..*self
+        }
     }
 
     /// Fraction of plan lookups served by the cache:
@@ -173,18 +203,20 @@ pub struct Publisher<'t> {
     tracing: bool,
     parallel: usize,
     prepared: bool,
+    batched: bool,
     cache: PlanCache,
 }
 
 impl<'t> Publisher<'t> {
     /// A publisher for `tree`: untraced, single-threaded, prepared-plan
-    /// execution enabled.
+    /// and set-oriented (batched) execution enabled.
     pub fn new(tree: &'t SchemaTree) -> Self {
         Publisher {
             tree,
             tracing: false,
             parallel: 1,
             prepared: true,
+            batched: true,
             cache: PlanCache::default(),
         }
     }
@@ -208,6 +240,24 @@ impl<'t> Publisher<'t> {
     /// by benchmarks to measure the prepared path's win).
     pub fn prepared(mut self, on: bool) -> Self {
         self.prepared = on;
+        self
+    }
+
+    /// Publish each subtree with a breadth-first frontier walk — one
+    /// set-oriented [`PreparedPlan::execute_batch_stats`] per (view node,
+    /// frontier) instead of one execution per parent tuple (`true`, the
+    /// default) — or with the original per-parent recursion (`false`).
+    ///
+    /// Both paths produce bit-identical documents, traces, and
+    /// [`PublishStats`] (modulo the batch-only counters, see
+    /// [`PublishStats::without_batch_counters`]); [`Published::eval`]
+    /// differs because batching is precisely about doing less engine
+    /// work. When a task needs more than `MEMO_CAP` distinct memo
+    /// entries the two paths may retain different entries (insertion
+    /// order differs), which can shift memo hit/miss counts — documents
+    /// and traces still agree.
+    pub fn batched(mut self, on: bool) -> Self {
+        self.batched = on;
         self
     }
 
@@ -255,6 +305,7 @@ impl<'t> Publisher<'t> {
             plans: &self.cache.plans,
             use_plans: self.prepared,
             tracing: self.tracing,
+            batched: self.batched,
         };
         let mut main = Worker::new(&shared, HashMap::new());
         let mut tasks: Vec<Task> = Vec::new();
@@ -367,6 +418,7 @@ struct Shared<'a> {
     plans: &'a HashMap<PlanKey, PreparedPlan>,
     use_plans: bool,
     tracing: bool,
+    batched: bool,
 }
 
 /// One root-level element instance to publish: a query-node tuple, or a
@@ -416,6 +468,9 @@ fn run_tasks(shared: &Shared<'_>, tasks: &[Task], parallel: usize) -> Vec<Option
 }
 
 fn run_task(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
+    if shared.batched {
+        return run_task_batched(shared, task);
+    }
     let mut seed = HashMap::new();
     seed.insert(task.tag.clone(), task.index);
     let mut w = Worker::new(shared, seed);
@@ -426,6 +481,334 @@ fn run_task(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
         eval: w.eval,
         trace: w.trace,
     })
+}
+
+/// Publishes one subtree task breadth-first: the frontier holds every
+/// `(parent element, view node, bindings)` still to expand at the current
+/// depth, and each (view node, frontier) pair runs **one** set-oriented
+/// tag-query / guard execution for all its parents at once, with the rows
+/// regrouped back to their parent elements afterwards. Document order is
+/// preserved because a parent's pending view nodes are expanded in schema
+/// order (ascending node id) and each batch returns per-binding rows in
+/// the scalar path's row order.
+fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
+    let tree = shared.tree;
+    let mut w = BatchWorker::new(shared);
+    let env = ParamEnv::new();
+    let root = w.doc.root();
+    let (el, child_env) = w.emit_node_instance(root, task.vid, &env, task.tuple.as_ref());
+
+    let mut frontier: Vec<Pending> = tree
+        .children(task.vid)
+        .iter()
+        .map(|&vid| Pending {
+            parent: el,
+            vid,
+            env: child_env.clone(),
+        })
+        .collect();
+    while !frontier.is_empty() {
+        let mut next: Vec<Pending> = Vec::new();
+        // Group the level by view node, in schema (ascending id) order:
+        // every parent sees its children appended in schema order, and
+        // each group becomes at most one guard batch + one tag batch.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, p) in frontier.iter().enumerate() {
+            groups.entry(p.vid.index()).or_default().push(i);
+        }
+        for (_, mut live) in groups {
+            let vid = frontier[live[0]].vid;
+            let node = tree.node(vid).expect("frontier holds non-root ids");
+
+            if let Some(guard) = &node.guard {
+                let probe = guard_probe(guard);
+                let envs: Vec<ParamEnv> = live.iter().map(|&i| frontier[i].env.clone()).collect();
+                w.stats.queries_run += envs.len();
+                let rels = w.run_batch(vid, Role::Guard, &probe, &envs)?;
+                live = live
+                    .iter()
+                    .zip(&rels)
+                    .filter(|(_, r)| !r.is_empty())
+                    .map(|(&i, _)| i)
+                    .collect();
+            }
+
+            if node.context_tuple_of.is_some() || node.query.is_none() {
+                for &i in &live {
+                    let p = &frontier[i];
+                    let (el, child_env) = w.emit_node_instance(p.parent, vid, &p.env, None);
+                    for &c in tree.children(vid) {
+                        next.push(Pending {
+                            parent: el,
+                            vid: c,
+                            env: child_env.clone(),
+                        });
+                    }
+                }
+                continue;
+            }
+
+            let query = node.query.as_ref().expect("query node");
+            let envs: Vec<ParamEnv> = live.iter().map(|&i| frontier[i].env.clone()).collect();
+            let rels = w.run_batch(vid, Role::Tag, query, &envs)?;
+            for (&i, rel) in live.iter().zip(&rels) {
+                let p = &frontier[i];
+                w.stats.queries_run += 1;
+                w.stats.tuples_fetched += rel.len();
+                for t in 0..rel.len() {
+                    let tuple = rel.tuple(t);
+                    let (el, child_env) = w.emit_node_instance(p.parent, vid, &p.env, Some(&tuple));
+                    for &c in tree.children(vid) {
+                        next.push(Pending {
+                            parent: el,
+                            vid: c,
+                            env: child_env.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    let trace = if shared.tracing {
+        w.build_trace(task)
+    } else {
+        Vec::new()
+    };
+    Ok(TaskOut {
+        doc: w.doc,
+        stats: w.stats,
+        eval: w.eval,
+        trace,
+    })
+}
+
+/// One frontier slot: a view node still to expand under `parent` with the
+/// bindings accumulated on the path down to it.
+struct Pending {
+    parent: xvc_xml::NodeId,
+    vid: ViewNodeId,
+    env: ParamEnv,
+}
+
+/// Per-task state of the breadth-first walk. Unlike [`Worker`] it builds
+/// the arena [`Document`] directly (batched expansion appends to parents
+/// created in earlier waves, which a streaming builder cannot do) and
+/// reconstructs the trace afterwards in document order.
+struct BatchWorker<'a> {
+    shared: &'a Shared<'a>,
+    doc: Document,
+    stats: PublishStats,
+    eval: EvalStats,
+    /// `(node, role, rendered binding values)` → relation, same scope and
+    /// cap as the scalar worker's memo.
+    memo: HashMap<(u32, Role, String), Relation>,
+    /// Element provenance for trace reconstruction (tracing runs only).
+    prov: HashMap<xvc_xml::NodeId, (ViewNodeId, ParamEnv)>,
+}
+
+impl<'a> BatchWorker<'a> {
+    fn new(shared: &'a Shared<'a>) -> Self {
+        BatchWorker {
+            shared,
+            doc: Document::new(),
+            stats: PublishStats::default(),
+            eval: EvalStats::default(),
+            memo: HashMap::new(),
+            prov: HashMap::new(),
+        }
+    }
+
+    /// Creates one element instance under `parent` — tag, static and
+    /// projected tuple attributes, counters, provenance — and returns it
+    /// with the environment its children run under. The per-node-kind
+    /// logic mirrors [`Worker::emit_instance`] exactly.
+    fn emit_node_instance(
+        &mut self,
+        parent: xvc_xml::NodeId,
+        vid: ViewNodeId,
+        env: &ParamEnv,
+        tuple: Option<&NamedTuple>,
+    ) -> (xvc_xml::NodeId, ParamEnv) {
+        let node = self.shared.tree.node(vid).expect("non-root id");
+        let el = self.doc.create_element(&node.tag);
+        self.doc.append_child(parent, el);
+        self.stats.elements += 1;
+        if self.shared.tracing {
+            self.prov.insert(el, (vid, env.clone()));
+        }
+        for (k, v) in &node.static_attrs {
+            self.doc.set_attr(el, k, v).expect("created as element");
+            self.stats.attributes += 1;
+        }
+        let mut child_env = env.clone();
+        if let Some(var) = &node.context_tuple_of {
+            if let Some(t) = env.get(var) {
+                let t = t.clone();
+                for (k, v) in project_attrs(&node.attrs, &t.columns, &t.values) {
+                    self.doc.set_attr(el, k, v).expect("created as element");
+                    self.stats.attributes += 1;
+                }
+                if !node.bv.is_empty() {
+                    child_env.insert(node.bv.clone(), t);
+                }
+            }
+        } else if let Some(t) = tuple {
+            for (k, v) in project_attrs(&node.attrs, &t.columns, &t.values) {
+                self.doc.set_attr(el, k, v).expect("created as element");
+                self.stats.attributes += 1;
+            }
+            child_env.insert(node.bv.clone(), t.clone());
+        }
+        (el, child_env)
+    }
+
+    /// Set-oriented counterpart of [`Worker::run_tag_query`]: one relation
+    /// per environment, in order. Memo semantics are emulated exactly
+    /// (hits, misses, cap-bounded inserts) by resolving every binding's
+    /// memo key first and batching only the environments the scalar path
+    /// would have sent to the engine.
+    fn run_batch(
+        &mut self,
+        vid: ViewNodeId,
+        role: Role,
+        q: &SelectQuery,
+        envs: &[ParamEnv],
+    ) -> Result<Vec<Relation>> {
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let key_base = vid.index() as u32;
+        if self.shared.use_plans {
+            if let Some(plan) = self.shared.plans.get(&(key_base, role)) {
+                let mut out: Vec<Option<Relation>> = vec![None; envs.len()];
+                // env index → slot in `pending` whose result it shares.
+                let mut share: Vec<usize> = vec![usize::MAX; envs.len()];
+                let mut pending: Vec<usize> = Vec::new();
+                // memo key → (pending slot of its first execution, whether
+                // that execution will be inserted into the memo).
+                let mut in_flight: HashMap<String, (usize, bool)> = HashMap::new();
+                let mut planned_inserts = 0usize;
+                for (i, env) in envs.iter().enumerate() {
+                    match memo_key(plan.slots(), env) {
+                        Some(key) => {
+                            if let Some(hit) = self.memo.get(&(key_base, role, key.clone())) {
+                                self.stats.memo_hits += 1;
+                                out[i] = Some(hit.clone());
+                            } else if let Some(&(slot, will_insert)) = in_flight.get(&key) {
+                                // Scalar would find the first execution's
+                                // insert (hit) — or, past the cap, miss and
+                                // re-execute; the engine work is shared
+                                // either way, only the counter differs.
+                                if will_insert {
+                                    self.stats.memo_hits += 1;
+                                } else {
+                                    self.stats.memo_misses += 1;
+                                }
+                                share[i] = slot;
+                            } else {
+                                self.stats.memo_misses += 1;
+                                let will_insert = self.memo.len() + planned_inserts < MEMO_CAP;
+                                if will_insert {
+                                    planned_inserts += 1;
+                                }
+                                in_flight.insert(key, (pending.len(), will_insert));
+                                share[i] = pending.len();
+                                pending.push(i);
+                            }
+                        }
+                        // Unresolvable slots bypass the memo, exactly like
+                        // the scalar path (the execution itself reports the
+                        // unbound parameter, if the plan reaches it).
+                        None => {
+                            share[i] = pending.len();
+                            pending.push(i);
+                        }
+                    }
+                }
+                if !pending.is_empty() {
+                    let penvs: Vec<ParamEnv> = pending.iter().map(|&i| envs[i].clone()).collect();
+                    let batch = plan.execute_batch_stats(self.shared.db, &penvs, &mut self.eval)?;
+                    self.stats.batches_executed += 1;
+                    self.stats.bindings_per_batch_max =
+                        self.stats.bindings_per_batch_max.max(penvs.len());
+                    self.stats.rows_regrouped += batch.total_rows();
+                    let rels = batch.into_relations();
+                    for (key, (slot, will_insert)) in in_flight {
+                        if will_insert {
+                            self.memo.insert((key_base, role, key), rels[slot].clone());
+                        }
+                    }
+                    for (i, slot) in out.iter_mut().zip(&share) {
+                        if i.is_none() {
+                            *i = Some(rels[*slot].clone());
+                        }
+                    }
+                }
+                return Ok(out
+                    .into_iter()
+                    .map(|r| r.expect("every env is memo-served or batched"))
+                    .collect());
+            }
+        }
+        // Interpreter fallback: per environment, identical to the scalar
+        // path (no batch counters — nothing was batched).
+        let mut rels = Vec::with_capacity(envs.len());
+        for env in envs {
+            rels.push(eval_query_stats(
+                self.shared.db,
+                q,
+                env,
+                EvalOptions::default(),
+                &mut self.eval,
+            )?);
+        }
+        Ok(rels)
+    }
+
+    /// Reconstructs the scalar path's pre-order trace from the finished
+    /// fragment: indexed paths from per-level same-tag sibling counts,
+    /// provenance from the map filled at element creation.
+    fn build_trace(&self, task: &Task) -> Vec<TraceEntry> {
+        let mut entries = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        let mut seed = HashMap::new();
+        seed.insert(task.tag.clone(), task.index);
+        let mut counts: Vec<HashMap<String, usize>> = vec![seed];
+        self.walk_trace(self.doc.root(), &mut path, &mut counts, &mut entries);
+        entries
+    }
+
+    fn walk_trace(
+        &self,
+        node: xvc_xml::NodeId,
+        path: &mut Vec<String>,
+        counts: &mut Vec<HashMap<String, usize>>,
+        entries: &mut Vec<TraceEntry>,
+    ) {
+        for &child in self.doc.children(node) {
+            let Some(tag) = self.doc.name(child) else {
+                continue;
+            };
+            let level = counts.last_mut().expect("counts is never empty");
+            let n = level.entry(tag.to_owned()).or_insert(0);
+            *n += 1;
+            path.push(format!("{tag}[{n}]"));
+            counts.push(HashMap::new());
+            if let Some((vid, env)) = self.prov.get(&child) {
+                entries.push(TraceEntry {
+                    path: format!("/{}", path.join("/")),
+                    view: *vid,
+                    env: env.clone(),
+                });
+            }
+            self.walk_trace(child, path, counts, entries);
+            path.pop();
+            counts.pop();
+        }
+    }
 }
 
 /// Per-task publishing state: its own builder, counters, trace slice and
@@ -536,25 +919,15 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// Emits projected tuple columns as attributes: NULLs omitted, first
-    /// occurrence wins on duplicate column names.
+    /// Emits projected tuple columns as attributes (see [`project_attrs`]).
     fn emit_tuple_attrs(
         &mut self,
         attrs: &AttrProjection,
         columns: &[String],
         values: &[xvc_rel::Value],
     ) {
-        let mut seen = std::collections::HashSet::new();
-        for (c, val) in columns.iter().zip(values) {
-            let wanted = match attrs {
-                AttrProjection::All => true,
-                AttrProjection::None => false,
-                AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
-            };
-            if !wanted || val.is_null() || !seen.insert(c.clone()) {
-                continue;
-            }
-            self.emit_attr(c, val.render());
+        for (c, v) in project_attrs(attrs, columns, values) {
+            self.emit_attr(c, v);
         }
     }
 
@@ -662,46 +1035,29 @@ fn memo_key(slots: &[(String, String)], env: &ParamEnv) -> Option<String> {
     Some(key)
 }
 
-/// Evaluates the schema-tree query against a database instance, producing
-/// the XML document `v(I)` plus materialization statistics.
-#[deprecated(since = "0.2.0", note = "use `Publisher::new(tree).publish(db)`")]
-pub fn publish(tree: &SchemaTree, db: &Database) -> Result<(Document, PublishStats)> {
-    let p = Publisher::new(tree).publish(db)?;
-    Ok((p.document, p.stats))
-}
-
-/// `publish` that also reports the relational engine's work counters
-/// accumulated across every tag-query / guard evaluation of the run.
-#[deprecated(since = "0.2.0", note = "use `Publisher::new(tree).publish(db)`")]
-pub fn publish_with_stats(
-    tree: &SchemaTree,
-    db: &Database,
-) -> Result<(Document, PublishStats, EvalStats)> {
-    let p = Publisher::new(tree).publish(db)?;
-    Ok((p.document, p.stats, p.eval))
-}
-
-/// `publish` that additionally records per-element provenance (used by
-/// the divergence reporter).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Publisher::new(tree).traced(true).publish(db)`"
-)]
-pub fn publish_traced(
-    tree: &SchemaTree,
-    db: &Database,
-) -> Result<(Document, PublishStats, PublishTrace)> {
-    let p = Publisher::new(tree).traced(true).publish(db)?;
-    Ok((p.document, p.stats, p.trace.expect("tracing was requested")))
-}
-
-/// Convenience: number of elements `v(I)` would materialize.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Publisher::new(tree).publish(db)` and read `stats.elements`"
-)]
-pub fn publish_node_count(tree: &SchemaTree, db: &Database) -> Result<usize> {
-    Ok(Publisher::new(tree).publish(db)?.stats.elements)
+/// Projects tuple columns into attribute `(name, value)` pairs: NULLs
+/// omitted, first occurrence wins on duplicate column names. Both the
+/// scalar and the batched worker emit through this, so their attribute
+/// output cannot drift apart.
+fn project_attrs<'c>(
+    attrs: &AttrProjection,
+    columns: &'c [String],
+    values: &[xvc_rel::Value],
+) -> Vec<(&'c str, String)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (c, val) in columns.iter().zip(values) {
+        let wanted = match attrs {
+            AttrProjection::All => true,
+            AttrProjection::None => false,
+            AttrProjection::Columns(cols) => cols.iter().any(|x| x == c),
+        };
+        if !wanted || val.is_null() || !seen.insert(c.as_str()) {
+            continue;
+        }
+        out.push((c.as_str(), val.render()));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1026,11 +1382,59 @@ mod tests {
     fn interpreter_and_prepared_paths_agree() {
         let tree = view();
         let db = db();
-        let prepared = Publisher::new(&tree).publish(&db).unwrap();
+        // Scalar prepared execution mirrors the interpreter exactly, down
+        // to the engine counters; the batched path shares the document but
+        // reports its own (smaller) engine work, so it is compared
+        // separately in `batched_and_scalar_paths_agree`.
+        let prepared = Publisher::new(&tree).batched(false).publish(&db).unwrap();
         let interpreted = Publisher::new(&tree).prepared(false).publish(&db).unwrap();
         assert_eq!(prepared.document.to_xml(), interpreted.document.to_xml());
         assert_eq!(prepared.eval, interpreted.eval);
         assert_eq!(interpreted.stats.plans_prepared, 0);
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_agree() {
+        let tree = view();
+        let db = db();
+        let scalar = Publisher::new(&tree)
+            .batched(false)
+            .traced(true)
+            .publish(&db)
+            .unwrap();
+        let batched = Publisher::new(&tree).traced(true).publish(&db).unwrap();
+        assert_eq!(batched.document.to_xml(), scalar.document.to_xml());
+        let (bt, st) = (batched.trace.unwrap(), scalar.trace.unwrap());
+        assert_eq!(bt.entries.len(), st.entries.len());
+        for (b, s) in bt.entries.iter().zip(&st.entries) {
+            assert_eq!(b.path, s.path);
+            assert_eq!(b.view, s.view);
+            assert_eq!(b.env, s.env);
+        }
+        assert_eq!(batched.stats.without_batch_counters(), scalar.stats);
+        assert_eq!(scalar.stats.batches_executed, 0);
+        // One batch per metro task's hotel level.
+        assert_eq!(batched.stats.batches_executed, 2);
+        assert_eq!(batched.stats.rows_regrouped, 2);
+    }
+
+    #[test]
+    fn batched_interpreter_matches_scalar_interpreter_exactly() {
+        // Without prepared plans there is nothing to batch: the frontier
+        // walk degenerates to per-parent interpretation and even the
+        // engine counters must be identical.
+        let tree = view();
+        let db = db();
+        let scalar = Publisher::new(&tree)
+            .prepared(false)
+            .batched(false)
+            .publish(&db)
+            .unwrap();
+        let batched = Publisher::new(&tree).prepared(false).publish(&db).unwrap();
+        assert_eq!(batched.document.to_xml(), scalar.document.to_xml());
+        assert_eq!(batched.eval, scalar.eval);
+        assert_eq!(batched.stats, scalar.stats);
+        assert_eq!(batched.stats.batches_executed, 0);
     }
 
     #[test]
@@ -1086,17 +1490,64 @@ mod tests {
     }
 
     #[test]
-    fn compat_shims_still_work() {
-        #![allow(deprecated)]
-        let tree = view();
+    fn memo_hits_do_not_count_rows_regrouped() {
+        // metro -> hotel -> home, where `home` reads only $h.metro_id:
+        // under metro 1 the second hotel is a memo hit, so its parent is
+        // served without entering the batch — rows_regrouped must count
+        // the engine-executed bindings' rows only.
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid, metroname FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        let hotel = t
+            .add_child(
+                metro,
+                ViewNode::new(
+                    2,
+                    "hotel",
+                    "h",
+                    parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid").unwrap(),
+                ),
+            )
+            .unwrap();
+        t.add_child(
+            hotel,
+            ViewNode::new(
+                3,
+                "home",
+                "x",
+                parse_query("SELECT metroname FROM metroarea WHERE metroid=$h.metro_id").unwrap(),
+            ),
+        )
+        .unwrap();
         let database = db();
-        let (doc, stats) = publish(&tree, &database).unwrap();
-        assert_eq!(stats.elements, 4);
-        let (doc2, _, eval) = publish_with_stats(&tree, &database).unwrap();
-        assert_eq!(doc.to_xml(), doc2.to_xml());
-        assert_eq!(eval.queries, 3);
-        let (_, _, trace) = publish_traced(&tree, &database).unwrap();
-        assert_eq!(trace.entries.len(), 4);
-        assert_eq!(publish_node_count(&tree, &database).unwrap(), 4);
+        for threads in [1, 4] {
+            let p = Publisher::new(&t)
+                .parallel(threads)
+                .publish(&database)
+                .unwrap();
+            assert_eq!(p.stats.memo_hits, 1, "{:?}", p.stats);
+            // hotel rows: 2 under metro 1 + 1 under metro 2; home rows:
+            // one per *executed* home batch binding (metro 1's second
+            // hotel is memo-served): 1 + 1. Counting memo hits too would
+            // give 6.
+            assert_eq!(p.stats.rows_regrouped, 3 + 2, "{:?}", p.stats);
+            // One hotel batch + one home batch per metro task.
+            assert_eq!(p.stats.batches_executed, 4);
+            assert_eq!(p.stats.bindings_per_batch_max, 1);
+            // Scalar parity on everything that is not batch-only.
+            let s = Publisher::new(&t)
+                .batched(false)
+                .parallel(threads)
+                .publish(&database)
+                .unwrap();
+            assert_eq!(p.stats.without_batch_counters(), s.stats);
+            assert_eq!(p.document.to_xml(), s.document.to_xml());
+        }
     }
 }

@@ -174,7 +174,9 @@ fn database_mutations_between_publishes_are_observed() {
 fn interpreted_path_matches_prepared_path() {
     let v = view();
     let db = db();
-    let prepared = Publisher::new(&v).publish(&db).unwrap();
+    // Scalar prepared execution: the batched path does deliberately
+    // different (less) engine work and is checked separately below.
+    let prepared = Publisher::new(&v).batched(false).publish(&db).unwrap();
     let interpreted = Publisher::new(&v).prepared(false).publish(&db).unwrap();
 
     assert_eq!(
@@ -187,6 +189,55 @@ fn interpreted_path_matches_prepared_path() {
     assert_eq!(interpreted.stats.plans_prepared, 0);
     assert_eq!(interpreted.stats.plan_cache_hits, 0);
     assert!(prepared.stats.plans_prepared > 0);
+}
+
+#[test]
+fn batched_path_is_identical_to_scalar_path() {
+    let v = view();
+    let db = db();
+    for threads in [1, 4] {
+        let scalar = Publisher::new(&v)
+            .batched(false)
+            .traced(true)
+            .parallel(threads)
+            .publish(&db)
+            .unwrap();
+        let batched = Publisher::new(&v)
+            .traced(true)
+            .parallel(threads)
+            .publish(&db)
+            .unwrap();
+        // Documents bit-identical, order included.
+        assert_eq!(
+            batched.document.to_pretty_xml(),
+            scalar.document.to_pretty_xml(),
+            "documents diverged at parallel({threads})"
+        );
+        // Traces entry-for-entry identical.
+        let (bt, st) = (batched.trace.unwrap(), scalar.trace.unwrap());
+        assert_eq!(bt.entries.len(), st.entries.len());
+        for (b, s) in bt.entries.iter().zip(st.entries.iter()) {
+            assert_eq!(b.path, s.path, "trace paths at parallel({threads})");
+            assert_eq!(b.view, s.view);
+            assert_eq!(b.env, s.env);
+        }
+        // Publish stats identical modulo the batch-only counters, which
+        // must be zero scalarly and non-zero batched (the hotel level of
+        // each metro task runs as a batch).
+        assert_eq!(
+            batched.stats.without_batch_counters(),
+            scalar.stats,
+            "stats diverged at parallel({threads})"
+        );
+        assert_eq!(scalar.stats.batches_executed, 0);
+        assert_eq!(scalar.stats.rows_regrouped, 0);
+        assert!(batched.stats.batches_executed > 0);
+        assert_eq!(batched.stats.rows_regrouped, 5); // one row per hotel
+                                                     // The batched engine work is *less*: every hotel batch scans the
+                                                     // hotel table once instead of once per parent tuple.
+        assert!(batched.eval.queries <= scalar.eval.queries);
+        assert!(batched.eval.rows_scanned <= scalar.eval.rows_scanned);
+    }
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! HTML report generation with flow control and predicates — the §5
 //! extensions in action. The stylesheet uses `xsl:choose`, `xsl:if` and
-//! predicate-carrying paths; `compose_with_rewrites` lowers it to
+//! predicate-carrying paths; `Composer::rewrites(true)` lowers it to
 //! `XSLT_basic` (+ predicates) via the Figure 21/22 transforms, then
 //! composes it into SQL.
 //!

@@ -18,7 +18,9 @@
 //!   (`x(v(I))`); both paths are verified against each other, and any
 //!   disagreement is reported as a localized divergence diff;
 //! * `explain` prints evaluation plans (join order, join strategy, pushed
-//!   predicates) — for one `--sql` query, or for every composed tag query;
+//!   predicates) plus the prepared set-oriented pipeline (scan fusion,
+//!   fused pushdown, batch join keys) — for one `--sql` query, or for
+//!   every composed tag query;
 //! * `stats` prints per-stage composition counters (CTG/TVQ sizes, §4.5
 //!   duplication factor, unbind depth) and, with `--data`, the relational
 //!   engine's work executing the composed view;
@@ -378,6 +380,11 @@ fn cmd_explain(opts: &Opts) -> Result<(), CliError> {
         let q = parse_query(sql)?;
         let plan = explain_query(&q, &catalog)?;
         println!("{}", plan.trim_end_matches('\n'));
+        println!();
+        println!(
+            "{}",
+            prepare(&q, &catalog)?.describe().trim_end_matches('\n')
+        );
         return Ok(());
     }
     // …or every tag query of the composed stylesheet view.
@@ -396,6 +403,9 @@ fn cmd_explain(opts: &Opts) -> Result<(), CliError> {
         println!("<{}> tag query:", node.tag);
         let plan = explain_query(q, &catalog)?;
         for line in plan.lines() {
+            println!("  {line}");
+        }
+        for line in prepare(q, &catalog)?.describe().lines() {
             println!("  {line}");
         }
         printed += 1;
@@ -436,6 +446,10 @@ fn cmd_stats(opts: &Opts) -> Result<(), CliError> {
             p.plan_cache_hit_rate() * 100.0,
             p.memo_hits,
             p.memo_misses
+        );
+        println!(
+            "  batched execution: {} batches, {} max bindings per batch, {} rows regrouped",
+            p.batches_executed, p.bindings_per_batch_max, p.rows_regrouped
         );
         println!("engine:");
         for line in published.eval.to_string().lines() {

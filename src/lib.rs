@@ -103,14 +103,10 @@ pub mod prelude {
         check_composition, compose_recursive, ComposeOptions, ComposeStats, Composer, Composition,
         Divergence, DivergenceKind, RecursiveComposition,
     };
-    #[allow(deprecated)]
-    pub use xvc_core::{compose, compose_with_rewrites, compose_with_stats};
     pub use xvc_rel::{
-        explain_query, parse_query, Catalog, ColumnDef, ColumnType, Database, EvalStats,
-        SelectQuery, TableSchema, Value,
+        explain_query, parse_query, prepare, BatchResult, Catalog, ColumnDef, ColumnType, Database,
+        EvalStats, PreparedPlan, SelectQuery, TableSchema, Value,
     };
-    #[allow(deprecated)]
-    pub use xvc_view::{publish, publish_traced, publish_with_stats};
     pub use xvc_view::{
         AttrProjection, PublishStats, PublishTrace, Published, Publisher, SchemaTree, ViewNode,
     };
