@@ -42,4 +42,24 @@ if ! grep -q '"eval_batched_ms"' BENCH_compose.json; then
     exit 1
 fi
 
+echo "== figures -- scale smoke (storage/access-path gates, reduced sizes)"
+# The binary publishes the needle view against the in-memory, paged, and
+# indexed backends, aborts if any document diverges from the in-memory
+# reference, and aborts if the index path is slower than the full scan (or
+# scans as many rows) at the largest smoke size. The greps double-check
+# the written artifact.
+cargo run --release --quiet -p xvc-bench --bin figures -- scale smoke
+if ! grep -q '"eval_indexed_ms"' BENCH_compose.json; then
+    echo "ci.sh: scale study missing from BENCH_compose.json" >&2
+    exit 1
+fi
+if ! grep -q '"eval_paged_ms"' BENCH_compose.json; then
+    echo "ci.sh: paged backend missing from the scale study" >&2
+    exit 1
+fi
+if grep -q '"index_lookups": 0' BENCH_compose.json; then
+    echo "ci.sh: scale study never probed an index (see BENCH_compose.json)" >&2
+    exit 1
+fi
+
 echo "ci.sh: all green"

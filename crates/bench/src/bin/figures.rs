@@ -7,6 +7,8 @@
 //! cargo run -p xvc-bench --bin figures --release -- prune   # BENCH_compose.json only
 //! cargo run -p xvc-bench --bin figures --release -- plans   # same, plan-focused report
 //! cargo run -p xvc-bench --bin figures --release -- batch   # + set-oriented study
+//! cargo run -p xvc-bench --bin figures --release -- scale        # storage/index study
+//! cargo run -p xvc-bench --bin figures --release -- scale smoke  # reduced CI sizes
 //! ```
 //!
 //! `plans` runs the same two workloads as `prune` (every row carries both
@@ -19,20 +21,31 @@
 //! tag queries while the batched publisher runs one per level. Divergence
 //! between the two documents, or a batched run slower than scalar on that
 //! workload, is a hard failure.
+//!
+//! `scale` runs the storage/access-path study: the selective needle view
+//! published against the same instance in-memory, paged through the buffer
+//! pool, and with secondary indexes (10⁵–10⁶ rows; `smoke` shrinks the
+//! sizes for CI). Documents must be byte-identical across backends, and at
+//! the largest size the index path must beat the full scan — either
+//! failure aborts the run. `BENCH_compose.json` collects whichever studies
+//! ran, one JSON object per row.
 
 use xvc_bench::experiments::{
     batch_bench, c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
-    render_comparison_table, render_cost_table, render_prune_json,
+    render_comparison_table, render_cost_table, render_json_array, render_prune_objects,
+    render_scale_objects, scale_sweep, SCALE_FULL, SCALE_SMOKE,
 };
 use xvc_bench::figures::all_figures;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
+    let smoke = std::env::args().nth(2).as_deref() == Some("smoke");
     let figures = arg.is_empty() || arg == "figures";
     let tables = arg.is_empty() || arg == "tables";
     let batch = arg.is_empty() || arg == "batch";
     let plans = batch || arg == "plans";
     let prune = plans || arg == "prune";
+    let scale = arg.is_empty() || arg == "scale";
 
     if figures {
         for (title, body) in all_figures() {
@@ -71,6 +84,8 @@ fn main() {
             render_cost_table("C2 — fan stylesheets", "fan", &rows)
         );
     }
+
+    let mut json_objects: Vec<String> = Vec::new();
 
     if prune {
         println!("==== prune: §4.2.1 predicate-dataflow pass (BENCH_compose.json) ====\n");
@@ -140,7 +155,52 @@ fn main() {
             );
         }
 
-        let json = render_prune_json(&rows);
+        json_objects.extend(render_prune_objects(&rows));
+    }
+
+    if scale {
+        let configs = if smoke { SCALE_SMOKE } else { SCALE_FULL };
+        println!("\n==== scale: in-memory vs paged vs indexed access paths ====\n");
+        let srows = scale_sweep(configs, 3);
+        for r in &srows {
+            println!(
+                "{}: mem {:.3} ms, paged {:.3} ms, indexed {:.3} ms ({:.2}x vs mem), \
+                 paged+indexed {:.3} ms; rows scanned {} -> {}, {} index probes",
+                r.workload,
+                r.eval_mem_ms,
+                r.eval_paged_ms,
+                r.eval_indexed_ms,
+                r.eval_mem_ms / r.eval_indexed_ms,
+                r.eval_paged_indexed_ms,
+                r.scan_rows_scanned,
+                r.indexed_rows_scanned,
+                r.index_lookups,
+            );
+        }
+        // `scale_bench` itself gates on cross-backend document divergence;
+        // here the largest instance must also show the index win the
+        // storage layer exists for.
+        let r = srows.last().expect("scale row");
+        assert!(
+            r.eval_indexed_ms <= r.eval_mem_ms,
+            "{}: indexed ({:.3} ms) slower than full scan ({:.3} ms) — \
+             index access paths regressed",
+            r.workload,
+            r.eval_indexed_ms,
+            r.eval_mem_ms
+        );
+        assert!(
+            r.indexed_rows_scanned < r.scan_rows_scanned,
+            "{}: index path scanned {} rows, full scan {} — no selectivity win",
+            r.workload,
+            r.indexed_rows_scanned,
+            r.scan_rows_scanned
+        );
+        json_objects.extend(render_scale_objects(&srows));
+    }
+
+    if !json_objects.is_empty() {
+        let json = render_json_array(&json_objects);
         std::fs::write("BENCH_compose.json", &json).expect("write BENCH_compose.json");
         println!("\nwrote BENCH_compose.json");
     }

@@ -14,7 +14,10 @@ use xvc_view::{Publisher, SchemaTree};
 use xvc_xml::documents_equal_unordered;
 use xvc_xslt::{process, Stylesheet};
 
-use crate::synthetic::{chain_catalog, chain_stylesheet, chain_view, fan_stylesheet};
+use crate::synthetic::{
+    chain_catalog, chain_stylesheet, chain_view, fan_stylesheet, needle_database, needle_indexed,
+    needle_view,
+};
 use crate::workload::{generate, WorkloadConfig};
 
 /// One measured comparison of the two evaluation strategies.
@@ -433,41 +436,254 @@ pub fn batch_bench(depth: usize, fanout: usize, reps: usize) -> PruneBenchRow {
     )
 }
 
+/// One data point of the storage/access-path scale study: the same needle
+/// view published against the same instance held in-memory, paged through
+/// the buffer pool, and indexed — documents verified bit-identical before
+/// any timing.
+#[derive(Debug, Clone)]
+pub struct ScaleBenchRow {
+    /// Human-readable workload name.
+    pub workload: String,
+    /// Total database rows.
+    pub db_rows: usize,
+    /// Warm publish against the in-memory backend, full scans.
+    pub eval_mem_ms: f64,
+    /// Warm publish against the paged (buffer-pool) backend, full scans.
+    pub eval_paged_ms: f64,
+    /// Warm publish against the in-memory backend with secondary indexes.
+    pub eval_indexed_ms: f64,
+    /// Warm publish against the paged backend with secondary indexes.
+    pub eval_paged_indexed_ms: f64,
+    /// Engine rows scanned per publish on the full-scan path.
+    pub scan_rows_scanned: u64,
+    /// Engine rows scanned per publish on the index path (candidates
+    /// fetched and rechecked).
+    pub indexed_rows_scanned: u64,
+    /// Index probes per publish on the index path.
+    pub index_lookups: u64,
+}
+
+/// Sizing of one scale-study instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Region (root-table) rows; exactly one is selected by the view.
+    pub regions: usize,
+    /// Customers per region.
+    pub customers_per_region: usize,
+    /// Orders per customer.
+    pub orders_per_customer: usize,
+}
+
+impl ScaleConfig {
+    /// Total rows the config generates.
+    pub fn total_rows(&self) -> usize {
+        self.regions * (1 + self.customers_per_region * (1 + self.orders_per_customer))
+    }
+}
+
+/// The study's full-size configurations: ~10⁵ and ~10⁶ rows.
+pub const SCALE_FULL: &[ScaleConfig] = &[
+    ScaleConfig {
+        regions: 100,
+        customers_per_region: 100,
+        orders_per_customer: 9,
+    },
+    ScaleConfig {
+        regions: 200,
+        customers_per_region: 250,
+        orders_per_customer: 19,
+    },
+];
+
+/// Reduced configurations for the CI smoke run — small enough to finish in
+/// seconds, large enough that an index slower than a scan at the last size
+/// is a genuine regression, not noise.
+pub const SCALE_SMOKE: &[ScaleConfig] = &[
+    ScaleConfig {
+        regions: 10,
+        customers_per_region: 10,
+        orders_per_customer: 8,
+    },
+    ScaleConfig {
+        regions: 50,
+        customers_per_region: 40,
+        orders_per_customer: 10,
+    },
+];
+
+/// Runs the needle view against one instance on every backend. The
+/// backends are built and dropped one at a time (peak memory stays at two
+/// instances), and every backend's document is asserted byte-identical to
+/// the in-memory one before its timing loop runs.
+pub fn scale_bench(cfg: &ScaleConfig, reps: usize) -> ScaleBenchRow {
+    use xvc_rel::Backend;
+
+    // The needle: one mid-range region, so neither the first nor the last
+    // scan position is favored.
+    let needle = format!("region-{}", cfg.regions / 2);
+    let view = needle_view(&needle);
+    let base = needle_database(
+        cfg.regions,
+        cfg.customers_per_region,
+        cfg.orders_per_customer,
+    );
+    let db_rows = base.total_rows();
+
+    let mut mem_pub = Publisher::new(&view);
+    let mem_out = mem_pub.publish(&base).expect("publish mem");
+    let reference = mem_out.document.to_xml();
+    let scan_rows_scanned = mem_out.eval.rows_scanned;
+    let eval_mem_ms = best_ms(reps, || {
+        let out = mem_pub.publish(&base).expect("publish mem").document;
+        std::hint::black_box(out);
+    });
+
+    let eval_paged_ms = {
+        let paged = base.to_backend(Backend::paged()).expect("paged backend");
+        let mut paged_pub = Publisher::new(&view);
+        let doc = paged_pub.publish(&paged).expect("publish paged").document;
+        assert_eq!(
+            doc.to_xml(),
+            reference,
+            "paged backend diverged from in-memory — benchmark would be meaningless"
+        );
+        best_ms(reps, || {
+            let out = paged_pub.publish(&paged).expect("publish paged").document;
+            std::hint::black_box(out);
+        })
+    };
+
+    let indexed = needle_indexed(&base);
+    let mut idx_pub = Publisher::new(&view);
+    let idx_out = idx_pub.publish(&indexed).expect("publish indexed");
+    assert_eq!(
+        idx_out.document.to_xml(),
+        reference,
+        "indexed backend diverged from full scan — benchmark would be meaningless"
+    );
+    assert!(
+        idx_out.eval.index_lookups > 0,
+        "index study never probed an index: {:?}",
+        idx_out.eval
+    );
+    let indexed_rows_scanned = idx_out.eval.rows_scanned;
+    let index_lookups = idx_out.eval.index_lookups;
+    let eval_indexed_ms = best_ms(reps, || {
+        let out = idx_pub.publish(&indexed).expect("publish indexed").document;
+        std::hint::black_box(out);
+    });
+
+    let eval_paged_indexed_ms = {
+        let paged_idx = indexed.to_backend(Backend::paged()).expect("paged backend");
+        let mut pub_ = Publisher::new(&view);
+        let doc = pub_
+            .publish(&paged_idx)
+            .expect("publish paged+indexed")
+            .document;
+        assert_eq!(
+            doc.to_xml(),
+            reference,
+            "paged+indexed backend diverged — benchmark would be meaningless"
+        );
+        best_ms(reps, || {
+            let out = pub_
+                .publish(&paged_idx)
+                .expect("publish paged+indexed")
+                .document;
+            std::hint::black_box(out);
+        })
+    };
+
+    ScaleBenchRow {
+        workload: format!(
+            "needle {} rows ({}r x {}c x {}o)",
+            db_rows, cfg.regions, cfg.customers_per_region, cfg.orders_per_customer
+        ),
+        db_rows,
+        eval_mem_ms,
+        eval_paged_ms,
+        eval_indexed_ms,
+        eval_paged_indexed_ms,
+        scan_rows_scanned,
+        indexed_rows_scanned,
+        index_lookups,
+    }
+}
+
+/// Runs [`scale_bench`] over a configuration family, ascending size.
+pub fn scale_sweep(configs: &[ScaleConfig], reps: usize) -> Vec<ScaleBenchRow> {
+    configs.iter().map(|c| scale_bench(c, reps)).collect()
+}
+
+/// Serializes scale-study rows as a `BENCH_compose.json` array fragment:
+/// one object per instance size.
+pub fn render_scale_objects(rows: &[ScaleBenchRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"db_rows\": {}, \"eval_mem_ms\": {:.3}, \
+                 \"eval_paged_ms\": {:.3}, \"eval_indexed_ms\": {:.3}, \
+                 \"eval_paged_indexed_ms\": {:.3}, \"scan_rows_scanned\": {}, \
+                 \"indexed_rows_scanned\": {}, \"index_lookups\": {}}}",
+                r.workload,
+                r.db_rows,
+                r.eval_mem_ms,
+                r.eval_paged_ms,
+                r.eval_indexed_ms,
+                r.eval_paged_indexed_ms,
+                r.scan_rows_scanned,
+                r.indexed_rows_scanned,
+                r.index_lookups,
+            )
+        })
+        .collect()
+}
+
+/// Joins pre-rendered JSON objects into the `BENCH_compose.json` array.
+pub fn render_json_array(objects: &[String]) -> String {
+    let mut out = String::from("[\n");
+    out.push_str(&objects.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
 /// Serializes prune-bench rows as the `BENCH_compose.json` artifact: a
 /// JSON array, one object per workload.
 pub fn render_prune_json(rows: &[PruneBenchRow]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            out.push_str(",\n");
-        }
-        out.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"tvq_nodes_before\": {}, \"tvq_nodes_after\": {}, \
+    render_json_array(&render_prune_objects(rows))
+}
+
+/// Serializes prune-bench rows as `BENCH_compose.json` array fragments,
+/// combinable with [`render_scale_objects`] via [`render_json_array`].
+pub fn render_prune_objects(rows: &[PruneBenchRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"tvq_nodes_before\": {}, \"tvq_nodes_after\": {}, \
              \"conjuncts_eliminated\": {}, \"compose_plain_ms\": {:.3}, \
              \"compose_prune_ms\": {:.3}, \"eval_plain_ms\": {:.3}, \"eval_prune_ms\": {:.3}, \
              \"eval_interpreted_ms\": {:.3}, \"eval_prepared_ms\": {:.3}, \
              \"plan_cache_hit_rate\": {:.3}, \"eval_scalar_ms\": {:.3}, \
              \"eval_batched_ms\": {:.3}, \"batches_executed\": {}, \
              \"bindings_per_batch_max\": {}}}",
-            r.workload,
-            r.tvq_nodes_before,
-            r.tvq_nodes_after,
-            r.conjuncts_eliminated,
-            r.compose_plain_ms,
-            r.compose_prune_ms,
-            r.eval_plain_ms,
-            r.eval_prune_ms,
-            r.eval_interpreted_ms,
-            r.eval_prepared_ms,
-            r.plan_cache_hit_rate,
-            r.eval_scalar_ms,
-            r.eval_batched_ms,
-            r.batches_executed,
-            r.bindings_per_batch_max,
-        ));
-    }
-    out.push_str("\n]\n");
-    out
+                r.workload,
+                r.tvq_nodes_before,
+                r.tvq_nodes_after,
+                r.conjuncts_eliminated,
+                r.compose_plain_ms,
+                r.compose_prune_ms,
+                r.eval_plain_ms,
+                r.eval_prune_ms,
+                r.eval_interpreted_ms,
+                r.eval_prepared_ms,
+                r.plan_cache_hit_rate,
+                r.eval_scalar_ms,
+                r.eval_batched_ms,
+                r.batches_executed,
+                r.bindings_per_batch_max,
+            )
+        })
+        .collect()
 }
 
 /// Renders comparison rows as an aligned text table.
@@ -578,6 +794,23 @@ mod tests {
         let json = render_prune_json(&[r]);
         assert!(json.contains("\"eval_batched_ms\""));
         assert!(json.contains("\"bindings_per_batch_max\""));
+    }
+
+    #[test]
+    fn scale_bench_verifies_backends_and_counts_index_work() {
+        let cfg = ScaleConfig {
+            regions: 8,
+            customers_per_region: 6,
+            orders_per_customer: 4,
+        };
+        // scale_bench itself asserts cross-backend document equality.
+        let r = scale_bench(&cfg, 1);
+        assert_eq!(r.db_rows, cfg.total_rows());
+        assert!(r.index_lookups > 0, "{r:?}");
+        assert!(r.indexed_rows_scanned < r.scan_rows_scanned, "{r:?}");
+        let json = render_json_array(&render_scale_objects(&[r]));
+        assert!(json.contains("\"eval_indexed_ms\""));
+        assert!(json.contains("\"eval_paged_ms\""));
     }
 
     #[test]

@@ -154,6 +154,142 @@ pub fn chain_catalog(depth: usize) -> xvc_rel::Catalog {
     chain_database(depth, 0).catalog()
 }
 
+/// A three-level "needle" instance for the storage/access-path scale
+/// study: `region → customer → orders`, sized by the three fan-outs
+/// (total rows = `regions · (1 + customers · (1 + orders))`). The view
+/// from [`needle_view`] touches one region's subtree, so a full scan pays
+/// for the whole instance while an index lookup pays only for the needle.
+pub fn needle_database(
+    regions: usize,
+    customers_per_region: usize,
+    orders_per_customer: usize,
+) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "region",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        )
+        .unwrap(),
+    );
+    db.create_table(
+        TableSchema::new(
+            "customer",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("region_id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        )
+        .unwrap(),
+    );
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("customer_id", ColumnType::Int),
+                ColumnDef::new("total", ColumnType::Int),
+            ],
+        )
+        .unwrap(),
+    );
+    let mut customer_id = 0i64;
+    let mut order_id = 0i64;
+    for r in 0..regions as i64 {
+        db.insert(
+            "region",
+            vec![Value::Int(r), Value::Str(format!("region-{r}"))],
+        )
+        .unwrap();
+        for _ in 0..customers_per_region {
+            let c = customer_id;
+            customer_id += 1;
+            db.insert(
+                "customer",
+                vec![
+                    Value::Int(c),
+                    Value::Int(r),
+                    Value::Str(format!("customer-{c}")),
+                ],
+            )
+            .unwrap();
+            for _ in 0..orders_per_customer {
+                let o = order_id;
+                order_id += 1;
+                db.insert(
+                    "orders",
+                    vec![
+                        Value::Int(o),
+                        Value::Int(c),
+                        Value::Int((o * 7 + 13) % 1000),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+/// The equality-pushdown view over [`needle_database`]: one region picked
+/// by name, its customers by foreign key, their orders by foreign key —
+/// every tag query is exactly the shape the planner's index-access
+/// selection targets.
+pub fn needle_view(region_name: &str) -> SchemaTree {
+    let mut v = SchemaTree::new();
+    let region = v
+        .add_root_node(ViewNode::new(
+            1,
+            "region",
+            "r",
+            parse_query(&format!(
+                "SELECT id, name FROM region WHERE name = '{region_name}'"
+            ))
+            .unwrap(),
+        ))
+        .unwrap();
+    let customer = v
+        .add_child(
+            region,
+            ViewNode::new(
+                2,
+                "customer",
+                "c",
+                parse_query("SELECT id, name FROM customer WHERE region_id = $r.id").unwrap(),
+            ),
+        )
+        .unwrap();
+    v.add_child(
+        customer,
+        ViewNode::new(
+            3,
+            "order",
+            "o",
+            parse_query("SELECT id, total FROM orders WHERE customer_id = $c.id").unwrap(),
+        ),
+    )
+    .unwrap();
+    v
+}
+
+/// A copy of `db` carrying the scale study's secondary indexes: a btree on
+/// the region-name needle and hash indexes on both foreign keys (both
+/// index kinds on the hot path).
+pub fn needle_indexed(db: &Database) -> Database {
+    let mut out = db.clone();
+    out.create_index("region", "name", xvc_rel::IndexKind::BTree)
+        .unwrap();
+    out.create_index("customer", "region_id", xvc_rel::IndexKind::Hash)
+        .unwrap();
+    out.create_index("orders", "customer_id", xvc_rel::IndexKind::Hash)
+        .unwrap();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +360,28 @@ mod tests {
         assert_eq!(db.table("t0").unwrap().len(), 2);
         assert_eq!(db.table("t1").unwrap().len(), 4);
         assert_eq!(db.table("t2").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn needle_workload_sizes_and_backend_agreement() {
+        let db = needle_database(5, 4, 3);
+        assert_eq!(db.table("region").unwrap().len(), 5);
+        assert_eq!(db.table("customer").unwrap().len(), 20);
+        assert_eq!(db.table("orders").unwrap().len(), 60);
+
+        let v = needle_view("region-2");
+        let doc = Publisher::new(&v).publish(&db).unwrap().document;
+        // One region, its 4 customers, their 12 orders.
+        assert_eq!(doc.to_xml().matches("<customer").count(), 4);
+        assert_eq!(doc.to_xml().matches("<order").count(), 12);
+
+        // Indexed and paged instances publish the identical document.
+        let indexed = needle_indexed(&db);
+        let idx_out = Publisher::new(&v).publish(&indexed).unwrap();
+        assert_eq!(doc.to_xml(), idx_out.document.to_xml());
+        assert!(idx_out.eval.index_lookups > 0, "{:?}", idx_out.eval);
+        let paged = db.to_backend(xvc_rel::Backend::paged()).unwrap();
+        let paged_doc = Publisher::new(&v).publish(&paged).unwrap().document;
+        assert_eq!(doc.to_xml(), paged_doc.to_xml());
     }
 }

@@ -16,30 +16,65 @@
 //! retained on [`ColumnDef`] — they seed the predicate-dataflow fact base
 //! and `check_row` enforces NOT NULL on insert. Other trailing tokens up
 //! to `,`/`)` (e.g. `DEFAULT 0`, `UNIQUE`) still parse through unrecorded.
+//!
+//! `CREATE INDEX [name] ON table (column)` declares a secondary index
+//! ([`IndexDef`]) on a previously created table — hash-shaped by default,
+//! `USING BTREE` for the ordered shape. Prepared plans select index access
+//! paths from these declarations.
 
 use crate::error::{Error, Result};
-use crate::schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+use crate::schema::{Catalog, ColumnDef, ColumnType, IndexDef, IndexKind, TableSchema};
 use crate::table::Database;
 
-/// Parses a script of `CREATE TABLE` statements into a [`Catalog`].
+/// One parsed DDL statement.
+enum DdlStatement {
+    CreateTable(TableSchema),
+    /// `CREATE INDEX ... ON table (column) [USING BTREE]`.
+    CreateIndex {
+        table: String,
+        def: IndexDef,
+    },
+}
+
+/// Parses a script of `CREATE TABLE` / `CREATE INDEX` statements into a
+/// [`Catalog`] (index declarations attach to their table's schema).
 pub fn parse_ddl(input: &str) -> Result<Catalog> {
     let mut catalog = Catalog::new();
-    for schema in parse_statements(input)? {
-        catalog.add(schema);
+    for stmt in parse_statements(input)? {
+        match stmt {
+            DdlStatement::CreateTable(schema) => catalog.add(schema),
+            DdlStatement::CreateIndex { table, def } => {
+                let schema = catalog.get(&table)?;
+                if schema.column_index(&def.column).is_none() {
+                    return Err(Error::UnknownColumn {
+                        reference: format!("{table}.{}", def.column),
+                    });
+                }
+                let mut schema = schema.clone();
+                schema.indexes.push(def);
+                catalog.add(schema);
+            }
+        }
     }
     Ok(catalog)
 }
 
-/// Parses a DDL script into an empty [`Database`] (tables created, no rows).
+/// Parses a DDL script into an empty [`Database`] (tables created, no
+/// rows, declared indexes built).
 pub fn database_from_ddl(input: &str) -> Result<Database> {
     let mut db = Database::new();
-    for schema in parse_statements(input)? {
-        db.create_table(schema);
+    for stmt in parse_statements(input)? {
+        match stmt {
+            DdlStatement::CreateTable(schema) => db.create_table(schema),
+            DdlStatement::CreateIndex { table, def } => {
+                db.create_index(&table, &def.column, def.kind)?;
+            }
+        }
     }
     Ok(db)
 }
 
-fn parse_statements(input: &str) -> Result<Vec<TableSchema>> {
+fn parse_statements(input: &str) -> Result<Vec<DdlStatement>> {
     let mut out = Vec::new();
     // Strip `--` line comments.
     let cleaned: String = input
@@ -52,9 +87,86 @@ fn parse_statements(input: &str) -> Result<Vec<TableSchema>> {
         if stmt.is_empty() {
             continue;
         }
-        out.push(parse_create_table(stmt)?);
+        if strip_keywords(stmt, &["CREATE", "INDEX"]).is_some() {
+            out.push(parse_create_index(stmt)?);
+        } else {
+            out.push(DdlStatement::CreateTable(parse_create_table(stmt)?));
+        }
     }
     Ok(out)
+}
+
+/// Parses one `CREATE INDEX [name] ON table (column) [USING BTREE]`
+/// statement. The index name is accepted and discarded (indexes are
+/// identified by table + column); the shape defaults to hash.
+fn parse_create_index(stmt: &str) -> Result<DdlStatement> {
+    let rest = strip_keywords(stmt.trim(), &["CREATE", "INDEX"]).ok_or_else(|| {
+        Error::UnexpectedToken {
+            found: format!("'{}'", head(stmt)),
+            expected: "CREATE INDEX",
+        }
+    })?;
+    // Optional index name before ON (token-wise, so a name like `online`
+    // is not mistaken for the keyword).
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let first = parts.next().unwrap_or("");
+    let rest = if first.eq_ignore_ascii_case("ON") {
+        parts.next().unwrap_or("").trim_start()
+    } else {
+        strip_keywords(parts.next().unwrap_or(""), &["ON"]).ok_or(Error::UnexpectedEnd {
+            expected: "ON after index name",
+        })?
+    };
+    let open = rest.find('(').ok_or(Error::UnexpectedEnd {
+        expected: "'(' after table name",
+    })?;
+    let table = rest[..open].trim();
+    if table.is_empty() || !table.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(Error::UnexpectedToken {
+            found: format!("'{table}'"),
+            expected: "a table name",
+        });
+    }
+    let close = rest.rfind(')').ok_or(Error::UnexpectedEnd {
+        expected: "')' closing the column list",
+    })?;
+    let column = rest[open + 1..close].trim();
+    if column.is_empty() || column.contains(',') {
+        return Err(Error::UnexpectedToken {
+            found: format!("'{column}'"),
+            expected: "exactly one indexed column",
+        });
+    }
+    let trailing: Vec<String> = rest[close + 1..]
+        .split_whitespace()
+        .map(str::to_ascii_uppercase)
+        .collect();
+    let kind = match trailing.as_slice() {
+        [] => IndexKind::Hash,
+        [using, shape] if using == "USING" => match shape.as_str() {
+            "BTREE" => IndexKind::BTree,
+            "HASH" => IndexKind::Hash,
+            other => {
+                return Err(Error::UnexpectedToken {
+                    found: format!("'{other}'"),
+                    expected: "USING HASH or USING BTREE",
+                })
+            }
+        },
+        other => {
+            return Err(Error::UnexpectedToken {
+                found: format!("'{}'", other.join(" ")),
+                expected: "USING HASH, USING BTREE, or end of statement",
+            })
+        }
+    };
+    Ok(DdlStatement::CreateIndex {
+        table: table.to_owned(),
+        def: IndexDef {
+            column: column.to_owned(),
+            kind,
+        },
+    })
 }
 
 /// Parses one `CREATE TABLE name (col type, ...)` statement.
@@ -218,5 +330,32 @@ mod tests {
         assert!(parse_create_table("CREATE TABLE (a INT)").is_err());
         assert!(parse_create_table("CREATE TABLE t (a BLOB)").is_err());
         assert!(parse_create_table("CREATE TABLE t a INT").is_err());
+    }
+
+    #[test]
+    fn create_index_attaches_to_catalog_and_database() {
+        let ddl = "CREATE TABLE hotel (hotelid INT, metroid INT);\n\
+                   CREATE INDEX idx_metro ON hotel (metroid);\n\
+                   CREATE INDEX ON hotel (hotelid) USING BTREE;";
+        let catalog = parse_ddl(ddl).unwrap();
+        let hotel = catalog.get("hotel").unwrap();
+        assert_eq!(hotel.indexes.len(), 2);
+        assert_eq!(hotel.index_on("metroid").unwrap().kind, IndexKind::Hash);
+        assert_eq!(hotel.index_on("hotelid").unwrap().kind, IndexKind::BTree);
+
+        let db = database_from_ddl(ddl).unwrap();
+        let t = db.table("hotel").unwrap();
+        assert!(t.index_for(0).is_some() && t.index_for(1).is_some());
+        // The database's catalog carries the declarations too.
+        assert_eq!(db.catalog().get("hotel").unwrap().indexes.len(), 2);
+    }
+
+    #[test]
+    fn create_index_rejects_bad_targets() {
+        assert!(parse_ddl("CREATE INDEX i ON nope (x)").is_err());
+        assert!(parse_ddl("CREATE TABLE t (a INT); CREATE INDEX i ON t (b)").is_err());
+        assert!(parse_ddl("CREATE TABLE t (a INT); CREATE INDEX i ON t (a) USING TRIE").is_err());
+        assert!(parse_ddl("CREATE TABLE t (a INT, b INT); CREATE INDEX i ON t (a, b)").is_err());
+        assert!(database_from_ddl("CREATE INDEX i ON nope (x)").is_err());
     }
 }

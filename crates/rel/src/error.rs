@@ -77,6 +77,13 @@ pub enum Error {
         /// Human-readable explanation.
         reason: String,
     },
+    /// The paged storage layer failed (I/O error, oversized row, exhausted
+    /// buffer pool, invalid index definition). I/O causes are stringified
+    /// so the error stays `Clone`/`PartialEq` like every other variant.
+    Storage {
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -111,6 +118,7 @@ impl fmt::Display for Error {
             }
             Error::Type { reason } => write!(f, "type error: {reason}"),
             Error::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+            Error::Storage { reason } => write!(f, "storage error: {reason}"),
         }
     }
 }

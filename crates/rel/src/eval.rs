@@ -88,6 +88,14 @@ pub struct EvalOptions {
     /// Evaluate row-independent EXISTS subqueries once per query instead
     /// of once per row (the tripwire-scope optimization).
     pub cache_uncorrelated_exists: bool,
+    /// Let prepared plans serve an equality pushdown from a declared
+    /// secondary index (fetching only candidate rows) instead of scanning
+    /// the table. Rows and row order are unchanged — indexes preserve
+    /// insertion order and the equality is still rechecked exactly. The
+    /// one observable difference: pushdown predicates are never evaluated
+    /// on non-candidate rows, so a predicate that would only *type-error*
+    /// on rows the index skips no longer surfaces that error.
+    pub use_indexes: bool,
 }
 
 impl Default for EvalOptions {
@@ -95,6 +103,7 @@ impl Default for EvalOptions {
         EvalOptions {
             hash_joins: true,
             cache_uncorrelated_exists: true,
+            use_indexes: true,
         }
     }
 }
@@ -134,6 +143,10 @@ pub struct EvalStats {
     pub exists_cache_hits: u64,
     /// GROUP BY buckets created (implicit single groups included).
     pub group_buckets: u64,
+    /// Equality pushdowns served by a secondary-index lookup instead of a
+    /// table scan (prepared plans only; `rows_scanned` then counts the
+    /// candidate rows fetched, not the table size).
+    pub index_lookups: u64,
 }
 
 impl EvalStats {
@@ -151,6 +164,7 @@ impl EvalStats {
         self.exists_evals += other.exists_evals;
         self.exists_cache_hits += other.exists_cache_hits;
         self.group_buckets += other.group_buckets;
+        self.index_lookups += other.index_lookups;
     }
 }
 
@@ -174,7 +188,8 @@ impl std::fmt::Display for EvalStats {
             "EXISTS evaluations    {} ({} cache hits)",
             self.exists_evals, self.exists_cache_hits
         )?;
-        write!(f, "group-by buckets      {}", self.group_buckets)
+        writeln!(f, "group-by buckets      {}", self.group_buckets)?;
+        write!(f, "index lookups         {}", self.index_lookups)
     }
 }
 

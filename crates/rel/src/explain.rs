@@ -17,14 +17,14 @@
 //! references, which is conservative for predicates whose correlation
 //! never fires at runtime.
 
-use crate::ast::{ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::ast::{BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
 use crate::error::Result;
 use crate::eval::{
     cols_set, contains_exists, distinct_aliases, equi_pair_layouts, output_columns,
     resolvable_within, split_and, EvalOptions, Layout,
 };
 use crate::print::expr_to_sql_inline;
-use crate::schema::Catalog;
+use crate::schema::{Catalog, TableSchema};
 
 /// Renders the execution plan for `q` under default [`EvalOptions`].
 pub fn explain_query(q: &SelectQuery, catalog: &Catalog) -> Result<String> {
@@ -45,6 +45,38 @@ pub fn explain_query_with(
 
 fn pad(depth: usize) -> String {
     "     ".repeat(depth)
+}
+
+/// Mirrors `plan::select_index_access`: a `col = literal/param` equality
+/// (either operand order) on a column with a declared index is served by
+/// an index lookup instead of a scan.
+fn index_access_note(schema: &TableSchema, c: &ScalarExpr) -> Option<String> {
+    let ScalarExpr::Binary {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    else {
+        return None;
+    };
+    for (col, key) in [(lhs, rhs), (rhs, lhs)] {
+        let ScalarExpr::Column { name, .. } = col.as_ref() else {
+            continue;
+        };
+        if !matches!(
+            key.as_ref(),
+            ScalarExpr::Literal(_) | ScalarExpr::Param { .. }
+        ) {
+            continue;
+        }
+        if let Some(def) = schema.index_on(name) {
+            return Some(format!(
+                "access path: index lookup on {name} ({} index)",
+                format!("{:?}", def.kind).to_lowercase()
+            ));
+        }
+    }
+    None
 }
 
 fn explain_block(
@@ -92,13 +124,26 @@ fn explain_block(
                 explain_block(query, catalog, options, depth + 1, lines)?;
             }
         }
-        // Predicates pushed down to this scan alone.
+        // Predicates pushed down to this scan alone. The first pushed
+        // equality on an indexed column is what `plan::prepare` turns
+        // into an index lookup, so it is annotated here too.
+        let schema = match t {
+            TableRef::Named { name, .. } => Some(catalog.get(name)?),
+            TableRef::Derived { .. } => None,
+        };
+        let mut access_noted = false;
         for (i, c) in conjuncts.iter().enumerate() {
             if applied[i] || contains_exists(c) || c.contains_aggregate() {
                 continue;
             }
             if resolvable_within(c, std::slice::from_ref(&alias), &this_cols) {
                 lines.push(format!("{p}     pushdown: {}", expr_to_sql_inline(c)));
+                if options.use_indexes && !access_noted {
+                    if let Some(note) = schema.and_then(|s| index_access_note(s, c)) {
+                        lines.push(format!("{p}     {note}"));
+                        access_noted = true;
+                    }
+                }
                 applied[i] = true;
             }
         }
@@ -324,6 +369,37 @@ mod tests {
         assert!(p.contains("1. scan hotel"), "got:\n{p}");
         assert!(p.contains("pushdown: starrating > 4"), "got:\n{p}");
         assert!(p.contains("project [hotelname]"), "got:\n{p}");
+    }
+
+    #[test]
+    fn index_access_path_annotated() {
+        let mut catalog = hotel_catalog();
+        let mut hotel = catalog.get("hotel").unwrap().clone();
+        hotel.indexes.push(crate::schema::IndexDef {
+            column: "metro_id".to_owned(),
+            kind: crate::schema::IndexKind::Hash,
+        });
+        catalog.add(hotel);
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id = $m.metroid").unwrap();
+        let p = explain_query(&q, &catalog).unwrap();
+        assert!(
+            p.contains("access path: index lookup on metro_id (hash index)"),
+            "got:\n{p}"
+        );
+        // With indexes disabled the annotation disappears.
+        let p = explain_query_with(
+            &q,
+            &catalog,
+            EvalOptions {
+                use_indexes: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!p.contains("access path"), "got:\n{p}");
+        // No index, no annotation.
+        let p = plan("SELECT hotelname FROM hotel WHERE metro_id = 3");
+        assert!(!p.contains("access path"), "got:\n{p}");
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!
 //! * [`value`] — dynamically typed SQL values with NULL semantics;
 //! * [`schema`] / [`table`] — catalogs, table schemas and row storage
-//!   ([`Database`]);
+//!   ([`Database`]), with an in-memory backend and a paged one
+//!   ([`table::Backend`]);
+//! * [`storage`] — the paged substrate: slotted pages, pluggable page
+//!   stores (memory or temp file) and a buffer pool with pin/unpin and
+//!   clock eviction;
+//! * [`index`] — hash and B-tree secondary indexes over table columns,
+//!   order-preserving so index access paths publish identical documents;
 //! * [`ast`] — the SQL fragment the algorithm emits: select lists with
 //!   aggregates and qualified stars, derived tables, parameters
 //!   (`$bv.column`), `GROUP BY`/`HAVING`, `EXISTS` subqueries;
@@ -43,12 +49,14 @@ pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod facts;
+pub mod index;
 pub mod optimize;
 pub mod parse;
 pub mod plan;
 pub mod print;
 pub mod rewrite;
 pub mod schema;
+pub mod storage;
 pub mod table;
 pub mod value;
 
@@ -66,9 +74,11 @@ pub use facts::{
     analyze_query, drop_redundant_conjuncts, param_key, ClauseKind, FactEntry, FactSet,
     QueryAnalysis,
 };
+pub use index::SecondaryIndex;
 pub use optimize::optimize;
 pub use parse::parse_query;
 pub use plan::{prepare, prepare_with, BatchResult, PreparedPlan};
-pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
-pub use table::{Database, Table};
+pub use schema::{Catalog, ColumnDef, ColumnType, IndexDef, IndexKind, TableSchema};
+pub use storage::{BufferPool, FilePageStore, MemPageStore, Page, PageStore, PoolStats, PAGE_SIZE};
+pub use table::{Backend, Database, Table};
 pub use value::Value;

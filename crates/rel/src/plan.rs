@@ -40,7 +40,7 @@ use crate::eval::{
     key_of, output_columns, resolvable_within, resolve_param, split_and, AggAcc, EvalOptions,
     EvalStats, Key, Layout, ParamEnv, Relation, Scope,
 };
-use crate::schema::Catalog;
+use crate::schema::{Catalog, TableSchema};
 use crate::table::Database;
 use crate::value::Value;
 
@@ -82,6 +82,18 @@ enum PlanSource {
     Derived(Box<PlanBlock>),
 }
 
+/// How a base table's rows reach the fused pushdown filter.
+#[derive(Debug, Clone)]
+enum Access {
+    /// Read every stored row.
+    FullScan,
+    /// Probe the declared secondary index on `column` with the value of
+    /// `key` (a literal or parameter slot), fetching candidate rows only.
+    /// The originating equality stays in the pushdown list as the exact
+    /// recheck, so NULL/NaN/zero-sign semantics match the scan path.
+    IndexEq { column: usize, key: Box<PExpr> },
+}
+
 /// One FROM item with its compile-time classification results.
 #[derive(Debug, Clone)]
 struct PlanFrom {
@@ -95,6 +107,9 @@ struct PlanFrom {
     /// Conjuncts resolvable within this item alone — applied during the
     /// scan (fused) or right after a derived block evaluates.
     pushdown: Vec<PExpr>,
+    /// Selected access path for a base-table source (always
+    /// [`Access::FullScan`] for derived tables).
+    access: Access,
     /// Equi-join keys against the joined prefix, as (prev-side, this-side)
     /// expression pairs. Empty means cross product.
     join_keys: Vec<(PExpr, PExpr)>,
@@ -142,6 +157,12 @@ pub struct PreparedPlan {
     /// precomputed when every slot reference is a separable top-level
     /// equality (`None` falls back to per-distinct-binding execution).
     batch: Option<BatchPlan>,
+    /// A parameterized equality in the root block rides a secondary index:
+    /// [`PreparedPlan::execute_batch`] then runs index-nested-loop — one
+    /// indexed execution per distinct binding — instead of the shared
+    /// full scan + binding hash-join, since per-binding lookups touch only
+    /// matching rows while the shared pipeline reads the whole table.
+    index_loop: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -169,11 +190,17 @@ pub fn prepare_with(
     };
     let root = compiler.compile_block(q)?;
     let batch = analyze_batch(&root, compiler.slots.len());
+    let index_loop = batch.is_some()
+        && root
+            .from
+            .iter()
+            .any(|f| matches!(&f.access, Access::IndexEq { key, .. } if count_slots_expr(key) > 0));
     Ok(PreparedPlan {
         root,
         slots: compiler.slots,
         options,
         batch,
+        index_loop,
     })
 }
 
@@ -283,6 +310,16 @@ impl Compiler<'_> {
                 }
             }
 
+            // Access-path selection: a pushed-down `col = literal/slot`
+            // equality on an indexed column turns the scan into an index
+            // lookup. The equality stays in `pushdown` as the recheck.
+            let mut access = Access::FullScan;
+            if self.options.use_indexes {
+                if let TableRef::Named { name, .. } = t {
+                    access = select_index_access(self.catalog.get(name)?, &pushdown);
+                }
+            }
+
             let mut join_keys = Vec::new();
             if idx > 0 && self.options.hash_joins {
                 for (i, c) in conjuncts.iter().enumerate() {
@@ -318,6 +355,7 @@ impl Compiler<'_> {
                 prev_layout,
                 joined_layout: full.clone(),
                 pushdown,
+                access,
                 join_keys,
                 prefix_filters,
                 preserved: matches!(
@@ -374,6 +412,41 @@ impl Compiler<'_> {
             columns,
         })
     }
+}
+
+/// Picks an index access path from the compiled pushdowns: the first
+/// `col = literal` / `col = $slot` equality (either operand order) whose
+/// column carries a declared index. Table column names are unique, so the
+/// column resolves uniquely within the item; richer key expressions are
+/// skipped because the key must evaluate without a row in scope.
+fn select_index_access(schema: &TableSchema, pushdown: &[PExpr]) -> Access {
+    for p in pushdown {
+        let PExpr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = p
+        else {
+            continue;
+        };
+        for (col, key) in [(lhs, rhs), (rhs, lhs)] {
+            let PExpr::Column { name, .. } = col.as_ref() else {
+                continue;
+            };
+            if schema.index_on(name).is_none()
+                || !matches!(key.as_ref(), PExpr::Literal(_) | PExpr::Slot(_))
+            {
+                continue;
+            }
+            if let Some(column) = schema.column_index(name) {
+                return Access::IndexEq {
+                    column,
+                    key: key.clone(),
+                };
+            }
+        }
+    }
+    Access::FullScan
 }
 
 // ---------------------------------------------------------------------------
@@ -458,6 +531,11 @@ fn analyze_batch(root: &PlanBlock, n_slots: usize) -> Option<BatchPlan> {
             i += 1;
             !hit
         });
+        // The stripped pipeline runs binding-free; an access path keyed on
+        // a slot would hit UnboundParameter, so it reverts to a full scan.
+        if matches!(&item.access, Access::IndexEq { key, .. } if count_slots_expr(key) > 0) {
+            item.access = Access::FullScan;
+        }
     }
     Some(BatchPlan { stripped, keys })
 }
@@ -747,7 +825,9 @@ impl PreparedPlan {
             Scalar,
         }
         let mode = match &self.batch {
-            Some(bp) if order.iter().any(|g| g.values.is_some()) => {
+            // Index-nested-loop plans skip the shared pipeline: scalar
+            // executions below each probe the index per distinct binding.
+            Some(bp) if !self.index_loop && order.iter().any(|g| g.values.is_some()) => {
                 let attempt = Cell::new(EvalStats::default());
                 let empty = ParamEnv::new();
                 let shared = {
@@ -923,12 +1003,21 @@ impl PreparedPlan {
                         format!("{row} = ${var}.{col}")
                     })
                     .collect();
-                let _ = writeln!(
-                    out,
-                    "  batch: set-oriented — shared pipeline once, \
-                     hash-join binding relation on ({})",
-                    keys.join(", ")
-                );
+                if self.index_loop {
+                    let _ = writeln!(
+                        out,
+                        "  batch: index-nested-loop — per-binding index \
+                         lookups on ({})",
+                        keys.join(", ")
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  batch: set-oriented — shared pipeline once, \
+                         hash-join binding relation on ({})",
+                        keys.join(", ")
+                    );
+                }
             }
             None if self.slots.is_empty() => {
                 let _ = writeln!(out, "  batch: single shared execution (no binding slots)");
@@ -1060,9 +1149,18 @@ fn describe_block(block: &PlanBlock, slots: &[(String, String)], depth: usize, o
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
     for (i, item) in block.from.iter().enumerate() {
-        let source = match &item.source {
-            PlanSource::Scan(t) => format!("scan {t}"),
-            PlanSource::Derived(_) => "derived subplan".to_owned(),
+        let source = match (&item.source, &item.access) {
+            (PlanSource::Scan(t), Access::FullScan) => format!("scan {t}"),
+            (PlanSource::Scan(t), Access::IndexEq { column, key }) => {
+                // The item layout mirrors the schema's column order, so
+                // the schema position doubles as a layout position.
+                format!(
+                    "index lookup {t} on {} = {}",
+                    item.layout[*column].1,
+                    fmt_pexpr(key, slots)
+                )
+            }
+            (PlanSource::Derived(_), _) => "derived subplan".to_owned(),
         };
         let join = if i == 0 {
             String::new()
@@ -1302,23 +1400,70 @@ fn exec_source_rows(
         let rows = match &item.source {
             PlanSource::Scan(name) => {
                 let table = ctx.db.table(name)?;
-                ctx.bump(|s| s.rows_scanned += table.rows().len() as u64);
-                // Fused scan + pushdown: evaluate the pushed-down conjuncts
-                // while iterating the stored rows, cloning survivors only.
                 let mut out = Vec::new();
-                'row: for row in table.rows() {
-                    for p in &item.pushdown {
-                        let scope = Scope {
-                            layout: &item.layout,
-                            row,
-                            parent,
-                            probe: None,
-                        };
-                        if !p_eval_scalar(ctx, p, &scope)?.is_truthy() {
-                            continue 'row;
+                // Index access path: fetch candidates by key, recheck
+                // through the (still-present) pushdown equality. Falls
+                // back to the scan when the runtime table lacks the index
+                // the catalog promised (e.g. a stale plan).
+                let mut via_index = false;
+                if ctx.options.use_indexes {
+                    if let Access::IndexEq { column, key } = &item.access {
+                        if let Some(idx) = table.index_for(*column) {
+                            via_index = true;
+                            ctx.bump(|s| s.index_lookups += 1);
+                            if !table.is_empty() {
+                                // The key is a literal or slot — it needs
+                                // no row in scope (parent stays reachable
+                                // for correlated layouts' sake only).
+                                let empty_layout = Layout::new();
+                                let empty_row: Vec<Value> = Vec::new();
+                                let scope = Scope {
+                                    layout: &empty_layout,
+                                    row: &empty_row,
+                                    parent,
+                                    probe: None,
+                                };
+                                let kv = p_eval_scalar(ctx, key, &scope)?;
+                                let rids = idx.lookup(&kv);
+                                ctx.bump(|s| s.rows_scanned += rids.len() as u64);
+                                'rid: for &rid in rids {
+                                    let row = table.fetch_row(rid);
+                                    for p in &item.pushdown {
+                                        let scope = Scope {
+                                            layout: &item.layout,
+                                            row: &row,
+                                            parent,
+                                            probe: None,
+                                        };
+                                        if !p_eval_scalar(ctx, p, &scope)?.is_truthy() {
+                                            continue 'rid;
+                                        }
+                                    }
+                                    out.push(row);
+                                }
+                            }
                         }
                     }
-                    out.push(row.clone());
+                }
+                if !via_index {
+                    ctx.bump(|s| s.rows_scanned += table.len() as u64);
+                    // Fused scan + pushdown: evaluate the pushed-down
+                    // conjuncts while streaming the stored rows, keeping
+                    // survivors only.
+                    'row: for row in table.scan() {
+                        for p in &item.pushdown {
+                            let scope = Scope {
+                                layout: &item.layout,
+                                row: row.as_ref(),
+                                parent,
+                                probe: None,
+                            };
+                            if !p_eval_scalar(ctx, p, &scope)?.is_truthy() {
+                                continue 'row;
+                            }
+                        }
+                        out.push(row.into_owned());
+                    }
                 }
                 out
             }
@@ -1652,7 +1797,7 @@ fn p_project_grouped(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::{eval_query_stats, NamedTuple};
+    use crate::eval::{eval_query, eval_query_stats, NamedTuple};
     use crate::parse::parse_query;
     use crate::schema::{ColumnDef, ColumnType, TableSchema};
 
@@ -2023,6 +2168,118 @@ mod tests {
             "{}",
             slotless.describe()
         );
+    }
+
+    /// `hotel_db` with a hash index on `hotel.metro_id`.
+    fn indexed_hotel_db() -> Database {
+        let mut db = hotel_db();
+        db.create_index("hotel", "metro_id", crate::schema::IndexKind::Hash)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn index_lookup_matches_scan_rows_and_order() {
+        let plain = hotel_db();
+        let indexed = indexed_hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id = $m.metroid").unwrap();
+        let scan_plan = prepare(&q, &plain.catalog()).unwrap();
+        let idx_plan = prepare(&q, &indexed.catalog()).unwrap();
+        for id in [1, 2, 99] {
+            let env = metro_param(id, "x");
+            let mut scan_stats = EvalStats::default();
+            let mut idx_stats = EvalStats::default();
+            let scanned = scan_plan
+                .execute_stats(&plain, &env, &mut scan_stats)
+                .unwrap();
+            let looked_up = idx_plan
+                .execute_stats(&indexed, &env, &mut idx_stats)
+                .unwrap();
+            assert_eq!(scanned, looked_up, "metroid {id}");
+            assert_eq!(idx_stats.index_lookups, 1);
+            assert_eq!(scan_stats.index_lookups, 0);
+            // The lookup touches only candidate rows.
+            assert_eq!(idx_stats.rows_scanned, looked_up.len() as u64);
+            assert!(idx_stats.rows_scanned <= scan_stats.rows_scanned);
+        }
+        // Literal keys take the index path too.
+        let q = parse_query("SELECT hotelname FROM hotel WHERE 2 = metro_id").unwrap();
+        let plan = prepare(&q, &indexed.catalog()).unwrap();
+        let mut stats = EvalStats::default();
+        let rel = plan
+            .execute_stats(&indexed, &ParamEnv::new(), &mut stats)
+            .unwrap();
+        assert_eq!(rel, eval_query(&plain, &q, &ParamEnv::new()).unwrap());
+        assert_eq!(stats.index_lookups, 1);
+    }
+
+    #[test]
+    fn index_lookup_respects_use_indexes_and_missing_runtime_index() {
+        let indexed = indexed_hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id = 1").unwrap();
+        let off = prepare_with(
+            &q,
+            &indexed.catalog(),
+            EvalOptions {
+                use_indexes: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let mut stats = EvalStats::default();
+        off.execute_stats(&indexed, &ParamEnv::new(), &mut stats)
+            .unwrap();
+        assert_eq!(stats.index_lookups, 0);
+        assert!(
+            !off.describe().contains("index lookup"),
+            "{}",
+            off.describe()
+        );
+
+        // Plan compiled against the indexed catalog, executed against a
+        // database without the runtime index: falls back to the scan.
+        let plan = prepare(&q, &indexed.catalog()).unwrap();
+        let plain = hotel_db();
+        let mut stats = EvalStats::default();
+        let rel = plan
+            .execute_stats(&plain, &ParamEnv::new(), &mut stats)
+            .unwrap();
+        assert_eq!(stats.index_lookups, 0);
+        assert_eq!(rel, plan.execute(&indexed, &ParamEnv::new()).unwrap());
+    }
+
+    #[test]
+    fn index_nested_loop_batch_matches_scalar_loop() {
+        let indexed = indexed_hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id = $m.metroid").unwrap();
+        let plan = prepare(&q, &indexed.catalog()).unwrap();
+        assert!(plan.batchable());
+        let text = plan.describe();
+        assert!(
+            text.contains("index lookup hotel on metro_id = $m.metroid"),
+            "{text}"
+        );
+        assert!(text.contains("batch: index-nested-loop"), "{text}");
+        let envs = vec![
+            metro_param(1, "chicago"),
+            metro_param(2, "nyc"),
+            metro_param(1, "chicago"),
+            metro_param(99, "nowhere"),
+        ];
+        let (scalar, _) = scalar_loop(&plan, &indexed, &envs).unwrap();
+        let mut stats = EvalStats::default();
+        let batch = plan
+            .execute_batch_stats(&indexed, &envs, &mut stats)
+            .unwrap();
+        for (i, rel) in scalar.iter().enumerate() {
+            assert_eq!(batch.rows_for(i), &rel.rows[..], "binding {i}");
+        }
+        // One indexed execution per distinct binding (3), no shared scan.
+        assert_eq!(stats.index_lookups, 3);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.hash_join_builds, 0);
+        // Only matching rows were fetched.
+        assert_eq!(stats.rows_scanned, batch.total_rows() as u64 - 2); // dup binding replicated
     }
 
     #[test]

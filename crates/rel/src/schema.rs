@@ -6,7 +6,7 @@ use crate::error::{Error, Result};
 use crate::value::Value;
 
 /// Column type, used for validation and workload generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 64-bit integer.
     Int,
@@ -31,7 +31,7 @@ impl ColumnType {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnDef {
     /// Column name (unique within the table).
     pub name: String,
@@ -75,13 +75,35 @@ impl ColumnDef {
     }
 }
 
+/// Shape of a secondary index ([`crate::index::SecondaryIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Hash map from key to row ids — O(1) equality lookups.
+    Hash,
+    /// Ordered map — equality today, range access paths later.
+    BTree,
+}
+
+/// Declares a secondary index over one column. Carried on the
+/// [`TableSchema`] so the catalog (and therefore `plan::prepare`'s
+/// access-path selection and the database fingerprint) sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexDef {
+    /// The indexed column's name.
+    pub column: String,
+    /// The index shape.
+    pub kind: IndexKind,
+}
+
 /// Schema of one table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TableSchema {
     /// Table name.
     pub name: String,
     /// Columns in declaration order.
     pub columns: Vec<ColumnDef>,
+    /// Secondary indexes in creation order.
+    pub indexes: Vec<IndexDef>,
 }
 
 impl TableSchema {
@@ -96,7 +118,16 @@ impl TableSchema {
                 });
             }
         }
-        Ok(TableSchema { name, columns })
+        Ok(TableSchema {
+            name,
+            columns,
+            indexes: Vec::new(),
+        })
+    }
+
+    /// The declared index over `column`, if any.
+    pub fn index_on(&self, column: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|i| i.column == column)
     }
 
     /// Column names in declaration order.

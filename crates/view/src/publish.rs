@@ -44,7 +44,13 @@ pub struct PublishStats {
     pub plans_prepared: usize,
     /// Nodes whose plan was already in the publisher's cache from an
     /// earlier publish against the same catalog (plan-cache hits).
+    /// Negatively cached compilation failures count here too: the cache
+    /// answered ("this query does not prepare") without recompiling.
     pub plan_cache_hits: usize,
+    /// Tag queries / guard probes that failed to compile this publish.
+    /// The failure is cached, so a given node fails at most once per
+    /// catalog; the node falls back to the interpreter.
+    pub plan_prepare_failures: usize,
     /// Tag-query executions served from the parameterized-result memo
     /// (equal relevant binding values, relation reused without touching
     /// the engine).
@@ -73,6 +79,7 @@ impl PublishStats {
         self.tuples_fetched += other.tuples_fetched;
         self.plans_prepared += other.plans_prepared;
         self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_prepare_failures += other.plan_prepare_failures;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.batches_executed += other.batches_executed;
@@ -171,13 +178,23 @@ enum Role {
 
 type PlanKey = (u32, Role);
 
+/// Outcome of one compilation attempt, cached either way: a usable plan,
+/// or a remembered failure so the publisher never retries compiling a
+/// query the catalog cannot satisfy (it falls back to the interpreter).
+#[derive(Debug)]
+enum PlanEntry {
+    Ready(Box<PreparedPlan>),
+    Failed,
+}
+
 /// Compiled plans for one schema tree, valid for one catalog.
 #[derive(Debug, Default)]
 struct PlanCache {
-    /// The catalog the cached plans were compiled against; a different
-    /// catalog invalidates every plan.
-    catalog: Option<Catalog>,
-    plans: HashMap<PlanKey, PreparedPlan>,
+    /// Fingerprint of the catalog the cached plans were compiled against
+    /// ([`Database::catalog_fingerprint`]); a different fingerprint
+    /// invalidates every plan without ever materializing a [`Catalog`].
+    fingerprint: Option<u64>,
+    plans: HashMap<PlanKey, PlanEntry>,
 }
 
 /// Entries per subtree-task result memo; inserts are skipped beyond this.
@@ -265,21 +282,34 @@ impl<'t> Publisher<'t> {
     /// statistics (and a trace when requested).
     ///
     /// Plans cached by an earlier call are reused when the database's
-    /// catalog is unchanged; the result memo never outlives one call, so
+    /// catalog fingerprint ([`Database::catalog_fingerprint`]) is
+    /// unchanged — an `O(1)` check instead of rebuilding and comparing
+    /// the whole catalog. The result memo never outlives one call, so
     /// database mutations between calls are always observed.
     pub fn publish(&mut self, db: &Database) -> Result<Published> {
         self.tree.validate()?;
         let mut stats = PublishStats::default();
-        let catalog = db.catalog();
-        if self.cache.catalog.as_ref() != Some(&catalog) {
+        let fingerprint = db.catalog_fingerprint();
+        if self.cache.fingerprint != Some(fingerprint) {
             self.cache.plans.clear();
-            self.cache.catalog = Some(catalog.clone());
+            self.cache.fingerprint = Some(fingerprint);
         }
         if self.prepared {
+            // Built lazily, only if some node actually needs compiling; on
+            // a warm cache no catalog is materialized at all.
+            let mut catalog: Option<Catalog> = None;
             for vid in self.tree.node_ids() {
                 let node = self.tree.node(vid).expect("non-root id");
                 if let Some(q) = &node.query {
-                    ensure_plan(&mut self.cache, vid, Role::Tag, q, &catalog, &mut stats);
+                    ensure_plan(
+                        &mut self.cache,
+                        vid,
+                        Role::Tag,
+                        q,
+                        db,
+                        &mut catalog,
+                        &mut stats,
+                    );
                 }
                 if let Some(g) = &node.guard {
                     let probe = guard_probe(g);
@@ -288,7 +318,8 @@ impl<'t> Publisher<'t> {
                         vid,
                         Role::Guard,
                         &probe,
-                        &catalog,
+                        db,
+                        &mut catalog,
                         &mut stats,
                     );
                 }
@@ -382,22 +413,35 @@ impl<'t> Publisher<'t> {
 /// Compiles `q` into the cache under `(vid, role)` unless already present.
 /// Compilation failures are not fatal: the node simply falls back to the
 /// interpreter (which will surface any genuine error at execution time,
-/// and only if the node actually runs).
+/// and only if the node actually runs). The failure is cached too —
+/// otherwise every publish would retry the doomed compilation and report
+/// the retry as a cache miss, deflating [`PublishStats::plan_cache_hit_rate`].
+///
+/// `catalog` is a lazily-filled holder: the (comparatively expensive)
+/// [`Database::catalog`] is built at most once per publish, and only when
+/// at least one entry is actually vacant.
 fn ensure_plan(
     cache: &mut PlanCache,
     vid: ViewNodeId,
     role: Role,
     q: &SelectQuery,
-    catalog: &Catalog,
+    db: &Database,
+    catalog: &mut Option<Catalog>,
     stats: &mut PublishStats,
 ) {
     let key = (vid.index() as u32, role);
     match cache.plans.entry(key) {
         std::collections::hash_map::Entry::Occupied(_) => stats.plan_cache_hits += 1,
         std::collections::hash_map::Entry::Vacant(e) => {
-            if let Ok(p) = prepare(q, catalog) {
-                e.insert(p);
-                stats.plans_prepared += 1;
+            match prepare(q, catalog.get_or_insert_with(|| db.catalog())) {
+                Ok(p) => {
+                    e.insert(PlanEntry::Ready(Box::new(p)));
+                    stats.plans_prepared += 1;
+                }
+                Err(_) => {
+                    e.insert(PlanEntry::Failed);
+                    stats.plan_prepare_failures += 1;
+                }
             }
         }
     }
@@ -415,7 +459,7 @@ fn guard_probe(guard: &ScalarExpr) -> SelectQuery {
 struct Shared<'a> {
     tree: &'a SchemaTree,
     db: &'a Database,
-    plans: &'a HashMap<PlanKey, PreparedPlan>,
+    plans: &'a HashMap<PlanKey, PlanEntry>,
     use_plans: bool,
     tracing: bool,
     batched: bool,
@@ -682,7 +726,7 @@ impl<'a> BatchWorker<'a> {
         }
         let key_base = vid.index() as u32;
         if self.shared.use_plans {
-            if let Some(plan) = self.shared.plans.get(&(key_base, role)) {
+            if let Some(PlanEntry::Ready(plan)) = self.shared.plans.get(&(key_base, role)) {
                 let mut out: Vec<Option<Relation>> = vec![None; envs.len()];
                 // env index → slot in `pending` whose result it shares.
                 let mut share: Vec<usize> = vec![usize::MAX; envs.len()];
@@ -854,7 +898,8 @@ impl<'a> Worker<'a> {
         env: &ParamEnv,
     ) -> Result<Relation> {
         if self.shared.use_plans {
-            if let Some(plan) = self.shared.plans.get(&(vid.index() as u32, role)) {
+            if let Some(PlanEntry::Ready(plan)) = self.shared.plans.get(&(vid.index() as u32, role))
+            {
                 if let Some(key) = memo_key(plan.slots(), env) {
                     let mk = (vid.index() as u32, role, key);
                     if let Some(hit) = self.memo.get(&mk) {
@@ -1376,6 +1421,72 @@ mod tests {
         assert_eq!(first.document.to_xml(), second.document.to_xml());
         // Engine work is identical on the warm path.
         assert_eq!(first.eval, second.eval);
+    }
+
+    #[test]
+    fn failed_plan_is_negatively_cached() {
+        use xvc_rel::BinOp;
+        let mut t = view();
+        // A root-level node whose tag query cannot compile (unknown
+        // table), gated by a guard that never fires so the interpreter
+        // fallback never runs either — the view still publishes.
+        let mut bad = ViewNode::new(
+            9,
+            "phantom",
+            "p",
+            parse_query("SELECT * FROM no_such_table").unwrap(),
+        );
+        bad.guard = Some(ScalarExpr::binary(
+            BinOp::Eq,
+            ScalarExpr::int(1),
+            ScalarExpr::int(2),
+        ));
+        t.add_root_node(bad).unwrap();
+        let db = db();
+        let mut publisher = Publisher::new(&t);
+
+        let first = publisher.publish(&db).unwrap();
+        // metro + hotel tag queries and the guard probe compile; the
+        // phantom tag query fails, exactly once.
+        assert_eq!(first.stats.plans_prepared, 3);
+        assert_eq!(first.stats.plan_prepare_failures, 1);
+        assert_eq!(first.stats.plan_cache_hits, 0);
+        assert!(!first.document.to_xml().contains("phantom"));
+
+        let second = publisher.publish(&db).unwrap();
+        // The failure is served from the cache — no recompilation
+        // attempt, and the hit rate is undistorted.
+        assert_eq!(second.stats.plans_prepared, 0);
+        assert_eq!(second.stats.plan_prepare_failures, 0);
+        assert_eq!(second.stats.plan_cache_hits, 4);
+        assert_eq!(second.stats.plan_cache_hit_rate(), 1.0);
+        assert_eq!(first.document.to_xml(), second.document.to_xml());
+    }
+
+    #[test]
+    fn index_creation_invalidates_plan_cache() {
+        use xvc_rel::IndexKind;
+        let t = view();
+        let mut db = db();
+        let mut publisher = Publisher::new(&t);
+        let before = publisher.publish(&db).unwrap();
+        assert_eq!(before.stats.plans_prepared, 2);
+
+        // An index changes the catalog fingerprint even though no table
+        // was added: plans recompile (and may now pick an index access
+        // path) while the document stays identical.
+        db.create_index("hotel", "metro_id", IndexKind::Hash)
+            .unwrap();
+        let after = publisher.publish(&db).unwrap();
+        assert_eq!(after.stats.plans_prepared, 2);
+        assert_eq!(after.stats.plan_cache_hits, 0);
+        assert_eq!(before.document.to_xml(), after.document.to_xml());
+
+        // And the fingerprint is stable afterwards: pure cache hits.
+        let warm = publisher.publish(&db).unwrap();
+        assert_eq!(warm.stats.plan_cache_hits, 2);
+        assert_eq!(warm.stats.plans_prepared, 0);
+        assert_eq!(warm.document.to_xml(), after.document.to_xml());
     }
 
     #[test]

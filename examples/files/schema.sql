@@ -10,3 +10,7 @@ CREATE TABLE sight (
     sname   TEXT,
     fee     INT
 );
+
+-- Secondary index: the composed view's sight query pushes city_id = $c.id,
+-- so the planner takes an index lookup instead of a full scan.
+CREATE INDEX sight_city ON sight (city_id) USING HASH;
