@@ -42,6 +42,13 @@ if ! grep -q '"eval_batched_ms"' BENCH_compose.json; then
     exit 1
 fi
 
+echo "== figures -- fuzz (recursion-heavy / wide-fanout differential gate)"
+# Runs the two stress generator presets differentially: v'(I) must equal
+# x(v(I)), the bound-driven publisher must match the heuristic path
+# byte-for-byte, and measured batch sizes must stay within the static
+# cardinality bounds. The binary aborts on any divergence.
+cargo run --release --quiet -p xvc-bench --bin figures -- fuzz
+
 echo "== figures -- scale smoke (storage/access-path gates, reduced sizes)"
 # The binary publishes the needle view against the in-memory, paged, and
 # indexed backends, aborts if any document diverges from the in-memory

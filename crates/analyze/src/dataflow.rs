@@ -52,7 +52,8 @@ pub fn check_dataflow(
                     Stage::Composed,
                     format!("{label}: the tag query can never yield a row; {what}"),
                 )
-                .with_help(fact_chain(&verdict.chain)),
+                .with_help(fact_chain(&verdict.chain))
+                .with_justification(verdict.chain.clone()),
             );
             for nc in verdict.analysis.iter().flat_map(|a| &a.null_compares) {
                 out.push(Diagnostic::new(
@@ -75,7 +76,8 @@ pub fn check_dataflow(
                         c.conjunct
                     ),
                 )
-                .with_help(fact_chain(&c.chain)),
+                .with_help(fact_chain(&c.chain))
+                .with_justification(c.chain.clone()),
             );
             for nc in &a.null_compares {
                 out.push(Diagnostic::new(
@@ -98,7 +100,8 @@ pub fn check_dataflow(
                     Stage::Composed,
                     format!("{label}: conjunct `{}` {what}", r.conjunct),
                 )
-                .with_help(fact_chain(&r.chain)),
+                .with_help(fact_chain(&r.chain))
+                .with_justification(r.chain.clone()),
             );
         }
         for nc in &a.null_compares {
@@ -138,7 +141,7 @@ pub fn check_dataflow(
     out
 }
 
-fn fact_chain(chain: &[String]) -> String {
+pub(crate) fn fact_chain(chain: &[String]) -> String {
     if chain.is_empty() {
         "no recorded facts (structurally impossible)".to_owned()
     } else {
@@ -146,7 +149,7 @@ fn fact_chain(chain: &[String]) -> String {
     }
 }
 
-fn node_label(view: &SchemaTree, tvq: &Tvq, idx: usize) -> String {
+pub(crate) fn node_label(view: &SchemaTree, tvq: &Tvq, idx: usize) -> String {
     let w = &tvq.nodes[idx];
     let tag = if view.is_root(w.view) {
         "root".to_owned()

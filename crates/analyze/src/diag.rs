@@ -4,7 +4,8 @@
 //! so fixtures, scripts and documentation can match on it. Codes are
 //! grouped by pipeline stage: `0xx` stylesheet/dialect, `1xx` view
 //! definition, `2xx` CTG-level, `3xx` composed output, `4xx`
-//! predicate-dataflow findings over the TVQ.
+//! predicate-dataflow findings over the TVQ, `5xx` cardinality-analysis
+//! findings (row bounds, fan-out, growth).
 
 use std::fmt;
 
@@ -63,6 +64,7 @@ pub enum Code {
     Xvc106,
     Xvc107,
     Xvc110,
+    Xvc120,
     Xvc201,
     Xvc202,
     Xvc203,
@@ -76,6 +78,11 @@ pub enum Code {
     Xvc405,
     Xvc406,
     Xvc407,
+    Xvc501,
+    Xvc502,
+    Xvc503,
+    Xvc504,
+    Xvc505,
 }
 
 impl Code {
@@ -100,6 +107,7 @@ impl Code {
             Code::Xvc106 => "XVC106",
             Code::Xvc107 => "XVC107",
             Code::Xvc110 => "XVC110",
+            Code::Xvc120 => "XVC120",
             Code::Xvc201 => "XVC201",
             Code::Xvc202 => "XVC202",
             Code::Xvc203 => "XVC203",
@@ -113,6 +121,11 @@ impl Code {
             Code::Xvc405 => "XVC405",
             Code::Xvc406 => "XVC406",
             Code::Xvc407 => "XVC407",
+            Code::Xvc501 => "XVC501",
+            Code::Xvc502 => "XVC502",
+            Code::Xvc503 => "XVC503",
+            Code::Xvc504 => "XVC504",
+            Code::Xvc505 => "XVC505",
         }
     }
 
@@ -137,6 +150,7 @@ impl Code {
             Code::Xvc106 => "non-aggregated select item outside GROUP BY",
             Code::Xvc107 => "duplicate view-node id or binding variable",
             Code::Xvc110 => "view definition failed to parse",
+            Code::Xvc120 => "declared index is never usable by any tag query",
             Code::Xvc201 => "template rule can never fire over this view",
             Code::Xvc202 => "view node is never visited by the stylesheet",
             Code::Xvc203 => "stylesheet is recursive over this view (CTG cycle)",
@@ -150,6 +164,11 @@ impl Code {
             Code::Xvc405 => "comparison with NULL never holds",
             Code::Xvc406 => "key-implied duplicate join candidate",
             Code::Xvc407 => "predicate-dataflow prune report",
+            Code::Xvc501 => "tag query is provably empty (cardinality bound: 0 rows)",
+            Code::Xvc502 => "cross-product join makes the per-parent fan-out unbounded",
+            Code::Xvc503 => "recursive expansion has no finite growth bound",
+            Code::Xvc504 => "rebind guard probe is not provably single-row",
+            Code::Xvc505 => "static cardinality report (document bound is finite)",
         }
     }
 
@@ -158,8 +177,9 @@ impl Code {
         match self {
             // Lowerable dialect deviations (§5.1/§5.2), constructs the
             // composer handles beyond XSLT_basic (unambiguous descendant
-            // steps), and advisory CTG findings are warnings; everything
-            // else definitely breaks composition or execution.
+            // steps), advisory CTG findings, and the cardinality/index
+            // advisories are warnings; everything else definitely breaks
+            // composition or execution.
             Code::Xvc001
             | Code::Xvc002
             | Code::Xvc003
@@ -167,6 +187,7 @@ impl Code {
             | Code::Xvc005
             | Code::Xvc006
             | Code::Xvc007
+            | Code::Xvc120
             | Code::Xvc201
             | Code::Xvc202
             | Code::Xvc203
@@ -177,7 +198,12 @@ impl Code {
             | Code::Xvc404
             | Code::Xvc405
             | Code::Xvc406
-            | Code::Xvc407 => Severity::Warning,
+            | Code::Xvc407
+            | Code::Xvc501
+            | Code::Xvc502
+            | Code::Xvc503
+            | Code::Xvc504
+            | Code::Xvc505 => Severity::Warning,
             Code::Xvc008
             | Code::Xvc009
             | Code::Xvc010
@@ -215,6 +241,7 @@ impl Code {
             Code::Xvc106,
             Code::Xvc107,
             Code::Xvc110,
+            Code::Xvc120,
             Code::Xvc201,
             Code::Xvc202,
             Code::Xvc203,
@@ -228,6 +255,11 @@ impl Code {
             Code::Xvc405,
             Code::Xvc406,
             Code::Xvc407,
+            Code::Xvc501,
+            Code::Xvc502,
+            Code::Xvc503,
+            Code::Xvc504,
+            Code::Xvc505,
         ]
     }
 }
@@ -253,6 +285,9 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Optional suggestion line.
     pub help: Option<String>,
+    /// Fact chain justifying the finding, oldest fact first (XVC4xx/XVC5xx
+    /// carry these; rendered as `note:` lines and as a JSON array).
+    pub justification: Vec<String>,
 }
 
 impl Diagnostic {
@@ -265,6 +300,7 @@ impl Diagnostic {
             message: message.into(),
             span: None,
             help: None,
+            justification: Vec::new(),
         }
     }
 
@@ -279,6 +315,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches the justifying fact chain.
+    #[must_use]
+    pub fn with_justification(mut self, chain: Vec<String>) -> Self {
+        self.justification = chain;
         self
     }
 

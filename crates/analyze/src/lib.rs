@@ -1,6 +1,6 @@
 //! # `xvc-analyze` — static analysis for view/stylesheet workloads
 //!
-//! `xvc check` runs this analyzer *before* composition. Five passes, each
+//! `xvc check` runs this analyzer *before* composition. Six passes, each
 //! emitting [`Diagnostic`]s with stable `XVCnnn` codes, severities, source
 //! spans and suggestions (see `DIAGNOSTICS.md` for the catalogue):
 //!
@@ -20,7 +20,14 @@
 //!    the TVQ (per-column equality/interval/nullability domains seeded
 //!    from DDL constraints): dead subtrees, contradictions, redundant
 //!    conjuncts, tautological `EXISTS`, NULL comparisons, key-implied
-//!    duplicate joins, and what `ComposeOptions::prune` would remove.
+//!    duplicate joins, and what `ComposeOptions::prune` would remove;
+//! 6. **Cardinality analysis** ([`cardinality`]) — static row bounds
+//!    (`0 / <=1 / <=k / unbounded`) from `PRIMARY KEY` constraints and
+//!    equality pushdowns, flowed down the TVQ's binding paths: provably
+//!    empty tag queries, cross-product fan-out, unbounded recursive
+//!    growth, non-single-row rebind guards, and a whole-document bound
+//!    report when one is finite (`XVC5xx`); pass 2 additionally warns
+//!    about declared indexes no tag query can use (`XVC120`).
 //!
 //! The analyzer never executes queries and needs no database instance —
 //! only the catalog.
@@ -40,6 +47,7 @@
     clippy::uninlined_format_args
 )]
 
+pub mod cardinality;
 pub mod composed_check;
 pub mod ctg_check;
 pub mod dataflow;
@@ -54,6 +62,7 @@ use xvc_xslt::Stylesheet;
 
 use xvc_core::tvq::DEFAULT_TVQ_LIMIT;
 
+pub use cardinality::{check_cardinality, check_index_usage, check_recursion_growth};
 pub use composed_check::check_composed;
 pub use ctg_check::{check_ctg, predict_tvq, BlowupPrediction};
 pub use dataflow::check_dataflow;
@@ -134,11 +143,14 @@ pub fn check_workload(
         report.diagnostics.extend(dialect::check_stylesheet(x));
     }
 
-    // Pass 2: view well-formedness.
+    // Pass 2: view well-formedness, plus the index-usability advisory.
     if let (Some(v), Some(cat)) = (view, catalog) {
         report
             .diagnostics
             .extend(view_check::check_view(v, cat, TreeKind::Input));
+        report
+            .diagnostics
+            .extend(cardinality::check_index_usage(v, cat));
     }
 
     // Pass 3: CTG-level analysis.
@@ -224,6 +236,13 @@ pub fn check_workload(
                             cat,
                             opts.tvq_limit,
                         ));
+                        // Pass 6: XVC5xx cardinality analysis, same walk.
+                        report.diagnostics.extend(cardinality::check_cardinality(
+                            v,
+                            xs,
+                            cat,
+                            opts.tvq_limit,
+                        ));
                     }
                     Err(xvc_core::Error::TvqTooLarge { limit }) => {
                         if !report.diagnostics.iter().any(|d| d.code == Code::Xvc204) {
@@ -245,6 +264,13 @@ pub fn check_workload(
                     ),
                 }
             }
+        }
+        // Cyclic workloads have no TVQ; the cardinality pass instead
+        // bounds the recursive expansion at the view level (XVC503).
+        if !report.has_errors() && cyclic {
+            report
+                .diagnostics
+                .extend(cardinality::check_recursion_growth(v, x, cat));
         }
     }
     report

@@ -68,6 +68,9 @@ pub fn render(d: &Diagnostic, sources: &Sources<'_>) -> String {
     if let Some(help) = &d.help {
         out.push_str(&format!("  = help: {help}\n"));
     }
+    for j in &d.justification {
+        out.push_str(&format!("  = note: {j}\n"));
+    }
     out
 }
 

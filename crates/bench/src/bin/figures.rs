@@ -9,6 +9,7 @@
 //! cargo run -p xvc-bench --bin figures --release -- batch   # + set-oriented study
 //! cargo run -p xvc-bench --bin figures --release -- scale        # storage/index study
 //! cargo run -p xvc-bench --bin figures --release -- scale smoke  # reduced CI sizes
+//! cargo run -p xvc-bench --bin figures --release -- fuzz         # differential gate
 //! ```
 //!
 //! `plans` runs the same two workloads as `prune` (every row carries both
@@ -29,11 +30,17 @@
 //! the largest size the index path must beat the full scan — either
 //! failure aborts the run. `BENCH_compose.json` collects whichever studies
 //! ran, one JSON object per row.
+//!
+//! `fuzz` runs the recursion-heavy and wide-fanout stylesheet generators
+//! differentially: `v'(I)` vs `x(v(I))`, the bound-driven publisher vs
+//! the heuristic path (byte-identical documents required), and measured
+//! batch sizes vs the static cardinality bounds. Any divergence aborts.
 
 use xvc_bench::experiments::{
-    batch_bench, c1_chain_sweep, c2_fan_sweep, e1_scale_sweep, e3_selectivity_sweep, prune_bench,
-    render_comparison_table, render_cost_table, render_json_array, render_prune_objects,
-    render_scale_objects, scale_sweep, SCALE_FULL, SCALE_SMOKE,
+    batch_bench, c1_chain_sweep, c2_fan_sweep, differential_fuzz, e1_scale_sweep,
+    e3_selectivity_sweep, prune_bench, render_comparison_table, render_cost_table,
+    render_json_array, render_prune_objects, render_scale_objects, scale_sweep, SCALE_FULL,
+    SCALE_SMOKE,
 };
 use xvc_bench::figures::all_figures;
 
@@ -46,6 +53,7 @@ fn main() {
     let plans = batch || arg == "plans";
     let prune = plans || arg == "prune";
     let scale = arg.is_empty() || arg == "scale";
+    let fuzz = arg.is_empty() || arg == "fuzz";
 
     if figures {
         for (title, body) in all_figures() {
@@ -197,6 +205,24 @@ fn main() {
             r.scan_rows_scanned
         );
         json_objects.extend(render_scale_objects(&srows));
+    }
+
+    if fuzz {
+        println!("\n==== fuzz: differential generator gate (v'(I) = x(v(I))) ====\n");
+        // 48 seeds per preset; the function itself aborts on divergence,
+        // on a bounded/heuristic document mismatch, or on a measured
+        // batch exceeding its static cardinality bound.
+        let s = differential_fuzz(48);
+        println!(
+            "{} workloads checked ({} with a finite static batch bound); \
+             largest measured batch {}",
+            s.workloads, s.finite_batch_bounds, s.max_batch_seen,
+        );
+        assert!(
+            s.max_batch_seen > 1,
+            "fuzz corpus never exercised a multi-binding batch — \
+             the wide-fanout preset has regressed"
+        );
     }
 
     if !json_objects.is_empty() {

@@ -741,6 +741,88 @@ pub fn render_cost_table(title: &str, param_name: &str, rows: &[ComposeCostRow])
     out
 }
 
+/// Outcome of one [`differential_fuzz`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzSummary {
+    /// Random workloads checked (seeds × generator presets).
+    pub workloads: usize,
+    /// Workloads whose static per-wave batch bound was finite (and was
+    /// therefore checked against the measured maximum).
+    pub finite_batch_bounds: usize,
+    /// Largest measured binding batch across all workloads.
+    pub max_batch_seen: usize,
+}
+
+/// The CI differential gate over the recursion-heavy and wide-fanout
+/// generators: for every seed and preset, `v'(I)` must equal `x(v(I))`,
+/// the bound-driven publisher must produce a document byte-identical to
+/// the heuristic (unbounded) path, and the measured per-wave batch sizes
+/// must stay within the statically predicted cardinality bound. Any
+/// violation panics with the offending stylesheet.
+pub fn differential_fuzz(seeds_per_config: u64) -> FuzzSummary {
+    use crate::random_stylesheet::{random_stylesheet, StylesheetConfig};
+    use xvc_view::analyze_view_bounds;
+
+    let view = figure1_view();
+    let db = generate(&WorkloadConfig::scale(1));
+    let catalog = db.catalog();
+    let full = Publisher::new(&view)
+        .publish(&db)
+        .expect("publish v")
+        .document;
+    let mut summary = FuzzSummary {
+        workloads: 0,
+        finite_batch_bounds: 0,
+        max_batch_seen: 0,
+    };
+    for (name, cfg) in [
+        ("recursion_heavy", StylesheetConfig::recursion_heavy()),
+        ("wide_fanout", StylesheetConfig::wide_fanout()),
+    ] {
+        for seed in 0..seeds_per_config {
+            let stylesheet = random_stylesheet(&view, &catalog, seed, cfg);
+            let composed = Composer::new(&view, &stylesheet, &catalog)
+                .run()
+                .unwrap_or_else(|e| {
+                    panic!("{name} seed {seed}: compose: {e}\n{}", stylesheet.to_xslt())
+                })
+                .view;
+            let expected = process(&stylesheet, &full).expect("engine");
+            let bounded = Publisher::new(&composed).publish(&db).expect("publish v'");
+            assert!(
+                documents_equal_unordered(&expected, &bounded.document),
+                "{name} seed {seed}: v'(I) != x(v(I))\n{}",
+                stylesheet.to_xslt()
+            );
+            let heuristic = Publisher::new(&composed)
+                .bounded(false)
+                .publish(&db)
+                .expect("publish v' unbounded");
+            assert_eq!(
+                bounded.document.to_xml(),
+                heuristic.document.to_xml(),
+                "{name} seed {seed}: bound-driven plans diverged from the heuristic path\n{}",
+                stylesheet.to_xslt()
+            );
+            let bounds = analyze_view_bounds(&composed, &catalog);
+            summary.workloads += 1;
+            summary.max_batch_seen = summary
+                .max_batch_seen
+                .max(bounded.stats.bindings_per_batch_max);
+            if let Some(limit) = bounds.max_batch.as_limit() {
+                summary.finite_batch_bounds += 1;
+                assert!(
+                    bounded.stats.bindings_per_batch_max as u64 <= limit,
+                    "{name} seed {seed}: measured batch {} exceeds static bound {limit}\n{}",
+                    bounded.stats.bindings_per_batch_max,
+                    stylesheet.to_xslt()
+                );
+            }
+        }
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

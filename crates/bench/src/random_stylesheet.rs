@@ -51,6 +51,40 @@ impl Default for StylesheetConfig {
     }
 }
 
+impl StylesheetConfig {
+    /// Recursion-heavy preset: deep rule trees with frequent parent-axis
+    /// zigzags and descendant jumps, so the same view region is
+    /// re-expanded over and over down a long rule chain — the closest
+    /// `XSLT_basic`'s conflict-free fragment gets to recursion, and the
+    /// worst case for the TVQ's duplication and the cardinality
+    /// analysis's bound propagation.
+    pub fn recursion_heavy() -> Self {
+        StylesheetConfig {
+            max_depth: 6,
+            max_fanout: 2,
+            zigzag_prob: 0.6,
+            copy_prob: 0.5,
+            descendant_prob: 0.35,
+            predicate_prob: 0.3,
+        }
+    }
+
+    /// Wide-fanout preset: shallow rule trees firing many sibling
+    /// apply-templates per rule, so frontier waves carry many bindings —
+    /// the stress case for the set-oriented batcher and the per-wave
+    /// batch-size bounds.
+    pub fn wide_fanout() -> Self {
+        StylesheetConfig {
+            max_depth: 2,
+            max_fanout: 6,
+            zigzag_prob: 0.1,
+            copy_prob: 0.5,
+            descendant_prob: 0.1,
+            predicate_prob: 0.4,
+        }
+    }
+}
+
 /// Generates a random composable stylesheet over `view`.
 pub fn random_stylesheet(
     view: &SchemaTree,
@@ -446,6 +480,33 @@ mod tests {
                 expected.to_pretty_xml(),
                 actual.to_pretty_xml()
             );
+        }
+    }
+
+    #[test]
+    fn preset_configs_compose_equivalently() {
+        let v = figure1_view();
+        let c = figure2_catalog();
+        let db = sample_database();
+        let full = Publisher::new(&v).publish(&db).unwrap().document;
+        for cfg in [
+            StylesheetConfig::recursion_heavy(),
+            StylesheetConfig::wide_fanout(),
+        ] {
+            for seed in 0..12 {
+                let s = random_stylesheet(&v, &c, seed, cfg);
+                let composed = Composer::new(&v, &s, &c)
+                    .run()
+                    .unwrap_or_else(|e| panic!("seed {seed}: compose: {e}\n{}", s.to_xslt()))
+                    .view;
+                let expected = process(&s, &full).unwrap();
+                let actual = Publisher::new(&composed).publish(&db).unwrap().document;
+                assert!(
+                    documents_equal_unordered(&expected, &actual),
+                    "cfg {cfg:?} seed {seed}:\n{}",
+                    s.to_xslt()
+                );
+            }
         }
     }
 

@@ -216,7 +216,6 @@ impl ScalarExpr {
     pub fn collect_params(&self, out: &mut Vec<String>) {
         match self {
             ScalarExpr::Param { var, .. } if !out.contains(var) => out.push(var.clone()),
-            ScalarExpr::Param { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 lhs.collect_params(out);
                 rhs.collect_params(out);

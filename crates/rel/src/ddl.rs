@@ -306,13 +306,13 @@ mod tests {
 
     #[test]
     fn retains_not_null_and_enforces_it() {
+        use crate::value::Value;
         let db =
             database_from_ddl("CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, note TEXT)")
                 .unwrap();
         let schema = db.table("t").unwrap().schema.clone();
         assert!(schema.columns[1].not_null && !schema.columns[1].primary_key);
         assert!(!schema.columns[2].not_null);
-        use crate::value::Value;
         assert!(schema
             .check_row(&[Value::Int(1), Value::Null, Value::Null])
             .is_err());

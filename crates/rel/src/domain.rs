@@ -311,6 +311,133 @@ impl fmt::Display for ColumnDomain {
     }
 }
 
+/// Static row-count bound for one query (or one FROM item under the
+/// facts in force): the cardinality half of the abstract domain.
+///
+/// The lattice is ordered `Zero < AtMostOne < Bounded(k) < Unbounded`;
+/// `Bounded(1)` and `AtMostOne` are interchangeable and [`Card::times`]
+/// normalizes toward `AtMostOne`. Joins compose bounds multiplicatively
+/// and sibling subtrees compose additively, so the two operations below
+/// are all the TVQ-level analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Card {
+    /// The query provably yields no row.
+    Zero,
+    /// At most one row (key-pinned scan, implicit aggregate, guard probe).
+    AtMostOne,
+    /// At most `k` rows, `k >= 2` after normalization.
+    Bounded(u64),
+    /// No static bound.
+    Unbounded,
+}
+
+impl Card {
+    /// Normalizes `Bounded(0)`/`Bounded(1)` to their canonical variants.
+    fn norm(self) -> Card {
+        match self {
+            Card::Bounded(0) => Card::Zero,
+            Card::Bounded(1) => Card::AtMostOne,
+            c => c,
+        }
+    }
+
+    /// Bound on a join / nesting product: `Zero` absorbs, `AtMostOne` is
+    /// the identity, bounded factors multiply (saturating to `Unbounded`
+    /// on overflow).
+    pub fn times(self, other: Card) -> Card {
+        match (self.norm(), other.norm()) {
+            (Card::Zero, _) | (_, Card::Zero) => Card::Zero,
+            (Card::AtMostOne, c) | (c, Card::AtMostOne) => c,
+            (Card::Bounded(a), Card::Bounded(b)) => {
+                a.checked_mul(b).map_or(Card::Unbounded, Card::Bounded)
+            }
+            _ => Card::Unbounded,
+        }
+    }
+
+    /// Bound on a disjoint union (sibling subtrees of one document).
+    pub fn plus(self, other: Card) -> Card {
+        match (self.norm(), other.norm()) {
+            (Card::Zero, c) | (c, Card::Zero) => c,
+            (Card::Unbounded, _) | (_, Card::Unbounded) => Card::Unbounded,
+            (a, b) => {
+                let (a, b) = (a.as_limit().unwrap(), b.as_limit().unwrap());
+                a.checked_add(b).map_or(Card::Unbounded, Card::Bounded)
+            }
+        }
+    }
+
+    /// True when the bound guarantees at most one row.
+    pub fn at_most_one(self) -> bool {
+        matches!(self.norm(), Card::Zero | Card::AtMostOne)
+    }
+
+    /// The numeric limit, when one exists.
+    pub fn as_limit(self) -> Option<u64> {
+        match self {
+            Card::Zero => Some(0),
+            Card::AtMostOne => Some(1),
+            Card::Bounded(k) => Some(k),
+            Card::Unbounded => None,
+        }
+    }
+}
+
+impl fmt::Display for Card {
+    /// ASCII rendering used in plans, diagnostics and `xvc explain`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.norm() {
+            Card::Zero => write!(f, "0 rows"),
+            Card::AtMostOne => write!(f, "<= 1 row"),
+            Card::Bounded(k) => write!(f, "<= {k} rows"),
+            Card::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A [`Card`] together with the fact chain that justifies it, mirroring
+/// the provenance the value domain records in
+/// [`crate::facts::FactEntry::sources`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardBound {
+    /// The bound itself.
+    pub card: Card,
+    /// Human-readable justification, oldest fact first (DDL constraints,
+    /// pinning conjuncts, aggregate rules). Empty for `Unbounded`.
+    pub chain: Vec<String>,
+}
+
+impl CardBound {
+    /// An unbounded cardinality with no justification.
+    pub fn unbounded() -> Self {
+        CardBound {
+            card: Card::Unbounded,
+            chain: Vec::new(),
+        }
+    }
+
+    /// A bound justified by the given chain.
+    pub fn new(card: Card, chain: Vec<String>) -> Self {
+        CardBound { card, chain }
+    }
+}
+
+impl Default for CardBound {
+    fn default() -> Self {
+        CardBound::unbounded()
+    }
+}
+
+impl fmt::Display for CardBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.card)?;
+        if !self.chain.is_empty() {
+            write!(f, " [{}]", self.chain.join("; "))?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,5 +562,45 @@ mod tests {
         d.assume_cmp(BinOp::Le, &int(10));
         assert_eq!(d.to_string(), "> 4, <= 10, NOT NULL");
         assert_eq!(ColumnDomain::default().to_string(), "unconstrained");
+    }
+
+    #[test]
+    fn card_lattice_multiplies_and_adds() {
+        assert_eq!(Card::Zero.times(Card::Unbounded), Card::Zero);
+        assert_eq!(Card::AtMostOne.times(Card::Bounded(7)), Card::Bounded(7));
+        assert_eq!(Card::Bounded(3).times(Card::Bounded(4)), Card::Bounded(12));
+        assert_eq!(
+            Card::Bounded(u64::MAX).times(Card::Bounded(2)),
+            Card::Unbounded
+        );
+        assert_eq!(Card::Unbounded.times(Card::AtMostOne), Card::Unbounded);
+
+        assert_eq!(Card::Zero.plus(Card::AtMostOne), Card::AtMostOne);
+        assert_eq!(Card::AtMostOne.plus(Card::AtMostOne), Card::Bounded(2));
+        assert_eq!(Card::Bounded(3).plus(Card::Bounded(4)), Card::Bounded(7));
+        assert_eq!(Card::Bounded(3).plus(Card::Unbounded), Card::Unbounded);
+    }
+
+    #[test]
+    fn card_normalizes_degenerate_bounds() {
+        assert_eq!(Card::Bounded(1).times(Card::Bounded(1)), Card::AtMostOne);
+        assert_eq!(Card::Bounded(0).times(Card::Unbounded), Card::Zero);
+        assert!(Card::Bounded(1).at_most_one());
+        assert!(!Card::Bounded(2).at_most_one());
+        assert_eq!(Card::Bounded(1).to_string(), "<= 1 row");
+    }
+
+    #[test]
+    fn card_display_is_ascii_and_greppable() {
+        assert_eq!(Card::Zero.to_string(), "0 rows");
+        assert_eq!(Card::AtMostOne.to_string(), "<= 1 row");
+        assert_eq!(Card::Bounded(42).to_string(), "<= 42 rows");
+        assert_eq!(Card::Unbounded.to_string(), "unbounded");
+        let b = CardBound::new(
+            Card::AtMostOne,
+            vec!["DDL: hotel.hotelid PRIMARY KEY".into()],
+        );
+        assert_eq!(b.to_string(), "<= 1 row [DDL: hotel.hotelid PRIMARY KEY]");
+        assert_eq!(CardBound::default().card, Card::Unbounded);
     }
 }

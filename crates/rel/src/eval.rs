@@ -408,13 +408,10 @@ pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
             _ => unreachable!("non-arithmetic op"),
         }),
         _ => {
-            let (a, b) = match (l.as_f64(), r.as_f64()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => {
-                    return Err(Error::Type {
-                        reason: format!("arithmetic on non-numeric values {l} and {r}"),
-                    })
-                }
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(Error::Type {
+                    reason: format!("arithmetic on non-numeric values {l} and {r}"),
+                });
             };
             let v = match op {
                 BinOp::Add => a + b,
@@ -646,6 +643,14 @@ fn eval_scoped_opt(
     options: EvalOptions,
     stats: &Cell<EvalStats>,
 ) -> Result<Relation> {
+    // Preserved-side derived tables (left-outer semantics): baseline rows
+    // to pad back in after joins and residual filters.
+    struct Preserved {
+        offset: usize,
+        width: usize,
+        baseline: Vec<Vec<Value>>,
+    }
+
     let ctx = EvalCtx {
         db,
         params,
@@ -681,13 +686,6 @@ fn eval_scoped_opt(
     let mut work: Option<WorkRel> = None;
     let mut seen_aliases: Vec<String> = Vec::new();
     let mut seen_columns: std::collections::HashSet<String> = std::collections::HashSet::new();
-    // Preserved-side derived tables (left-outer semantics): baseline rows
-    // to pad back in after joins and residual filters.
-    struct Preserved {
-        offset: usize,
-        width: usize,
-        baseline: Vec<Vec<Value>>,
-    }
     let mut preserved_list: Vec<Preserved> = Vec::new();
 
     for t in &q.from {
@@ -746,7 +744,7 @@ fn eval_scoped_opt(
                         }
                     }
                 }
-                hash_join(&ctx, prev, new_rel, &join_pairs, parent)?
+                hash_join(&ctx, &prev, &new_rel, &join_pairs, parent)?
             }
         });
         seen_aliases.push(alias);
@@ -867,24 +865,23 @@ fn check_level_ambiguity(
 /// own level). Shared between the interpreter's per-evaluation check and
 /// the prepared-plan compiler so both reject exactly the same queries.
 pub(crate) fn unqualified_names(q: &SelectQuery) -> Vec<String> {
-    let mut names: Vec<String> = Vec::new();
     fn walk(e: &ScalarExpr, names: &mut Vec<String>) {
         match e {
             ScalarExpr::Column {
                 qualifier: None,
                 name,
             } if !names.contains(name) => names.push(name.clone()),
-            ScalarExpr::Column { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 walk(lhs, names);
                 walk(rhs, names);
             }
             ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, names),
             ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, names),
-            ScalarExpr::Exists(_) => {}
             _ => {}
         }
     }
+
+    let mut names: Vec<String> = Vec::new();
     for item in &q.select {
         if let SelectItem::Expr { expr, .. } = item {
             walk(expr, &mut names);
@@ -959,8 +956,7 @@ pub(crate) fn resolvable_within(
             resolvable_within(lhs, aliases, columns) && resolvable_within(rhs, aliases, columns)
         }
         ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => resolvable_within(i, aliases, columns),
-        ScalarExpr::Exists(_) => false,
-        ScalarExpr::Aggregate { .. } => false,
+        ScalarExpr::Exists(_) | ScalarExpr::Aggregate { .. } => false,
     }
 }
 
@@ -1080,8 +1076,8 @@ fn apply_residual_filter(
 
 fn hash_join(
     ctx: &EvalCtx<'_>,
-    prev: WorkRel,
-    next: WorkRel,
+    prev: &WorkRel,
+    next: &WorkRel,
     pairs: &[(ScalarExpr, ScalarExpr)],
     parent: Option<&Scope<'_>>,
 ) -> Result<WorkRel> {
@@ -1301,7 +1297,7 @@ fn project_grouped(
                     }
                 }
                 SelectItem::Expr { expr, .. } => {
-                    out.push(eval_agg_expr(ctx, expr, &work.layout, group, parent)?)
+                    out.push(eval_agg_expr(ctx, expr, &work.layout, group, parent)?);
                 }
             }
         }

@@ -47,36 +47,50 @@ fn pad(depth: usize) -> String {
     "     ".repeat(depth)
 }
 
-/// Mirrors `plan::select_index_access`: a `col = literal/param` equality
-/// (either operand order) on a column with a declared index is served by
-/// an index lookup instead of a scan.
-fn index_access_note(schema: &TableSchema, c: &ScalarExpr) -> Option<String> {
-    let ScalarExpr::Binary {
-        op: BinOp::Eq,
-        lhs,
-        rhs,
-    } = c
-    else {
-        return None;
-    };
-    for (col, key) in [(lhs, rhs), (rhs, lhs)] {
-        let ScalarExpr::Column { name, .. } = col.as_ref() else {
+/// Mirrors `plan::select_index_access` over the item's pushed-down
+/// conjuncts: a `col = literal/param` equality (either operand order) on a
+/// column with a declared index is served by an index lookup instead of a
+/// scan; among candidates, an equality on a single-column `PRIMARY KEY`
+/// wins (at most one row), otherwise the first candidate. Returns the
+/// chosen conjunct's position in `cands` and the annotation to print.
+fn select_index_note(schema: &TableSchema, cands: &[&ScalarExpr]) -> Option<(usize, String)> {
+    let pk = schema.primary_key();
+    let single_pk = (pk.len() == 1).then(|| pk[0].to_owned());
+    let mut first: Option<(usize, String)> = None;
+    for (at, c) in cands.iter().enumerate() {
+        let ScalarExpr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        else {
             continue;
         };
-        if !matches!(
-            key.as_ref(),
-            ScalarExpr::Literal(_) | ScalarExpr::Param { .. }
-        ) {
-            continue;
-        }
-        if let Some(def) = schema.index_on(name) {
-            return Some(format!(
-                "access path: index lookup on {name} ({} index)",
-                format!("{:?}", def.kind).to_lowercase()
-            ));
+        for (col, key) in [(lhs, rhs), (rhs, lhs)] {
+            let ScalarExpr::Column { name, .. } = col.as_ref() else {
+                continue;
+            };
+            if !matches!(
+                key.as_ref(),
+                ScalarExpr::Literal(_) | ScalarExpr::Param { .. }
+            ) {
+                continue;
+            }
+            if let Some(def) = schema.index_on(name) {
+                let note = format!(
+                    "access path: index lookup on {name} ({} index)",
+                    format!("{:?}", def.kind).to_lowercase()
+                );
+                if single_pk.as_deref() == Some(name.as_str()) {
+                    return Some((at, format!("{note} — primary key equality, <= 1 row")));
+                }
+                if first.is_none() {
+                    first = Some((at, note));
+                }
+            }
         }
     }
-    None
+    first
 }
 
 fn explain_block(
@@ -124,27 +138,34 @@ fn explain_block(
                 explain_block(query, catalog, options, depth + 1, lines)?;
             }
         }
-        // Predicates pushed down to this scan alone. The first pushed
-        // equality on an indexed column is what `plan::prepare` turns
-        // into an index lookup, so it is annotated here too.
+        // Predicates pushed down to this scan alone. The pushed equality
+        // `plan::prepare` turns into an index lookup (primary-key
+        // equalities ranked first) is annotated here too.
         let schema = match t {
             TableRef::Named { name, .. } => Some(catalog.get(name)?),
             TableRef::Derived { .. } => None,
         };
-        let mut access_noted = false;
+        let mut pushed: Vec<&ScalarExpr> = Vec::new();
         for (i, c) in conjuncts.iter().enumerate() {
             if applied[i] || contains_exists(c) || c.contains_aggregate() {
                 continue;
             }
             if resolvable_within(c, std::slice::from_ref(&alias), &this_cols) {
-                lines.push(format!("{p}     pushdown: {}", expr_to_sql_inline(c)));
-                if options.use_indexes && !access_noted {
-                    if let Some(note) = schema.and_then(|s| index_access_note(s, c)) {
-                        lines.push(format!("{p}     {note}"));
-                        access_noted = true;
-                    }
-                }
+                pushed.push(c);
                 applied[i] = true;
+            }
+        }
+        let note_at = if options.use_indexes {
+            schema.and_then(|s| select_index_note(s, &pushed))
+        } else {
+            None
+        };
+        for (k, c) in pushed.iter().enumerate() {
+            lines.push(format!("{p}     pushdown: {}", expr_to_sql_inline(c)));
+            if let Some((at, note)) = &note_at {
+                if *at == k {
+                    lines.push(format!("{p}     {note}"));
+                }
             }
         }
 
@@ -400,6 +421,40 @@ mod tests {
         // No index, no annotation.
         let p = plan("SELECT hotelname FROM hotel WHERE metro_id = 3");
         assert!(!p.contains("access path"), "got:\n{p}");
+    }
+
+    #[test]
+    fn index_access_prefers_primary_key_equality() {
+        let mut catalog = Catalog::new();
+        catalog.add(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int).primary_key(),
+                    ColumnDef::new("hotelname", ColumnType::Str),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut hotel = catalog.get("hotel").unwrap().clone();
+        for column in ["starrating", "hotelid"] {
+            hotel.indexes.push(crate::schema::IndexDef {
+                column: column.to_owned(),
+                kind: crate::schema::IndexKind::Hash,
+            });
+        }
+        catalog.add(hotel);
+        // Both equalities are indexed; the primary-key one wins even
+        // though the non-key equality comes first.
+        let q = parse_query("SELECT hotelname FROM hotel WHERE starrating = 5 AND hotelid = 12")
+            .unwrap();
+        let p = explain_query(&q, &catalog).unwrap();
+        assert!(
+            p.contains("access path: index lookup on hotelid (hash index) — primary key equality, <= 1 row"),
+            "got:\n{p}"
+        );
+        assert!(!p.contains("index lookup on starrating"), "got:\n{p}");
     }
 
     #[test]

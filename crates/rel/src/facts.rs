@@ -29,7 +29,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
-use crate::domain::{Assumption, ColumnDomain};
+use crate::domain::{Assumption, Card, CardBound, ColumnDomain};
 use crate::eval::output_columns;
 use crate::print::expr_to_sql_inline;
 use crate::schema::Catalog;
@@ -41,8 +41,8 @@ use crate::value::Value;
 pub struct FactEntry {
     /// The abstract value-set.
     pub domain: ColumnDomain,
-    /// One line per fact applied, e.g. ``DDL: hotel.hotelid PRIMARY KEY``
-    /// or ``conjunct `starrating > 4```.
+    /// One line per fact applied, e.g. `DDL: hotel.hotelid PRIMARY KEY`
+    /// or a conjunct reference like `starrating > 4`.
     pub sources: Vec<String>,
 }
 
@@ -219,7 +219,6 @@ pub struct QueryAnalysis {
 
 /// Flattens a predicate into its top-level AND conjuncts, left to right.
 pub fn conjuncts(pred: &ScalarExpr) -> Vec<&ScalarExpr> {
-    let mut out = Vec::new();
     fn walk<'a>(e: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
         match e {
             ScalarExpr::Binary {
@@ -233,12 +232,13 @@ pub fn conjuncts(pred: &ScalarExpr) -> Vec<&ScalarExpr> {
             _ => out.push(e),
         }
     }
+
+    let mut out = Vec::new();
     walk(pred, &mut out);
     out
 }
 
 fn conjuncts_owned(pred: ScalarExpr) -> Vec<ScalarExpr> {
-    let mut out = Vec::new();
     fn walk(e: ScalarExpr, out: &mut Vec<ScalarExpr>) {
         match e {
             ScalarExpr::Binary {
@@ -252,6 +252,8 @@ fn conjuncts_owned(pred: ScalarExpr) -> Vec<ScalarExpr> {
             other => out.push(other),
         }
     }
+
+    let mut out = Vec::new();
     walk(pred, &mut out);
     out
 }
@@ -283,7 +285,7 @@ impl Scope {
                     tables.insert(binding.clone(), name.clone());
                     catalog
                         .get(name)
-                        .map(|s| s.column_names())
+                        .map(super::schema::TableSchema::column_names)
                         .unwrap_or_default()
                 }
                 TableRef::Derived { query, .. } => {
@@ -912,6 +914,253 @@ fn is_tautological(sub: &SelectQuery, sub_a: &QueryAnalysis) -> bool {
     false
 }
 
+/// Result of [`query_cardinality`]: the cardinality half of the abstract
+/// domain, layered on the same conjunct walk as [`analyze_query`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryCardinality {
+    /// Bound on the whole query's row count for one valuation of its
+    /// `$bv.column` parameters, with the justifying fact chain.
+    pub total: CardBound,
+    /// Per-FROM-item bound, same order as `q.from`: rows the item can
+    /// contribute for *fixed* rows of every other item. The product of
+    /// these (times the aggregate rule) is `total`.
+    pub per_item: Vec<Card>,
+    /// Like `per_item`, but counting only pins from literals, parameters
+    /// and *earlier* FROM items — so the running product of a prefix of
+    /// this vector bounds that join prefix as a standalone relation
+    /// (which `per_item`, whose pins may come from later items, does
+    /// not). Used for join-strategy selection.
+    pub per_item_prefix: Vec<Card>,
+    /// FROM bindings at index > 0 with no equality link to any other item
+    /// and no pinning predicate: cross-product candidates.
+    pub cross_joins: Vec<String>,
+}
+
+/// Convenience wrapper: just the whole-query bound.
+pub fn bound_query(q: &SelectQuery, catalog: &Catalog, inherited: &FactSet) -> CardBound {
+    query_cardinality(q, catalog, inherited).total
+}
+
+/// Derives a static row-count bound for `q` under inherited parameter
+/// facts, from `PRIMARY KEY` constraints and equality pushdowns:
+///
+/// * a FROM item whose full primary key is equated to literals,
+///   parameters or other items' columns contributes at most one row;
+/// * joins compose bounds multiplicatively;
+/// * an implicitly aggregating query yields exactly one row;
+/// * a query [`analyze_query`] proves empty yields zero.
+///
+/// The bound is an over-approximation (never an undercount): secondary
+/// indexes are not unique and contribute nothing here.
+pub fn query_cardinality(
+    q: &SelectQuery,
+    catalog: &Catalog,
+    inherited: &FactSet,
+) -> QueryCardinality {
+    let a = analyze_query(q, catalog, inherited);
+    let scope = Scope::build(&q.from, catalog);
+    let bindings: BTreeSet<String> = q.from.iter().map(|t| t.binding_name().to_owned()).collect();
+
+    // Which item a fact key `binding.col` belongs to, if any.
+    let item_of = |key: &str| -> Option<(String, String)> {
+        if key.starts_with('$') {
+            return None;
+        }
+        let (b, c) = key.split_once('.')?;
+        bindings.contains(b).then(|| (b.to_owned(), c.to_owned()))
+    };
+
+    // Equality conjuncts, classified once: for every item, the set of its
+    // columns equated to a value fixed per-row-of-the-other-items, and
+    // whether the item has any equality link to another item at all.
+    // `pinned_prefix` keeps only the pins usable when the item's join
+    // prefix executes standalone: literals, parameters and earlier items.
+    let index_of: BTreeMap<String, usize> = q
+        .from
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.binding_name().to_owned(), i))
+        .collect();
+    let mut pinned: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut pinned_prefix: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut linked: BTreeSet<String> = BTreeSet::new();
+    for c in q.where_clause.iter().flat_map(|w| conjuncts(w)) {
+        let ScalarExpr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        else {
+            continue;
+        };
+        let display = expr_to_sql_inline(c);
+        let sides = (side_of(lhs, &scope), side_of(rhs, &scope));
+        let (l, r) = match &sides {
+            (Side::Ref(l, _), Side::Ref(r, _)) => (Some(l.as_str()), Some(r.as_str())),
+            (Side::Ref(l, _), Side::Lit(_)) => (Some(l.as_str()), None),
+            (Side::Lit(_), Side::Ref(r, _)) => (None, Some(r.as_str())),
+            _ => continue,
+        };
+        let (li, ri) = (l.and_then(item_of), r.and_then(item_of));
+        // Literal / parameter / other-item column on the far side pins;
+        // a column of the same item does not.
+        let mut pin = |side: &Option<(String, String)>, other: &Option<(String, String)>| {
+            if let Some((b, col)) = side {
+                let other_binding = other.as_ref().map(|(ob, _)| ob);
+                if other_binding != Some(b) {
+                    pinned
+                        .entry(b.clone())
+                        .or_default()
+                        .entry(col.clone())
+                        .or_insert_with(|| display.clone());
+                    let earlier = match other_binding {
+                        None => true, // literal or parameter
+                        Some(ob) => index_of.get(ob) < index_of.get(b),
+                    };
+                    if earlier {
+                        pinned_prefix
+                            .entry(b.clone())
+                            .or_default()
+                            .entry(col.clone())
+                            .or_insert_with(|| display.clone());
+                    }
+                }
+                if let Some(ob) = other_binding {
+                    if ob != b {
+                        linked.insert(b.clone());
+                        linked.insert(ob.clone());
+                    }
+                }
+            }
+        };
+        pin(&li, &ri);
+        pin(&ri, &li);
+    }
+
+    // Per-item bounds.
+    let mut per_item = Vec::with_capacity(q.from.len());
+    let mut per_item_prefix = Vec::with_capacity(q.from.len());
+    let mut chain = Vec::new();
+    let mut cross_joins = Vec::new();
+    for (idx, t) in q.from.iter().enumerate() {
+        let binding = t.binding_name().to_owned();
+        let (card, prefix_card) = match t {
+            TableRef::Named { name, .. } => {
+                let pk: Vec<String> = catalog
+                    .get(name)
+                    .map(|s| s.primary_key().iter().map(|c| (*c).to_owned()).collect())
+                    .unwrap_or_default();
+                let covered_by = |pins: Option<&BTreeMap<String, String>>| {
+                    !pk.is_empty() && pk.iter().all(|c| pins.is_some_and(|p| p.contains_key(c)))
+                };
+                let pins = pinned.get(&binding);
+                let card = if covered_by(pins) {
+                    for c in &pk {
+                        chain.push(format!("DDL: {name}.{c} PRIMARY KEY"));
+                        chain.push(format!(
+                            "conjunct `{}` pins {binding}.{c}",
+                            pins.unwrap()[c]
+                        ));
+                    }
+                    Card::AtMostOne
+                } else {
+                    Card::Unbounded
+                };
+                let prefix_card = if covered_by(pinned_prefix.get(&binding)) {
+                    Card::AtMostOne
+                } else {
+                    Card::Unbounded
+                };
+                (card, prefix_card)
+            }
+            TableRef::Derived { query, .. } => {
+                let sub = query_cardinality(query, catalog, &inherited.params_only());
+                if sub.total.card != Card::Unbounded {
+                    chain.push(format!(
+                        "derived table `{binding}` yields {}",
+                        sub.total.card
+                    ));
+                    chain.extend(sub.total.chain);
+                }
+                // A derived table's bound is self-contained, so it holds
+                // for the standalone prefix too.
+                (sub.total.card, sub.total.card)
+            }
+        };
+        if idx > 0 && !linked.contains(&binding) && !card.at_most_one() {
+            cross_joins.push(binding);
+        }
+        per_item.push(card);
+        per_item_prefix.push(prefix_card);
+    }
+
+    // Whole-query bound: emptiness and the implicit-aggregate rule beat
+    // the pipeline product.
+    let total = if a.empty {
+        CardBound::new(Card::Zero, a.empty_chain)
+    } else if q.is_aggregating() && q.group_by.is_empty() {
+        CardBound::new(
+            Card::AtMostOne,
+            vec!["implicit aggregation yields exactly one row".to_owned()],
+        )
+    } else {
+        let mut card = Card::AtMostOne; // empty FROM: one probe row
+        if q.from.is_empty() {
+            chain.push("empty FROM yields exactly one probe row".to_owned());
+        }
+        for &c in &per_item {
+            card = card.times(c);
+        }
+        if card == Card::Unbounded {
+            chain.clear();
+        }
+        CardBound::new(card, chain)
+    };
+    QueryCardinality {
+        total,
+        per_item,
+        per_item_prefix,
+        cross_joins,
+    }
+}
+
+/// Drops the conjuncts `analysis` proved redundant from `q`'s WHERE and
+/// HAVING clauses; returns how many were eliminated. `analysis` must come
+/// from [`analyze_query`] on this exact query.
+pub fn drop_redundant_conjuncts(q: &mut SelectQuery, analysis: &QueryAnalysis) -> usize {
+    if analysis.contradiction.is_some() {
+        return 0; // facts past a contradiction are unreliable
+    }
+    let mut eliminated = 0;
+    for clause in [ClauseKind::Where, ClauseKind::Having] {
+        let drops: BTreeSet<usize> = analysis
+            .redundant
+            .iter()
+            .filter(|r| r.clause == clause && !r.conjunct.is_empty())
+            .map(|r| r.index)
+            .collect();
+        if drops.is_empty() {
+            continue;
+        }
+        let slot = match clause {
+            ClauseKind::Where => &mut q.where_clause,
+            ClauseKind::Having => &mut q.having,
+        };
+        let Some(pred) = slot.take() else { continue };
+        let parts = conjuncts_owned(pred);
+        let total = parts.len();
+        let kept: Vec<ScalarExpr> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !drops.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        eliminated += total - kept.len();
+        *slot = refold(kept);
+    }
+    eliminated
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1153,41 +1402,86 @@ mod tests {
             Some(Value::Int(5))
         );
     }
-}
 
-/// Drops the conjuncts `analysis` proved redundant from `q`'s WHERE and
-/// HAVING clauses; returns how many were eliminated. `analysis` must come
-/// from [`analyze_query`] on this exact query.
-pub fn drop_redundant_conjuncts(q: &mut SelectQuery, analysis: &QueryAnalysis) -> usize {
-    if analysis.contradiction.is_some() {
-        return 0; // facts past a contradiction are unreliable
+    fn card_of(sql: &str) -> QueryCardinality {
+        query_cardinality(&parse_query(sql).unwrap(), &catalog(), &FactSet::new())
     }
-    let mut eliminated = 0;
-    for clause in [ClauseKind::Where, ClauseKind::Having] {
-        let drops: BTreeSet<usize> = analysis
-            .redundant
-            .iter()
-            .filter(|r| r.clause == clause && !r.conjunct.is_empty())
-            .map(|r| r.index)
-            .collect();
-        if drops.is_empty() {
-            continue;
-        }
-        let slot = match clause {
-            ClauseKind::Where => &mut q.where_clause,
-            ClauseKind::Having => &mut q.having,
-        };
-        let Some(pred) = slot.take() else { continue };
-        let parts = conjuncts_owned(pred);
-        let total = parts.len();
-        let kept: Vec<ScalarExpr> = parts
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| !drops.contains(i))
-            .map(|(_, e)| e)
-            .collect();
-        eliminated += total - kept.len();
-        *slot = refold(kept);
+
+    #[test]
+    fn pk_equality_pins_to_at_most_one() {
+        let c = card_of("SELECT * FROM hotel WHERE hotelid = 7");
+        assert_eq!(c.total.card, Card::AtMostOne);
+        assert!(
+            c.total.chain.iter().any(|s| s.contains("PRIMARY KEY")),
+            "{:?}",
+            c.total.chain
+        );
+        let c = card_of("SELECT * FROM hotel WHERE hotelid = $m.hid");
+        assert_eq!(c.total.card, Card::AtMostOne);
+        // Non-key equality does not pin.
+        let c = card_of("SELECT * FROM hotel WHERE metro_id = 3");
+        assert_eq!(c.total.card, Card::Unbounded);
     }
-    eliminated
+
+    #[test]
+    fn joins_compose_multiplicatively() {
+        // Both sides key-pinned (one via the other's column): <= 1 row.
+        let c = card_of(
+            "SELECT * FROM hotel AS a, hotel AS b \
+             WHERE a.hotelid = 3 AND b.hotelid = a.hotelid",
+        );
+        assert_eq!(c.total.card, Card::AtMostOne);
+        assert_eq!(c.per_item, vec![Card::AtMostOne, Card::AtMostOne]);
+        assert!(c.cross_joins.is_empty());
+        // Unpinned join partner: unbounded, but linked (not a cross join).
+        let c = card_of("SELECT * FROM hotel AS a, hotel AS b WHERE a.hotelid = b.metro_id");
+        assert_eq!(c.total.card, Card::Unbounded);
+        assert!(c.cross_joins.is_empty());
+    }
+
+    #[test]
+    fn cross_product_without_key_is_flagged() {
+        let c = card_of("SELECT * FROM hotel AS a, hotel AS b");
+        assert_eq!(c.total.card, Card::Unbounded);
+        assert_eq!(c.cross_joins, vec!["b".to_owned()]);
+        // A pinned second side is a cheap nested loop, not a blowup.
+        let c = card_of("SELECT * FROM hotel AS a, hotel AS b WHERE b.hotelid = 1");
+        assert!(c.cross_joins.is_empty(), "{:?}", c.cross_joins);
+    }
+
+    #[test]
+    fn aggregates_empties_and_probes_are_exact() {
+        let c = card_of("SELECT SUM(starrating) FROM hotel");
+        assert_eq!(c.total.card, Card::AtMostOne);
+        assert!(c.total.chain[0].contains("implicit aggregation"));
+        // Provably empty beats everything.
+        let c = card_of("SELECT city FROM hotel WHERE 1 = 2 GROUP BY city");
+        assert_eq!(c.total.card, Card::Zero);
+        assert!(!c.total.chain.is_empty());
+        // Guard probes: empty FROM yields exactly one pseudo-row.
+        let mut probe = SelectQuery::new(vec![SelectItem::expr(ScalarExpr::int(1))], vec![]);
+        probe.where_clause = Some(ScalarExpr::binary(
+            BinOp::Gt,
+            ScalarExpr::param("m", "pop"),
+            ScalarExpr::int(10),
+        ));
+        let c = query_cardinality(&probe, &catalog(), &FactSet::new());
+        assert_eq!(c.total.card, Card::AtMostOne);
+    }
+
+    #[test]
+    fn derived_tables_recurse() {
+        let c = card_of("SELECT * FROM (SELECT SUM(starrating) AS s FROM hotel) AS t");
+        assert_eq!(c.total.card, Card::AtMostOne);
+        assert!(
+            c.total
+                .chain
+                .iter()
+                .any(|s| s.contains("derived table `t`")),
+            "{:?}",
+            c.total.chain
+        );
+        let c = card_of("SELECT * FROM (SELECT * FROM hotel) AS t");
+        assert_eq!(c.total.card, Card::Unbounded);
+    }
 }

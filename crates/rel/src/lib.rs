@@ -40,6 +40,19 @@
 //!   fact-chain provenance (consumed by TVQ pruning and `xvc check`).
 
 #![warn(missing_docs)]
+// Curated clippy::pedantic subset shared with `xvc-analyze` (kept clean
+// under `-D warnings` in ci.sh).
+#![warn(
+    clippy::doc_markdown,
+    clippy::explicit_iter_loop,
+    clippy::items_after_statements,
+    clippy::manual_let_else,
+    clippy::match_same_arms,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned,
+    clippy::uninlined_format_args
+)]
 
 pub mod ast;
 pub mod csv;
@@ -63,7 +76,7 @@ pub mod value;
 pub use ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
 pub use csv::load_csv;
 pub use ddl::{database_from_ddl, parse_create_table, parse_ddl};
-pub use domain::{Assumption, ColumnDomain};
+pub use domain::{Assumption, Card, CardBound, ColumnDomain};
 pub use error::{Error, Result};
 pub use eval::{
     eval_query, eval_query_stats, eval_query_with, output_columns, EvalOptions, EvalStats,
@@ -71,8 +84,8 @@ pub use eval::{
 };
 pub use explain::{explain_query, explain_query_with};
 pub use facts::{
-    analyze_query, drop_redundant_conjuncts, param_key, ClauseKind, FactEntry, FactSet,
-    QueryAnalysis,
+    analyze_query, bound_query, drop_redundant_conjuncts, param_key, query_cardinality, ClauseKind,
+    FactEntry, FactSet, QueryAnalysis, QueryCardinality,
 };
 pub use index::SecondaryIndex;
 pub use optimize::optimize;

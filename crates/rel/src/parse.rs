@@ -282,8 +282,8 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: Token, expected: &'static str) -> Result<()> {
-        if self.eat(&t) {
+    fn expect(&mut self, t: &Token, expected: &'static str) -> Result<()> {
+        if self.eat(t) {
             Ok(())
         } else {
             match self.peek() {
@@ -361,7 +361,7 @@ impl Parser {
         let preserved = self.eat_keyword("OUTER");
         if self.eat(&Token::LParen) {
             let q = self.query()?;
-            self.expect(Token::RParen, "')'")?;
+            self.expect(&Token::RParen, "')'")?;
             self.expect_keyword("AS")?;
             let alias = self.ident("derived-table alias")?;
             return Ok(TableRef::Derived {
@@ -495,14 +495,14 @@ impl Parser {
             Some(Token::Dollar) => {
                 self.bump();
                 let var = self.ident("binding-variable name after '$'")?;
-                self.expect(Token::Dot, "'.' after binding variable")?;
+                self.expect(&Token::Dot, "'.' after binding variable")?;
                 let column = self.ident("column after '$var.'")?;
                 Ok(ScalarExpr::Param { var, column })
             }
             Some(Token::LParen) => {
                 self.bump();
                 let e = self.expr()?;
-                self.expect(Token::RParen, "')'")?;
+                self.expect(&Token::RParen, "')'")?;
                 Ok(e)
             }
             Some(Token::Word(w)) => {
@@ -512,9 +512,9 @@ impl Parser {
                 }
                 if w.eq_ignore_ascii_case("EXISTS") {
                     self.bump();
-                    self.expect(Token::LParen, "'(' after EXISTS")?;
+                    self.expect(&Token::LParen, "'(' after EXISTS")?;
                     let q = self.query()?;
-                    self.expect(Token::RParen, "')'")?;
+                    self.expect(&Token::RParen, "')'")?;
                     return Ok(ScalarExpr::Exists(Box::new(q)));
                 }
                 if let Some(func) = agg_func(&w) {
@@ -526,7 +526,7 @@ impl Parser {
                         } else {
                             Some(Box::new(self.expr()?))
                         };
-                        self.expect(Token::RParen, "')'")?;
+                        self.expect(&Token::RParen, "')'")?;
                         return Ok(ScalarExpr::Aggregate { func, arg });
                     }
                 }
@@ -617,6 +617,17 @@ mod tests {
 
     #[test]
     fn parses_exists_with_having() {
+        fn count_exists(e: &ScalarExpr, n: &mut usize) {
+            match e {
+                ScalarExpr::Exists(_) => *n += 1,
+                ScalarExpr::Binary { lhs, rhs, .. } => {
+                    count_exists(lhs, n);
+                    count_exists(rhs, n);
+                }
+                ScalarExpr::Not(e) => count_exists(e, n),
+                _ => {}
+            }
+        }
         let q = parse_query(
             "SELECT * FROM confroom \
              WHERE chotel_id=$s_new.hotelid \
@@ -631,17 +642,6 @@ mod tests {
         .unwrap();
         let w = q.where_clause.unwrap();
         let mut count = 0;
-        fn count_exists(e: &ScalarExpr, n: &mut usize) {
-            match e {
-                ScalarExpr::Exists(_) => *n += 1,
-                ScalarExpr::Binary { lhs, rhs, .. } => {
-                    count_exists(lhs, n);
-                    count_exists(rhs, n);
-                }
-                ScalarExpr::Not(e) => count_exists(e, n),
-                _ => {}
-            }
-        }
         count_exists(&w, &mut count);
         assert_eq!(count, 2);
     }

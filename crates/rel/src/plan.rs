@@ -34,12 +34,14 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 
 use crate::ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
+use crate::domain::{Card, CardBound};
 use crate::error::{Error, Result};
 use crate::eval::{
     ambiguity_from_sets, cols_set, contains_exists, equi_pair_layouts, eval_binop, item_names,
     key_of, output_columns, resolvable_within, resolve_param, split_and, AggAcc, EvalOptions,
     EvalStats, Key, Layout, ParamEnv, Relation, Scope,
 };
+use crate::facts::{query_cardinality, FactSet};
 use crate::schema::{Catalog, TableSchema};
 use crate::table::Database;
 use crate::value::Value;
@@ -117,6 +119,12 @@ struct PlanFrom {
     prefix_filters: Vec<PExpr>,
     /// Preserved-side derived table (left-outer padding semantics).
     preserved: bool,
+    /// Cardinality-driven join strategy: the joined prefix is statically
+    /// bounded to at most one row, so the hash build over this item is
+    /// skipped and the (at most one) prefix row filters this item's rows
+    /// directly. Same rows, same order, same counters as the hash path —
+    /// but no hash table is materialized.
+    filter_probe: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +171,17 @@ pub struct PreparedPlan {
     /// full scan + binding hash-join, since per-binding lookups touch only
     /// matching rows while the shared pipeline reads the whole table.
     index_loop: bool,
+    /// Static row-count bound for one parameter valuation, derived at
+    /// prepare time from `PRIMARY KEY` constraints and equality pushdowns
+    /// ([`query_cardinality`]), with its justifying fact chain.
+    bound: CardBound,
+    /// Caller-supplied bound on the *number of bindings* a batch will
+    /// carry (the publisher's per-parent fan-out bound for the view node
+    /// that owns this plan). When it proves at most one binding per
+    /// batch, the shared-pipeline batch strategy is demoted to scalar
+    /// execution: scanning the whole table to serve one binding does
+    /// strictly more work than one filtered (or indexed) execution.
+    binding_bound: Card,
 }
 
 // ---------------------------------------------------------------------------
@@ -188,7 +207,26 @@ pub fn prepare_with(
         options,
         slots: Vec::new(),
     };
-    let root = compiler.compile_block(q)?;
+    let mut root = compiler.compile_block(q)?;
+
+    // Cardinality pass: per-item bounds drive the join strategy (a
+    // provably <= 1 row joined prefix probes by filtering instead of
+    // building a hash table), the total bound is kept on the plan for
+    // `describe()`/`xvc explain` and the publisher's batch sizing.
+    let card = query_cardinality(q, catalog, &FactSet::new());
+    let mut prefix = Card::AtMostOne;
+    for (i, item) in root.from.iter_mut().enumerate() {
+        if i > 0 && options.hash_joins && prefix.at_most_one() && !item.join_keys.is_empty() {
+            item.filter_probe = true;
+        }
+        prefix = prefix.times(
+            card.per_item_prefix
+                .get(i)
+                .copied()
+                .unwrap_or(Card::Unbounded),
+        );
+    }
+
     let batch = analyze_batch(&root, compiler.slots.len());
     let index_loop = batch.is_some()
         && root
@@ -201,6 +239,8 @@ pub fn prepare_with(
         options,
         batch,
         index_loop,
+        bound: card.total,
+        binding_bound: Card::Unbounded,
     })
 }
 
@@ -365,6 +405,7 @@ impl Compiler<'_> {
                         ..
                     }
                 ),
+                filter_probe: false,
             });
         }
 
@@ -414,12 +455,18 @@ impl Compiler<'_> {
     }
 }
 
-/// Picks an index access path from the compiled pushdowns: the first
+/// Picks an index access path from the compiled pushdowns: a
 /// `col = literal` / `col = $slot` equality (either operand order) whose
-/// column carries a declared index. Table column names are unique, so the
-/// column resolves uniquely within the item; richer key expressions are
-/// skipped because the key must evaluate without a row in scope.
+/// column carries a declared index. Among candidates, an equality on a
+/// single-column `PRIMARY KEY` wins (the cardinality domain proves such a
+/// lookup fetches at most one row); otherwise the first candidate in
+/// pushdown order is kept. Table column names are unique, so the column
+/// resolves uniquely within the item; richer key expressions are skipped
+/// because the key must evaluate without a row in scope.
 fn select_index_access(schema: &TableSchema, pushdown: &[PExpr]) -> Access {
+    let pk = schema.primary_key();
+    let single_pk = (pk.len() == 1).then(|| pk[0].to_owned());
+    let mut first: Option<Access> = None;
     for p in pushdown {
         let PExpr::Binary {
             op: BinOp::Eq,
@@ -439,14 +486,20 @@ fn select_index_access(schema: &TableSchema, pushdown: &[PExpr]) -> Access {
                 continue;
             }
             if let Some(column) = schema.column_index(name) {
-                return Access::IndexEq {
+                let access = Access::IndexEq {
                     column,
                     key: key.clone(),
                 };
+                if single_pk.as_deref() == Some(name.as_str()) {
+                    return access; // unique: at most one row fetched
+                }
+                if first.is_none() {
+                    first = Some(access);
+                }
             }
         }
     }
-    Access::FullScan
+    first.unwrap_or(Access::FullScan)
 }
 
 // ---------------------------------------------------------------------------
@@ -536,6 +589,10 @@ fn analyze_batch(root: &PlanBlock, n_slots: usize) -> Option<BatchPlan> {
         if matches!(&item.access, Access::IndexEq { key, .. } if count_slots_expr(key) > 0) {
             item.access = Access::FullScan;
         }
+        // The <= 1 row prefix bound was justified by the (now removed)
+        // slot pins; the shared pipeline's prefix carries every binding's
+        // rows, so it joins by hash like any unbounded prefix.
+        item.filter_probe = false;
     }
     Some(BatchPlan { stripped, keys })
 }
@@ -668,6 +725,33 @@ impl PreparedPlan {
         self.options
     }
 
+    /// Static bound on the rows one execution can produce (per parameter
+    /// valuation), with the fact chain that justifies it. Derived at
+    /// prepare time; an over-approximation, never an undercount.
+    pub fn bound(&self) -> &CardBound {
+        &self.bound
+    }
+
+    /// The caller-declared bound on bindings per batch
+    /// (see [`PreparedPlan::with_binding_bound`]).
+    pub fn binding_bound(&self) -> Card {
+        self.binding_bound
+    }
+
+    /// Declares a static bound on how many parameter environments any
+    /// [`PreparedPlan::execute_batch`] call will carry — the publisher's
+    /// per-parent fan-out bound for the view node that owns this plan.
+    /// When the bound proves at most one binding, the shared-pipeline
+    /// batch strategy is skipped in favour of per-binding execution
+    /// (which keeps pushdowns and index access paths keyed on the
+    /// binding's slots); rows and row order are unaffected. Defaults to
+    /// [`Card::Unbounded`], which preserves the heuristic behaviour.
+    #[must_use]
+    pub fn with_binding_bound(mut self, bound: Card) -> Self {
+        self.binding_bound = bound;
+        self
+    }
+
     /// Executes the plan, producing the same [`Relation`] as
     /// `eval_query_with` on the source query under the plan's options.
     pub fn execute(&self, db: &Database, env: &ParamEnv) -> Result<Relation> {
@@ -760,6 +844,19 @@ impl PreparedPlan {
         envs: &[ParamEnv],
         stats: &mut EvalStats,
     ) -> Result<BatchResult> {
+        struct Group {
+            first: usize,
+            members: Vec<usize>,
+            values: Option<Vec<Value>>,
+        }
+        enum Mode {
+            Fast {
+                rows: Vec<Vec<Value>>,
+                index: HashMap<Vec<Key>, Vec<usize>>,
+            },
+            Scalar,
+        }
+
         if envs.is_empty() {
             return Ok(BatchResult {
                 columns: self.root.columns.clone(),
@@ -771,11 +868,6 @@ impl PreparedPlan {
         // first-occurrence order. Distinctness is on strict value identity
         // (same rendering the publisher's memo uses), which is sound per
         // the `slots()` contract.
-        struct Group {
-            first: usize,
-            members: Vec<usize>,
-            values: Option<Vec<Value>>,
-        }
         let mut order: Vec<Group> = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
         for (i, env) in envs.iter().enumerate() {
@@ -817,17 +909,18 @@ impl PreparedPlan {
 
         // 2. Shared pipeline: one binding-free run of the stripped plan,
         // indexed by the deferred key columns.
-        enum Mode {
-            Fast {
-                rows: Vec<Vec<Value>>,
-                index: HashMap<Vec<Key>, Vec<usize>>,
-            },
-            Scalar,
-        }
         let mode = match &self.batch {
             // Index-nested-loop plans skip the shared pipeline: scalar
             // executions below each probe the index per distinct binding.
-            Some(bp) if !self.index_loop && order.iter().any(|g| g.values.is_some()) => {
+            // So do plans whose declared binding bound proves at most one
+            // binding per batch: scanning the whole table to serve a
+            // single binding does strictly more work than one execution
+            // with the slot pushdowns (and any index path) intact.
+            Some(bp)
+                if !self.index_loop
+                    && !self.binding_bound.at_most_one()
+                    && order.iter().any(|g| g.values.is_some()) =>
+            {
                 let attempt = Cell::new(EvalStats::default());
                 let empty = ParamEnv::new();
                 let shared = {
@@ -926,7 +1019,7 @@ impl PreparedPlan {
                             options: self.options,
                             stats: &cell,
                         };
-                        finish_block(&ctx, &bp.stripped, matched, None)?
+                        finish_block(&ctx, &bp.stripped, &matched, None)?
                     };
                     let mut s = cell.get();
                     s.param_queries += 1; // slots resolved ⇒ env non-empty
@@ -985,8 +1078,20 @@ impl PreparedPlan {
                 .collect();
             let _ = writeln!(out, "  slots: {}", rendered.join(", "));
         }
+        let _ = writeln!(out, "  cardinality: {}", self.bound);
+        if self.binding_bound != Card::Unbounded {
+            let _ = writeln!(out, "  binding bound: {} per batch", self.binding_bound);
+        }
         describe_block(&self.root, &self.slots, 1, &mut out);
         match &self.batch {
+            Some(_) if !self.index_loop && self.binding_bound.at_most_one() => {
+                let _ = writeln!(
+                    out,
+                    "  batch: per-binding scalar execution — binding bound \
+                     {} justifies skipping the shared pipeline",
+                    self.binding_bound
+                );
+            }
             Some(bp) => {
                 let keys: Vec<String> = bp
                     .keys
@@ -1172,7 +1277,15 @@ fn describe_block(block: &PlanBlock, slots: &[(String, String)], depth: usize, o
                 .iter()
                 .map(|(l, r)| format!("{} = {}", fmt_pexpr(l, slots), fmt_pexpr(r, slots)))
                 .collect();
-            format!(" | hash join on ({})", ks.join(", "))
+            if item.filter_probe {
+                format!(
+                    " | filter-probe join on ({}) — joined prefix bounded \
+                     to <= 1 row, hash build skipped",
+                    ks.join(", ")
+                )
+            } else {
+                format!(" | hash join on ({})", ks.join(", "))
+            }
         };
         let preserved = if item.preserved {
             " | preserved (left-outer)"
@@ -1379,7 +1492,7 @@ fn exec_block(
     parent: Option<&Scope<'_>>,
 ) -> Result<Relation> {
     let rows = exec_source_rows(ctx, block, parent)?;
-    finish_block(ctx, block, rows, parent)
+    finish_block(ctx, block, &rows, parent)
 }
 
 /// FROM + WHERE: scans (with fused pushdown), joins, prefix filters,
@@ -1483,7 +1596,7 @@ fn exec_source_rows(
 
         let mut joined = match work.take() {
             None => rows,
-            Some(prev) => p_join(ctx, prev, rows, item, parent)?,
+            Some(prev) => p_join(ctx, &prev, &rows, item, parent)?,
         };
         for p in &item.prefix_filters {
             p_filter_rows(ctx, &mut joined, &item.joined_layout, p, parent)?;
@@ -1522,13 +1635,13 @@ fn exec_source_rows(
 fn finish_block(
     ctx: &ExecCtx<'_>,
     block: &PlanBlock,
-    rows: Vec<Vec<Value>>,
+    rows: &[Vec<Value>],
     parent: Option<&Scope<'_>>,
 ) -> Result<Relation> {
     let mut rel = if block.aggregating {
-        p_project_grouped(ctx, block, &rows, parent)?
+        p_project_grouped(ctx, block, rows, parent)?
     } else {
-        p_project_plain(ctx, block, &rows, parent)?
+        p_project_plain(ctx, block, rows, parent)?
     };
 
     if block.distinct {
@@ -1611,16 +1724,16 @@ fn p_apply_residual(
 
 fn p_join(
     ctx: &ExecCtx<'_>,
-    prev_rows: Vec<Vec<Value>>,
-    next_rows: Vec<Vec<Value>>,
+    prev_rows: &[Vec<Value>],
+    next_rows: &[Vec<Value>],
     item: &PlanFrom,
     parent: Option<&Scope<'_>>,
 ) -> Result<Vec<Vec<Value>>> {
     if item.join_keys.is_empty() {
         // Cross product.
         let mut rows = Vec::with_capacity(prev_rows.len() * next_rows.len());
-        for a in &prev_rows {
-            for b in &next_rows {
+        for a in prev_rows {
+            for b in next_rows {
                 let mut row = a.clone();
                 row.extend(b.iter().cloned());
                 rows.push(row);
@@ -1638,6 +1751,58 @@ fn p_join(
         s.hash_join_build_rows += next_rows.len() as u64;
         s.hash_join_probe_rows += prev_rows.len() as u64;
     });
+
+    // Cardinality-driven strategy: the joined prefix is statically <= 1
+    // row, so instead of materializing a hash table over the next side,
+    // its (precomputed, once per row — same evaluation counts as the
+    // build) keys filter directly against the probe key. Same rows, same
+    // order, same counters; no HashMap allocation.
+    if item.filter_probe {
+        let mut next_keys: Vec<Option<Vec<Key>>> = Vec::with_capacity(next_rows.len());
+        'keys: for row in next_rows {
+            let mut key = Vec::with_capacity(item.join_keys.len());
+            for (_, nexpr) in &item.join_keys {
+                let scope = Scope {
+                    layout: &item.layout,
+                    row,
+                    parent,
+                    probe: None,
+                };
+                let v = p_eval_scalar(ctx, nexpr, &scope)?;
+                if v.is_null() {
+                    next_keys.push(None); // NULL never equi-joins
+                    continue 'keys;
+                }
+                key.push(key_of(&v));
+            }
+            next_keys.push(Some(key));
+        }
+        let mut rows = Vec::new();
+        'fprobe: for a in prev_rows {
+            let mut key = Vec::with_capacity(item.join_keys.len());
+            for (pexpr, _) in &item.join_keys {
+                let scope = Scope {
+                    layout: &item.prev_layout,
+                    row: a,
+                    parent,
+                    probe: None,
+                };
+                let v = p_eval_scalar(ctx, pexpr, &scope)?;
+                if v.is_null() {
+                    continue 'fprobe;
+                }
+                key.push(key_of(&v));
+            }
+            for (i, nk) in next_keys.iter().enumerate() {
+                if nk.as_ref() == Some(&key) {
+                    let mut row = a.clone();
+                    row.extend(next_rows[i].iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        return Ok(rows);
+    }
 
     // Build on the next side.
     let mut index: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
@@ -1661,7 +1826,7 @@ fn p_join(
 
     // Probe with the prev side.
     let mut rows = Vec::new();
-    'probe: for a in &prev_rows {
+    'probe: for a in prev_rows {
         let mut key = Vec::with_capacity(item.join_keys.len());
         for (pexpr, _) in &item.join_keys {
             let scope = Scope {
@@ -2303,5 +2468,165 @@ mod tests {
         assert_eq!(prepared, interp);
         assert_eq!(plan_stats, interp_stats);
         assert!(plan_stats.nested_loop_joins > 0);
+    }
+
+    /// `hotel_db` data under a catalog with PRIMARY KEYs, so the
+    /// cardinality pass has constraints to work with.
+    fn pk_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "metroarea",
+                vec![
+                    ColumnDef::new("metroid", ColumnType::Int).primary_key(),
+                    ColumnDef::new("metroname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        db.create_table(
+            TableSchema::new(
+                "hotel",
+                vec![
+                    ColumnDef::new("hotelid", ColumnType::Int).primary_key(),
+                    ColumnDef::new("hotelname", ColumnType::Str),
+                    ColumnDef::new("starrating", ColumnType::Int),
+                    ColumnDef::new("metro_id", ColumnType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        for (id, name) in [(1, "chicago"), (2, "nyc")] {
+            db.insert("metroarea", vec![Value::Int(id), Value::Str(name.into())])
+                .unwrap();
+        }
+        for (id, name, stars, metro) in [
+            (10, "palmer", 5, 1),
+            (11, "drake", 4, 1),
+            (12, "plaza", 5, 2),
+        ] {
+            db.insert(
+                "hotel",
+                vec![
+                    Value::Int(id),
+                    Value::Str(name.into()),
+                    Value::Int(stars),
+                    Value::Int(metro),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn bound_computed_and_rendered() {
+        let db = pk_db();
+        let pinned = prepare(
+            &parse_query("SELECT metroname FROM metroarea WHERE metroid = $m.metroid").unwrap(),
+            &db.catalog(),
+        )
+        .unwrap();
+        assert!(pinned.bound().card.at_most_one(), "{:?}", pinned.bound());
+        assert!(
+            pinned.describe().contains("cardinality: <= 1 row"),
+            "{}",
+            pinned.describe()
+        );
+
+        let open = prepare(
+            &parse_query("SELECT hotelname FROM hotel WHERE starrating > 3").unwrap(),
+            &db.catalog(),
+        )
+        .unwrap();
+        assert_eq!(open.bound().card, Card::Unbounded);
+        assert!(
+            open.describe().contains("cardinality: unbounded"),
+            "{}",
+            open.describe()
+        );
+    }
+
+    #[test]
+    fn filter_probe_join_fires_on_bounded_prefix_with_parity() {
+        let db = pk_db();
+        // metroarea's full PK is pinned by the parameter, so the joined
+        // prefix entering the hotel join is statically <= 1 row.
+        let sql = "SELECT hotelname, metroname FROM metroarea, hotel \
+                   WHERE metroid = $m.metroid AND metro_id = metroid";
+        let plan = prepare(&parse_query(sql).unwrap(), &db.catalog()).unwrap();
+        let text = plan.describe();
+        assert!(text.contains("filter-probe join on"), "{text}");
+        assert!(!text.contains("hash join on"), "{text}");
+        // Rows, order AND stats agree with the interpreter (the strategy
+        // bumps the hash-join counters it replaces).
+        let r = check(&db, sql, &metro_param(1, "chicago"));
+        assert_eq!(r.len(), 2);
+
+        // Without the pin the prefix is unbounded: ordinary hash join.
+        let unpinned = prepare(
+            &parse_query(
+                "SELECT hotelname, metroname FROM metroarea, hotel WHERE metro_id = metroid",
+            )
+            .unwrap(),
+            &db.catalog(),
+        )
+        .unwrap();
+        assert!(
+            unpinned.describe().contains("hash join on"),
+            "{}",
+            unpinned.describe()
+        );
+    }
+
+    #[test]
+    fn binding_bound_demotes_batch_to_scalar() {
+        let db = hotel_db();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE metro_id=$m.metroid").unwrap();
+        let plan = prepare(&q, &db.catalog())
+            .unwrap()
+            .with_binding_bound(Card::AtMostOne);
+        assert!(plan.batchable());
+        assert_eq!(plan.binding_bound(), Card::AtMostOne);
+        let text = plan.describe();
+        assert!(text.contains("binding bound: <= 1 row per batch"), "{text}");
+        assert!(text.contains("per-binding scalar execution"), "{text}");
+
+        let envs = vec![metro_param(2, "nyc")];
+        let (scalar, scalar_stats) = scalar_loop(&plan, &db, &envs).unwrap();
+        let mut stats = EvalStats::default();
+        let batch = plan.execute_batch_stats(&db, &envs, &mut stats).unwrap();
+        assert_eq!(batch.rows_for(0), &scalar[0].rows[..]);
+        // No shared pipeline, no binding hash-join: the batch did exactly
+        // the scalar loop's work.
+        assert_eq!(stats, scalar_stats);
+        assert_eq!(stats.hash_join_builds, 0);
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn index_selection_prefers_primary_key_equality() {
+        let mut db = pk_db();
+        // Indexes on both a non-key and the key column; the key equality
+        // wins regardless of conjunct order.
+        db.create_index("hotel", "starrating", crate::schema::IndexKind::Hash)
+            .unwrap();
+        db.create_index("hotel", "hotelid", crate::schema::IndexKind::Hash)
+            .unwrap();
+        let q = parse_query("SELECT hotelname FROM hotel WHERE starrating = 5 AND hotelid = 12")
+            .unwrap();
+        let plan = prepare(&q, &db.catalog()).unwrap();
+        let text = plan.describe();
+        assert!(
+            text.contains("index lookup hotel on hotelid = 12"),
+            "{text}"
+        );
+        let mut stats = EvalStats::default();
+        let rel = plan
+            .execute_stats(&db, &ParamEnv::new(), &mut stats)
+            .unwrap();
+        assert_eq!(rel.rows, vec![vec![Value::Str("plaza".into())]]);
+        assert_eq!(stats.index_lookups, 1);
+        assert_eq!(stats.rows_scanned, 1);
     }
 }

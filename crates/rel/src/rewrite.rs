@@ -142,7 +142,6 @@ fn visit_level_columns(q: &mut SelectQuery, f: &mut impl FnMut(&mut Option<Strin
             }
             ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
             ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
-            ScalarExpr::Exists(_) => {}
             _ => {}
         }
     }
@@ -178,19 +177,6 @@ pub fn unbind_param_nested(
     binding_query: &SelectQuery,
     catalog: &Catalog,
 ) -> Result<bool> {
-    let mut any = false;
-    let mut widened_aliases: Vec<String> = Vec::new();
-
-    // 1. Recurse into derived tables.
-    for t in &mut q.from {
-        if let TableRef::Derived { query, alias, .. } = t {
-            if unbind_param_nested(query, var, binding_query, catalog)? {
-                any = true;
-                widened_aliases.push(alias.clone());
-            }
-        }
-    }
-    // 2. Recurse into EXISTS subqueries (WHERE and HAVING).
     fn walk_exists(
         e: &mut ScalarExpr,
         var: &str,
@@ -207,15 +193,29 @@ pub fn unbind_param_nested(
                 walk_exists(rhs, var, binding_query, catalog, any)?;
             }
             ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => {
-                walk_exists(i, var, binding_query, catalog, any)?
+                walk_exists(i, var, binding_query, catalog, any)?;
             }
             ScalarExpr::Aggregate { arg: Some(a), .. } => {
-                walk_exists(a, var, binding_query, catalog, any)?
+                walk_exists(a, var, binding_query, catalog, any)?;
             }
             _ => {}
         }
         Ok(())
     }
+
+    let mut any = false;
+    let mut widened_aliases: Vec<String> = Vec::new();
+
+    // 1. Recurse into derived tables.
+    for t in &mut q.from {
+        if let TableRef::Derived { query, alias, .. } = t {
+            if unbind_param_nested(query, var, binding_query, catalog)? {
+                any = true;
+                widened_aliases.push(alias.clone());
+            }
+        }
+    }
+    // 2. Recurse into EXISTS subqueries (WHERE and HAVING).
     if let Some(w) = &mut q.where_clause {
         walk_exists(w, var, binding_query, catalog, &mut any)?;
     }
@@ -291,7 +291,6 @@ fn visit_level_params(q: &mut SelectQuery, f: &mut impl FnMut(&str, &str)) {
             }
             ScalarExpr::Not(i) | ScalarExpr::IsNull(i) => walk(i, f),
             ScalarExpr::Aggregate { arg: Some(a), .. } => walk(a, f),
-            ScalarExpr::Exists(_) => {}
             _ => {}
         }
     }

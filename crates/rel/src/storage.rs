@@ -37,7 +37,7 @@ const SLOT: usize = 4;
 /// Identifies a page within one [`PageStore`].
 pub type PageId = u32;
 
-fn io_err(context: &str, e: std::io::Error) -> Error {
+fn io_err(context: &str, e: &std::io::Error) -> Error {
     Error::Storage {
         reason: format!("{context}: {e}"),
     }
@@ -325,7 +325,7 @@ impl FilePageStore {
             .write(true)
             .create_new(true)
             .open(&path)
-            .map_err(|e| io_err("creating page file", e))?;
+            .map_err(|e| io_err("creating page file", &e))?;
         Ok(FilePageStore {
             file,
             path,
@@ -364,20 +364,20 @@ impl PageStore for FilePageStore {
         }
         self.file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .map_err(|e| io_err("seeking page", e))?;
+            .map_err(|e| io_err("seeking page", &e))?;
         self.file
             .read_exact(&mut page.data)
-            .map_err(|e| io_err("reading page", e))?;
+            .map_err(|e| io_err("reading page", &e))?;
         Ok(())
     }
 
     fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
         self.file
             .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .map_err(|e| io_err("seeking page", e))?;
+            .map_err(|e| io_err("seeking page", &e))?;
         self.file
             .write_all(&page.data)
-            .map_err(|e| io_err("writing page", e))?;
+            .map_err(|e| io_err("writing page", &e))?;
         Ok(())
     }
 
@@ -564,22 +564,22 @@ impl BufferPool {
 mod tests {
     use super::*;
 
-    fn roundtrip(row: Vec<Value>) {
+    fn roundtrip(row: &[Value]) {
         let mut cell = Vec::new();
-        encode_row(&row, &mut cell);
+        encode_row(row, &mut cell);
         assert_eq!(decode_row(&cell).unwrap(), row);
     }
 
     #[test]
     fn row_codec_roundtrips_every_value_kind() {
-        roundtrip(vec![
+        roundtrip(&[
             Value::Null,
             Value::Int(-42),
             Value::Float(2.5),
             Value::Str("héllo \"quoted\"".into()),
             Value::Bool(true),
         ]);
-        roundtrip(vec![]);
+        roundtrip(&[]);
         // NaN bits survive (compared by bits — NaN != NaN under `=`).
         let mut cell = Vec::new();
         encode_row(&[Value::Float(f64::NAN)], &mut cell);

@@ -664,7 +664,7 @@ mod tests {
             assert_eq!(p.len(), 2000);
             assert_eq!(m.rows(), p.rows());
             // Streaming scan agrees with materialization.
-            let scanned: Vec<Vec<Value>> = p.scan().map(|r| r.into_owned()).collect();
+            let scanned: Vec<Vec<Value>> = p.scan().map(std::borrow::Cow::into_owned).collect();
             assert_eq!(scanned, p.rows().into_owned());
             assert_eq!(p.fetch_row(1234), m.fetch_row(1234));
             // A 2-frame pool over many pages must have evicted.

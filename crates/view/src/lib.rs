@@ -20,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod display;
 pub mod error;
 pub mod parse;
 pub mod publish;
 pub mod schema_tree;
 
+pub use bounds::{analyze_view_bounds, NodeBounds, ViewBounds};
 pub use error::{Error, Result};
 pub use parse::parse_view;
 pub use publish::{PublishStats, PublishTrace, Published, Publisher, TraceEntry};

@@ -21,6 +21,7 @@ use xvc_rel::{
 };
 use xvc_xml::{Document, TreeBuilder};
 
+use crate::bounds::{analyze_view_bounds, ViewBounds};
 use crate::error::Result;
 use crate::schema_tree::{AttrProjection, SchemaTree, ViewNodeId};
 
@@ -221,12 +222,13 @@ pub struct Publisher<'t> {
     parallel: usize,
     prepared: bool,
     batched: bool,
+    bounded: bool,
     cache: PlanCache,
 }
 
 impl<'t> Publisher<'t> {
-    /// A publisher for `tree`: untraced, single-threaded, prepared-plan
-    /// and set-oriented (batched) execution enabled.
+    /// A publisher for `tree`: untraced, single-threaded, prepared-plan,
+    /// set-oriented (batched) and bound-driven execution enabled.
     pub fn new(tree: &'t SchemaTree) -> Self {
         Publisher {
             tree,
@@ -234,6 +236,7 @@ impl<'t> Publisher<'t> {
             parallel: 1,
             prepared: true,
             batched: true,
+            bounded: true,
             cache: PlanCache::default(),
         }
     }
@@ -278,6 +281,25 @@ impl<'t> Publisher<'t> {
         self
     }
 
+    /// Run the static cardinality analysis ([`crate::analyze_view_bounds`])
+    /// at plan-compile time and bake each node's batch-size bound into its
+    /// cached plan via [`PreparedPlan::with_binding_bound`] (`true`, the
+    /// default). A node whose batches provably carry at most one binding
+    /// then executes scalar — with its slot pushdowns and index paths
+    /// intact — instead of paying for the shared binding-free pipeline.
+    /// Documents, traces and [`PublishStats`] are identical either way
+    /// (only [`Published::eval`] can differ, in the bounded path's favor).
+    ///
+    /// Toggling this drops the plan cache: cached plans carry the baked
+    /// bounds of the mode they were compiled under.
+    pub fn bounded(mut self, on: bool) -> Self {
+        if self.bounded != on {
+            self.cache = PlanCache::default();
+        }
+        self.bounded = on;
+        self
+    }
+
     /// Evaluates the schema tree against `db`, producing `v(I)` plus
     /// statistics (and a trace when requested).
     ///
@@ -296,18 +318,21 @@ impl<'t> Publisher<'t> {
         }
         if self.prepared {
             // Built lazily, only if some node actually needs compiling; on
-            // a warm cache no catalog is materialized at all.
-            let mut catalog: Option<Catalog> = None;
+            // a warm cache neither the catalog nor the cardinality
+            // analysis is materialized at all.
+            let mut planner: Option<Planner> = None;
             for vid in self.tree.node_ids() {
                 let node = self.tree.node(vid).expect("non-root id");
                 if let Some(q) = &node.query {
                     ensure_plan(
                         &mut self.cache,
+                        self.tree,
+                        self.bounded,
                         vid,
                         Role::Tag,
                         q,
                         db,
-                        &mut catalog,
+                        &mut planner,
                         &mut stats,
                     );
                 }
@@ -315,11 +340,13 @@ impl<'t> Publisher<'t> {
                     let probe = guard_probe(g);
                     ensure_plan(
                         &mut self.cache,
+                        self.tree,
+                        self.bounded,
                         vid,
                         Role::Guard,
                         &probe,
                         db,
-                        &mut catalog,
+                        &mut planner,
                         &mut stats,
                     );
                 }
@@ -417,24 +444,45 @@ impl<'t> Publisher<'t> {
 /// otherwise every publish would retry the doomed compilation and report
 /// the retry as a cache miss, deflating [`PublishStats::plan_cache_hit_rate`].
 ///
-/// `catalog` is a lazily-filled holder: the (comparatively expensive)
-/// [`Database::catalog`] is built at most once per publish, and only when
-/// at least one entry is actually vacant.
+/// `planner` is a lazily-filled holder: the (comparatively expensive)
+/// [`Database::catalog`] — and, when bound-driven planning is on, the
+/// whole-tree cardinality analysis — is built at most once per publish,
+/// and only when at least one entry is actually vacant.
+struct Planner {
+    catalog: Catalog,
+    bounds: Option<ViewBounds>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn ensure_plan(
     cache: &mut PlanCache,
+    tree: &SchemaTree,
+    bounded: bool,
     vid: ViewNodeId,
     role: Role,
     q: &SelectQuery,
     db: &Database,
-    catalog: &mut Option<Catalog>,
+    planner: &mut Option<Planner>,
     stats: &mut PublishStats,
 ) {
     let key = (vid.index() as u32, role);
     match cache.plans.entry(key) {
         std::collections::hash_map::Entry::Occupied(_) => stats.plan_cache_hits += 1,
         std::collections::hash_map::Entry::Vacant(e) => {
-            match prepare(q, catalog.get_or_insert_with(|| db.catalog())) {
+            let planner = planner.get_or_insert_with(|| {
+                let catalog = db.catalog();
+                let bounds = bounded.then(|| analyze_view_bounds(tree, &catalog));
+                Planner { catalog, bounds }
+            });
+            match prepare(q, &planner.catalog) {
                 Ok(p) => {
+                    // A tag query's batch carries one binding per parent
+                    // instance in the task; the guard probe of the same
+                    // node batches over the same parents.
+                    let p = match &planner.bounds {
+                        Some(b) => p.with_binding_bound(b.batch_bound(vid)),
+                        None => p,
+                    };
                     e.insert(PlanEntry::Ready(Box::new(p)));
                     stats.plans_prepared += 1;
                 }
@@ -1546,6 +1594,37 @@ mod tests {
         assert_eq!(batched.eval, scalar.eval);
         assert_eq!(batched.stats, scalar.stats);
         assert_eq!(batched.stats.batches_executed, 0);
+    }
+
+    #[test]
+    fn bounded_path_demotes_single_binding_batches_to_scalar() {
+        // Each metro task's hotel batch provably carries one binding (the
+        // task root has one instance), so bound-driven planning executes
+        // it scalar — one run with the slot pushdown intact — instead of
+        // the binding-free shared pipeline, which materializes the
+        // stripped rows and regroups them through a hash build per batch.
+        let tree = view();
+        let db = db();
+        let bounded = Publisher::new(&tree).traced(true).publish(&db).unwrap();
+        let unbounded = Publisher::new(&tree)
+            .bounded(false)
+            .traced(true)
+            .publish(&db)
+            .unwrap();
+        assert_eq!(bounded.document.to_xml(), unbounded.document.to_xml());
+        let (bt, ut) = (bounded.trace.unwrap(), unbounded.trace.unwrap());
+        assert_eq!(bt.entries.len(), ut.entries.len());
+        for (b, u) in bt.entries.iter().zip(&ut.entries) {
+            assert_eq!(b.path, u.path);
+            assert_eq!(b.env, u.env);
+        }
+        assert_eq!(bounded.stats, unbounded.stats);
+        // Scans and query counts agree; the shared pipeline's regroup
+        // hash builds (one per batch) are what the bound saves.
+        assert_eq!(bounded.eval.queries, unbounded.eval.queries);
+        assert_eq!(bounded.eval.rows_scanned, unbounded.eval.rows_scanned);
+        assert_eq!(bounded.eval.hash_join_builds, 0, "{:?}", bounded.eval);
+        assert_eq!(unbounded.eval.hash_join_builds, 2, "{:?}", unbounded.eval);
     }
 
     #[test]

@@ -387,10 +387,13 @@ fn cmd_explain(opts: &Opts) -> Result<(), CliError> {
         );
         return Ok(());
     }
-    // …or every tag query of the composed stylesheet view.
+    // …or every tag query of the composed stylesheet view, with the
+    // static cardinality bounds that drive the batched-vs-scalar and
+    // join-strategy decisions.
     let view = load_view(require(&opts.view, "--view FILE")?)?;
     let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
     let composition = compose_view(&view, &xslt, &catalog, opts)?;
+    let bounds = analyze_view_bounds(&composition.view, &catalog);
     let mut printed = 0;
     for vid in composition.view.node_ids() {
         let Some(node) = composition.view.node(vid) else {
@@ -401,11 +404,18 @@ fn cmd_explain(opts: &Opts) -> Result<(), CliError> {
             println!();
         }
         println!("<{}> tag query:", node.tag);
+        if let Some(nb) = bounds.node(vid) {
+            println!(
+                "  bounds: fan-out {}, per-document {}",
+                nb.fan_out.card, nb.global
+            );
+        }
         let plan = explain_query(q, &catalog)?;
         for line in plan.lines() {
             println!("  {line}");
         }
-        for line in prepare(q, &catalog)?.describe().lines() {
+        let prepared = prepare(q, &catalog)?.with_binding_bound(bounds.batch_bound(vid));
+        for line in prepared.describe().lines() {
             println!("  {line}");
         }
         printed += 1;
@@ -549,7 +559,8 @@ fn cmd_check(opts: &Opts) -> Result<ExitCode, CliError> {
 }
 
 /// One diagnostic as a single-line JSON object (no serde in-tree; the
-/// schema is stable: code, severity, stage, file, span, message, help).
+/// schema is stable: code, severity, stage, file, span, message, help,
+/// justification).
 fn diag_to_json(
     d: &xvc::analyze::Diagnostic,
     view_name: Option<&str>,
@@ -588,7 +599,14 @@ fn diag_to_json(
         Some(h) => s.push_str(&format!(",\"help\":\"{}\"", json_escape(h))),
         None => s.push_str(",\"help\":null"),
     }
-    s.push('}');
+    s.push_str(",\"justification\":[");
+    for (i, j) in d.justification.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\"", json_escape(j)));
+    }
+    s.push_str("]}");
     s
 }
 

@@ -108,7 +108,8 @@ pub mod prelude {
         EvalStats, PreparedPlan, SelectQuery, TableSchema, Value,
     };
     pub use xvc_view::{
-        AttrProjection, PublishStats, PublishTrace, Published, Publisher, SchemaTree, ViewNode,
+        analyze_view_bounds, AttrProjection, PublishStats, PublishTrace, Published, Publisher,
+        SchemaTree, ViewBounds, ViewNode,
     };
     pub use xvc_xml::{documents_equal_unordered, Document};
     pub use xvc_xpath::{parse_expr, parse_path, parse_pattern};

@@ -545,11 +545,141 @@ fn xvc406_key_implied_duplicate_join() {
     assert!(d.message.contains("hotelid"), "{d}");
 }
 
+// --------------------------------------------------- cardinality (120, 5xx)
+
+#[test]
+fn xvc120_unusable_index() {
+    // starrating is only ever compared with `>`; the index can never be an
+    // access path. The metro_id index is used and stays silent.
+    let ddl = "CREATE TABLE hotel (\n\
+                   hotelid INT PRIMARY KEY,\n\
+                   metro_id INT,\n\
+                   starrating INT\n\
+               );\n\
+               CREATE INDEX hotel_star ON hotel (starrating) USING HASH;\n\
+               CREATE INDEX hotel_metro ON hotel (metro_id) USING HASH;";
+    let cat = xvc::rel::parse_ddl(ddl).unwrap();
+    let view = "node hotel $h { query: SELECT hotelid, starrating FROM hotel \
+                WHERE metro_id = 7 AND starrating > 4; }";
+    let r = check_sources(Some(view), None, Some(&cat), &CheckOptions::default());
+    assert_eq!(r.codes(), vec![Code::Xvc120]);
+    let d = the(&r, Code::Xvc120);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("hotel.starrating"), "{d}");
+    assert!(d.help.as_deref().unwrap().contains("equality"), "{d:?}");
+}
+
+#[test]
+fn xvc501_zero_bound_accompanies_dead_subtree() {
+    // Same fixture as XVC401: the cardinality pass restates the dead
+    // subtree as a 0-row bound, with the same fact chain as justification.
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel[@starrating &lt; 3]"/></m></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(STAR_VIEW), Some(xslt));
+    let d = the(&r, Code::Xvc501);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::Composed);
+    assert!(d.message.contains("0 rows"), "{d}");
+    assert!(
+        d.justification.iter().any(|j| j.contains("starrating")),
+        "{d:?}"
+    );
+    // The dataflow pass reports the same region.
+    the(&r, Code::Xvc401);
+}
+
+#[test]
+fn xvc502_cross_product_fan_out() {
+    let view = "node pair $p { query: SELECT a.metroid, b.hotelid \
+                FROM metroarea AS a, hotel AS b; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="pair"/></r></xsl:template>
+      <xsl:template match="pair"><p/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc502);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("cross product"), "{d}");
+    assert!(d.message.contains("`b`"), "{d}");
+    assert!(!d.justification.is_empty(), "{d:?}");
+}
+
+#[test]
+fn xvc503_unbounded_recursive_growth() {
+    // The XVC203 recursion fixture: metro's tag query is unbounded, so the
+    // cyclic expansion has no finite growth bound either.
+    let src = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>
+      <xsl:template match="hotel"><h><xsl:apply-templates select=".."/></h></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(TWO_LEVEL_VIEW), Some(src));
+    the(&r, Code::Xvc203);
+    // Both metro and hotel lie on the cycle, and neither tag query is
+    // provably single-row — one finding per distinct view node.
+    let hits: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::Xvc503)
+        .collect();
+    assert_eq!(hits.len(), 2, "{:?}", r.diagnostics);
+    let d = hits[0];
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::View);
+    assert!(d.span.is_some(), "{d}");
+    assert!(d.message.contains("CTG cycle"), "{d}");
+    assert!(
+        d.help.as_deref().unwrap().contains("compose_recursive"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xvc504_rebind_guard_probe_not_single_row() {
+    // `.[hotel]` composes to a rebind whose guard probes hotel existence;
+    // the probe pins no primary key, so it is not provably single-row.
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select=".[hotel]" mode="g"/></m></xsl:template>
+      <xsl:template match="metro" mode="g"><gm/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(TWO_LEVEL_VIEW), Some(xslt));
+    let d = the(&r, Code::Xvc504);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("EXISTS probe"), "{d}");
+    assert!(d.help.as_deref().unwrap().contains("point lookup"), "{d:?}");
+}
+
+#[test]
+fn xvc505_finite_document_bound_report() {
+    // The root tag query pins metroarea's full primary key to a literal:
+    // the whole document is statically bounded, and the report says so.
+    let view = "node metro $m { query: SELECT metroid, metroname FROM metroarea \
+                WHERE metroid = 1; }";
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(view), Some(xslt));
+    let d = the(&r, Code::Xvc505);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::General);
+    assert!(d.message.contains("at most"), "{d}");
+    assert!(
+        d.justification.iter().any(|j| j.contains("fan-out")),
+        "{d:?}"
+    );
+    assert!(!r.has_errors());
+}
+
 // ------------------------------------------------------------------- catalog
 
 /// Every code in the catalogue has a fixture in this file (or is the clean
 /// case); keep `Code::all()` and this list in sync with `DIAGNOSTICS.md`.
 #[test]
 fn every_code_is_exercised() {
-    assert_eq!(Code::all().len(), 31);
+    assert_eq!(Code::all().len(), 37);
 }

@@ -275,6 +275,57 @@ node city $c {
 }
 
 #[test]
+fn check_json_carries_justification_fact_chains() {
+    let f = Fixture::new("check_json_just");
+    // Same provably-dead workload as above: XVC401 (dead branch) and
+    // XVC501 (zero cardinality bound) both fire, each justified by the
+    // fact chain that proved the contradiction.
+    std::fs::write(
+        f.dir.join("dead.view"),
+        "\
+node city $c {
+    query: SELECT id, name, population FROM city WHERE population > 1000000;
+}
+",
+    )
+    .unwrap();
+    std::fs::write(
+        f.dir.join("dead.xsl"),
+        r#"<xsl:stylesheet>
+  <xsl:template match="/">
+    <out><xsl:apply-templates select="city[@population &lt; 5]"/></out>
+  </xsl:template>
+  <xsl:template match="city"><hit/></xsl:template>
+</xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = f.run(&["check", "--json", "dead.view", "dead.xsl", "schema.sql"]);
+    assert!(ok, "{stdout}{stderr}");
+    // Every diagnostic object carries a justification array (possibly
+    // empty), always the last key.
+    for line in stdout.lines() {
+        assert!(
+            line.contains("\"justification\":[") && line.ends_with("]}"),
+            "no justification array in {line}"
+        );
+    }
+    // The XVC401 dead-branch finding and the XVC501 zero-bound finding
+    // both justify themselves with the contradicting predicates.
+    for code in ["XVC401", "XVC501"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(&format!("\"code\":\"{code}\"")))
+            .unwrap_or_else(|| panic!("no {code} line in {stdout}"));
+        let just = line
+            .split("\"justification\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no justification in {line}"));
+        assert!(!just.starts_with("[]"), "empty justification: {line}");
+        assert!(just.contains("population"), "{line}");
+    }
+}
+
+#[test]
 fn check_classifies_positional_files() {
     let f = Fixture::new("check_positional");
     // Full workload via positional args: view + stylesheet + catalog.
@@ -361,6 +412,70 @@ fn explain_composed_prints_tag_query_plans() {
     assert!(stdout.contains("<entry> tag query:"), "{stdout}");
     assert!(stdout.contains("scan city"), "{stdout}");
     assert!(stdout.contains("pushdown:"), "{stdout}");
+}
+
+#[test]
+fn explain_sql_justifies_join_strategy_by_cardinality_bound() {
+    let f = Fixture::new("explain_bound");
+    // With a declared key, pinning it by equality bounds the join prefix
+    // to one row and the planner skips the hash build for a filter probe.
+    std::fs::write(
+        f.dir.join("keyed.sql"),
+        "\
+CREATE TABLE city (id INT PRIMARY KEY, name TEXT, population INT);
+CREATE TABLE sight (sid INT PRIMARY KEY, city_id INT, sname TEXT, fee INT);
+",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = f.run(&[
+        "explain",
+        "--sql",
+        "SELECT s.sname FROM city c, sight s WHERE c.id = 1 AND s.city_id = c.id",
+        "--ddl",
+        "keyed.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("filter-probe join"), "{stdout}");
+    assert!(
+        stdout.contains("joined prefix bounded to <= 1 row, hash build skipped"),
+        "{stdout}"
+    );
+
+    // Without the key declaration the same query keeps the hash join.
+    let (ok, stdout, stderr) = f.run(&[
+        "explain",
+        "--sql",
+        "SELECT s.sname FROM city c, sight s WHERE c.id = 1 AND s.city_id = c.id",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("hash join"), "{stdout}");
+    assert!(!stdout.contains("filter-probe join"), "{stdout}");
+}
+
+#[test]
+fn explain_composed_reports_cardinality_bounds() {
+    let f = Fixture::new("explain_bounds_workload");
+    let (ok, stdout, stderr) = f.run(&[
+        "explain",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    // Every composed node reports its statically derived bounds, and
+    // root-level nodes carry the single-binding batch bound that lets
+    // the publisher skip the shared set-oriented pipeline.
+    assert!(stdout.contains("bounds: fan-out"), "{stdout}");
+    assert!(stdout.contains("per-document"), "{stdout}");
+    assert!(
+        stdout.contains("binding bound: <= 1 row per batch"),
+        "{stdout}"
+    );
 }
 
 #[test]
