@@ -69,4 +69,24 @@ if grep -q '"index_lookups": 0' BENCH_compose.json; then
     exit 1
 fi
 
+echo "== figures -- incr smoke (delta-publish gates, reduced sizes)"
+# The binary inserts one row through the xvc_rel write path and absorbs
+# the delta via Publisher::republish_delta, aborting if the delta document
+# diverges from a full republish, if the re-executed batch count grows
+# with instance size, or if the delta path re-runs >= 20% of the full
+# batch count at the largest size. The greps double-check the artifact.
+cargo run --release --quiet -p xvc-bench --bin figures -- incr smoke
+if ! grep -q '"eval_full_republish_ms"' BENCH_compose.json; then
+    echo "ci.sh: incremental study missing from BENCH_compose.json" >&2
+    exit 1
+fi
+if ! grep -q '"eval_delta_ms"' BENCH_compose.json; then
+    echo "ci.sh: delta timings missing from the incremental study" >&2
+    exit 1
+fi
+if grep -q '"batches_delta": 0' BENCH_compose.json; then
+    echo "ci.sh: delta path never re-executed a batch (see BENCH_compose.json)" >&2
+    exit 1
+fi
+
 echo "ci.sh: all green"

@@ -5,7 +5,8 @@
 //! grouped by pipeline stage: `0xx` stylesheet/dialect, `1xx` view
 //! definition, `2xx` CTG-level, `3xx` composed output, `4xx`
 //! predicate-dataflow findings over the TVQ, `5xx` cardinality-analysis
-//! findings (row bounds, fan-out, growth).
+//! findings (row bounds, fan-out, growth), `6xx` table-to-view dependency
+//! (lineage) findings over the static [`xvc_core::deps::DependencyMap`].
 
 use std::fmt;
 
@@ -83,6 +84,10 @@ pub enum Code {
     Xvc503,
     Xvc504,
     Xvc505,
+    Xvc601,
+    Xvc602,
+    Xvc603,
+    Xvc604,
 }
 
 impl Code {
@@ -126,6 +131,10 @@ impl Code {
             Code::Xvc503 => "XVC503",
             Code::Xvc504 => "XVC504",
             Code::Xvc505 => "XVC505",
+            Code::Xvc601 => "XVC601",
+            Code::Xvc602 => "XVC602",
+            Code::Xvc603 => "XVC603",
+            Code::Xvc604 => "XVC604",
         }
     }
 
@@ -169,6 +178,10 @@ impl Code {
             Code::Xvc503 => "recursive expansion has no finite growth bound",
             Code::Xvc504 => "rebind guard probe is not provably single-row",
             Code::Xvc505 => "static cardinality report (document bound is finite)",
+            Code::Xvc601 => "write-amplifying column (feeds many view nodes)",
+            Code::Xvc602 => "recompute-required dependency through a recursion cycle",
+            Code::Xvc603 => "catalog table is never read by any tag query",
+            Code::Xvc604 => "table-to-view dependency impact report",
         }
     }
 
@@ -203,7 +216,11 @@ impl Code {
             | Code::Xvc502
             | Code::Xvc503
             | Code::Xvc504
-            | Code::Xvc505 => Severity::Warning,
+            | Code::Xvc505
+            | Code::Xvc601
+            | Code::Xvc602
+            | Code::Xvc603
+            | Code::Xvc604 => Severity::Warning,
             Code::Xvc008
             | Code::Xvc009
             | Code::Xvc010
@@ -260,6 +277,10 @@ impl Code {
             Code::Xvc503,
             Code::Xvc504,
             Code::Xvc505,
+            Code::Xvc601,
+            Code::Xvc602,
+            Code::Xvc603,
+            Code::Xvc604,
         ]
     }
 }

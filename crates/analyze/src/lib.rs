@@ -1,6 +1,6 @@
 //! # `xvc-analyze` — static analysis for view/stylesheet workloads
 //!
-//! `xvc check` runs this analyzer *before* composition. Six passes, each
+//! `xvc check` runs this analyzer *before* composition. Seven passes, each
 //! emitting [`Diagnostic`]s with stable `XVCnnn` codes, severities, source
 //! spans and suggestions (see `DIAGNOSTICS.md` for the catalogue):
 //!
@@ -27,7 +27,13 @@
 //!    empty tag queries, cross-product fan-out, unbounded recursive
 //!    growth, non-single-row rebind guards, and a whole-document bound
 //!    report when one is finite (`XVC5xx`); pass 2 additionally warns
-//!    about declared indexes no tag query can use (`XVC120`).
+//!    about declared indexes no tag query can use (`XVC120`);
+//! 7. **Dependency lineage** ([`deps_check`]) — the static
+//!    [`xvc_core::deps::DependencyMap`] over the same TVQ walk (or the
+//!    raw view when the CTG is cyclic): write-amplifying columns, forced
+//!    recomputation through recursion cycles, dead catalog tables, and
+//!    the per-table impact report backing `Publisher::republish_delta`
+//!    (`XVC6xx`).
 //!
 //! The analyzer never executes queries and needs no database instance —
 //! only the catalog.
@@ -51,6 +57,7 @@ pub mod cardinality;
 pub mod composed_check;
 pub mod ctg_check;
 pub mod dataflow;
+pub mod deps_check;
 pub mod diag;
 pub mod dialect;
 pub mod render;
@@ -66,6 +73,7 @@ pub use cardinality::{check_cardinality, check_index_usage, check_recursion_grow
 pub use composed_check::check_composed;
 pub use ctg_check::{check_ctg, predict_tvq, BlowupPrediction};
 pub use dataflow::check_dataflow;
+pub use deps_check::{check_deps, check_deps_recursive, WRITE_AMPLIFICATION_THRESHOLD};
 pub use diag::{Code, Diagnostic, Severity, Stage};
 pub use dialect::check_stylesheet;
 pub use render::{render, render_summary, sort_for_display, Sources};
@@ -243,6 +251,13 @@ pub fn check_workload(
                             cat,
                             opts.tvq_limit,
                         ));
+                        // Pass 7: XVC6xx dependency lineage, same walk.
+                        report.diagnostics.extend(deps_check::check_deps(
+                            v,
+                            xs,
+                            cat,
+                            opts.tvq_limit,
+                        ));
                     }
                     Err(xvc_core::Error::TvqTooLarge { limit }) => {
                         if !report.diagnostics.iter().any(|d| d.code == Code::Xvc204) {
@@ -271,6 +286,11 @@ pub fn check_workload(
             report
                 .diagnostics
                 .extend(cardinality::check_recursion_growth(v, x, cat));
+            // Pass 7, cyclic flavor: the dependency map over the raw view,
+            // every edge recompute-required (XVC602 per structural column).
+            report
+                .diagnostics
+                .extend(deps_check::check_deps_recursive(v, cat));
         }
     }
     report
@@ -340,7 +360,11 @@ mod tests {
 
     #[test]
     fn clean_workload_has_empty_report() {
-        let cat = figure2_catalog();
+        // A catalog holding exactly the tables the view reads: the XVC603
+        // dead-table advisory stays quiet, like every other pass.
+        let mut cat = Catalog::new();
+        let full = figure2_catalog();
+        cat.add(full.get("metroarea").unwrap().clone());
         let r = check_sources(Some(VIEW), Some(XSLT), Some(&cat), &CheckOptions::default());
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
         assert!(r.prediction.is_some());

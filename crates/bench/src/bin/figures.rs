@@ -9,8 +9,16 @@
 //! cargo run -p xvc-bench --bin figures --release -- batch   # + set-oriented study
 //! cargo run -p xvc-bench --bin figures --release -- scale        # storage/index study
 //! cargo run -p xvc-bench --bin figures --release -- scale smoke  # reduced CI sizes
+//! cargo run -p xvc-bench --bin figures --release -- incr         # delta-publish study
+//! cargo run -p xvc-bench --bin figures --release -- incr smoke   # reduced CI sizes
 //! cargo run -p xvc-bench --bin figures --release -- fuzz         # differential gate
 //! ```
+//!
+//! Modes live in a single registry ([`MODES`]) that declares each mode's
+//! implications (`batch` → `plans` → `prune`) and whether it belongs to
+//! the bare-invocation default set; selection is the transitive closure,
+//! and an unknown mode is a hard usage error instead of silently
+//! selecting nothing.
 //!
 //! `plans` runs the same two workloads as `prune` (every row carries both
 //! field sets, so BENCH_compose.json is always a superset) but reports the
@@ -31,29 +39,125 @@
 //! failure aborts the run. `BENCH_compose.json` collects whichever studies
 //! ran, one JSON object per row.
 //!
+//! `incr` runs the I1 incremental-maintenance study: a single-row insert
+//! through the `xvc_rel` write path, absorbed by a full republish and by
+//! `Publisher::republish_delta` over the static dependency map. The delta
+//! document must be byte-identical, the re-executed batch count must not
+//! grow with instance size, and at the largest size the delta path must
+//! re-run under 20% of the full batch count — any failure aborts.
+//!
 //! `fuzz` runs the recursion-heavy and wide-fanout stylesheet generators
 //! differentially: `v'(I)` vs `x(v(I))`, the bound-driven publisher vs
 //! the heuristic path (byte-identical documents required), and measured
 //! batch sizes vs the static cardinality bounds. Any divergence aborts.
 
+use std::collections::BTreeSet;
+
 use xvc_bench::experiments::{
     batch_bench, c1_chain_sweep, c2_fan_sweep, differential_fuzz, e1_scale_sweep,
-    e3_selectivity_sweep, prune_bench, render_comparison_table, render_cost_table,
-    render_json_array, render_prune_objects, render_scale_objects, scale_sweep, SCALE_FULL,
-    SCALE_SMOKE,
+    e3_selectivity_sweep, incr_sweep, prune_bench, render_comparison_table, render_cost_table,
+    render_incr_objects, render_json_array, render_prune_objects, render_scale_objects,
+    scale_sweep, SCALE_FULL, SCALE_SMOKE,
 };
 use xvc_bench::figures::all_figures;
+
+/// One selectable run mode: its name, the modes it transitively implies
+/// (a mode's report builds on its implied modes' rows — `batch` extends
+/// the `plans` report which extends `prune`), and whether the bare
+/// invocation (no argument) runs it.
+struct Mode {
+    name: &'static str,
+    implies: &'static [&'static str],
+    default: bool,
+}
+
+/// The registry. Implications are declared here — nowhere else — so a new
+/// mode composes without touching the selection logic. A default mode's
+/// implied modes run with it (closure over the whole set).
+const MODES: &[Mode] = &[
+    Mode {
+        name: "figures",
+        implies: &[],
+        default: true,
+    },
+    Mode {
+        name: "tables",
+        implies: &[],
+        default: true,
+    },
+    Mode {
+        name: "prune",
+        implies: &[],
+        default: false,
+    },
+    Mode {
+        name: "plans",
+        implies: &["prune"],
+        default: false,
+    },
+    Mode {
+        name: "batch",
+        implies: &["plans"],
+        default: true,
+    },
+    Mode {
+        name: "scale",
+        implies: &[],
+        default: true,
+    },
+    Mode {
+        name: "incr",
+        implies: &[],
+        default: true,
+    },
+    Mode {
+        name: "fuzz",
+        implies: &[],
+        default: true,
+    },
+];
+
+/// Resolves a requested mode (or `""` for the default set) into the
+/// transitive closure of active mode names. Unknown names are an error —
+/// previously they silently selected nothing and the run "passed".
+fn active_modes(arg: &str) -> Result<BTreeSet<&'static str>, String> {
+    let mut active: BTreeSet<&'static str> = BTreeSet::new();
+    let mut frontier: Vec<&'static str> = if arg.is_empty() {
+        MODES.iter().filter(|m| m.default).map(|m| m.name).collect()
+    } else {
+        let m = MODES.iter().find(|m| m.name == arg).ok_or_else(|| {
+            let known: Vec<&str> = MODES.iter().map(|m| m.name).collect();
+            format!("unknown mode `{arg}` — known modes: {}", known.join(", "))
+        })?;
+        vec![m.name]
+    };
+    while let Some(name) = frontier.pop() {
+        if !active.insert(name) {
+            continue;
+        }
+        let m = MODES
+            .iter()
+            .find(|m| m.name == name)
+            .expect("implied modes are registered");
+        frontier.extend(m.implies);
+    }
+    Ok(active)
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
     let smoke = std::env::args().nth(2).as_deref() == Some("smoke");
-    let figures = arg.is_empty() || arg == "figures";
-    let tables = arg.is_empty() || arg == "tables";
-    let batch = arg.is_empty() || arg == "batch";
-    let plans = batch || arg == "plans";
-    let prune = plans || arg == "prune";
-    let scale = arg.is_empty() || arg == "scale";
-    let fuzz = arg.is_empty() || arg == "fuzz";
+    let active = match active_modes(&arg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let on = |name: &str| active.contains(name);
+    let (figures, tables) = (on("figures"), on("tables"));
+    let (prune, plans, batch) = (on("prune"), on("plans"), on("batch"));
+    let (scale, incr, fuzz) = (on("scale"), on("incr"), on("fuzz"));
 
     if figures {
         for (title, body) in all_figures() {
@@ -205,6 +309,54 @@ fn main() {
             r.scan_rows_scanned
         );
         json_objects.extend(render_scale_objects(&srows));
+    }
+
+    if incr {
+        println!("\n==== incr: delta publish vs full republish (I1) ====\n");
+        // Ascending instance size at fixed structure: the delta path's
+        // re-executed batch count is structural (one per affected view
+        // node and wave), so it must NOT grow with the document.
+        let configs: &[(usize, usize)] = if smoke {
+            &[(6, 2), (6, 3)]
+        } else {
+            &[(6, 3), (6, 4)]
+        };
+        // incr_bench itself hard-fails on delta/full divergence or a
+        // delta that re-runs every batch.
+        let irows = incr_sweep(configs, 3);
+        for r in &irows {
+            println!(
+                "{}: full republish {:.3} ms vs delta {:.3} ms ({:.2}x); \
+                 {} of {} batches re-executed ({:.0}%), {} nodes respliced",
+                r.workload,
+                r.eval_full_republish_ms,
+                r.eval_delta_ms,
+                r.eval_full_republish_ms / r.eval_delta_ms,
+                r.batches_delta,
+                r.batches_full,
+                r.reexecution_fraction() * 100.0,
+                r.nodes_respliced,
+            );
+        }
+        let (first, last) = (
+            irows.first().expect("incr row"),
+            irows.last().expect("incr row"),
+        );
+        assert!(
+            last.batches_delta <= first.batches_delta,
+            "delta re-execution grew with document size ({} -> {} batches) — \
+             the dependency map stopped bounding the re-publish",
+            first.batches_delta,
+            last.batches_delta
+        );
+        assert!(
+            last.reexecution_fraction() < 0.2,
+            "{}: delta path re-ran {:.0}% of the full batch count — \
+             incremental publishing regressed",
+            last.workload,
+            last.reexecution_fraction() * 100.0
+        );
+        json_objects.extend(render_incr_objects(&irows));
     }
 
     if fuzz {

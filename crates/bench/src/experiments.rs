@@ -436,6 +436,146 @@ pub fn batch_bench(depth: usize, fanout: usize, reps: usize) -> PruneBenchRow {
     )
 }
 
+/// One data point of the I1 incremental-maintenance study: the same
+/// single-row insert absorbed by a full republish and by
+/// [`Publisher::republish_delta`] through the static dependency map —
+/// documents verified byte-identical before any timing.
+#[derive(Debug, Clone)]
+pub struct IncrBenchRow {
+    /// Human-readable workload name.
+    pub workload: String,
+    /// Total database rows *after* the delta.
+    pub db_rows: usize,
+    /// Rows the delta carried (1 for the single-row study).
+    pub delta_rows_in: usize,
+    /// Warm wall time republishing the whole document from scratch.
+    pub eval_full_republish_ms: f64,
+    /// Warm wall time absorbing the delta via `republish_delta`.
+    pub eval_delta_ms: f64,
+    /// Batched plan executions per full publish.
+    pub batches_full: usize,
+    /// Batched plan executions the delta path re-ran.
+    pub batches_delta: usize,
+    /// Stale subtrees spliced out of the previous document.
+    pub nodes_respliced: usize,
+}
+
+impl IncrBenchRow {
+    /// Fraction of the full publish's batch work the delta path re-ran.
+    pub fn reexecution_fraction(&self) -> f64 {
+        self.batches_delta as f64 / self.batches_full.max(1) as f64
+    }
+}
+
+/// I1: composes the chain workload, publishes it incrementally, inserts
+/// one row into the *deepest* level table through the `xvc_rel` write
+/// path, and absorbs the resulting [`xvc_rel::Delta`] both ways. The
+/// delta document must be byte-identical to the full republish and must
+/// re-execute strictly fewer batches — either failure panics (a benchmark
+/// row for a divergent or degenerate delta path would be meaningless).
+pub fn incr_bench(depth: usize, fanout: usize, reps: usize) -> IncrBenchRow {
+    use crate::synthetic::level_table;
+
+    assert!(depth >= 2, "the study needs a parent level to attach to");
+    let view = chain_view(depth);
+    let stylesheet = chain_stylesheet(depth);
+    let mut db = crate::synthetic::chain_database(depth, fanout);
+    let composed = Composer::new(&view, &stylesheet, &db.catalog())
+        .run()
+        .expect("compose")
+        .view;
+
+    let mut publisher = Publisher::new(&composed).incremental(true);
+    let prev = publisher.publish(&db).expect("publish v'");
+
+    // One new leaf row, parented on the first row of the level above.
+    // `chain_database` assigns ids breadth-first starting at 1, so the
+    // first id of level `k` is `1 + Σ_{j<k} fanout^(j+1)`.
+    let parent_id: i64 = 1
+        + (0..depth - 2)
+            .map(|j| (fanout as i64).pow(j as u32 + 1))
+            .sum::<i64>();
+    let delta = db
+        .execute_dml(&format!(
+            "INSERT INTO {} VALUES (999983, {parent_id}, 42)",
+            level_table(depth - 1)
+        ))
+        .expect("single-row insert");
+
+    // Both strategies absorb the same post-delta instance; byte equality
+    // is the gate everything downstream rests on.
+    let full = publisher.publish(&db).expect("full republish");
+    let incr = publisher
+        .republish_delta(&db, &prev, &delta)
+        .expect("delta republish");
+    assert_eq!(
+        incr.document.to_xml(),
+        full.document.to_xml(),
+        "delta republish diverged from the full republish — \
+         benchmark would be meaningless"
+    );
+    assert!(
+        incr.stats.batches_reexecuted < full.stats.batches_executed,
+        "delta path re-ran {} of {} batches — no incremental win",
+        incr.stats.batches_reexecuted,
+        full.stats.batches_executed
+    );
+
+    let eval_full_republish_ms = best_ms(reps, || {
+        let out = publisher.publish(&db).expect("full republish").document;
+        std::hint::black_box(out);
+    });
+    let eval_delta_ms = best_ms(reps, || {
+        let out = publisher
+            .republish_delta(&db, &prev, &delta)
+            .expect("delta republish")
+            .document;
+        std::hint::black_box(out);
+    });
+
+    IncrBenchRow {
+        workload: format!("chain depth {depth} x fan-out {fanout} (incr study)"),
+        db_rows: db.total_rows(),
+        delta_rows_in: incr.stats.delta_rows_in,
+        eval_full_republish_ms,
+        eval_delta_ms,
+        batches_full: full.stats.batches_executed,
+        batches_delta: incr.stats.batches_reexecuted,
+        nodes_respliced: incr.stats.nodes_respliced,
+    }
+}
+
+/// Runs [`incr_bench`] over `(depth, fanout)` configurations, ascending
+/// instance size.
+pub fn incr_sweep(configs: &[(usize, usize)], reps: usize) -> Vec<IncrBenchRow> {
+    configs
+        .iter()
+        .map(|&(d, f)| incr_bench(d, f, reps))
+        .collect()
+}
+
+/// Serializes incremental-study rows as `BENCH_compose.json` array
+/// fragments, combinable with the other studies via [`render_json_array`].
+pub fn render_incr_objects(rows: &[IncrBenchRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"db_rows\": {}, \"delta_rows_in\": {}, \
+                 \"eval_full_republish_ms\": {:.3}, \"eval_delta_ms\": {:.3}, \
+                 \"batches_full\": {}, \"batches_delta\": {}, \"nodes_respliced\": {}}}",
+                r.workload,
+                r.db_rows,
+                r.delta_rows_in,
+                r.eval_full_republish_ms,
+                r.eval_delta_ms,
+                r.batches_full,
+                r.batches_delta,
+                r.nodes_respliced,
+            )
+        })
+        .collect()
+}
+
 /// One data point of the storage/access-path scale study: the same needle
 /// view published against the same instance held in-memory, paged through
 /// the buffer pool, and indexed — documents verified bit-identical before
@@ -876,6 +1016,20 @@ mod tests {
         let json = render_prune_json(&[r]);
         assert!(json.contains("\"eval_batched_ms\""));
         assert!(json.contains("\"bindings_per_batch_max\""));
+    }
+
+    #[test]
+    fn incr_bench_absorbs_a_single_row_delta() {
+        // incr_bench itself asserts byte equality and a strict batch win.
+        let r = incr_bench(5, 3, 1);
+        assert_eq!(r.delta_rows_in, 1);
+        assert!(r.batches_delta < r.batches_full, "{r:?}");
+        assert!(r.nodes_respliced > 0, "{r:?}");
+        assert!(r.reexecution_fraction() < 1.0, "{r:?}");
+        let json = render_json_array(&render_incr_objects(&[r.clone()]));
+        assert!(json.contains("\"eval_full_republish_ms\""));
+        assert!(json.contains("\"eval_delta_ms\""));
+        println!("{r:?}");
     }
 
     #[test]

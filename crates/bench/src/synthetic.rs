@@ -16,7 +16,7 @@ use xvc_xpath::{parse_path, parse_pattern};
 use xvc_xslt::{ApplyTemplates, OutputNode, Stylesheet, TemplateRule, DEFAULT_MODE};
 
 /// Table name for chain level `k` (0-based).
-fn level_table(k: usize) -> String {
+pub(crate) fn level_table(k: usize) -> String {
     format!("t{k}")
 }
 

@@ -243,7 +243,7 @@ fn child_keys(doc: &Document, id: NodeId) -> Vec<(String, NodeId)> {
         match doc.kind(c) {
             NodeKind::Element { .. } => out.push((canonical_string(doc, c), c)),
             NodeKind::Text(t) if !t.trim().is_empty() => {
-                out.push((format!("\u{1}text:{}", t.trim()), c))
+                out.push((format!("\u{1}text:{}", t.trim()), c));
             }
             _ => {}
         }
@@ -318,7 +318,7 @@ fn attribute(raw: RawDivergence, composed: &SchemaTree, trace: &PublishTrace) ->
         tag_query = composed
             .node(responsible)
             .and_then(|n| n.query.as_ref())
-            .map(|q| q.to_sql_inline());
+            .map(xvc_rel::SelectQuery::to_sql_inline);
         let mut vars: Vec<_> = entry.env.iter().collect();
         vars.sort_by(|a, b| a.0.cmp(b.0));
         for (var, tuple) in vars {

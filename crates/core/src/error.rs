@@ -67,7 +67,7 @@ pub enum Error {
 
 impl Error {
     /// Wraps a [`std::io::Error`] with the path being read.
-    pub fn io(path: impl Into<String>, e: std::io::Error) -> Self {
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> Self {
         Error::Io {
             path: path.into(),
             message: e.to_string(),

@@ -36,9 +36,23 @@
 //! built (opt-in via [`ComposeOptions`]).
 
 #![warn(missing_docs)]
+// Curated clippy::pedantic subset shared with `xvc-rel` / `xvc-view` /
+// `xvc-analyze` (kept clean under `-D warnings` in ci.sh).
+#![warn(
+    clippy::doc_markdown,
+    clippy::explicit_iter_loop,
+    clippy::items_after_statements,
+    clippy::manual_let_else,
+    clippy::match_same_arms,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned,
+    clippy::uninlined_format_args
+)]
 
 pub mod combine;
 pub mod ctg;
+pub mod deps;
 pub mod divergence;
 pub mod error;
 pub mod matchq;
@@ -58,6 +72,7 @@ mod compose;
 pub use combine::combine;
 pub use compose::{ComposeOptions, Composer, Composition};
 pub use ctg::{build_ctg, Ctg, CtgEdge, CtgNode};
+pub use deps::{DepEdge, DepRole, DependencyMap, UpdateSafety};
 pub use divergence::{check_composition, Divergence, DivergenceKind};
 pub use error::{Error, Result};
 pub use matchq::matchq;

@@ -100,9 +100,9 @@ fn embed(
         // First step: check the anchoring constraint.
         let anchored = match (pattern.absolute, step.axis) {
             (true, Axis::Child) => view.parent(cur).map(|p| view.is_root(p)).unwrap_or(false),
-            // `//name`: anywhere below the root.
-            (true, _) => true,
-            (false, _) => true,
+            // `//name` anchors anywhere below the root; relative patterns
+            // anchor anywhere.
+            _ => true,
         };
         if anchored {
             out.push(chain.clone());

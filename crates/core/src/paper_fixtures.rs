@@ -14,6 +14,7 @@ use xvc_view::{SchemaTree, ViewNode};
 
 /// The hotel reservation schema of Figure 2.
 pub fn figure2_catalog() -> Catalog {
+    use ColumnType::{Int, Str};
     let mut c = Catalog::new();
     // The first column of every Figure 2 table is its PRIMARY KEY, matching
     // the annotations in `examples/files/paper/figure2.sql`.
@@ -34,7 +35,6 @@ pub fn figure2_catalog() -> Catalog {
         )
         .expect("static schema is well-formed")
     };
-    use ColumnType::{Int, Str};
     c.add(t(
         "hotelchain",
         &[("chainid", Int), ("companyname", Str), ("hqstate", Str)],

@@ -1,4 +1,4 @@
-//! Translating XPath predicates into SQL conditions (§5.1, Figure 19/20).
+//! Translating `XPath` predicates into SQL conditions (§5.1, Figure 19/20).
 //!
 //! By restriction (10) database values surface as XML attributes, so an
 //! attribute-level predicate like `@capacity > 250` is a condition over a

@@ -10,7 +10,7 @@
 //! their provably redundant conjuncts dropped.
 //!
 //! Every decision is justified by a recorded fact chain
-//! ([`NodeVerdict::chain`]), which `xvc check` surfaces as XVC4xx
+//! ([`NodeVerdict::chain`]), which `xvc check` surfaces as `XVC4xx`
 //! diagnostics and which the equivalence property tests keep honest:
 //! pruning must preserve `v'(I) = x(v(I))`.
 

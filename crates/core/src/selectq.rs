@@ -410,10 +410,9 @@ fn is_attr_only_path(p: &PathExpr) -> bool {
 pub fn is_attribute_level(e: &Expr) -> bool {
     match e {
         Expr::Path(p) => is_attr_only_path(p),
-        Expr::Literal(_) | Expr::Number(_) => true,
         // Variables are flagged later (composition cannot bind them; the
         // §5.3 pipeline keeps them in the residual stylesheet).
-        Expr::Var(_) => true,
+        Expr::Literal(_) | Expr::Number(_) | Expr::Var(_) => true,
         Expr::Binary { lhs, rhs, .. } => is_attribute_level(lhs) && is_attribute_level(rhs),
         Expr::And(a, b) | Expr::Or(a, b) => is_attribute_level(a) && is_attribute_level(b),
         Expr::Not(a) => is_attribute_level(a),

@@ -495,7 +495,7 @@ impl Emitter<'_> {
         if deep {
             // copy-of: re-publish the original subtree beneath the copy.
             let mut map = self.tvq.nodes[w_idx].bvmap.clone();
-            for (_, v) in map.iter_mut() {
+            for v in map.values_mut() {
                 if let Some(r) = renames.get(v) {
                     *v = r.clone();
                 }

@@ -608,15 +608,11 @@ fn rename_from_item(q: &mut SelectQuery, idx: usize, new_alias: &str) {
 }
 
 fn rename_qualifier_shadow_aware(q: &mut SelectQuery, old: &str, new: &str, top: bool) {
-    if !top && q.from.iter().any(|t| t.binding_name() == old) {
-        return; // shadowed: inner references stay
-    }
     fn walk(e: &mut ScalarExpr, old: &str, new: &str) {
         match e {
             ScalarExpr::Column { qualifier, .. } if qualifier.as_deref() == Some(old) => {
                 *qualifier = Some(new.to_owned());
             }
-            ScalarExpr::Column { .. } => {}
             ScalarExpr::Binary { lhs, rhs, .. } => {
                 walk(lhs, old, new);
                 walk(rhs, old, new);
@@ -626,6 +622,9 @@ fn rename_qualifier_shadow_aware(q: &mut SelectQuery, old: &str, new: &str, top:
             ScalarExpr::Exists(sub) => rename_qualifier_shadow_aware(sub, old, new, false),
             _ => {}
         }
+    }
+    if !top && q.from.iter().any(|t| t.binding_name() == old) {
+        return; // shadowed: inner references stay
     }
     for item in &mut q.select {
         match item {

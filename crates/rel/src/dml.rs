@@ -1,0 +1,514 @@
+//! DML write path: `INSERT INTO` / `DELETE FROM` statements that mutate a
+//! [`Database`] and return the [`Delta`] of rows they touched.
+//!
+//! The composition paper treats the database as read-only input `I` to the
+//! publishing function `v(I)`; this module is the first write path, built
+//! so [`Delta`]s can be propagated through the static dependency map
+//! (`xvc_core::deps`) into an incremental republish instead of a full one.
+//! Deliberately tiny surface:
+//!
+//! * `INSERT INTO t VALUES (lit, ...), (lit, ...)` — literal rows only
+//!   (integers, floats, single-quoted strings with `''` escaping, `NULL`,
+//!   `TRUE`/`FALSE`), validated against the table schema on insert;
+//! * `DELETE FROM t [WHERE pred]` — the predicate is the same scalar
+//!   fragment tag queries use; it is parsed by wrapping it in
+//!   `SELECT * FROM t WHERE pred` and reusing [`crate::parse_query`], then
+//!   evaluated by the interpreter, so DELETE semantics are exactly "rows
+//!   the SELECT would return".
+//!
+//! Data mutations never change the catalog fingerprint (schemas are
+//! untouched), so the publisher's prepared-plan cache stays warm across a
+//! DML statement — the property the delta-republish path relies on.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::eval::{eval_query, ParamEnv};
+use crate::parse::parse_query;
+use crate::table::Database;
+use crate::value::Value;
+
+/// Rows inserted into / deleted from one table by a DML statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableDelta {
+    /// Rows appended, in insertion order.
+    pub inserted: Vec<Vec<Value>>,
+    /// Rows removed, in their former storage order.
+    pub deleted: Vec<Vec<Value>>,
+}
+
+impl TableDelta {
+    /// Total rows touched (inserted + deleted).
+    pub fn row_count(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+/// The net effect of one or more DML statements: per-table inserted and
+/// deleted rows. This is what `Publisher::republish_delta` maps through
+/// the static dependency analysis to find the view nodes it must re-run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Per-table deltas, keyed by table name (sorted for determinism).
+    pub tables: BTreeMap<String, TableDelta>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Total rows touched across all tables.
+    pub fn row_count(&self) -> usize {
+        self.tables.values().map(TableDelta::row_count).sum()
+    }
+
+    /// True if no rows were touched.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(|t| t.row_count() == 0)
+    }
+
+    /// Names of tables with at least one touched row, in sorted order.
+    pub fn tables_changed(&self) -> Vec<&str> {
+        self.tables
+            .iter()
+            .filter(|(_, d)| d.row_count() > 0)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Folds another delta into this one (later statements append).
+    pub fn absorb(&mut self, other: Delta) {
+        for (table, d) in other.tables {
+            let e = self.tables.entry(table).or_default();
+            e.inserted.extend(d.inserted);
+            e.deleted.extend(d.deleted);
+        }
+    }
+
+    fn record_inserts(&mut self, table: &str, rows: &[Vec<Value>]) {
+        self.tables
+            .entry(table.to_owned())
+            .or_default()
+            .inserted
+            .extend(rows.iter().cloned());
+    }
+
+    fn record_deletes(&mut self, table: &str, rows: Vec<Vec<Value>>) {
+        self.tables
+            .entry(table.to_owned())
+            .or_default()
+            .deleted
+            .extend(rows);
+    }
+}
+
+impl Database {
+    /// Executes one DML statement (`INSERT INTO ...` or `DELETE FROM ...`,
+    /// optionally `;`-terminated) and returns the delta of touched rows.
+    pub fn execute_dml(&mut self, sql: &str) -> Result<Delta> {
+        let mut p = DmlParser::new(sql);
+        p.skip_ws();
+        let delta = if p.eat_keyword("INSERT") {
+            p.expect_keyword("INTO")?;
+            let table = p.ident()?;
+            p.expect_keyword("VALUES")?;
+            let rows = p.values_list()?;
+            p.finish()?;
+            let mut delta = Delta::new();
+            for row in &rows {
+                self.insert(&table, row.clone())?;
+            }
+            delta.record_inserts(&table, &rows);
+            delta
+        } else if p.eat_keyword("DELETE") {
+            p.expect_keyword("FROM")?;
+            let table = p.ident()?;
+            let predicate = p.rest_after_optional_where()?;
+            self.delete_from(&table, predicate.as_deref())?
+        } else {
+            return Err(Error::UnexpectedToken {
+                found: p.next_word_for_error(),
+                expected: "INSERT or DELETE",
+            });
+        };
+        Ok(delta)
+    }
+
+    /// Deletes every row of `table` matching `predicate` (all rows when
+    /// `None`), returning the delta. The predicate is evaluated by running
+    /// `SELECT * FROM table WHERE predicate` through the interpreter;
+    /// every stored row equal to a matched row is removed (equal rows
+    /// satisfy a pure predicate identically, so this is exact DELETE
+    /// semantics).
+    pub fn delete_from(&mut self, table: &str, predicate: Option<&str>) -> Result<Delta> {
+        let matched: Vec<Vec<Value>> = match predicate {
+            None => self.table(table)?.rows().to_vec(),
+            Some(pred) => {
+                let q = parse_query(&format!("SELECT * FROM {table} WHERE {pred}"))?;
+                eval_query(self, &q, &ParamEnv::new())?.rows
+            }
+        };
+        let mut kept = Vec::new();
+        let mut deleted = Vec::new();
+        for row in self.table(table)?.rows().iter() {
+            if matched.contains(row) {
+                deleted.push(row.clone());
+            } else {
+                kept.push(row.clone());
+            }
+        }
+        if !deleted.is_empty() {
+            self.replace_rows(table, kept)?;
+        }
+        let mut delta = Delta::new();
+        delta.record_deletes(table, deleted);
+        Ok(delta)
+    }
+}
+
+/// Character-level scanner for the DML fragment. The SELECT parser in
+/// [`crate::parse`] is token-based; DML needs so little syntax that a
+/// dedicated scanner is smaller than threading new statement kinds
+/// through it.
+struct DmlParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> DmlParser<'a> {
+    fn new(src: &'a str) -> Self {
+        DmlParser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_word_for_error(&self) -> String {
+        let w: String = self
+            .rest()
+            .chars()
+            .take_while(|c| !c.is_whitespace())
+            .take(16)
+            .collect();
+        if w.is_empty() {
+            "<end of input>".to_owned()
+        } else {
+            w
+        }
+    }
+
+    /// Consumes `kw` case-insensitively if it is the next word.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let boundary = rest[kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::UnexpectedToken {
+                found: self.next_word_for_error(),
+                expected: kw,
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let word: String = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if word.is_empty() || word.chars().next().is_some_and(char::is_numeric) {
+            return Err(Error::UnexpectedToken {
+                found: self.next_word_for_error(),
+                expected: "identifier",
+            });
+        }
+        self.pos += word.len();
+        Ok(word)
+    }
+
+    fn eat_char(&mut self, ch: char) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(ch) {
+            self.pos += ch.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, ch: char, expected: &'static str) -> Result<()> {
+        if self.eat_char(ch) {
+            Ok(())
+        } else {
+            Err(Error::UnexpectedToken {
+                found: self.next_word_for_error(),
+                expected,
+            })
+        }
+    }
+
+    /// `(lit, ...), (lit, ...)` — at least one row.
+    fn values_list(&mut self) -> Result<Vec<Vec<Value>>> {
+        let mut rows = Vec::new();
+        loop {
+            self.expect_char('(', "'(' starting a VALUES row")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_char(',') {
+                    break;
+                }
+            }
+            self.expect_char(')', "')' ending a VALUES row")?;
+            rows.push(row);
+            if !self.eat_char(',') {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        self.skip_ws();
+        if self.eat_keyword("NULL") {
+            return Ok(Value::Null);
+        }
+        if self.eat_keyword("TRUE") {
+            return Ok(Value::Bool(true));
+        }
+        if self.eat_keyword("FALSE") {
+            return Ok(Value::Bool(false));
+        }
+        let rest = self.rest();
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some('\'') => {
+                // Single-quoted string; '' escapes a quote.
+                let mut s = String::new();
+                let mut i = 1;
+                let bytes = rest.as_bytes();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::UnexpectedEnd {
+                                expected: "closing ' in string literal",
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let c = rest[i..].chars().next().expect("in-bounds char");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                self.pos += i;
+                Ok(Value::Str(s))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut len = c.len_utf8();
+                let mut is_float = false;
+                for c in chars {
+                    if c.is_ascii_digit() {
+                        len += 1;
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        len += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &rest[..len];
+                self.pos += len;
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| Error::UnexpectedToken {
+                            found: text.to_owned(),
+                            expected: "numeric literal",
+                        })
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| Error::UnexpectedToken {
+                            found: text.to_owned(),
+                            expected: "integer literal",
+                        })
+                }
+            }
+            _ => Err(Error::UnexpectedToken {
+                found: self.next_word_for_error(),
+                expected: "literal (number, 'string', NULL, TRUE, FALSE)",
+            }),
+        }
+    }
+
+    /// After `DELETE FROM t`: either end-of-statement (returns `None`) or
+    /// `WHERE <predicate text>` (returns the raw predicate, semicolon
+    /// stripped).
+    fn rest_after_optional_where(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("WHERE") {
+            let pred = self.rest().trim().trim_end_matches(';').trim();
+            if pred.is_empty() {
+                return Err(Error::UnexpectedEnd {
+                    expected: "predicate after WHERE",
+                });
+            }
+            self.pos = self.src.len();
+            Ok(Some(pred.to_owned()))
+        } else {
+            self.finish()?;
+            Ok(None)
+        }
+    }
+
+    /// Accepts an optional trailing `;` then end of input.
+    fn finish(&mut self) -> Result<()> {
+        self.eat_char(';');
+        self.skip_ws();
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingTokens {
+                found: self.next_word_for_error(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "city",
+                vec![
+                    ColumnDef::new("cityid", ColumnType::Int),
+                    ColumnDef::new("cityname", ColumnType::Str),
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn insert_literal_rows() {
+        let mut db = db();
+        let delta = db
+            .execute_dml("INSERT INTO city VALUES (1, 'naperville'), (2, 'o''hare')")
+            .unwrap();
+        assert_eq!(delta.row_count(), 2);
+        assert_eq!(delta.tables_changed(), vec!["city"]);
+        let t = db.table("city").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][1], Value::Str("o'hare".into()));
+        assert_eq!(delta.tables["city"].inserted[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn insert_validates_against_schema() {
+        let mut db = db();
+        assert!(db
+            .execute_dml("INSERT INTO city VALUES ('backwards', 1)")
+            .is_err());
+        assert!(db.execute_dml("INSERT INTO nope VALUES (1, 'x')").is_err());
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut db = db();
+        db.execute_dml("INSERT INTO city VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
+        let delta = db
+            .execute_dml("DELETE FROM city WHERE cityid >= 2")
+            .unwrap();
+        assert_eq!(delta.tables["city"].deleted.len(), 2);
+        assert_eq!(db.table("city").unwrap().len(), 1);
+        assert_eq!(db.table("city").unwrap().rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn delete_all_rows_without_where() {
+        let mut db = db();
+        db.execute_dml("INSERT INTO city VALUES (1, 'a')").unwrap();
+        let delta = db.execute_dml("DELETE FROM city;").unwrap();
+        assert_eq!(delta.row_count(), 1);
+        assert!(db.table("city").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_preserves_indexes_and_fingerprint() {
+        let mut db = db();
+        db.create_index("city", "cityid", crate::schema::IndexKind::Hash)
+            .unwrap();
+        let before = db.catalog_fingerprint();
+        db.execute_dml("INSERT INTO city VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        db.execute_dml("DELETE FROM city WHERE cityid = 1").unwrap();
+        assert_eq!(db.catalog_fingerprint(), before);
+        let t = db.table("city").unwrap();
+        let idx = t.index_for(0).expect("index survives delete");
+        assert_eq!(idx.lookup(&Value::Int(2)), &[0]);
+        assert!(idx.lookup(&Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn rejects_other_statements() {
+        let mut db = db();
+        assert!(db.execute_dml("UPDATE city SET cityname = 'x'").is_err());
+        assert!(db
+            .execute_dml("INSERT INTO city VALUES (1, 'a') garbage")
+            .is_err());
+    }
+
+    #[test]
+    fn delta_absorb_merges_per_table() {
+        let mut db = db();
+        let mut total = db.execute_dml("INSERT INTO city VALUES (1, 'a')").unwrap();
+        total.absorb(db.execute_dml("DELETE FROM city WHERE cityid = 1").unwrap());
+        assert_eq!(total.tables["city"].inserted.len(), 1);
+        assert_eq!(total.tables["city"].deleted.len(), 1);
+        assert!(!total.is_empty());
+    }
+}

@@ -34,6 +34,8 @@
 //! * [`rewrite`] — the query-surgery helpers `UNBIND`/`NEST` rely on;
 //! * [`optimize`] — the Kim-style unnesting pass the paper points at
 //!   (§4.2.1), applied opt-in after composition;
+//! * [`dml`] — the write path: `INSERT INTO` / `DELETE FROM` statements
+//!   returning per-table [`Delta`]s for incremental republishing;
 //! * [`domain`] / [`facts`] — the predicate-dataflow engine: a per-column
 //!   equality/interval/nullability abstract domain seeded from retained
 //!   DDL constraints, with conjunct-level satisfiability, entailment and
@@ -57,6 +59,7 @@
 pub mod ast;
 pub mod csv;
 pub mod ddl;
+pub mod dml;
 pub mod domain;
 pub mod error;
 pub mod eval;
@@ -76,6 +79,7 @@ pub mod value;
 pub use ast::{AggFunc, BinOp, ScalarExpr, SelectItem, SelectQuery, TableRef};
 pub use csv::load_csv;
 pub use ddl::{database_from_ddl, parse_create_table, parse_ddl};
+pub use dml::{Delta, TableDelta};
 pub use domain::{Assumption, Card, CardBound, ColumnDomain};
 pub use error::{Error, Result};
 pub use eval::{

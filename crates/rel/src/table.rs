@@ -548,6 +548,25 @@ impl Database {
         Ok(db)
     }
 
+    /// Replaces the named table's row contents wholesale, rebuilding the
+    /// row store and every secondary index on the same backend. The schema
+    /// is untouched, so the catalog fingerprint — and therefore any plan
+    /// cache keyed on it — stays valid (the DML path depends on this).
+    pub(crate) fn replace_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::UnknownTable {
+                name: table.to_owned(),
+            })?;
+        let mut fresh = Table::with_backend(t.schema.clone(), t.backend())?;
+        for row in rows {
+            fresh.insert(row)?;
+        }
+        *t = fresh;
+        Ok(())
+    }
+
     /// Iterates tables in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Table> {
         self.tables.values()

@@ -10,7 +10,7 @@
 //! descendant nodes. A unique document root is implied (§2.1).
 //!
 //! The format is adapted from ROLEX \[2, 3\], itself adapted from the
-//! intermediate query representation of SilkRoute — the paper's composition
+//! intermediate query representation of `SilkRoute` — the paper's composition
 //! algorithm "does not rely on any particular features of ROLEX".
 //!
 //! Publishing tracks [`PublishStats`] (elements materialized, tuples
@@ -19,6 +19,19 @@
 //! unnecessary nodes".
 
 #![warn(missing_docs)]
+// Curated clippy::pedantic subset shared with `xvc-rel` / `xvc-analyze`
+// (kept clean under `-D warnings` in ci.sh).
+#![warn(
+    clippy::doc_markdown,
+    clippy::explicit_iter_loop,
+    clippy::items_after_statements,
+    clippy::manual_let_else,
+    clippy::match_same_arms,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned,
+    clippy::uninlined_format_args
+)]
 
 pub mod bounds;
 pub mod display;
@@ -26,9 +39,13 @@ pub mod error;
 pub mod parse;
 pub mod publish;
 pub mod schema_tree;
+pub mod table_deps;
 
 pub use bounds::{analyze_view_bounds, NodeBounds, ViewBounds};
 pub use error::{Error, Result};
 pub use parse::parse_view;
-pub use publish::{PublishStats, PublishTrace, Published, Publisher, TraceEntry};
+pub use publish::{
+    PublishStats, PublishTrace, Published, Publisher, SpliceEntry, SpliceIndex, TraceEntry,
+};
 pub use schema_tree::{AttrProjection, SchemaTree, ViewNode, ViewNodeId};
+pub use table_deps::TableDeps;

@@ -68,6 +68,16 @@ pub struct PublishStats {
     /// parent bindings. Memo-served parents reuse an existing relation
     /// and are **not** counted here.
     pub rows_regrouped: usize,
+    /// Subtree roots spliced into the previous document by
+    /// [`Publisher::republish_delta`]. Zero on full publishes.
+    pub nodes_respliced: usize,
+    /// Batches the delta path re-executed ([`Publisher::republish_delta`]
+    /// only; equals `batches_executed` when the delta path had to fall
+    /// back to a full republish). Zero on full publishes.
+    pub batches_reexecuted: usize,
+    /// Rows in the [`xvc_rel::Delta`] a delta republish consumed. Zero on
+    /// full publishes.
+    pub delta_rows_in: usize,
 }
 
 impl PublishStats {
@@ -88,16 +98,23 @@ impl PublishStats {
             .bindings_per_batch_max
             .max(other.bindings_per_batch_max);
         self.rows_regrouped += other.rows_regrouped;
+        self.nodes_respliced += other.nodes_respliced;
+        self.batches_reexecuted += other.batches_reexecuted;
+        self.delta_rows_in += other.delta_rows_in;
     }
 
-    /// This run's counters with the batch-only ones zeroed — what the run
-    /// would have reported on the scalar path, which is identical on every
-    /// other field (the equality the batched-vs-scalar tests assert).
+    /// This run's counters with the batch-only and delta-only ones zeroed —
+    /// what the run would have reported on the scalar path, which is
+    /// identical on every other field (the equality the batched-vs-scalar
+    /// tests assert).
     pub fn without_batch_counters(&self) -> PublishStats {
         PublishStats {
             batches_executed: 0,
             bindings_per_batch_max: 0,
             rows_regrouped: 0,
+            nodes_respliced: 0,
+            batches_reexecuted: 0,
+            delta_rows_in: 0,
             ..*self
         }
     }
@@ -154,6 +171,28 @@ impl PublishTrace {
     }
 }
 
+/// Splice provenance of one published element: which view node produced
+/// it and the parameter environment its *children* were expanded under.
+/// This is exactly what the delta path needs to re-run a child node under
+/// one surviving parent instance.
+#[derive(Debug, Clone)]
+pub struct SpliceEntry {
+    /// The schema-tree node that emitted the element.
+    pub view: ViewNodeId,
+    /// The environment the element's children run under (the element's
+    /// own binding variable included).
+    pub child_env: ParamEnv,
+}
+
+/// Per-element splice provenance of a batched publish, keyed by document
+/// node — the structural index [`Publisher::republish_delta`] patches
+/// through. Recorded only when [`Publisher::incremental`] is on.
+#[derive(Debug, Clone, Default)]
+pub struct SpliceIndex {
+    /// One entry per emitted element.
+    pub entries: HashMap<xvc_xml::NodeId, SpliceEntry>,
+}
+
 /// Everything one publish run produced.
 #[derive(Debug)]
 pub struct Published {
@@ -167,6 +206,13 @@ pub struct Published {
     /// Per-element provenance; `Some` only when tracing was requested via
     /// [`Publisher::traced`].
     pub trace: Option<PublishTrace>,
+    /// Splice provenance; `Some` only on batched publishes with
+    /// [`Publisher::incremental`] on (delta republishes keep it current).
+    pub splice: Option<SpliceIndex>,
+    /// View nodes whose guard / tag batches a delta republish actually
+    /// re-executed — the measured set the soundness tests compare against
+    /// the static dependency map. Empty on full publishes.
+    pub reexecuted: Vec<ViewNodeId>,
 }
 
 /// Distinguishes a node's tag query from its emission-guard probe in the
@@ -223,6 +269,7 @@ pub struct Publisher<'t> {
     prepared: bool,
     batched: bool,
     bounded: bool,
+    incremental: bool,
     cache: PlanCache,
 }
 
@@ -237,8 +284,19 @@ impl<'t> Publisher<'t> {
             prepared: true,
             batched: true,
             bounded: true,
+            incremental: false,
             cache: PlanCache::default(),
         }
+    }
+
+    /// Record the splice index ([`Published::splice`]) so the run's result
+    /// can seed [`Publisher::republish_delta`]. Only the batched path can
+    /// record one (the scalar path streams through a builder and never
+    /// sees document node ids); on the scalar path the flag is ignored and
+    /// `republish_delta` falls back to a full republish.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// Record per-element provenance ([`Published::trace`]).
@@ -311,52 +369,13 @@ impl<'t> Publisher<'t> {
     pub fn publish(&mut self, db: &Database) -> Result<Published> {
         self.tree.validate()?;
         let mut stats = PublishStats::default();
-        let fingerprint = db.catalog_fingerprint();
-        if self.cache.fingerprint != Some(fingerprint) {
-            self.cache.plans.clear();
-            self.cache.fingerprint = Some(fingerprint);
-        }
-        if self.prepared {
-            // Built lazily, only if some node actually needs compiling; on
-            // a warm cache neither the catalog nor the cardinality
-            // analysis is materialized at all.
-            let mut planner: Option<Planner> = None;
-            for vid in self.tree.node_ids() {
-                let node = self.tree.node(vid).expect("non-root id");
-                if let Some(q) = &node.query {
-                    ensure_plan(
-                        &mut self.cache,
-                        self.tree,
-                        self.bounded,
-                        vid,
-                        Role::Tag,
-                        q,
-                        db,
-                        &mut planner,
-                        &mut stats,
-                    );
-                }
-                if let Some(g) = &node.guard {
-                    let probe = guard_probe(g);
-                    ensure_plan(
-                        &mut self.cache,
-                        self.tree,
-                        self.bounded,
-                        vid,
-                        Role::Guard,
-                        &probe,
-                        db,
-                        &mut planner,
-                        &mut stats,
-                    );
-                }
-            }
-        }
+        self.ensure_all_plans(db, &mut stats);
 
         // Root pass (always sequential): evaluate root-level guards and tag
         // queries, and cut the document into one task per root element
         // instance. The decomposition — and therefore every per-task
         // counter — is independent of the thread count.
+        let collect_splice = self.incremental && self.batched;
         let shared = Shared {
             tree: self.tree,
             db,
@@ -364,6 +383,7 @@ impl<'t> Publisher<'t> {
             use_plans: self.prepared,
             tracing: self.tracing,
             batched: self.batched,
+            collect_splice,
         };
         let mut main = Worker::new(&shared, HashMap::new());
         let mut tasks: Vec<Task> = Vec::new();
@@ -418,6 +438,7 @@ impl<'t> Publisher<'t> {
         let mut eval = main.eval;
         let mut trace = main.trace;
         let mut builder = TreeBuilder::new();
+        let mut splice_parts: Vec<(Document, HashMap<xvc_xml::NodeId, SpliceEntry>)> = Vec::new();
         for out in outs {
             let out = out.expect("every task slot is filled")?;
             let kids: Vec<_> = out.doc.children(out.doc.root()).to_vec();
@@ -427,13 +448,268 @@ impl<'t> Publisher<'t> {
             stats.absorb(&out.stats);
             eval.absorb(&out.eval);
             trace.extend(out.trace);
+            if collect_splice {
+                splice_parts.push((out.doc, out.splice));
+            }
         }
+        let document = builder.finish();
+        let splice = collect_splice.then(|| {
+            // Task fragments were imported root child by root child, in
+            // task order; `import` deep-copies, so zipping the pre-orders
+            // of each fragment subtree with the matching final subtree
+            // remaps every recorded node id.
+            let mut entries = HashMap::new();
+            let mut final_roots = document.children(document.root()).iter().copied();
+            for (doc, part) in &splice_parts {
+                for &kid in doc.children(doc.root()) {
+                    let froot = final_roots.next().expect("merge keeps root children");
+                    for (o, n) in doc
+                        .descendants_or_self(kid)
+                        .zip(document.descendants_or_self(froot))
+                    {
+                        if let Some(e) = part.get(&o) {
+                            entries.insert(n, e.clone());
+                        }
+                    }
+                }
+            }
+            SpliceIndex { entries }
+        });
         Ok(Published {
-            document: builder.finish(),
+            document,
             stats,
             eval,
             trace: self.tracing.then_some(PublishTrace { entries: trace }),
+            splice,
+            reexecuted: Vec::new(),
         })
+    }
+
+    /// Incrementally republishes after a base-table mutation: maps `delta`
+    /// through the conservative table → view-node dependency map
+    /// ([`crate::TableDeps`]), re-executes only the *top-most* affected
+    /// view nodes — level-at-a-time, one batch per (view node, wave)
+    /// across **all** surviving parent instances at once — and splices the
+    /// fresh subtrees into `prev`'s document in place of the stale ones.
+    ///
+    /// `prev` must come from this publisher with [`Publisher::incremental`]
+    /// on (so it carries a [`SpliceIndex`]); otherwise, or on the scalar
+    /// path, the call falls back to a full [`Publisher::publish`] and
+    /// reports `batches_reexecuted == batches_executed`. `db` must be the
+    /// *post*-delta database.
+    ///
+    /// The result is byte-identical to a full republish against `db`
+    /// (asserted across random workloads by the delta-publish property
+    /// tests) and carries a current splice index, so deltas chain.
+    pub fn republish_delta(
+        &mut self,
+        db: &Database,
+        prev: &Published,
+        delta: &xvc_rel::Delta,
+    ) -> Result<Published> {
+        if !self.batched || prev.splice.is_none() {
+            let mut p = self.publish(db)?;
+            p.stats.batches_reexecuted = p.stats.batches_executed;
+            p.stats.delta_rows_in = delta.row_count();
+            p.reexecuted = self.tree.node_ids();
+            return Ok(p);
+        }
+        let prev_splice = prev.splice.as_ref().expect("checked above");
+        self.tree.validate()?;
+        let mut stats = PublishStats::default();
+        self.ensure_all_plans(db, &mut stats);
+        stats.delta_rows_in = delta.row_count();
+
+        let tree = self.tree;
+        let deps = crate::table_deps::TableDeps::analyze(tree);
+        let affected = deps.affected_by(&delta.tables_changed());
+        if affected.is_empty() {
+            return Ok(Published {
+                document: prev.document.clone(),
+                stats,
+                eval: EvalStats::default(),
+                trace: None,
+                splice: Some(prev_splice.clone()),
+                reexecuted: Vec::new(),
+            });
+        }
+
+        // Top-most affected nodes: re-executing a node re-executes its
+        // whole subtree, so an affected node with an affected proper
+        // ancestor is already covered.
+        let mut tops_by_parent: HashMap<usize, Vec<ViewNodeId>> = HashMap::new();
+        let mut root_tops: Vec<ViewNodeId> = Vec::new();
+        for vid in tree.node_ids() {
+            if !affected.contains(&vid.index()) {
+                continue;
+            }
+            let mut anc = tree.parent(vid);
+            let mut covered = false;
+            while let Some(a) = anc {
+                if tree.is_root(a) {
+                    break;
+                }
+                if affected.contains(&a.index()) {
+                    covered = true;
+                    break;
+                }
+                anc = tree.parent(a);
+            }
+            if covered {
+                continue;
+            }
+            let parent = tree.parent(vid).expect("node_ids excludes the root");
+            if tree.is_root(parent) {
+                root_tops.push(vid);
+            } else {
+                tops_by_parent.entry(parent.index()).or_default().push(vid);
+            }
+        }
+
+        // Re-execute every (surviving parent instance, top node) pair in
+        // one shared frontier: each pair grows under its own holder
+        // element, and the wave loop batches per (view node, wave) across
+        // all holders at once.
+        let shared = Shared {
+            tree,
+            db,
+            plans: &self.cache.plans,
+            use_plans: self.prepared,
+            tracing: false,
+            batched: true,
+            collect_splice: true,
+        };
+        let mut w = BatchWorker::new(&shared);
+        let wroot = w.doc.root();
+        let mut patches: HashMap<xvc_xml::NodeId, Vec<(ViewNodeId, xvc_xml::NodeId)>> =
+            HashMap::new();
+        let mut frontier: Vec<Pending> = Vec::new();
+        let seed = |w: &mut BatchWorker<'_>,
+                    frontier: &mut Vec<Pending>,
+                    patches: &mut HashMap<xvc_xml::NodeId, Vec<(ViewNodeId, xvc_xml::NodeId)>>,
+                    prev_parent: xvc_xml::NodeId,
+                    vid: ViewNodeId,
+                    env: ParamEnv| {
+            let holder = w.doc.create_element("delta-holder");
+            w.doc.append_child(wroot, holder);
+            patches.entry(prev_parent).or_default().push((vid, holder));
+            frontier.push(Pending {
+                parent: holder,
+                vid,
+                env,
+            });
+        };
+        for &n in &root_tops {
+            seed(
+                &mut w,
+                &mut frontier,
+                &mut patches,
+                prev.document.root(),
+                n,
+                ParamEnv::new(),
+            );
+        }
+        if !tops_by_parent.is_empty() {
+            for pid in prev.document.descendants_or_self(prev.document.root()) {
+                let Some(entry) = prev_splice.entries.get(&pid) else {
+                    continue;
+                };
+                let Some(tops) = tops_by_parent.get(&entry.view.index()) else {
+                    continue;
+                };
+                for &n in tops {
+                    seed(
+                        &mut w,
+                        &mut frontier,
+                        &mut patches,
+                        pid,
+                        n,
+                        entry.child_env.clone(),
+                    );
+                }
+            }
+        }
+        expand_frontier(&mut w, frontier)?;
+
+        // Splice: rebuild the document (the arena has no detach), copying
+        // unaffected subtrees from `prev` and grafting each holder's fresh
+        // children at the stale group's position.
+        for list in patches.values_mut() {
+            list.sort_by_key(|(vid, _)| vid.index());
+        }
+        let mut graft = Graft {
+            old: &prev.document,
+            old_splice: &prev_splice.entries,
+            patches: &patches,
+            worker_doc: &w.doc,
+            worker_splice: &w.splice,
+            new_doc: Document::new(),
+            entries: HashMap::new(),
+            respliced: 0,
+        };
+        let new_root = graft.new_doc.root();
+        graft.copy_children(prev.document.root(), new_root);
+
+        stats.absorb(&w.stats);
+        stats.batches_reexecuted = w.stats.batches_executed;
+        stats.nodes_respliced = graft.respliced;
+        Ok(Published {
+            document: graft.new_doc,
+            stats,
+            eval: w.eval,
+            trace: None,
+            splice: Some(SpliceIndex {
+                entries: graft.entries,
+            }),
+            reexecuted: w.touched.iter().map(|&i| ViewNodeId(i as u32)).collect(),
+        })
+    }
+
+    /// Validates the cache against `db`'s catalog fingerprint and compiles
+    /// any missing plans (no-op when plans are off). Shared by
+    /// [`Publisher::publish`] and [`Publisher::republish_delta`].
+    fn ensure_all_plans(&mut self, db: &Database, stats: &mut PublishStats) {
+        let fingerprint = db.catalog_fingerprint();
+        if self.cache.fingerprint != Some(fingerprint) {
+            self.cache.plans.clear();
+            self.cache.fingerprint = Some(fingerprint);
+        }
+        if self.prepared {
+            // Built lazily, only if some node actually needs compiling; on
+            // a warm cache neither the catalog nor the cardinality
+            // analysis is materialized at all.
+            let mut planner: Option<Planner> = None;
+            for vid in self.tree.node_ids() {
+                let node = self.tree.node(vid).expect("non-root id");
+                if let Some(q) = &node.query {
+                    ensure_plan(
+                        &mut self.cache,
+                        self.tree,
+                        self.bounded,
+                        vid,
+                        Role::Tag,
+                        q,
+                        db,
+                        &mut planner,
+                        stats,
+                    );
+                }
+                if let Some(g) = &node.guard {
+                    let probe = guard_probe(g);
+                    ensure_plan(
+                        &mut self.cache,
+                        self.tree,
+                        self.bounded,
+                        vid,
+                        Role::Guard,
+                        &probe,
+                        db,
+                        &mut planner,
+                        stats,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -511,6 +787,7 @@ struct Shared<'a> {
     use_plans: bool,
     tracing: bool,
     batched: bool,
+    collect_splice: bool,
 }
 
 /// One root-level element instance to publish: a query-node tuple, or a
@@ -531,6 +808,9 @@ struct TaskOut {
     stats: PublishStats,
     eval: EvalStats,
     trace: Vec<TraceEntry>,
+    /// Splice provenance keyed by *task-local* node ids (remapped to final
+    /// document ids during the merge). Empty unless splice collection is on.
+    splice: HashMap<xvc_xml::NodeId, SpliceEntry>,
 }
 
 /// Runs every task — inline when `parallel <= 1`, else on a scoped thread
@@ -572,6 +852,7 @@ fn run_task(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
         stats: w.stats,
         eval: w.eval,
         trace: w.trace,
+        splice: HashMap::new(),
     })
 }
 
@@ -590,7 +871,7 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
     let root = w.doc.root();
     let (el, child_env) = w.emit_node_instance(root, task.vid, &env, task.tuple.as_ref());
 
-    let mut frontier: Vec<Pending> = tree
+    let frontier: Vec<Pending> = tree
         .children(task.vid)
         .iter()
         .map(|&vid| Pending {
@@ -599,6 +880,29 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
             env: child_env.clone(),
         })
         .collect();
+    expand_frontier(&mut w, frontier)?;
+
+    let trace = if shared.tracing {
+        w.build_trace(task)
+    } else {
+        Vec::new()
+    };
+    Ok(TaskOut {
+        doc: w.doc,
+        stats: w.stats,
+        eval: w.eval,
+        trace,
+        splice: w.splice,
+    })
+}
+
+/// The level-at-a-time engine of the batched path: expands `frontier`
+/// breadth-first to exhaustion inside `w`'s document. Factored out of
+/// [`run_task_batched`] so [`Publisher::republish_delta`] can seed it with
+/// an arbitrary set of `(parent, view node, bindings)` slots instead of a
+/// single task root.
+fn expand_frontier(w: &mut BatchWorker<'_>, mut frontier: Vec<Pending>) -> Result<()> {
+    let tree = w.shared.tree;
     while !frontier.is_empty() {
         let mut next: Vec<Pending> = Vec::new();
         // Group the level by view node, in schema (ascending id) order:
@@ -614,6 +918,7 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
             let node = tree.node(vid).expect("frontier holds non-root ids");
 
             if let Some(guard) = &node.guard {
+                w.touched.insert(vid.index());
                 let probe = guard_probe(guard);
                 let envs: Vec<ParamEnv> = live.iter().map(|&i| frontier[i].env.clone()).collect();
                 w.stats.queries_run += envs.len();
@@ -641,6 +946,7 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
                 continue;
             }
 
+            w.touched.insert(vid.index());
             let query = node.query.as_ref().expect("query node");
             let envs: Vec<ParamEnv> = live.iter().map(|&i| frontier[i].env.clone()).collect();
             let rels = w.run_batch(vid, Role::Tag, query, &envs)?;
@@ -663,18 +969,136 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
         }
         frontier = next;
     }
+    Ok(())
+}
 
-    let trace = if shared.tracing {
-        w.build_trace(task)
-    } else {
-        Vec::new()
+/// Rebuilds the previous document with fresh subtrees grafted in. The
+/// arena [`Document`] has no node removal, so splicing is a copy walk:
+/// unaffected nodes are copied verbatim from the old document; at a
+/// patched parent, each stale child group (all instances of one view
+/// node) is replaced by the matching holder's children from the delta
+/// worker's document, at the stale group's sibling position.
+struct Graft<'g> {
+    old: &'g Document,
+    old_splice: &'g HashMap<xvc_xml::NodeId, SpliceEntry>,
+    /// Old parent node → `(child view node, holder)` replacements, sorted
+    /// by ascending view-node index (sibling groups appear in that order).
+    patches: &'g HashMap<xvc_xml::NodeId, Vec<(ViewNodeId, xvc_xml::NodeId)>>,
+    worker_doc: &'g Document,
+    worker_splice: &'g HashMap<xvc_xml::NodeId, SpliceEntry>,
+    new_doc: Document,
+    /// Splice index of the rebuilt document, filled during the walk.
+    entries: HashMap<xvc_xml::NodeId, SpliceEntry>,
+    respliced: usize,
+}
+
+impl Graft<'_> {
+    /// Copies `old_parent`'s children under `new_parent`, applying this
+    /// parent's patch list (if any) as a positional merge: a fresh group
+    /// replaces the first stale instance of its view node in place; a
+    /// group with no stale instances is inserted before the first sibling
+    /// of a higher view-node index (sibling groups are emitted in
+    /// ascending index order, so this is the position a full republish
+    /// would produce).
+    fn copy_children(&mut self, old_parent: xvc_xml::NodeId, new_parent: xvc_xml::NodeId) {
+        let patch = self.patches.get(&old_parent).map_or(&[][..], Vec::as_slice);
+        let replaced: std::collections::HashSet<usize> =
+            patch.iter().map(|(vid, _)| vid.index()).collect();
+        let mut pi = 0;
+        for &c in self.old.children(old_parent) {
+            let cv = self.old_splice.get(&c).map(|e| e.view.index());
+            if let Some(cv) = cv {
+                while pi < patch.len() && patch[pi].0.index() <= cv {
+                    self.graft_holder(patch[pi].1, new_parent);
+                    pi += 1;
+                }
+                if replaced.contains(&cv) {
+                    continue;
+                }
+            }
+            self.copy_old_subtree(c, new_parent);
+        }
+        while pi < patch.len() {
+            self.graft_holder(patch[pi].1, new_parent);
+            pi += 1;
+        }
+    }
+
+    /// Appends every child of a delta-worker holder under `new_parent`.
+    fn graft_holder(&mut self, holder: xvc_xml::NodeId, new_parent: xvc_xml::NodeId) {
+        for &c in self.worker_doc.children(holder) {
+            self.respliced += 1;
+            copy_subtree(
+                self.worker_doc,
+                self.worker_splice,
+                c,
+                &mut self.new_doc,
+                new_parent,
+                &mut self.entries,
+            );
+        }
+    }
+
+    /// Copies one old subtree, descending with patch awareness (a patched
+    /// parent can sit arbitrarily deep below an unaffected ancestor).
+    fn copy_old_subtree(&mut self, old_id: xvc_xml::NodeId, new_parent: xvc_xml::NodeId) {
+        let new_id = copy_node(
+            self.old,
+            self.old_splice,
+            old_id,
+            &mut self.new_doc,
+            new_parent,
+            &mut self.entries,
+        );
+        self.copy_children(old_id, new_id);
+    }
+}
+
+/// Copies a single node (element or text) without its children, carrying
+/// its splice entry over; returns the new id.
+fn copy_node(
+    src: &Document,
+    src_splice: &HashMap<xvc_xml::NodeId, SpliceEntry>,
+    src_id: xvc_xml::NodeId,
+    dst: &mut Document,
+    dst_parent: xvc_xml::NodeId,
+    dst_splice: &mut HashMap<xvc_xml::NodeId, SpliceEntry>,
+) -> xvc_xml::NodeId {
+    let new_id = match src.kind(src_id) {
+        xvc_xml::NodeKind::Element { name, attrs } => {
+            let (name, attrs) = (name.clone(), attrs.clone());
+            let el = dst.create_element(name);
+            for (k, v) in attrs {
+                dst.set_attr(el, k, v).expect("created as element");
+            }
+            el
+        }
+        xvc_xml::NodeKind::Text(t) => {
+            let t = t.clone();
+            dst.create_text(t)
+        }
+        xvc_xml::NodeKind::Root => unreachable!("roots are never copied"),
     };
-    Ok(TaskOut {
-        doc: w.doc,
-        stats: w.stats,
-        eval: w.eval,
-        trace,
-    })
+    dst.append_child(dst_parent, new_id);
+    if let Some(e) = src_splice.get(&src_id) {
+        dst_splice.insert(new_id, e.clone());
+    }
+    new_id
+}
+
+/// Copies a whole subtree (used for grafting fresh delta subtrees).
+fn copy_subtree(
+    src: &Document,
+    src_splice: &HashMap<xvc_xml::NodeId, SpliceEntry>,
+    src_id: xvc_xml::NodeId,
+    dst: &mut Document,
+    dst_parent: xvc_xml::NodeId,
+    dst_splice: &mut HashMap<xvc_xml::NodeId, SpliceEntry>,
+) {
+    let new_id = copy_node(src, src_splice, src_id, dst, dst_parent, dst_splice);
+    for &c in src.children(src_id) {
+        copy_subtree(src, src_splice, c, dst, new_id, dst_splice);
+    }
 }
 
 /// One frontier slot: a view node still to expand under `parent` with the
@@ -699,6 +1123,11 @@ struct BatchWorker<'a> {
     memo: HashMap<(u32, Role, String), Relation>,
     /// Element provenance for trace reconstruction (tracing runs only).
     prov: HashMap<xvc_xml::NodeId, (ViewNodeId, ParamEnv)>,
+    /// Splice provenance (splice-collecting runs only).
+    splice: HashMap<xvc_xml::NodeId, SpliceEntry>,
+    /// View nodes whose guard / tag batches this worker issued (delta-path
+    /// soundness bookkeeping; node arena indexes).
+    touched: std::collections::BTreeSet<usize>,
 }
 
 impl<'a> BatchWorker<'a> {
@@ -710,6 +1139,8 @@ impl<'a> BatchWorker<'a> {
             eval: EvalStats::default(),
             memo: HashMap::new(),
             prov: HashMap::new(),
+            splice: HashMap::new(),
+            touched: std::collections::BTreeSet::new(),
         }
     }
 
@@ -753,6 +1184,15 @@ impl<'a> BatchWorker<'a> {
                 self.stats.attributes += 1;
             }
             child_env.insert(node.bv.clone(), t.clone());
+        }
+        if self.shared.collect_splice {
+            self.splice.insert(
+                el,
+                SpliceEntry {
+                    view: vid,
+                    child_env: child_env.clone(),
+                },
+            );
         }
         (el, child_env)
     }
@@ -1677,6 +2117,138 @@ mod tests {
             .publish(&database)
             .unwrap();
         assert_eq!(p.document.to_xml(), i.document.to_xml());
+    }
+
+    #[test]
+    fn delta_republish_of_leaf_change_matches_full_republish() {
+        let tree = view();
+        let mut database = db();
+        let mut publisher = Publisher::new(&tree).incremental(true);
+        let prev = publisher.publish(&database).unwrap();
+        assert!(prev.splice.is_some());
+        assert!(prev.reexecuted.is_empty());
+
+        // New 5-star hotel in chicago: only the hotel node reads `hotel`.
+        let delta = database
+            .execute_dml("INSERT INTO hotel VALUES (13, 'langham', 5, 1)")
+            .unwrap();
+        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        let full = Publisher::new(&tree).publish(&database).unwrap();
+        assert_eq!(after.document.to_xml(), full.document.to_xml());
+        assert!(after.document.to_xml().contains("langham"));
+        // One hotel batch across both surviving metros, instead of the
+        // full run's one metro batch + two per-task hotel batches.
+        assert_eq!(after.stats.batches_reexecuted, 1, "{:?}", after.stats);
+        assert!(after.stats.batches_reexecuted < full.stats.batches_executed);
+        assert_eq!(after.stats.nodes_respliced, 3); // 3 hotels re-emitted
+        assert_eq!(after.stats.delta_rows_in, 1);
+        // Only the hotel node re-executed.
+        let hotel = tree.find_by_paper_id(3).unwrap();
+        assert_eq!(after.reexecuted, vec![hotel]);
+
+        // The result carries a current splice index: deltas chain.
+        let delta2 = database
+            .execute_dml("DELETE FROM hotel WHERE hotelname = 'plaza'")
+            .unwrap();
+        let after2 = publisher
+            .republish_delta(&database, &after, &delta2)
+            .unwrap();
+        let full2 = Publisher::new(&tree).publish(&database).unwrap();
+        assert_eq!(after2.document.to_xml(), full2.document.to_xml());
+        assert!(!after2.document.to_xml().contains("plaza"));
+    }
+
+    #[test]
+    fn delta_republish_of_root_table_change_matches_full_republish() {
+        let tree = view();
+        let mut database = db();
+        let mut publisher = Publisher::new(&tree).incremental(true);
+        let prev = publisher.publish(&database).unwrap();
+        // metroarea feeds the root-level metro node: the whole document is
+        // rebuilt through the root-top path.
+        let delta = database
+            .execute_dml("INSERT INTO metroarea VALUES (3, 'boston')")
+            .unwrap();
+        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        let full = Publisher::new(&tree).publish(&database).unwrap();
+        assert_eq!(after.document.to_xml(), full.document.to_xml());
+        assert!(after.document.to_xml().contains("boston"));
+    }
+
+    #[test]
+    fn delta_republish_ignores_unread_tables() {
+        let tree = view();
+        let mut database = db();
+        database.create_table(
+            TableSchema::new("audit", vec![ColumnDef::new("id", ColumnType::Int)]).unwrap(),
+        );
+        let mut publisher = Publisher::new(&tree).incremental(true);
+        let prev = publisher.publish(&database).unwrap();
+        let delta = database
+            .execute_dml("INSERT INTO audit VALUES (1)")
+            .unwrap();
+        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        assert_eq!(after.document.to_xml(), prev.document.to_xml());
+        assert_eq!(after.stats.batches_reexecuted, 0);
+        assert_eq!(after.stats.nodes_respliced, 0);
+        assert_eq!(after.stats.delta_rows_in, 1);
+        assert!(after.reexecuted.is_empty());
+        assert!(after.splice.is_some());
+    }
+
+    #[test]
+    fn delta_republish_without_splice_falls_back_to_full() {
+        let tree = view();
+        let mut database = db();
+        let mut publisher = Publisher::new(&tree); // not incremental
+        let prev = publisher.publish(&database).unwrap();
+        assert!(prev.splice.is_none());
+        let delta = database
+            .execute_dml("INSERT INTO hotel VALUES (13, 'langham', 5, 1)")
+            .unwrap();
+        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        let full = Publisher::new(&tree).publish(&database).unwrap();
+        assert_eq!(after.document.to_xml(), full.document.to_xml());
+        assert_eq!(after.stats.batches_reexecuted, after.stats.batches_executed);
+        assert!(!after.reexecuted.is_empty());
+    }
+
+    #[test]
+    fn delta_republish_handles_deletes_emptying_groups() {
+        let tree = view();
+        let mut database = db();
+        let mut publisher = Publisher::new(&tree).incremental(true);
+        let prev = publisher.publish(&database).unwrap();
+        let delta = database
+            .execute_dml("DELETE FROM hotel WHERE starrating > 4")
+            .unwrap();
+        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        let full = Publisher::new(&tree).publish(&database).unwrap();
+        assert_eq!(after.document.to_xml(), full.document.to_xml());
+        assert!(!after.document.to_xml().contains("hotel"));
+        assert_eq!(after.stats.nodes_respliced, 0);
+    }
+
+    #[test]
+    fn incremental_publish_splice_covers_every_element() {
+        let tree = view();
+        let database = db();
+        let p = Publisher::new(&tree)
+            .incremental(true)
+            .parallel(4)
+            .publish(&database)
+            .unwrap();
+        let splice = p.splice.expect("incremental publish records splice");
+        assert_eq!(splice.entries.len(), p.stats.elements);
+        // Every entry's view node exists and the root elements carry their
+        // own binding in child_env.
+        let metro = tree.find_by_paper_id(1).unwrap();
+        let roots = p.document.children(p.document.root()).to_vec();
+        for r in roots {
+            let e = &splice.entries[&r];
+            assert_eq!(e.view, metro);
+            assert!(e.child_env.contains_key("m"));
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Conservative table → view-node dependency map over a [`SchemaTree`].
+//!
+//! `Publisher::republish_delta` needs to know, given a set of mutated base
+//! tables, which view nodes could possibly publish differently. This map
+//! answers that *conservatively*: a node depends on every table its tag
+//! query or emission guard mentions anywhere (FROM items, derived tables,
+//! `EXISTS` subqueries). Nodes that only consume an ancestor's binding are
+//! covered structurally — the delta path always re-executes whole subtrees
+//! below an affected node, so transitive binding flow needs no edges here.
+//!
+//! The *fine-grained* analysis — per-column roles, update-safety classes,
+//! fact chains — lives in `xvc_core::deps`, which can see the composed TVQ;
+//! this module is deliberately the small, dependency-free core the
+//! publisher itself can trust (`xvc_core` depends on this crate, not the
+//! other way around).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xvc_rel::{ScalarExpr, SelectQuery, TableRef};
+
+use crate::schema_tree::{SchemaTree, ViewNodeId};
+
+/// Which base tables each view node reads (conservatively).
+#[derive(Debug, Clone, Default)]
+pub struct TableDeps {
+    /// node arena index → tables its tag query / guard mentions.
+    per_node: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl TableDeps {
+    /// Walks every node's tag query and guard, collecting mentioned tables.
+    pub fn analyze(tree: &SchemaTree) -> TableDeps {
+        let mut per_node = BTreeMap::new();
+        for vid in tree.node_ids() {
+            let node = tree.node(vid).expect("non-root id");
+            let mut tables = BTreeSet::new();
+            if let Some(q) = &node.query {
+                collect_query_tables(q, &mut tables);
+            }
+            if let Some(g) = &node.guard {
+                collect_expr_tables(g, &mut tables);
+            }
+            per_node.insert(vid.index(), tables);
+        }
+        TableDeps { per_node }
+    }
+
+    /// The tables a node reads.
+    pub fn tables_of(&self, vid: ViewNodeId) -> Option<&BTreeSet<String>> {
+        self.per_node.get(&vid.index())
+    }
+
+    /// Node indexes (ascending) whose queries or guards mention any of
+    /// `tables`.
+    pub fn affected_by(&self, tables: &[&str]) -> BTreeSet<usize> {
+        self.per_node
+            .iter()
+            .filter(|(_, deps)| tables.iter().any(|t| deps.contains(*t)))
+            .map(|(&idx, _)| idx)
+            .collect()
+    }
+
+    /// Every table read by at least one node.
+    pub fn tables_read(&self) -> BTreeSet<&str> {
+        self.per_node
+            .values()
+            .flat_map(|s| s.iter().map(String::as_str))
+            .collect()
+    }
+}
+
+/// Collects every table name a query mentions: named FROM items, derived
+/// tables, and `EXISTS` subqueries in any clause.
+pub(crate) fn collect_query_tables(q: &SelectQuery, out: &mut BTreeSet<String>) {
+    for item in &q.from {
+        match item {
+            TableRef::Named { name, .. } => {
+                out.insert(name.clone());
+            }
+            TableRef::Derived { query, .. } => collect_query_tables(query, out),
+        }
+    }
+    for item in &q.select {
+        if let xvc_rel::SelectItem::Expr { expr, .. } = item {
+            collect_expr_tables(expr, out);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        collect_expr_tables(w, out);
+    }
+    for e in &q.group_by {
+        collect_expr_tables(e, out);
+    }
+    if let Some(h) = &q.having {
+        collect_expr_tables(h, out);
+    }
+}
+
+/// Collects table names from `EXISTS` subqueries nested in a scalar
+/// expression (guards and predicates).
+pub(crate) fn collect_expr_tables(e: &ScalarExpr, out: &mut BTreeSet<String>) {
+    match e {
+        ScalarExpr::Binary { lhs, rhs, .. } => {
+            collect_expr_tables(lhs, out);
+            collect_expr_tables(rhs, out);
+        }
+        ScalarExpr::Not(inner) | ScalarExpr::IsNull(inner) => collect_expr_tables(inner, out),
+        ScalarExpr::Exists(q) => collect_query_tables(q, out),
+        ScalarExpr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                collect_expr_tables(a, out);
+            }
+        }
+        ScalarExpr::Column { .. } | ScalarExpr::Param { .. } | ScalarExpr::Literal(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_tree::ViewNode;
+    use xvc_rel::parse_query;
+
+    fn tree() -> SchemaTree {
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid FROM metroarea").unwrap(),
+            ))
+            .unwrap();
+        t.add_child(
+            metro,
+            ViewNode::new(
+                2,
+                "hotel",
+                "h",
+                parse_query("SELECT * FROM hotel WHERE metro_id=$m.metroid").unwrap(),
+            ),
+        )
+        .unwrap();
+        t.add_child(metro, ViewNode::literal(3, "badge")).unwrap();
+        t
+    }
+
+    #[test]
+    fn maps_tables_to_nodes() {
+        let t = tree();
+        let deps = TableDeps::analyze(&t);
+        let metro = t.find_by_paper_id(1).unwrap();
+        let hotel = t.find_by_paper_id(2).unwrap();
+        let badge = t.find_by_paper_id(3).unwrap();
+        assert!(deps.tables_of(metro).unwrap().contains("metroarea"));
+        assert!(deps.tables_of(hotel).unwrap().contains("hotel"));
+        assert!(deps.tables_of(badge).unwrap().is_empty());
+        assert_eq!(
+            deps.affected_by(&["hotel"]),
+            BTreeSet::from([hotel.index()])
+        );
+        assert!(deps.affected_by(&["nothing"]).is_empty());
+        assert_eq!(deps.tables_read(), BTreeSet::from(["metroarea", "hotel"]));
+    }
+
+    #[test]
+    fn sees_through_exists_guards_and_derived_tables() {
+        use xvc_rel::{BinOp, ScalarExpr};
+        let mut t = SchemaTree::new();
+        let metro = t
+            .add_root_node(ViewNode::new(
+                1,
+                "metro",
+                "m",
+                parse_query("SELECT metroid FROM (SELECT metroid FROM metroarea) AS d").unwrap(),
+            ))
+            .unwrap();
+        let mut guarded = ViewNode::literal(2, "has_hotel");
+        guarded.guard = Some(ScalarExpr::binary(
+            BinOp::And,
+            ScalarExpr::Exists(Box::new(
+                parse_query("SELECT 1 FROM hotel WHERE metro_id=$m.metroid").unwrap(),
+            )),
+            ScalarExpr::int(1),
+        ));
+        t.add_child(metro, guarded).unwrap();
+        let deps = TableDeps::analyze(&t);
+        let m = t.find_by_paper_id(1).unwrap();
+        let g = t.find_by_paper_id(2).unwrap();
+        assert!(deps.tables_of(m).unwrap().contains("metroarea"));
+        assert!(deps.tables_of(g).unwrap().contains("hotel"));
+    }
+}

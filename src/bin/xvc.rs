@@ -8,6 +8,7 @@
 //! xvc explain --sql "SELECT ..." --ddl schema.sql
 //! xvc explain --view v.view --xslt s.xsl --ddl schema.sql [--rewrites]
 //! xvc stats   --view v.view --xslt s.xsl --ddl schema.sql [--data DIR]
+//! xvc deps    --view v.view --xslt s.xsl --ddl schema.sql [--json]
 //! xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE]
 //! ```
 //!
@@ -24,6 +25,11 @@
 //! * `stats` prints per-stage composition counters (CTG/TVQ sizes, §4.5
 //!   duplication factor, unbind depth) and, with `--data`, the relational
 //!   engine's work executing the composed view;
+//! * `deps` prints the static table→view dependency map
+//!   ([`xvc::core::deps`]): every base `(table, column)` the TVQ reads,
+//!   partitioned by role (scan/join-key/predicate/guard/output) and
+//!   classified for update-safety, each edge justified by a fact chain —
+//!   the map that drives `Publisher::republish_delta`;
 //! * `check` runs the static analyzer (dialect conformance, tag-query
 //!   scoping/typing, CTG blowup prediction) and prints rustc-style
 //!   diagnostics; positional files are classified by extension
@@ -204,6 +210,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
             cmd_stats(&opts)?;
             ExitCode::SUCCESS
         }
+        "deps" => {
+            cmd_deps(&opts)?;
+            ExitCode::SUCCESS
+        }
         "check" => cmd_check(&opts)?,
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -229,6 +239,7 @@ fn usage() -> String {
      xvc explain --view FILE --xslt FILE --ddl FILE [--rewrites] [--optimize] [--prune]\n  \
      xvc stats   --view FILE --xslt FILE --ddl FILE [--data DIR] [--rewrites] [--optimize] \
      [--prune]\n  \
+     xvc deps    --view FILE --xslt FILE --ddl FILE [--json]\n  \
      xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE] [--json]\n\n\
      `check` classifies positional files by extension: .view (publishing view),\n\
      .xsl/.xslt (stylesheet), .sql/.ddl (catalog). It exits 0 when only\n\
@@ -254,7 +265,7 @@ fn require<'a>(path: &'a Option<PathBuf>, flag: &str) -> Result<&'a Path, CliErr
 }
 
 fn read(path: &Path) -> Result<String, XvcError> {
-    std::fs::read_to_string(path).map_err(|e| XvcError::io(path.display().to_string(), e))
+    std::fs::read_to_string(path).map_err(|e| XvcError::io(path.display().to_string(), &e))
 }
 
 fn load_view(path: &Path) -> Result<SchemaTree, XvcError> {
@@ -461,10 +472,41 @@ fn cmd_stats(opts: &Opts) -> Result<(), CliError> {
             "  batched execution: {} batches, {} max bindings per batch, {} rows regrouped",
             p.batches_executed, p.bindings_per_batch_max, p.rows_regrouped
         );
+        println!(
+            "  delta publish: {} nodes respliced, {} batches re-executed, {} delta rows in",
+            p.nodes_respliced, p.batches_reexecuted, p.delta_rows_in
+        );
         println!("engine:");
         for line in published.eval.to_string().lines() {
             println!("  {line}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_deps(opts: &Opts) -> Result<(), CliError> {
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let xslt = load_xslt(require(&opts.xslt, "--xslt FILE")?)?;
+    let catalog = load_catalog(require(&opts.ddl, "--ddl FILE")?)?;
+    let ctg = xvc::core::build_ctg(&view, &xslt)?;
+    // Cyclic CTGs have no TVQ (§5.3): fall back to the raw-view walk with
+    // every edge recompute-required, exactly as analyzer pass 7 does.
+    let map = if ctg.has_cycle().is_some() {
+        xvc::core::DependencyMap::of_view(&view, &catalog, true)
+    } else {
+        let tvq = xvc::core::build_tvq(
+            &view,
+            &xslt,
+            &ctg,
+            &catalog,
+            xvc::core::tvq::DEFAULT_TVQ_LIMIT,
+        )?;
+        xvc::core::DependencyMap::of_tvq(&tvq, &view, &catalog)
+    };
+    if opts.json {
+        println!("{}", map.to_json());
+    } else {
+        print!("{}", map.render());
     }
     Ok(())
 }

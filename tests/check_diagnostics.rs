@@ -675,11 +675,147 @@ fn xvc505_finite_document_bound_report() {
     assert!(!r.has_errors());
 }
 
+// ------------------------------------------------- dependency lineage (6xx)
+
+/// Five sibling nodes all joining on the same parent key: `metroarea.metroid`
+/// feeds the parent's projection plus four join keys — write amplification.
+const FANOUT_VIEW: &str = "\
+node metro $m {
+    query: SELECT metroid FROM metroarea;
+    node h1 $a { query: SELECT hotelid FROM hotel WHERE metro_id = $m.metroid; }
+    node h2 $b { query: SELECT hotelid FROM hotel WHERE metro_id = $m.metroid; }
+    node h3 $c { query: SELECT hotelid FROM hotel WHERE metro_id = $m.metroid; }
+    node h4 $d { query: SELECT hotelid FROM hotel WHERE metro_id = $m.metroid; }
+}";
+
+const FANOUT_XSLT: &str = r#"<xsl:stylesheet>
+  <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+  <xsl:template match="metro"><m>
+    <xsl:apply-templates select="h1"/><xsl:apply-templates select="h2"/>
+    <xsl:apply-templates select="h3"/><xsl:apply-templates select="h4"/>
+  </m></xsl:template>
+  <xsl:template match="h1"><x1/></xsl:template>
+  <xsl:template match="h2"><x2/></xsl:template>
+  <xsl:template match="h3"><x3/></xsl:template>
+  <xsl:template match="h4"><x4/></xsl:template>
+</xsl:stylesheet>"#;
+
+#[test]
+fn xvc601_write_amplifying_column() {
+    let r = check(Some(FANOUT_VIEW), Some(FANOUT_XSLT));
+    let hits: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::Xvc601)
+        .collect();
+    assert!(!hits.is_empty(), "{:?}", r.diagnostics);
+    let d = hits
+        .iter()
+        .find(|d| d.message.contains("metroarea.metroid"))
+        .unwrap_or_else(|| panic!("no metroid amplification: {hits:?}"));
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::General);
+    assert!(d.span.is_none(), "{d}");
+    assert!(d.message.contains("write amplification"), "{d}");
+    // Each justifying fact names a TVQ node the column feeds.
+    assert!(d.justification.len() > 3, "{:?}", d.justification);
+    assert!(d.help.as_deref().unwrap().contains("fact chain"), "{d:?}");
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn xvc602_recursive_dependency_recomputes() {
+    // The XVC203/XVC503 recursion fixture: the cyclic branch walks the raw
+    // view, and the hotel join key surfaces as a forced-recompute edge.
+    let src = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>
+      <xsl:template match="hotel"><h><xsl:apply-templates select=".."/></h></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(TWO_LEVEL_VIEW), Some(src));
+    the(&r, Code::Xvc203);
+    let hits: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::Xvc602)
+        .collect();
+    assert!(!hits.is_empty(), "{:?}", r.diagnostics);
+    let d = hits
+        .iter()
+        .find(|d| d.message.contains("metroarea.metroid"))
+        .unwrap_or_else(|| panic!("no metroid recursion edge: {hits:?}"));
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("recursion cycle"), "{d}");
+    assert!(d.message.contains("join-key"), "{d}");
+    assert!(
+        d.justification
+            .iter()
+            .any(|j| j.contains("recursion cycle")),
+        "{:?}",
+        d.justification
+    );
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn xvc603_dead_base_table() {
+    // STAR_VIEW reads metroarea and hotel only; the other four Figure 2
+    // tables are dead weight for this workload.
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(STAR_VIEW), Some(xslt));
+    let hits: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::Xvc603)
+        .collect();
+    assert_eq!(hits.len(), 4, "{:?}", r.diagnostics);
+    let d = hits
+        .iter()
+        .find(|d| d.message.contains("hotelchain"))
+        .unwrap_or_else(|| panic!("hotelchain not reported dead: {hits:?}"));
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::General);
+    assert!(
+        d.help.as_deref().unwrap().contains("skip republishing"),
+        "{d:?}"
+    );
+    assert!(!r.has_errors());
+}
+
+#[test]
+fn xvc604_impact_report() {
+    // Same workload: hotel's join key on metroarea.metroid is structural,
+    // so the impact report fires exactly once, with per-table fact lines.
+    let xslt = r#"<xsl:stylesheet>
+      <xsl:template match="/"><r><xsl:apply-templates select="metro"/></r></xsl:template>
+      <xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>
+      <xsl:template match="hotel"><h/></xsl:template>
+    </xsl:stylesheet>"#;
+    let r = check(Some(STAR_VIEW), Some(xslt));
+    let d = the(&r, Code::Xvc604);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.stage, Stage::General);
+    assert!(d.message.contains("dependency impact"), "{d}");
+    assert!(d.message.contains("xvc deps"), "{d}");
+    assert!(
+        d.justification
+            .iter()
+            .any(|j| j.contains("recompute-required")),
+        "{:?}",
+        d.justification
+    );
+    assert!(!r.has_errors());
+}
+
 // ------------------------------------------------------------------- catalog
 
 /// Every code in the catalogue has a fixture in this file (or is the clean
 /// case); keep `Code::all()` and this list in sync with `DIAGNOSTICS.md`.
 #[test]
 fn every_code_is_exercised() {
-    assert_eq!(Code::all().len(), 37);
+    assert_eq!(Code::all().len(), 41);
 }

@@ -514,3 +514,53 @@ fn stats_reports_pipeline_and_engine_counters() {
     assert!(stdout.contains("composition:"), "{stdout}");
     assert!(!stdout.contains("engine:"), "{stdout}");
 }
+
+#[test]
+fn deps_prints_the_dependency_map() {
+    let f = Fixture::new("deps");
+    let (ok, stdout, stderr) = f.run(&[
+        "deps",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    // Inverted map, keyed by (table, column), with roles and safety.
+    assert!(stdout.contains("city.*"), "{stdout}");
+    assert!(stdout.contains("[insert-monotone]"), "{stdout}");
+    // The join key $c.id resolves through the binding ancestor to city.id
+    // and is recompute-required.
+    assert!(stdout.contains("city.id"), "{stdout}");
+    assert!(stdout.contains("join-key"), "{stdout}");
+    assert!(stdout.contains("[recompute-required]"), "{stdout}");
+    // Every edge is justified.
+    assert!(stdout.contains("fact chain:"), "{stdout}");
+}
+
+#[test]
+fn deps_json_is_one_object_with_edges() {
+    let f = Fixture::new("deps_json");
+    let (ok, stdout, stderr) = f.run(&[
+        "deps",
+        "--json",
+        "--view",
+        "guide.view",
+        "--xslt",
+        "guide.xsl",
+        "--ddl",
+        "schema.sql",
+    ]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    assert!(line.contains("\"recursive\":false"), "{stdout}");
+    assert!(line.contains("\"role\":\"join-key\""), "{stdout}");
+    assert!(
+        line.contains("\"safety\":\"recompute-required\""),
+        "{stdout}"
+    );
+    assert!(line.contains("\"justification\":\"fact chain:"), "{stdout}");
+}
