@@ -89,4 +89,53 @@ if grep -q '"batches_delta": 0' BENCH_compose.json; then
     exit 1
 fi
 
+echo "== xvc serve smoke (concurrent publishing server + load driver)"
+# Start the server on an ephemeral-ish port, generate the single-process
+# reference document with `xvc run`, then drive 4 concurrent clients for
+# ~2s. serve_load exits nonzero on any error or response that diverges
+# from the reference, and the greps double-check the written artifact.
+mkdir -p artifacts
+SERVE_ADDR=127.0.0.1:7171
+./target/release/xvc run \
+    --view examples/files/guide.view --xslt examples/files/guide.xsl \
+    --ddl examples/files/schema.sql --data examples/files/data \
+    2>/dev/null > artifacts/serve_expected.xml
+cargo build --release --quiet -p xvc-bench --bin serve_load
+./target/release/xvc serve \
+    --view examples/files/guide.view --xslt examples/files/guide.xsl \
+    --ddl examples/files/schema.sql --data examples/files/data \
+    --addr "$SERVE_ADDR" --threads 4 2>/dev/null &
+SERVE_PID=$!
+serve_cleanup() {
+    kill "$SERVE_PID" 2>/dev/null || true
+}
+trap serve_cleanup EXIT
+if ! ./target/release/serve_load \
+    --addr "$SERVE_ADDR" --clients 4 --seconds 2 \
+    --expected artifacts/serve_expected.xml --out BENCH_serve.json; then
+    echo "ci.sh: serve load run failed (errors or divergent responses)" >&2
+    exit 1
+fi
+for key in throughput_rps p50_ms p99_ms; do
+    if ! grep -q "\"$key\"" BENCH_serve.json; then
+        echo "ci.sh: $key missing from BENCH_serve.json" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"errors": 0' BENCH_serve.json; then
+    echo "ci.sh: serve load reported errors (see BENCH_serve.json)" >&2
+    exit 1
+fi
+if ! grep -q '"divergent": 0' BENCH_serve.json; then
+    echo "ci.sh: served documents diverged (see BENCH_serve.json)" >&2
+    exit 1
+fi
+if ! grep -q '"warm_plan_cache_hit_rate": 1\.0' BENCH_serve.json; then
+    echo "ci.sh: warm plan cache hit rate under load is not 1.0" >&2
+    exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "ci.sh: all green"

@@ -15,7 +15,7 @@
 //!   this workload;
 //! * **XVC604** — the per-table impact report: for each table with at
 //!   least one recompute-required edge, how many view nodes an update
-//!   can restructure (what `Publisher::republish_delta` will re-execute).
+//!   can restructure (what `Session::republish_delta` will re-execute).
 //!
 //! Like the `XVC4xx`/`XVC5xx` passes, every finding carries the fact
 //! chain that justifies it. The full inverted map is available from

@@ -32,7 +32,7 @@
 //!    [`xvc_core::deps::DependencyMap`] over the same TVQ walk (or the
 //!    raw view when the CTG is cyclic): write-amplifying columns, forced
 //!    recomputation through recursion cycles, dead catalog tables, and
-//!    the per-table impact report backing `Publisher::republish_delta`
+//!    the per-table impact report backing `Session::republish_delta`
 //!    (`XVC6xx`).
 //!
 //! The analyzer never executes queries and needs no database instance —

@@ -50,7 +50,7 @@ fn bench_exists_caching(c: &mut Criterion) {
 
 fn bench_optimizer(c: &mut Criterion) {
     use xvc_core::{ComposeOptions, Composer};
-    use xvc_view::{Publisher, SchemaTree, ViewNode};
+    use xvc_view::{Engine, SchemaTree, ViewNode};
     use xvc_xslt::parse_stylesheet;
 
     // A composition where unnesting actually fires: the level-skipping
@@ -102,10 +102,10 @@ fn bench_optimizer(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation/kim_optimizer");
     group.bench_function("as_generated", |b| {
-        b.iter(|| Publisher::new(&plain).publish(&db).unwrap())
+        b.iter(|| Engine::new(&plain).session().publish(&db).unwrap())
     });
     group.bench_function("optimized", |b| {
-        b.iter(|| Publisher::new(&optimized).publish(&db).unwrap())
+        b.iter(|| Engine::new(&optimized).session().publish(&db).unwrap())
     });
     group.finish();
 }

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xvc_bench::workload::{generate, WorkloadConfig};
 use xvc_core::paper_fixtures::figure1_view;
 use xvc_core::Composer;
-use xvc_view::Publisher;
+use xvc_view::Engine;
 use xvc_xslt::parse::FIGURE4_XSLT;
 use xvc_xslt::{parse_stylesheet, process};
 
@@ -22,13 +22,13 @@ fn bench_naive_vs_composed(c: &mut Criterion) {
             &scale,
             |b, _| {
                 b.iter(|| {
-                    let full = Publisher::new(&view).publish(&db).unwrap().document;
+                    let full = Engine::new(&view).session().publish(&db).unwrap().document;
                     process(&x, &full).unwrap()
                 });
             },
         );
         group.bench_with_input(BenchmarkId::new("composed_view", scale), &scale, |b, _| {
-            b.iter(|| Publisher::new(&composed).publish(&db).unwrap());
+            b.iter(|| Engine::new(&composed).session().publish(&db).unwrap());
         });
     }
     group.finish();

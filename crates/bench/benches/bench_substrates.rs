@@ -4,12 +4,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use xvc_bench::workload::{generate, WorkloadConfig};
 use xvc_core::paper_fixtures::figure1_view;
 use xvc_rel::{eval_query, parse_query, ParamEnv};
-use xvc_view::Publisher;
+use xvc_view::Engine;
 use xvc_xpath::{eval_path, parse_path, VarBindings};
 
 fn bench_xml(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
-    let doc = Publisher::new(&figure1_view())
+    let doc = Engine::new(&figure1_view())
+        .session()
         .publish(&db)
         .unwrap()
         .document;
@@ -25,7 +26,8 @@ fn bench_xml(c: &mut Criterion) {
 
 fn bench_xpath(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
-    let doc = Publisher::new(&figure1_view())
+    let doc = Engine::new(&figure1_view())
+        .session()
         .publish(&db)
         .unwrap()
         .document;
@@ -84,7 +86,7 @@ fn bench_publish(c: &mut Criterion) {
     let db = generate(&WorkloadConfig::scale(2));
     let v = figure1_view();
     c.bench_function("substrate/publish_figure1", |b| {
-        b.iter(|| Publisher::new(&v).publish(&db).unwrap())
+        b.iter(|| Engine::new(&v).session().publish(&db).unwrap())
     });
 }
 

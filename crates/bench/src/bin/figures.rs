@@ -41,7 +41,7 @@
 //!
 //! `incr` runs the I1 incremental-maintenance study: a single-row insert
 //! through the `xvc_rel` write path, absorbed by a full republish and by
-//! `Publisher::republish_delta` over the static dependency map. The delta
+//! `Session::republish_delta` over the static dependency map. The delta
 //! document must be byte-identical, the re-executed batch count must not
 //! grow with instance size, and at the largest size the delta path must
 //! re-run under 20% of the full batch count — any failure aborts.

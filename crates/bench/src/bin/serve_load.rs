@@ -1,0 +1,355 @@
+//! `serve_load` — load driver for `xvc serve`.
+//!
+//! Opens `--clients` keep-alive connections against a running server and
+//! hammers `GET /publish` for `--seconds`, measuring per-request latency
+//! client-side. Every response body is compared (trimmed) against a
+//! reference document — `--expected FILE` when given, otherwise the first
+//! response — so a single divergent byte under concurrency fails the run.
+//! The warm plan-cache hit rate is computed from the server's own
+//! `/stats` counters as Δhits / (Δhits + Δprepared) across the timed
+//! window; on a warm engine it must be exactly 1.0.
+//!
+//! Results land in `--out` (default `BENCH_serve.json`):
+//!
+//! ```json
+//! { "clients": 4, "seconds": 2.0, "requests": 1234, "errors": 0,
+//!   "divergent": 0, "throughput_rps": 617.0, "p50_ms": 3.1,
+//!   "p99_ms": 9.8, "warm_plan_cache_hit_rate": 1.0 }
+//! ```
+//!
+//! Exit code: 0 only when every request succeeded and no response
+//! diverged — the CI smoke greps the artifact *and* relies on this.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    clients: usize,
+    seconds: f64,
+    expected: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".to_owned(),
+        clients: 4,
+        seconds: 2.0,
+        expected: None,
+        out: "BENCH_serve.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs an argument"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--seconds" => {
+                args.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+            }
+            "--expected" => args.expected = Some(value("--expected")?),
+            "--out" => args.out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: serve_load [--addr HOST:PORT] [--clients N] \
+                     [--seconds S] [--expected FILE] [--out FILE]"
+                ))
+            }
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+/// One keep-alive HTTP/1.1 connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request, returns (status, body).
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: xvc\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(std::io::Error::other("connection closed mid-response"));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| std::io::Error::other(format!("content-length: {e}")))?;
+                }
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        self.reader.read_exact(&mut buf)?;
+        String::from_utf8(buf)
+            .map(|body| (status, body))
+            .map_err(|e| std::io::Error::other(format!("non-UTF-8 body: {e}")))
+    }
+}
+
+/// Pulls an integer counter out of the server's flat `/stats` JSON.
+fn json_counter(stats: &str, key: &str) -> Option<u64> {
+    let start = stats.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = &stats[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// What one client thread brings home.
+#[derive(Default)]
+struct ClientResult {
+    latencies_ms: Vec<f64>,
+    errors: u64,
+    divergent: u64,
+}
+
+fn run_client(addr: &str, expected: &str, deadline: Instant, stop: &AtomicBool) -> ClientResult {
+    let mut result = ClientResult::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            result.errors += 1;
+            return result;
+        }
+    };
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        let start = Instant::now();
+        match client.request("GET", "/publish", "") {
+            Ok((200, body)) => {
+                result
+                    .latencies_ms
+                    .push(start.elapsed().as_secs_f64() * 1e3);
+                if body.trim() != expected {
+                    result.divergent += 1;
+                }
+            }
+            Ok((_, _)) => result.errors += 1,
+            Err(_) => {
+                result.errors += 1;
+                // One reconnect attempt; a dead server fails fast because
+                // connect errors also count.
+                match Client::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    result
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted_ms.len() - 1) as f64;
+    sorted_ms[rank.round() as usize]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Wait for the server to come up (ci.sh starts it in the background).
+    let mut probe = None;
+    let wait_deadline = Instant::now() + Duration::from_secs(10);
+    while probe.is_none() {
+        match Client::connect(&args.addr) {
+            Ok(mut c) => match c.request("GET", "/healthz", "") {
+                Ok((200, _)) => probe = Some(c),
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            },
+            Err(e) => {
+                if Instant::now() > wait_deadline {
+                    eprintln!("serve_load: no server at {}: {e}", args.addr);
+                    return ExitCode::FAILURE;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    let mut probe = probe.expect("probe connected");
+
+    // Reference document: --expected file, else the first live response.
+    // Either way one warming request runs before the stats snapshot, so
+    // the timed window measures a warm plan cache.
+    let warm = match probe.request("GET", "/publish", "") {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            eprintln!("serve_load: warmup got {status}: {}", body.trim());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("serve_load: warmup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expected = match &args.expected {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s.trim().to_owned(),
+            Err(e) => {
+                eprintln!("serve_load: --expected {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => warm.trim().to_owned(),
+    };
+    if warm.trim() != expected {
+        eprintln!("serve_load: warmup response diverges from the expected document");
+        return ExitCode::FAILURE;
+    }
+
+    let stats_before = match probe.request("GET", "/stats", "") {
+        Ok((200, body)) => body,
+        _ => {
+            eprintln!("serve_load: /stats unavailable");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + Duration::from_secs_f64(args.seconds);
+    let started = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let addr = args.addr.as_str();
+                let expected = expected.as_str();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || run_client(addr, expected, deadline, &stop))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats_after = match probe.request("GET", "/stats", "") {
+        Ok((200, body)) => body,
+        _ => {
+            eprintln!("serve_load: /stats unavailable after the run");
+            return ExitCode::FAILURE;
+        }
+    };
+    let delta = |key: &str| {
+        json_counter(&stats_after, key)
+            .zip(json_counter(&stats_before, key))
+            .map(|(after, before)| after.saturating_sub(before))
+    };
+    let d_hits = delta("plan_cache_hits").unwrap_or(0);
+    let d_prepared = delta("plans_prepared").unwrap_or(0);
+    let warm_hit_rate = if d_hits + d_prepared == 0 {
+        0.0
+    } else {
+        d_hits as f64 / (d_hits + d_prepared) as f64
+    };
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies.len() as u64;
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let divergent: u64 = results.iter().map(|r| r.divergent).sum();
+    let throughput = if elapsed > 0.0 {
+        requests as f64 / elapsed
+    } else {
+        0.0
+    };
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"addr\": \"{}\",\n",
+            "  \"clients\": {},\n",
+            "  \"seconds\": {:.3},\n",
+            "  \"requests\": {},\n",
+            "  \"errors\": {},\n",
+            "  \"divergent\": {},\n",
+            "  \"throughput_rps\": {:.1},\n",
+            "  \"p50_ms\": {:.3},\n",
+            "  \"p99_ms\": {:.3},\n",
+            "  \"warm_plan_cache_hit_rate\": {:.6}\n",
+            "}}\n"
+        ),
+        args.addr,
+        args.clients,
+        elapsed,
+        requests,
+        errors,
+        divergent,
+        throughput,
+        p50,
+        p99,
+        warm_hit_rate,
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("serve_load: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+
+    if errors > 0 || divergent > 0 || requests == 0 {
+        eprintln!(
+            "serve_load: FAILED ({requests} requests, {errors} errors, {divergent} divergent)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,7 @@ use std::time::Instant;
 use xvc_core::paper_fixtures::figure1_view;
 use xvc_core::Composer;
 use xvc_rel::Database;
-use xvc_view::{Publisher, SchemaTree};
+use xvc_view::{Engine, SchemaTree};
 use xvc_xml::documents_equal_unordered;
 use xvc_xslt::{process, Stylesheet};
 
@@ -68,10 +68,10 @@ pub fn compare(
         .view;
 
     // Verify once (the instrumented publish also measures engine work).
-    // The same Publishers serve the timed loops below, so the measured
+    // The same warm sessions serve the timed loops below, so the measured
     // state is the warm plan cache — the deployment steady state.
-    let mut naive_pub = Publisher::new(view);
-    let mut composed_pub = Publisher::new(&composed);
+    let mut naive_pub = Engine::new(view).session();
+    let mut composed_pub = Engine::new(&composed).session();
     let naive_out = naive_pub.publish(db).expect("publish v");
     let (full, naive_stats, naive_eval) = (naive_out.document, naive_out.stats, naive_out.eval);
     let expected = process(stylesheet, &full).expect("run x");
@@ -238,7 +238,7 @@ pub struct PruneBenchRow {
     /// Wall time evaluating the pruned composed view.
     pub eval_prune_ms: f64,
     /// Wall time evaluating the pruned view through the tuple-at-a-time
-    /// interpreter (`Publisher::prepared(false)`).
+    /// interpreter (`Engine::prepared(false)`).
     pub eval_interpreted_ms: f64,
     /// Wall time evaluating the pruned view through cached prepared plans
     /// (the default publisher path, warm cache).
@@ -314,10 +314,10 @@ fn prune_compare(
     let (pruned, after) = (pruned_composition.view, pruned_composition.stats);
 
     // Verify before measuring, as everywhere else in this module. The
-    // Publishers stay warm for the eval timing loops below.
-    let mut view_pub = Publisher::new(view);
-    let mut unpruned_pub = Publisher::new(&unpruned);
-    let mut pruned_pub = Publisher::new(&pruned);
+    // Sessions stay warm for the eval timing loops below.
+    let mut view_pub = Engine::new(view).session();
+    let mut unpruned_pub = Engine::new(&unpruned).session();
+    let mut pruned_pub = Engine::new(&pruned).session();
     let full = view_pub.publish(db).expect("publish v").document;
     let expected = process(stylesheet, &full).expect("run x");
     let actual = pruned_pub.publish(db).expect("publish pruned v'").document;
@@ -353,7 +353,7 @@ fn prune_compare(
     // Prepared vs interpreted execution of the same (pruned) view. The
     // interpreted publisher is warmed and verified like the others, so the
     // two loops differ only in the execution path.
-    let mut interp_pub = Publisher::new(&pruned).prepared(false);
+    let mut interp_pub = Engine::new(&pruned).prepared(false).session();
     let interp_doc = interp_pub
         .publish(db)
         .expect("publish interpreted")
@@ -383,7 +383,7 @@ fn prune_compare(
     // Set-oriented vs tuple-at-a-time publishing of the same pruned view.
     // `pruned_pub` is the batched default; the scalar publisher must emit
     // a byte-identical document or the benchmark would be meaningless.
-    let mut scalar_pub = Publisher::new(&pruned).batched(false);
+    let mut scalar_pub = Engine::new(&pruned).batched(false).session();
     let scalar_doc = scalar_pub.publish(db).expect("publish scalar").document;
     assert_eq!(
         scalar_doc.to_xml(),
@@ -438,7 +438,7 @@ pub fn batch_bench(depth: usize, fanout: usize, reps: usize) -> PruneBenchRow {
 
 /// One data point of the I1 incremental-maintenance study: the same
 /// single-row insert absorbed by a full republish and by
-/// [`Publisher::republish_delta`] through the static dependency map —
+/// [`Session::republish_delta`] through the static dependency map —
 /// documents verified byte-identical before any timing.
 #[derive(Debug, Clone)]
 pub struct IncrBenchRow {
@@ -485,7 +485,7 @@ pub fn incr_bench(depth: usize, fanout: usize, reps: usize) -> IncrBenchRow {
         .expect("compose")
         .view;
 
-    let mut publisher = Publisher::new(&composed).incremental(true);
+    let mut publisher = Engine::new(&composed).incremental(true).session();
     let prev = publisher.publish(&db).expect("publish v'");
 
     // One new leaf row, parented on the first row of the level above.
@@ -669,7 +669,7 @@ pub fn scale_bench(cfg: &ScaleConfig, reps: usize) -> ScaleBenchRow {
     );
     let db_rows = base.total_rows();
 
-    let mut mem_pub = Publisher::new(&view);
+    let mut mem_pub = Engine::new(&view).session();
     let mem_out = mem_pub.publish(&base).expect("publish mem");
     let reference = mem_out.document.to_xml();
     let scan_rows_scanned = mem_out.eval.rows_scanned;
@@ -680,7 +680,7 @@ pub fn scale_bench(cfg: &ScaleConfig, reps: usize) -> ScaleBenchRow {
 
     let eval_paged_ms = {
         let paged = base.to_backend(Backend::paged()).expect("paged backend");
-        let mut paged_pub = Publisher::new(&view);
+        let mut paged_pub = Engine::new(&view).session();
         let doc = paged_pub.publish(&paged).expect("publish paged").document;
         assert_eq!(
             doc.to_xml(),
@@ -694,7 +694,7 @@ pub fn scale_bench(cfg: &ScaleConfig, reps: usize) -> ScaleBenchRow {
     };
 
     let indexed = needle_indexed(&base);
-    let mut idx_pub = Publisher::new(&view);
+    let mut idx_pub = Engine::new(&view).session();
     let idx_out = idx_pub.publish(&indexed).expect("publish indexed");
     assert_eq!(
         idx_out.document.to_xml(),
@@ -715,7 +715,7 @@ pub fn scale_bench(cfg: &ScaleConfig, reps: usize) -> ScaleBenchRow {
 
     let eval_paged_indexed_ms = {
         let paged_idx = indexed.to_backend(Backend::paged()).expect("paged backend");
-        let mut pub_ = Publisher::new(&view);
+        let mut pub_ = Engine::new(&view).session();
         let doc = pub_
             .publish(&paged_idx)
             .expect("publish paged+indexed")
@@ -906,7 +906,8 @@ pub fn differential_fuzz(seeds_per_config: u64) -> FuzzSummary {
     let view = figure1_view();
     let db = generate(&WorkloadConfig::scale(1));
     let catalog = db.catalog();
-    let full = Publisher::new(&view)
+    let full = Engine::new(&view)
+        .session()
         .publish(&db)
         .expect("publish v")
         .document;
@@ -928,14 +929,18 @@ pub fn differential_fuzz(seeds_per_config: u64) -> FuzzSummary {
                 })
                 .view;
             let expected = process(&stylesheet, &full).expect("engine");
-            let bounded = Publisher::new(&composed).publish(&db).expect("publish v'");
+            let bounded = Engine::new(&composed)
+                .session()
+                .publish(&db)
+                .expect("publish v'");
             assert!(
                 documents_equal_unordered(&expected, &bounded.document),
                 "{name} seed {seed}: v'(I) != x(v(I))\n{}",
                 stylesheet.to_xslt()
             );
-            let heuristic = Publisher::new(&composed)
+            let heuristic = Engine::new(&composed)
                 .bounded(false)
+                .session()
                 .publish(&db)
                 .expect("publish v' unbounded");
             assert_eq!(

@@ -436,7 +436,7 @@ mod tests {
     use super::*;
     use xvc_core::paper_fixtures::{figure1_view, figure2_catalog, sample_database};
     use xvc_core::Composer;
-    use xvc_view::Publisher;
+    use xvc_view::Engine;
     use xvc_xml::documents_equal_unordered;
     use xvc_xslt::{check_basic, process};
 
@@ -470,9 +470,13 @@ mod tests {
                 .run()
                 .unwrap_or_else(|e| panic!("seed {seed}: compose: {e}\n{}", s.to_xslt()))
                 .view;
-            let full = Publisher::new(&v).publish(&db).unwrap().document;
+            let full = Engine::new(&v).session().publish(&db).unwrap().document;
             let expected = process(&s, &full).unwrap();
-            let actual = Publisher::new(&composed).publish(&db).unwrap().document;
+            let actual = Engine::new(&composed)
+                .session()
+                .publish(&db)
+                .unwrap()
+                .document;
             assert!(
                 documents_equal_unordered(&expected, &actual),
                 "seed {seed}:\n{}\nexpected:\n{}\nactual:\n{}",
@@ -488,7 +492,7 @@ mod tests {
         let v = figure1_view();
         let c = figure2_catalog();
         let db = sample_database();
-        let full = Publisher::new(&v).publish(&db).unwrap().document;
+        let full = Engine::new(&v).session().publish(&db).unwrap().document;
         for cfg in [
             StylesheetConfig::recursion_heavy(),
             StylesheetConfig::wide_fanout(),
@@ -500,7 +504,11 @@ mod tests {
                     .unwrap_or_else(|e| panic!("seed {seed}: compose: {e}\n{}", s.to_xslt()))
                     .view;
                 let expected = process(&s, &full).unwrap();
-                let actual = Publisher::new(&composed).publish(&db).unwrap().document;
+                let actual = Engine::new(&composed)
+                    .session()
+                    .publish(&db)
+                    .unwrap()
+                    .document;
                 assert!(
                     documents_equal_unordered(&expected, &actual),
                     "cfg {cfg:?} seed {seed}:\n{}",

@@ -294,7 +294,7 @@ pub fn needle_indexed(db: &Database) -> Database {
 mod tests {
     use super::*;
     use xvc_core::{Composer, Error};
-    use xvc_view::Publisher;
+    use xvc_view::Engine;
     use xvc_xml::documents_equal_unordered;
     use xvc_xslt::process;
 
@@ -308,9 +308,13 @@ mod tests {
                 .run()
                 .unwrap_or_else(|e| panic!("depth {depth}: {e}"))
                 .view;
-            let full = Publisher::new(&v).publish(&db).unwrap().document;
+            let full = Engine::new(&v).session().publish(&db).unwrap().document;
             let expected = process(&x, &full).unwrap();
-            let actual = Publisher::new(&composed).publish(&db).unwrap().document;
+            let actual = Engine::new(&composed)
+                .session()
+                .publish(&db)
+                .unwrap()
+                .document;
             assert!(
                 documents_equal_unordered(&expected, &actual),
                 "depth {depth}:\n{}\nvs\n{}",
@@ -338,9 +342,13 @@ mod tests {
         let x = fan_stylesheet(3, 2);
         let db = chain_database(3, 2);
         let composed = Composer::new(&v, &x, &db.catalog()).run().unwrap().view;
-        let full = Publisher::new(&v).publish(&db).unwrap().document;
+        let full = Engine::new(&v).session().publish(&db).unwrap().document;
         let expected = process(&x, &full).unwrap();
-        let actual = Publisher::new(&composed).publish(&db).unwrap().document;
+        let actual = Engine::new(&composed)
+            .session()
+            .publish(&db)
+            .unwrap()
+            .document;
         assert!(documents_equal_unordered(&expected, &actual));
     }
 
@@ -370,18 +378,18 @@ mod tests {
         assert_eq!(db.table("orders").unwrap().len(), 60);
 
         let v = needle_view("region-2");
-        let doc = Publisher::new(&v).publish(&db).unwrap().document;
+        let doc = Engine::new(&v).session().publish(&db).unwrap().document;
         // One region, its 4 customers, their 12 orders.
         assert_eq!(doc.to_xml().matches("<customer").count(), 4);
         assert_eq!(doc.to_xml().matches("<order").count(), 12);
 
         // Indexed and paged instances publish the identical document.
         let indexed = needle_indexed(&db);
-        let idx_out = Publisher::new(&v).publish(&indexed).unwrap();
+        let idx_out = Engine::new(&v).session().publish(&indexed).unwrap();
         assert_eq!(doc.to_xml(), idx_out.document.to_xml());
         assert!(idx_out.eval.index_lookups > 0, "{:?}", idx_out.eval);
         let paged = db.to_backend(xvc_rel::Backend::paged()).unwrap();
-        let paged_doc = Publisher::new(&v).publish(&paged).unwrap().document;
+        let paged_doc = Engine::new(&v).session().publish(&paged).unwrap().document;
         assert_eq!(doc.to_xml(), paged_doc.to_xml());
     }
 }

@@ -198,7 +198,11 @@ mod tests {
     fn generated_instance_publishes_figure1() {
         let db = generate(&WorkloadConfig::scale(1));
         let v = xvc_core::paper_fixtures::figure1_view();
-        let stats = xvc_view::Publisher::new(&v).publish(&db).unwrap().stats;
+        let stats = xvc_view::Engine::new(&v)
+            .session()
+            .publish(&db)
+            .unwrap()
+            .stats;
         assert!(stats.elements > 50);
     }
 }

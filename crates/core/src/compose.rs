@@ -181,7 +181,7 @@ mod tests {
         figure1_view, figure2_catalog, sample_database, FIGURE15_XSLT, FIGURE17_XSLT,
     };
     use xvc_rel::Database;
-    use xvc_view::Publisher;
+    use xvc_view::Engine;
     use xvc_xml::{documents_equal_unordered, Document};
     use xvc_xslt::parse::FIGURE4_XSLT;
     use xvc_xslt::{parse_stylesheet, process};
@@ -193,7 +193,7 @@ mod tests {
     }
 
     fn publish_doc(tree: &SchemaTree, db: &Database) -> Document {
-        Publisher::new(tree).publish(db).unwrap().document
+        Engine::new(tree).session().publish(db).unwrap().document
     }
 
     /// The headline theorem: `v'(I) = x(v(I))`, checked without document

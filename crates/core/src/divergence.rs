@@ -13,7 +13,7 @@
 //! first divergent node: unmatched children are paired by tag and recursed
 //! into, so the reported path is as deep as the documents still agree.
 //! The composed side is published with a provenance trace
-//! ([`xvc_view::Publisher::traced`]), letting the report name the
+//! ([`xvc_view::Engine::traced`]), letting the report name the
 //! schema-tree node, its tag query, and the [`ParamEnv`] in effect at the
 //! divergent path.
 //!
@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use xvc_rel::Database;
-use xvc_view::{PublishTrace, Publisher, SchemaTree, ViewNodeId};
+use xvc_view::{Engine, PublishTrace, SchemaTree, ViewNodeId};
 use xvc_xml::{canonical_string, documents_equal_unordered, Document, NodeId, NodeKind};
 use xvc_xslt::Stylesheet;
 
@@ -116,11 +116,16 @@ pub fn check_composition(
     // Both sides run through the set-oriented (batched) publisher — the
     // default production path, so the equivalence check certifies exactly
     // what serving uses.
-    let vi = Publisher::new(view).batched(true).publish(db)?.document;
+    let vi = Engine::new(view)
+        .batched(true)
+        .session()
+        .publish(db)?
+        .document;
     let expected = xvc_xslt::process(stylesheet, &vi)?;
-    let published = Publisher::new(composed)
+    let published = Engine::new(composed)
         .batched(true)
         .traced(true)
+        .session()
         .publish(db)?;
     let (actual, trace) = (
         published.document,

@@ -368,7 +368,7 @@ pub fn dense_availability_database() -> Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xvc_view::Publisher;
+    use xvc_view::Engine;
 
     #[test]
     fn figure1_view_is_well_formed() {
@@ -393,7 +393,8 @@ mod tests {
 
     #[test]
     fn sample_database_publishes_figure1() {
-        let published = Publisher::new(&figure1_view())
+        let published = Engine::new(&figure1_view())
+            .session()
             .publish(&sample_database())
             .unwrap();
         let (doc, stats) = (published.document, published.stats);

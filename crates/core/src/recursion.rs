@@ -459,7 +459,7 @@ mod tests {
     use crate::paper_fixtures::{
         dense_availability_database, figure1_view, figure2_catalog, FIGURE25_XSLT,
     };
-    use xvc_view::Publisher;
+    use xvc_view::Engine;
     use xvc_xslt::{parse_stylesheet, process};
 
     fn figure25() -> RecursiveComposition {
@@ -531,7 +531,7 @@ mod tests {
         // the hotel count), so the driver passes a larger $idx.
         let rc = figure25();
         let db = dense_availability_database();
-        let published = Publisher::new(&rc.view).publish(&db).unwrap();
+        let published = Engine::new(&rc.view).session().publish(&db).unwrap();
         let (doc, stats) = (published.document, published.stats);
         assert!(stats.elements > 0);
         // Only metro/down/up nodes are materialized — none of the hotel /
@@ -579,7 +579,11 @@ mod tests {
         // columns (here: `count`), despite the wider composed query.
         let rc = figure25();
         let db = dense_availability_database();
-        let doc = Publisher::new(&rc.view).publish(&db).unwrap().document;
+        let doc = Engine::new(&rc.view)
+            .session()
+            .publish(&db)
+            .unwrap()
+            .document;
         let xml = doc.to_xml();
         let down_open = xml
             .split('<')

@@ -74,6 +74,41 @@ pub fn database_from_ddl(input: &str) -> Result<Database> {
     Ok(db)
 }
 
+impl Database {
+    /// Executes a DDL script against a *live* database: `CREATE TABLE`
+    /// adds an empty table, `CREATE INDEX` builds a secondary index over
+    /// the table's existing rows. Returns the number of statements
+    /// applied.
+    ///
+    /// This is the runtime counterpart of [`database_from_ddl`] — the
+    /// `xvc serve` DDL endpoint routes through it so a long-running
+    /// engine can gain indexes mid-flight. Both statement kinds change
+    /// the catalog fingerprint, so cached publish plans recompile on the
+    /// next request. Statements are applied in order up to the first
+    /// error; earlier statements stay applied (no rollback).
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<usize> {
+        let statements = parse_statements(sql)?;
+        let applied = statements.len();
+        for stmt in statements {
+            match stmt {
+                DdlStatement::CreateTable(schema) => {
+                    if self.table(&schema.name).is_ok() {
+                        return Err(Error::UnexpectedToken {
+                            found: format!("'{}'", schema.name),
+                            expected: "a table name not already in the database",
+                        });
+                    }
+                    self.create_table(schema);
+                }
+                DdlStatement::CreateIndex { table, def } => {
+                    self.create_index(&table, &def.column, def.kind)?;
+                }
+            }
+        }
+        Ok(applied)
+    }
+}
+
 fn parse_statements(input: &str) -> Result<Vec<DdlStatement>> {
     let mut out = Vec::new();
     // Strip `--` line comments.
@@ -348,6 +383,29 @@ mod tests {
         assert!(t.index_for(0).is_some() && t.index_for(1).is_some());
         // The database's catalog carries the declarations too.
         assert_eq!(db.catalog().get("hotel").unwrap().indexes.len(), 2);
+    }
+
+    #[test]
+    fn execute_ddl_builds_index_over_live_rows_and_changes_fingerprint() {
+        use crate::value::Value;
+        let mut db = database_from_ddl("CREATE TABLE hotel (hotelid INT, metroid INT)").unwrap();
+        db.insert("hotel", vec![Value::Int(1), Value::Int(7)])
+            .unwrap();
+        let before = db.catalog_fingerprint();
+
+        assert_eq!(
+            db.execute_ddl("CREATE INDEX ON hotel (metroid) USING BTREE")
+                .unwrap(),
+            1
+        );
+        // The index exists over the existing row and the catalog changed.
+        assert!(db.table("hotel").unwrap().index_for(1).is_some());
+        assert_ne!(db.catalog_fingerprint(), before);
+
+        // CREATE TABLE works at runtime too, but never clobbers a table.
+        assert_eq!(db.execute_ddl("CREATE TABLE extra (x INT)").unwrap(), 1);
+        assert!(db.execute_ddl("CREATE TABLE hotel (x INT)").is_err());
+        assert_eq!(db.table("hotel").unwrap().len(), 1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl TableDelta {
 }
 
 /// The net effect of one or more DML statements: per-table inserted and
-/// deleted rows. This is what `Publisher::republish_delta` maps through
+/// deleted rows. This is what `Session::republish_delta` maps through
 /// the static dependency analysis to find the view nodes it must re-run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Delta {

@@ -16,7 +16,7 @@
 //! From these fall out the two whole-run bounds the publisher's batched
 //! path can be checked (and steered) against: the largest batch any
 //! (view node, frontier wave) can carry, and the total element count.
-//! [`Publisher`](crate::Publisher) bakes the per-node batch bound into
+//! [`Engine`](crate::Engine) bakes the per-node batch bound into
 //! each cached plan via [`xvc_rel::PreparedPlan::with_binding_bound`],
 //! which is what lets the engine demote a provably-single-binding batch
 //! to scalar execution instead of paying for the shared pipeline.

@@ -1,0 +1,511 @@
+//! The publishing engine: an owned, `Send + Sync` handle over a schema
+//! tree whose compiled state outlives any single publish.
+//!
+//! [`Engine`] is the long-lived half of the publishing API: it owns the
+//! [`SchemaTree`], the prepared-plan cache (shared behind an `RwLock`,
+//! invalidated by [`xvc_rel::Database::catalog_fingerprint`] changes), and
+//! aggregate counters across every publish it has served. Cloning an
+//! `Engine` is cheap (`Arc` internally) and every clone shares the same
+//! cache and totals, so a server can hand one engine to N worker threads.
+//!
+//! [`Session`] is the short-lived half: a cheap per-request handle created
+//! by [`Engine::session`] that carries per-publish memo/trace state and a
+//! private statistics accumulator. Concurrent sessions publish through the
+//! same warm plan cache without re-compiling — and without double-counting
+//! `plans_prepared` vs `plan_cache_hits`: a plan is compiled (and counted
+//! as prepared) by exactly one session; every other session observes a
+//! complete cache and counts pure hits, so the aggregate
+//! [`PublishStats::plan_cache_hit_rate`] of warm traffic is exactly 1.0
+//! at any thread count.
+//!
+//! ```no_run
+//! # use xvc_view::{Engine, SchemaTree};
+//! # use xvc_rel::Database;
+//! # fn demo(tree: &SchemaTree, db: &Database) -> xvc_view::Result<()> {
+//! let engine = Engine::new(tree).parallel(4);
+//! let mut session = engine.session();
+//! let first = session.publish(db)?; // compiles and caches the plans
+//! let again = engine.session().publish(db)?; // every plan cache-served
+//! assert!(again.stats.plan_cache_hit_rate() > 0.99);
+//! # Ok(()) }
+//! ```
+
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
+
+use xvc_rel::{prepare, Catalog, Database, Delta, EvalStats};
+
+use crate::bounds::{analyze_view_bounds, ViewBounds};
+use crate::error::Result;
+use crate::publish::{
+    guard_probe, run_delta_republish, run_full_publish, PlanCache, PlanEntry, PublishConfig,
+    PublishStats, Published, Role,
+};
+use crate::schema_tree::{SchemaTree, ViewNodeId};
+
+/// Aggregate counters across every publish an [`Engine`] has served, for
+/// all sessions combined. The merge is the same deterministic
+/// [`PublishStats::absorb`] the parallel publisher uses per subtree, so
+/// the hit rate of the aggregate is the hit rate of the traffic — a
+/// session that compiled nothing contributes only hits, the one session
+/// that compiled contributes the preparations, and nothing is counted
+/// twice.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTotals {
+    /// Full publishes served ([`Session::publish`], including delta
+    /// fallbacks that republished from scratch).
+    pub publishes: usize,
+    /// Delta republishes served ([`Session::republish_delta`]).
+    pub delta_publishes: usize,
+    /// Summed materialization counters across all of the above.
+    pub stats: PublishStats,
+    /// Summed relational-engine work across all of the above.
+    pub eval: EvalStats,
+}
+
+/// Engine configuration: the publish-path toggles plus bound-driven
+/// planning. Fixed once sessions exist (reconfiguring builds a fresh
+/// engine with an empty cache).
+#[derive(Debug, Clone)]
+struct Config {
+    publish: PublishConfig,
+    bounded: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            publish: PublishConfig {
+                tracing: false,
+                parallel: 1,
+                prepared: true,
+                batched: true,
+                incremental: false,
+            },
+            bounded: true,
+        }
+    }
+}
+
+/// The shared core every clone of an [`Engine`] points at.
+#[derive(Debug)]
+struct EngineShared {
+    tree: SchemaTree,
+    cfg: Config,
+    cache: RwLock<PlanCache>,
+    totals: Mutex<EngineTotals>,
+}
+
+/// An owned, `Send + Sync` publishing engine: schema tree + shared
+/// prepared-plan cache + aggregate statistics. See the module docs.
+///
+/// Configure with the builder methods immediately after [`Engine::new`]
+/// (each returns `Self`); then create per-request [`Session`]s with
+/// [`Engine::session`]. Clones share the cache and totals.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Engine {
+    /// An engine for `tree` (cloned into the engine so it owns its whole
+    /// world): untraced, single-threaded, prepared-plan, set-oriented
+    /// (batched) and bound-driven execution enabled — the same defaults
+    /// the old borrow-bound publisher had.
+    pub fn new(tree: &SchemaTree) -> Self {
+        Self::from_parts(tree.clone(), Config::default())
+    }
+
+    fn from_parts(tree: SchemaTree, cfg: Config) -> Self {
+        Engine {
+            shared: Arc::new(EngineShared {
+                tree,
+                cfg,
+                cache: RwLock::new(PlanCache::default()),
+                totals: Mutex::new(EngineTotals::default()),
+            }),
+        }
+    }
+
+    /// Rebuilds the engine with `f` applied to its configuration. On an
+    /// unshared engine (the builder chain right after [`Engine::new`])
+    /// this is a move; on a shared one it starts from a fresh cache —
+    /// cached plans may embed configuration (e.g. baked batch bounds), so
+    /// a reconfigured engine never reuses them.
+    fn reconfig(self, f: impl FnOnce(&mut Config)) -> Self {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => {
+                let mut cfg = shared.cfg;
+                f(&mut cfg);
+                Self::from_parts(shared.tree, cfg)
+            }
+            Err(shared) => {
+                let mut cfg = shared.cfg.clone();
+                f(&mut cfg);
+                Self::from_parts(shared.tree.clone(), cfg)
+            }
+        }
+    }
+
+    /// Record per-element provenance ([`Published::trace`]).
+    pub fn traced(self, on: bool) -> Self {
+        self.reconfig(|c| c.publish.tracing = on)
+    }
+
+    /// Evaluate up to `n` root-level sibling subtrees concurrently within
+    /// one publish. `0` and `1` both mean sequential. Document order and
+    /// all statistics are independent of `n`.
+    pub fn parallel(self, n: usize) -> Self {
+        self.reconfig(|c| c.publish.parallel = n.max(1))
+    }
+
+    /// Use compiled [`xvc_rel::PreparedPlan`]s and the result memo
+    /// (`true`, the default), or force the tuple-at-a-time interpreter
+    /// (`false`; used by benchmarks to measure the prepared path's win).
+    pub fn prepared(self, on: bool) -> Self {
+        self.reconfig(|c| c.publish.prepared = on)
+    }
+
+    /// Publish each subtree with the breadth-first frontier walk — one
+    /// set-oriented batch per (view node, frontier) — (`true`, the
+    /// default) or with the original per-parent recursion (`false`). Both
+    /// paths produce bit-identical documents, traces and stats modulo the
+    /// batch-only counters ([`PublishStats::without_batch_counters`]).
+    pub fn batched(self, on: bool) -> Self {
+        self.reconfig(|c| c.publish.batched = on)
+    }
+
+    /// Bake static cardinality bounds ([`crate::analyze_view_bounds`])
+    /// into the cached plans (`true`, the default): a node whose batches
+    /// provably carry at most one binding executes scalar, pushdowns and
+    /// index paths intact, instead of paying for the shared binding-free
+    /// pipeline. Documents, traces and [`PublishStats`] are identical
+    /// either way.
+    pub fn bounded(self, on: bool) -> Self {
+        self.reconfig(|c| c.bounded = on)
+    }
+
+    /// Record the splice index ([`Published::splice`]) on batched
+    /// publishes so results can seed [`Session::republish_delta`].
+    pub fn incremental(self, on: bool) -> Self {
+        self.reconfig(|c| c.publish.incremental = on)
+    }
+
+    /// The schema tree this engine publishes.
+    pub fn tree(&self) -> &SchemaTree {
+        &self.shared.tree
+    }
+
+    /// A new per-request session. Sessions are cheap: a clone of the
+    /// engine handle plus empty statistics accumulators.
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            stats: PublishStats::default(),
+            eval: EvalStats::default(),
+            publishes: 0,
+        }
+    }
+
+    /// Snapshot of the aggregate counters across all sessions so far.
+    pub fn totals(&self) -> EngineTotals {
+        self.shared
+            .totals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Validates the shared cache against `db`'s catalog fingerprint,
+    /// compiles anything missing, and returns a read guard the publish
+    /// runs under (writers — i.e. invalidations — wait until in-flight
+    /// publishes finish).
+    ///
+    /// Counting discipline: a session that finds the cache complete for
+    /// this fingerprint counts one `plan_cache_hits` per needed plan and
+    /// compiles nothing. A session that finds it incomplete takes the
+    /// write lock and compiles what is missing (counting `plans_prepared`
+    /// / `plan_prepare_failures`, or hits for entries another session got
+    /// to first); losers of the write race re-observe a complete cache and
+    /// count pure hits. No path counts the same lookup twice.
+    fn ensure_plans(
+        &self,
+        db: &Database,
+        stats: &mut PublishStats,
+    ) -> RwLockReadGuard<'_, PlanCache> {
+        let shared = &self.shared;
+        if !shared.cfg.publish.prepared {
+            return shared.cache.read().unwrap_or_else(PoisonError::into_inner);
+        }
+        let fingerprint = db.catalog_fingerprint();
+        // One plan per tag query plus one per emission-guard probe.
+        let needed: usize = shared
+            .tree
+            .node_ids()
+            .iter()
+            .filter_map(|&vid| shared.tree.node(vid))
+            .map(|n| usize::from(n.query.is_some()) + usize::from(n.guard.is_some()))
+            .sum();
+        let mut counted = false;
+        loop {
+            {
+                let cache = shared.cache.read().unwrap_or_else(PoisonError::into_inner);
+                if cache.fingerprint == Some(fingerprint) && cache.complete {
+                    if !counted {
+                        stats.plan_cache_hits += needed;
+                    }
+                    return cache;
+                }
+            }
+            let mut cache = shared.cache.write().unwrap_or_else(PoisonError::into_inner);
+            if !(cache.fingerprint == Some(fingerprint) && cache.complete) {
+                if cache.fingerprint != Some(fingerprint) {
+                    cache.plans.clear();
+                    cache.complete = false;
+                    cache.fingerprint = Some(fingerprint);
+                }
+                // Built lazily, only if some node actually needs
+                // compiling; on a cache filled by a racing session
+                // neither the catalog nor the cardinality analysis is
+                // materialized at all.
+                let mut planner: Option<Planner> = None;
+                for vid in shared.tree.node_ids() {
+                    let node = shared.tree.node(vid).expect("non-root id");
+                    if let Some(q) = &node.query {
+                        ensure_plan(
+                            &mut cache,
+                            &shared.tree,
+                            shared.cfg.bounded,
+                            vid,
+                            Role::Tag,
+                            q,
+                            db,
+                            &mut planner,
+                            stats,
+                        );
+                    }
+                    if let Some(g) = &node.guard {
+                        let probe = guard_probe(g);
+                        ensure_plan(
+                            &mut cache,
+                            &shared.tree,
+                            shared.cfg.bounded,
+                            vid,
+                            Role::Guard,
+                            &probe,
+                            db,
+                            &mut planner,
+                            stats,
+                        );
+                    }
+                }
+                cache.complete = true;
+                counted = true;
+            }
+            // Downgrade: drop the write lock and re-enter through the read
+            // path (re-counting is suppressed once this session has
+            // accounted for its lookups).
+            drop(cache);
+        }
+    }
+}
+
+/// A per-request publishing handle: shares its [`Engine`]'s plan cache and
+/// rolls every publish into both its own accumulator and the engine
+/// totals. Create with [`Engine::session`].
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    stats: PublishStats,
+    eval: EvalStats,
+    publishes: usize,
+}
+
+impl Session {
+    /// The engine this session publishes through.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Summed [`PublishStats`] across this session's publishes.
+    pub fn stats(&self) -> &PublishStats {
+        &self.stats
+    }
+
+    /// Summed relational-engine work across this session's publishes.
+    pub fn eval(&self) -> &EvalStats {
+        &self.eval
+    }
+
+    /// Publishes this session has served (full + delta).
+    pub fn publishes(&self) -> usize {
+        self.publishes
+    }
+
+    /// Evaluates the engine's schema tree against `db`, producing `v(I)`
+    /// plus statistics (and a trace when the engine is `traced`).
+    ///
+    /// Plans cached by any earlier publish through the same engine are
+    /// reused when the database's catalog fingerprint is unchanged — an
+    /// `O(1)` check instead of rebuilding and comparing the whole
+    /// catalog. The result memo never outlives one call, so database
+    /// mutations between calls are always observed.
+    pub fn publish(&mut self, db: &Database) -> Result<Published> {
+        let published = self.publish_inner(db)?;
+        self.record(&published, false);
+        Ok(published)
+    }
+
+    fn publish_inner(&mut self, db: &Database) -> Result<Published> {
+        let shared = &self.engine.shared;
+        shared.tree.validate()?;
+        let mut stats = PublishStats::default();
+        let cache = self.engine.ensure_plans(db, &mut stats);
+        run_full_publish(&shared.tree, &cache.plans, &shared.cfg.publish, db, stats)
+    }
+
+    /// Incrementally republishes after a base-table mutation: maps `delta`
+    /// through the conservative table → view-node dependency map
+    /// ([`crate::TableDeps`]), re-executes only the *top-most* affected
+    /// view nodes — level-at-a-time, one batch per (view node, wave)
+    /// across **all** surviving parent instances at once — and splices the
+    /// fresh subtrees into `prev`'s document in place of the stale ones.
+    ///
+    /// `prev` must come from an `incremental` engine (so it carries a
+    /// [`crate::SpliceIndex`]); otherwise, or on the scalar path, the call
+    /// falls back to a full [`Session::publish`] and reports
+    /// `batches_reexecuted == batches_executed`. `db` must be the
+    /// *post*-delta database.
+    ///
+    /// The result is byte-identical to a full republish against `db`
+    /// (asserted across random workloads by the delta-publish property
+    /// tests) and carries a current splice index, so deltas chain.
+    pub fn republish_delta(
+        &mut self,
+        db: &Database,
+        prev: &Published,
+        delta: &Delta,
+    ) -> Result<Published> {
+        let batched = self.engine.shared.cfg.publish.batched;
+        let published = if !batched || prev.splice.is_none() {
+            let mut p = self.publish_inner(db)?;
+            p.stats.batches_reexecuted = p.stats.batches_executed;
+            p.stats.delta_rows_in = delta.row_count();
+            p.reexecuted = self.engine.shared.tree.node_ids();
+            p
+        } else {
+            let shared = &self.engine.shared;
+            shared.tree.validate()?;
+            let mut stats = PublishStats::default();
+            let cache = self.engine.ensure_plans(db, &mut stats);
+            run_delta_republish(
+                &shared.tree,
+                &cache.plans,
+                &shared.cfg.publish,
+                db,
+                prev,
+                delta,
+                stats,
+            )?
+        };
+        self.record(&published, true);
+        Ok(published)
+    }
+
+    fn record(&mut self, published: &Published, delta: bool) {
+        self.stats.absorb(&published.stats);
+        self.eval.absorb(&published.eval);
+        self.publishes += 1;
+        let mut totals = self
+            .engine
+            .shared
+            .totals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        totals.stats.absorb(&published.stats);
+        totals.eval.absorb(&published.eval);
+        if delta {
+            totals.delta_publishes += 1;
+        } else {
+            totals.publishes += 1;
+        }
+    }
+}
+
+/// A lazily-filled holder for plan compilation: the (comparatively
+/// expensive) [`Database::catalog`] — and, when bound-driven planning is
+/// on, the whole-tree cardinality analysis — is built at most once per
+/// cache fill, and only when at least one entry is actually vacant.
+struct Planner {
+    catalog: Catalog,
+    bounds: Option<ViewBounds>,
+}
+
+/// Compiles `q` into the cache under `(vid, role)` unless already present.
+/// Compilation failures are not fatal: the node simply falls back to the
+/// interpreter (which will surface any genuine error at execution time,
+/// and only if the node actually runs). The failure is cached too —
+/// otherwise every publish would retry the doomed compilation and report
+/// the retry as a cache miss, deflating
+/// [`PublishStats::plan_cache_hit_rate`].
+#[allow(clippy::too_many_arguments)]
+fn ensure_plan(
+    cache: &mut PlanCache,
+    tree: &SchemaTree,
+    bounded: bool,
+    vid: ViewNodeId,
+    role: Role,
+    q: &xvc_rel::SelectQuery,
+    db: &Database,
+    planner: &mut Option<Planner>,
+    stats: &mut PublishStats,
+) {
+    let key = (vid.index() as u32, role);
+    match cache.plans.entry(key) {
+        std::collections::hash_map::Entry::Occupied(_) => stats.plan_cache_hits += 1,
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let planner = planner.get_or_insert_with(|| {
+                let catalog = db.catalog();
+                let bounds = bounded.then(|| analyze_view_bounds(tree, &catalog));
+                Planner { catalog, bounds }
+            });
+            match prepare(q, &planner.catalog) {
+                Ok(p) => {
+                    // A tag query's batch carries one binding per parent
+                    // instance in the task; the guard probe of the same
+                    // node batches over the same parents.
+                    let p = match &planner.bounds {
+                        Some(b) => p.with_binding_bound(b.batch_bound(vid)),
+                        None => p,
+                    };
+                    e.insert(PlanEntry::Ready(Box::new(p)));
+                    stats.plans_prepared += 1;
+                }
+                Err(_) => {
+                    e.insert(PlanEntry::Failed);
+                    stats.plan_prepare_failures += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_and_session_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<EngineTotals>();
+    }
+}

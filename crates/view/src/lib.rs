@@ -35,6 +35,7 @@
 
 pub mod bounds;
 pub mod display;
+pub mod engine;
 pub mod error;
 pub mod parse;
 pub mod publish;
@@ -42,10 +43,9 @@ pub mod schema_tree;
 pub mod table_deps;
 
 pub use bounds::{analyze_view_bounds, NodeBounds, ViewBounds};
+pub use engine::{Engine, EngineTotals, Session};
 pub use error::{Error, Result};
 pub use parse::parse_view;
-pub use publish::{
-    PublishStats, PublishTrace, Published, Publisher, SpliceEntry, SpliceIndex, TraceEntry,
-};
+pub use publish::{PublishStats, PublishTrace, Published, SpliceEntry, SpliceIndex, TraceEntry};
 pub use schema_tree::{AttrProjection, SchemaTree, ViewNode, ViewNodeId};
 pub use table_deps::TableDeps;

@@ -1,27 +1,28 @@
 //! Publishing: evaluating a schema-tree query to an XML document, `v(I)`.
 //!
-//! The entry point is the [`Publisher`] builder: it owns a per-tree
-//! **plan cache** (each node's tag query compiled once into an
-//! [`xvc_rel::PreparedPlan`]), publishes **set-oriented** by default (a
+//! The public entry point is [`crate::Engine`] / [`crate::Session`] (see
+//! the `engine` module); this module holds the execution machinery those
+//! drive: the **plan-cache** types (each node's tag query compiled once
+//! into an [`xvc_rel::PreparedPlan`]), **set-oriented** publishing (a
 //! breadth-first frontier walk running one
 //! [`xvc_rel::PreparedPlan::execute_batch_stats`] per (view node,
-//! frontier) instead of one execution per parent tuple), keeps a bounded
+//! frontier) instead of one execution per parent tuple), a bounded
 //! per-task **result memo** (repeated parent tuples with equal relevant
-//! binding values reuse the child relation), and can evaluate sibling
-//! subtrees in **parallel** (`std::thread::scope`) while keeping document
-//! order and producing thread-count-independent statistics.
+//! binding values reuse the child relation), **parallel** sibling-subtree
+//! evaluation (`std::thread::scope`) that keeps document order and
+//! thread-count-independent statistics, and the **delta-republish** graft
+//! walk.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use xvc_rel::{
-    eval_query_stats, prepare, Catalog, Database, EvalOptions, EvalStats, NamedTuple, ParamEnv,
-    PreparedPlan, Relation, ScalarExpr, SelectItem, SelectQuery,
+    eval_query_stats, Database, EvalOptions, EvalStats, NamedTuple, ParamEnv, PreparedPlan,
+    Relation, ScalarExpr, SelectItem, SelectQuery,
 };
 use xvc_xml::{Document, TreeBuilder};
 
-use crate::bounds::{analyze_view_bounds, ViewBounds};
 use crate::error::Result;
 use crate::schema_tree::{AttrProjection, SchemaTree, ViewNodeId};
 
@@ -69,9 +70,9 @@ pub struct PublishStats {
     /// and are **not** counted here.
     pub rows_regrouped: usize,
     /// Subtree roots spliced into the previous document by
-    /// [`Publisher::republish_delta`]. Zero on full publishes.
+    /// [`crate::Session::republish_delta`]. Zero on full publishes.
     pub nodes_respliced: usize,
-    /// Batches the delta path re-executed ([`Publisher::republish_delta`]
+    /// Batches the delta path re-executed ([`crate::Session::republish_delta`]
     /// only; equals `batches_executed` when the delta path had to fall
     /// back to a full republish). Zero on full publishes.
     pub batches_reexecuted: usize,
@@ -185,8 +186,8 @@ pub struct SpliceEntry {
 }
 
 /// Per-element splice provenance of a batched publish, keyed by document
-/// node — the structural index [`Publisher::republish_delta`] patches
-/// through. Recorded only when [`Publisher::incremental`] is on.
+/// node — the structural index [`crate::Session::republish_delta`] patches
+/// through. Recorded only when [`crate::Engine::incremental`] is on.
 #[derive(Debug, Clone, Default)]
 pub struct SpliceIndex {
     /// One entry per emitted element.
@@ -204,10 +205,10 @@ pub struct Published {
     /// evaluation of the run.
     pub eval: EvalStats,
     /// Per-element provenance; `Some` only when tracing was requested via
-    /// [`Publisher::traced`].
+    /// [`crate::Engine::traced`].
     pub trace: Option<PublishTrace>,
     /// Splice provenance; `Some` only on batched publishes with
-    /// [`Publisher::incremental`] on (delta republishes keep it current).
+    /// [`crate::Engine::incremental`] on (delta republishes keep it current).
     pub splice: Option<SpliceIndex>,
     /// View nodes whose guard / tag batches a delta republish actually
     /// re-executed — the measured set the soundness tests compare against
@@ -218,171 +219,108 @@ pub struct Published {
 /// Distinguishes a node's tag query from its emission-guard probe in the
 /// plan cache and result memo.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Role {
+pub(crate) enum Role {
     Tag,
     Guard,
 }
 
-type PlanKey = (u32, Role);
+pub(crate) type PlanKey = (u32, Role);
 
 /// Outcome of one compilation attempt, cached either way: a usable plan,
 /// or a remembered failure so the publisher never retries compiling a
 /// query the catalog cannot satisfy (it falls back to the interpreter).
 #[derive(Debug)]
-enum PlanEntry {
+pub(crate) enum PlanEntry {
     Ready(Box<PreparedPlan>),
     Failed,
 }
 
-/// Compiled plans for one schema tree, valid for one catalog.
+/// Compiled plans for one schema tree, valid for one catalog. Owned by
+/// [`crate::Engine`] behind an `RwLock` and shared by every session.
 #[derive(Debug, Default)]
-struct PlanCache {
+pub(crate) struct PlanCache {
     /// Fingerprint of the catalog the cached plans were compiled against
     /// ([`Database::catalog_fingerprint`]); a different fingerprint
-    /// invalidates every plan without ever materializing a [`Catalog`].
-    fingerprint: Option<u64>,
-    plans: HashMap<PlanKey, PlanEntry>,
+    /// invalidates every plan without ever materializing an
+    /// [`xvc_rel::Catalog`].
+    pub(crate) fingerprint: Option<u64>,
+    /// Whether every plan the tree needs is present for `fingerprint` —
+    /// the flag concurrent sessions key their hit accounting on (a
+    /// partially-filled cache is only ever observed under the write
+    /// lock).
+    pub(crate) complete: bool,
+    pub(crate) plans: HashMap<PlanKey, PlanEntry>,
 }
 
 /// Entries per subtree-task result memo; inserts are skipped beyond this.
 const MEMO_CAP: usize = 256;
 
-/// Builder-style publisher: configures tracing / parallelism / plan usage,
-/// owns the plan cache, and evaluates a schema tree against database
-/// instances.
-///
-/// ```no_run
-/// # use xvc_view::{Publisher, SchemaTree};
-/// # use xvc_rel::Database;
-/// # fn demo(tree: &SchemaTree, db: &Database) -> xvc_view::Result<()> {
-/// let mut publisher = Publisher::new(tree).traced(true).parallel(4);
-/// let first = publisher.publish(db)?; // compiles and caches the plans
-/// let again = publisher.publish(db)?; // reuses every cached plan
-/// assert!(again.stats.plan_cache_hit_rate() > 0.0);
-/// # Ok(()) }
-/// ```
-#[derive(Debug)]
-pub struct Publisher<'t> {
-    tree: &'t SchemaTree,
-    tracing: bool,
-    parallel: usize,
-    prepared: bool,
-    batched: bool,
-    bounded: bool,
-    incremental: bool,
-    cache: PlanCache,
+/// Publish-path toggles, fixed per [`crate::Engine`] (see the builder
+/// methods there for what each flag does).
+#[derive(Debug, Clone)]
+pub(crate) struct PublishConfig {
+    pub(crate) tracing: bool,
+    pub(crate) parallel: usize,
+    pub(crate) prepared: bool,
+    pub(crate) batched: bool,
+    pub(crate) incremental: bool,
 }
 
-impl<'t> Publisher<'t> {
-    /// A publisher for `tree`: untraced, single-threaded, prepared-plan,
-    /// set-oriented (batched) and bound-driven execution enabled.
-    pub fn new(tree: &'t SchemaTree) -> Self {
-        Publisher {
-            tree,
-            tracing: false,
-            parallel: 1,
-            prepared: true,
-            batched: true,
-            bounded: true,
-            incremental: false,
-            cache: PlanCache::default(),
-        }
-    }
+/// One publish execution: a validated schema tree plus the plan set the
+/// engine ensured for the target catalog. [`crate::Session`] constructs
+/// one per call through the wrappers below.
+struct Run<'a> {
+    tree: &'a SchemaTree,
+    plans: &'a HashMap<PlanKey, PlanEntry>,
+    cfg: &'a PublishConfig,
+}
 
-    /// Record the splice index ([`Published::splice`]) so the run's result
-    /// can seed [`Publisher::republish_delta`]. Only the batched path can
-    /// record one (the scalar path streams through a builder and never
-    /// sees document node ids); on the scalar path the flag is ignored and
-    /// `republish_delta` falls back to a full republish.
-    pub fn incremental(mut self, on: bool) -> Self {
-        self.incremental = on;
-        self
-    }
+/// Full-publish orchestration behind [`crate::Session::publish`]. The
+/// caller has already validated `tree` and ensured `plans` is current for
+/// `db`'s catalog; `stats` carries the plan-cache counters it accumulated
+/// doing so.
+pub(crate) fn run_full_publish(
+    tree: &SchemaTree,
+    plans: &HashMap<PlanKey, PlanEntry>,
+    cfg: &PublishConfig,
+    db: &Database,
+    stats: PublishStats,
+) -> Result<Published> {
+    Run { tree, plans, cfg }.full(db, stats)
+}
 
-    /// Record per-element provenance ([`Published::trace`]).
-    pub fn traced(mut self, on: bool) -> Self {
-        self.tracing = on;
-        self
-    }
+/// Delta-republish orchestration behind
+/// [`crate::Session::republish_delta`]. Same caller contract as
+/// [`run_full_publish`], plus: `prev` carries a splice index and `cfg` is
+/// batched (the caller handles the full-republish fallback).
+pub(crate) fn run_delta_republish(
+    tree: &SchemaTree,
+    plans: &HashMap<PlanKey, PlanEntry>,
+    cfg: &PublishConfig,
+    db: &Database,
+    prev: &Published,
+    delta: &xvc_rel::Delta,
+    stats: PublishStats,
+) -> Result<Published> {
+    Run { tree, plans, cfg }.delta(db, prev, delta, stats)
+}
 
-    /// Evaluate up to `n` root-level sibling subtrees concurrently.
-    /// `0` and `1` both mean sequential. Document order and all statistics
-    /// are independent of `n`.
-    pub fn parallel(mut self, n: usize) -> Self {
-        self.parallel = n.max(1);
-        self
-    }
-
-    /// Use compiled [`PreparedPlan`]s and the result memo (`true`, the
-    /// default), or force the tuple-at-a-time interpreter (`false`; used
-    /// by benchmarks to measure the prepared path's win).
-    pub fn prepared(mut self, on: bool) -> Self {
-        self.prepared = on;
-        self
-    }
-
-    /// Publish each subtree with a breadth-first frontier walk — one
-    /// set-oriented [`PreparedPlan::execute_batch_stats`] per (view node,
-    /// frontier) instead of one execution per parent tuple (`true`, the
-    /// default) — or with the original per-parent recursion (`false`).
-    ///
-    /// Both paths produce bit-identical documents, traces, and
-    /// [`PublishStats`] (modulo the batch-only counters, see
-    /// [`PublishStats::without_batch_counters`]); [`Published::eval`]
-    /// differs because batching is precisely about doing less engine
-    /// work. When a task needs more than `MEMO_CAP` distinct memo
-    /// entries the two paths may retain different entries (insertion
-    /// order differs), which can shift memo hit/miss counts — documents
-    /// and traces still agree.
-    pub fn batched(mut self, on: bool) -> Self {
-        self.batched = on;
-        self
-    }
-
-    /// Run the static cardinality analysis ([`crate::analyze_view_bounds`])
-    /// at plan-compile time and bake each node's batch-size bound into its
-    /// cached plan via [`PreparedPlan::with_binding_bound`] (`true`, the
-    /// default). A node whose batches provably carry at most one binding
-    /// then executes scalar — with its slot pushdowns and index paths
-    /// intact — instead of paying for the shared binding-free pipeline.
-    /// Documents, traces and [`PublishStats`] are identical either way
-    /// (only [`Published::eval`] can differ, in the bounded path's favor).
-    ///
-    /// Toggling this drops the plan cache: cached plans carry the baked
-    /// bounds of the mode they were compiled under.
-    pub fn bounded(mut self, on: bool) -> Self {
-        if self.bounded != on {
-            self.cache = PlanCache::default();
-        }
-        self.bounded = on;
-        self
-    }
-
+impl Run<'_> {
     /// Evaluates the schema tree against `db`, producing `v(I)` plus
     /// statistics (and a trace when requested).
-    ///
-    /// Plans cached by an earlier call are reused when the database's
-    /// catalog fingerprint ([`Database::catalog_fingerprint`]) is
-    /// unchanged — an `O(1)` check instead of rebuilding and comparing
-    /// the whole catalog. The result memo never outlives one call, so
-    /// database mutations between calls are always observed.
-    pub fn publish(&mut self, db: &Database) -> Result<Published> {
-        self.tree.validate()?;
-        let mut stats = PublishStats::default();
-        self.ensure_all_plans(db, &mut stats);
-
+    fn full(&self, db: &Database, mut stats: PublishStats) -> Result<Published> {
         // Root pass (always sequential): evaluate root-level guards and tag
         // queries, and cut the document into one task per root element
         // instance. The decomposition — and therefore every per-task
         // counter — is independent of the thread count.
-        let collect_splice = self.incremental && self.batched;
+        let collect_splice = self.cfg.incremental && self.cfg.batched;
         let shared = Shared {
             tree: self.tree,
             db,
-            plans: &self.cache.plans,
-            use_plans: self.prepared,
-            tracing: self.tracing,
-            batched: self.batched,
+            plans: self.plans,
+            use_plans: self.cfg.prepared,
+            tracing: self.cfg.tracing,
+            batched: self.cfg.batched,
             collect_splice,
         };
         let mut main = Worker::new(&shared, HashMap::new());
@@ -431,7 +369,7 @@ impl<'t> Publisher<'t> {
             }
         }
 
-        let outs = run_tasks(&shared, &tasks, self.parallel);
+        let outs = run_tasks(&shared, &tasks, self.cfg.parallel);
 
         // Deterministic merge, in task (= document) order.
         stats.absorb(&main.stats);
@@ -479,7 +417,7 @@ impl<'t> Publisher<'t> {
             document,
             stats,
             eval,
-            trace: self.tracing.then_some(PublishTrace { entries: trace }),
+            trace: self.cfg.tracing.then_some(PublishTrace { entries: trace }),
             splice,
             reexecuted: Vec::new(),
         })
@@ -491,33 +429,15 @@ impl<'t> Publisher<'t> {
     /// view nodes — level-at-a-time, one batch per (view node, wave)
     /// across **all** surviving parent instances at once — and splices the
     /// fresh subtrees into `prev`'s document in place of the stale ones.
-    ///
-    /// `prev` must come from this publisher with [`Publisher::incremental`]
-    /// on (so it carries a [`SpliceIndex`]); otherwise, or on the scalar
-    /// path, the call falls back to a full [`Publisher::publish`] and
-    /// reports `batches_reexecuted == batches_executed`. `db` must be the
-    /// *post*-delta database.
-    ///
-    /// The result is byte-identical to a full republish against `db`
-    /// (asserted across random workloads by the delta-publish property
-    /// tests) and carries a current splice index, so deltas chain.
-    pub fn republish_delta(
-        &mut self,
+    /// See [`crate::Session::republish_delta`] for the full contract.
+    fn delta(
+        &self,
         db: &Database,
         prev: &Published,
         delta: &xvc_rel::Delta,
+        mut stats: PublishStats,
     ) -> Result<Published> {
-        if !self.batched || prev.splice.is_none() {
-            let mut p = self.publish(db)?;
-            p.stats.batches_reexecuted = p.stats.batches_executed;
-            p.stats.delta_rows_in = delta.row_count();
-            p.reexecuted = self.tree.node_ids();
-            return Ok(p);
-        }
-        let prev_splice = prev.splice.as_ref().expect("checked above");
-        self.tree.validate()?;
-        let mut stats = PublishStats::default();
-        self.ensure_all_plans(db, &mut stats);
+        let prev_splice = prev.splice.as_ref().expect("caller checked prev.splice");
         stats.delta_rows_in = delta.row_count();
 
         let tree = self.tree;
@@ -573,8 +493,8 @@ impl<'t> Publisher<'t> {
         let shared = Shared {
             tree,
             db,
-            plans: &self.cache.plans,
-            use_plans: self.prepared,
+            plans: self.plans,
+            use_plans: self.cfg.prepared,
             tracing: false,
             batched: true,
             collect_splice: true,
@@ -664,116 +584,11 @@ impl<'t> Publisher<'t> {
             reexecuted: w.touched.iter().map(|&i| ViewNodeId(i as u32)).collect(),
         })
     }
-
-    /// Validates the cache against `db`'s catalog fingerprint and compiles
-    /// any missing plans (no-op when plans are off). Shared by
-    /// [`Publisher::publish`] and [`Publisher::republish_delta`].
-    fn ensure_all_plans(&mut self, db: &Database, stats: &mut PublishStats) {
-        let fingerprint = db.catalog_fingerprint();
-        if self.cache.fingerprint != Some(fingerprint) {
-            self.cache.plans.clear();
-            self.cache.fingerprint = Some(fingerprint);
-        }
-        if self.prepared {
-            // Built lazily, only if some node actually needs compiling; on
-            // a warm cache neither the catalog nor the cardinality
-            // analysis is materialized at all.
-            let mut planner: Option<Planner> = None;
-            for vid in self.tree.node_ids() {
-                let node = self.tree.node(vid).expect("non-root id");
-                if let Some(q) = &node.query {
-                    ensure_plan(
-                        &mut self.cache,
-                        self.tree,
-                        self.bounded,
-                        vid,
-                        Role::Tag,
-                        q,
-                        db,
-                        &mut planner,
-                        stats,
-                    );
-                }
-                if let Some(g) = &node.guard {
-                    let probe = guard_probe(g);
-                    ensure_plan(
-                        &mut self.cache,
-                        self.tree,
-                        self.bounded,
-                        vid,
-                        Role::Guard,
-                        &probe,
-                        db,
-                        &mut planner,
-                        stats,
-                    );
-                }
-            }
-        }
-    }
-}
-
-/// Compiles `q` into the cache under `(vid, role)` unless already present.
-/// Compilation failures are not fatal: the node simply falls back to the
-/// interpreter (which will surface any genuine error at execution time,
-/// and only if the node actually runs). The failure is cached too —
-/// otherwise every publish would retry the doomed compilation and report
-/// the retry as a cache miss, deflating [`PublishStats::plan_cache_hit_rate`].
-///
-/// `planner` is a lazily-filled holder: the (comparatively expensive)
-/// [`Database::catalog`] — and, when bound-driven planning is on, the
-/// whole-tree cardinality analysis — is built at most once per publish,
-/// and only when at least one entry is actually vacant.
-struct Planner {
-    catalog: Catalog,
-    bounds: Option<ViewBounds>,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn ensure_plan(
-    cache: &mut PlanCache,
-    tree: &SchemaTree,
-    bounded: bool,
-    vid: ViewNodeId,
-    role: Role,
-    q: &SelectQuery,
-    db: &Database,
-    planner: &mut Option<Planner>,
-    stats: &mut PublishStats,
-) {
-    let key = (vid.index() as u32, role);
-    match cache.plans.entry(key) {
-        std::collections::hash_map::Entry::Occupied(_) => stats.plan_cache_hits += 1,
-        std::collections::hash_map::Entry::Vacant(e) => {
-            let planner = planner.get_or_insert_with(|| {
-                let catalog = db.catalog();
-                let bounds = bounded.then(|| analyze_view_bounds(tree, &catalog));
-                Planner { catalog, bounds }
-            });
-            match prepare(q, &planner.catalog) {
-                Ok(p) => {
-                    // A tag query's batch carries one binding per parent
-                    // instance in the task; the guard probe of the same
-                    // node batches over the same parents.
-                    let p = match &planner.bounds {
-                        Some(b) => p.with_binding_bound(b.batch_bound(vid)),
-                        None => p,
-                    };
-                    e.insert(PlanEntry::Ready(Box::new(p)));
-                    stats.plans_prepared += 1;
-                }
-                Err(_) => {
-                    e.insert(PlanEntry::Failed);
-                    stats.plan_prepare_failures += 1;
-                }
-            }
-        }
-    }
 }
 
 /// The `SELECT 1 WHERE guard` probe the publisher evaluates for emission
 /// guards.
-fn guard_probe(guard: &ScalarExpr) -> SelectQuery {
+pub(crate) fn guard_probe(guard: &ScalarExpr) -> SelectQuery {
     let mut probe = SelectQuery::new(vec![SelectItem::expr(ScalarExpr::int(1))], vec![]);
     probe.where_clause = Some(guard.clone());
     probe
@@ -898,7 +713,7 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
 
 /// The level-at-a-time engine of the batched path: expands `frontier`
 /// breadth-first to exhaustion inside `w`'s document. Factored out of
-/// [`run_task_batched`] so [`Publisher::republish_delta`] can seed it with
+/// [`run_task_batched`] so [`crate::Session::republish_delta`] can seed it with
 /// an arbitrary set of `(parent, view node, bindings)` slots instead of a
 /// single task root.
 fn expand_frontier(w: &mut BatchWorker<'_>, mut frontier: Vec<Pending>) -> Result<()> {
@@ -1596,6 +1411,7 @@ fn project_attrs<'c>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::schema_tree::ViewNode;
     use xvc_rel::{parse_query, ColumnDef, ColumnType, TableSchema, Value};
 
@@ -1671,7 +1487,7 @@ mod tests {
     }
 
     fn publish_one(tree: &SchemaTree, db: &Database) -> Result<Published> {
-        Publisher::new(tree).publish(db)
+        Engine::new(tree).session().publish(db)
     }
 
     #[test]
@@ -1845,7 +1661,11 @@ mod tests {
 
     #[test]
     fn trace_records_indexed_paths_and_envs() {
-        let p = Publisher::new(&view()).traced(true).publish(&db()).unwrap();
+        let p = Engine::new(&view())
+            .traced(true)
+            .session()
+            .publish(&db())
+            .unwrap();
         let trace = p.trace.expect("traced publish");
         assert_eq!(trace.entries.len(), 4); // 2 metros + 1 hotel each
         let paths: Vec<&str> = trace.entries.iter().map(|e| e.path.as_str()).collect();
@@ -1898,11 +1718,11 @@ mod tests {
     fn second_publish_hits_the_plan_cache() {
         let tree = view();
         let db = db();
-        let mut publisher = Publisher::new(&tree);
-        let first = publisher.publish(&db).unwrap();
+        let engine = Engine::new(&tree);
+        let first = engine.session().publish(&db).unwrap();
         assert_eq!(first.stats.plans_prepared, 2);
         assert_eq!(first.stats.plan_cache_hits, 0);
-        let second = publisher.publish(&db).unwrap();
+        let second = engine.session().publish(&db).unwrap();
         assert_eq!(second.stats.plans_prepared, 0);
         assert_eq!(second.stats.plan_cache_hits, 2);
         assert!(second.stats.plan_cache_hit_rate() > 0.99);
@@ -1931,9 +1751,9 @@ mod tests {
         ));
         t.add_root_node(bad).unwrap();
         let db = db();
-        let mut publisher = Publisher::new(&t);
+        let engine = Engine::new(&t);
 
-        let first = publisher.publish(&db).unwrap();
+        let first = engine.session().publish(&db).unwrap();
         // metro + hotel tag queries and the guard probe compile; the
         // phantom tag query fails, exactly once.
         assert_eq!(first.stats.plans_prepared, 3);
@@ -1941,7 +1761,7 @@ mod tests {
         assert_eq!(first.stats.plan_cache_hits, 0);
         assert!(!first.document.to_xml().contains("phantom"));
 
-        let second = publisher.publish(&db).unwrap();
+        let second = engine.session().publish(&db).unwrap();
         // The failure is served from the cache — no recompilation
         // attempt, and the hit rate is undistorted.
         assert_eq!(second.stats.plans_prepared, 0);
@@ -1956,8 +1776,8 @@ mod tests {
         use xvc_rel::IndexKind;
         let t = view();
         let mut db = db();
-        let mut publisher = Publisher::new(&t);
-        let before = publisher.publish(&db).unwrap();
+        let engine = Engine::new(&t);
+        let before = engine.session().publish(&db).unwrap();
         assert_eq!(before.stats.plans_prepared, 2);
 
         // An index changes the catalog fingerprint even though no table
@@ -1965,13 +1785,13 @@ mod tests {
         // path) while the document stays identical.
         db.create_index("hotel", "metro_id", IndexKind::Hash)
             .unwrap();
-        let after = publisher.publish(&db).unwrap();
+        let after = engine.session().publish(&db).unwrap();
         assert_eq!(after.stats.plans_prepared, 2);
         assert_eq!(after.stats.plan_cache_hits, 0);
         assert_eq!(before.document.to_xml(), after.document.to_xml());
 
         // And the fingerprint is stable afterwards: pure cache hits.
-        let warm = publisher.publish(&db).unwrap();
+        let warm = engine.session().publish(&db).unwrap();
         assert_eq!(warm.stats.plan_cache_hits, 2);
         assert_eq!(warm.stats.plans_prepared, 0);
         assert_eq!(warm.document.to_xml(), after.document.to_xml());
@@ -1985,8 +1805,16 @@ mod tests {
         // to the engine counters; the batched path shares the document but
         // reports its own (smaller) engine work, so it is compared
         // separately in `batched_and_scalar_paths_agree`.
-        let prepared = Publisher::new(&tree).batched(false).publish(&db).unwrap();
-        let interpreted = Publisher::new(&tree).prepared(false).publish(&db).unwrap();
+        let prepared = Engine::new(&tree)
+            .batched(false)
+            .session()
+            .publish(&db)
+            .unwrap();
+        let interpreted = Engine::new(&tree)
+            .prepared(false)
+            .session()
+            .publish(&db)
+            .unwrap();
         assert_eq!(prepared.document.to_xml(), interpreted.document.to_xml());
         assert_eq!(prepared.eval, interpreted.eval);
         assert_eq!(interpreted.stats.plans_prepared, 0);
@@ -1996,12 +1824,17 @@ mod tests {
     fn batched_and_scalar_paths_agree() {
         let tree = view();
         let db = db();
-        let scalar = Publisher::new(&tree)
+        let scalar = Engine::new(&tree)
             .batched(false)
             .traced(true)
+            .session()
             .publish(&db)
             .unwrap();
-        let batched = Publisher::new(&tree).traced(true).publish(&db).unwrap();
+        let batched = Engine::new(&tree)
+            .traced(true)
+            .session()
+            .publish(&db)
+            .unwrap();
         assert_eq!(batched.document.to_xml(), scalar.document.to_xml());
         let (bt, st) = (batched.trace.unwrap(), scalar.trace.unwrap());
         assert_eq!(bt.entries.len(), st.entries.len());
@@ -2024,12 +1857,17 @@ mod tests {
         // engine counters must be identical.
         let tree = view();
         let db = db();
-        let scalar = Publisher::new(&tree)
+        let scalar = Engine::new(&tree)
             .prepared(false)
             .batched(false)
+            .session()
             .publish(&db)
             .unwrap();
-        let batched = Publisher::new(&tree).prepared(false).publish(&db).unwrap();
+        let batched = Engine::new(&tree)
+            .prepared(false)
+            .session()
+            .publish(&db)
+            .unwrap();
         assert_eq!(batched.document.to_xml(), scalar.document.to_xml());
         assert_eq!(batched.eval, scalar.eval);
         assert_eq!(batched.stats, scalar.stats);
@@ -2045,10 +1883,15 @@ mod tests {
         // stripped rows and regroups them through a hash build per batch.
         let tree = view();
         let db = db();
-        let bounded = Publisher::new(&tree).traced(true).publish(&db).unwrap();
-        let unbounded = Publisher::new(&tree)
+        let bounded = Engine::new(&tree)
+            .traced(true)
+            .session()
+            .publish(&db)
+            .unwrap();
+        let unbounded = Engine::new(&tree)
             .bounded(false)
             .traced(true)
+            .session()
             .publish(&db)
             .unwrap();
         assert_eq!(bounded.document.to_xml(), unbounded.document.to_xml());
@@ -2112,8 +1955,9 @@ mod tests {
         // ... but skips the engine entirely.
         assert_eq!(p.eval.queries, 1 + 2 + 2);
         // Document content identical to the interpreter's.
-        let i = Publisher::new(&t)
+        let i = Engine::new(&t)
             .prepared(false)
+            .session()
             .publish(&database)
             .unwrap();
         assert_eq!(p.document.to_xml(), i.document.to_xml());
@@ -2123,8 +1967,8 @@ mod tests {
     fn delta_republish_of_leaf_change_matches_full_republish() {
         let tree = view();
         let mut database = db();
-        let mut publisher = Publisher::new(&tree).incremental(true);
-        let prev = publisher.publish(&database).unwrap();
+        let engine = Engine::new(&tree).incremental(true);
+        let prev = engine.session().publish(&database).unwrap();
         assert!(prev.splice.is_some());
         assert!(prev.reexecuted.is_empty());
 
@@ -2132,8 +1976,11 @@ mod tests {
         let delta = database
             .execute_dml("INSERT INTO hotel VALUES (13, 'langham', 5, 1)")
             .unwrap();
-        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
-        let full = Publisher::new(&tree).publish(&database).unwrap();
+        let after = engine
+            .session()
+            .republish_delta(&database, &prev, &delta)
+            .unwrap();
+        let full = Engine::new(&tree).session().publish(&database).unwrap();
         assert_eq!(after.document.to_xml(), full.document.to_xml());
         assert!(after.document.to_xml().contains("langham"));
         // One hotel batch across both surviving metros, instead of the
@@ -2150,10 +1997,11 @@ mod tests {
         let delta2 = database
             .execute_dml("DELETE FROM hotel WHERE hotelname = 'plaza'")
             .unwrap();
-        let after2 = publisher
+        let after2 = engine
+            .session()
             .republish_delta(&database, &after, &delta2)
             .unwrap();
-        let full2 = Publisher::new(&tree).publish(&database).unwrap();
+        let full2 = Engine::new(&tree).session().publish(&database).unwrap();
         assert_eq!(after2.document.to_xml(), full2.document.to_xml());
         assert!(!after2.document.to_xml().contains("plaza"));
     }
@@ -2162,15 +2010,18 @@ mod tests {
     fn delta_republish_of_root_table_change_matches_full_republish() {
         let tree = view();
         let mut database = db();
-        let mut publisher = Publisher::new(&tree).incremental(true);
-        let prev = publisher.publish(&database).unwrap();
+        let engine = Engine::new(&tree).incremental(true);
+        let prev = engine.session().publish(&database).unwrap();
         // metroarea feeds the root-level metro node: the whole document is
         // rebuilt through the root-top path.
         let delta = database
             .execute_dml("INSERT INTO metroarea VALUES (3, 'boston')")
             .unwrap();
-        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
-        let full = Publisher::new(&tree).publish(&database).unwrap();
+        let after = engine
+            .session()
+            .republish_delta(&database, &prev, &delta)
+            .unwrap();
+        let full = Engine::new(&tree).session().publish(&database).unwrap();
         assert_eq!(after.document.to_xml(), full.document.to_xml());
         assert!(after.document.to_xml().contains("boston"));
     }
@@ -2182,12 +2033,15 @@ mod tests {
         database.create_table(
             TableSchema::new("audit", vec![ColumnDef::new("id", ColumnType::Int)]).unwrap(),
         );
-        let mut publisher = Publisher::new(&tree).incremental(true);
-        let prev = publisher.publish(&database).unwrap();
+        let engine = Engine::new(&tree).incremental(true);
+        let prev = engine.session().publish(&database).unwrap();
         let delta = database
             .execute_dml("INSERT INTO audit VALUES (1)")
             .unwrap();
-        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
+        let after = engine
+            .session()
+            .republish_delta(&database, &prev, &delta)
+            .unwrap();
         assert_eq!(after.document.to_xml(), prev.document.to_xml());
         assert_eq!(after.stats.batches_reexecuted, 0);
         assert_eq!(after.stats.nodes_respliced, 0);
@@ -2200,14 +2054,17 @@ mod tests {
     fn delta_republish_without_splice_falls_back_to_full() {
         let tree = view();
         let mut database = db();
-        let mut publisher = Publisher::new(&tree); // not incremental
-        let prev = publisher.publish(&database).unwrap();
+        let engine = Engine::new(&tree); // not incremental
+        let prev = engine.session().publish(&database).unwrap();
         assert!(prev.splice.is_none());
         let delta = database
             .execute_dml("INSERT INTO hotel VALUES (13, 'langham', 5, 1)")
             .unwrap();
-        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
-        let full = Publisher::new(&tree).publish(&database).unwrap();
+        let after = engine
+            .session()
+            .republish_delta(&database, &prev, &delta)
+            .unwrap();
+        let full = Engine::new(&tree).session().publish(&database).unwrap();
         assert_eq!(after.document.to_xml(), full.document.to_xml());
         assert_eq!(after.stats.batches_reexecuted, after.stats.batches_executed);
         assert!(!after.reexecuted.is_empty());
@@ -2217,13 +2074,16 @@ mod tests {
     fn delta_republish_handles_deletes_emptying_groups() {
         let tree = view();
         let mut database = db();
-        let mut publisher = Publisher::new(&tree).incremental(true);
-        let prev = publisher.publish(&database).unwrap();
+        let engine = Engine::new(&tree).incremental(true);
+        let prev = engine.session().publish(&database).unwrap();
         let delta = database
             .execute_dml("DELETE FROM hotel WHERE starrating > 4")
             .unwrap();
-        let after = publisher.republish_delta(&database, &prev, &delta).unwrap();
-        let full = Publisher::new(&tree).publish(&database).unwrap();
+        let after = engine
+            .session()
+            .republish_delta(&database, &prev, &delta)
+            .unwrap();
+        let full = Engine::new(&tree).session().publish(&database).unwrap();
         assert_eq!(after.document.to_xml(), full.document.to_xml());
         assert!(!after.document.to_xml().contains("hotel"));
         assert_eq!(after.stats.nodes_respliced, 0);
@@ -2233,9 +2093,10 @@ mod tests {
     fn incremental_publish_splice_covers_every_element() {
         let tree = view();
         let database = db();
-        let p = Publisher::new(&tree)
+        let p = Engine::new(&tree)
             .incremental(true)
             .parallel(4)
+            .session()
             .publish(&database)
             .unwrap();
         let splice = p.splice.expect("incremental publish records splice");
@@ -2289,8 +2150,9 @@ mod tests {
         .unwrap();
         let database = db();
         for threads in [1, 4] {
-            let p = Publisher::new(&t)
+            let p = Engine::new(&t)
                 .parallel(threads)
+                .session()
                 .publish(&database)
                 .unwrap();
             assert_eq!(p.stats.memo_hits, 1, "{:?}", p.stats);
@@ -2303,9 +2165,10 @@ mod tests {
             assert_eq!(p.stats.batches_executed, 4);
             assert_eq!(p.stats.bindings_per_batch_max, 1);
             // Scalar parity on everything that is not batch-only.
-            let s = Publisher::new(&t)
+            let s = Engine::new(&t)
                 .batched(false)
                 .parallel(threads)
+                .session()
                 .publish(&database)
                 .unwrap();
             assert_eq!(p.stats.without_batch_counters(), s.stats);

@@ -1,6 +1,6 @@
 //! Conservative table → view-node dependency map over a [`SchemaTree`].
 //!
-//! `Publisher::republish_delta` needs to know, given a set of mutated base
+//! `Session::republish_delta` needs to know, given a set of mutated base
 //! tables, which view nodes could possibly publish differently. This map
 //! answers that *conservatively*: a node depends on every table its tag
 //! query or emission guard mentions anywhere (FROM items, derived tables,

@@ -1,10 +1,14 @@
-//! Publisher builder integration tests: parallel evaluation is
-//! deterministic, the plan cache warms and invalidates correctly, the
-//! per-publish memo never leaks stale results across database mutations,
-//! and the interpreted path agrees with the prepared path.
+//! Engine/Session integration tests: parallel evaluation is
+//! deterministic, the shared plan cache warms and invalidates correctly
+//! (including under concurrent sessions), the per-publish memo never
+//! leaks stale results across database mutations, the interpreted path
+//! agrees with the prepared path, and mid-flight DDL/DML never yields a
+//! stale or torn document.
 
-use xvc_rel::{parse_query, ColumnDef, ColumnType, Database, TableSchema, Value};
-use xvc_view::{Publisher, SchemaTree, ViewNode};
+use std::sync::RwLock;
+
+use xvc_rel::{parse_query, ColumnDef, ColumnType, Database, IndexKind, TableSchema, Value};
+use xvc_view::{Engine, PublishStats, SchemaTree, ViewNode};
 use xvc_xml::documents_equal_unordered;
 
 fn db() -> Database {
@@ -86,9 +90,9 @@ fn view() -> SchemaTree {
 fn parallel_publish_is_deterministic() {
     let v = view();
     let db = db();
-    let sequential = Publisher::new(&v).publish(&db).unwrap();
+    let sequential = Engine::new(&v).session().publish(&db).unwrap();
     for n in [2, 4, 8] {
-        let parallel = Publisher::new(&v).parallel(n).publish(&db).unwrap();
+        let parallel = Engine::new(&v).parallel(n).session().publish(&db).unwrap();
         // Not just an unordered match: document order is pinned too.
         assert_eq!(
             parallel.document.to_pretty_xml(),
@@ -113,31 +117,38 @@ fn parallel_publish_is_deterministic() {
 fn plan_cache_warms_on_second_publish() {
     let v = view();
     let db = db();
-    let mut publisher = Publisher::new(&v);
+    let engine = Engine::new(&v);
 
-    let cold = publisher.publish(&db).unwrap();
+    let cold = engine.session().publish(&db).unwrap();
     // Two tag queries (metro, hotel), no guards: two compilations, no hits.
     assert_eq!(cold.stats.plans_prepared, 2);
     assert_eq!(cold.stats.plan_cache_hits, 0);
     assert_eq!(cold.stats.plan_cache_hit_rate(), 0.0);
 
-    let warm = publisher.publish(&db).unwrap();
+    // The cache lives on the engine, so even a *fresh* session is warm.
+    let warm = engine.session().publish(&db).unwrap();
     assert_eq!(warm.stats.plans_prepared, 0);
     assert_eq!(warm.stats.plan_cache_hits, 2);
     assert_eq!(warm.stats.plan_cache_hit_rate(), 1.0);
     assert!(documents_equal_unordered(&warm.document, &cold.document));
+
+    // Engine totals aggregate across sessions without double counting.
+    let totals = engine.totals();
+    assert_eq!(totals.publishes, 2);
+    assert_eq!(totals.stats.plans_prepared, 2);
+    assert_eq!(totals.stats.plan_cache_hits, 2);
 }
 
 #[test]
 fn catalog_change_invalidates_plan_cache() {
     let v = view();
     let mut db = db();
-    let mut publisher = Publisher::new(&v);
-    publisher.publish(&db).unwrap();
+    let engine = Engine::new(&v);
+    engine.session().publish(&db).unwrap();
 
     // A new table changes the catalog, so every cached plan is dropped.
     db.create_table(TableSchema::new("extra", vec![ColumnDef::new("x", ColumnType::Int)]).unwrap());
-    let after = publisher.publish(&db).unwrap();
+    let after = engine.session().publish(&db).unwrap();
     assert_eq!(after.stats.plans_prepared, 2);
     assert_eq!(after.stats.plan_cache_hits, 0);
 }
@@ -146,9 +157,9 @@ fn catalog_change_invalidates_plan_cache() {
 fn database_mutations_between_publishes_are_observed() {
     let v = view();
     let mut db = db();
-    let mut publisher = Publisher::new(&v);
+    let engine = Engine::new(&v);
 
-    let before = publisher.publish(&db).unwrap();
+    let before = engine.session().publish(&db).unwrap();
     db.insert(
         "hotel",
         vec![
@@ -159,7 +170,7 @@ fn database_mutations_between_publishes_are_observed() {
         ],
     )
     .unwrap();
-    let after = publisher.publish(&db).unwrap();
+    let after = engine.session().publish(&db).unwrap();
 
     // Same catalog ⇒ plans were reused — but the memo is per-publish, so
     // the new row must show up (a cross-call memo would hand back the
@@ -176,8 +187,16 @@ fn interpreted_path_matches_prepared_path() {
     let db = db();
     // Scalar prepared execution: the batched path does deliberately
     // different (less) engine work and is checked separately below.
-    let prepared = Publisher::new(&v).batched(false).publish(&db).unwrap();
-    let interpreted = Publisher::new(&v).prepared(false).publish(&db).unwrap();
+    let prepared = Engine::new(&v)
+        .batched(false)
+        .session()
+        .publish(&db)
+        .unwrap();
+    let interpreted = Engine::new(&v)
+        .prepared(false)
+        .session()
+        .publish(&db)
+        .unwrap();
 
     assert_eq!(
         prepared.document.to_pretty_xml(),
@@ -196,15 +215,17 @@ fn batched_path_is_identical_to_scalar_path() {
     let v = view();
     let db = db();
     for threads in [1, 4] {
-        let scalar = Publisher::new(&v)
+        let scalar = Engine::new(&v)
             .batched(false)
             .traced(true)
             .parallel(threads)
+            .session()
             .publish(&db)
             .unwrap();
-        let batched = Publisher::new(&v)
+        let batched = Engine::new(&v)
             .traced(true)
             .parallel(threads)
+            .session()
             .publish(&db)
             .unwrap();
         // Documents bit-identical, order included.
@@ -244,10 +265,11 @@ fn batched_path_is_identical_to_scalar_path() {
 fn tracing_is_identical_under_parallelism() {
     let v = view();
     let db = db();
-    let seq = Publisher::new(&v).traced(true).publish(&db).unwrap();
-    let par = Publisher::new(&v)
+    let seq = Engine::new(&v).traced(true).session().publish(&db).unwrap();
+    let par = Engine::new(&v)
         .traced(true)
         .parallel(4)
+        .session()
         .publish(&db)
         .unwrap();
     let (st, pt) = (seq.trace.unwrap(), par.trace.unwrap());
@@ -257,4 +279,145 @@ fn tracing_is_identical_under_parallelism() {
         assert_eq!(a.view, b.view);
         assert_eq!(a.env, b.env);
     }
+}
+
+#[test]
+fn concurrent_sessions_never_double_count_plan_lookups() {
+    const THREADS: usize = 8;
+    let v = view();
+    let db = db();
+    let engine = Engine::new(&v);
+
+    // Cold stampede: 8 sessions race an empty cache. Exactly one session
+    // compiles the 2 plans (under the write lock, start to finish); every
+    // other session observes a complete cache and counts pure hits.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let engine = engine.clone();
+            let db = &db;
+            s.spawn(move || engine.session().publish(db).unwrap());
+        }
+    });
+    let cold = engine.totals();
+    assert_eq!(cold.publishes, THREADS);
+    assert_eq!(cold.stats.plans_prepared, 2, "{:?}", cold.stats);
+    assert_eq!(
+        cold.stats.plan_cache_hits,
+        2 * (THREADS - 1),
+        "{:?}",
+        cold.stats
+    );
+
+    // Warm engine under 8 threads: the aggregate hit rate must be exactly
+    // 1.0 — any double-counted preparation or missed hit would distort it.
+    let warm_stats: Vec<PublishStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let engine = engine.clone();
+                let db = &db;
+                s.spawn(move || {
+                    let mut session = engine.session();
+                    session.publish(db).unwrap();
+                    session.publish(db).unwrap();
+                    *session.stats()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut agg = PublishStats::default();
+    for s in &warm_stats {
+        assert_eq!(s.plans_prepared, 0, "warm session compiled: {s:?}");
+        assert_eq!(s.plan_cache_hits, 4, "2 lookups × 2 publishes: {s:?}");
+        agg.absorb(s);
+    }
+    assert_eq!(agg.plan_cache_hit_rate(), 1.0);
+}
+
+#[test]
+fn concurrent_publishes_are_byte_identical_to_single_shot() {
+    const THREADS: usize = 8;
+    let v = view();
+    let db = db();
+    let expected = Engine::new(&v).session().publish(&db).unwrap();
+    let expected_xml = expected.document.to_xml();
+
+    let engine = Engine::new(&v).parallel(2);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = engine.clone();
+            let (db, expected_xml) = (&db, &expected_xml);
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let p = engine.session().publish(db).unwrap();
+                    assert_eq!(&p.document.to_xml(), expected_xml, "thread {t} diverged");
+                }
+            });
+        }
+    });
+    assert_eq!(engine.totals().publishes, THREADS * 5);
+}
+
+#[test]
+fn mid_flight_ddl_and_dml_invalidate_without_stale_documents() {
+    const THREADS: usize = 4;
+    let v = view();
+    let engine = Engine::new(&v);
+    let mut post = db();
+    let db = RwLock::new(db());
+
+    // The two legitimate states a publish may observe: before and after
+    // the writer's mutation batch.
+    let before_xml = engine
+        .session()
+        .publish(&db.read().unwrap())
+        .unwrap()
+        .document
+        .to_xml();
+    post.create_index("hotel", "metro_id", IndexKind::Hash)
+        .unwrap();
+    post.execute_dml("INSERT INTO hotel VALUES (15, 'ritz', 5, 2)")
+        .unwrap();
+    let after_xml = Engine::new(&v)
+        .session()
+        .publish(&post)
+        .unwrap()
+        .document
+        .to_xml();
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let engine = engine.clone();
+            let (db, before_xml, after_xml) = (&db, &before_xml, &after_xml);
+            s.spawn(move || {
+                for _ in 0..20 {
+                    let guard = db.read().unwrap();
+                    let xml = engine.session().publish(&guard).unwrap().document.to_xml();
+                    assert!(
+                        xml == *before_xml || xml == *after_xml,
+                        "stale or torn document: {xml}"
+                    );
+                }
+            });
+        }
+        // Mid-flight writer: CREATE INDEX changes the catalog fingerprint
+        // (plans recompile), the INSERT changes data only (plans reused).
+        let mut guard = db.write().unwrap();
+        guard
+            .create_index("hotel", "metro_id", IndexKind::Hash)
+            .unwrap();
+        guard
+            .execute_dml("INSERT INTO hotel VALUES (15, 'ritz', 5, 2)")
+            .unwrap();
+        drop(guard);
+    });
+
+    // After the dust settles the engine serves the post-mutation document
+    // from a cache warmed for the *new* catalog (the first publish warms
+    // it in case every racing reader finished before the writer landed).
+    engine.session().publish(&db.read().unwrap()).unwrap();
+    let settled = engine.session().publish(&db.read().unwrap()).unwrap();
+    assert_eq!(settled.document.to_xml(), after_xml);
+    assert_eq!(settled.stats.plans_prepared, 0);
+    assert_eq!(settled.stats.plan_cache_hit_rate(), 1.0);
 }

@@ -25,7 +25,10 @@ fn main() {
     println!("== Figure 4: the stylesheet ==\n{}", stylesheet.to_xslt());
 
     // The naive pipeline.
-    let naive = Publisher::new(&view).publish(&db).expect("publish v");
+    let naive = Engine::new(&view)
+        .session()
+        .publish(&db)
+        .expect("publish v");
     let (full, naive_stats) = (naive.document, naive.stats);
     println!(
         "== v(I): the full published document ==\n{}",
@@ -59,7 +62,10 @@ fn main() {
     println!("== Figure 7(c): stylesheet view ==\n{}", composed.render());
 
     // Evaluate it directly — no XSLT processing, no intermediate nodes.
-    let published = Publisher::new(&composed).publish(&db).expect("publish v'");
+    let published = Engine::new(&composed)
+        .session()
+        .publish(&db)
+        .expect("publish v'");
     let (direct, composed_stats) = (published.document, published.stats);
     assert!(documents_equal_unordered(&expected, &direct));
     println!("v'(I) = x(v(I))  ✓\n");

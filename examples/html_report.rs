@@ -68,12 +68,16 @@ fn main() {
     );
 
     // Verify against the reference engine.
-    let full = Publisher::new(&view)
+    let full = Engine::new(&view)
+        .session()
         .publish(&db)
         .expect("publish v")
         .document;
     let expected = process(&stylesheet, &full).expect("engine");
-    let published = Publisher::new(composed).publish(&db).expect("publish v'");
+    let published = Engine::new(composed)
+        .session()
+        .publish(&db)
+        .expect("publish v'");
     let (html, stats) = (published.document, published.stats);
     assert!(documents_equal_unordered(&expected, &html));
 

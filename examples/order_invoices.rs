@@ -175,7 +175,10 @@ fn main() {
         composed.render()
     );
 
-    let published = Publisher::new(composed).publish(&db).expect("publish v'");
+    let published = Engine::new(composed)
+        .session()
+        .publish(&db)
+        .expect("publish v'");
     let (invoices, stats) = (published.document, published.stats);
     println!(
         "== invoices, straight from SQL ==\n{}",
@@ -183,7 +186,10 @@ fn main() {
     );
 
     // Cross-check against the reference pipeline.
-    let naive = Publisher::new(&view).publish(&db).expect("publish v");
+    let naive = Engine::new(&view)
+        .session()
+        .publish(&db)
+        .expect("publish v");
     let (full, naive_stats) = (naive.document, naive.stats);
     let expected = process(&stylesheet, &full).expect("engine");
     assert!(documents_equal_unordered(&expected, &invoices));

@@ -44,7 +44,7 @@ fn main() {
     .expect("valid view");
 
     println!("== the publishing view v ==\n{}", view.render());
-    let published = Publisher::new(&view).publish(&db).expect("publish");
+    let published = Engine::new(&view).session().publish(&db).expect("publish");
     let (doc, stats) = (published.document, published.stats);
     println!("== v(I) ==\n{}", doc.to_pretty_xml());
     println!("(materialized {} elements)\n", stats.elements);
@@ -73,7 +73,10 @@ fn main() {
         .expect("composable")
         .view;
     println!("== the stylesheet view v' ==\n{}", composed.render());
-    let published = Publisher::new(&composed).publish(&db).expect("publish v'");
+    let published = Engine::new(&composed)
+        .session()
+        .publish(&db)
+        .expect("publish v'");
     let (direct, stats) = (published.document, published.stats);
     println!("== v'(I) — composed ==\n{}", direct.to_pretty_xml());
     println!(

@@ -39,7 +39,10 @@ fn main() {
 
     // Evaluate on an instance dense enough to clear the @count thresholds.
     let db = dense_availability_database();
-    let published = Publisher::new(&rc.view).publish(&db).expect("publish v'");
+    let published = Engine::new(&rc.view)
+        .session()
+        .publish(&db)
+        .expect("publish v'");
     let (materialized, stats) = (published.document, published.stats);
     println!("== v'(I) ==\n{}", materialized.to_pretty_xml());
     println!(

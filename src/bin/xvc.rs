@@ -9,6 +9,8 @@
 //! xvc explain --view v.view --xslt s.xsl --ddl schema.sql [--rewrites]
 //! xvc stats   --view v.view --xslt s.xsl --ddl schema.sql [--data DIR]
 //! xvc deps    --view v.view --xslt s.xsl --ddl schema.sql [--json]
+//! xvc serve   --view v.view --ddl schema.sql --data DIR [--xslt s.xsl]
+//!             [--addr HOST:PORT] [--threads N] [--parallel N]
 //! xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE]
 //! ```
 //!
@@ -29,7 +31,7 @@
 //!   ([`xvc::core::deps`]): every base `(table, column)` the TVQ reads,
 //!   partitioned by role (scan/join-key/predicate/guard/output) and
 //!   classified for update-safety, each edge justified by a fact chain —
-//!   the map that drives `Publisher::republish_delta`;
+//!   the map that drives `Session::republish_delta`;
 //! * `check` runs the static analyzer (dialect conformance, tag-query
 //!   scoping/typing, CTG blowup prediction) and prints rustc-style
 //!   diagnostics; positional files are classified by extension
@@ -130,6 +132,9 @@ struct Opts {
     optimize: bool,
     prune: bool,
     json: bool,
+    addr: Option<String>,
+    threads: Option<usize>,
+    parallel: Option<usize>,
 }
 
 fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
@@ -149,6 +154,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
         optimize: false,
         prune: false,
         json: false,
+        addr: None,
+        threads: None,
+        parallel: None,
     };
     let mut it = args.into_iter().skip(1);
     while let Some(arg) = it.next() {
@@ -163,6 +171,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
                         .ok_or_else(|| CliError::usage("--sql needs a query argument"))?,
                 )
             }
+            "--addr" => {
+                opts.addr = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--addr needs a host:port argument"))?,
+                )
+            }
+            "--threads" => opts.threads = Some(count_arg(&mut it, "--threads")?),
+            "--parallel" => opts.parallel = Some(count_arg(&mut it, "--parallel")?),
             "--rewrites" => opts.rewrites = true,
             "--optimize" => opts.optimize = true,
             "--prune" => opts.prune = true,
@@ -214,6 +230,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
             cmd_deps(&opts)?;
             ExitCode::SUCCESS
         }
+        "serve" => {
+            cmd_serve(&opts)?;
+            ExitCode::SUCCESS
+        }
         "check" => cmd_check(&opts)?,
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -240,7 +260,13 @@ fn usage() -> String {
      xvc stats   --view FILE --xslt FILE --ddl FILE [--data DIR] [--rewrites] [--optimize] \
      [--prune]\n  \
      xvc deps    --view FILE --xslt FILE --ddl FILE [--json]\n  \
+     xvc serve   --view FILE --ddl FILE --data DIR [--xslt FILE] \
+     [--addr HOST:PORT] [--threads N] [--parallel N]\n  \
      xvc check   [FILE...] [--view FILE] [--xslt FILE] [--ddl FILE] [--json]\n\n\
+     `serve` loads everything once, composes when --xslt is given, and answers\n\
+     GET /doc, GET /publish, POST /dml, POST /ddl, GET /stats, GET /healthz and\n\
+     POST /shutdown over HTTP from a pool of --threads workers (default 4)\n\
+     sharing one plan cache.\n\
      `check` classifies positional files by extension: .view (publishing view),\n\
      .xsl/.xslt (stylesheet), .sql/.ddl (catalog). It exits 0 when only\n\
      warnings were emitted, 1 on error-level diagnostics, 2 on usage errors.\n\
@@ -255,6 +281,14 @@ fn path_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf
     it.next()
         .map(PathBuf::from)
         .ok_or_else(|| CliError::usage(format!("{flag} needs a path argument")))
+}
+
+fn count_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, CliError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a number argument")))?;
+    raw.parse()
+        .map_err(|_| CliError::usage(format!("{flag} needs a number, got `{raw}`")))
 }
 
 /// The path for `flag`, or the legacy "missing --flag FILE" failure
@@ -336,7 +370,7 @@ fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
         require(&opts.ddl, "--ddl FILE")?,
         require(&opts.data, "--data DIR")?,
     )?;
-    let published = Publisher::new(&view).publish(&db)?;
+    let published = Engine::new(&view).session().publish(&db)?;
     emit(&published.document, opts.pretty);
     let stats = &published.stats;
     eprintln!(
@@ -354,13 +388,13 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         require(&opts.data, "--data DIR")?,
     )?;
     if opts.naive {
-        let full = Publisher::new(&view).publish(&db)?.document;
+        let full = Engine::new(&view).session().publish(&db)?.document;
         let out = process(&xslt, &full)?;
         emit(&out, opts.pretty);
         return Ok(());
     }
     let composition = compose_view(&view, &xslt, &db.catalog(), opts)?;
-    let published = Publisher::new(&composition.view).publish(&db)?;
+    let published = Engine::new(&composition.view).session().publish(&db)?;
     // Belt and braces: verify against the naive pipeline; on disagreement,
     // report where and which tag query is responsible.
     match check_composition(&view, &composition.stylesheet, &composition.view, &db) {
@@ -447,13 +481,13 @@ fn cmd_stats(opts: &Opts) -> Result<(), CliError> {
         println!("  {line}");
     }
     // With data, also measure what executing the composed view costs —
-    // publishing twice through one Publisher so the plan cache shows a
+    // publishing twice through one warm session so the plan cache shows a
     // steady-state (warm) hit rate.
     if let Some(dir) = &opts.data {
         let db = load_database(require(&opts.ddl, "--ddl FILE")?, dir)?;
-        let mut publisher = Publisher::new(&composition.view);
-        publisher.publish(&db)?; // cold: fills the plan cache
-        let published = publisher.publish(&db)?;
+        let mut session = Engine::new(&composition.view).session();
+        session.publish(&db)?; // cold: fills the plan cache
+        let published = session.publish(&db)?;
         let p = &published.stats;
         println!("publish (composed v'(I)):");
         println!(
@@ -508,6 +542,39 @@ fn cmd_deps(opts: &Opts) -> Result<(), CliError> {
     } else {
         print!("{}", map.render());
     }
+    Ok(())
+}
+
+/// `xvc serve`: composes once (when `--xslt` is given), loads the data,
+/// and serves publish/DML/DDL/stats requests from a worker pool behind one
+/// shared `Engine`. Prints the bound address on stdout (flushed, so
+/// scripts can wait on it) and blocks until `POST /shutdown`.
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    use std::io::Write as _;
+
+    let view = load_view(require(&opts.view, "--view FILE")?)?;
+    let db = load_database(
+        require(&opts.ddl, "--ddl FILE")?,
+        require(&opts.data, "--data DIR")?,
+    )?;
+    let tree = match &opts.xslt {
+        Some(path) => {
+            let xslt = load_xslt(path)?;
+            compose_view(&view, &xslt, &db.catalog(), opts)?.view
+        }
+        None => view,
+    };
+    let threads = opts.threads.unwrap_or(4);
+    let engine = Engine::new(&tree).parallel(opts.parallel.unwrap_or(1));
+    let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7070");
+    let server = xvc::serve::Server::start(engine, db, addr, threads)
+        .map_err(|e| CliError::from(format!("serve: {e}")))?;
+    println!(
+        "listening on http://{} ({threads} worker threads)",
+        server.addr()
+    );
+    std::io::stdout().flush().ok();
+    server.join();
     Ok(())
 }
 

@@ -58,14 +58,16 @@
 //! // Compose: the stylesheet disappears into SQL.
 //! let composition = Composer::new(&view, &xslt, &db.catalog()).run().unwrap();
 //!
-//! // Publish through a Publisher: tag queries are compiled to prepared
-//! // plans once and cached across publishes; `.parallel(n)` evaluates
-//! // independent root subtrees on n threads.
-//! let mut publisher = Publisher::new(&composition.view);
-//! let direct = publisher.publish(&db).unwrap().document;
+//! // Publish through an Engine: tag queries are compiled to prepared
+//! // plans once and cached across publishes (and across concurrent
+//! // sessions); `.parallel(n)` evaluates independent root subtrees on n
+//! // threads. Each request-scoped Session publishes through the shared
+//! // warm cache.
+//! let engine = Engine::new(&composition.view);
+//! let direct = engine.session().publish(&db).unwrap().document;
 //!
 //! // Same document as materializing the view and running the stylesheet.
-//! let full = Publisher::new(&view).publish(&db).unwrap().document;
+//! let full = Engine::new(&view).session().publish(&db).unwrap().document;
 //! let expected = process(&xslt, &full).unwrap();
 //! assert!(documents_equal_unordered(&direct, &expected));
 //! assert_eq!(
@@ -85,8 +87,11 @@
 //! | [`xslt`] (`xvc-xslt`) | stylesheet model, Figure-5 engine, `XSLT_basic` checks, §5.2 rewrites |
 //! | [`core`] (`xvc-core`) | the composition algorithm: CTG → TVQ → OTT → stylesheet view; §5.3 recursion |
 //! | [`analyze`] (`xvc-analyze`) | `xvc check` static analysis: dialect conformance, tag-query typing, CTG blowup prediction |
+//! | [`serve`] (in this crate) | `xvc serve`: a concurrent publishing server over one shared [`view::Engine`] |
 
 #![warn(missing_docs)]
+
+pub mod serve;
 
 pub use xvc_analyze as analyze;
 pub use xvc_core as core;
@@ -108,8 +113,8 @@ pub mod prelude {
         EvalStats, PreparedPlan, SelectQuery, TableSchema, Value,
     };
     pub use xvc_view::{
-        analyze_view_bounds, AttrProjection, PublishStats, PublishTrace, Published, Publisher,
-        SchemaTree, ViewBounds, ViewNode,
+        analyze_view_bounds, AttrProjection, Engine, EngineTotals, PublishStats, PublishTrace,
+        Published, SchemaTree, Session, ViewBounds, ViewNode,
     };
     pub use xvc_xml::{documents_equal_unordered, Document};
     pub use xvc_xpath::{parse_expr, parse_path, parse_pattern};

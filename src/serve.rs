@@ -1,0 +1,551 @@
+//! `xvc serve` — a concurrent publishing server over one shared [`Engine`].
+//!
+//! The server loads the catalog, data and (composed) view once at startup,
+//! publishes the initial document, and then answers requests from a fixed
+//! pool of worker threads. Every worker publishes through the same
+//! [`Engine`], so prepared plans are compiled once and shared; per-request
+//! state (memo, trace, statistics) lives in a throwaway
+//! [`Session`](crate::view::Session) per request.
+//!
+//! The protocol is a deliberately small HTTP/1.1 subset (no external
+//! dependencies — the request parser and response writer are hand-rolled
+//! over [`std::net::TcpStream`], with keep-alive):
+//!
+//! | method & path   | body    | response |
+//! |-----------------|---------|----------|
+//! | `GET /doc`      | —       | the currently published document (XML) |
+//! | `GET /publish`  | —       | a fresh `v(I)` against the live database (`?pretty=1` pretty-prints) |
+//! | `POST /dml`     | SQL     | executes `INSERT`/`DELETE`, absorbs the delta via [`Session::republish_delta`](crate::view::Session::republish_delta), returns a JSON summary |
+//! | `POST /ddl`     | SQL     | executes `CREATE TABLE`/`CREATE INDEX`, republishes in full (the catalog fingerprint changed, so the plan cache recompiles), returns JSON |
+//! | `GET /stats`    | —       | engine totals + server counters as JSON |
+//! | `GET /healthz`  | —       | `ok` |
+//! | `POST /shutdown`| —       | acknowledges, then stops accepting and drains workers |
+//!
+//! Writes serialize on the published-document lock, then mutate the
+//! database under its write lock, then republish under its read lock —
+//! readers (`/publish`, `/doc`) never block each other and never observe a
+//! half-applied mutation. Unknown paths get 404, malformed SQL 400; every
+//! response carries `Content-Length`, so clients can pipeline over one
+//! connection.
+
+// Curated clippy::pedantic subset shared with `xvc-rel` / `xvc-view` /
+// `xvc-analyze` (kept clean under `-D warnings` in ci.sh).
+#![warn(
+    clippy::doc_markdown,
+    clippy::explicit_iter_loop,
+    clippy::items_after_statements,
+    clippy::manual_let_else,
+    clippy::match_same_arms,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned,
+    clippy::uninlined_format_args
+)]
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::rel::Database;
+use crate::view::{Engine, Published};
+
+/// How long a worker blocks on a socket read before re-checking the
+/// shutdown flag. Bounds shutdown latency for idle keep-alive connections.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Upper bound on a request body (`/dml`, `/ddl` SQL).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// The last published document, kept so `/doc` is a cache read and so
+/// deltas chain: each `/dml` splices into the previous [`Published`].
+struct DocState {
+    published: Published,
+    xml: String,
+}
+
+/// Everything the acceptor and the workers share.
+struct State {
+    engine: Engine,
+    db: RwLock<Database>,
+    doc: RwLock<DocState>,
+    running: AtomicBool,
+    addr: SocketAddr,
+    threads: usize,
+    requests: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+/// A running `xvc serve` instance: an acceptor thread feeding a fixed
+/// worker pool over a channel. Start with [`Server::start`]; stop with
+/// [`Server::shutdown`] (or `POST /shutdown`) and reap with
+/// [`Server::join`].
+pub struct Server {
+    state: Arc<State>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7070`; port `0` picks a free one),
+    /// publishes the initial document from `db` through `engine` — which
+    /// warms the shared plan cache before the first request arrives — and
+    /// spawns `threads` workers (at least one).
+    ///
+    /// The engine is switched to [`Engine::incremental`] so `/dml` can
+    /// splice deltas into the served document.
+    pub fn start(engine: Engine, db: Database, addr: &str, threads: usize) -> io::Result<Server> {
+        let engine = engine.incremental(true);
+        let published = engine
+            .session()
+            .publish(&db)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let xml = published.document.to_xml();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let threads = threads.max(1);
+        let state = Arc::new(State {
+            engine,
+            db: RwLock::new(db),
+            doc: RwLock::new(DocState { published, xml }),
+            running: AtomicBool::new(true),
+            addr: local,
+            threads,
+            requests: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("xvc-serve-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))?,
+            );
+        }
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("xvc-serve-accept".to_owned())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if !state.running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            // A send only fails after every worker exited,
+                            // which only happens once tx is dropped — i.e.
+                            // never while we are still accepting.
+                            let _ = tx.send(stream);
+                        }
+                    }
+                    // Dropping tx closes the channel; workers drain what
+                    // was queued and then exit.
+                })?
+        };
+        Ok(Server {
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the resolved port when started with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests served so far (all endpoints, including errors).
+    pub fn requests(&self) -> usize {
+        self.state.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new connections and tells workers to finish up.
+    /// Idempotent; `join` afterwards to wait for them.
+    pub fn shutdown(&self) {
+        self.state.running.store(false, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.state.addr);
+    }
+
+    /// Waits for the acceptor and every worker to exit. Call after
+    /// [`Server::shutdown`] (or let a `POST /shutdown` trigger it) —
+    /// joining a server nobody asked to stop blocks until somebody does.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One parsed request off the wire.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+    close: bool,
+}
+
+/// One response about to go onto the wire.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    /// Set by `POST /shutdown`: reply first, then stop the server.
+    shutdown: bool,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+            shutdown: false,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{message}\n"),
+            shutdown: false,
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(stream) = stream else {
+            break; // channel closed: the acceptor is gone
+        };
+        let _ = handle_conn(state, stream);
+    }
+}
+
+/// Serves one connection until the client closes it, asks to close, or the
+/// server shuts down. Errors just drop the connection — the client sees a
+/// reset, the server moves on.
+fn handle_conn(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    loop {
+        let Some(request) = read_request(&mut reader, &state.running)? else {
+            return Ok(()); // clean close (EOF, or idle at shutdown)
+        };
+        let response = dispatch(state, &request);
+        state.requests.fetch_add(1, Ordering::SeqCst);
+        if response.status >= 400 {
+            state.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        let keep = !request.close && !response.shutdown && state.running.load(Ordering::SeqCst);
+        write_response(&mut out, &response, keep)?;
+        if response.shutdown {
+            state.running.store(false, Ordering::SeqCst);
+            let _ = TcpStream::connect(state.addr); // wake the acceptor
+        }
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one request head + body. `Ok(None)` means "close the connection
+/// quietly": EOF between requests, or shutdown while idle. Socket-read
+/// timeouts are retried while the server runs so keep-alive connections
+/// can sit idle without pinning an error path.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    running: &AtomicBool,
+) -> io::Result<Option<Request>> {
+    let Some(request_line) = read_head_line(reader, running)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::other("malformed request line"));
+    };
+    let (method, target) = (method.to_owned(), target.to_owned());
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut head = request_line.len();
+    loop {
+        let Some(line) = read_head_line(reader, running)? else {
+            return Ok(None);
+        };
+        head += line.len();
+        if head > MAX_HEAD {
+            return Err(io::Error::other("request head too large"));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| io::Error::other("bad content-length"))?;
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::other("request body too large"));
+    }
+    let Some(body) = read_body(reader, content_length, running)? else {
+        return Ok(None);
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        close,
+    }))
+}
+
+/// One CRLF-terminated head line, timeouts retried while `running`.
+/// `Ok(None)`: EOF with nothing buffered, or shutdown.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    running: &AtomicBool,
+) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(line.trim_end_matches(['\r', '\n']).to_owned())),
+            Err(e) if is_timeout(&e) => {
+                if !running.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    running: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if !running.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn write_response(out: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    out.write_all(head.as_bytes())?;
+    out.write_all(response.body.as_bytes())?;
+    out.flush()
+}
+
+fn dispatch(state: &Arc<State>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::ok("text/plain; charset=utf-8", "ok\n".to_owned()),
+        ("GET", "/doc") => {
+            let doc = state.doc.read().unwrap_or_else(PoisonError::into_inner);
+            Response::ok("application/xml", doc.xml.clone())
+        }
+        ("GET" | "POST", "/publish") => handle_publish(state, &request.query),
+        ("POST", "/dml") => handle_dml(state, &request.body),
+        ("POST", "/ddl") => handle_ddl(state, &request.body),
+        ("GET", "/stats") => Response::ok("application/json", stats_json(state)),
+        ("POST", "/shutdown") => Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: "shutting down\n".to_owned(),
+            shutdown: true,
+        },
+        ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint: {}", request.path)),
+        _ => Response::error(405, &format!("unsupported method: {}", request.method)),
+    }
+}
+
+/// `GET /publish`: a fresh publish against the live database through a
+/// throwaway session. Concurrent calls share the warm plan cache and block
+/// only if a write is mid-flight.
+fn handle_publish(state: &Arc<State>, query: &str) -> Response {
+    let pretty = query_flag(query, "pretty");
+    let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
+    match state.engine.session().publish(&db) {
+        Ok(published) => {
+            let body = if pretty {
+                published.document.to_pretty_xml()
+            } else {
+                published.document.to_xml()
+            };
+            Response::ok("application/xml", body)
+        }
+        Err(e) => Response::error(500, &format!("publish failed: {e}")),
+    }
+}
+
+/// `POST /dml`: executes the SQL, maps the delta through the dependency
+/// map and splices the served document in place. Lock order is doc.write →
+/// db.write (mutation) → db.read (republish); every write takes the same
+/// order, so writes serialize and readers interleave safely.
+fn handle_dml(state: &Arc<State>, body: &[u8]) -> Response {
+    let Ok(sql) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let mut doc = state.doc.write().unwrap_or_else(PoisonError::into_inner);
+    let delta = {
+        let mut db = state.db.write().unwrap_or_else(PoisonError::into_inner);
+        match db.execute_dml(sql) {
+            Ok(delta) => delta,
+            Err(e) => return Response::error(400, &format!("dml failed: {e}")),
+        }
+    };
+    let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
+    let mut session = state.engine.session();
+    match session.republish_delta(&db, &doc.published, &delta) {
+        Ok(published) => {
+            let stats = &published.stats;
+            let body = format!(
+                "{{\"delta_rows\":{},\"nodes_respliced\":{},\"batches_reexecuted\":{},\"elements\":{}}}\n",
+                delta.row_count(),
+                stats.nodes_respliced,
+                stats.batches_reexecuted,
+                stats.elements,
+            );
+            doc.xml = published.document.to_xml();
+            doc.published = published;
+            Response::ok("application/json", body)
+        }
+        Err(e) => Response::error(500, &format!("republish failed: {e}")),
+    }
+}
+
+/// `POST /ddl`: `CREATE TABLE` / `CREATE INDEX` against the live database.
+/// The catalog fingerprint changes, so the next publish recompiles the
+/// shared plan cache; the served document is republished in full here so
+/// `/doc` never trails the schema.
+fn handle_ddl(state: &Arc<State>, body: &[u8]) -> Response {
+    let Ok(sql) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let mut doc = state.doc.write().unwrap_or_else(PoisonError::into_inner);
+    let applied = {
+        let mut db = state.db.write().unwrap_or_else(PoisonError::into_inner);
+        match db.execute_ddl(sql) {
+            Ok(applied) => applied,
+            Err(e) => return Response::error(400, &format!("ddl failed: {e}")),
+        }
+    };
+    let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
+    match state.engine.session().publish(&db) {
+        Ok(published) => {
+            doc.xml = published.document.to_xml();
+            doc.published = published;
+            Response::ok(
+                "application/json",
+                format!("{{\"statements\":{applied}}}\n"),
+            )
+        }
+        Err(e) => Response::error(500, &format!("republish failed: {e}")),
+    }
+}
+
+/// `GET /stats`: engine totals (all sessions, all workers) plus server
+/// counters, as one flat JSON object.
+fn stats_json(state: &Arc<State>) -> String {
+    let totals = state.engine.totals();
+    let s = &totals.stats;
+    format!(
+        concat!(
+            "{{\"publishes\":{},\"delta_publishes\":{},",
+            "\"plans_prepared\":{},\"plan_cache_hits\":{},\"plan_cache_hit_rate\":{:.6},",
+            "\"elements\":{},\"queries_run\":{},\"tuples_fetched\":{},",
+            "\"nodes_respliced\":{},\"batches_reexecuted\":{},",
+            "\"requests\":{},\"errors\":{},\"threads\":{}}}\n"
+        ),
+        totals.publishes,
+        totals.delta_publishes,
+        s.plans_prepared,
+        s.plan_cache_hits,
+        s.plan_cache_hit_rate(),
+        s.elements,
+        s.queries_run,
+        s.tuples_fetched,
+        s.nodes_respliced,
+        s.batches_reexecuted,
+        state.requests.load(Ordering::SeqCst),
+        state.errors.load(Ordering::SeqCst),
+        state.threads,
+    )
+}
+
+/// `true` when `name` appears in the query string as `name`, `name=1` or
+/// `name=true`.
+fn query_flag(query: &str, name: &str) -> bool {
+    query.split('&').any(|pair| {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        key == name && matches!(value, "" | "1" | "true")
+    })
+}

@@ -1,4 +1,4 @@
-//! Delta-publish property tests: `Publisher::republish_delta` absorbs a
+//! Delta-publish property tests: `Session::republish_delta` absorbs a
 //! write through the `xvc_rel` DML path and must be indistinguishable —
 //! byte-for-byte — from republishing the whole document, on both the
 //! in-memory and paged storage backends. A soundness property pins the
@@ -86,7 +86,7 @@ fn run_delta(db: &mut Database, seed: u64) -> (Published, Published, Vec<String>
         .expect("generated stylesheets compose")
         .view;
 
-    let mut publisher = Publisher::new(&composed).incremental(true);
+    let mut publisher = Engine::new(&composed).incremental(true).session();
     let prev = publisher.publish(db).expect("initial publish");
     let delta = db
         .execute_dml(&delta_sql(&db.catalog(), seed))

@@ -18,7 +18,10 @@ fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<Sch
 }
 
 fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
-    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+    Engine::new(v)
+        .session()
+        .publish(db)
+        .map(|p| (p.document, p.stats))
 }
 
 /// A library of composable stylesheets over the Figure 1 view. Each entry
@@ -160,8 +163,9 @@ fn check(name: &str, xslt: &str, needs_rewrites: bool, db: &Database) {
     let expected = process(&stylesheet, &full).unwrap_or_else(|e| panic!("{name}: engine: {e}"));
     // The composed side runs the PR's headline path: prepared plans plus
     // four worker threads for the root-level siblings.
-    let actual = Publisher::new(&composed)
+    let actual = Engine::new(&composed)
         .parallel(4)
+        .session()
         .publish(db)
         .unwrap_or_else(|e| panic!("{name}: publish v': {e}"))
         .document;

@@ -67,7 +67,8 @@ fn assert_bounds_sound(
     bounds: &ViewBounds,
     context: &str,
 ) -> Result<(), TestCaseError> {
-    let bounded = Publisher::new(composed)
+    let bounded = Engine::new(composed)
+        .session()
         .publish(db)
         .expect("publish bounded");
     // Soundness: measured per-wave batch sizes and the total element
@@ -88,8 +89,9 @@ fn assert_bounds_sound(
     }
     // Exactness: steering plans by the bounds must not change the
     // document, byte for byte.
-    let heuristic = Publisher::new(composed)
+    let heuristic = Engine::new(composed)
         .bounded(false)
+        .session()
         .publish(db)
         .expect("publish unbounded");
     prop_assert_eq!(
@@ -168,7 +170,7 @@ proptest! {
         let view = figure1_view();
         let catalog = db.catalog();
         let bounds = analyze_view_bounds(&view, &catalog);
-        let published = Publisher::new(&view).publish(&db).expect("publish");
+        let published = Engine::new(&view).session().publish(&db).expect("publish");
         if let Some(limit) = bounds.document.as_limit() {
             prop_assert!(published.stats.elements as u64 <= limit);
         }

@@ -17,7 +17,10 @@ fn compose(v: &SchemaTree, x: &Stylesheet, c: &Catalog) -> xvc::core::Result<Sch
 }
 
 fn publish(v: &SchemaTree, db: &Database) -> xvc::view::Result<(Document, PublishStats)> {
-    Publisher::new(v).publish(db).map(|p| (p.document, p.stats))
+    Engine::new(v)
+        .session()
+        .publish(db)
+        .map(|p| (p.document, p.stats))
 }
 
 /// Case count: the in-tree default, overridable via `PROPTEST_CASES` for

@@ -1,0 +1,221 @@
+//! End-to-end tests for `xvc::serve`: an in-process server on an ephemeral
+//! port, exercised over real sockets with the guide workload
+//! (`examples/files/`). The invariant under test is the server one: every
+//! served document is byte-identical to what a single-process publish of
+//! the same (composed) view produces, before and after writes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use xvc::prelude::*;
+use xvc::serve::Server;
+
+fn guide_database() -> Database {
+    let ddl = std::fs::read_to_string("examples/files/schema.sql").expect("schema.sql");
+    let mut db = xvc::rel::database_from_ddl(&ddl).expect("catalog");
+    for table in ["city", "sight"] {
+        let csv = std::fs::read_to_string(format!("examples/files/data/{table}.csv"))
+            .expect("csv fixture");
+        xvc::rel::load_csv(&mut db, table, &csv).expect("csv load");
+    }
+    db
+}
+
+fn guide_composed(db: &Database) -> SchemaTree {
+    let view = xvc::view::parse_view(
+        &std::fs::read_to_string("examples/files/guide.view").expect("guide.view"),
+    )
+    .expect("view parses");
+    let xslt =
+        parse_stylesheet(&std::fs::read_to_string("examples/files/guide.xsl").expect("guide.xsl"))
+            .expect("stylesheet parses");
+    Composer::new(&view, &xslt, &db.catalog())
+        .run()
+        .expect("composes")
+        .view
+}
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).expect("send head");
+        self.writer.write_all(body.as_bytes()).expect("send body");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            assert_ne!(
+                self.reader.read_line(&mut header).expect("header"),
+                0,
+                "connection closed mid-response"
+            );
+            if header.trim().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        self.reader.read_exact(&mut buf).expect("body");
+        (status, String::from_utf8(buf).expect("utf-8 body"))
+    }
+}
+
+fn counter(stats: &str, key: &str) -> u64 {
+    let start = stats.find(&format!("\"{key}\":")).expect("counter present") + key.len() + 3;
+    let rest = &stats[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric counter")
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_documents() {
+    let db = guide_database();
+    let composed = guide_composed(&db);
+    let expected = Engine::new(&composed)
+        .session()
+        .publish(&db)
+        .expect("reference publish")
+        .document
+        .to_xml();
+
+    let server = Server::start(Engine::new(&composed).parallel(2), db, "127.0.0.1:0", 4)
+        .expect("server starts");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let expected = expected.as_str();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..5 {
+                    let (status, body) = client.request("GET", "/publish", "");
+                    assert_eq!(status, 200);
+                    assert_eq!(body, expected, "served /publish diverged");
+                    let (status, body) = client.request("GET", "/doc", "");
+                    assert_eq!(status, 200);
+                    assert_eq!(body, expected, "served /doc diverged");
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr);
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    // Startup publish + 8 clients x 5 /publish requests.
+    assert_eq!(counter(&stats, "publishes"), 41);
+    // One session (the startup publish) compiled every plan; all 40
+    // concurrent publishes were pure cache hits.
+    let prepared = counter(&stats, "plans_prepared");
+    let hits = counter(&stats, "plan_cache_hits");
+    assert!(prepared > 0, "startup publish should compile plans");
+    assert_eq!(hits % prepared, 0, "hits must be whole warm publishes");
+    assert_eq!(hits / prepared, 40, "every request should hit the cache");
+    assert_eq!(counter(&stats, "errors"), 0);
+
+    let (status, _) = client.request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join();
+}
+
+#[test]
+fn dml_and_ddl_keep_the_served_document_current() {
+    let db = guide_database();
+    let composed = guide_composed(&db);
+
+    // Reference: the same mutations applied to a private database copy.
+    let mut post_db = guide_database();
+    post_db
+        .execute_dml("INSERT INTO sight VALUES (99, 1, 'Navy Pier', 0)")
+        .expect("reference dml");
+    let expected_after = Engine::new(&composed)
+        .session()
+        .publish(&post_db)
+        .expect("reference publish")
+        .document
+        .to_xml();
+
+    let server =
+        Server::start(Engine::new(&composed), db, "127.0.0.1:0", 2).expect("server starts");
+    let mut client = Client::connect(server.addr());
+
+    let (status, body) = client.request(
+        "POST",
+        "/dml",
+        "INSERT INTO sight VALUES (99, 1, 'Navy Pier', 0)",
+    );
+    assert_eq!(status, 200, "dml failed: {body}");
+    assert!(
+        body.contains("\"delta_rows\":1"),
+        "unexpected dml reply: {body}"
+    );
+
+    let (status, doc) = client.request("GET", "/doc", "");
+    assert_eq!(status, 200);
+    assert_eq!(doc, expected_after, "/doc trails the DML");
+    let (status, fresh) = client.request("GET", "/publish", "");
+    assert_eq!(status, 200);
+    assert_eq!(fresh, expected_after, "/publish trails the DML");
+
+    // DDL: changes the catalog fingerprint (plan cache recompiles), but
+    // never the document.
+    let (status, body) = client.request(
+        "POST",
+        "/ddl",
+        "CREATE INDEX city_pop ON city (population) USING BTREE",
+    );
+    assert_eq!(status, 200, "ddl failed: {body}");
+    let (status, doc) = client.request("GET", "/doc", "");
+    assert_eq!(status, 200);
+    assert_eq!(doc, expected_after, "an index changed the document");
+
+    // Error paths stay on the connection: bad SQL is a 400, unknown
+    // endpoints 404, and the connection keeps serving afterwards.
+    let (status, _) = client.request("POST", "/dml", "UPDATE sight SET fee = 1");
+    assert_eq!(status, 400);
+    let (status, _) = client.request("GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/doc", "");
+    assert_eq!(status, 405);
+    let (status, stats) = client.request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(counter(&stats, "errors"), 3);
+    assert_eq!(counter(&stats, "delta_publishes"), 1);
+
+    server.shutdown();
+    server.join();
+}
