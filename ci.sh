@@ -89,6 +89,28 @@ if grep -q '"batches_delta": 0' BENCH_compose.json; then
     exit 1
 fi
 
+echo "== figures -- stream smoke (streamed-emission gates, reduced sizes)"
+# The binary publishes the same instances by materialize-then-serialize
+# and by Session::publish_to, aborting on any byte divergence, on streamed
+# emission >25% slower than materialized at the largest size (both
+# timings share the dominant relational term, so the gate carries its
+# noise), or on a streamed peak-allocation track that grows with document
+# size (it must stay within 2x across the 10x sweep). The greps
+# double-check the written artifact.
+cargo run --release --quiet -p xvc-bench --bin figures -- stream smoke
+if ! grep -q '"emit_streamed_ms"' BENCH_compose.json; then
+    echo "ci.sh: stream study missing from BENCH_compose.json" >&2
+    exit 1
+fi
+if ! grep -q '"emit_materialized_ms"' BENCH_compose.json; then
+    echo "ci.sh: materialized timings missing from the stream study" >&2
+    exit 1
+fi
+if grep -q '"peak_track_bytes_streamed": 0' BENCH_compose.json; then
+    echo "ci.sh: stream study tracked no emission allocations" >&2
+    exit 1
+fi
+
 echo "== xvc serve smoke (concurrent publishing server + load driver)"
 # Start the server on an ephemeral-ish port, generate the single-process
 # reference document with `xvc run`, then drive 4 concurrent clients for
@@ -116,6 +138,27 @@ if ! ./target/release/serve_load \
     echo "ci.sh: serve load run failed (errors or divergent responses)" >&2
     exit 1
 fi
+# GET /publish streams chunked; an independent client (python's stdlib
+# decoder, not the serve_load one) must see Transfer-Encoding: chunked and
+# decode to exactly the single-process `xvc run` document.
+python3 - "$SERVE_ADDR" <<'PYEOF'
+import http.client, sys
+host, port = sys.argv[1].rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=30)
+conn.request("GET", "/publish")
+resp = conn.getresponse()
+assert resp.status == 200, f"/publish returned {resp.status}"
+te = resp.getheader("Transfer-Encoding")
+assert te == "chunked", f"/publish is not chunked (Transfer-Encoding: {te})"
+ct = resp.getheader("Content-Type")
+assert ct == "application/xml; charset=utf-8", f"bad Content-Type: {ct}"
+body = resp.read().decode("utf-8")
+with open("artifacts/serve_expected.xml", encoding="utf-8") as f:
+    expected = f.read()
+assert body.strip() == expected.strip(), \
+    "chunked /publish decoded differently from the xvc run reference"
+print("chunked /publish byte-identical to the xvc run reference")
+PYEOF
 for key in throughput_rps p50_ms p99_ms; do
     if ! grep -q "\"$key\"" BENCH_serve.json; then
         echo "ci.sh: $key missing from BENCH_serve.json" >&2

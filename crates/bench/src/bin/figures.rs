@@ -12,6 +12,8 @@
 //! cargo run -p xvc-bench --bin figures --release -- incr         # delta-publish study
 //! cargo run -p xvc-bench --bin figures --release -- incr smoke   # reduced CI sizes
 //! cargo run -p xvc-bench --bin figures --release -- fuzz         # differential gate
+//! cargo run -p xvc-bench --bin figures --release -- stream       # emission study
+//! cargo run -p xvc-bench --bin figures --release -- stream smoke # reduced CI sizes
 //! ```
 //!
 //! Modes live in a single registry ([`MODES`]) that declares each mode's
@@ -50,6 +52,14 @@
 //! differentially: `v'(I)` vs `x(v(I))`, the bound-driven publisher vs
 //! the heuristic path (byte-identical documents required), and measured
 //! batch sizes vs the static cardinality bounds. Any divergence aborts.
+//!
+//! `stream` runs the emission study: the same publish delivered by
+//! materialize-then-serialize and by `Session::publish_to`, across a 10×
+//! document-size sweep at fixed root-subtree size. Streamed bytes must be
+//! identical, streamed emission must not be slower at the largest size,
+//! and the streamed peak-allocation track must stay flat (within 2×)
+//! while the materialized peak grows with the document — any failure
+//! aborts.
 
 use std::collections::BTreeSet;
 
@@ -57,7 +67,8 @@ use xvc_bench::experiments::{
     batch_bench, c1_chain_sweep, c2_fan_sweep, differential_fuzz, e1_scale_sweep,
     e3_selectivity_sweep, incr_sweep, prune_bench, render_comparison_table, render_cost_table,
     render_incr_objects, render_json_array, render_prune_objects, render_scale_objects,
-    scale_sweep, SCALE_FULL, SCALE_SMOKE,
+    render_stream_objects, scale_sweep, stream_sweep, SCALE_FULL, SCALE_SMOKE, STREAM_FULL,
+    STREAM_SMOKE,
 };
 use xvc_bench::figures::all_figures;
 
@@ -115,6 +126,11 @@ const MODES: &[Mode] = &[
         implies: &[],
         default: true,
     },
+    Mode {
+        name: "stream",
+        implies: &[],
+        default: true,
+    },
 ];
 
 /// Resolves a requested mode (or `""` for the default set) into the
@@ -157,7 +173,7 @@ fn main() {
     let on = |name: &str| active.contains(name);
     let (figures, tables) = (on("figures"), on("tables"));
     let (prune, plans, batch) = (on("prune"), on("plans"), on("batch"));
-    let (scale, incr, fuzz) = (on("scale"), on("incr"), on("fuzz"));
+    let (scale, incr, fuzz, stream) = (on("scale"), on("incr"), on("fuzz"), on("stream"));
 
     if figures {
         for (title, body) in all_figures() {
@@ -375,6 +391,64 @@ fn main() {
             "fuzz corpus never exercised a multi-binding batch — \
              the wide-fanout preset has regressed"
         );
+    }
+
+    if stream {
+        println!("\n==== stream: materialize-then-serialize vs streamed emission ====\n");
+        // Ascending document size at fixed root-subtree size: streamed
+        // emission's tracked peak is bounded by the largest subtree, so
+        // it must stay (nearly) flat across the 10x sweep while the
+        // materialized peak grows with the document. stream_bench itself
+        // hard-fails on any byte divergence from Document::to_xml().
+        let configs = if smoke { STREAM_SMOKE } else { STREAM_FULL };
+        let reps = if smoke { 5 } else { 3 };
+        let trows = stream_sweep(configs, reps);
+        for r in &trows {
+            println!(
+                "{}: emit materialized {:.3} ms vs streamed {:.3} ms ({:.2}x); \
+                 peak {} -> {} bytes ({:.1}x smaller), document {} bytes",
+                r.workload,
+                r.emit_materialized_ms,
+                r.emit_streamed_ms,
+                r.emit_materialized_ms / r.emit_streamed_ms,
+                r.peak_track_bytes_materialized,
+                r.peak_track_bytes_streamed,
+                r.peak_track_bytes_materialized as f64 / r.peak_track_bytes_streamed as f64,
+                r.doc_bytes,
+            );
+        }
+        let (first, last) = (
+            trows.first().expect("stream row"),
+            trows.last().expect("stream row"),
+        );
+        // Both timings include the identical relational publish (the
+        // dominant term at the largest size), so this comparison carries
+        // that term's run-to-run noise on a shared box; the gate is an
+        // anti-regression tripwire with 25% slack, not the study's claim.
+        // The structural claim is the flat peak asserted below.
+        assert!(
+            last.emit_streamed_ms <= last.emit_materialized_ms * 1.25,
+            "{}: streamed emission ({:.3} ms) more than 25% slower than \
+             materialize-then-serialize ({:.3} ms) — streaming regressed",
+            last.workload,
+            last.emit_streamed_ms,
+            last.emit_materialized_ms
+        );
+        assert!(
+            last.peak_track_bytes_streamed <= first.peak_track_bytes_streamed.saturating_mul(2),
+            "streamed emission peak grew with document size ({} -> {} bytes across a \
+             10x sweep) — per-task buffer reuse regressed",
+            first.peak_track_bytes_streamed,
+            last.peak_track_bytes_streamed
+        );
+        assert!(
+            last.peak_track_bytes_materialized >= first.peak_track_bytes_materialized * 4,
+            "materialized peak did not grow with document size ({} -> {} bytes) — \
+             the sweep no longer exercises the contrast the study exists for",
+            first.peak_track_bytes_materialized,
+            last.peak_track_bytes_materialized
+        );
+        json_objects.extend(render_stream_objects(&trows));
     }
 
     if !json_objects.is_empty() {

@@ -108,6 +108,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
         let mut content_length = 0usize;
+        let mut chunked = false;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -118,19 +119,52 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|e| std::io::Error::other(format!("content-length: {e}")))?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
                 }
             }
         }
-        let mut buf = vec![0u8; content_length];
-        self.reader.read_exact(&mut buf)?;
+        let buf = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let mut buf = vec![0u8; content_length];
+            self.reader.read_exact(&mut buf)?;
+            buf
+        };
         String::from_utf8(buf)
             .map(|body| (status, body))
             .map_err(|e| std::io::Error::other(format!("non-UTF-8 body: {e}")))
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` body (`GET /publish`
+    /// streams). A connection closed before the terminal zero-length chunk
+    /// is a truncated response and errors out — counted against the run.
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                return Err(std::io::Error::other("truncated chunked body"));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|e| std::io::Error::other(format!("chunk size: {e}")))?;
+            let mut chunk = vec![0u8; size + 2]; // data + trailing CRLF
+            self.reader.read_exact(&mut chunk)?;
+            if &chunk[size..] != b"\r\n" {
+                return Err(std::io::Error::other("chunk not CRLF-terminated"));
+            }
+            chunk.truncate(size);
+            if size == 0 {
+                return Ok(body);
+            }
+            body.extend_from_slice(&chunk);
+        }
     }
 }
 

@@ -15,8 +15,8 @@ use xvc_xml::documents_equal_unordered;
 use xvc_xslt::{process, Stylesheet};
 
 use crate::synthetic::{
-    chain_catalog, chain_stylesheet, chain_view, fan_stylesheet, needle_database, needle_indexed,
-    needle_view,
+    all_regions_view, chain_catalog, chain_stylesheet, chain_view, fan_stylesheet, needle_database,
+    needle_indexed, needle_view,
 };
 use crate::workload::{generate, WorkloadConfig};
 
@@ -774,6 +774,145 @@ pub fn render_scale_objects(rows: &[ScaleBenchRow]) -> Vec<String> {
                 r.scan_rows_scanned,
                 r.indexed_rows_scanned,
                 r.index_lookups,
+            )
+        })
+        .collect()
+}
+
+/// One data point of the streaming-emission study: the same publish
+/// delivered by materialize-then-serialize and by
+/// [`xvc_view::Session::publish_to`], against an instance whose document
+/// grows by adding root-level subtrees of fixed size.
+#[derive(Debug, Clone)]
+pub struct StreamBenchRow {
+    /// Human-readable workload name.
+    pub workload: String,
+    /// Total database rows.
+    pub db_rows: usize,
+    /// Serialized document size in bytes.
+    pub doc_bytes: u64,
+    /// Warm publish + `Document::to_xml` (arena document materialized,
+    /// then serialized into a fresh `String`).
+    pub emit_materialized_ms: f64,
+    /// Warm [`xvc_view::Session::publish_to`] into a byte sink — no
+    /// output document.
+    pub emit_streamed_ms: f64,
+    /// Tracked peak of the materializing path: the arena document's heap
+    /// plus the serialized string. Grows linearly with document size.
+    pub peak_track_bytes_materialized: u64,
+    /// Tracked peak of the streaming path's emission buffers
+    /// ([`xvc_view::Streamed::peak_emit_bytes`]): bounded by the largest
+    /// root-level subtree, flat as the document grows.
+    pub peak_track_bytes_streamed: u64,
+}
+
+/// Sizing for the stream study: a ≥10× document-size sweep at fixed
+/// subtree size ([`ScaleConfig::regions`] is the only axis that moves).
+pub const STREAM_FULL: &[ScaleConfig] = &[
+    ScaleConfig {
+        regions: 50,
+        customers_per_region: 10,
+        orders_per_customer: 9,
+    },
+    ScaleConfig {
+        regions: 500,
+        customers_per_region: 10,
+        orders_per_customer: 9,
+    },
+];
+
+/// Reduced stream-study sizes for the CI smoke run — still a 10× document
+/// sweep, small enough to finish in seconds.
+pub const STREAM_SMOKE: &[ScaleConfig] = &[
+    ScaleConfig {
+        regions: 20,
+        customers_per_region: 5,
+        orders_per_customer: 4,
+    },
+    ScaleConfig {
+        regions: 200,
+        customers_per_region: 5,
+        orders_per_customer: 4,
+    },
+];
+
+/// Publishes one stream-study instance both ways. The streamed bytes are
+/// asserted identical to `Document::to_xml()` before either timing loop
+/// runs — a benchmark row for divergent output would be meaningless.
+pub fn stream_bench(cfg: &ScaleConfig, reps: usize) -> StreamBenchRow {
+    let view = all_regions_view();
+    let db = needle_database(
+        cfg.regions,
+        cfg.customers_per_region,
+        cfg.orders_per_customer,
+    );
+    let db_rows = db.total_rows();
+
+    let mut session = Engine::new(&view).session();
+    let published = session.publish(&db).expect("publish materialized");
+    let reference = published.document.to_xml();
+    let peak_track_bytes_materialized =
+        (published.document.heap_estimate() + reference.len()) as u64;
+
+    let mut streamed_bytes = Vec::with_capacity(reference.len());
+    let streamed = session
+        .publish_to(&db, &mut streamed_bytes)
+        .expect("publish streamed");
+    assert_eq!(
+        String::from_utf8(streamed_bytes).expect("utf-8 stream"),
+        reference,
+        "streamed emission diverged from Document::to_xml() — \
+         benchmark would be meaningless"
+    );
+
+    let emit_materialized_ms = best_ms(reps, || {
+        let xml = session
+            .publish(&db)
+            .expect("publish materialized")
+            .document
+            .to_xml();
+        std::hint::black_box(xml);
+    });
+    let emit_streamed_ms = best_ms(reps, || {
+        let mut out = Vec::new();
+        session.publish_to(&db, &mut out).expect("publish streamed");
+        std::hint::black_box(out);
+    });
+
+    StreamBenchRow {
+        workload: format!(
+            "stream {} rows ({}r x {}c x {}o)",
+            db_rows, cfg.regions, cfg.customers_per_region, cfg.orders_per_customer
+        ),
+        db_rows,
+        doc_bytes: streamed.bytes_written,
+        emit_materialized_ms,
+        emit_streamed_ms,
+        peak_track_bytes_materialized,
+        peak_track_bytes_streamed: streamed.peak_emit_bytes as u64,
+    }
+}
+
+/// Runs [`stream_bench`] over a configuration family, ascending size.
+pub fn stream_sweep(configs: &[ScaleConfig], reps: usize) -> Vec<StreamBenchRow> {
+    configs.iter().map(|c| stream_bench(c, reps)).collect()
+}
+
+/// Serializes stream-study rows as a `BENCH_compose.json` array fragment.
+pub fn render_stream_objects(rows: &[StreamBenchRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"db_rows\": {}, \"doc_bytes\": {}, \
+                 \"emit_materialized_ms\": {:.3}, \"emit_streamed_ms\": {:.3}, \
+                 \"peak_track_bytes_materialized\": {}, \"peak_track_bytes_streamed\": {}}}",
+                r.workload,
+                r.db_rows,
+                r.doc_bytes,
+                r.emit_materialized_ms,
+                r.emit_streamed_ms,
+                r.peak_track_bytes_materialized,
+                r.peak_track_bytes_streamed,
             )
         })
         .collect()

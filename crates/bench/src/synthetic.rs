@@ -276,6 +276,46 @@ pub fn needle_view(region_name: &str) -> SchemaTree {
     v
 }
 
+/// The breadth variant of [`needle_view`] for the streaming-emission
+/// study: *every* region, its customers and their orders. Document size
+/// scales linearly with the region count while each root-level subtree
+/// stays a fixed size — exactly the shape where streamed emission's peak
+/// memory (bounded by the largest subtree) stays flat as the materialized
+/// document grows.
+pub fn all_regions_view() -> SchemaTree {
+    let mut v = SchemaTree::new();
+    let region = v
+        .add_root_node(ViewNode::new(
+            1,
+            "region",
+            "r",
+            parse_query("SELECT id, name FROM region").unwrap(),
+        ))
+        .unwrap();
+    let customer = v
+        .add_child(
+            region,
+            ViewNode::new(
+                2,
+                "customer",
+                "c",
+                parse_query("SELECT id, name FROM customer WHERE region_id = $r.id").unwrap(),
+            ),
+        )
+        .unwrap();
+    v.add_child(
+        customer,
+        ViewNode::new(
+            3,
+            "order",
+            "o",
+            parse_query("SELECT id, total FROM orders WHERE customer_id = $c.id").unwrap(),
+        ),
+    )
+    .unwrap();
+    v
+}
+
 /// A copy of `db` carrying the scale study's secondary indexes: a btree on
 /// the region-name needle and hash indexes on both foreign keys (both
 /// index kinds on the hot path).

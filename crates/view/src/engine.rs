@@ -30,15 +30,17 @@
 //! # Ok(()) }
 //! ```
 
+use std::io;
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 
 use xvc_rel::{prepare, Catalog, Database, Delta, EvalStats};
+use xvc_xml::{PrettyXmlWriter, XmlSink, XmlWriter};
 
 use crate::bounds::{analyze_view_bounds, ViewBounds};
 use crate::error::Result;
 use crate::publish::{
-    guard_probe, run_delta_republish, run_full_publish, PlanCache, PlanEntry, PublishConfig,
-    PublishStats, Published, Role,
+    guard_probe, run_delta_republish, run_full_publish, run_stream_publish, PlanCache, PlanEntry,
+    PublishConfig, PublishStats, Published, Role,
 };
 use crate::schema_tree::{SchemaTree, ViewNodeId};
 
@@ -317,6 +319,45 @@ impl Engine {
     }
 }
 
+/// What one streaming publish produced ([`Session::publish_to`]): the
+/// statistics a materializing publish would report plus the write-side
+/// counters — and no document. The serialized bytes went straight to the
+/// caller's `io::Write`.
+#[derive(Debug, Clone)]
+pub struct Streamed {
+    /// Materialization counters; equal to the batched materializing
+    /// path's [`Published::stats`] for the same database (the walk is
+    /// identical, only the element store differs).
+    pub stats: PublishStats,
+    /// Relational-engine work across every tag-query / guard evaluation.
+    pub eval: EvalStats,
+    /// Serialized bytes written to the sink.
+    pub bytes_written: u64,
+    /// High-water mark of the emission buffers (the streaming skeleton's
+    /// retained heap; on the materializing fallback, the arena document's
+    /// [`xvc_xml::Document::heap_estimate`]). This is the number the
+    /// `figures -- stream` study shows staying flat in document size.
+    pub peak_emit_bytes: usize,
+}
+
+/// Counts bytes flowing through to the wrapped writer.
+struct CountingWriter<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: io::Write> io::Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// A per-request publishing handle: shares its [`Engine`]'s plan cache and
 /// rolls every publish into both its own accumulator and the engine
 /// totals. Create with [`Engine::session`].
@@ -369,6 +410,86 @@ impl Session {
         let mut stats = PublishStats::default();
         let cache = self.engine.ensure_plans(db, &mut stats);
         run_full_publish(&shared.tree, &cache.plans, &shared.cfg.publish, db, stats)
+    }
+
+    /// Streams `v(I)` as compact serialized XML straight into `out`,
+    /// without materializing an output document: each root-level subtree
+    /// is expanded by the same breadth-first batch walk as
+    /// [`Session::publish`] into a small reusable skeleton and serialized
+    /// out as soon as it completes, so peak emission memory is bounded by
+    /// the largest root-level subtree instead of the document. The bytes
+    /// are identical to `publish(db)?.document.to_xml()` (proptest-gated
+    /// across backends and workload presets).
+    ///
+    /// On an unbatched (`batched(false)`) or traced engine the call falls
+    /// back to materializing internally and serializing through the same
+    /// writer — splicing provenance and traces need the arena document —
+    /// so output bytes never depend on configuration.
+    ///
+    /// A sink failure surfaces as [`crate::Error::Io`] after a truncated
+    /// write; engine state (plan cache, totals) is unaffected and the
+    /// session remains usable.
+    pub fn publish_to<W: io::Write>(&mut self, db: &Database, out: W) -> Result<Streamed> {
+        self.stream_publish(db, out, false)
+    }
+
+    /// [`Session::publish_to`] with two-space-indented output, byte-equal
+    /// to `publish(db)?.document.to_pretty_xml()`. Pretty layout needs
+    /// per-element lookahead, so this buffers one top-level element at a
+    /// time ([`xvc_xml::PrettyXmlWriter`]) — still bounded by the largest
+    /// root-level subtree, not the document.
+    pub fn publish_pretty_to<W: io::Write>(&mut self, db: &Database, out: W) -> Result<Streamed> {
+        self.stream_publish(db, out, true)
+    }
+
+    fn stream_publish<W: io::Write>(
+        &mut self,
+        db: &Database,
+        out: W,
+        pretty: bool,
+    ) -> Result<Streamed> {
+        let mut counter = CountingWriter {
+            inner: out,
+            bytes: 0,
+        };
+        let result = if pretty {
+            let mut sink = PrettyXmlWriter::new(&mut counter);
+            self.stream_into(db, &mut sink)
+        } else {
+            let mut sink = XmlWriter::new(&mut counter);
+            self.stream_into(db, &mut sink)
+        };
+        let (stats, eval, peak_emit_bytes) = result?;
+        let streamed = Streamed {
+            stats,
+            eval,
+            bytes_written: counter.bytes,
+            peak_emit_bytes,
+        };
+        self.record_streamed(&streamed);
+        Ok(streamed)
+    }
+
+    fn stream_into(
+        &mut self,
+        db: &Database,
+        sink: &mut dyn XmlSink,
+    ) -> Result<(PublishStats, EvalStats, usize)> {
+        let shared = &self.engine.shared;
+        let cfg = &shared.cfg.publish;
+        if !cfg.batched || cfg.tracing {
+            // Materializing fallback: the scalar path and traced publishes
+            // build the arena document anyway; serialize it through the
+            // same sink so the bytes cannot differ.
+            let published = self.publish_inner(db)?;
+            published.document.emit(sink)?;
+            let peak = published.document.heap_estimate();
+            return Ok((published.stats, published.eval, peak));
+        }
+        shared.tree.validate()?;
+        let mut stats = PublishStats::default();
+        let cache = self.engine.ensure_plans(db, &mut stats);
+        run_stream_publish(&shared.tree, &cache.plans, cfg, db, stats, sink)
     }
 
     /// Incrementally republishes after a base-table mutation: maps `delta`
@@ -436,6 +557,21 @@ impl Session {
         } else {
             totals.publishes += 1;
         }
+    }
+
+    fn record_streamed(&mut self, streamed: &Streamed) {
+        self.stats.absorb(&streamed.stats);
+        self.eval.absorb(&streamed.eval);
+        self.publishes += 1;
+        let mut totals = self
+            .engine
+            .shared
+            .totals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        totals.stats.absorb(&streamed.stats);
+        totals.eval.absorb(&streamed.eval);
+        totals.publishes += 1;
     }
 }
 

@@ -52,6 +52,18 @@ pub enum Error {
         /// The underlying error.
         xvc_rel::Error,
     ),
+    /// The output sink of a streaming publish
+    /// ([`crate::Session::publish_to`]) failed mid-write. The document is
+    /// truncated; engine-side state (plan cache, totals) is unaffected.
+    ///
+    /// Stores the [`std::io::ErrorKind`] and rendered message instead of
+    /// the [`std::io::Error`] itself so `Error` stays `Clone + PartialEq`.
+    Io {
+        /// Kind of the underlying I/O error.
+        kind: std::io::ErrorKind,
+        /// Rendered message of the underlying I/O error.
+        message: String,
+    },
 }
 
 impl Error {
@@ -82,6 +94,7 @@ impl fmt::Display for Error {
             Error::InvalidTag { tag } => write!(f, "invalid XML tag {tag:?}"),
             Error::ViewSyntax { reason, .. } => write!(f, "view definition: {reason}"),
             Error::Rel(e) => write!(f, "relational error: {e}"),
+            Error::Io { message, .. } => write!(f, "streaming publish output: {message}"),
         }
     }
 }
@@ -98,5 +111,14 @@ impl std::error::Error for Error {
 impl From<xvc_rel::Error> for Error {
     fn from(e: xvc_rel::Error) -> Self {
         Error::Rel(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
     }
 }

@@ -43,7 +43,7 @@ pub mod schema_tree;
 pub mod table_deps;
 
 pub use bounds::{analyze_view_bounds, NodeBounds, ViewBounds};
-pub use engine::{Engine, EngineTotals, Session};
+pub use engine::{Engine, EngineTotals, Session, Streamed};
 pub use error::{Error, Result};
 pub use parse::parse_view;
 pub use publish::{PublishStats, PublishTrace, Published, SpliceEntry, SpliceIndex, TraceEntry};

@@ -14,6 +14,7 @@
 //! walk.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -21,7 +22,7 @@ use xvc_rel::{
     eval_query_stats, Database, EvalOptions, EvalStats, NamedTuple, ParamEnv, PreparedPlan,
     Relation, ScalarExpr, SelectItem, SelectQuery,
 };
-use xvc_xml::{Document, TreeBuilder};
+use xvc_xml::{Document, TreeBuilder, XmlSink};
 
 use crate::error::Result;
 use crate::schema_tree::{AttrProjection, SchemaTree, ViewNodeId};
@@ -305,25 +306,40 @@ pub(crate) fn run_delta_republish(
     Run { tree, plans, cfg }.delta(db, prev, delta, stats)
 }
 
+/// Streaming-publish orchestration behind [`crate::Session::publish_to`]:
+/// the batched frontier walk with the arena sink swapped for the reusable
+/// per-task [`Skeleton`], drained into `sink` task by task — serialized
+/// XML is the only output; no document is ever materialized. Returns
+/// `(stats, eval, peak_emit_bytes)` where the peak is the high-water mark
+/// of the skeleton's buffers across tasks (the emission path's whole
+/// retained footprint, bounded by the largest root-level subtree rather
+/// than the document).
+///
+/// Caller contract: same as [`run_full_publish`], plus `cfg` is batched
+/// and untraced (the caller handles the materializing fallback). Tasks run
+/// sequentially — bytes leave in document order, so there is nothing to
+/// parallelize ahead of the writer.
+pub(crate) fn run_stream_publish(
+    tree: &SchemaTree,
+    plans: &HashMap<PlanKey, PlanEntry>,
+    cfg: &PublishConfig,
+    db: &Database,
+    stats: PublishStats,
+    sink: &mut dyn XmlSink,
+) -> Result<(PublishStats, EvalStats, usize)> {
+    Run { tree, plans, cfg }.stream(db, stats, sink)
+}
+
 impl Run<'_> {
-    /// Evaluates the schema tree against `db`, producing `v(I)` plus
-    /// statistics (and a trace when requested).
-    fn full(&self, db: &Database, mut stats: PublishStats) -> Result<Published> {
-        // Root pass (always sequential): evaluate root-level guards and tag
-        // queries, and cut the document into one task per root element
-        // instance. The decomposition — and therefore every per-task
-        // counter — is independent of the thread count.
-        let collect_splice = self.cfg.incremental && self.cfg.batched;
-        let shared = Shared {
-            tree: self.tree,
-            db,
-            plans: self.plans,
-            use_plans: self.cfg.prepared,
-            tracing: self.cfg.tracing,
-            batched: self.cfg.batched,
-            collect_splice,
-        };
-        let mut main = Worker::new(&shared, HashMap::new());
+    /// Root pass (always sequential): evaluates root-level guards and tag
+    /// queries, and cuts the document into one task per root element
+    /// instance. The decomposition — and therefore every per-task counter —
+    /// is independent of the thread count *and* of the sink (arena vs
+    /// streaming) the tasks are later drained through. Returns the worker
+    /// that ran the root queries (it carries their stats/eval/trace) and
+    /// the tasks, in document order.
+    fn root_pass<'s>(&self, shared: &'s Shared<'s>) -> Result<(Worker<'s>, Vec<Task>)> {
+        let mut main = Worker::new(shared, HashMap::new());
         let mut tasks: Vec<Task> = Vec::new();
         let mut root_counts: HashMap<String, usize> = HashMap::new();
         let env = ParamEnv::new();
@@ -368,6 +384,23 @@ impl Run<'_> {
                 }
             }
         }
+        Ok((main, tasks))
+    }
+
+    /// Evaluates the schema tree against `db`, producing `v(I)` plus
+    /// statistics (and a trace when requested).
+    fn full(&self, db: &Database, mut stats: PublishStats) -> Result<Published> {
+        let collect_splice = self.cfg.incremental && self.cfg.batched;
+        let shared = Shared {
+            tree: self.tree,
+            db,
+            plans: self.plans,
+            use_plans: self.cfg.prepared,
+            tracing: self.cfg.tracing,
+            batched: self.cfg.batched,
+            collect_splice,
+        };
+        let (main, tasks) = self.root_pass(&shared)?;
 
         let outs = run_tasks(&shared, &tasks, self.cfg.parallel);
 
@@ -421,6 +454,64 @@ impl Run<'_> {
             splice,
             reexecuted: Vec::new(),
         })
+    }
+
+    /// Streams `v(I)` into `sink` with no output DOM: the same root pass
+    /// and breadth-first wave machinery as [`Run::full`], but each task's
+    /// elements land in the reusable [`Skeleton`] instead of an arena
+    /// document and are serialized out (document-order DFS) as soon as the
+    /// task's waves are exhausted. Byte output equals
+    /// `full(..).document.to_xml()` through the same [`XmlSink`]; stats
+    /// and eval counters equal the batched materializing path's (the memo
+    /// stays task-scoped, the decomposition is identical).
+    fn stream(
+        &self,
+        db: &Database,
+        mut stats: PublishStats,
+        sink: &mut dyn XmlSink,
+    ) -> Result<(PublishStats, EvalStats, usize)> {
+        let shared = Shared {
+            tree: self.tree,
+            db,
+            plans: self.plans,
+            use_plans: self.cfg.prepared,
+            tracing: false,
+            batched: true,
+            collect_splice: false,
+        };
+        let (main, tasks) = self.root_pass(&shared)?;
+        stats.absorb(&main.stats);
+        let mut eval = main.eval;
+
+        let mut w = BatchWorker::with_store(&shared, Skeleton::default());
+        let mut peak = 0usize;
+        let env = ParamEnv::new();
+        for task in &tasks {
+            // Per-task state resets exactly as a fresh `BatchWorker` would:
+            // the memo is task-scoped (statistics parity with
+            // `run_task_batched`), the skeleton's buffers are drained but
+            // keep their capacity and interned names.
+            w.doc.begin_task();
+            w.memo.clear();
+            let root = w.doc.root();
+            let (el, child_env) = w.emit_node_instance(root, task.vid, &env, task.tuple.as_ref());
+            let frontier: Vec<Pending<SkelId>> = self
+                .tree
+                .children(task.vid)
+                .iter()
+                .map(|&vid| Pending {
+                    parent: el,
+                    vid,
+                    env: child_env.clone(),
+                })
+                .collect();
+            expand_frontier(&mut w, frontier)?;
+            peak = peak.max(w.doc.heap_bytes());
+            w.doc.emit(sink)?;
+        }
+        stats.absorb(&w.stats);
+        eval.absorb(&w.eval);
+        Ok((stats, eval, peak))
     }
 
     /// Incrementally republishes after a base-table mutation: maps `delta`
@@ -712,14 +803,18 @@ fn run_task_batched(shared: &Shared<'_>, task: &Task) -> Result<TaskOut> {
 }
 
 /// The level-at-a-time engine of the batched path: expands `frontier`
-/// breadth-first to exhaustion inside `w`'s document. Factored out of
+/// breadth-first to exhaustion inside `w`'s store. Factored out of
 /// [`run_task_batched`] so [`crate::Session::republish_delta`] can seed it with
 /// an arbitrary set of `(parent, view node, bindings)` slots instead of a
-/// single task root.
-fn expand_frontier(w: &mut BatchWorker<'_>, mut frontier: Vec<Pending>) -> Result<()> {
+/// single task root, and generic over the [`WaveStore`] so the streaming
+/// sink ([`Run::stream`]) runs the identical walk.
+fn expand_frontier<S: WaveStore>(
+    w: &mut BatchWorker<'_, S>,
+    mut frontier: Vec<Pending<S::Id>>,
+) -> Result<()> {
     let tree = w.shared.tree;
     while !frontier.is_empty() {
-        let mut next: Vec<Pending> = Vec::new();
+        let mut next: Vec<Pending<S::Id>> = Vec::new();
         // Group the level by view node, in schema (ascending id) order:
         // every parent sees its children appended in schema order, and
         // each group becomes at most one guard batch + one tag batch.
@@ -917,39 +1012,273 @@ fn copy_subtree(
 }
 
 /// One frontier slot: a view node still to expand under `parent` with the
-/// bindings accumulated on the path down to it.
-struct Pending {
-    parent: xvc_xml::NodeId,
+/// bindings accumulated on the path down to it. Generic over the element
+/// handle of the [`WaveStore`] the walk materializes into (arena
+/// [`xvc_xml::NodeId`] by default).
+struct Pending<Id = xvc_xml::NodeId> {
+    parent: Id,
     vid: ViewNodeId,
     env: ParamEnv,
 }
 
+/// Where the batched frontier walk materializes elements: the arena
+/// [`Document`] (full publishes, traces, delta splicing) or the reusable
+/// per-task [`Skeleton`] drained by the streaming sink. The store only
+/// sees the three structural operations the wave loop performs; the memo,
+/// batching and statistics machinery is shared by both, so the two
+/// emission back ends cannot drift apart.
+trait WaveStore {
+    /// Copyable element handle (hashable: provenance maps key on it).
+    type Id: Copy + Eq + std::hash::Hash;
+    /// Creates a detached element named `tag`.
+    fn create_element(&mut self, tag: &str) -> Self::Id;
+    /// Appends a freshly created element as `parent`'s last child.
+    fn append_child(&mut self, parent: Self::Id, child: Self::Id);
+    /// Sets an attribute; a duplicate name replaces the existing value
+    /// **in place** (the arena contract, load-bearing for byte parity).
+    fn set_attr(&mut self, el: Self::Id, name: &str, value: &str);
+}
+
+impl WaveStore for Document {
+    type Id = xvc_xml::NodeId;
+
+    fn create_element(&mut self, tag: &str) -> xvc_xml::NodeId {
+        Document::create_element(self, tag)
+    }
+
+    fn append_child(&mut self, parent: xvc_xml::NodeId, child: xvc_xml::NodeId) {
+        Document::append_child(self, parent, child);
+    }
+
+    fn set_attr(&mut self, el: xvc_xml::NodeId, name: &str, value: &str) {
+        Document::set_attr(self, el, name, value).expect("created as element");
+    }
+}
+
+/// Sentinel for "no node" in the skeleton's intrusive child lists.
+const SKEL_NONE: u32 = u32::MAX;
+
+/// Element handle inside a [`Skeleton`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SkelId(u32);
+
+#[derive(Debug, Clone, Copy)]
+struct SkelNode {
+    /// Interned tag name.
+    tag: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+    /// This element's attributes are `attrs[attr_start..attr_start + attr_len]`
+    /// (contiguous: the wave loop sets every attribute of an element
+    /// before creating the next one).
+    attr_start: u32,
+    attr_len: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SkelAttr {
+    /// Interned attribute name.
+    name: u32,
+    /// Value bytes are `text[val_start..val_start + val_len]`.
+    val_start: u32,
+    val_len: u32,
+}
+
+/// The streaming path's per-task element store: just enough structure to
+/// emit one root-level subtree in document order after its breadth-first
+/// waves complete. Tag and attribute names are interned (a schema tree
+/// has a handful of distinct names, reused across every task); attribute
+/// values share one text buffer; child lists are intrusive `u32` links.
+/// [`Skeleton::begin_task`] drains everything but keeps the capacity and
+/// the name table, so steady-state publishing allocates almost nothing
+/// and peak emission memory is bounded by the largest single task, not
+/// the document.
+#[derive(Debug, Default)]
+struct Skeleton {
+    /// Interned tag / attribute names (kept across tasks).
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    nodes: Vec<SkelNode>,
+    attrs: Vec<SkelAttr>,
+    /// Attribute values, concatenated. Replaced values leak their old
+    /// bytes until the next `begin_task` — duplicate attribute names are
+    /// rare and tasks are short-lived.
+    text: String,
+}
+
+impl Skeleton {
+    /// Clears per-task state (keeping buffer capacity and interned names)
+    /// and re-creates the synthetic task root.
+    fn begin_task(&mut self) {
+        self.nodes.clear();
+        self.attrs.clear();
+        self.text.clear();
+        self.nodes.push(SkelNode {
+            tag: SKEL_NONE,
+            first_child: SKEL_NONE,
+            last_child: SKEL_NONE,
+            next_sibling: SKEL_NONE,
+            attr_start: 0,
+            attr_len: 0,
+        });
+    }
+
+    /// The synthetic task root (emission serializes its children).
+    fn root(&self) -> SkelId {
+        debug_assert!(!self.nodes.is_empty(), "begin_task before use");
+        SkelId(0)
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("name table fits u32");
+        self.names.push(name.to_owned());
+        self.name_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Heap bytes currently retained by the task buffers (capacities, not
+    /// lengths — this is what the process actually holds on to).
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<SkelNode>()
+            + self.attrs.capacity() * std::mem::size_of::<SkelAttr>()
+            + self.text.capacity()
+            + self.names.iter().map(String::capacity).sum::<usize>()
+    }
+
+    /// Serializes the task subtree into `sink` in document order (an
+    /// iterative DFS over the intrusive child links; no recursion, so
+    /// recursion-heavy views cannot overflow the stack here).
+    fn emit(&self, sink: &mut dyn XmlSink) -> io::Result<()> {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = self.nodes[0].first_child;
+        loop {
+            while cur != SKEL_NONE {
+                let n = self.nodes[cur as usize];
+                sink.start_element(&self.names[n.tag as usize])?;
+                for a in &self.attrs[n.attr_start as usize..(n.attr_start + n.attr_len) as usize] {
+                    sink.attr(
+                        &self.names[a.name as usize],
+                        &self.text[a.val_start as usize..(a.val_start + a.val_len) as usize],
+                    )?;
+                }
+                stack.push(cur);
+                cur = n.first_child;
+            }
+            loop {
+                let Some(top) = stack.pop() else {
+                    return Ok(());
+                };
+                let n = self.nodes[top as usize];
+                sink.end_element(&self.names[n.tag as usize])?;
+                if n.next_sibling != SKEL_NONE {
+                    cur = n.next_sibling;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl WaveStore for Skeleton {
+    type Id = SkelId;
+
+    fn create_element(&mut self, tag: &str) -> SkelId {
+        let tag = self.intern(tag);
+        let id = u32::try_from(self.nodes.len()).expect("task fits u32 nodes");
+        self.nodes.push(SkelNode {
+            tag,
+            first_child: SKEL_NONE,
+            last_child: SKEL_NONE,
+            next_sibling: SKEL_NONE,
+            attr_start: u32::try_from(self.attrs.len()).expect("attrs fit u32"),
+            attr_len: 0,
+        });
+        SkelId(id)
+    }
+
+    fn append_child(&mut self, parent: SkelId, child: SkelId) {
+        let p = parent.0 as usize;
+        if self.nodes[p].first_child == SKEL_NONE {
+            self.nodes[p].first_child = child.0;
+        } else {
+            let last = self.nodes[p].last_child as usize;
+            self.nodes[last].next_sibling = child.0;
+        }
+        self.nodes[p].last_child = child.0;
+    }
+
+    fn set_attr(&mut self, el: SkelId, name: &str, value: &str) {
+        let name = self.intern(name);
+        let val_start = u32::try_from(self.text.len()).expect("values fit u32");
+        self.text.push_str(value);
+        let val_len = u32::try_from(value.len()).expect("value fits u32");
+        let e = el.0 as usize;
+        let (start, len) = (
+            self.nodes[e].attr_start as usize,
+            self.nodes[e].attr_len as usize,
+        );
+        if let Some(a) = self.attrs[start..start + len]
+            .iter_mut()
+            .find(|a| a.name == name)
+        {
+            // Mirror the arena: a duplicate name replaces the value at the
+            // original attribute position.
+            a.val_start = val_start;
+            a.val_len = val_len;
+            return;
+        }
+        debug_assert_eq!(
+            start + len,
+            self.attrs.len(),
+            "attributes of an element are set before the next element is created"
+        );
+        self.attrs.push(SkelAttr {
+            name,
+            val_start,
+            val_len,
+        });
+        self.nodes[e].attr_len += 1;
+    }
+}
+
 /// Per-task state of the breadth-first walk. Unlike [`Worker`] it builds
-/// the arena [`Document`] directly (batched expansion appends to parents
-/// created in earlier waves, which a streaming builder cannot do) and
-/// reconstructs the trace afterwards in document order.
-struct BatchWorker<'a> {
+/// its [`WaveStore`] directly (batched expansion appends to parents
+/// created in earlier waves, which a forward-only builder cannot do):
+/// the arena [`Document`] for full/delta publishes — with the trace
+/// reconstructed afterwards in document order — or the [`Skeleton`] the
+/// streaming sink drains.
+struct BatchWorker<'a, S: WaveStore = Document> {
     shared: &'a Shared<'a>,
-    doc: Document,
+    doc: S,
     stats: PublishStats,
     eval: EvalStats,
     /// `(node, role, rendered binding values)` → relation, same scope and
     /// cap as the scalar worker's memo.
     memo: HashMap<(u32, Role, String), Relation>,
     /// Element provenance for trace reconstruction (tracing runs only).
-    prov: HashMap<xvc_xml::NodeId, (ViewNodeId, ParamEnv)>,
+    prov: HashMap<S::Id, (ViewNodeId, ParamEnv)>,
     /// Splice provenance (splice-collecting runs only).
-    splice: HashMap<xvc_xml::NodeId, SpliceEntry>,
+    splice: HashMap<S::Id, SpliceEntry>,
     /// View nodes whose guard / tag batches this worker issued (delta-path
     /// soundness bookkeeping; node arena indexes).
     touched: std::collections::BTreeSet<usize>,
 }
 
-impl<'a> BatchWorker<'a> {
+impl<'a> BatchWorker<'a, Document> {
     fn new(shared: &'a Shared<'a>) -> Self {
+        Self::with_store(shared, Document::new())
+    }
+}
+
+impl<'a, S: WaveStore> BatchWorker<'a, S> {
+    fn with_store(shared: &'a Shared<'a>, doc: S) -> Self {
         BatchWorker {
             shared,
-            doc: Document::new(),
+            doc,
             stats: PublishStats::default(),
             eval: EvalStats::default(),
             memo: HashMap::new(),
@@ -965,11 +1294,11 @@ impl<'a> BatchWorker<'a> {
     /// logic mirrors [`Worker::emit_instance`] exactly.
     fn emit_node_instance(
         &mut self,
-        parent: xvc_xml::NodeId,
+        parent: S::Id,
         vid: ViewNodeId,
         env: &ParamEnv,
         tuple: Option<&NamedTuple>,
-    ) -> (xvc_xml::NodeId, ParamEnv) {
+    ) -> (S::Id, ParamEnv) {
         let node = self.shared.tree.node(vid).expect("non-root id");
         let el = self.doc.create_element(&node.tag);
         self.doc.append_child(parent, el);
@@ -978,7 +1307,7 @@ impl<'a> BatchWorker<'a> {
             self.prov.insert(el, (vid, env.clone()));
         }
         for (k, v) in &node.static_attrs {
-            self.doc.set_attr(el, k, v).expect("created as element");
+            self.doc.set_attr(el, k, v);
             self.stats.attributes += 1;
         }
         let mut child_env = env.clone();
@@ -986,7 +1315,7 @@ impl<'a> BatchWorker<'a> {
             if let Some(t) = env.get(var) {
                 let t = t.clone();
                 for (k, v) in project_attrs(&node.attrs, &t.columns, &t.values) {
-                    self.doc.set_attr(el, k, v).expect("created as element");
+                    self.doc.set_attr(el, k, &v);
                     self.stats.attributes += 1;
                 }
                 if !node.bv.is_empty() {
@@ -995,7 +1324,7 @@ impl<'a> BatchWorker<'a> {
             }
         } else if let Some(t) = tuple {
             for (k, v) in project_attrs(&node.attrs, &t.columns, &t.values) {
-                self.doc.set_attr(el, k, v).expect("created as element");
+                self.doc.set_attr(el, k, &v);
                 self.stats.attributes += 1;
             }
             child_env.insert(node.bv.clone(), t.clone());
@@ -1114,7 +1443,11 @@ impl<'a> BatchWorker<'a> {
         }
         Ok(rels)
     }
+}
 
+/// Trace reconstruction is arena-only: the streaming sink never traces
+/// (the materializing fallback handles traced publishes).
+impl BatchWorker<'_, Document> {
     /// Reconstructs the scalar path's pre-order trace from the finished
     /// fragment: indexed paths from per-level same-tag sibling counts,
     /// provenance from the map filled at element creation.

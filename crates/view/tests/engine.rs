@@ -421,3 +421,111 @@ fn mid_flight_ddl_and_dml_invalidate_without_stale_documents() {
     assert_eq!(settled.stats.plans_prepared, 0);
     assert_eq!(settled.stats.plan_cache_hit_rate(), 1.0);
 }
+
+#[test]
+fn streamed_publish_is_byte_identical_to_materialized() {
+    let v = view();
+    let db = db();
+    let engine = Engine::new(&v);
+    let published = engine.session().publish(&db).unwrap();
+
+    let mut compact = Vec::new();
+    let streamed = engine.session().publish_to(&db, &mut compact).unwrap();
+    assert_eq!(
+        String::from_utf8(compact).unwrap(),
+        published.document.to_xml()
+    );
+    assert_eq!(
+        streamed.bytes_written as usize,
+        published.document.to_xml().len()
+    );
+    // Same walk, same counters: only the element store differs.
+    assert_eq!(streamed.stats.elements, published.stats.elements);
+    assert_eq!(streamed.stats.attributes, published.stats.attributes);
+    assert_eq!(
+        streamed.stats.batches_executed,
+        published.stats.batches_executed
+    );
+    assert_eq!(streamed.eval, published.eval);
+    assert!(streamed.peak_emit_bytes > 0);
+
+    let mut pretty = Vec::new();
+    engine
+        .session()
+        .publish_pretty_to(&db, &mut pretty)
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(pretty).unwrap(),
+        published.document.to_pretty_xml()
+    );
+}
+
+#[test]
+fn streamed_publish_matches_on_scalar_and_traced_fallbacks() {
+    let db = db();
+    let expected = Engine::new(&view())
+        .session()
+        .publish(&db)
+        .unwrap()
+        .document
+        .to_xml();
+    for engine in [
+        Engine::new(&view()).batched(false),
+        Engine::new(&view()).traced(true),
+    ] {
+        let mut out = Vec::new();
+        engine.session().publish_to(&db, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+}
+
+/// An `io::Write` that accepts `left` bytes, then fails every write.
+struct FailAfter {
+    left: usize,
+}
+
+impl std::io::Write for FailAfter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.left == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "sink closed",
+            ));
+        }
+        let n = buf.len().min(self.left);
+        self.left -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn mid_stream_write_error_surfaces_and_leaves_cache_usable() {
+    let v = view();
+    let db = db();
+    let engine = Engine::new(&v);
+    engine.session().publish(&db).unwrap(); // warm the plan cache
+
+    let err = engine
+        .session()
+        .publish_to(&db, FailAfter { left: 10 })
+        .unwrap_err();
+    match err {
+        xvc_view::Error::Io { kind, .. } => {
+            assert_eq!(kind, std::io::ErrorKind::BrokenPipe);
+        }
+        other => panic!("expected Error::Io, got {other:?}"),
+    }
+
+    // The failed stream must not poison the plan cache: a subsequent
+    // publish sees pure hits and the expected document.
+    let after = engine.session().publish(&db).unwrap();
+    assert_eq!(after.stats.plans_prepared, 0);
+    assert_eq!(after.stats.plan_cache_hit_rate(), 1.0);
+    let mut out = Vec::new();
+    engine.session().publish_to(&db, &mut out).unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), after.document.to_xml());
+}

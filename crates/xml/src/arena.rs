@@ -328,6 +328,31 @@ impl Document {
             .count()
     }
 
+    /// Approximate heap bytes retained by the node arena: per-node
+    /// bookkeeping plus the capacities of every name, attribute and
+    /// child-list allocation. Used by the emission benchmarks to compare
+    /// the materializing path's memory footprint against the streaming
+    /// sink's; it is an estimate (allocator overhead is not modeled), not
+    /// an accounting tool.
+    pub fn heap_estimate(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<NodeData>();
+        for n in &self.nodes {
+            bytes += n.children.capacity() * std::mem::size_of::<NodeId>();
+            match &n.kind {
+                NodeKind::Element { name, attrs } => {
+                    bytes += name.capacity();
+                    bytes += attrs.capacity() * std::mem::size_of::<(String, String)>();
+                    for (k, v) in attrs {
+                        bytes += k.capacity() + v.capacity();
+                    }
+                }
+                NodeKind::Text(t) => bytes += t.capacity(),
+                NodeKind::Root => {}
+            }
+        }
+        bytes
+    }
+
     /// Deep-copies the subtree rooted at `src` in `src_doc` into `self`,
     /// returning the id of the copy (detached; append it where needed).
     pub fn import_subtree(&mut self, src_doc: &Document, src: NodeId) -> NodeId {

@@ -1,34 +1,79 @@
 //! Escaping and name-validity helpers shared by the parser and serializers.
+//!
+//! The streaming [`write_text_escaped`] / [`write_attr_escaped`] functions
+//! are the **only** escaping implementation; the `String`-returning
+//! [`escape_text`] / [`escape_attr`] are wrappers over them, so every
+//! serializer — arena, streaming, XSLT — shares one code path.
+
+use std::io;
+
+/// The entity replacement for `b` in element content, if it needs one.
+fn text_escape(b: u8) -> Option<&'static str> {
+    match b {
+        b'&' => Some("&amp;"),
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        _ => None,
+    }
+}
+
+/// The entity replacement for `b` inside a double-quoted attribute value,
+/// if it needs one (quotes and tab/newline on top of the text set, so
+/// values round-trip through attribute-value normalization).
+fn attr_escape(b: u8) -> Option<&'static str> {
+    match b {
+        b'"' => Some("&quot;"),
+        b'\n' => Some("&#10;"),
+        b'\t' => Some("&#9;"),
+        _ => text_escape(b),
+    }
+}
+
+/// Writes `s` to `out`, escaped with `escape`. Unescaped runs are written
+/// whole; multi-byte UTF-8 sequences never contain the (ASCII) escaped
+/// bytes, so scanning bytes is safe.
+fn write_escaped<W: io::Write + ?Sized>(
+    out: &mut W,
+    s: &str,
+    escape: fn(u8) -> Option<&'static str>,
+) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let mut run = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if let Some(rep) = escape(b) {
+            if run < i {
+                out.write_all(&bytes[run..i])?;
+            }
+            out.write_all(rep.as_bytes())?;
+            run = i + 1;
+        }
+    }
+    out.write_all(&bytes[run..])
+}
+
+/// Streams `s` escaped for use as element content into `out`.
+pub fn write_text_escaped<W: io::Write + ?Sized>(out: &mut W, s: &str) -> io::Result<()> {
+    write_escaped(out, s, text_escape)
+}
+
+/// Streams `s` escaped for use inside a double-quoted attribute value
+/// into `out`.
+pub fn write_attr_escaped<W: io::Write + ?Sized>(out: &mut W, s: &str) -> io::Result<()> {
+    write_escaped(out, s, attr_escape)
+}
 
 /// Escapes character data for use as element content.
 pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
-    }
-    out
+    let mut out = Vec::with_capacity(s.len());
+    write_text_escaped(&mut out, s).expect("Vec<u8> writes cannot fail");
+    String::from_utf8(out).expect("escaping preserves UTF-8")
 }
 
 /// Escapes character data for use inside a double-quoted attribute value.
 pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\n' => out.push_str("&#10;"),
-            '\t' => out.push_str("&#9;"),
-            _ => out.push(c),
-        }
-    }
-    out
+    let mut out = Vec::with_capacity(s.len());
+    write_attr_escaped(&mut out, s).expect("Vec<u8> writes cannot fail");
+    String::from_utf8(out).expect("escaping preserves UTF-8")
 }
 
 /// True for characters that may start an XML name.

@@ -9,7 +9,10 @@
 //! * a **parser** ([`parse()`]) for the XML fragment needed by the paper
 //!   (elements, attributes, text, comments, processing instructions, the five
 //!   predefined entities and numeric character references);
-//! * **serializers** ([`Document::to_xml`], [`Document::to_pretty_xml`]);
+//! * **serializers** ([`Document::to_xml`], [`Document::to_pretty_xml`]),
+//!   implemented over a streaming **event/sink layer** ([`XmlSink`],
+//!   [`XmlWriter`], [`PrettyXmlWriter`]) that also lets producers write
+//!   serialized XML straight to any `io::Write` without building a DOM;
 //! * a **canonical form** ([`canon`]) with *unordered* sibling comparison —
 //!   the paper explicitly excludes document order (§2.2.2 restriction (2)),
 //!   so the headline equality `v'(I) = x(v(I))` is checked modulo sibling
@@ -31,6 +34,7 @@ pub mod escape;
 pub mod parse;
 pub mod serialize;
 pub mod span;
+pub mod writer;
 
 pub use arena::{Document, NodeId, NodeKind};
 pub use builder::TreeBuilder;
@@ -38,3 +42,4 @@ pub use canon::{canonical_string, documents_equal_unordered, nodes_equal_unorder
 pub use error::{Error, Result};
 pub use parse::parse;
 pub use span::{line_col, Span, SpanInfo};
+pub use writer::{PrettyXmlWriter, XmlSink, XmlWriter};

@@ -1,29 +1,65 @@
 //! XML serializers: compact (single line) and pretty (indented).
+//!
+//! Both are thin drivers over the event/sink layer in [`crate::writer`]:
+//! a document (or subtree) is replayed as `start_element` / `attr` /
+//! `text` / `end_element` events into an [`XmlSink`], and the sink decides
+//! bytes and layout. This is the same sink the streaming publisher writes
+//! through, so arena serialization and direct streaming cannot drift
+//! apart — there is exactly one escaping and one layout implementation.
+
+use std::io;
 
 use crate::arena::{Document, NodeId, NodeKind};
-use crate::escape::{escape_attr, escape_text};
+use crate::writer::{PrettyXmlWriter, XmlSink, XmlWriter};
 
 impl Document {
+    /// Replays the whole document (every child of the root) as events
+    /// into `sink`.
+    pub fn emit<S: XmlSink + ?Sized>(&self, sink: &mut S) -> io::Result<()> {
+        self.emit_node(self.root(), sink)
+    }
+
+    /// Replays the subtree rooted at `id` as events into `sink`. A root
+    /// id replays its children (the root itself is synthetic).
+    pub fn emit_node<S: XmlSink + ?Sized>(&self, id: NodeId, sink: &mut S) -> io::Result<()> {
+        match self.kind(id) {
+            NodeKind::Root => {
+                for &c in self.children(id) {
+                    self.emit_node(c, sink)?;
+                }
+                Ok(())
+            }
+            NodeKind::Text(t) => sink.text(t),
+            NodeKind::Element { name, .. } => {
+                sink.start_element(name)?;
+                for (k, v) in self.attrs(id) {
+                    sink.attr(k, v)?;
+                }
+                for &c in self.children(id) {
+                    self.emit_node(c, sink)?;
+                }
+                sink.end_element(name)
+            }
+        }
+    }
+
+    /// Serializes the whole document compactly into `out` without
+    /// building an intermediate `String`.
+    pub fn write_xml<W: io::Write>(&self, out: W) -> io::Result<()> {
+        self.emit(&mut XmlWriter::new(out))
+    }
+
     /// Serializes the whole document compactly (no added whitespace).
     pub fn to_xml(&self) -> String {
-        let mut out = String::new();
-        for &c in self.children(self.root()) {
-            write_compact(self, c, &mut out);
-        }
-        out
+        self.node_to_xml(self.root())
     }
 
     /// Serializes the subtree rooted at `id` compactly.
     pub fn node_to_xml(&self, id: NodeId) -> String {
-        let mut out = String::new();
-        if self.is_root(id) {
-            for &c in self.children(id) {
-                write_compact(self, c, &mut out);
-            }
-        } else {
-            write_compact(self, id, &mut out);
-        }
-        out
+        let mut w = XmlWriter::new(Vec::new());
+        self.emit_node(id, &mut w)
+            .expect("Vec<u8> writes cannot fail");
+        String::from_utf8(w.into_inner()).expect("serialization preserves UTF-8")
     }
 
     /// Serializes the whole document with two-space indentation.
@@ -31,101 +67,9 @@ impl Document {
     /// Elements with a single text child are kept on one line; mixed content
     /// is serialized compactly to avoid introducing significant whitespace.
     pub fn to_pretty_xml(&self) -> String {
-        let mut out = String::new();
-        for &c in self.children(self.root()) {
-            write_pretty(self, c, 0, &mut out);
-        }
-        out
-    }
-}
-
-fn write_open_tag(doc: &Document, id: NodeId, out: &mut String) {
-    let name = doc.name(id).expect("element");
-    out.push('<');
-    out.push_str(name);
-    for (k, v) in doc.attrs(id) {
-        out.push(' ');
-        out.push_str(k);
-        out.push_str("=\"");
-        out.push_str(&escape_attr(v));
-        out.push('"');
-    }
-}
-
-fn write_compact(doc: &Document, id: NodeId, out: &mut String) {
-    match doc.kind(id) {
-        NodeKind::Root => {
-            for &c in doc.children(id) {
-                write_compact(doc, c, out);
-            }
-        }
-        NodeKind::Text(t) => out.push_str(&escape_text(t)),
-        NodeKind::Element { name, .. } => {
-            write_open_tag(doc, id, out);
-            let children = doc.children(id);
-            if children.is_empty() {
-                out.push_str("/>");
-            } else {
-                out.push('>');
-                for &c in children {
-                    write_compact(doc, c, out);
-                }
-                out.push_str("</");
-                out.push_str(name);
-                out.push('>');
-            }
-        }
-    }
-}
-
-fn write_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
-    let indent = "  ".repeat(depth);
-    match doc.kind(id) {
-        NodeKind::Root => {
-            for &c in doc.children(id) {
-                write_pretty(doc, c, depth, out);
-            }
-        }
-        NodeKind::Text(t) => {
-            out.push_str(&indent);
-            out.push_str(&escape_text(t));
-            out.push('\n');
-        }
-        NodeKind::Element { name, .. } => {
-            out.push_str(&indent);
-            write_open_tag(doc, id, out);
-            let children = doc.children(id);
-            if children.is_empty() {
-                out.push_str("/>\n");
-            } else if children.len() == 1 && matches!(doc.kind(children[0]), NodeKind::Text(_)) {
-                out.push('>');
-                write_compact(doc, children[0], out);
-                out.push_str("</");
-                out.push_str(name);
-                out.push_str(">\n");
-            } else if children
-                .iter()
-                .any(|&c| matches!(doc.kind(c), NodeKind::Text(_)))
-            {
-                // Mixed content: compact to preserve whitespace semantics.
-                out.push('>');
-                for &c in children {
-                    write_compact(doc, c, out);
-                }
-                out.push_str("</");
-                out.push_str(name);
-                out.push_str(">\n");
-            } else {
-                out.push_str(">\n");
-                for &c in children {
-                    write_pretty(doc, c, depth + 1, out);
-                }
-                out.push_str(&indent);
-                out.push_str("</");
-                out.push_str(name);
-                out.push_str(">\n");
-            }
-        }
+        let mut w = PrettyXmlWriter::new(Vec::new());
+        self.emit(&mut w).expect("Vec<u8> writes cannot fail");
+        String::from_utf8(w.into_inner()).expect("serialization preserves UTF-8")
     }
 }
 
@@ -168,10 +112,26 @@ mod tests {
     }
 
     #[test]
+    fn pretty_keeps_mixed_content_compact() {
+        let src = "<a>pre<b>hi</b>post</a>";
+        let d = parse(src).unwrap();
+        assert_eq!(d.to_pretty_xml(), "<a>pre<b>hi</b>post</a>\n");
+    }
+
+    #[test]
     fn node_to_xml_serializes_subtree() {
         let d = parse("<a><b>hi</b></a>").unwrap();
         let a = d.document_element().unwrap();
         let b = d.child_elements(a).next().unwrap();
         assert_eq!(d.node_to_xml(b), "<b>hi</b>");
+    }
+
+    #[test]
+    fn write_xml_streams_compact_bytes() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let d = parse(src).unwrap();
+        let mut out = Vec::new();
+        d.write_xml(&mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), src);
     }
 }

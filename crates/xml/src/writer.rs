@@ -1,0 +1,347 @@
+//! Streaming XML emission: an event/sink abstraction ([`XmlSink`]) plus
+//! the two writers that implement it — [`XmlWriter`] (compact, fully
+//! streaming: every event goes straight to the underlying [`io::Write`])
+//! and [`PrettyXmlWriter`] (two-space indentation).
+//!
+//! Both writers produce byte-identical output to the historical
+//! [`Document`](crate::Document) serializers — `to_xml` / `to_pretty_xml`
+//! are now thin wrappers that replay a document's events into these sinks,
+//! so there is exactly one escaping and one layout code path no matter
+//! whether XML is serialized from an arena or streamed straight out of a
+//! publisher.
+//!
+//! Pretty layout needs lookahead (an element with a single text child is
+//! kept inline; *any* text child switches the whole element to compact
+//! content), so [`PrettyXmlWriter`] buffers events per **top-level**
+//! element and renders the element when it closes. [`XmlWriter`] buffers
+//! nothing.
+
+use std::io::{self, Write};
+
+use crate::escape::{write_attr_escaped, write_text_escaped};
+
+/// Event sink for XML serialization.
+///
+/// The event grammar is the obvious one: `start_element`, followed by any
+/// number of `attr` calls for that element, followed by its content
+/// (nested elements / `text`), closed by `end_element` with the same name.
+/// Calling `attr` after the element's first content event is a contract
+/// violation (the compact writer would emit it into character data).
+pub trait XmlSink {
+    /// Opens `<name …`.
+    fn start_element(&mut self, name: &str) -> io::Result<()>;
+    /// Adds ` name="value"` (escaped) to the currently open start tag.
+    fn attr(&mut self, name: &str, value: &str) -> io::Result<()>;
+    /// Emits escaped character data.
+    fn text(&mut self, text: &str) -> io::Result<()>;
+    /// Closes the current element (`/>` when it had no content).
+    fn end_element(&mut self, name: &str) -> io::Result<()>;
+}
+
+/// Compact streaming writer: events are serialized to the underlying
+/// [`io::Write`] immediately, with no whitespace added and no buffering
+/// beyond one "is a start tag still open" flag. Output is byte-identical
+/// to [`Document::to_xml`](crate::Document::to_xml).
+#[derive(Debug)]
+pub struct XmlWriter<W: Write> {
+    out: W,
+    /// A `<name …` start tag has been written but not yet closed with `>`
+    /// (content arrived) or `/>` (the element ended empty).
+    tag_open: bool,
+}
+
+impl<W: Write> XmlWriter<W> {
+    /// A compact writer over `out`.
+    pub fn new(out: W) -> Self {
+        XmlWriter {
+            out,
+            tag_open: false,
+        }
+    }
+
+    /// Consumes the writer, returning the underlying output.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn close_open_tag(&mut self) -> io::Result<()> {
+        if self.tag_open {
+            self.out.write_all(b">")?;
+            self.tag_open = false;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> XmlSink for XmlWriter<W> {
+    fn start_element(&mut self, name: &str) -> io::Result<()> {
+        self.close_open_tag()?;
+        self.out.write_all(b"<")?;
+        self.out.write_all(name.as_bytes())?;
+        self.tag_open = true;
+        Ok(())
+    }
+
+    fn attr(&mut self, name: &str, value: &str) -> io::Result<()> {
+        debug_assert!(self.tag_open, "attr outside an open start tag");
+        self.out.write_all(b" ")?;
+        self.out.write_all(name.as_bytes())?;
+        self.out.write_all(b"=\"")?;
+        write_attr_escaped(&mut self.out, value)?;
+        self.out.write_all(b"\"")
+    }
+
+    fn text(&mut self, text: &str) -> io::Result<()> {
+        self.close_open_tag()?;
+        write_text_escaped(&mut self.out, text)
+    }
+
+    fn end_element(&mut self, name: &str) -> io::Result<()> {
+        if self.tag_open {
+            self.tag_open = false;
+            self.out.write_all(b"/>")
+        } else {
+            self.out.write_all(b"</")?;
+            self.out.write_all(name.as_bytes())?;
+            self.out.write_all(b">")
+        }
+    }
+}
+
+/// One buffered element of a [`PrettyXmlWriter`] top-level subtree.
+#[derive(Debug)]
+struct BufElem {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<BufChild>,
+}
+
+#[derive(Debug)]
+enum BufChild {
+    Elem(usize),
+    Text(String),
+}
+
+/// Pretty (two-space indented) writer. Layout rules match
+/// [`Document::to_pretty_xml`](crate::Document::to_pretty_xml) exactly:
+/// empty elements are `<name/>`, an element whose only child is text stays
+/// on one line, mixed content is serialized compactly (whitespace inside
+/// it is significant), and everything else indents its children.
+///
+/// Those rules require knowing an element's full content before choosing
+/// its layout, so this writer buffers events per top-level element and
+/// renders when that element closes; memory is bounded by the largest
+/// top-level subtree, not the document.
+#[derive(Debug)]
+pub struct PrettyXmlWriter<W: Write> {
+    out: W,
+    /// Arena of buffered elements for the currently open top-level subtree.
+    elems: Vec<BufElem>,
+    /// Indices of currently open elements (outermost first).
+    stack: Vec<usize>,
+}
+
+impl<W: Write> PrettyXmlWriter<W> {
+    /// A pretty writer over `out`.
+    pub fn new(out: W) -> Self {
+        PrettyXmlWriter {
+            out,
+            elems: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the underlying output.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> XmlSink for PrettyXmlWriter<W> {
+    fn start_element(&mut self, name: &str) -> io::Result<()> {
+        let idx = self.elems.len();
+        self.elems.push(BufElem {
+            name: name.to_owned(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+        if let Some(&parent) = self.stack.last() {
+            self.elems[parent].children.push(BufChild::Elem(idx));
+        }
+        self.stack.push(idx);
+        Ok(())
+    }
+
+    fn attr(&mut self, name: &str, value: &str) -> io::Result<()> {
+        let &open = self.stack.last().expect("attr outside an open element");
+        self.elems[open]
+            .attrs
+            .push((name.to_owned(), value.to_owned()));
+        Ok(())
+    }
+
+    fn text(&mut self, text: &str) -> io::Result<()> {
+        match self.stack.last() {
+            Some(&open) => {
+                self.elems[open]
+                    .children
+                    .push(BufChild::Text(text.to_owned()));
+                Ok(())
+            }
+            // Top-level text renders immediately: no element's layout
+            // depends on it.
+            None => {
+                write_text_escaped(&mut self.out, text)?;
+                self.out.write_all(b"\n")
+            }
+        }
+    }
+
+    fn end_element(&mut self, _name: &str) -> io::Result<()> {
+        let idx = self.stack.pop().expect("end_element without start");
+        if self.stack.is_empty() {
+            render_pretty(&self.elems, idx, 0, &mut self.out)?;
+            self.elems.clear();
+        }
+        Ok(())
+    }
+}
+
+fn write_indent<W: Write>(out: &mut W, depth: usize) -> io::Result<()> {
+    for _ in 0..depth {
+        out.write_all(b"  ")?;
+    }
+    Ok(())
+}
+
+fn write_open_tag<W: Write>(elems: &[BufElem], idx: usize, out: &mut W) -> io::Result<()> {
+    let e = &elems[idx];
+    out.write_all(b"<")?;
+    out.write_all(e.name.as_bytes())?;
+    for (k, v) in &e.attrs {
+        out.write_all(b" ")?;
+        out.write_all(k.as_bytes())?;
+        out.write_all(b"=\"")?;
+        write_attr_escaped(out, v)?;
+        out.write_all(b"\"")?;
+    }
+    Ok(())
+}
+
+fn render_pretty<W: Write>(
+    elems: &[BufElem],
+    idx: usize,
+    depth: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    write_indent(out, depth)?;
+    write_open_tag(elems, idx, out)?;
+    let e = &elems[idx];
+    if e.children.is_empty() {
+        return out.write_all(b"/>\n");
+    }
+    let single_text = matches!(e.children.as_slice(), [BufChild::Text(_)]);
+    let any_text = e.children.iter().any(|c| matches!(c, BufChild::Text(_)));
+    if single_text || any_text {
+        // Single text child inline; mixed content compact — either way the
+        // content is serialized without added whitespace.
+        out.write_all(b">")?;
+        for c in &e.children {
+            render_compact(elems, c, out)?;
+        }
+    } else {
+        out.write_all(b">\n")?;
+        for c in &e.children {
+            match c {
+                BufChild::Elem(i) => render_pretty(elems, *i, depth + 1, out)?,
+                BufChild::Text(_) => unreachable!("any_text checked above"),
+            }
+        }
+        write_indent(out, depth)?;
+    }
+    out.write_all(b"</")?;
+    out.write_all(e.name.as_bytes())?;
+    out.write_all(b">\n")
+}
+
+fn render_compact<W: Write>(elems: &[BufElem], child: &BufChild, out: &mut W) -> io::Result<()> {
+    match child {
+        BufChild::Text(t) => write_text_escaped(out, t),
+        BufChild::Elem(i) => {
+            write_open_tag(elems, *i, out)?;
+            let e = &elems[*i];
+            if e.children.is_empty() {
+                return out.write_all(b"/>");
+            }
+            out.write_all(b">")?;
+            for c in &e.children {
+                render_compact(elems, c, out)?;
+            }
+            out.write_all(b"</")?;
+            out.write_all(e.name.as_bytes())?;
+            out.write_all(b">")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(sink: &mut impl XmlSink) -> io::Result<()> {
+        sink.start_element("a")?;
+        sink.attr("x", "1\"<")?;
+        sink.start_element("b")?;
+        sink.text("hi & bye")?;
+        sink.end_element("b")?;
+        sink.start_element("c")?;
+        sink.end_element("c")?;
+        sink.end_element("a")
+    }
+
+    #[test]
+    fn compact_writer_streams_events() {
+        let mut w = XmlWriter::new(Vec::new());
+        events(&mut w).unwrap();
+        assert_eq!(
+            String::from_utf8(w.into_inner()).unwrap(),
+            "<a x=\"1&quot;&lt;\"><b>hi &amp; bye</b><c/></a>"
+        );
+    }
+
+    #[test]
+    fn pretty_writer_matches_layout_rules() {
+        let mut w = PrettyXmlWriter::new(Vec::new());
+        events(&mut w).unwrap();
+        assert_eq!(
+            String::from_utf8(w.into_inner()).unwrap(),
+            "<a x=\"1&quot;&lt;\">\n  <b>hi &amp; bye</b>\n  <c/>\n</a>\n"
+        );
+    }
+
+    /// An `io::Write` that fails after `n` successful byte writes.
+    struct FailAfter {
+        left: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.left == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "sink full"));
+            }
+            let n = buf.len().min(self.left);
+            self.left -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn compact_writer_surfaces_io_errors() {
+        let mut w = XmlWriter::new(FailAfter { left: 3 });
+        let err = events(&mut w).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+}

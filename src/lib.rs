@@ -114,7 +114,7 @@ pub mod prelude {
     };
     pub use xvc_view::{
         analyze_view_bounds, AttrProjection, Engine, EngineTotals, PublishStats, PublishTrace,
-        Published, SchemaTree, Session, ViewBounds, ViewNode,
+        Published, SchemaTree, Session, Streamed, ViewBounds, ViewNode,
     };
     pub use xvc_xml::{documents_equal_unordered, Document};
     pub use xvc_xpath::{parse_expr, parse_path, parse_pattern};

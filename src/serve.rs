@@ -24,9 +24,19 @@
 //! Writes serialize on the published-document lock, then mutate the
 //! database under its write lock, then republish under its read lock —
 //! readers (`/publish`, `/doc`) never block each other and never observe a
-//! half-applied mutation. Unknown paths get 404, malformed SQL 400; every
-//! response carries `Content-Length`, so clients can pipeline over one
-//! connection.
+//! half-applied mutation. Unknown paths get 404, malformed SQL 400.
+//!
+//! `GET /publish` **streams**: the response is `Transfer-Encoding:
+//! chunked`, produced by [`Session::publish_to`](crate::view::Session::publish_to)
+//! writing straight into the socket through a small chunking buffer — the
+//! server never materializes the output document for this endpoint, so its
+//! peak memory does not scale with document size. A publish error before
+//! the first chunk goes out becomes a clean `500`; after bytes are on the
+//! wire the connection is closed mid-body, which a chunked client detects
+//! as truncation (no terminal chunk). Every other response carries
+//! `Content-Length`, so clients can pipeline over one connection; `/doc`
+//! serves a shared `Arc<str>` snapshot of the last published document
+//! without copying it per request.
 
 // Curated clippy::pedantic subset shared with `xvc-rel` / `xvc-view` /
 // `xvc-analyze` (kept clean under `-D warnings` in ci.sh).
@@ -63,11 +73,17 @@ const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on a request body (`/dml`, `/ddl` SQL).
 const MAX_BODY: usize = 1024 * 1024;
 
+/// Chunking buffer for streamed responses: bytes queue here and go out as
+/// one HTTP/1.1 chunk each time the buffer fills.
+const CHUNK_BUF: usize = 8 * 1024;
+
 /// The last published document, kept so `/doc` is a cache read and so
-/// deltas chain: each `/dml` splices into the previous [`Published`].
+/// deltas chain: each `/dml` splices into the previous [`Published`]. The
+/// serialized form is an `Arc<str>` so `/doc` hands the response body out
+/// by reference count instead of cloning the whole document per request.
 struct DocState {
     published: Published,
-    xml: String,
+    xml: Arc<str>,
 }
 
 /// Everything the acceptor and the workers share.
@@ -106,7 +122,7 @@ impl Server {
             .session()
             .publish(&db)
             .map_err(|e| io::Error::other(e.to_string()))?;
-        let xml = published.document.to_xml();
+        let xml = Arc::<str>::from(published.document.to_xml());
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let threads = threads.max(1);
@@ -199,11 +215,27 @@ struct Request {
     close: bool,
 }
 
+/// A response body: owned text, or a shared snapshot (`/doc`) handed out
+/// by reference count.
+enum Body {
+    Text(String),
+    Shared(Arc<str>),
+}
+
+impl Body {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Text(s) => s.as_bytes(),
+            Body::Shared(s) => s.as_bytes(),
+        }
+    }
+}
+
 /// One response about to go onto the wire.
 struct Response {
     status: u16,
     content_type: &'static str,
-    body: String,
+    body: Body,
     /// Set by `POST /shutdown`: reply first, then stop the server.
     shutdown: bool,
 }
@@ -213,7 +245,7 @@ impl Response {
         Response {
             status: 200,
             content_type,
-            body,
+            body: Body::Text(body),
             shutdown: false,
         }
     }
@@ -222,7 +254,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body: format!("{message}\n"),
+            body: Body::Text(format!("{message}\n")),
             shutdown: false,
         }
     }
@@ -253,8 +285,30 @@ fn handle_conn(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
         let Some(request) = read_request(&mut reader, &state.running)? else {
             return Ok(()); // clean close (EOF, or idle at shutdown)
         };
-        let response = dispatch(state, &request);
         state.requests.fetch_add(1, Ordering::SeqCst);
+        if request.path == "/publish" && matches!(request.method.as_str(), "GET" | "POST") {
+            // Streamed endpoint: the session writes chunked XML straight
+            // into the socket — no Response, no output document.
+            let keep = !request.close && state.running.load(Ordering::SeqCst);
+            match stream_publish(state, &request.query, &mut out, keep) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Failed before the first byte: a clean 500 went out.
+                    state.errors.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    // Mid-body failure: the body is truncated (no terminal
+                    // chunk); drop the connection so the client notices.
+                    state.errors.fetch_add(1, Ordering::SeqCst);
+                    return Err(e);
+                }
+            }
+            if !keep {
+                return Ok(());
+            }
+            continue;
+        }
+        let response = dispatch(state, &request);
         if response.status >= 400 {
             state.errors.fetch_add(1, Ordering::SeqCst);
         }
@@ -392,17 +446,80 @@ fn write_response(out: &mut TcpStream, response: &Response, keep_alive: bool) ->
         405 => "Method Not Allowed",
         _ => "Internal Server Error",
     };
+    let body = response.body.as_bytes();
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason,
         response.content_type,
-        response.body.len(),
+        body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     out.write_all(head.as_bytes())?;
-    out.write_all(response.body.as_bytes())?;
+    out.write_all(body)?;
     out.flush()
+}
+
+/// Chunked-transfer writer over the socket for streamed responses. Bytes
+/// buffer up to [`CHUNK_BUF`] and leave as one `len\r\n…\r\n` chunk; the
+/// response head itself is deferred until the first chunk (or `finish`),
+/// so a producer that fails before yielding any output leaves the wire
+/// untouched and the caller can still send a clean error response.
+struct ChunkedWriter<'a> {
+    out: &'a mut TcpStream,
+    buf: Vec<u8>,
+    /// Deferred response head; `None` once on the wire.
+    head: Option<String>,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    fn new(out: &'a mut TcpStream, head: String) -> ChunkedWriter<'a> {
+        ChunkedWriter {
+            out,
+            buf: Vec::with_capacity(CHUNK_BUF),
+            head: Some(head),
+        }
+    }
+
+    /// Nothing on the wire yet: the caller may still respond normally.
+    fn untouched(&self) -> bool {
+        self.head.is_some()
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if let Some(head) = self.head.take() {
+            self.out.write_all(head.as_bytes())?;
+        }
+        if !self.buf.is_empty() {
+            write!(self.out, "{:x}\r\n", self.buf.len())?;
+            self.out.write_all(&self.buf)?;
+            self.out.write_all(b"\r\n")?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail chunk and writes the terminal `0\r\n\r\n`.
+    fn finish(mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.out.write_all(b"0\r\n\r\n")?;
+        self.out.flush()
+    }
+}
+
+impl io::Write for ChunkedWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        if self.buf.len() >= CHUNK_BUF {
+            self.flush_chunk()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.out.flush()
+    }
 }
 
 fn dispatch(state: &Arc<State>, request: &Request) -> Response {
@@ -410,16 +527,20 @@ fn dispatch(state: &Arc<State>, request: &Request) -> Response {
         ("GET", "/healthz") => Response::ok("text/plain; charset=utf-8", "ok\n".to_owned()),
         ("GET", "/doc") => {
             let doc = state.doc.read().unwrap_or_else(PoisonError::into_inner);
-            Response::ok("application/xml", doc.xml.clone())
+            Response {
+                status: 200,
+                content_type: "application/xml; charset=utf-8",
+                body: Body::Shared(Arc::clone(&doc.xml)),
+                shutdown: false,
+            }
         }
-        ("GET" | "POST", "/publish") => handle_publish(state, &request.query),
         ("POST", "/dml") => handle_dml(state, &request.body),
         ("POST", "/ddl") => handle_ddl(state, &request.body),
         ("GET", "/stats") => Response::ok("application/json", stats_json(state)),
         ("POST", "/shutdown") => Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
-            body: "shutting down\n".to_owned(),
+            body: Body::Text("shutting down\n".to_owned()),
             shutdown: true,
         },
         ("GET" | "POST", _) => Response::error(404, &format!("no such endpoint: {}", request.path)),
@@ -428,21 +549,51 @@ fn dispatch(state: &Arc<State>, request: &Request) -> Response {
 }
 
 /// `GET /publish`: a fresh publish against the live database through a
-/// throwaway session. Concurrent calls share the warm plan cache and block
-/// only if a write is mid-flight.
-fn handle_publish(state: &Arc<State>, query: &str) -> Response {
+/// throwaway session, streamed to the client as a chunked response —
+/// [`Session::publish_to`](crate::view::Session::publish_to) serializes
+/// each root-level subtree into the socket as it is produced, so the
+/// output document is never materialized server-side. Concurrent calls
+/// share the warm plan cache and block only if a write is mid-flight.
+///
+/// Returns `Ok(true)` when the response (streamed 200) completed,
+/// `Ok(false)` when the publish failed before any output and a clean 500
+/// was written instead, and `Err` when the body was truncated mid-stream
+/// (caller drops the connection).
+fn stream_publish(
+    state: &Arc<State>,
+    query: &str,
+    out: &mut TcpStream,
+    keep_alive: bool,
+) -> io::Result<bool> {
     let pretty = query_flag(query, "pretty");
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/xml; charset=utf-8\r\n\
+         Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
     let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
-    match state.engine.session().publish(&db) {
-        Ok(published) => {
-            let body = if pretty {
-                published.document.to_pretty_xml()
-            } else {
-                published.document.to_xml()
-            };
-            Response::ok("application/xml", body)
+    let mut session = state.engine.session();
+    let mut writer = ChunkedWriter::new(out, head);
+    let result = if pretty {
+        session.publish_pretty_to(&db, &mut writer)
+    } else {
+        session.publish_to(&db, &mut writer)
+    };
+    match result {
+        Ok(_) => {
+            writer.finish()?;
+            Ok(true)
         }
-        Err(e) => Response::error(500, &format!("publish failed: {e}")),
+        Err(e) => {
+            if writer.untouched() {
+                drop(writer);
+                let response = Response::error(500, &format!("publish failed: {e}"));
+                write_response(out, &response, keep_alive)?;
+                Ok(false)
+            } else {
+                Err(io::Error::other(format!("publish failed mid-stream: {e}")))
+            }
+        }
     }
 }
 
@@ -474,7 +625,7 @@ fn handle_dml(state: &Arc<State>, body: &[u8]) -> Response {
                 stats.batches_reexecuted,
                 stats.elements,
             );
-            doc.xml = published.document.to_xml();
+            doc.xml = Arc::<str>::from(published.document.to_xml());
             doc.published = published;
             Response::ok("application/json", body)
         }
@@ -501,7 +652,7 @@ fn handle_ddl(state: &Arc<State>, body: &[u8]) -> Response {
     let db = state.db.read().unwrap_or_else(PoisonError::into_inner);
     match state.engine.session().publish(&db) {
         Ok(published) => {
-            doc.xml = published.document.to_xml();
+            doc.xml = Arc::<str>::from(published.document.to_xml());
             doc.published = published;
             Response::ok(
                 "application/json",

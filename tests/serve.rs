@@ -40,6 +40,10 @@ fn guide_composed(db: &Database) -> SchemaTree {
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether the last response arrived with `Transfer-Encoding: chunked`.
+    last_chunked: bool,
+    /// `Content-Type` of the last response.
+    last_content_type: String,
 }
 
 impl Client {
@@ -51,6 +55,8 @@ impl Client {
         Client {
             reader: BufReader::new(stream.try_clone().unwrap()),
             writer: stream,
+            last_chunked: false,
+            last_content_type: String::new(),
         }
     }
 
@@ -70,6 +76,8 @@ impl Client {
             .parse()
             .expect("numeric status");
         let mut content_length = 0usize;
+        let mut chunked = false;
+        self.last_content_type.clear();
         loop {
             let mut header = String::new();
             assert_ne!(
@@ -83,12 +91,46 @@ impl Client {
             if let Some((name, value)) = header.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().expect("content-length");
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    self.last_content_type = value.trim().to_owned();
                 }
             }
         }
-        let mut buf = vec![0u8; content_length];
-        self.reader.read_exact(&mut buf).expect("body");
+        self.last_chunked = chunked;
+        let buf = if chunked {
+            self.read_chunked_body()
+        } else {
+            let mut buf = vec![0u8; content_length];
+            self.reader.read_exact(&mut buf).expect("body");
+            buf
+        };
         (status, String::from_utf8(buf).expect("utf-8 body"))
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` body: `len\r\n…\r\n` frames
+    /// down to the terminal zero-length chunk. Panics on a truncated body
+    /// (connection closed without the terminal chunk).
+    fn read_chunked_body(&mut self) -> Vec<u8> {
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            assert_ne!(
+                self.reader.read_line(&mut size_line).expect("chunk size"),
+                0,
+                "connection closed mid-chunked-body (truncated response)"
+            );
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+            let mut chunk = vec![0u8; size + 2]; // chunk data + trailing CRLF
+            self.reader.read_exact(&mut chunk).expect("chunk data");
+            assert_eq!(&chunk[size..], b"\r\n", "chunk not CRLF-terminated");
+            chunk.truncate(size);
+            if size == 0 {
+                return body;
+            }
+            body.extend_from_slice(&chunk);
+        }
     }
 }
 
@@ -187,9 +229,13 @@ fn dml_and_ddl_keep_the_served_document_current() {
     let (status, doc) = client.request("GET", "/doc", "");
     assert_eq!(status, 200);
     assert_eq!(doc, expected_after, "/doc trails the DML");
+    assert!(!client.last_chunked, "/doc is a Content-Length snapshot");
+    assert_eq!(client.last_content_type, "application/xml; charset=utf-8");
     let (status, fresh) = client.request("GET", "/publish", "");
     assert_eq!(status, 200);
     assert_eq!(fresh, expected_after, "/publish trails the DML");
+    assert!(client.last_chunked, "/publish should stream chunked");
+    assert_eq!(client.last_content_type, "application/xml; charset=utf-8");
 
     // DDL: changes the catalog fingerprint (plan cache recompiles), but
     // never the document.
@@ -215,6 +261,37 @@ fn dml_and_ddl_keep_the_served_document_current() {
     assert_eq!(status, 200);
     assert_eq!(counter(&stats, "errors"), 3);
     assert_eq!(counter(&stats, "delta_publishes"), 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn streamed_publish_pretty_matches_reference_serializer() {
+    let db = guide_database();
+    let composed = guide_composed(&db);
+    let reference = Engine::new(&composed)
+        .session()
+        .publish(&db)
+        .expect("reference publish");
+    let expected_compact = reference.document.to_xml();
+    let expected_pretty = reference.document.to_pretty_xml();
+
+    let server =
+        Server::start(Engine::new(&composed), db, "127.0.0.1:0", 2).expect("server starts");
+    let mut client = Client::connect(server.addr());
+
+    // Both layouts stream chunked and decode to exactly what the arena
+    // serializers would have produced.
+    let (status, body) = client.request("GET", "/publish", "");
+    assert_eq!(status, 200);
+    assert!(client.last_chunked);
+    assert_eq!(body, expected_compact);
+
+    let (status, body) = client.request("GET", "/publish?pretty=1", "");
+    assert_eq!(status, 200);
+    assert!(client.last_chunked);
+    assert_eq!(body, expected_pretty);
 
     server.shutdown();
     server.join();
